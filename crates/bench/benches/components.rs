@@ -1,0 +1,67 @@
+//! E4 — Remark 3.10 at scale: predicting the component census of a
+//! disconnected `A(f, σ, j)` combinatorially versus materializing the
+//! digraph and running union–find.
+//!
+//! The prediction runs on the outside-state space (`d^{D-r}` states);
+//! materialization touches all `d^D` vertices and `d^{D+1}` arcs. The
+//! gap is the value of the structure theorem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otis_core::{components, AlphabetDigraph, DigraphFamily};
+use otis_perm::Perm;
+use std::hint::black_box;
+
+/// Non-cyclic f on Z_dim with a fixed point at 0 (the free position)
+/// and one big cycle on the rest: outside = dim-1 positions.
+fn worst_case_instance(dim: u32) -> AlphabetDigraph {
+    let mut cycles = vec![vec![0u32]];
+    cycles.push((1..dim).collect());
+    let f = Perm::from_cycles(dim as usize, &[cycles[0].clone(), cycles[1].clone()]).unwrap();
+    AlphabetDigraph::new(2, dim, f, Perm::identity(2), 0)
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/predict");
+    for dim in [6u32, 10, 14, 18] {
+        let a = worst_case_instance(dim);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("D{dim}")), &a, |b, a| {
+            b.iter(|| black_box(components::predict(a)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/materialize_wcc");
+    group.sample_size(10);
+    for dim in [6u32, 10, 14, 18] {
+        let a = worst_case_instance(dim);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("D{dim}")), &a, |b, a| {
+            b.iter(|| {
+                let g = a.digraph();
+                black_box(otis_digraph::connectivity::weak_components(&g).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_agreement_check(c: &mut Criterion) {
+    // Sanity inside the bench binary: both methods agree at D = 10.
+    let a = worst_case_instance(10);
+    let census = components::predict(&a);
+    let g = a.digraph();
+    let wcc = otis_digraph::connectivity::weak_components(&g);
+    assert_eq!(census.component_count(), wcc.count() as u64);
+    eprintln!(
+        "components D=10: {} components, de Bruijn factor B(2,{})",
+        wcc.count(),
+        census.debruijn_dim
+    );
+    c.bench_function("components/census_total_vertices", |b| {
+        b.iter(|| black_box(census.vertex_count(2)))
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_materialize, bench_agreement_check);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E11 — the `d!(D-1)!` census: sweep every alternative definition of
+//! `B(d, D)` and verify its witness. The count itself is the paper's
+//! closing remark of Section 3; the bench measures the cost of
+//! proving it constructively.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otis_core::{enumerate, iso, DeBruijn, DigraphFamily};
+use std::hint::black_box;
+
+fn bench_full_census(c: &mut Criterion) {
+    eprintln!("--- alternative definition counts (d!(D-1)!) ---");
+    for (d, dd) in [(2u32, 3u32), (2, 4), (3, 3), (2, 5)] {
+        eprintln!(
+            "B({d},{dd}): {} definitions",
+            enumerate::alternative_definition_count(d, dd)
+        );
+    }
+    let mut group = c.benchmark_group("enumerate/verify_all_definitions");
+    group.sample_size(10);
+    for (d, dd) in [(2u32, 3u32), (2, 4), (3, 3)] {
+        let b = DeBruijn::new(d, dd).digraph();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("B({d},{dd})")),
+            &(d, dd),
+            |bench, &(d, dd)| {
+                bench.iter(|| {
+                    let mut verified = 0u64;
+                    for a in enumerate::alternative_definitions(d, dd, 0) {
+                        let w = iso::prop_3_9_witness(&a).unwrap();
+                        otis_digraph::iso::check_witness(&a.digraph(), &b, &w).unwrap();
+                        verified += 1;
+                    }
+                    black_box(verified)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_iteration_only(c: &mut Criterion) {
+    c.bench_function("enumerate/iterate_defs_B_2_5", |b| {
+        b.iter(|| black_box(enumerate::alternative_definitions(2, 5, 0).count()))
+    });
+}
+
+criterion_group!(benches, bench_full_census, bench_iteration_only);
+criterion_main!(benches);

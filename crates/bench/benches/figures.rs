@@ -1,0 +1,113 @@
+//! E2–E6 — Figures 1–8: construction and verification of every
+//! figure-level object: the B/RRK/II triple, the §3.3 worked
+//! examples, the OTIS wiring, and the H(4,8,2) ≅ B(2,4) witness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use otis_core::{iso, AlphabetDigraph, DeBruijn, DigraphFamily, ImaseItoh, Rrk};
+use otis_perm::Perm;
+use std::hint::black_box;
+
+fn bench_figure_1_3_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/construct_8_nodes");
+    group.bench_function("B(2,3)", |b| {
+        b.iter(|| black_box(DeBruijn::new(2, 3).digraph()))
+    });
+    group.bench_function("RRK(2,8)", |b| {
+        b.iter(|| black_box(Rrk::new(2, 8).digraph()))
+    });
+    group.bench_function("II(2,8)", |b| {
+        b.iter(|| black_box(ImaseItoh::new(2, 8).digraph()))
+    });
+    group.finish();
+}
+
+fn bench_figure_1_3_isomorphism(c: &mut Criterion) {
+    let ii = ImaseItoh::new(2, 8).digraph();
+    let b23 = DeBruijn::new(2, 3).digraph();
+    c.bench_function("figures/prop33_witness_and_check", |b| {
+        b.iter(|| {
+            let w = iso::prop_3_3_witness(2, 3);
+            otis_digraph::iso::check_witness(&ii, &b23, &w).unwrap();
+            black_box(w)
+        })
+    });
+}
+
+fn bench_example_331(c: &mut Criterion) {
+    // Figure 4's permutation machinery + the full witness at d = 2.
+    let f = Perm::from_images(vec![3, 4, 5, 2, 0, 1]).unwrap();
+    c.bench_function("figures/example331_orbit_labeling", |b| {
+        b.iter(|| black_box(f.orbit_labeling(2).unwrap()))
+    });
+    let a = AlphabetDigraph::new(2, 6, f, Perm::identity(2), 2);
+    let b66 = DeBruijn::new(2, 6).digraph();
+    let ga = a.digraph();
+    c.bench_function("figures/example331_witness_verify_n64", |b| {
+        b.iter(|| {
+            let w = iso::prop_3_9_witness(&a).unwrap();
+            otis_digraph::iso::check_witness(&ga, &b66, &w).unwrap();
+            black_box(w)
+        })
+    });
+}
+
+fn bench_example_332_components(c: &mut Criterion) {
+    // Figure 5: disconnected example — census prediction vs full
+    // materialization + weak components.
+    let a = AlphabetDigraph::new(2, 3, Perm::complement(3), Perm::identity(2), 1);
+    c.bench_function("figures/example332_predict_census", |b| {
+        b.iter(|| black_box(otis_core::components::predict(&a)))
+    });
+    c.bench_function("figures/example332_materialize_wcc", |b| {
+        b.iter(|| {
+            let g = a.digraph();
+            black_box(otis_digraph::connectivity::weak_components(&g))
+        })
+    });
+}
+
+fn bench_figure_6_wiring(c: &mut Criterion) {
+    // OTIS(3,6): full wiring table + geometric traces.
+    let otis = otis_optics::Otis::new(3, 6);
+    c.bench_function("figures/otis36_wiring_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in 0..otis.link_count() {
+                acc ^= otis.connect_index(t);
+            }
+            black_box(acc)
+        })
+    });
+    let bench_rig = otis_optics::geometry::Bench::with_defaults(otis);
+    c.bench_function("figures/otis36_beam_traces", |b| {
+        b.iter(|| black_box(bench_rig.trace_all()))
+    });
+}
+
+fn bench_figure_7_8_layout(c: &mut Criterion) {
+    // H(4,8,2) ≅ B(2,4): build + witness + verify.
+    let spec = otis_layout::LayoutSpec::new(2, 2, 3);
+    let b24 = DeBruijn::new(2, 4).digraph();
+    c.bench_function("figures/h482_build", |b| {
+        b.iter(|| black_box(spec.h_digraph().digraph()))
+    });
+    let h = spec.h_digraph().digraph();
+    c.bench_function("figures/h482_witness_verify", |b| {
+        b.iter(|| {
+            let w = spec.debruijn_witness().unwrap();
+            otis_digraph::iso::check_witness(&h, &b24, &w).unwrap();
+            black_box(w)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_figure_1_3_families,
+    bench_figure_1_3_isomorphism,
+    bench_example_331,
+    bench_example_332_components,
+    bench_figure_6_wiring,
+    bench_figure_7_8_layout
+);
+criterion_main!(benches);

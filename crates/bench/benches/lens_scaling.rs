@@ -1,0 +1,78 @@
+//! E7 / E12 — the headline figure: lens counts of de Bruijn OTIS
+//! layouts, paper (Θ(√n), Corollary 4.4) vs prior art (O(n), the
+//! Imase–Itoh layout of [14]).
+//!
+//! The series itself is printed once (EXPERIMENTS.md quotes it); the
+//! measured benchmark is the optimizer that produces each point
+//! (Corollary 4.6) plus the layout criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otis_layout::{ii_layout_lens_count, minimize_lenses, LayoutSpec};
+use std::hint::black_box;
+
+fn print_series() {
+    eprintln!("--- lens scaling, d = 2 (lenses to host B(2,D) on n = 2^D nodes) ---");
+    eprintln!("{:>3} {:>12} {:>12} {:>12} {:>8}", "D", "n", "optimal", "II (O(n))", "ratio");
+    for diameter in 2..=20u32 {
+        let best = minimize_lenses(2, diameter).expect("always exists");
+        let n = best.node_count();
+        let ii = ii_layout_lens_count(2, n);
+        eprintln!(
+            "{:>3} {:>12} {:>12} {:>12} {:>8.1}",
+            diameter,
+            n,
+            best.lens_count(),
+            ii,
+            ii as f64 / best.lens_count() as f64
+        );
+    }
+    eprintln!("--- same, d = 3 ---");
+    for diameter in 2..=12u32 {
+        let best = minimize_lenses(3, diameter).expect("always exists");
+        let n = best.node_count();
+        eprintln!(
+            "D = {:>2}: optimal {:>8} vs II {:>10}",
+            diameter,
+            best.lens_count(),
+            ii_layout_lens_count(3, n)
+        );
+    }
+}
+
+fn bench_minimize(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("lens_scaling/minimize_lenses");
+    for diameter in [8u32, 16, 32, 56] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{diameter}")),
+            &diameter,
+            |bench, &diameter| bench.iter(|| black_box(minimize_lenses(2, diameter))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_balanced_construction(c: &mut Criterion) {
+    // Corollary 4.4's closed form needs no search at all.
+    let mut group = c.benchmark_group("lens_scaling/balanced_even_layout");
+    for diameter in [8u32, 32, 56] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{diameter}")),
+            &diameter,
+            |bench, &diameter| {
+                bench.iter(|| black_box(otis_layout::balanced_even_layout(2, diameter)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spec_criterion(c: &mut Criterion) {
+    let spec = LayoutSpec::new(2, 28, 29);
+    c.bench_function("lens_scaling/is_debruijn_D56", |b| {
+        b.iter(|| black_box(spec.is_debruijn()))
+    });
+}
+
+criterion_group!(benches, bench_minimize, bench_balanced_construction, bench_spec_criterion);
+criterion_main!(benches);

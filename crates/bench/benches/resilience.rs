@@ -1,0 +1,59 @@
+//! E-resilience — fault-injection ablation: the cost of assessing
+//! hardware fault sets and the connectivity machinery underneath.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otis_core::{DeBruijn, DigraphFamily, Kautz};
+use otis_optics::faults::{assess, surviving_digraph, FaultSet};
+use otis_optics::HDigraph;
+use std::hint::black_box;
+
+fn bench_assess(c: &mut Criterion) {
+    let h = HDigraph::new(16, 32, 2);
+    let faults = FaultSet {
+        dead_transmitters: vec![3, 200],
+        dead_receivers: vec![100],
+        dead_lens1: vec![5],
+        dead_lens2: vec![9],
+    };
+    c.bench_function("resilience/assess_B28_fabric", |b| {
+        b.iter(|| black_box(assess(&h, &faults)))
+    });
+    c.bench_function("resilience/surviving_digraph_B28", |b| {
+        b.iter(|| black_box(surviving_digraph(&h, &faults)))
+    });
+}
+
+fn bench_arc_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resilience/arc_connectivity");
+    group.sample_size(10);
+    for dd in [4u32, 6, 8] {
+        let g = DeBruijn::new(2, dd).digraph();
+        group.bench_with_input(
+            BenchmarkId::new("debruijn", format!("D{dd}")),
+            &g,
+            |b, g| b.iter(|| black_box(otis_digraph::flow::arc_connectivity(g))),
+        );
+    }
+    let k = Kautz::new(2, 6).digraph();
+    group.bench_with_input(BenchmarkId::new("kautz", "D6"), &k, |b, k| {
+        b.iter(|| black_box(otis_digraph::flow::arc_connectivity(k)))
+    });
+    group.finish();
+}
+
+fn bench_max_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resilience/max_flow_pair");
+    for dd in [8u32, 10, 12] {
+        let g = DeBruijn::new(3, dd / 2).digraph();
+        let n = g.node_count() as u32;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("B(3,{})_n{n}", dd / 2)),
+            &g,
+            |b, g| b.iter(|| black_box(otis_digraph::flow::max_flow_unit(g, 1, n - 2))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assess, bench_arc_connectivity, bench_max_flow);
+criterion_main!(benches);

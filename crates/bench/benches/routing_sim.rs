@@ -1,0 +1,114 @@
+//! E-routing — the applications layer: de Bruijn arithmetic routing
+//! versus BFS routing, and packet transport through the simulated
+//! OTIS hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use otis_core::{routing, DeBruijn, DigraphFamily};
+use otis_optics::simulator::OtisSimulator;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn pairs(n: u64, count: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..count).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect()
+}
+
+fn bench_routing_arithmetic_vs_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/path_computation");
+    for dd in [8u32, 12, 16] {
+        let b = DeBruijn::new(2, dd);
+        let n = b.node_count();
+        let workload = pairs(n, 256, 1);
+        group.throughput(Throughput::Elements(workload.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("arithmetic_O_D", format!("D{dd}")),
+            &workload,
+            |bench, workload| {
+                bench.iter(|| {
+                    let mut acc = 0usize;
+                    for &(x, y) in workload {
+                        acc += routing::shortest_path(&b, x, y).len();
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+        // BFS baseline only at sizes where materialization is cheap.
+        if dd <= 12 {
+            let g = b.digraph();
+            group.bench_with_input(
+                BenchmarkId::new("bfs_O_n_plus_m", format!("D{dd}")),
+                &workload,
+                |bench, workload| {
+                    bench.iter(|| {
+                        let mut acc = 0u32;
+                        for &(x, y) in workload {
+                            let dist = otis_digraph::bfs::distances(&g, x as u32);
+                            acc += dist[y as usize];
+                        }
+                        black_box(acc)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_simulator_transport(c: &mut Criterion) {
+    let spec = otis_layout::balanced_even_layout(2, 8);
+    let sim = OtisSimulator::with_defaults(spec.h_digraph());
+    let witness = spec.debruijn_witness().unwrap();
+    let inverse = otis_core::iso::invert_witness(&witness);
+    let b = DeBruijn::new(2, 8);
+    let workload = pairs(b.node_count(), 64, 2);
+
+    let mut group = c.benchmark_group("routing/simulated_transport");
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    group.bench_function("B28_on_OTIS_16_32", |bench| {
+        bench.iter(|| {
+            let mut total_hops = 0usize;
+            for &(src, dst) in &workload {
+                let report = sim
+                    .send(src, dst, |current, dst| {
+                        let path = routing::shortest_path(
+                            &b,
+                            witness[current as usize] as u64,
+                            witness[dst as usize] as u64,
+                        );
+                        inverse[path[1] as usize] as u64
+                    })
+                    .unwrap();
+                total_hops += report.hop_count();
+            }
+            black_box(total_hops)
+        })
+    });
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/broadcast");
+    for dd in [8u32, 12] {
+        let b = DeBruijn::new(2, dd);
+        group.throughput(Throughput::Elements(b.node_count()));
+        group.bench_with_input(
+            BenchmarkId::new("levels", format!("D{dd}")),
+            &b,
+            |bench, b| bench.iter(|| black_box(routing::broadcast_levels(b, 1))),
+        );
+    }
+    let b8 = DeBruijn::new(2, 8);
+    group.bench_function("single_port_greedy_D8", |bench| {
+        bench.iter(|| black_box(routing::single_port_broadcast(&b8, 0)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_routing_arithmetic_vs_bfs,
+    bench_simulator_transport,
+    bench_broadcast
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! E14 — substrate ablations: the costs underneath every experiment.
+//!
+//! * parallel vs sequential all-pairs BFS (the Table 1 hot path);
+//! * family generation throughput (rank-level adjacency);
+//! * line-digraph construction (the Kautz ↔ II tower);
+//! * O(n+m) witness verification at growing n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use otis_core::{DeBruijn, DigraphFamily, Kautz};
+use otis_digraph::bfs;
+use std::hint::black_box;
+
+fn bench_diameter_par_vs_seq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/all_pairs_bfs");
+    group.sample_size(10);
+    for dd in [8u32, 10, 12] {
+        let g = DeBruijn::new(2, dd).digraph();
+        let n = g.node_count() as u64;
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("parallel", format!("n{n}")), &g, |b, g| {
+            b.iter(|| black_box(bfs::eccentricities(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", format!("n{n}")), &g, |b, g| {
+            b.iter(|| black_box(bfs::eccentricities_seq(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_family_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/materialize_family");
+    for dd in [10u32, 13] {
+        let b_family = DeBruijn::new(2, dd);
+        group.throughput(Throughput::Elements(b_family.node_count()));
+        group.bench_with_input(
+            BenchmarkId::new("debruijn", format!("D{dd}")),
+            &b_family,
+            |bench, fam| bench.iter(|| black_box(fam.digraph())),
+        );
+    }
+    let k = Kautz::new(2, 10);
+    group.throughput(Throughput::Elements(k.node_count()));
+    group.bench_with_input(BenchmarkId::new("kautz", "D10"), &k, |bench, fam| {
+        bench.iter(|| black_box(fam.digraph()))
+    });
+    group.finish();
+}
+
+fn bench_line_digraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/line_digraph");
+    for dd in [8u32, 11] {
+        let g = DeBruijn::new(2, dd).digraph();
+        group.throughput(Throughput::Elements(g.arc_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("B(2,{dd})")), &g, |b, g| {
+            b.iter(|| black_box(otis_digraph::ops::line_digraph(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_witness_check_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/check_witness");
+    for dd in [8u32, 12, 14] {
+        let spec = otis_layout::balanced_even_layout(2, dd);
+        let h = spec.h_digraph().digraph();
+        let b = DeBruijn::new(2, dd).digraph();
+        let w = spec.debruijn_witness().unwrap();
+        group.throughput(Throughput::Elements(h.arc_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{}", h.node_count())),
+            &(h, b, w),
+            |bench, (h, b, w)| {
+                bench.iter(|| {
+                    otis_digraph::iso::check_witness(h, b, w).unwrap();
+                    black_box(())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diameter_par_vs_seq,
+    bench_family_generation,
+    bench_line_digraph,
+    bench_witness_check_scaling
+);
+criterion_main!(benches);

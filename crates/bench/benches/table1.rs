@@ -1,0 +1,61 @@
+//! E1 — Table 1: the degree–diameter search over OTIS digraphs.
+//!
+//! Regenerates the paper's table rows (printed once before measuring)
+//! and benchmarks the exhaustive sweep itself at the three diameters
+//! the paper reports, plus the per-candidate diameter check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use otis_core::DigraphFamily;
+use otis_layout::degree_diameter_search;
+use std::hint::black_box;
+
+/// Print the reproduced table once so `cargo bench` output contains
+/// the artifact (EXPERIMENTS.md quotes this).
+fn print_reproduced_table() {
+    for (diameter, lo, hi) in [(8u32, 253u64, 400u64), (9, 508, 784), (10, 1020, 1552)] {
+        eprintln!("--- Table 1, D = {diameter} (n in {lo}..={hi}) ---");
+        for row in degree_diameter_search(2, diameter, lo, hi) {
+            let pairs: Vec<String> =
+                row.pairs.iter().map(|&(p, q)| format!("({p},{q})")).collect();
+            eprintln!("n = {:>5}: {}", row.n, pairs.join(" "));
+        }
+    }
+}
+
+fn bench_search_windows(c: &mut Criterion) {
+    print_reproduced_table();
+    let mut group = c.benchmark_group("table1/search_window");
+    group.sample_size(10);
+    // Benchmark a fixed-width window ending at the de Bruijn size for
+    // each diameter, so the work scales like the paper's sweep.
+    for diameter in [8u32, 9, 10] {
+        let b = otis_core::DeBruijn::new(2, diameter).node_count();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{diameter}")),
+            &diameter,
+            |bench, &diameter| {
+                bench.iter(|| {
+                    black_box(degree_diameter_search(2, diameter, b - 4, b + 4));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_candidate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/diameter_check");
+    for (p, q) in [(16u64, 32u64), (2, 256), (2, 384)] {
+        let h = otis_optics::HDigraph::new(p, q, 2);
+        let g = h.digraph();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("H({p},{q},2)")),
+            &g,
+            |bench, g| bench.iter(|| black_box(otis_digraph::bfs::diameter_at_most(g, 10))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_windows, bench_single_candidate);
+criterion_main!(benches);

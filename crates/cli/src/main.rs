@@ -1,0 +1,214 @@
+//! `otis` — command-line front-end for the de Bruijn / OTIS library.
+//!
+//! ```text
+//! otis design <d> <D>                    lens-minimal OTIS layout of B(d,D)
+//! otis search <d> <D> <n_min> <n_max>    Table-1 style degree–diameter rows
+//! otis verify <d> <p'> <q'>              Corollary 4.2/4.5 layout check (+ witness)
+//! otis route <d> <D> <from> <to>         shortest path between de Bruijn words
+//! otis sequence <d> <k>                  a de Bruijn sequence dB(d,k)
+//! otis dot <family> <d> <D>              DOT drawing (family: debruijn|kautz|ii|rrk)
+//! ```
+//!
+//! Argument parsing is deliberately bare std (no CLI dependency); each
+//! subcommand is a thin shell over the library crates.
+
+use otis_core::{routing, DeBruijn, DigraphFamily, ImaseItoh, Kautz, Rrk};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("design") => cmd_design(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("sequence") => cmd_sequence(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+otis — de Bruijn isomorphisms and free-space optical networks (IPDPS 2000)
+
+USAGE:
+  otis design <d> <D>                  lens-minimal OTIS layout of B(d,D)
+  otis search <d> <D> <n_min> <n_max>  degree-diameter search rows (Table 1)
+  otis verify <d> <p'> <q'>            layout criterion + witness verification
+  otis route <d> <D> <from> <to>       shortest de Bruijn path between words
+  otis sequence <d> <k>                print a de Bruijn sequence dB(d,k)
+  otis dot <family> <d> <D>            DOT drawing (debruijn|kautz|ii|rrk)
+";
+
+fn parse<T: std::str::FromStr>(args: &[String], index: usize, name: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = args
+        .get(index)
+        .ok_or_else(|| format!("missing argument <{name}>"))?;
+    raw.parse()
+        .map_err(|e| format!("bad <{name}> {raw:?}: {e}"))
+}
+
+fn cmd_design(args: &[String]) -> Result<(), String> {
+    let d: u32 = parse(args, 0, "d")?;
+    let dd: u32 = parse(args, 1, "D")?;
+    if d < 2 {
+        return Err("d must be at least 2".into());
+    }
+    let best = otis_layout::minimize_lenses(d, dd).expect("a layout always exists");
+    println!("B({d},{dd}): {} nodes of degree {d}", best.node_count());
+    println!(
+        "lens-minimal layout: OTIS({}, {}) = (d^{}, d^{})",
+        best.p(),
+        best.q(),
+        best.p_prime(),
+        best.q_prime()
+    );
+    println!(
+        "lenses: {}  (prior-art II layout: {})",
+        best.lens_count(),
+        otis_layout::ii_layout_lens_count(d, best.node_count())
+    );
+    let bench =
+        otis_optics::geometry::Bench::with_defaults(otis_optics::Otis::new(best.p(), best.q()));
+    println!(
+        "bench: {:.0} mm long, lens apertures {:.2} / {:.2} mm",
+        bench.bench_length(),
+        bench.lens_apertures().0,
+        bench.lens_apertures().1
+    );
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let d: u32 = parse(args, 0, "d")?;
+    let dd: u32 = parse(args, 1, "D")?;
+    let n_min: u64 = parse(args, 2, "n_min")?;
+    let n_max: u64 = parse(args, 3, "n_max")?;
+    if n_min < 1 || n_min > n_max {
+        return Err("need 1 <= n_min <= n_max".into());
+    }
+    for row in otis_layout::degree_diameter_search(d, dd, n_min, n_max) {
+        let pairs: Vec<String> =
+            row.pairs.iter().map(|&(p, q)| format!("({p},{q})")).collect();
+        println!("n = {:>6}: {}", row.n, pairs.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let d: u32 = parse(args, 0, "d")?;
+    let pp: u32 = parse(args, 1, "p'")?;
+    let qq: u32 = parse(args, 2, "q'")?;
+    if d < 2 || pp < 1 || qq < 1 {
+        return Err("need d >= 2 and p', q' >= 1".into());
+    }
+    let spec = otis_layout::LayoutSpec::new(d, pp, qq);
+    println!(
+        "H({}, {}, {d}) — {} nodes, target diameter {}",
+        spec.p(),
+        spec.q(),
+        spec.node_count(),
+        spec.diameter()
+    );
+    println!("f_{{p',q'}} = {}", spec.permutation());
+    if !spec.is_debruijn() {
+        println!("NOT a de Bruijn layout: f is not cyclic (cycle type {:?})",
+            spec.permutation().cycle_type());
+        return Ok(());
+    }
+    println!("de Bruijn layout: f is cyclic (O(D) check, Corollary 4.5)");
+    if spec.node_count() <= 1 << 16 {
+        let witness = spec.debruijn_witness().expect("cyclic");
+        let b = DeBruijn::new(d, spec.diameter()).digraph();
+        otis_digraph::iso::check_witness(&spec.h_digraph().digraph(), &b, &witness)
+            .map_err(|e| format!("witness verification failed: {e}"))?;
+        println!("witness verified on all {} nodes", spec.node_count());
+    } else {
+        println!("witness check skipped (n too large to materialize)");
+    }
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let d: u32 = parse(args, 0, "d")?;
+    let dd: u32 = parse(args, 1, "D")?;
+    let from: otis_words::Word = parse(args, 2, "from")?;
+    let to: otis_words::Word = parse(args, 3, "to")?;
+    let b = DeBruijn::new(d, dd);
+    let space = *b.space();
+    if !space.contains(&from) || !space.contains(&to) {
+        return Err(format!("words must be length {dd} over Z_{d}"));
+    }
+    let (x, y) = (space.rank(&from), space.rank(&to));
+    let path = routing::shortest_path(&b, x, y);
+    println!("distance {} in B({d},{dd}):", path.len() - 1);
+    for rank in path {
+        println!("  {}", space.unrank(rank));
+    }
+    Ok(())
+}
+
+fn cmd_sequence(args: &[String]) -> Result<(), String> {
+    let d: u32 = parse(args, 0, "d")?;
+    let k: u32 = parse(args, 1, "k")?;
+    if d < 2 || k < 1 {
+        return Err("need d >= 2 and k >= 1".into());
+    }
+    if otis_util::digits::checked_pow(d as u64, k).is_none_or(|n| n > 1 << 24) {
+        return Err("sequence too long; keep d^k <= 2^24".into());
+    }
+    let seq = otis_core::sequences::debruijn_sequence(d, k);
+    assert!(otis_core::sequences::is_debruijn_sequence(d, k, &seq));
+    let text: String = seq
+        .iter()
+        .map(|&x| char::from_digit(x as u32 % 36, 36).expect("digit"))
+        .collect();
+    println!("{text}");
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let family = args.first().ok_or("missing <family>")?.as_str();
+    let d: u32 = parse(args, 1, "d")?;
+    let dd: u32 = parse(args, 2, "D")?;
+    let (graph, label): (otis_digraph::Digraph, Box<dyn FnMut(u32) -> String>) = match family {
+        "debruijn" => {
+            let b = DeBruijn::new(d, dd);
+            let space = *b.space();
+            (b.digraph(), Box::new(move |u| space.unrank(u as u64).to_string()))
+        }
+        "kautz" => {
+            let k = Kautz::new(d, dd);
+            let space = *k.space();
+            (k.digraph(), Box::new(move |u| space.unrank(u as u64).to_string()))
+        }
+        "ii" => {
+            let n = otis_util::digits::pow(d as u64, dd);
+            (ImaseItoh::new(d, n).digraph(), Box::new(|u| u.to_string()))
+        }
+        "rrk" => {
+            let n = otis_util::digits::pow(d as u64, dd);
+            (Rrk::new(d, n).digraph(), Box::new(|u| u.to_string()))
+        }
+        other => return Err(format!("unknown family {other:?} (want debruijn|kautz|ii|rrk)")),
+    };
+    if graph.node_count() > 4096 {
+        return Err("graph too large for DOT output (max 4096 nodes)".into());
+    }
+    print!("{}", otis_digraph::dot::to_dot_with_labels(&graph, family, label));
+    Ok(())
+}

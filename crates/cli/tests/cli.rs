@@ -1,0 +1,114 @@
+//! End-to-end tests of the `otis` binary: every subcommand, happy
+//! path and error path, through a real process.
+
+use std::process::{Command, Output};
+
+fn otis(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_otis"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+#[test]
+fn help_and_no_args() {
+    let out = otis(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+    let out = otis(&["help"]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = otis(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown subcommand"));
+}
+
+#[test]
+fn design_b28() {
+    let out = otis(&["design", "2", "8"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("OTIS(16, 32)"), "{text}");
+    assert!(text.contains("lenses: 48"), "{text}");
+    assert!(text.contains("258"), "II comparison missing: {text}");
+}
+
+#[test]
+fn design_rejects_bad_degree() {
+    let out = otis(&["design", "1", "4"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("at least 2"));
+}
+
+#[test]
+fn search_window_around_b26() {
+    let out = otis(&["search", "2", "6", "64", "64"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    // 64 = 2^6: shapes (2,64) and the balanced (8,16).
+    assert!(text.contains("n =     64"), "{text}");
+    assert!(text.contains("(8,16)"), "{text}");
+}
+
+#[test]
+fn verify_positive_and_negative() {
+    let good = otis(&["verify", "2", "4", "5"]);
+    assert!(good.status.success());
+    let text = stdout(&good);
+    assert!(text.contains("de Bruijn layout"), "{text}");
+    assert!(text.contains("witness verified on all 256 nodes"), "{text}");
+
+    let bad = otis(&["verify", "2", "3", "6"]);
+    assert!(bad.status.success(), "non-layout is a result, not an error");
+    assert!(stdout(&bad).contains("NOT a de Bruijn layout"));
+}
+
+#[test]
+fn route_prints_path() {
+    let out = otis(&["route", "2", "4", "0000", "1111"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("distance 4"), "{text}");
+    assert!(text.contains("0000") && text.contains("1111"), "{text}");
+    // 5 path lines (distance 4).
+    assert_eq!(text.lines().filter(|l| l.starts_with("  ")).count(), 5);
+}
+
+#[test]
+fn route_rejects_alien_words() {
+    let out = otis(&["route", "2", "4", "0000", "2222"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("must be length 4 over Z_2"));
+}
+
+#[test]
+fn sequence_is_checked_and_printed() {
+    let out = otis(&["sequence", "2", "4"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.trim().len(), 16, "dB(2,4) has 16 letters: {text}");
+}
+
+#[test]
+fn dot_families() {
+    for family in ["debruijn", "kautz", "ii", "rrk"] {
+        let out = otis(&["dot", family, "2", "3"]);
+        assert!(out.status.success(), "{family}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.starts_with(&format!("digraph {family}")), "{text}");
+        assert!(text.contains("->"));
+    }
+    let bad = otis(&["dot", "petersen", "2", "3"]);
+    assert!(!bad.status.success());
+}

@@ -1,0 +1,296 @@
+//! Remark 3.10: the component structure of `A(f, σ, j)` when `f` is
+//! **not** cyclic.
+//!
+//! Split the positions `Z_D` into the `f`-orbit of the free position
+//! `j` (length `r`) and the rest `P`. Letters at positions in `P` are
+//! never refreshed — they just march around `f`'s cycles, rewritten by
+//! `σ` at each step — so the *outside state* `w ∈ Z_d^P` evolves by a
+//! fixed permutation `π` (`w'_{f(i)} = σ(w_i)`). The vertices reachable
+//! from `(w, anything)` are exactly `{(π^t(w), v) : t ∈ Z, v ∈ Z_d^r}`:
+//! each weakly connected component corresponds to one `π`-orbit `O`
+//! and is isomorphic to the conjunction `C_{|O|} ⊗ B(d, r)`.
+//!
+//! [`predict`] computes that census combinatorially (no digraph
+//! materialized); [`verify`] checks it against the actual weak
+//! components, testing each one for isomorphism with its predicted
+//! conjunction. Together they machine-check Remark 3.10, including
+//! the example 3.3.2 count `(d²-d)/2 × C₂⊗B(d,1) + d × C₁⊗B(d,1)`.
+
+use crate::{AlphabetDigraph, DeBruijn, DigraphFamily};
+use otis_util::digits;
+use std::collections::BTreeMap;
+
+/// Predicted component census of an [`AlphabetDigraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentCensus {
+    /// Dimension `r` of the de Bruijn factor: the length of `f`'s
+    /// orbit through the free position `j`.
+    pub debruijn_dim: u32,
+    /// `cycle_counts[s]` = number of components isomorphic to
+    /// `C_s ⊗ B(d, r)`.
+    pub cycle_counts: BTreeMap<u64, u64>,
+}
+
+impl ComponentCensus {
+    /// Total number of predicted components.
+    pub fn component_count(&self) -> u64 {
+        self.cycle_counts.values().sum()
+    }
+
+    /// Total vertex count: `Σ s · count(s) · d^r` — must equal `d^D`.
+    pub fn vertex_count(&self, d: u32) -> u64 {
+        let per_cycle_vertex = digits::pow(d as u64, self.debruijn_dim);
+        self.cycle_counts
+            .iter()
+            .map(|(&s, &count)| s * count * per_cycle_vertex)
+            .sum()
+    }
+}
+
+/// Compute the predicted census by enumerating the outside states and
+/// walking their `π`-orbits. Costs `O(d^{D-r} · D)`; no digraph is
+/// built. Works for cyclic `f` too (single outside state, empty `P`:
+/// one component `C_1 ⊗ B(d, D)` — i.e. `B(d, D)` itself).
+pub fn predict(a: &AlphabetDigraph) -> ComponentCensus {
+    let d = a.d() as u64;
+    let dim = a.dim();
+    let orbit = a.f().orbit(a.j());
+    let r = orbit.len() as u32;
+
+    // Outside positions, ascending, with their index in the state
+    // encoding: state digit k corresponds to position outside[k].
+    let in_orbit: Vec<bool> = {
+        let mut mask = vec![false; dim as usize];
+        for &p in &orbit {
+            mask[p as usize] = true;
+        }
+        mask
+    };
+    let outside: Vec<u32> = (0..dim).filter(|&p| !in_orbit[p as usize]).collect();
+    let slot_of_position: otis_util::FxHashMap<u32, usize> =
+        outside.iter().enumerate().map(|(k, &p)| (p, k)).collect();
+
+    let state_count = digits::pow(d, outside.len() as u32);
+    assert!(state_count <= u32::MAX as u64, "outside state space too large to enumerate");
+
+    // π on encoded states: digit at slot k (position p = outside[k])
+    // moves to the slot of f(p), rewritten by σ.
+    let step = |state: u64| -> u64 {
+        let mut next = 0u64;
+        let mut rest = state;
+        for &p in &outside {
+            let letter = (rest % d) as u32;
+            rest /= d;
+            let target_slot = slot_of_position[&a.f().apply(p)];
+            next += a.sigma().apply(letter) as u64 * digits::pow(d, target_slot as u32);
+        }
+        next
+    };
+
+    let mut seen = vec![false; state_count as usize];
+    let mut cycle_counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for start in 0..state_count {
+        if seen[start as usize] {
+            continue;
+        }
+        let mut length = 0u64;
+        let mut cur = start;
+        loop {
+            seen[cur as usize] = true;
+            length += 1;
+            cur = step(cur);
+            if cur == start {
+                break;
+            }
+            debug_assert!(!seen[cur as usize], "π is a permutation; orbits are simple cycles");
+        }
+        *cycle_counts.entry(length).or_insert(0) += 1;
+    }
+
+    ComponentCensus { debruijn_dim: r, cycle_counts }
+}
+
+/// Verify the predicted census against the materialized digraph:
+///
+/// 1. the weak-component size multiset must match the prediction, and
+/// 2. each component's induced subgraph must be isomorphic (VF2) to
+///    `C_s ⊗ B(d, r)` for its predicted `s`.
+///
+/// Panics with a descriptive message on any mismatch (test-oriented).
+pub fn verify(a: &AlphabetDigraph) {
+    let census = predict(a);
+    let d = a.d();
+    assert_eq!(
+        census.vertex_count(d),
+        a.node_count(),
+        "census does not account for every vertex"
+    );
+
+    let g = a.digraph();
+    let wcc = otis_digraph::connectivity::weak_components(&g);
+    assert_eq!(
+        wcc.count() as u64,
+        census.component_count(),
+        "weak component count mismatch"
+    );
+
+    // Predicted size multiset: s·d^r with multiplicity count(s).
+    let per_cycle = digits::pow(d as u64, census.debruijn_dim) as usize;
+    let mut predicted_sizes: Vec<usize> = census
+        .cycle_counts
+        .iter()
+        .flat_map(|(&s, &count)| {
+            std::iter::repeat_n(s as usize * per_cycle, count as usize)
+        })
+        .collect();
+    predicted_sizes.sort_unstable();
+    assert_eq!(wcc.size_multiset(), predicted_sizes, "component size multiset mismatch");
+
+    // Structural check per component.
+    let b_factor = DeBruijn::new(d, census.debruijn_dim.max(1));
+    for members in wcc.members() {
+        let s = members.len() / per_cycle;
+        let sub = otis_digraph::ops::induced_subgraph(&g, &members);
+        let model = if census.debruijn_dim == 0 {
+            // Degenerate: no de Bruijn factor (cannot happen since j
+            // is always in its own orbit, r ≥ 1) — kept for clarity.
+            otis_digraph::ops::circuit(s)
+        } else {
+            otis_digraph::ops::conjunction(
+                &otis_digraph::ops::circuit(s),
+                &b_factor.digraph(),
+            )
+        };
+        assert!(
+            otis_digraph::iso::are_isomorphic(&sub, &model),
+            "component of size {} is not C_{s} ⊗ B({d},{})",
+            members.len(),
+            census.debruijn_dim
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_perm::Perm;
+
+    #[test]
+    fn example_332_census_formula() {
+        // §3.3.2 / Figure 5: f = complement on Z_3, j = 1:
+        // (d²-d)/2 components C₂⊗B(d,1), d components C₁⊗B(d,1).
+        for d in [2u32, 3, 4] {
+            let a = AlphabetDigraph::new(
+                d,
+                3,
+                Perm::complement(3),
+                Perm::identity(d as usize),
+                1,
+            );
+            let census = predict(&a);
+            assert_eq!(census.debruijn_dim, 1, "orbit of j = 1 is a fixed point");
+            let expected: BTreeMap<u64, u64> = [
+                (1u64, d as u64),
+                (2u64, (d as u64 * d as u64 - d as u64) / 2),
+            ]
+            .into_iter()
+            .collect();
+            assert_eq!(census.cycle_counts, expected, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn example_332_verified_structurally() {
+        for d in [2u32, 3] {
+            let a = AlphabetDigraph::new(
+                d,
+                3,
+                Perm::complement(3),
+                Perm::identity(d as usize),
+                1,
+            );
+            verify(&a);
+        }
+    }
+
+    #[test]
+    fn figure_5_exact_shape() {
+        // d = 2: one C₂⊗B(2,1) (4 vertices) + two C₁⊗B(2,1) (2 each).
+        let a = AlphabetDigraph::new(2, 3, Perm::complement(3), Perm::identity(2), 1);
+        let g = a.digraph();
+        let wcc = otis_digraph::connectivity::weak_components(&g);
+        assert_eq!(wcc.size_multiset(), vec![2, 2, 4]);
+    }
+
+    #[test]
+    fn cyclic_f_gives_single_component() {
+        let a = AlphabetDigraph::debruijn(2, 4);
+        let census = predict(&a);
+        assert_eq!(census.debruijn_dim, 4);
+        assert_eq!(census.component_count(), 1);
+        assert_eq!(census.cycle_counts.get(&1), Some(&1));
+        verify(&a);
+    }
+
+    #[test]
+    fn sigma_twist_changes_cycle_lengths() {
+        // f = identity on Z_2 (not cyclic), j = 0: outside position 1
+        // evolves by σ alone. With σ a d-cycle, outside orbits have
+        // length d (except none are fixed unless σ has fixed points).
+        let sigma = Perm::rotation(3, 1); // 3-cycle on the alphabet
+        let a = AlphabetDigraph::new(3, 2, Perm::identity(2), sigma, 0);
+        let census = predict(&a);
+        assert_eq!(census.debruijn_dim, 1);
+        // 3 outside states in one σ-orbit of length 3.
+        assert_eq!(census.cycle_counts, [(3u64, 1u64)].into_iter().collect());
+        verify(&a);
+    }
+
+    #[test]
+    fn identity_f_identity_sigma_components() {
+        // f = Id on Z_3, σ = Id, j = 0: outside = positions {1,2},
+        // frozen entirely -> d² fixed outside states, each C₁⊗B(d,1).
+        let a = AlphabetDigraph::new(2, 3, Perm::identity(3), Perm::identity(2), 0);
+        let census = predict(&a);
+        assert_eq!(census.debruijn_dim, 1);
+        assert_eq!(census.cycle_counts, [(1u64, 4u64)].into_iter().collect());
+        verify(&a);
+    }
+
+    #[test]
+    fn larger_mixed_cycle_structure() {
+        // f on Z_5 with cycles (0 1)(2 3 4), j = 0: r = 2, outside
+        // positions {2,3,4} rotate; with σ = Id, outside states are
+        // ternary necklaces of length 3 over Z_d.
+        let f = Perm::from_cycles(5, &[vec![0, 1], vec![2, 3, 4]]).unwrap();
+        let a = AlphabetDigraph::new(2, 5, f, Perm::identity(2), 0);
+        let census = predict(&a);
+        assert_eq!(census.debruijn_dim, 2);
+        // 8 outside states: 2 fixed (000, 111), 2 orbits of length 3.
+        assert_eq!(
+            census.cycle_counts,
+            [(1u64, 2u64), (3u64, 2u64)].into_iter().collect()
+        );
+        assert_eq!(census.vertex_count(2), 32);
+        verify(&a);
+    }
+
+    #[test]
+    fn census_always_accounts_for_all_vertices() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x310);
+        for _ in 0..30 {
+            let dim = 2 + rand::Rng::gen_range(&mut rng, 0..4u32);
+            let d = 2 + rand::Rng::gen_range(&mut rng, 0..2u32);
+            if otis_util::digits::pow(d as u64, dim) > 2048 {
+                continue;
+            }
+            let f = Perm::random(dim as usize, &mut rng);
+            let sigma = Perm::random(d as usize, &mut rng);
+            let j = rand::Rng::gen_range(&mut rng, 0..dim);
+            let a = AlphabetDigraph::new(d, dim, f, sigma, j);
+            let census = predict(&a);
+            assert_eq!(census.vertex_count(d), a.node_count());
+        }
+    }
+}

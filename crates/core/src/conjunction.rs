@@ -1,0 +1,110 @@
+//! Remark 2.4: `B(d, k) ⊗ B(d', k) = B(dd', k)`.
+//!
+//! The conjunction (Definition 2.3) of two de Bruijn digraphs of equal
+//! dimension is the de Bruijn digraph over the product alphabet, via
+//! digit-wise pairing of words: letter `i` of the product word is the
+//! pair `(x_i, y_i)` encoded as `x_i·d' + y_i`. This module provides
+//! the explicit witness and, as a corollary, the paper's Remark 3.10
+//! building block `C_s ⊗ B(d, k)` in de Bruijn form when `s` itself is
+//! a de Bruijn (`C_1 = B(1,·)` is excluded — circuits are handled in
+//! [`crate::components`]).
+
+use crate::DeBruijn;
+use otis_words::{pair_rank, WordSpace};
+
+/// The witness `B(d,k) ⊗ B(d',k) → B(dd',k)` as a materialized vertex
+/// map: conjunction vertex `u₁·n₂ + u₂` (the encoding of
+/// [`otis_digraph::ops::conjunction`]) maps to the digit-paired rank.
+pub fn conjunction_witness(left: &DeBruijn, right: &DeBruijn) -> Vec<u32> {
+    assert_eq!(
+        left.diameter(),
+        right.diameter(),
+        "Remark 2.4 needs equal dimensions"
+    );
+    let la = *left.space();
+    let rb = *right.space();
+    let n2 = rb.size();
+    let total = la.size() * n2;
+    crate::iso::materialize(total, move |uv| {
+        let (u1, u2) = (uv / n2, uv % n2);
+        pair_rank(&la, &rb, u1, u2)
+    })
+}
+
+/// The product-alphabet de Bruijn `B(dd', k)` that
+/// `B(d,k) ⊗ B(d',k)` equals.
+pub fn conjunction_target(left: &DeBruijn, right: &DeBruijn) -> DeBruijn {
+    assert_eq!(left.diameter(), right.diameter());
+    DeBruijn::new(left.d() * right.d(), left.diameter())
+}
+
+/// Pair two de Bruijn vertices into their product-alphabet vertex
+/// (exposed for routing across factored fabrics).
+pub fn pair_vertices(left: &WordSpace, right: &WordSpace, u1: u64, u2: u64) -> u64 {
+    pair_rank(left, right, u1, u2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DigraphFamily;
+    use otis_digraph::{iso::check_witness, ops};
+
+    #[test]
+    fn remark_2_4_verified() {
+        for (d1, d2, k) in [(2u32, 2u32, 3u32), (2, 3, 2), (3, 2, 2), (2, 2, 4)] {
+            let left = DeBruijn::new(d1, k);
+            let right = DeBruijn::new(d2, k);
+            let product = ops::conjunction(&left.digraph(), &right.digraph());
+            let target = conjunction_target(&left, &right).digraph();
+            let witness = conjunction_witness(&left, &right);
+            assert_eq!(
+                check_witness(&product, &target, &witness),
+                Ok(()),
+                "B({d1},{k}) ⊗ B({d2},{k}) != B({},{k})",
+                d1 * d2
+            );
+        }
+    }
+
+    #[test]
+    fn conjunction_is_commutative_up_to_iso() {
+        let a = DeBruijn::new(2, 2);
+        let b = DeBruijn::new(3, 2);
+        let ab = ops::conjunction(&a.digraph(), &b.digraph());
+        let ba = ops::conjunction(&b.digraph(), &a.digraph());
+        assert!(otis_digraph::iso::are_isomorphic(&ab, &ba));
+    }
+
+    #[test]
+    fn nested_conjunction_associates_to_bigger_alphabet() {
+        // (B(2,2) ⊗ B(2,2)) ⊗ B(2,2) ≅ B(8,2).
+        let b = DeBruijn::new(2, 2);
+        let bb = ops::conjunction(&b.digraph(), &b.digraph());
+        let bbb = ops::conjunction(&bb, &b.digraph());
+        let target = DeBruijn::new(8, 2).digraph();
+        assert_eq!(bbb.node_count(), target.node_count());
+        assert_eq!(bbb.arc_count(), target.arc_count());
+        assert!(!otis_digraph::invariants::definitely_not_isomorphic(&bbb, &target));
+        // Full witness: pair twice.
+        let w1 = conjunction_witness(&DeBruijn::new(2, 2), &DeBruijn::new(2, 2));
+        // relabel bb by w1 to become B(4,2), then pair with B(2,2).
+        let w2 = conjunction_witness(&DeBruijn::new(4, 2), &DeBruijn::new(2, 2));
+        // Composite: vertex ((u,v),w) = (u*4+v)*4+w — first map (u,v)
+        // through w1 (keeping w), then through w2.
+        let composite: Vec<u32> = (0..64u32)
+            .map(|uvw| {
+                let (uv, w) = (uvw / 4, uvw % 4);
+                let paired = w1[uv as usize];
+                w2[(paired * 4 + w) as usize]
+            })
+            .collect();
+        assert_eq!(check_witness(&bbb, &target, &composite), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensions")]
+    fn mismatched_dimensions_rejected() {
+        conjunction_witness(&DeBruijn::new(2, 2), &DeBruijn::new(2, 3));
+    }
+}

@@ -1,0 +1,108 @@
+//! The `d!(D-1)!` alternative definitions of `B(d, D)` (end of
+//! Section 3).
+//!
+//! Proposition 3.2 gives `d!` choices of alphabet permutation `σ` and
+//! Proposition 3.9 gives `(D-1)!` choices of cyclic index permutation
+//! `f`; every pair `(f, σ)` (at any fixed free position `j`) defines a
+//! digraph `A(f, σ, j)` isomorphic to `B(d, D)`. This module exposes
+//! the census as an iterator so tests and benches can sweep it
+//! exhaustively.
+
+use crate::AlphabetDigraph;
+use otis_perm::{all_permutations, cyclic_permutations, factorial, Perm};
+
+/// Number of alternative definitions: `d! · (D-1)!`.
+pub fn alternative_definition_count(d: u32, diameter: u32) -> u128 {
+    factorial(d as u64) * factorial(diameter as u64 - 1)
+}
+
+/// Iterate every alternative definition `A(f, σ, j)` of `B(d, D)` with
+/// `f` cyclic, at the given free position `j`.
+///
+/// Yields exactly [`alternative_definition_count`] digraphs, each
+/// isomorphic to `B(d, D)` (witness:
+/// [`crate::iso::prop_3_9_witness`]).
+pub fn alternative_definitions(
+    d: u32,
+    diameter: u32,
+    j: u32,
+) -> impl Iterator<Item = AlphabetDigraph> {
+    assert!(j < diameter, "free position {j} outside Z_{diameter}");
+    cyclic_permutations(diameter as usize).flat_map(move |f| {
+        all_permutations(d as usize)
+            .map(move |sigma| AlphabetDigraph::new(d, diameter, f.clone(), sigma, j))
+    })
+}
+
+/// The number of *distinct digraphs* among the alternative
+/// definitions at free position `j` (some `(f, σ)` pairs can define
+/// the same adjacency). Exhaustive; exponential in `d^D` — tests only.
+pub fn distinct_definition_count(d: u32, diameter: u32, j: u32) -> usize {
+    use crate::DigraphFamily;
+    let mut seen = otis_util::FxHashSet::default();
+    for a in alternative_definitions(d, diameter, j) {
+        seen.insert(a.digraph());
+    }
+    seen.len()
+}
+
+/// The canonical definition among them: `A(ρ, Id, 0) = B(d, D)`.
+pub fn canonical(d: u32, diameter: u32) -> AlphabetDigraph {
+    AlphabetDigraph::new(
+        d,
+        diameter,
+        Perm::rotation(diameter as usize, 1),
+        Perm::identity(d as usize),
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{iso, DeBruijn, DigraphFamily};
+    use otis_digraph::iso::check_witness;
+
+    #[test]
+    fn count_formula() {
+        assert_eq!(alternative_definition_count(2, 3), 4);
+        assert_eq!(alternative_definition_count(2, 4), 12);
+        assert_eq!(alternative_definition_count(3, 3), 12);
+        assert_eq!(alternative_definition_count(2, 8), 2 * 5040);
+    }
+
+    #[test]
+    fn iterator_yields_exactly_the_count() {
+        for (d, dd) in [(2u32, 3u32), (2, 4), (3, 3)] {
+            let expected = alternative_definition_count(d, dd);
+            assert_eq!(alternative_definitions(d, dd, 0).count() as u128, expected);
+        }
+    }
+
+    #[test]
+    fn every_definition_is_isomorphic_to_debruijn() {
+        for (d, dd) in [(2u32, 3u32), (2, 4), (3, 3)] {
+            let b = DeBruijn::new(d, dd).digraph();
+            for a in alternative_definitions(d, dd, dd - 1) {
+                let witness = iso::prop_3_9_witness(&a).expect("f cyclic by construction");
+                assert_eq!(check_witness(&a.digraph(), &b, &witness), Ok(()), "{}", a.name());
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_debruijn() {
+        assert_eq!(canonical(2, 4).digraph(), DeBruijn::new(2, 4).digraph());
+    }
+
+    #[test]
+    fn some_definitions_coincide_as_digraphs() {
+        // The count is of *definitions*; distinct digraphs can be
+        // fewer. For d = 2, σ ∈ {Id, C} and D = 3 this stays 4, but
+        // the distinct count can never exceed the definition count.
+        let defs = alternative_definition_count(2, 3) as usize;
+        let distinct = distinct_definition_count(2, 3, 0);
+        assert!(distinct <= defs);
+        assert!(distinct >= 1);
+    }
+}

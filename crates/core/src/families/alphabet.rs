@@ -1,0 +1,439 @@
+//! The alphabet digraphs of Section 3: `B_σ(d,D)` (Definition 3.1),
+//! the per-position generalization noted after Proposition 3.2, and
+//! the fully general `A(f, σ, j)` (Definition 3.7).
+
+use crate::DigraphFamily;
+use otis_perm::Perm;
+use otis_util::digits;
+use otis_words::WordSpace;
+use serde::{Deserialize, Serialize};
+
+/// `B_σ(d, D)` (Definition 3.1): like the de Bruijn shift, but every
+/// kept letter passes through an alphabet permutation `σ`:
+/// `Γ⁺(x) = { σ(x_{D-2}) … σ(x_1) σ(x_0) α : α ∈ Z_d }`.
+///
+/// Proposition 3.2: `B_σ(d,D) ≅ B(d,D)` for every `σ`, with the
+/// explicit witness built by [`crate::iso::prop_3_2_witness`]. The
+/// special case `σ = C` (complement) **equals** `II(d, d^D)`
+/// (Proposition 3.3) — digraph equality, pinned by tests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BSigma {
+    space: WordSpace,
+    sigma: Perm,
+}
+
+impl BSigma {
+    /// `B_σ(d, D)`; `sigma` must be a permutation of `Z_d`.
+    pub fn new(d: u32, diameter: u32, sigma: Perm) -> Self {
+        assert_eq!(sigma.len(), d as usize, "σ must permute Z_{d}");
+        BSigma { space: WordSpace::new(d, diameter), sigma }
+    }
+
+    /// The complement-twisted de Bruijn `B̄(d,D) = B_C(d,D)` of
+    /// Proposition 3.3.
+    pub fn complemented(d: u32, diameter: u32) -> Self {
+        BSigma::new(d, diameter, Perm::complement(d as usize))
+    }
+
+    /// Alphabet size / degree `d`.
+    pub fn d(&self) -> u32 {
+        self.space.d()
+    }
+
+    /// Word length `D`.
+    pub fn dim(&self) -> u32 {
+        self.space.dim()
+    }
+
+    /// The alphabet permutation `σ`.
+    pub fn sigma(&self) -> &Perm {
+        &self.sigma
+    }
+
+    /// The underlying word space.
+    pub fn space(&self) -> &WordSpace {
+        &self.space
+    }
+
+    /// View as the general family: `B_σ(d,D) = A(ρ, σ, 0)` with `ρ`
+    /// the successor rotation (Remark 3.8; tested for equality).
+    pub fn as_alphabet_digraph(&self) -> AlphabetDigraph {
+        AlphabetDigraph::new(
+            self.d(),
+            self.dim(),
+            Perm::rotation(self.dim() as usize, 1),
+            self.sigma.clone(),
+            0,
+        )
+    }
+}
+
+impl DigraphFamily for BSigma {
+    fn node_count(&self) -> u64 {
+        self.space.size()
+    }
+
+    fn degree(&self) -> u32 {
+        self.space.d()
+    }
+
+    fn out_neighbor(&self, u: u64, k: u32) -> u64 {
+        debug_assert!(u < self.node_count() && k < self.degree());
+        let d = self.d() as u64;
+        let n = self.node_count();
+        // Shift: drop the top digit, multiply by d…
+        let shifted = (u * d) % n;
+        // …apply σ to every kept letter (the new position 0 slot holds
+        // 0 after the shift; σ(0) there is irrelevant since we
+        // overwrite it with α).
+        let twisted = self.space.apply_alphabet_perm_rank(&self.sigma, shifted);
+        twisted - twisted % d + k as u64
+    }
+
+    fn name(&self) -> String {
+        format!("B_σ({},{}) with σ = {}", self.d(), self.dim(), self.sigma)
+    }
+}
+
+/// The generalization noted after Proposition 3.2: a different
+/// alphabet permutation at every position,
+/// `Γ⁺(x) = { σ_0(x_{D-2}) σ_1(x_{D-3}) … σ_{D-2}(x_0) σ_{D-1}(α) }`
+/// — still isomorphic to `B(d, D)` (witness:
+/// [`crate::iso::positional_sigma_witness`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PositionalSigma {
+    space: WordSpace,
+    /// `sigmas[k]` is the paper's `σ_k`, applied to the letter landing
+    /// at output position `D-1-k`.
+    sigmas: Vec<Perm>,
+}
+
+impl PositionalSigma {
+    /// Per-position twisted de Bruijn; `sigmas.len()` must equal `D`
+    /// and each `σ_k` must permute `Z_d`.
+    pub fn new(d: u32, diameter: u32, sigmas: Vec<Perm>) -> Self {
+        assert_eq!(sigmas.len(), diameter as usize, "need one σ per position");
+        for (k, sigma) in sigmas.iter().enumerate() {
+            assert_eq!(sigma.len(), d as usize, "σ_{k} must permute Z_{d}");
+        }
+        PositionalSigma { space: WordSpace::new(d, diameter), sigmas }
+    }
+
+    /// Alphabet size / degree `d`.
+    pub fn d(&self) -> u32 {
+        self.space.d()
+    }
+
+    /// Word length `D`.
+    pub fn dim(&self) -> u32 {
+        self.space.dim()
+    }
+
+    /// The per-position permutations `σ_0, …, σ_{D-1}`.
+    pub fn sigmas(&self) -> &[Perm] {
+        &self.sigmas
+    }
+
+    /// The underlying word space.
+    pub fn space(&self) -> &WordSpace {
+        &self.space
+    }
+}
+
+impl DigraphFamily for PositionalSigma {
+    fn node_count(&self) -> u64 {
+        self.space.size()
+    }
+
+    fn degree(&self) -> u32 {
+        self.space.d()
+    }
+
+    fn out_neighbor(&self, u: u64, k: u32) -> u64 {
+        debug_assert!(u < self.node_count() && k < self.degree());
+        let d = self.d() as u64;
+        let dim = self.dim();
+        // Output position p (p ≥ 1) holds σ_{D-1-p}(x_{p-1});
+        // position 0 holds σ_{D-1}(α), which ranges over Z_d as α
+        // does — emit neighbors in increasing *final digit* order so
+        // the k-th neighbor is deterministic.
+        let mut out = k as u64; // final digit at position 0
+        for p in 1..dim {
+            let x = self.space.digit_of_rank(u, p - 1) as u32;
+            let sigma = &self.sigmas[(dim - 1 - p) as usize];
+            out += sigma.apply(x) as u64 * digits::pow(d, p);
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        format!("B_multi-σ({},{})", self.d(), self.dim())
+    }
+}
+
+/// The fully general alphabet digraph `A(f, σ, j)` (Definition 3.7):
+/// vertex set `Z_d^D`, adjacency `Γ⁺(x) = σ(→f(x)) + Z_d·e_j` —
+/// permute the letter positions by `f`, rewrite every letter by `σ`,
+/// then free position `j`.
+///
+/// Proposition 3.9: `A(f, σ, j) ≅ B(d, D)` **iff `f` is cyclic**;
+/// otherwise it is disconnected and Remark 3.10 predicts the exact
+/// component census (see [`crate::components`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlphabetDigraph {
+    space: WordSpace,
+    f: Perm,
+    sigma: Perm,
+    j: u32,
+}
+
+impl AlphabetDigraph {
+    /// `A(f, σ, j)`: `f` permutes `Z_D`, `σ` permutes `Z_d`,
+    /// `j ∈ Z_D` is the freed position.
+    pub fn new(d: u32, dimension: u32, f: Perm, sigma: Perm, j: u32) -> Self {
+        assert_eq!(f.len(), dimension as usize, "f must permute Z_{dimension}");
+        assert_eq!(sigma.len(), d as usize, "σ must permute Z_{d}");
+        assert!(j < dimension, "free position {j} outside Z_{dimension}");
+        AlphabetDigraph { space: WordSpace::new(d, dimension), f, sigma, j }
+    }
+
+    /// The de Bruijn digraph as `A(ρ, Id, 0)` (Remark 3.8).
+    pub fn debruijn(d: u32, dimension: u32) -> Self {
+        AlphabetDigraph::new(
+            d,
+            dimension,
+            Perm::rotation(dimension as usize, 1),
+            Perm::identity(d as usize),
+            0,
+        )
+    }
+
+    /// Alphabet size / degree `d`.
+    pub fn d(&self) -> u32 {
+        self.space.d()
+    }
+
+    /// Dimension `D` (word length). Only equals the diameter when `f`
+    /// is cyclic.
+    pub fn dim(&self) -> u32 {
+        self.space.dim()
+    }
+
+    /// The index permutation `f`.
+    pub fn f(&self) -> &Perm {
+        &self.f
+    }
+
+    /// The alphabet permutation `σ`.
+    pub fn sigma(&self) -> &Perm {
+        &self.sigma
+    }
+
+    /// The freed position `j`.
+    pub fn j(&self) -> u32 {
+        self.j
+    }
+
+    /// The underlying word space.
+    pub fn space(&self) -> &WordSpace {
+        &self.space
+    }
+
+    /// Proposition 3.9's criterion: is this digraph isomorphic to
+    /// `B(d, D)`? `O(D)` — just the cyclicity walk.
+    pub fn is_debruijn_isomorphic(&self) -> bool {
+        self.f.is_cyclic()
+    }
+
+    /// The common image `σ(→f(x))` before freeing position `j`.
+    fn base(&self, u: u64) -> u64 {
+        let moved = self.space.apply_index_perm_rank(&self.f, u);
+        self.space.apply_alphabet_perm_rank(&self.sigma, moved)
+    }
+}
+
+impl DigraphFamily for AlphabetDigraph {
+    fn node_count(&self) -> u64 {
+        self.space.size()
+    }
+
+    fn degree(&self) -> u32 {
+        self.space.d()
+    }
+
+    fn out_neighbor(&self, u: u64, k: u32) -> u64 {
+        debug_assert!(u < self.node_count() && k < self.degree());
+        let d = self.d() as u64;
+        let place = digits::pow(d, self.j);
+        let base = self.base(u);
+        let old_digit = (base / place) % d;
+        base - old_digit * place + k as u64 * place
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "A({}, {}, {}) over Z_{}^{}",
+            self.f,
+            self.sigma,
+            self.j,
+            self.d(),
+            self.dim()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeBruijn, ImaseItoh};
+    use otis_digraph::connectivity;
+
+    #[test]
+    fn remark_3_8_debruijn_is_a_rho_id_0() {
+        for (d, dd) in [(2u32, 4u32), (3, 3)] {
+            let a = AlphabetDigraph::debruijn(d, dd).digraph();
+            let b = DeBruijn::new(d, dd).digraph();
+            assert_eq!(a, b, "A(ρ, Id, 0) != B({d},{dd})");
+        }
+    }
+
+    #[test]
+    fn bsigma_equals_its_alphabet_digraph_view() {
+        // Remark 3.8's second claim: B_σ(d,D) = A(ρ, σ, 0).
+        let sigma = Perm::from_images(vec![1, 2, 0]).unwrap();
+        let bs = BSigma::new(3, 3, sigma);
+        assert_eq!(bs.digraph(), bs.as_alphabet_digraph().digraph());
+    }
+
+    #[test]
+    fn bsigma_identity_is_plain_debruijn() {
+        let bs = BSigma::new(2, 5, Perm::identity(2));
+        assert_eq!(bs.digraph(), DeBruijn::new(2, 5).digraph());
+    }
+
+    #[test]
+    fn proposition_3_3_complement_equals_imase_itoh() {
+        // B_C(d,D) = II(d, d^D) as labeled digraphs.
+        for (d, dd) in [(2u32, 3u32), (2, 5), (3, 3), (4, 2)] {
+            let bc = BSigma::complemented(d, dd).digraph();
+            let ii = ImaseItoh::new(d, otis_util::digits::pow(d as u64, dd)).digraph();
+            assert_eq!(bc, ii, "B_C({d},{dd}) != II({d}, {d}^{dd})");
+        }
+    }
+
+    #[test]
+    fn bsigma_word_level_definition() {
+        // Definition 3.1 checked at word level against the rank code.
+        let sigma = Perm::from_images(vec![2, 0, 1]).unwrap();
+        let bs = BSigma::new(3, 3, sigma.clone());
+        let space = *bs.space();
+        for u in 0..bs.node_count() {
+            let x = space.unrank(u);
+            for k in 0..3u32 {
+                let neighbor = space.unrank(bs.out_neighbor(u, k));
+                // neighbor = σ(x_1) σ(x_0) α
+                assert_eq!(neighbor.digit(2), sigma.apply(x.digit(1) as u32) as u8);
+                assert_eq!(neighbor.digit(1), sigma.apply(x.digit(0) as u32) as u8);
+                assert_eq!(neighbor.digit(0), k as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_331_is_connected() {
+        // §3.3.1: A(f, Id, 2) with cyclic f on Z_6 ≅ B(d,6).
+        let f = Perm::from_images(vec![3, 4, 5, 2, 0, 1]).unwrap();
+        let a = AlphabetDigraph::new(2, 6, f, Perm::identity(2), 2);
+        assert!(a.is_debruijn_isomorphic());
+        assert!(connectivity::is_strongly_connected(&a.digraph()));
+    }
+
+    #[test]
+    fn paper_example_331_adjacency_formula() {
+        // Γ⁺(x5x4x3x2x1x0) = x2 x1 x0 α x5 x4 (free position j = 2).
+        let f = Perm::from_images(vec![3, 4, 5, 2, 0, 1]).unwrap();
+        let a = AlphabetDigraph::new(2, 6, f, Perm::identity(2), 2);
+        let space = *a.space();
+        for u in 0..a.node_count() {
+            let x = space.unrank(u);
+            for k in 0..2u32 {
+                let y = space.unrank(a.out_neighbor(u, k));
+                assert_eq!(y.digit(5), x.digit(2));
+                assert_eq!(y.digit(4), x.digit(1));
+                assert_eq!(y.digit(3), x.digit(0));
+                assert_eq!(y.digit(2), k as u8);
+                assert_eq!(y.digit(1), x.digit(5));
+                assert_eq!(y.digit(0), x.digit(4));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_332_is_disconnected() {
+        // §3.3.2: f = complement on Z_3 (not cyclic), j = 1.
+        for d in [2u32, 3] {
+            let f = Perm::complement(3);
+            let a = AlphabetDigraph::new(d, 3, f, Perm::identity(d as usize), 1);
+            assert!(!a.is_debruijn_isomorphic());
+            let g = a.digraph();
+            assert!(!connectivity::is_weakly_connected(&g));
+            assert_eq!(g.regular_degree(), Some(d as usize));
+        }
+    }
+
+    #[test]
+    fn paper_example_332_adjacency_formula() {
+        // Γ⁺(x2 x1 x0) = x0 α x2.
+        let f = Perm::complement(3);
+        let a = AlphabetDigraph::new(2, 3, f, Perm::identity(2), 1);
+        let space = *a.space();
+        for u in 0..8 {
+            let x = space.unrank(u);
+            for k in 0..2u32 {
+                let y = space.unrank(a.out_neighbor(u, k));
+                assert_eq!(y.digit(2), x.digit(0));
+                assert_eq!(y.digit(1), k as u8);
+                assert_eq!(y.digit(0), x.digit(2));
+            }
+        }
+    }
+
+    #[test]
+    fn positional_sigma_all_identity_is_debruijn() {
+        let sigmas = vec![Perm::identity(2); 4];
+        let ps = PositionalSigma::new(2, 4, sigmas);
+        assert_eq!(ps.digraph(), DeBruijn::new(2, 4).digraph());
+    }
+
+    #[test]
+    fn positional_sigma_adjacency_formula() {
+        // D = 3, σ_0 = (01), σ_1 = (012), σ_2 arbitrary (swallowed by α).
+        let s0 = Perm::from_images(vec![1, 0, 2]).unwrap();
+        let s1 = Perm::from_images(vec![1, 2, 0]).unwrap();
+        let s2 = Perm::from_images(vec![2, 1, 0]).unwrap();
+        let ps = PositionalSigma::new(3, 3, vec![s0.clone(), s1.clone(), s2]);
+        let space = *ps.space();
+        for u in 0..ps.node_count() {
+            let x = space.unrank(u);
+            for k in 0..3u32 {
+                let y = space.unrank(ps.out_neighbor(u, k));
+                // y = σ_0(x_1) σ_1(x_0) ·
+                assert_eq!(y.digit(2), s0.apply(x.digit(1) as u32) as u8);
+                assert_eq!(y.digit(1), s1.apply(x.digit(0) as u32) as u8);
+                assert_eq!(y.digit(0), k as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_one_debruijn_is_complete_with_loops() {
+        let a = AlphabetDigraph::debruijn(3, 1).digraph();
+        assert_eq!(a, otis_digraph::ops::complete_with_loops(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "free position")]
+    fn bad_free_position_rejected() {
+        AlphabetDigraph::new(2, 3, Perm::rotation(3, 1), Perm::identity(2), 3);
+    }
+}

@@ -1,0 +1,218 @@
+//! The congruentially-defined families: Reddy–Raghavan–Kuhl
+//! (Definition 2.5) and Imase–Itoh (Definition 2.8).
+
+use crate::DigraphFamily;
+use serde::{Deserialize, Serialize};
+
+/// The Reddy–Raghavan–Kuhl digraph `RRK(d, n)`: vertex set `Z_n`,
+/// out-neighbors `Γ⁺(u) = { du + δ mod n : 0 ≤ δ < d }`.
+///
+/// `RRK(d, d^D)` **equals** `B(d, D)` vertexwise under the standard
+/// word/integer identification (Remark 2.6) — the tests assert digraph
+/// equality, not mere isomorphism. Unlike `B`, `RRK` is defined for
+/// *every* `n`, which is what makes it a "fully scalable" de Bruijn
+/// generalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rrk {
+    d: u32,
+    n: u64,
+}
+
+impl Rrk {
+    /// `RRK(d, n)` with `d ≥ 1`, `n ≥ 1`.
+    pub fn new(d: u32, n: u64) -> Self {
+        assert!(d >= 1, "degree must be at least 1");
+        assert!(n >= 1, "vertex count must be at least 1");
+        assert!(
+            (d as u64).checked_mul(n).is_some(),
+            "d·n overflows u64 (d = {d}, n = {n})"
+        );
+        Rrk { d, n }
+    }
+
+    /// Degree `d`.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Vertex count `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+impl DigraphFamily for Rrk {
+    fn node_count(&self) -> u64 {
+        self.n
+    }
+
+    fn degree(&self) -> u32 {
+        self.d
+    }
+
+    #[inline]
+    fn out_neighbor(&self, u: u64, k: u32) -> u64 {
+        debug_assert!(u < self.n && k < self.d);
+        (u * self.d as u64 + k as u64) % self.n
+    }
+
+    fn name(&self) -> String {
+        format!("RRK({},{})", self.d, self.n)
+    }
+}
+
+/// The Imase–Itoh digraph `II(d, n)`: vertex set `Z_n`, out-neighbors
+/// `Γ⁺(u) = { -du - δ mod n : 1 ≤ δ ≤ d }`.
+///
+/// Two specializations matter to the paper:
+///
+/// * `II(d, d^D)` equals `B_C(d, D)` (complement-twisted de Bruijn)
+///   and is therefore isomorphic to `B(d, D)` — Proposition 3.3;
+/// * `II(d, d^{D-1}(d+1)) ≅ K(d, D)` — the Kautz digraph (Imase–Itoh
+///   1983), rebuilt constructively in [`crate::line`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImaseItoh {
+    d: u32,
+    n: u64,
+}
+
+impl ImaseItoh {
+    /// `II(d, n)` with `d ≥ 1`, `n ≥ 1`.
+    pub fn new(d: u32, n: u64) -> Self {
+        assert!(d >= 1, "degree must be at least 1");
+        assert!(n >= 1, "vertex count must be at least 1");
+        assert!(
+            (d as u64).checked_mul(n).and_then(|dn| dn.checked_add(d as u64)).is_some(),
+            "d·n overflows u64 (d = {d}, n = {n})"
+        );
+        ImaseItoh { d, n }
+    }
+
+    /// Degree `d`.
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Vertex count `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+impl DigraphFamily for ImaseItoh {
+    fn node_count(&self) -> u64 {
+        self.n
+    }
+
+    fn degree(&self) -> u32 {
+        self.d
+    }
+
+    #[inline]
+    fn out_neighbor(&self, u: u64, k: u32) -> u64 {
+        debug_assert!(u < self.n && k < self.d);
+        let delta = k as u64 + 1;
+        let forward = (u * self.d as u64 + delta) % self.n;
+        (self.n - forward) % self.n
+    }
+
+    fn name(&self) -> String {
+        format!("II({},{})", self.d, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeBruijn;
+    use otis_digraph::{bfs, connectivity};
+
+    #[test]
+    fn rrk_figure_2() {
+        // Figure 2: RRK(2,8). Γ⁺(u) = {2u, 2u+1 mod 8}.
+        let rrk = Rrk::new(2, 8);
+        assert_eq!(rrk.out_neighbors(0), vec![0, 1]);
+        assert_eq!(rrk.out_neighbors(3), vec![6, 7]);
+        assert_eq!(rrk.out_neighbors(5), vec![2, 3]);
+        assert_eq!(rrk.out_neighbors(7), vec![6, 7]);
+    }
+
+    #[test]
+    fn ii_figure_3() {
+        // Figure 3: II(2,8). Γ⁺(u) = {-2u-1, -2u-2 mod 8}.
+        let ii = ImaseItoh::new(2, 8);
+        assert_eq!(ii.out_neighbors(0), vec![7, 6]);
+        assert_eq!(ii.out_neighbors(1), vec![5, 4]);
+        assert_eq!(ii.out_neighbors(3), vec![1, 0]);
+        assert_eq!(ii.out_neighbors(7), vec![1, 0]);
+    }
+
+    #[test]
+    fn rrk_power_of_d_equals_debruijn_exactly() {
+        // Remark 2.6 / Corollary 3.4, as *labeled digraph equality*.
+        for (d, dd) in [(2u32, 3u32), (2, 6), (3, 3), (5, 2)] {
+            let rrk = Rrk::new(d, otis_util::digits::pow(d as u64, dd)).digraph();
+            let b = DeBruijn::new(d, dd).digraph();
+            assert_eq!(rrk, b, "RRK({d}, {d}^{dd}) != B({d},{dd})");
+        }
+    }
+
+    #[test]
+    fn ii_diameter_at_power_of_d() {
+        // II(d, d^D) ≅ B(d,D) so its diameter is D.
+        for (d, dd) in [(2u32, 4u32), (3, 3)] {
+            let g = ImaseItoh::new(d, otis_util::digits::pow(d as u64, dd)).digraph();
+            assert_eq!(bfs::diameter(&g), Some(dd));
+        }
+    }
+
+    #[test]
+    fn ii_kautz_size_has_diameter_d() {
+        // II(d, d^{D-1}(d+1)) ≅ K(d,D): diameter D with MORE nodes
+        // than B(d,D) — the degree-diameter advantage Table 1 shows.
+        for (d, dd) in [(2u32, 4u32), (3, 3)] {
+            let n = otis_util::digits::pow(d as u64, dd - 1) * (d as u64 + 1);
+            let g = ImaseItoh::new(d, n).digraph();
+            assert_eq!(bfs::diameter(&g), Some(dd), "II({d},{n})");
+        }
+    }
+
+    #[test]
+    fn both_regular_and_connected_at_generic_n() {
+        for n in [5u64, 12, 30, 100] {
+            for d in [2u32, 3] {
+                let rrk = Rrk::new(d, n).digraph();
+                let ii = ImaseItoh::new(d, n).digraph();
+                assert_eq!(rrk.regular_degree(), Some(d as usize));
+                assert_eq!(ii.regular_degree(), Some(d as usize));
+                assert!(connectivity::is_strongly_connected(&rrk), "RRK({d},{n})");
+                assert!(connectivity::is_strongly_connected(&ii), "II({d},{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn ii_loops_are_solutions_of_minus_d_plus_one() {
+        // u is a loop iff (d+1)u + δ ≡ 0 mod n for some 1 ≤ δ ≤ d.
+        let ii = ImaseItoh::new(2, 8);
+        let g = ii.digraph();
+        let loops: Vec<u32> = (0..8u32).filter(|&u| g.has_arc(u, u)).collect();
+        // 3u+δ ≡ 0 (mod 8), δ∈{1,2}: u=2 (δ=2), u=5 (δ=1).
+        assert_eq!(loops, vec![2, 5]);
+    }
+
+    #[test]
+    fn small_n_degenerate_cases() {
+        // n = 1: single vertex with d loops.
+        let g = Rrk::new(2, 1).digraph();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.loop_count(), 2);
+        let g = ImaseItoh::new(2, 1).digraph();
+        assert_eq!(g.loop_count(), 2);
+        // n < d: parallel arcs appear but counts stay consistent.
+        let g = Rrk::new(3, 2).digraph();
+        assert_eq!(g.arc_count(), 6);
+        assert_eq!(g.regular_degree(), Some(3));
+    }
+}

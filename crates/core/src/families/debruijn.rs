@@ -1,0 +1,162 @@
+//! The de Bruijn digraph `B(d, D)` (Definition 2.2).
+
+use crate::DigraphFamily;
+use otis_words::{Word, WordSpace};
+use serde::{Deserialize, Serialize};
+
+/// The de Bruijn digraph `B(d, D)`: vertices are the `d^D` words of
+/// length `D` over `Z_d`; the out-neighbors of
+/// `x = x_{D-1} x_{D-2} … x_1 x_0` are the `d` words
+/// `x_{D-2} … x_1 x_0 α`, `α ∈ Z_d` (cyclic left shift, last letter
+/// replaced).
+///
+/// On integer ranks (`u = Σ x_i dⁱ`, Remark 2.6) the adjacency is the
+/// congruential `u → (d·u mod d^D) + α` — identical to
+/// [`Rrk`](crate::Rrk)`(d, d^D)`, which is Corollary 3.4's `RRK = B`
+/// leg and what [`DeBruijn::out_neighbor`] computes directly.
+///
+/// Known structure, all pinned by tests: degree `d`, diameter `D`,
+/// `d` loops (on the constant words), strongly connected, and
+/// `L(B(d,D)) = B(d,D+1)`.
+///
+/// ```
+/// use otis_core::{DeBruijn, DigraphFamily};
+///
+/// let b = DeBruijn::new(2, 3);
+/// assert_eq!(b.node_count(), 8);
+/// // Vertex 110 (rank 6) shifts to 100 and 101 (ranks 4, 5).
+/// assert_eq!(b.out_neighbors(6), vec![4, 5]);
+/// assert_eq!(otis_digraph::bfs::diameter(&b.digraph()), Some(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeBruijn {
+    space: WordSpace,
+}
+
+impl DeBruijn {
+    /// `B(d, D)` with alphabet size `d ≥ 2` and diameter `D ≥ 1`.
+    pub fn new(d: u32, diameter: u32) -> Self {
+        DeBruijn { space: WordSpace::new(d, diameter) }
+    }
+
+    /// Alphabet size / degree `d`.
+    pub fn d(&self) -> u32 {
+        self.space.d()
+    }
+
+    /// Word length = diameter `D`.
+    pub fn diameter(&self) -> u32 {
+        self.space.dim()
+    }
+
+    /// The underlying word space `Z_d^D`.
+    pub fn space(&self) -> &WordSpace {
+        &self.space
+    }
+
+    /// Out-neighbors of a word, in `α` order (Definition 2.2).
+    pub fn word_neighbors(&self, x: &Word) -> Vec<Word> {
+        assert!(self.space.contains(x), "word {x} not a vertex of {}", self.name());
+        (0..self.d() as u8)
+            .map(|alpha| {
+                let mut digits = vec![alpha];
+                digits.extend_from_slice(&x.positions()[..x.len() - 1]);
+                Word::from_positions(digits)
+            })
+            .collect()
+    }
+}
+
+impl DigraphFamily for DeBruijn {
+    fn node_count(&self) -> u64 {
+        self.space.size()
+    }
+
+    fn degree(&self) -> u32 {
+        self.space.d()
+    }
+
+    #[inline]
+    fn out_neighbor(&self, u: u64, k: u32) -> u64 {
+        debug_assert!(u < self.node_count() && k < self.degree());
+        (u * self.d() as u64) % self.node_count() + k as u64
+    }
+
+    fn name(&self) -> String {
+        format!("B({},{})", self.d(), self.diameter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_digraph::{bfs, connectivity};
+
+    #[test]
+    fn b23_matches_figure_1() {
+        // Figure 1: B(2,3) on words 000..111. Spot-check adjacency:
+        // 110 -> {100, 101}, 000 -> {000, 001}.
+        let b = DeBruijn::new(2, 3);
+        assert_eq!(b.name(), "B(2,3)");
+        assert_eq!(b.node_count(), 8);
+        let from_word = |s: &str| -> Vec<String> {
+            b.word_neighbors(&s.parse().unwrap())
+                .iter()
+                .map(|w| w.to_string())
+                .collect()
+        };
+        assert_eq!(from_word("110"), vec!["100", "101"]);
+        assert_eq!(from_word("000"), vec!["000", "001"]);
+        assert_eq!(from_word("011"), vec!["110", "111"]);
+    }
+
+    #[test]
+    fn rank_and_word_adjacency_agree() {
+        for (d, dd) in [(2u32, 4u32), (3, 3), (4, 2)] {
+            let b = DeBruijn::new(d, dd);
+            let space = *b.space();
+            for u in 0..b.node_count() {
+                let word = space.unrank(u);
+                let via_words: Vec<u64> =
+                    b.word_neighbors(&word).iter().map(|w| space.rank(w)).collect();
+                assert_eq!(b.out_neighbors(u), via_words, "vertex {word}");
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_is_exactly_dimension() {
+        for (d, dd) in [(2u32, 1u32), (2, 5), (3, 3), (5, 2)] {
+            let g = DeBruijn::new(d, dd).digraph();
+            assert_eq!(bfs::diameter(&g), Some(dd), "B({d},{dd})");
+        }
+    }
+
+    #[test]
+    fn strongly_connected_with_d_loops() {
+        for (d, dd) in [(2u32, 3u32), (3, 2), (4, 2)] {
+            let g = DeBruijn::new(d, dd).digraph();
+            assert!(connectivity::is_strongly_connected(&g));
+            // Loops exactly at the d constant words.
+            assert_eq!(g.loop_count(), d as usize, "B({d},{dd})");
+            assert_eq!(g.regular_degree(), Some(d as usize));
+        }
+    }
+
+    #[test]
+    fn in_degree_also_d() {
+        let g = DeBruijn::new(3, 3).digraph();
+        assert!(g.in_degrees().iter().all(|&deg| deg == 3));
+    }
+
+    #[test]
+    fn galileo_scale_rank_adjacency() {
+        // The NASA Galileo decoder used B(2,13) = 8192 nodes [11];
+        // rank-level adjacency must handle it without materializing.
+        let b = DeBruijn::new(2, 13);
+        assert_eq!(b.node_count(), 8192);
+        assert_eq!(b.out_neighbor(8191, 1), 8191, "all-ones word loops");
+        assert_eq!(b.out_neighbor(0, 0), 0, "all-zeros word loops");
+        assert_eq!(b.out_neighbor(4096, 1), 1, "1000…0 shifts to 0…01");
+    }
+}

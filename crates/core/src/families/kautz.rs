@@ -1,0 +1,154 @@
+//! The Kautz digraph `K(d, D)` (Definition 2.7).
+
+use crate::DigraphFamily;
+use otis_words::{KautzSpace, Word};
+use serde::{Deserialize, Serialize};
+
+/// The Kautz digraph `K(d, D)`: vertices are words of length `D` over
+/// `Z_{d+1}` with no two consecutive letters equal; the out-neighbors
+/// of `x = x_{D-1} … x_1 x_0` are `x_{D-2} … x_1 x_0 α` for the `d`
+/// letters `α ≠ x_0`.
+///
+/// `K(d, D)` has `(d+1)·d^{D-1}` vertices of degree `d` and diameter
+/// `D` — more vertices than `B(d, D)` at the same degree and diameter,
+/// which is why it tops every block of the paper's Table 1. It equals
+/// `II(d, d^{D-1}(d+1))` up to isomorphism (constructed explicitly in
+/// [`crate::line`]).
+///
+/// Vertex ranks use [`KautzSpace`]'s codec; with that codec
+/// `L(K(d,D)) = K(d,D+1)` holds as labeled digraph *equality*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Kautz {
+    space: KautzSpace,
+}
+
+impl Kautz {
+    /// `K(d, D)` with degree `d ≥ 1` and diameter `D ≥ 1`.
+    pub fn new(d: u32, diameter: u32) -> Self {
+        Kautz { space: KautzSpace::new(d, diameter) }
+    }
+
+    /// Degree `d` (alphabet is `Z_{d+1}`).
+    pub fn d(&self) -> u32 {
+        self.space.d()
+    }
+
+    /// Word length = diameter `D`.
+    pub fn diameter(&self) -> u32 {
+        self.space.dim()
+    }
+
+    /// The underlying Kautz word space.
+    pub fn space(&self) -> &KautzSpace {
+        &self.space
+    }
+
+    /// Out-neighbors of a word, in increasing-`α` order.
+    pub fn word_neighbors(&self, x: &Word) -> Vec<Word> {
+        assert!(self.space.contains(x), "word {x} not a vertex of {}", self.name());
+        let forbidden = x.digit(0);
+        (0..=self.d() as u8)
+            .filter(|&alpha| alpha != forbidden)
+            .map(|alpha| {
+                let mut digits = vec![alpha];
+                digits.extend_from_slice(&x.positions()[..x.len() - 1]);
+                Word::from_positions(digits)
+            })
+            .collect()
+    }
+}
+
+impl DigraphFamily for Kautz {
+    fn node_count(&self) -> u64 {
+        self.space.size()
+    }
+
+    fn degree(&self) -> u32 {
+        self.space.d()
+    }
+
+    fn out_neighbor(&self, u: u64, k: u32) -> u64 {
+        debug_assert!(u < self.node_count() && k < self.degree());
+        // In the KautzSpace codec, rank(x_{D-1}…x_0) =
+        // d·rank(x_{D-1}…x_1) + δ_0. Shifting drops the top letter and
+        // appends α with relative index k, so the new rank is computed
+        // from the *suffix* rank. Recover the suffix x_{D-2}…x_0 by
+        // re-encoding: its top letter is x_{D-2}, unknown from
+        // arithmetic alone — go through the word codec.
+        let word = self.space.unrank(u);
+        let neighbor = &self.word_neighbors(&word)[k as usize];
+        self.space.rank(neighbor)
+    }
+
+    fn name(&self) -> String {
+        format!("K({},{})", self.d(), self.diameter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_digraph::{bfs, connectivity};
+
+    #[test]
+    fn sizes_and_degree() {
+        let k = Kautz::new(2, 8);
+        assert_eq!(k.node_count(), 384, "K(2,8) tops Table 1's D=8 block");
+        assert_eq!(k.degree(), 2);
+        assert_eq!(k.name(), "K(2,8)");
+    }
+
+    #[test]
+    fn word_neighbors_respect_no_repeat() {
+        let k = Kautz::new(2, 3);
+        let x: Word = "010".parse().unwrap();
+        let neighbors: Vec<String> =
+            k.word_neighbors(&x).iter().map(|w| w.to_string()).collect();
+        // last letter of x is 0 -> α ∈ {1, 2}
+        assert_eq!(neighbors, vec!["101", "102"]);
+        for w in k.word_neighbors(&x) {
+            assert!(k.space().contains(&w), "{w} must stay a Kautz word");
+        }
+    }
+
+    #[test]
+    fn diameter_is_exactly_dimension() {
+        for (d, dd) in [(2u32, 1u32), (2, 4), (3, 3), (4, 2)] {
+            let g = Kautz::new(d, dd).digraph();
+            assert_eq!(bfs::diameter(&g), Some(dd), "K({d},{dd})");
+        }
+    }
+
+    #[test]
+    fn no_loops_and_connected() {
+        for (d, dd) in [(2u32, 3u32), (3, 2)] {
+            let g = Kautz::new(d, dd).digraph();
+            assert_eq!(g.loop_count(), 0, "consecutive-letter rule kills loops");
+            assert!(connectivity::is_strongly_connected(&g));
+            assert_eq!(g.regular_degree(), Some(d as usize));
+            assert!(g.in_degrees().iter().all(|&deg| deg == d as usize));
+        }
+    }
+
+    #[test]
+    fn k_d_1_is_complete_without_loops() {
+        let g = Kautz::new(3, 1).digraph();
+        assert_eq!(g.node_count(), 4);
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                assert_eq!(g.has_arc(u, v), u != v);
+            }
+        }
+    }
+
+    #[test]
+    fn moore_bound_gap() {
+        // Kautz meets d^D + d^{D-1}, the best known below the Moore
+        // bound Σ dⁱ (Bridges–Toueg: directed Moore digraphs don't
+        // exist for d, D ≥ 2).
+        let k = Kautz::new(3, 3);
+        assert_eq!(k.node_count(), 27 + 9);
+        let moore: u64 = (0..=3).map(|i| 3u64.pow(i)).sum();
+        assert!(k.node_count() < moore);
+    }
+}

@@ -1,0 +1,11 @@
+//! The digraph families of Sections 2 and 3.
+
+mod alphabet;
+mod congruential;
+mod debruijn;
+mod kautz;
+
+pub use alphabet::{AlphabetDigraph, BSigma, PositionalSigma};
+pub use congruential::{ImaseItoh, Rrk};
+pub use debruijn::DeBruijn;
+pub use kautz::Kautz;

@@ -1,0 +1,73 @@
+//! The [`DigraphFamily`] trait: rank-level adjacency generators.
+
+use otis_digraph::Digraph;
+
+/// A parameterized digraph family with vertices identified by ranks
+/// `0..node_count()`.
+///
+/// Families expose allocation-free adjacency (`out_neighbor`) so the
+/// benches can walk arcs of huge instances without materializing
+/// anything, and a uniform [`DigraphFamily::digraph`] materializer for
+/// the structural algorithms (which require `node_count ≤ u32::MAX`).
+pub trait DigraphFamily {
+    /// Number of vertices.
+    fn node_count(&self) -> u64;
+
+    /// Constant out-degree `d`.
+    fn degree(&self) -> u32;
+
+    /// The `k`-th out-neighbor of vertex `u`, `k < degree()`, in the
+    /// family's natural order (not necessarily sorted).
+    fn out_neighbor(&self, u: u64, k: u32) -> u64;
+
+    /// Human-readable family name, e.g. `B(2,8)`.
+    fn name(&self) -> String;
+
+    /// All out-neighbors of `u` in natural order.
+    fn out_neighbors(&self, u: u64) -> Vec<u64> {
+        (0..self.degree()).map(|k| self.out_neighbor(u, k)).collect()
+    }
+
+    /// Materialize as a CSR [`Digraph`]. Panics if the vertex count
+    /// exceeds `u32` range.
+    fn digraph(&self) -> Digraph {
+        let n = self.node_count();
+        assert!(n <= u32::MAX as u64, "{}: {n} vertices exceed u32 range", self.name());
+        Digraph::from_fn(n as usize, |u| {
+            (0..self.degree()).map(move |k| self.out_neighbor(u as u64, k) as u32)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy 1-regular family: the directed cycle C_n.
+    struct Cycle(u64);
+
+    impl DigraphFamily for Cycle {
+        fn node_count(&self) -> u64 {
+            self.0
+        }
+        fn degree(&self) -> u32 {
+            1
+        }
+        fn out_neighbor(&self, u: u64, _k: u32) -> u64 {
+            (u + 1) % self.0
+        }
+        fn name(&self) -> String {
+            format!("C_{}", self.0)
+        }
+    }
+
+    #[test]
+    fn default_digraph_materialization() {
+        let c = Cycle(5);
+        assert_eq!(c.out_neighbors(4), vec![0]);
+        let g = c.digraph();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.regular_degree(), Some(1));
+        assert_eq!(otis_digraph::bfs::diameter(&g), Some(4));
+    }
+}

@@ -1,0 +1,133 @@
+//! Gossiping (all-to-all broadcast) on de Bruijn digraphs — the
+//! second communication primitive the paper's introduction cites
+//! (Bermond–Fraigniaud [3], Pérennes [28]).
+//!
+//! Model: synchronous store-and-forward rounds. In **all-port** mode a
+//! node forwards everything it knows to all `d` out-neighbors each
+//! round; gossip completes in exactly `D` rounds (every eccentricity
+//! is `D`). In **single-port** mode a node sends on one transceiver
+//! per round (round-robin), the regime the lower bounds in [3] are
+//! about. Knowledge is tracked in per-node bitsets.
+
+use crate::{DeBruijn, DigraphFamily};
+
+/// Port discipline for the gossip simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortMode {
+    /// Send to all `d` out-neighbors every round.
+    AllPort,
+    /// Send to one out-neighbor per round, cycling `k = round mod d`.
+    SinglePort,
+}
+
+/// Per-node knowledge bitset.
+#[derive(Clone)]
+struct Knowledge {
+    blocks: Vec<u64>,
+}
+
+impl Knowledge {
+    fn new(n: usize, own: usize) -> Self {
+        let mut blocks = vec![0u64; n.div_ceil(64)];
+        blocks[own / 64] |= 1 << (own % 64);
+        Knowledge { blocks }
+    }
+
+    fn merge_from(&mut self, other: &Knowledge) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.blocks.iter_mut().zip(&other.blocks) {
+            let merged = *mine | *theirs;
+            changed |= merged != *mine;
+            *mine = merged;
+        }
+        changed
+    }
+
+    fn is_complete(&self, n: usize) -> bool {
+        let full_blocks = n / 64;
+        if self.blocks[..full_blocks].iter().any(|&b| b != u64::MAX) {
+            return false;
+        }
+        let rem = n % 64;
+        rem == 0 || self.blocks[full_blocks] == (1u64 << rem) - 1
+    }
+}
+
+/// Simulate gossip on `B(d, D)` until every node knows every rumor;
+/// returns the number of rounds taken.
+///
+/// Panics if the simulation exceeds `4·D·d` rounds (it never should;
+/// the bound is a safety net against modeling bugs).
+pub fn gossip_rounds(b: &DeBruijn, mode: PortMode) -> u32 {
+    let n = b.node_count() as usize;
+    let d = b.degree();
+    let mut knowledge: Vec<Knowledge> = (0..n).map(|u| Knowledge::new(n, u)).collect();
+    let limit = 4 * b.diameter() * d + 8;
+    for round in 0..limit {
+        if knowledge.iter().all(|k| k.is_complete(n)) {
+            return round;
+        }
+        // Synchronous round: everyone sends the knowledge they held at
+        // the *start* of the round.
+        let snapshot = knowledge.clone();
+        for u in 0..n as u64 {
+            let targets: Vec<u64> = match mode {
+                PortMode::AllPort => (0..d).map(|k| b.out_neighbor(u, k)).collect(),
+                PortMode::SinglePort => vec![b.out_neighbor(u, round % d)],
+            };
+            for v in targets {
+                knowledge[v as usize].merge_from(&snapshot[u as usize]);
+            }
+        }
+    }
+    panic!("gossip did not complete within {limit} rounds — model bug");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_port_gossip_takes_exactly_diameter_rounds() {
+        for (d, dd) in [(2u32, 3u32), (2, 5), (3, 3)] {
+            let b = DeBruijn::new(d, dd);
+            assert_eq!(gossip_rounds(&b, PortMode::AllPort), dd, "B({d},{dd})");
+        }
+    }
+
+    #[test]
+    fn single_port_slower_than_all_port_but_bounded() {
+        for (d, dd) in [(2u32, 4u32), (3, 2)] {
+            let b = DeBruijn::new(d, dd);
+            let all = gossip_rounds(&b, PortMode::AllPort);
+            let single = gossip_rounds(&b, PortMode::SinglePort);
+            assert!(single >= all, "single-port can't beat all-port");
+            // The classical bounds put single-port gossip within a
+            // small multiple of D·d.
+            assert!(single <= 2 * dd * d + 2, "B({d},{dd}): {single} rounds");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_round_cases() {
+        // B(d,1) is the complete digraph with loops: all-port gossip
+        // finishes in one round.
+        let b = DeBruijn::new(4, 1);
+        assert_eq!(gossip_rounds(&b, PortMode::AllPort), 1);
+    }
+
+    #[test]
+    fn knowledge_bitset_mechanics() {
+        let mut a = Knowledge::new(130, 0);
+        let b = Knowledge::new(130, 129);
+        assert!(!a.is_complete(130));
+        assert!(a.merge_from(&b));
+        assert!(!a.merge_from(&b), "second merge is a no-op");
+        // Fill everything.
+        let mut full = Knowledge::new(130, 0);
+        for i in 0..130 {
+            full.merge_from(&Knowledge::new(130, i));
+        }
+        assert!(full.is_complete(130));
+    }
+}

@@ -1,0 +1,234 @@
+//! Line-digraph structure of the paper's families.
+//!
+//! The de Bruijn-like families are closed under the line-digraph
+//! operator `L`, and — with the vertex codecs chosen in this
+//! workspace — closed *on the nose*:
+//!
+//! * `L(B(d,D)) = B(d,D+1)` and `L(K(d,D)) = K(d,D+1)` hold as labeled
+//!   digraph **equalities** (the CSR arc id of an arc equals the
+//!   rank of the extended word);
+//! * `L(RRK(d,n)) ≅ RRK(d,dn)` and `L(II(d,n)) ≅ II(d,dn)` with the
+//!   closed-form witnesses [`rrk_line_witness`] / [`ii_line_witness`]
+//!   (`arc (u →_δ v) ↦ du + δ` resp. `du + δ - 1`);
+//! * iterating the II witness from the base equality
+//!   `K(d,1) = II(d, d+1)` yields the classical Imase–Itoh result
+//!   `K(d,D) ≅ II(d, d^{D-1}(d+1))` **constructively**
+//!   ([`kautz_imase_itoh_witness`]) — the isomorphism the paper cites
+//!   from [21] and needs for the Kautz OTIS layout.
+
+use crate::{DigraphFamily, ImaseItoh, Kautz, Rrk};
+use otis_digraph::{ops, Digraph};
+
+/// Witness for `L(RRK(d,n)) → RRK(d, dn)`.
+///
+/// Vertex `a` of `L(RRK(d,n))` is the CSR arc id of an arc
+/// `u → v = du + δ (mod n)`, `0 ≤ δ < d`; its image is `d·u + δ`.
+/// Works for every `n` (including ones where targets wrap and CSR
+/// order differs from `δ` order, and where parallel arcs make several
+/// `δ` hit one `v` — each parallel arc takes a distinct `δ` slot).
+pub fn rrk_line_witness(rrk: &Rrk) -> Vec<u32> {
+    let d = rrk.d() as u64;
+    let n = rrk.n();
+    let g = rrk.digraph();
+    assert!(d * n <= u32::MAX as u64, "L(RRK) too large to materialize");
+    let mut witness = Vec::with_capacity(g.arc_count());
+    for u in 0..n {
+        // CSR targets of u are sorted; recover δ for each arc. When
+        // several δ yield the same v (parallel arcs), assign the
+        // δ-values in increasing order — any assignment is valid since
+        // the arcs are indistinguishable.
+        let mut deltas: Vec<u64> = (0..d).collect();
+        deltas.sort_unstable_by_key(|&delta| (u * d + delta) % n);
+        for &delta in &deltas {
+            witness.push((u * d + delta) as u32);
+        }
+    }
+    witness
+}
+
+/// Witness for `L(II(d,n)) → II(d, dn)`.
+///
+/// Vertex `a` of `L(II(d,n))` is the CSR arc id of an arc
+/// `u → v = -du - δ (mod n)`, `1 ≤ δ ≤ d`; its image is `d·u + δ - 1`.
+pub fn ii_line_witness(ii: &ImaseItoh) -> Vec<u32> {
+    let d = ii.d() as u64;
+    let n = ii.n();
+    let g = ii.digraph();
+    assert!(d * n <= u32::MAX as u64, "L(II) too large to materialize");
+    let mut witness = Vec::with_capacity(g.arc_count());
+    for u in 0..n {
+        let mut deltas: Vec<u64> = (1..=d).collect();
+        deltas.sort_unstable_by_key(|&delta| {
+            let forward = (u * d + delta) % n;
+            (n - forward) % n
+        });
+        for &delta in &deltas {
+            witness.push((u * d + delta - 1) as u32);
+        }
+    }
+    witness
+}
+
+/// The classical Imase–Itoh 1983 isomorphism, built constructively:
+/// returns the witness `K(d, D) → II(d, d^{D-1}(d+1))`.
+///
+/// Induction on `D`:
+/// * `D = 1`: `K(d,1)` **equals** `II(d, d+1)` (because
+///   `d ≡ -1 (mod d+1)` turns `-du-δ` into `u-δ`), so the witness is
+///   the identity;
+/// * `D → D+1`: `K(d,D+1) = L(K(d,D))` on the nose; lift the level-`D`
+///   witness through `L` ([`lift_witness_through_line`]) and collapse
+///   with [`ii_line_witness`].
+pub fn kautz_imase_itoh_witness(d: u32, diameter: u32) -> Vec<u32> {
+    assert!(diameter >= 1);
+    let mut n = d as u64 + 1;
+    // Level 1: identity on Z_{d+1}.
+    let mut witness: Vec<u32> = (0..n as u32).collect();
+    let mut kautz_graph = Kautz::new(d, 1).digraph();
+    for _ in 1..diameter {
+        let ii = ImaseItoh::new(d, n);
+        let ii_graph = ii.digraph();
+        // K(d, D+1) = L(K(d, D)): vertex = arc id of kautz_graph.
+        let lifted = lift_witness_through_line(&kautz_graph, &ii_graph, &witness);
+        let collapse = ii_line_witness(&ii);
+        witness = lifted.iter().map(|&arc| collapse[arc as usize]).collect();
+        kautz_graph = ops::line_digraph(&kautz_graph);
+        n *= d as u64;
+    }
+    witness
+}
+
+/// Lift a vertex witness `φ : G → H` to the arc level:
+/// maps each arc id of `G` to the arc id of its image arc
+/// `φ(u) → φ(v)` in `H`, i.e. a witness `L(G) → L(H)`.
+///
+/// Parallel arcs are matched slot-by-slot (both CSR neighbor lists
+/// are sorted, so equal arcs occupy contiguous runs).
+pub fn lift_witness_through_line(g: &Digraph, h: &Digraph, witness: &[u32]) -> Vec<u32> {
+    assert_eq!(witness.len(), g.node_count());
+    assert_eq!(g.node_count(), h.node_count());
+    assert_eq!(g.arc_count(), h.arc_count());
+    let mut out = Vec::with_capacity(g.arc_count());
+    // Per-target cursor to hand parallel arcs distinct slots.
+    let mut used: otis_util::FxHashMap<(u32, u32), usize> = otis_util::FxHashMap::default();
+    for (u, v) in g.arcs() {
+        let (iu, iv) = (witness[u as usize], witness[v as usize]);
+        let slot = used.entry((iu, iv)).or_insert(0);
+        let neighbors = h.out_neighbors(iu);
+        let base = neighbors.partition_point(|&w| w < iv);
+        let index = base + *slot;
+        assert!(
+            index < neighbors.len() && neighbors[index] == iv,
+            "witness does not map arc {u}->{v} onto an arc of H"
+        );
+        *slot += 1;
+        out.push((h.arc_range(iu).start + index) as u32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeBruijn, DigraphFamily};
+    use otis_digraph::iso::check_witness;
+
+    #[test]
+    fn line_of_debruijn_is_next_debruijn_exactly() {
+        for (d, dd) in [(2u32, 1u32), (2, 4), (3, 2), (4, 2)] {
+            let b = DeBruijn::new(d, dd).digraph();
+            let next = DeBruijn::new(d, dd + 1).digraph();
+            assert_eq!(ops::line_digraph(&b), next, "L(B({d},{dd})) != B({d},{})", dd + 1);
+        }
+    }
+
+    #[test]
+    fn line_of_kautz_is_next_kautz_exactly() {
+        for (d, dd) in [(2u32, 1u32), (2, 3), (3, 2)] {
+            let k = Kautz::new(d, dd).digraph();
+            let next = Kautz::new(d, dd + 1).digraph();
+            assert_eq!(ops::line_digraph(&k), next, "L(K({d},{dd})) != K({d},{})", dd + 1);
+        }
+    }
+
+    #[test]
+    fn kautz_base_case_equals_imase_itoh() {
+        for d in [1u32, 2, 3, 5] {
+            let k = Kautz::new(d, 1).digraph();
+            let ii = ImaseItoh::new(d, d as u64 + 1).digraph();
+            assert_eq!(k, ii, "K({d},1) != II({d},{})", d + 1);
+        }
+    }
+
+    #[test]
+    fn rrk_line_witness_verifies() {
+        for (d, n) in [(2u32, 8u64), (2, 7), (3, 9), (3, 10), (2, 3)] {
+            let rrk = Rrk::new(d, n);
+            let lifted = ops::line_digraph(&rrk.digraph());
+            let bigger = Rrk::new(d, d as u64 * n).digraph();
+            let witness = rrk_line_witness(&rrk);
+            assert_eq!(
+                check_witness(&lifted, &bigger, &witness),
+                Ok(()),
+                "L(RRK({d},{n}))"
+            );
+        }
+    }
+
+    #[test]
+    fn ii_line_witness_verifies() {
+        for (d, n) in [(2u32, 8u64), (2, 7), (3, 9), (3, 10), (2, 3), (2, 6)] {
+            let ii = ImaseItoh::new(d, n);
+            let lifted = ops::line_digraph(&ii.digraph());
+            let bigger = ImaseItoh::new(d, d as u64 * n).digraph();
+            let witness = ii_line_witness(&ii);
+            assert_eq!(
+                check_witness(&lifted, &bigger, &witness),
+                Ok(()),
+                "L(II({d},{n}))"
+            );
+        }
+    }
+
+    #[test]
+    fn kautz_imase_itoh_witness_verifies() {
+        for (d, dd) in [(2u32, 1u32), (2, 2), (2, 3), (2, 5), (3, 3), (4, 2)] {
+            let k = Kautz::new(d, dd);
+            let n = otis_util::digits::pow(d as u64, dd - 1) * (d as u64 + 1);
+            let ii = ImaseItoh::new(d, n);
+            let witness = kautz_imase_itoh_witness(d, dd);
+            assert_eq!(
+                check_witness(&k.digraph(), &ii.digraph(), &witness),
+                Ok(()),
+                "K({d},{dd}) -> II({d},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn lift_witness_identity_is_identity_on_arcs() {
+        let g = DeBruijn::new(2, 3).digraph();
+        let id: Vec<u32> = (0..g.node_count() as u32).collect();
+        let lifted = lift_witness_through_line(&g, &g, &id);
+        let expected: Vec<u32> = (0..g.arc_count() as u32).collect();
+        assert_eq!(lifted, expected);
+    }
+
+    #[test]
+    fn lift_witness_through_relabeling() {
+        let g = DeBruijn::new(2, 3).digraph();
+        let mapping: Vec<u32> = vec![5, 2, 7, 0, 1, 6, 3, 4];
+        let h = ops::relabel(&g, &mapping);
+        // witness g -> h: inverse of mapping (new->old).
+        let mut witness = vec![0u32; 8];
+        for (new, &old) in mapping.iter().enumerate() {
+            witness[old as usize] = new as u32;
+        }
+        check_witness(&g, &h, &witness).unwrap();
+        let lifted = lift_witness_through_line(&g, &h, &witness);
+        assert_eq!(
+            check_witness(&ops::line_digraph(&g), &ops::line_digraph(&h), &lifted),
+            Ok(())
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Routing and broadcasting on `B(d, D)` — the distributed-computing
+//! applications the paper's introduction motivates (refs [19], [28],
+//! [3]).
+//!
+//! De Bruijn routing needs no tables and no search: the distance from
+//! `x` to `y` is `D - ℓ` where `ℓ` is the longest suffix of `x` that
+//! is a prefix of `y` (equivalently, the smallest `k` with
+//! `⌊y / d^k⌋ = x mod d^{D-k}`), and the unique shortest path shifts
+//! in the digits of `y` one per hop. Everything here is `O(D)` per
+//! query, compared against BFS ground truth in the tests.
+
+use crate::{DeBruijn, DigraphFamily, Kautz};
+use otis_util::digits;
+use otis_words::Word;
+
+/// Shortest-path distance from `x` to `y` in `B(d, D)`: the smallest
+/// `k` such that the top `D-k` digits of `y` equal the bottom `D-k`
+/// digits of `x`. Always `≤ D`.
+pub fn distance(b: &DeBruijn, x: u64, y: u64) -> u32 {
+    let n = b.node_count();
+    assert!(x < n && y < n, "vertices out of range");
+    let d = b.d() as u64;
+    let dim = b.diameter();
+    let mut suffix_modulus = n; // d^{D-k}
+    for k in 0..=dim {
+        if y / digits::pow(d, k) == x % suffix_modulus {
+            return k;
+        }
+        suffix_modulus /= d;
+    }
+    unreachable!("k = D always matches (both sides become the whole word)")
+}
+
+/// The shortest path from `x` to `y` (inclusive of both endpoints):
+/// hop `t` shifts in digit `y_{k-t}` of the target. Length =
+/// `distance(x, y) + 1` vertices.
+pub fn shortest_path(b: &DeBruijn, x: u64, y: u64) -> Vec<u64> {
+    let d = b.d() as u64;
+    let n = b.node_count();
+    let k = distance(b, x, y);
+    let mut path = Vec::with_capacity(k as usize + 1);
+    for t in 0..=k {
+        // z_t = (x mod d^{D-t})·d^t + top-t digits of y's low-k block.
+        let kept = x % (n / digits::pow(d, t));
+        let injected = (y / digits::pow(d, k - t)) % digits::pow(d, t);
+        path.push(kept * digits::pow(d, t) + injected);
+    }
+    path
+}
+
+/// BFS levels from `root` computed arithmetically (no digraph
+/// materialization): `levels[t]` lists the vertices first reached in
+/// exactly `t` hops. `levels.len() - 1 == D` for any root.
+pub fn broadcast_levels(b: &DeBruijn, root: u64) -> Vec<Vec<u64>> {
+    let n = b.node_count();
+    assert!(root < n);
+    let mut level_of = vec![u32::MAX; n as usize];
+    level_of[root as usize] = 0;
+    let mut levels = vec![vec![root]];
+    loop {
+        let mut next = Vec::new();
+        let t = levels.len() as u32;
+        for &u in levels.last().expect("nonempty") {
+            for k in 0..b.degree() {
+                let v = b.out_neighbor(u, k);
+                if level_of[v as usize] == u32::MAX {
+                    level_of[v as usize] = t;
+                    next.push(v);
+                }
+            }
+        }
+        if next.is_empty() {
+            return levels;
+        }
+        levels.push(next);
+    }
+}
+
+/// Single-port broadcast schedule from `root`: per round, every
+/// informed vertex forwards to at most **one** uninformed out-neighbor
+/// (greedy over BFS levels). Returns the list of rounds, each a list
+/// of `(sender, receiver)` pairs; all `n` vertices are informed after
+/// `rounds.len()` rounds.
+///
+/// This is the single-port model of the broadcasting literature the
+/// paper cites ([3], [28]); the greedy makespan is an upper bound on
+/// the optimal broadcast time `b(B(d,D))`.
+pub fn single_port_broadcast(b: &DeBruijn, root: u64) -> Vec<Vec<(u64, u64)>> {
+    let n = b.node_count() as usize;
+    let mut informed = vec![false; n];
+    informed[root as usize] = true;
+    let mut informed_list = vec![root];
+    let mut rounds = Vec::new();
+    while informed_list.len() < n {
+        let mut round = Vec::new();
+        let mut newly = Vec::new();
+        for &u in &informed_list {
+            for k in 0..b.degree() {
+                let v = b.out_neighbor(u, k);
+                if !informed[v as usize] {
+                    informed[v as usize] = true;
+                    newly.push(v);
+                    round.push((u, v));
+                    break; // single-port: one message per round
+                }
+            }
+        }
+        assert!(
+            !round.is_empty(),
+            "broadcast stalled with {} of {n} informed",
+            informed_list.len()
+        );
+        informed_list.extend_from_slice(&newly);
+        rounds.push(round);
+    }
+    rounds
+}
+
+// ----- Kautz routing ---------------------------------------------------------
+
+/// Shortest-path distance in `K(d, D)`: the same longest-overlap rule
+/// as de Bruijn — the smallest `k` such that the top `D-k` letters of
+/// `y` equal the bottom `D-k` letters of `x`.
+///
+/// No extra feasibility condition is needed: the letters shifted in
+/// along the path are exactly `y_{k-1} … y_0`, and `y` being a Kautz
+/// word makes every junction legal (`y_{k-1} ≠ y_k = x_0`).
+pub fn kautz_distance(k: &Kautz, x: &Word, y: &Word) -> u32 {
+    let space = k.space();
+    assert!(space.contains(x) && space.contains(y), "not Kautz({},{}) words", k.d(), k.diameter());
+    let dim = k.diameter() as usize;
+    'shift: for steps in 0..=dim {
+        for position in 0..dim - steps {
+            if y.digit(position + steps) != x.digit(position) {
+                continue 'shift;
+            }
+        }
+        return steps as u32;
+    }
+    unreachable!("steps = D always matches")
+}
+
+/// The shortest path from `x` to `y` in `K(d, D)` as words (inclusive
+/// of both endpoints).
+pub fn kautz_shortest_path(k: &Kautz, x: &Word, y: &Word) -> Vec<Word> {
+    let steps = kautz_distance(k, x, y) as usize;
+    let mut path = Vec::with_capacity(steps + 1);
+    let mut current: Vec<u8> = x.positions().to_vec();
+    path.push(x.clone());
+    for t in 1..=steps {
+        // Shift left (drop the top letter) and append y_{steps-t}.
+        current.rotate_right(1);
+        current[0] = y.digit(steps - t);
+        path.push(Word::from_positions(current.clone()));
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_digraph::bfs;
+
+    #[test]
+    fn distance_matches_bfs_exhaustively() {
+        for (d, dd) in [(2u32, 4u32), (3, 3), (4, 2)] {
+            let b = DeBruijn::new(d, dd);
+            let g = b.digraph();
+            for x in 0..b.node_count() {
+                let dist = bfs::distances(&g, x as u32);
+                for y in 0..b.node_count() {
+                    assert_eq!(
+                        distance(&b, x, y),
+                        dist[y as usize],
+                        "d({x},{y}) in B({d},{dd})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_walks_of_right_length() {
+        let b = DeBruijn::new(3, 4);
+        let g = b.digraph();
+        for x in [0u64, 5, 17, 80] {
+            for y in [0u64, 3, 44, 80] {
+                let path = shortest_path(&b, x, y);
+                assert_eq!(path[0], x);
+                assert_eq!(*path.last().unwrap(), y);
+                assert_eq!(path.len() as u32 - 1, distance(&b, x, y));
+                for pair in path.windows(2) {
+                    assert!(
+                        g.has_arc(pair[0] as u32, pair[1] as u32),
+                        "invalid hop {} -> {}",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_distance_zero_unless_shift_needed() {
+        let b = DeBruijn::new(2, 3);
+        assert_eq!(distance(&b, 5, 5), 0);
+        assert_eq!(shortest_path(&b, 5, 5), vec![5]);
+    }
+
+    #[test]
+    fn broadcast_levels_reach_everything_in_diameter_rounds() {
+        for (d, dd) in [(2u32, 4u32), (3, 3)] {
+            let b = DeBruijn::new(d, dd);
+            let levels = broadcast_levels(&b, 1);
+            assert_eq!(levels.len() as u32 - 1, dd, "eccentricity = D");
+            let total: usize = levels.iter().map(Vec::len).sum();
+            assert_eq!(total as u64, b.node_count());
+        }
+    }
+
+    #[test]
+    fn single_port_broadcast_informs_all() {
+        let b = DeBruijn::new(2, 4);
+        let rounds = single_port_broadcast(&b, 0);
+        let informed: usize = rounds.iter().map(Vec::len).sum();
+        assert_eq!(informed as u64 + 1, b.node_count());
+        // Single-port lower bound: log2(n) rounds.
+        assert!(rounds.len() >= 4);
+        // Every sender sends at most once per round.
+        for round in &rounds {
+            let mut senders: Vec<u64> = round.iter().map(|&(s, _)| s).collect();
+            senders.sort_unstable();
+            senders.dedup();
+            assert_eq!(senders.len(), round.len());
+        }
+    }
+
+    #[test]
+    fn kautz_distance_matches_bfs_exhaustively() {
+        for (d, dd) in [(2u32, 3u32), (3, 2), (2, 4)] {
+            let k = Kautz::new(d, dd);
+            let g = k.digraph();
+            let space = *k.space();
+            for xr in 0..k.node_count() {
+                let dist = bfs::distances(&g, xr as u32);
+                let x = space.unrank(xr);
+                for yr in 0..k.node_count() {
+                    let y = space.unrank(yr);
+                    assert_eq!(
+                        kautz_distance(&k, &x, &y),
+                        dist[yr as usize],
+                        "d({x},{y}) in K({d},{dd})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kautz_paths_are_valid_kautz_walks() {
+        let k = Kautz::new(2, 4);
+        let g = k.digraph();
+        let space = *k.space();
+        for xr in (0..k.node_count()).step_by(5) {
+            for yr in (0..k.node_count()).step_by(7) {
+                let (x, y) = (space.unrank(xr), space.unrank(yr));
+                let path = kautz_shortest_path(&k, &x, &y);
+                assert_eq!(path[0], x);
+                assert_eq!(*path.last().unwrap(), y);
+                assert_eq!(path.len() as u32 - 1, kautz_distance(&k, &x, &y));
+                for pair in path.windows(2) {
+                    assert!(space.contains(&pair[1]), "{} is not a Kautz word", pair[1]);
+                    assert!(
+                        g.has_arc(space.rank(&pair[0]) as u32, space.rank(&pair[1]) as u32),
+                        "invalid hop {} -> {}",
+                        pair[0],
+                        pair[1]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_port_broadcast_upper_bound_reasonable() {
+        // Known: b(B(2,D)) ≤ 2(D+1) roughly; greedy should stay within
+        // a small factor of D for these sizes.
+        for dd in 2..=6u32 {
+            let b = DeBruijn::new(2, dd);
+            let rounds = single_port_broadcast(&b, 0);
+            assert!(
+                (rounds.len() as u32) <= 3 * dd,
+                "greedy broadcast used {} rounds at D = {dd}",
+                rounds.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! De Bruijn sequences — the combinatorial object behind the digraph.
+//!
+//! A de Bruijn sequence `dB(d, k)` is a cyclic string of length `d^k`
+//! over `Z_d` in which every `k`-word appears exactly once as a
+//! window. The classical construction walks an Eulerian circuit of
+//! `B(d, k-1)`: each arc appends one letter, and the `d^k` arcs are in
+//! bijection with the `k`-words (this is the line-digraph identity
+//! `L(B(d,k-1)) = B(d,k)` in disguise).
+//!
+//! Included because it exercises the whole tower (families → digraph
+//! substrate → Euler circuits) and because the paper's networks route
+//! *because* vertices are sequence windows.
+
+use crate::{DeBruijn, DigraphFamily};
+use otis_util::digits;
+
+/// Generate a de Bruijn sequence of order `k` over `Z_d` (cyclic,
+/// length `d^k`), via an Eulerian circuit of `B(d, k-1)`.
+///
+/// For `k = 1` the sequence is just `0, 1, …, d-1`.
+pub fn debruijn_sequence(d: u32, k: u32) -> Vec<u8> {
+    assert!((2..=256).contains(&d), "alphabet size {d} unsupported");
+    assert!(k >= 1, "order must be at least 1");
+    if k == 1 {
+        return (0..d as u8).collect();
+    }
+    let b = DeBruijn::new(d, k - 1);
+    let g = b.digraph();
+    let circuit = otis_digraph::euler::eulerian_circuit(&g)
+        .expect("B(d,D) is Eulerian: in-degree = out-degree = d, strongly connected");
+    // Arc id a = d·u + α appends letter α (the digit shifted in).
+    circuit.iter().map(|&arc| (arc as u64 % d as u64) as u8).collect()
+}
+
+/// A Hamiltonian cycle of `B(d, D)` (vertex ranks, in visit order,
+/// without repeating the start).
+///
+/// Exists because an Eulerian circuit of `B(d, D-1)` *is* a
+/// Hamiltonian cycle of `B(d, D)` under the arc-id = vertex-rank
+/// identity `L(B(d,D-1)) = B(d,D)`. Equivalently: the windows of a de
+/// Bruijn sequence visit every vertex exactly once.
+pub fn hamiltonian_cycle(d: u32, diameter: u32) -> Vec<u64> {
+    assert!(diameter >= 1);
+    if diameter == 1 {
+        // B(d,1) is the complete digraph with loops: 0,1,…,d-1 cycles.
+        return (0..d as u64).collect();
+    }
+    let lower = DeBruijn::new(d, diameter - 1);
+    let circuit = otis_digraph::euler::eulerian_circuit(&lower.digraph())
+        .expect("B(d,D-1) is Eulerian");
+    circuit.into_iter().map(|arc| arc as u64).collect()
+}
+
+/// Check the defining property: every `k`-window of the cyclic
+/// sequence is distinct (hence, by counting, every `k`-word appears
+/// exactly once).
+pub fn is_debruijn_sequence(d: u32, k: u32, seq: &[u8]) -> bool {
+    let n = digits::pow(d as u64, k);
+    if seq.len() as u64 != n {
+        return false;
+    }
+    if seq.iter().any(|&letter| letter as u32 >= d) {
+        return false;
+    }
+    let mut seen = vec![false; n as usize];
+    for start in 0..seq.len() {
+        let mut rank = 0u64;
+        for offset in 0..k as usize {
+            rank = rank * d as u64 + seq[(start + offset) % seq.len()] as u64;
+        }
+        if std::mem::replace(&mut seen[rank as usize], true) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_binary_sequences() {
+        for k in 1..=8u32 {
+            let seq = debruijn_sequence(2, k);
+            assert_eq!(seq.len() as u64, 1u64 << k);
+            assert!(is_debruijn_sequence(2, k, &seq), "dB(2,{k}) = {seq:?}");
+        }
+    }
+
+    #[test]
+    fn larger_alphabets() {
+        for (d, k) in [(3u32, 4u32), (4, 3), (5, 2), (10, 2)] {
+            let seq = debruijn_sequence(d, k);
+            assert_eq!(seq.len() as u64, (d as u64).pow(k));
+            assert!(is_debruijn_sequence(d, k, &seq), "dB({d},{k})");
+        }
+    }
+
+    #[test]
+    fn order_one() {
+        assert_eq!(debruijn_sequence(3, 1), vec![0, 1, 2]);
+        assert!(is_debruijn_sequence(3, 1, &[2, 0, 1]));
+        assert!(!is_debruijn_sequence(3, 1, &[0, 0, 1]));
+    }
+
+    #[test]
+    fn checker_rejects_defects() {
+        // Right length, wrong content.
+        assert!(!is_debruijn_sequence(2, 2, &[0, 0, 1, 0]), "window 00 repeats");
+        assert!(!is_debruijn_sequence(2, 2, &[0, 0, 1]), "wrong length");
+        assert!(!is_debruijn_sequence(2, 2, &[0, 0, 2, 1]), "letter out of range");
+        // A known-good order-2 binary sequence.
+        assert!(is_debruijn_sequence(2, 2, &[0, 0, 1, 1]));
+    }
+
+    #[test]
+    fn hamiltonian_cycle_visits_every_vertex_once() {
+        for (d, dd) in [(2u32, 1u32), (2, 5), (3, 3), (4, 2)] {
+            let cycle = hamiltonian_cycle(d, dd);
+            let b = DeBruijn::new(d, dd);
+            assert_eq!(cycle.len() as u64, b.node_count(), "B({d},{dd})");
+            let mut seen = vec![false; cycle.len()];
+            for &v in &cycle {
+                assert!(!std::mem::replace(&mut seen[v as usize], true), "vertex {v} repeated");
+            }
+            // Consecutive vertices (cyclically) must be arcs of B(d,D).
+            let g = b.digraph();
+            for w in 0..cycle.len() {
+                let (u, v) = (cycle[w], cycle[(w + 1) % cycle.len()]);
+                assert!(g.has_arc(u as u32, v as u32), "hop {u} -> {v} not an arc");
+            }
+        }
+    }
+
+    #[test]
+    fn every_window_of_galileo_scale_sequence_unique() {
+        // dB(2, 12): 4096 letters, windows are B(2,12) vertices —
+        // sequence windows == digraph vertices, closing the loop with
+        // the family used by the Galileo decoder reference [11].
+        let seq = debruijn_sequence(2, 12);
+        assert!(is_debruijn_sequence(2, 12, &seq));
+    }
+}

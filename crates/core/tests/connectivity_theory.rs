@@ -1,0 +1,78 @@
+//! Classical connectivity theory of the families (Imase–Soneoka–Okada):
+//! arc-connectivity λ(B(d,D)) = d-1 (loops throttle the cut) and
+//! λ(K(d,D)) = d (optimal). These numbers justify the fault-injection
+//! experiments: a de Bruijn OTIS fabric must survive any d-2 beam
+//! failures between any source/destination pair.
+
+use otis_core::{DeBruijn, DigraphFamily, ImaseItoh, Kautz};
+use otis_digraph::flow;
+
+#[test]
+fn debruijn_arc_connectivity_is_d_minus_1() {
+    for (d, dd) in [(2u32, 3u32), (2, 4), (3, 2), (3, 3), (4, 2)] {
+        let g = DeBruijn::new(d, dd).digraph();
+        assert_eq!(
+            flow::arc_connectivity(&g),
+            d as usize - 1,
+            "λ(B({d},{dd}))"
+        );
+    }
+}
+
+#[test]
+fn kautz_arc_connectivity_is_d() {
+    for (d, dd) in [(2u32, 3u32), (2, 4), (3, 2), (3, 3)] {
+        let g = Kautz::new(d, dd).digraph();
+        assert_eq!(flow::arc_connectivity(&g), d as usize, "λ(K({d},{dd}))");
+    }
+}
+
+#[test]
+fn imase_itoh_connectivity_matches_debruijn_at_powers() {
+    // II(d, d^D) ≅ B(d,D): connectivity is isomorphism-invariant.
+    let g = ImaseItoh::new(2, 16).digraph();
+    assert_eq!(flow::arc_connectivity(&g), 1);
+    let g3 = ImaseItoh::new(3, 27).digraph();
+    assert_eq!(flow::arc_connectivity(&g3), 2);
+}
+
+#[test]
+fn menger_paths_between_non_loop_vertices() {
+    // Between vertices that avoid the loop bottleneck, B(d,D) carries
+    // d arc-disjoint paths: pick x, y whose words are not constant.
+    let b = DeBruijn::new(3, 3);
+    let g = b.digraph();
+    let (x, y) = (5u32, 19u32); // 012 and 201-ish; neither constant
+    let flow_value = flow::max_flow_unit(&g, x, y);
+    assert!(flow_value >= 2, "non-loop pair should beat λ");
+    let paths = flow::arc_disjoint_paths(&g, x, y, flow_value);
+    assert_eq!(paths.len(), flow_value);
+    for path in &paths {
+        for w in path.windows(2) {
+            assert!(g.has_arc(w[0], w[1]));
+        }
+    }
+}
+
+#[test]
+fn loop_vertex_is_the_bottleneck() {
+    // The minimum cut of B(2,D) isolates a constant word: vertex 0
+    // (word 00…0) has out-arcs {loop, 0→1}; cutting 0→1 severs it.
+    let g = DeBruijn::new(2, 4).digraph();
+    assert_eq!(flow::max_flow_unit(&g, 0, 7), 1, "flow out of the all-zeros word");
+    // A Kautz digraph has no loops, hence no such bottleneck.
+    let k = Kautz::new(2, 4).digraph();
+    for v in 1..6u32 {
+        assert!(flow::max_flow_unit(&k, 0, v) >= 2);
+    }
+}
+
+#[test]
+fn otis_fabric_inherits_connectivity() {
+    // H(16,32,2) ≅ B(2,8): the OTIS fabric's resilience numbers equal
+    // the logical network's.
+    let h = otis_optics::HDigraph::new(16, 32, 2).digraph();
+    assert_eq!(flow::arc_connectivity(&h), 1);
+    let h_kautz = otis_optics::HDigraph::new(2, 48, 2).digraph(); // ≅ K(2,5)
+    assert_eq!(flow::arc_connectivity(&h_kautz), 2);
+}

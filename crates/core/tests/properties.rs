@@ -1,0 +1,138 @@
+//! Property-based tests for the core isomorphism theory.
+//!
+//! The paper's claims are universally quantified over permutations;
+//! proptest hammers random corners the unit tests don't enumerate.
+
+use otis_core::{
+    components, iso, routing, AlphabetDigraph, BSigma, DeBruijn, DigraphFamily, Kautz,
+    PositionalSigma,
+};
+use otis_digraph::iso::check_witness;
+use otis_perm::Perm;
+use proptest::prelude::*;
+
+/// Strategy: permutation of Z_n via shuffled images.
+fn perm(n: usize) -> impl Strategy<Value = Perm> {
+    Just((0..n as u32).collect::<Vec<u32>>())
+        .prop_shuffle()
+        .prop_map(|v| Perm::from_images(v).unwrap())
+}
+
+/// Strategy: a cyclic permutation of Z_n (Sattolo via seed).
+fn cyclic_perm(n: usize) -> impl Strategy<Value = Perm> {
+    any::<u64>().prop_map(move |seed| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Perm::random_cyclic(n, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Proposition 3.2 for random σ at several shapes.
+    #[test]
+    fn prop_3_2_random_sigma(sigma in perm(4)) {
+        let bs = BSigma::new(4, 2, sigma);
+        let w = iso::prop_3_2_witness(&bs);
+        prop_assert_eq!(
+            check_witness(&bs.digraph(), &DeBruijn::new(4, 2).digraph(), &w),
+            Ok(())
+        );
+    }
+
+    /// Proposition 3.9: random cyclic f, random σ, random j.
+    #[test]
+    fn prop_3_9_random_instance(
+        f in cyclic_perm(5),
+        sigma in perm(2),
+        j in 0u32..5,
+    ) {
+        let a = AlphabetDigraph::new(2, 5, f, sigma, j);
+        prop_assert!(a.is_debruijn_isomorphic());
+        let w = iso::prop_3_9_witness(&a).unwrap();
+        prop_assert_eq!(
+            check_witness(&a.digraph(), &DeBruijn::new(2, 5).digraph(), &w),
+            Ok(())
+        );
+    }
+
+    /// Negative direction: random non-cyclic f never yields B.
+    #[test]
+    fn prop_3_9_random_negative(f in perm(4), sigma in perm(2), j in 0u32..4) {
+        prop_assume!(!f.is_cyclic());
+        let a = AlphabetDigraph::new(2, 4, f, sigma, j);
+        prop_assert!(iso::prop_3_9_witness(&a).is_err());
+        // Census always accounts for all vertices, and the number of
+        // components divides consistently.
+        let census = components::predict(&a);
+        prop_assert_eq!(census.vertex_count(2), a.node_count());
+        let wcc = otis_digraph::connectivity::weak_components(&a.digraph());
+        prop_assert_eq!(wcc.count() as u64, census.component_count());
+    }
+
+    /// The per-position generalization with fully random twists.
+    #[test]
+    fn positional_sigma_random(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sigmas: Vec<Perm> = (0..3).map(|_| Perm::random(3, &mut rng)).collect();
+        let ps = PositionalSigma::new(3, 3, sigmas);
+        let w = iso::positional_sigma_witness(&ps);
+        prop_assert_eq!(
+            check_witness(&ps.digraph(), &DeBruijn::new(3, 3).digraph(), &w),
+            Ok(())
+        );
+    }
+
+    /// Witness algebra: inverse ∘ witness = id, on Prop 3.9 witnesses.
+    #[test]
+    fn witness_inversion(f in cyclic_perm(4), sigma in perm(3)) {
+        let a = AlphabetDigraph::new(3, 4, f, sigma, 2);
+        let w = iso::prop_3_9_witness(&a).unwrap();
+        let inv = iso::invert_witness(&w);
+        let id: Vec<u32> = (0..w.len() as u32).collect();
+        prop_assert_eq!(iso::compose_witnesses(&w, &inv), id);
+    }
+
+    /// De Bruijn routing: distance is a metric-ish quantity bounded by
+    /// D and consistent with one-step adjacency.
+    #[test]
+    fn routing_distance_properties(x in 0u64..81, y in 0u64..81) {
+        let b = DeBruijn::new(3, 4);
+        let dist = routing::distance(&b, x, y);
+        prop_assert!(dist <= 4);
+        let path = routing::shortest_path(&b, x, y);
+        prop_assert_eq!(path.len() as u32, dist + 1);
+        // Triangle inequality through any one-step neighbor.
+        for k in 0..3 {
+            let z = b.out_neighbor(x, k);
+            prop_assert!(routing::distance(&b, z, y) + 1 >= dist);
+        }
+    }
+
+    /// Kautz routing agrees with word containment rules.
+    #[test]
+    fn kautz_routing_properties(xr in 0u64..24, yr in 0u64..24) {
+        let k = Kautz::new(2, 4); // (d+1)·d^{D-1} = 24 vertices
+        let space = *k.space();
+        let (x, y) = (space.unrank(xr), space.unrank(yr));
+        let dist = routing::kautz_distance(&k, &x, &y);
+        prop_assert!(dist <= 4);
+        let path = routing::kautz_shortest_path(&k, &x, &y);
+        prop_assert_eq!(path.len() as u32, dist + 1);
+        for w in &path {
+            prop_assert!(space.contains(w));
+        }
+    }
+
+    /// Layout criterion is stable under (p', q') ↦ (q', p'):
+    /// H(q,p,d) = H(p,q,d)⁻ and B is self-converse, so the two splits
+    /// succeed or fail together.
+    #[test]
+    fn layout_criterion_symmetric(pp in 1u32..10, qq in 1u32..10) {
+        let forward = otis_layout::layout_permutation(pp, qq).is_cyclic();
+        let backward = otis_layout::layout_permutation(qq, pp).is_cyclic();
+        prop_assert_eq!(forward, backward, "split ({},{})", pp, qq);
+    }
+}

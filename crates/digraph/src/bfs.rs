@@ -1,0 +1,245 @@
+//! Breadth-first search, eccentricities and diameters.
+//!
+//! Table 1 of the paper is an exhaustive degree–diameter search over
+//! OTIS digraphs `H(p,q,2)`, and the de Bruijn families are defined by
+//! their diameter, so fast exact diameters are the substrate's hot
+//! path. The all-pairs BFS here is embarrassingly parallel: sources
+//! are sharded over scoped threads ([`otis_util::par_map`]) with
+//! per-shard queue/distance buffers reused across sources, following
+//! the "reuse workhorse collections" guidance of the Rust Performance
+//! Book.
+
+use crate::{Digraph, INFINITY};
+
+/// BFS distances from `source`; unreachable vertices get
+/// [`INFINITY`](crate::INFINITY).
+pub fn distances(g: &Digraph, source: u32) -> Vec<u32> {
+    let mut dist = vec![INFINITY; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    distances_into(g, source, &mut dist, &mut queue);
+    dist
+}
+
+/// Buffer-reusing BFS core: fills `dist` (resized and reset inside).
+fn distances_into(
+    g: &Digraph,
+    source: u32,
+    dist: &mut Vec<u32>,
+    queue: &mut std::collections::VecDeque<u32>,
+) {
+    dist.clear();
+    dist.resize(g.node_count(), INFINITY);
+    queue.clear();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == INFINITY {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+}
+
+/// Eccentricity of `source`: max distance to any vertex, or
+/// [`INFINITY`](crate::INFINITY) if some vertex is unreachable.
+pub fn eccentricity(g: &Digraph, source: u32) -> u32 {
+    distances(g, source).into_iter().max().unwrap_or(0)
+}
+
+/// All eccentricities, computed by parallel all-pairs BFS.
+///
+/// Sources are processed in chunks; each worker reuses one distance
+/// vector and one queue across its whole shard, so the only per-source
+/// cost is the BFS proper.
+pub fn eccentricities(g: &Digraph) -> Vec<u32> {
+    let n = g.node_count();
+    // Chunk so each worker amortizes buffer allocation but load stays
+    // balanced; 16 sources per task works well from tiny to huge n.
+    const CHUNK: usize = 16;
+    let chunk_results = otis_util::par_map(n.div_ceil(CHUNK), 1, |chunk_index| {
+        let start = chunk_index * CHUNK;
+        let end = ((chunk_index + 1) * CHUNK).min(n);
+        let mut dist = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        let mut out = Vec::with_capacity(end - start);
+        for source in start..end {
+            distances_into(g, source as u32, &mut dist, &mut queue);
+            out.push(dist.iter().copied().max().unwrap_or(0));
+        }
+        out
+    });
+    let mut ecc = Vec::with_capacity(n);
+    for chunk in chunk_results {
+        ecc.extend(chunk);
+    }
+    ecc
+}
+
+/// Sequential [`eccentricities`], kept as the ablation baseline for
+/// the `diameter_par` bench.
+pub fn eccentricities_seq(g: &Digraph) -> Vec<u32> {
+    let n = g.node_count();
+    let mut dist = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    let mut ecc = Vec::with_capacity(n);
+    for source in 0..n as u32 {
+        distances_into(g, source, &mut dist, &mut queue);
+        ecc.push(dist.iter().copied().max().unwrap_or(0));
+    }
+    ecc
+}
+
+/// Exact diameter: `Some(max eccentricity)` if the digraph is strongly
+/// connected, `None` otherwise (some pair is unreachable).
+pub fn diameter(g: &Digraph) -> Option<u32> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let ecc = eccentricities(g);
+    let max = ecc.into_iter().max().expect("nonempty");
+    (max != INFINITY).then_some(max)
+}
+
+/// Diameter with early abort: returns `None` as soon as any
+/// eccentricity exceeds `cap` (or on disconnection). The Table 1 sweep
+/// uses this to discard oversized candidates cheaply.
+pub fn diameter_at_most(g: &Digraph, cap: u32) -> Option<u32> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut dist = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    let mut best = 0u32;
+    for source in 0..n as u32 {
+        distances_into(g, source, &mut dist, &mut queue);
+        let ecc = dist.iter().copied().max().expect("nonempty");
+        if ecc > cap {
+            // covers INFINITY (disconnected) too
+            return None;
+        }
+        best = best.max(ecc);
+    }
+    Some(best)
+}
+
+/// Histogram of finite pairwise distances: `out[k]` = number of
+/// ordered pairs at distance exactly `k`. A cheap isomorphism
+/// invariant and the basis of average-distance reporting.
+pub fn distance_distribution(g: &Digraph) -> Vec<u64> {
+    let n = g.node_count();
+    const CHUNK: usize = 16;
+    let partials = otis_util::par_map(n.div_ceil(CHUNK), 1, |chunk_index| {
+        let start = chunk_index * CHUNK;
+        let end = ((chunk_index + 1) * CHUNK).min(n);
+        let mut dist = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        let mut hist: Vec<u64> = Vec::new();
+        for source in start..end {
+            distances_into(g, source as u32, &mut dist, &mut queue);
+            for &d in &dist {
+                if d != INFINITY {
+                    if hist.len() <= d as usize {
+                        hist.resize(d as usize + 1, 0);
+                    }
+                    hist[d as usize] += 1;
+                }
+            }
+        }
+        hist
+    });
+    let mut hist = Vec::new();
+    for partial in partials {
+        if hist.len() < partial.len() {
+            hist.resize(partial.len(), 0);
+        }
+        for (k, count) in partial.into_iter().enumerate() {
+            hist[k] += count;
+        }
+    }
+    hist
+}
+
+/// Mean finite pairwise distance over ordered pairs (excluding
+/// self-pairs), or `None` for graphs with < 2 vertices.
+pub fn mean_distance(g: &Digraph) -> Option<f64> {
+    if g.node_count() < 2 {
+        return None;
+    }
+    let hist = distance_distribution(g);
+    let (mut pairs, mut total) = (0u64, 0u64);
+    for (k, &count) in hist.iter().enumerate().skip(1) {
+        pairs += count;
+        total += count * k as u64;
+    }
+    (pairs > 0).then(|| total as f64 / pairs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Digraph {
+        Digraph::from_fn(n, |u| [(u + 1) % n as u32])
+    }
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = cycle(5);
+        assert_eq!(distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(distances(&g, 3), vec![2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = Digraph::from_fn(3, |u| if u == 0 { vec![1] } else { vec![] });
+        let d = distances(&g, 0);
+        assert_eq!(d, vec![0, 1, INFINITY]);
+        assert_eq!(eccentricity(&g, 0), INFINITY);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn diameter_of_cycles() {
+        for n in 1..=20 {
+            assert_eq!(diameter(&cycle(n)), Some(n as u32 - 1));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // A mildly irregular digraph: cycle plus chords.
+        let g = Digraph::from_fn(257, |u| {
+            let n = 257u32;
+            vec![(u + 1) % n, (u * 3 + 1) % n]
+        });
+        assert_eq!(eccentricities(&g), eccentricities_seq(&g));
+    }
+
+    #[test]
+    fn diameter_at_most_matches_exact() {
+        let g = cycle(12);
+        assert_eq!(diameter_at_most(&g, 11), Some(11));
+        assert_eq!(diameter_at_most(&g, 20), Some(11));
+        assert_eq!(diameter_at_most(&g, 10), None);
+        let disconnected = Digraph::empty(4);
+        assert_eq!(diameter_at_most(&disconnected, 100), None);
+    }
+
+    #[test]
+    fn distance_distribution_cycle() {
+        let hist = distance_distribution(&cycle(4));
+        // Each of 4 sources sees one vertex at each distance 0..=3.
+        assert_eq!(hist, vec![4, 4, 4, 4]);
+        assert_eq!(mean_distance(&cycle(4)), Some(2.0));
+    }
+
+    #[test]
+    fn mean_distance_edge_cases() {
+        assert_eq!(mean_distance(&Digraph::empty(1)), None);
+        assert_eq!(mean_distance(&Digraph::empty(3)), None, "no finite pairs");
+    }
+}

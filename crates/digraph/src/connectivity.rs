@@ -1,0 +1,254 @@
+//! Weak and strong connectivity.
+//!
+//! Proposition 3.9's negative branch says `A(f,σ,j)` with non-cyclic
+//! `f` is **disconnected**, and Remark 3.10 describes its weakly
+//! connected components — so component extraction is part of the
+//! paper's checkable surface, not just plumbing. Strong connectivity
+//! (iterative Tarjan) backs the diameter computations: a digraph has a
+//! finite diameter iff it is strongly connected.
+
+use crate::{Digraph, UnionFind};
+
+/// Weakly connected components: vertex `u` gets label `labels[u]` in
+/// `0..count`, numbered by smallest contained vertex.
+pub fn weak_components(g: &Digraph) -> Components {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.arcs() {
+        uf.union(u, v);
+    }
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    for u in 0..n as u32 {
+        let root = uf.find(u) as usize;
+        if labels[root] == u32::MAX {
+            labels[root] = count;
+            count += 1;
+        }
+        labels[u as usize] = labels[root];
+    }
+    Components { labels, count: count as usize }
+}
+
+/// Strongly connected components by Tarjan's algorithm, iterative so
+/// deep digraphs (long paths in line-digraph towers) cannot overflow
+/// the stack. Labels are in **reverse topological order** of the
+/// condensation (a property the tests pin down).
+pub fn strong_components(g: &Digraph) -> Components {
+    let n = g.node_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut labels = vec![0u32; n];
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    // Explicit DFS frames: (vertex, next arc offset within its range).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (u, ref mut next_arc)) = frames.last_mut() {
+            let range = g.arc_range(u);
+            if range.start + *next_arc < range.end {
+                let v = g.arc_target(range.start + *next_arc);
+                *next_arc += 1;
+                if index[v as usize] == UNVISITED {
+                    index[v as usize] = next_index;
+                    lowlink[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    frames.push((v, 0));
+                } else if on_stack[v as usize] {
+                    lowlink[u as usize] = lowlink[u as usize].min(index[v as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[u as usize]);
+                }
+                if lowlink[u as usize] == index[u as usize] {
+                    // u is an SCC root; pop its component.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack nonempty");
+                        on_stack[w as usize] = false;
+                        labels[w as usize] = count;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+
+    Components { labels: labels.into_iter().collect(), count: count as usize }
+}
+
+/// True iff the digraph is strongly connected (and nonempty).
+pub fn is_strongly_connected(g: &Digraph) -> bool {
+    g.node_count() > 0 && strong_components(g).count == 1
+}
+
+/// True iff the digraph is weakly connected (and nonempty).
+pub fn is_weakly_connected(g: &Digraph) -> bool {
+    g.node_count() > 0 && weak_components(g).count == 1
+}
+
+/// A vertex labeling into components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component label of `u`.
+    pub fn label(&self, u: u32) -> u32 {
+        self.labels[u as usize]
+    }
+
+    /// Per-vertex labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Vertices of each component, grouped: `out[c]` lists the
+    /// vertices with label `c`, ascending.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (u, &label) in self.labels.iter().enumerate() {
+            out[label as usize].push(u as u32);
+        }
+        out
+    }
+
+    /// Sorted multiset of component sizes.
+    pub fn size_multiset(&self) -> Vec<usize> {
+        let mut sizes: Vec<usize> = self.members().iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_components_of_two_cycles() {
+        // 0->1->0 and 2->3->4->2
+        let g = Digraph::from_fn(5, |u| match u {
+            0 => vec![1],
+            1 => vec![0],
+            2 => vec![3],
+            3 => vec![4],
+            _ => vec![2],
+        });
+        let wcc = weak_components(&g);
+        assert_eq!(wcc.count(), 2);
+        assert_eq!(wcc.size_multiset(), vec![2, 3]);
+        assert_eq!(wcc.label(0), wcc.label(1));
+        assert_ne!(wcc.label(0), wcc.label(2));
+        assert_eq!(wcc.members()[wcc.label(2) as usize], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn weak_ignores_direction() {
+        // A path 0->1<-2 is weakly one component, strongly three.
+        let g = Digraph::from_fn(3, |u| match u {
+            0 => vec![1],
+            2 => vec![1],
+            _ => vec![],
+        });
+        assert_eq!(weak_components(&g).count(), 1);
+        assert_eq!(strong_components(&g).count(), 3);
+        assert!(is_weakly_connected(&g));
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn scc_of_cycle_is_single() {
+        let g = Digraph::from_fn(7, |u| [(u + 1) % 7]);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(strong_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn scc_reverse_topological_labels() {
+        // 0 -> 1 -> 2 (three singleton SCCs): sink gets label 0.
+        let g = Digraph::from_fn(3, |u| if u < 2 { vec![u + 1] } else { vec![] });
+        let scc = strong_components(&g);
+        assert_eq!(scc.count(), 3);
+        assert!(scc.label(2) < scc.label(1));
+        assert!(scc.label(1) < scc.label(0));
+    }
+
+    #[test]
+    fn scc_mixed() {
+        // Component {0,1}, component {2,3,4}, arc between them.
+        let g = Digraph::from_fn(5, |u| match u {
+            0 => vec![1],
+            1 => vec![0, 2],
+            2 => vec![3],
+            3 => vec![4],
+            _ => vec![2],
+        });
+        let scc = strong_components(&g);
+        assert_eq!(scc.count(), 2);
+        assert_eq!(scc.size_multiset(), vec![2, 3]);
+        // {2,3,4} is the sink SCC -> label 0 (reverse topological).
+        assert_eq!(scc.label(2), 0);
+        assert_eq!(scc.label(0), 1);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // 200k-vertex path exercises the iterative DFS.
+        let n = 200_000;
+        let g = Digraph::from_fn(n, |u| {
+            if (u as usize) < n - 1 {
+                vec![u + 1]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(strong_components(&g).count(), n);
+        assert_eq!(weak_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Digraph::empty(0);
+        assert_eq!(weak_components(&g).count(), 0);
+        assert_eq!(strong_components(&g).count(), 0);
+        assert!(!is_strongly_connected(&g));
+        assert!(!is_weakly_connected(&g));
+    }
+
+    #[test]
+    fn parallel_arcs_and_loops_are_harmless() {
+        let g = Digraph::from_fn(2, |u| vec![u, 1 - u, 1 - u]);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(weak_components(&g).count(), 1);
+    }
+}

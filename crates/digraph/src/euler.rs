@@ -1,0 +1,147 @@
+//! Eulerian circuits (Hierholzer's algorithm).
+//!
+//! The de Bruijn digraph's raison d'être: an Eulerian circuit of
+//! `B(d, D)` spells a de Bruijn *sequence* of order `D+1` — a cyclic
+//! string over `Z_d` containing every `(D+1)`-word exactly once.
+//! `otis-core` builds the sequences; this module supplies the circuit.
+
+use crate::Digraph;
+
+/// An Eulerian circuit of `g` as a sequence of arc ids (each arc used
+/// exactly once, consecutive arcs head-to-tail, closing into a
+/// cycle), or `None` if none exists.
+///
+/// Existence: every vertex has in-degree = out-degree and all arcs lie
+/// in one weakly connected component. Runs in `O(n + m)` (iterative
+/// Hierholzer).
+pub fn eulerian_circuit(g: &Digraph) -> Option<Vec<usize>> {
+    let n = g.node_count();
+    let m = g.arc_count();
+    if m == 0 {
+        return Some(Vec::new());
+    }
+    // Degree condition.
+    let indeg = g.in_degrees();
+    for u in 0..n as u32 {
+        if g.out_degree(u) != indeg[u as usize] {
+            return None;
+        }
+    }
+    // All arcs in one weak component.
+    let wcc = crate::connectivity::weak_components(g);
+    let start = (0..n as u32).find(|&u| g.out_degree(u) > 0)?;
+    for u in 0..n as u32 {
+        if g.out_degree(u) > 0 && wcc.label(u) != wcc.label(start) {
+            return None;
+        }
+    }
+
+    // Hierholzer, iterative: walk until stuck, splice sub-tours.
+    let mut next_unused: Vec<usize> = (0..n).map(|u| g.arc_range(u as u32).start).collect();
+    let mut stack: Vec<(u32, Option<usize>)> = vec![(start, None)]; // (vertex, arc that got us here)
+    let mut circuit_rev: Vec<usize> = Vec::with_capacity(m);
+    while let Some(&(u, via)) = stack.last() {
+        let range = g.arc_range(u);
+        if next_unused[u as usize] < range.end {
+            let arc = next_unused[u as usize];
+            next_unused[u as usize] += 1;
+            stack.push((g.arc_target(arc), Some(arc)));
+        } else {
+            stack.pop();
+            if let Some(arc) = via {
+                circuit_rev.push(arc);
+            }
+        }
+    }
+    if circuit_rev.len() != m {
+        return None; // arcs left over: graph was not connected enough
+    }
+    circuit_rev.reverse();
+    Some(circuit_rev)
+}
+
+/// Check that a sequence of arc ids forms an Eulerian circuit of `g`.
+pub fn is_eulerian_circuit(g: &Digraph, circuit: &[usize]) -> bool {
+    if circuit.len() != g.arc_count() {
+        return false;
+    }
+    if circuit.is_empty() {
+        return true;
+    }
+    let mut used = vec![false; g.arc_count()];
+    for window in 0..circuit.len() {
+        let arc = circuit[window];
+        if arc >= g.arc_count() || std::mem::replace(&mut used[arc], true) {
+            return false;
+        }
+        let next = circuit[(window + 1) % circuit.len()];
+        if g.arc_target(arc) != g.arc_source(next) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn cycle_has_trivial_circuit() {
+        let g = ops::circuit(5);
+        let circuit = eulerian_circuit(&g).expect("cycle is Eulerian");
+        assert!(is_eulerian_circuit(&g, &circuit));
+    }
+
+    #[test]
+    fn complete_with_loops_is_eulerian() {
+        let g = ops::complete_with_loops(4);
+        let circuit = eulerian_circuit(&g).expect("in = out everywhere");
+        assert_eq!(circuit.len(), 16);
+        assert!(is_eulerian_circuit(&g, &circuit));
+    }
+
+    #[test]
+    fn unbalanced_degrees_rejected() {
+        // Path 0 -> 1 -> 2: in != out at the ends.
+        let g = Digraph::from_fn(3, |u| if u < 2 { vec![u + 1] } else { vec![] });
+        assert_eq!(eulerian_circuit(&g), None);
+    }
+
+    #[test]
+    fn two_components_rejected() {
+        let g = ops::disjoint_union(&ops::circuit(3), &ops::circuit(3));
+        assert_eq!(eulerian_circuit(&g), None);
+    }
+
+    #[test]
+    fn isolated_vertices_are_fine() {
+        // A 3-cycle plus two isolated vertices is Eulerian.
+        let g = Digraph::from_fn(5, |u| if u < 3 { vec![(u + 1) % 3] } else { vec![] });
+        let circuit = eulerian_circuit(&g).expect("isolated vertices don't matter");
+        assert!(is_eulerian_circuit(&g, &circuit));
+    }
+
+    #[test]
+    fn empty_graph_empty_circuit() {
+        assert_eq!(eulerian_circuit(&Digraph::empty(3)), Some(vec![]));
+        assert!(is_eulerian_circuit(&Digraph::empty(3), &[]));
+    }
+
+    #[test]
+    fn parallel_arcs_all_used() {
+        let g = Digraph::from_fn(2, |u| vec![1 - u, 1 - u]);
+        let circuit = eulerian_circuit(&g).expect("balanced multigraph");
+        assert_eq!(circuit.len(), 4);
+        assert!(is_eulerian_circuit(&g, &circuit));
+    }
+
+    #[test]
+    fn checker_rejects_garbage() {
+        let g = ops::circuit(4);
+        assert!(!is_eulerian_circuit(&g, &[0, 1, 2])); // wrong length
+        assert!(!is_eulerian_circuit(&g, &[0, 0, 1, 2])); // reuse
+        assert!(!is_eulerian_circuit(&g, &[0, 2, 1, 3])); // discontinuous
+    }
+}

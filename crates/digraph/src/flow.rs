@@ -1,0 +1,243 @@
+//! Unit-capacity max-flow and global arc-connectivity.
+//!
+//! The fault-tolerance of the paper's networks is a connectivity
+//! story: `B(d,D)` tolerates `d-2` arc failures between any pair
+//! (its arc-connectivity is `d-1`, throttled by the loop vertices),
+//! while `K(d,D)` — having no loops — achieves the optimal `d`. The
+//! fault-injection experiments in `otis-optics` lean on these numbers;
+//! this module computes them exactly.
+//!
+//! Max-flow is BFS-augmenting Edmonds–Karp specialized to unit arc
+//! capacities (each parallel arc contributes one unit). Global
+//! arc-connectivity uses the standard fixed-source reduction:
+//! `λ(G) = min over v ≠ s of min(maxflow(s,v), maxflow(v,s))`.
+
+use crate::Digraph;
+
+/// Maximum `s → t` flow with every arc of capacity 1 (parallel arcs
+/// stack). Equals the maximum number of arc-disjoint `s → t` paths
+/// (Menger). `s == t` returns `usize::MAX`-free 0 by convention.
+pub fn max_flow_unit(g: &Digraph, s: u32, t: u32) -> usize {
+    if s == t {
+        return 0;
+    }
+    let n = g.node_count();
+    // Residual graph as adjacency with capacities; build arc lists
+    // with reverse arcs. Arc i and i^1 are a forward/backward pair.
+    let mut heads: Vec<u32> = Vec::with_capacity(g.arc_count() * 2);
+    let mut caps: Vec<u32> = Vec::with_capacity(g.arc_count() * 2);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, v) in g.arcs() {
+        adj[u as usize].push(heads.len() as u32);
+        heads.push(v);
+        caps.push(1);
+        adj[v as usize].push(heads.len() as u32);
+        heads.push(u);
+        caps.push(0);
+    }
+
+    let mut flow = 0usize;
+    let mut parent_arc = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    loop {
+        parent_arc.iter_mut().for_each(|p| *p = u32::MAX);
+        queue.clear();
+        queue.push_back(s);
+        let mut reached = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &arc in &adj[u as usize] {
+                if caps[arc as usize] == 0 {
+                    continue;
+                }
+                let v = heads[arc as usize];
+                if v != s && parent_arc[v as usize] == u32::MAX {
+                    parent_arc[v as usize] = arc;
+                    if v == t {
+                        reached = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !reached {
+            return flow;
+        }
+        // Augment by 1 along the parent chain.
+        let mut v = t;
+        while v != s {
+            let arc = parent_arc[v as usize] as usize;
+            caps[arc] -= 1;
+            caps[arc ^ 1] += 1;
+            // The arc goes (u -> v); u is the head of the paired arc.
+            v = heads[arc ^ 1];
+        }
+        flow += 1;
+    }
+}
+
+/// Global arc-connectivity `λ(G)`: the minimum number of arcs whose
+/// removal destroys strong connectivity. Returns 0 for digraphs that
+/// are not strongly connected (or have < 2 vertices).
+pub fn arc_connectivity(g: &Digraph) -> usize {
+    let n = g.node_count();
+    if n < 2 || !crate::connectivity::is_strongly_connected(g) {
+        return 0;
+    }
+    // λ = min over v≠0 of min(flow(0,v), flow(v,0)): any minimum arc
+    // cut separates vertex 0 from some vertex in one direction.
+    let mut best = usize::MAX;
+    for v in 1..n as u32 {
+        best = best
+            .min(max_flow_unit(g, 0, v))
+            .min(max_flow_unit(g, v, 0));
+        if best == 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Extract `count` arc-disjoint `s → t` paths (vertex sequences) from
+/// a fresh max-flow computation; `count` must not exceed
+/// [`max_flow_unit`]. Paths are arc-disjoint, not necessarily
+/// vertex-disjoint.
+pub fn arc_disjoint_paths(g: &Digraph, s: u32, t: u32, count: usize) -> Vec<Vec<u32>> {
+    assert!(s != t, "need distinct endpoints");
+    let n = g.node_count();
+    let mut heads: Vec<u32> = Vec::with_capacity(g.arc_count() * 2);
+    let mut caps: Vec<u32> = Vec::with_capacity(g.arc_count() * 2);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, v) in g.arcs() {
+        adj[u as usize].push(heads.len() as u32);
+        heads.push(v);
+        caps.push(1);
+        adj[v as usize].push(heads.len() as u32);
+        heads.push(u);
+        caps.push(0);
+    }
+    let mut parent_arc = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    let mut achieved = 0usize;
+    while achieved < count {
+        parent_arc.iter_mut().for_each(|p| *p = u32::MAX);
+        queue.clear();
+        queue.push_back(s);
+        let mut reached = false;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &arc in &adj[u as usize] {
+                if caps[arc as usize] == 0 {
+                    continue;
+                }
+                let v = heads[arc as usize];
+                if v != s && parent_arc[v as usize] == u32::MAX {
+                    parent_arc[v as usize] = arc;
+                    if v == t {
+                        reached = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert!(reached, "requested {count} paths but only {achieved} exist");
+        let mut v = t;
+        while v != s {
+            let arc = parent_arc[v as usize] as usize;
+            caps[arc] -= 1;
+            caps[arc ^ 1] += 1;
+            v = heads[arc ^ 1];
+        }
+        achieved += 1;
+    }
+    // Decompose the flow (arcs with cap 0 on the forward copy carry
+    // flow) into paths by walking from s.
+    let mut used: Vec<bool> = vec![false; heads.len()];
+    let mut paths = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut path = vec![s];
+        let mut u = s;
+        while u != t {
+            let arc = adj[u as usize]
+                .iter()
+                .copied()
+                .find(|&a| a % 2 == 0 && caps[a as usize] == 0 && !used[a as usize])
+                .expect("flow decomposition: stuck");
+            used[arc as usize] = true;
+            u = heads[arc as usize];
+            path.push(u);
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn flow_on_cycle_is_one() {
+        let g = ops::circuit(5);
+        assert_eq!(max_flow_unit(&g, 0, 3), 1);
+        assert_eq!(max_flow_unit(&g, 3, 0), 1);
+        assert_eq!(arc_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn flow_on_complete_digraph() {
+        // K_4 without loops: 3 arc-disjoint paths between any pair
+        // (direct + 2 two-hop), λ = 3.
+        let g = Digraph::from_fn(4, |u| (0..4u32).filter(|&v| v != u).collect::<Vec<_>>());
+        assert_eq!(max_flow_unit(&g, 0, 3), 3);
+        assert_eq!(arc_connectivity(&g), 3);
+    }
+
+    #[test]
+    fn parallel_arcs_add_capacity() {
+        let g = Digraph::from_fn(2, |u| if u == 0 { vec![1, 1] } else { vec![0] });
+        assert_eq!(max_flow_unit(&g, 0, 1), 2);
+        assert_eq!(max_flow_unit(&g, 1, 0), 1);
+        assert_eq!(arc_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn disconnected_zero() {
+        let g = ops::disjoint_union(&ops::circuit(3), &ops::circuit(3));
+        assert_eq!(max_flow_unit(&g, 0, 4), 0);
+        assert_eq!(arc_connectivity(&g), 0);
+        assert_eq!(arc_connectivity(&Digraph::empty(1)), 0);
+    }
+
+    #[test]
+    fn self_flow_zero() {
+        assert_eq!(max_flow_unit(&ops::circuit(3), 1, 1), 0);
+    }
+
+    #[test]
+    fn flow_equals_menger_paths() {
+        let g = Digraph::from_fn(6, |u| vec![(u + 1) % 6, (u + 2) % 6]);
+        let flow = max_flow_unit(&g, 0, 3);
+        assert_eq!(flow, 2);
+        let paths = arc_disjoint_paths(&g, 0, 3, flow);
+        assert_eq!(paths.len(), 2);
+        // Validate: each path is a real walk; arcs pairwise disjoint.
+        let mut seen_arcs = std::collections::HashSet::new();
+        for path in &paths {
+            assert_eq!(path[0], 0);
+            assert_eq!(*path.last().unwrap(), 3);
+            for w in path.windows(2) {
+                assert!(g.has_arc(w[0], w[1]));
+                assert!(seen_arcs.insert((w[0], w[1])), "arc reused");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn too_many_paths_requested_panics() {
+        let g = ops::circuit(4);
+        arc_disjoint_paths(&g, 0, 2, 2);
+    }
+}

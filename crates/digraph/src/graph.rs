@@ -1,0 +1,295 @@
+//! The [`Digraph`] CSR type and its builder.
+
+use serde::{Deserialize, Serialize};
+
+/// An immutable directed multigraph in CSR form.
+///
+/// Vertices are `0..n` (`u32`); arcs are stored as a flat target
+/// array indexed by per-vertex offsets. Loops and parallel arcs are
+/// allowed — `B(d,D)` has `d` loops, and degenerate OTIS digraphs can
+/// have parallel arcs — and each vertex's targets are sorted, which
+/// gives canonical arc ids and lets the isomorphism checker compare
+/// neighbor *multisets* with a linear scan.
+///
+/// ```
+/// use otis_digraph::Digraph;
+///
+/// // The directed triangle, from its adjacency function.
+/// let g = Digraph::from_fn(3, |u| [(u + 1) % 3]);
+/// assert_eq!(g.arc_count(), 3);
+/// assert!(g.has_arc(2, 0));
+/// assert_eq!(otis_digraph::bfs::diameter(&g), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Digraph {
+    /// `offsets[u]..offsets[u+1]` indexes `targets` for vertex `u`.
+    offsets: Box<[usize]>,
+    /// Arc targets, sorted within each vertex's slice.
+    targets: Box<[u32]>,
+}
+
+impl Digraph {
+    /// Build from an out-neighbor function: vertex `u`'s targets are
+    /// `neighbors(u)`. The workhorse constructor — every family
+    /// generator in `otis-core` funnels through it.
+    pub fn from_fn<I>(n: usize, mut neighbors: impl FnMut(u32) -> I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        assert!(n <= u32::MAX as usize, "vertex count {n} exceeds u32 range");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0usize);
+        for u in 0..n as u32 {
+            let start = targets.len();
+            for v in neighbors(u) {
+                assert!((v as usize) < n, "arc {u} -> {v} leaves vertex range 0..{n}");
+                targets.push(v);
+            }
+            targets[start..].sort_unstable();
+            offsets.push(targets.len());
+        }
+        Digraph {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+        }
+    }
+
+    /// The digraph with `n` vertices and no arcs.
+    pub fn empty(n: usize) -> Self {
+        Digraph::from_fn(n, |_| std::iter::empty())
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of arcs (with multiplicity).
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-neighbors of `u`, sorted, with multiplicity.
+    #[inline]
+    pub fn out_neighbors(&self, u: u32) -> &[u32] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: u32) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// In-degree table (computed in one pass).
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut degrees = vec![0usize; self.node_count()];
+        for &v in self.targets.iter() {
+            degrees[v as usize] += 1;
+        }
+        degrees
+    }
+
+    /// All arcs `(source, target)` in CSR order. The position of an
+    /// arc in this enumeration is its *arc id*, which the line-digraph
+    /// construction uses as vertex id.
+    pub fn arcs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.node_count() as u32)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Arc id range of vertex `u`'s outgoing arcs.
+    #[inline]
+    pub fn arc_range(&self, u: u32) -> std::ops::Range<usize> {
+        self.offsets[u as usize]..self.offsets[u as usize + 1]
+    }
+
+    /// Target of the arc with the given id.
+    #[inline]
+    pub fn arc_target(&self, arc: usize) -> u32 {
+        self.targets[arc]
+    }
+
+    /// Source of the arc with the given id (binary search over
+    /// offsets; `O(log n)`).
+    pub fn arc_source(&self, arc: usize) -> u32 {
+        debug_assert!(arc < self.arc_count());
+        // partition_point returns the first offset strictly greater
+        // than `arc`; its predecessor is the source vertex.
+        (self.offsets.partition_point(|&o| o <= arc) - 1) as u32
+    }
+
+    /// `Some(d)` iff every vertex has out-degree exactly `d`.
+    pub fn regular_degree(&self) -> Option<usize> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        let d = self.out_degree(0);
+        (1..n as u32).all(|u| self.out_degree(u) == d).then_some(d)
+    }
+
+    /// Number of loops `u → u` (with multiplicity).
+    pub fn loop_count(&self) -> usize {
+        (0..self.node_count() as u32)
+            .map(|u| self.out_neighbors(u).iter().filter(|&&v| v == u).count())
+            .sum()
+    }
+
+    /// True iff `u → v` is an arc (binary search).
+    pub fn has_arc(&self, u: u32, v: u32) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Multiplicity of the arc `u → v`.
+    pub fn arc_multiplicity(&self, u: u32, v: u32) -> usize {
+        let neighbors = self.out_neighbors(u);
+        let lo = neighbors.partition_point(|&w| w < v);
+        let hi = neighbors.partition_point(|&w| w <= v);
+        hi - lo
+    }
+}
+
+/// Incremental arc-list builder for [`Digraph`].
+///
+/// Use when arcs are discovered out of source order (e.g. while
+/// tracing optical paths); arcs are bucketed by source with a counting
+/// sort, so building is `O(n + m)`.
+#[derive(Debug, Clone, Default)]
+pub struct DigraphBuilder {
+    n: usize,
+    arcs: Vec<(u32, u32)>,
+}
+
+impl DigraphBuilder {
+    /// Builder for a digraph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count {n} exceeds u32 range");
+        DigraphBuilder { n, arcs: Vec::new() }
+    }
+
+    /// Pre-allocate for `m` arcs.
+    pub fn with_arc_capacity(n: usize, m: usize) -> Self {
+        let mut b = DigraphBuilder::new(n);
+        b.arcs.reserve(m);
+        b
+    }
+
+    /// Add the arc `u → v`.
+    pub fn add_arc(&mut self, u: u32, v: u32) -> &mut Self {
+        assert!((u as usize) < self.n, "source {u} out of range 0..{}", self.n);
+        assert!((v as usize) < self.n, "target {v} out of range 0..{}", self.n);
+        self.arcs.push((u, v));
+        self
+    }
+
+    /// Number of arcs added so far.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Finish into a [`Digraph`].
+    pub fn build(&self) -> Digraph {
+        // Counting sort by source.
+        let mut counts = vec![0usize; self.n + 1];
+        for &(u, _) in &self.arcs {
+            counts[u as usize + 1] += 1;
+        }
+        for i in 0..self.n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets: Box<[usize]> = counts.clone().into_boxed_slice();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; self.arcs.len()];
+        for &(u, v) in &self.arcs {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+        }
+        for u in 0..self.n {
+            targets[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Digraph { offsets, targets: targets.into_boxed_slice() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Digraph {
+        // 0 -> 1 -> 2 -> 0
+        Digraph::from_fn(3, |u| [(u + 1) % 3])
+    }
+
+    #[test]
+    fn from_fn_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.arc_count(), 3);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.regular_degree(), Some(1));
+    }
+
+    #[test]
+    fn builder_matches_from_fn() {
+        let mut b = DigraphBuilder::new(3);
+        // insert out of order to exercise the counting sort
+        b.add_arc(2, 0).add_arc(0, 1).add_arc(1, 2);
+        assert_eq!(b.build(), triangle());
+    }
+
+    #[test]
+    fn neighbors_sorted_with_multiplicity() {
+        let g = Digraph::from_fn(3, |u| if u == 0 { vec![2, 1, 2] } else { vec![] });
+        assert_eq!(g.out_neighbors(0), &[1, 2, 2]);
+        assert_eq!(g.arc_multiplicity(0, 2), 2);
+        assert_eq!(g.arc_multiplicity(0, 1), 1);
+        assert_eq!(g.arc_multiplicity(0, 0), 0);
+        assert!(g.has_arc(0, 2));
+        assert!(!g.has_arc(1, 0));
+    }
+
+    #[test]
+    fn in_degrees_and_loops() {
+        let g = Digraph::from_fn(3, |u| vec![u, (u + 1) % 3]);
+        assert_eq!(g.in_degrees(), vec![2, 2, 2]);
+        assert_eq!(g.loop_count(), 3);
+    }
+
+    #[test]
+    fn arc_ids_round_trip() {
+        let g = Digraph::from_fn(4, |u| vec![(u + 1) % 4, (u + 2) % 4]);
+        for (id, (u, v)) in g.arcs().enumerate() {
+            assert_eq!(g.arc_source(id), u);
+            assert_eq!(g.arc_target(id), v);
+            assert!(g.arc_range(u).contains(&id));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Digraph::empty(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.arc_count(), 0);
+        assert_eq!(g.regular_degree(), Some(0));
+        assert_eq!(Digraph::empty(0).regular_degree(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves vertex range")]
+    fn out_of_range_target_panics() {
+        Digraph::from_fn(2, |_| [7u32]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = triangle();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Digraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

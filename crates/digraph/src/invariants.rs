@@ -1,0 +1,169 @@
+//! Cheap isomorphism invariants.
+//!
+//! Equal invariants prove nothing; **unequal invariants certify
+//! non-isomorphism** without any search. The VF2 baseline uses the
+//! per-vertex invariants as candidate classes, and the layout search
+//! uses the whole-graph certificate to bucket candidate digraphs
+//! before attempting explicit witnesses.
+
+use crate::{bfs, Digraph, INFINITY};
+use std::hash::{Hash, Hasher};
+
+/// Sorted multiset of `(out-degree, in-degree)` pairs.
+pub fn degree_pair_multiset(g: &Digraph) -> Vec<(u32, u32)> {
+    let indeg = g.in_degrees();
+    let mut pairs: Vec<(u32, u32)> = (0..g.node_count())
+        .map(|u| (g.out_degree(u as u32) as u32, indeg[u] as u32))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Number of digons (`u → v` and `v → u`, counted once per unordered
+/// pair with multiplicity `min(m(u,v), m(v,u))`); loops excluded.
+pub fn digon_count(g: &Digraph) -> usize {
+    let mut count = 0usize;
+    for u in 0..g.node_count() as u32 {
+        let mut k = 0;
+        let neighbors = g.out_neighbors(u);
+        while k < neighbors.len() {
+            let v = neighbors[k];
+            let run = neighbors[k..].iter().take_while(|&&w| w == v).count();
+            if v > u {
+                count += run.min(g.arc_multiplicity(v, u));
+            }
+            k += run;
+        }
+    }
+    count
+}
+
+/// Per-vertex invariant: hash of (out-degree, in-degree, loop
+/// multiplicity, sorted BFS distance histogram from the vertex).
+///
+/// Isomorphic vertices (vertices related by some isomorphism) get
+/// equal values, so these hashes partition vertices into candidate
+/// classes for the VF2 search.
+pub fn vertex_profiles(g: &Digraph) -> Vec<u64> {
+    let n = g.node_count();
+    let indeg = g.in_degrees();
+    const CHUNK: usize = 16;
+    let chunks = otis_util::par_map(n.div_ceil(CHUNK), 1, |chunk_index| {
+        let start = chunk_index * CHUNK;
+        let end = ((chunk_index + 1) * CHUNK).min(n);
+        let mut out = Vec::with_capacity(end - start);
+        #[allow(clippy::needless_range_loop)]
+        for u in start..end {
+            let dist = bfs::distances(g, u as u32);
+            let mut hist: Vec<u32> = Vec::new();
+            let mut unreachable = 0u32;
+            for &d in &dist {
+                if d == INFINITY {
+                    unreachable += 1;
+                } else {
+                    if hist.len() <= d as usize {
+                        hist.resize(d as usize + 1, 0);
+                    }
+                    hist[d as usize] += 1;
+                }
+            }
+            let mut hasher = otis_util::FxHasher::default();
+            (g.out_degree(u as u32) as u32).hash(&mut hasher);
+            (indeg[u] as u32).hash(&mut hasher);
+            (g.arc_multiplicity(u as u32, u as u32) as u32).hash(&mut hasher);
+            unreachable.hash(&mut hasher);
+            hist.hash(&mut hasher);
+            out.push(hasher.finish());
+        }
+        out
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+/// Whole-graph certificate: equal for isomorphic digraphs, cheap to
+/// compare. Combines node/arc counts, loop and digon counts, the
+/// degree-pair multiset and the sorted vertex profiles.
+pub fn certificate(g: &Digraph) -> u64 {
+    let mut profiles = vertex_profiles(g);
+    profiles.sort_unstable();
+    let mut hasher = otis_util::FxHasher::default();
+    (g.node_count() as u64).hash(&mut hasher);
+    (g.arc_count() as u64).hash(&mut hasher);
+    (g.loop_count() as u64).hash(&mut hasher);
+    (digon_count(g) as u64).hash(&mut hasher);
+    degree_pair_multiset(g).hash(&mut hasher);
+    profiles.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// `true` means *definitely not isomorphic*; `false` means "maybe —
+/// run a real check".
+pub fn definitely_not_isomorphic(g: &Digraph, h: &Digraph) -> bool {
+    g.node_count() != h.node_count()
+        || g.arc_count() != h.arc_count()
+        || certificate(g) != certificate(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn degree_multiset_sorted() {
+        let g = Digraph::from_fn(3, |u| if u == 0 { vec![1, 2] } else { vec![0] });
+        assert_eq!(degree_pair_multiset(&g), vec![(1, 1), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn digons_counted_once_per_pair() {
+        // 0 <-> 1, 1 -> 2
+        let g = Digraph::from_fn(3, |u| match u {
+            0 => vec![1],
+            1 => vec![0, 2],
+            _ => vec![],
+        });
+        assert_eq!(digon_count(&g), 1);
+        // loops are not digons
+        let loops = Digraph::from_fn(2, |u| vec![u]);
+        assert_eq!(digon_count(&loops), 0);
+        // parallel digons count multiplicity-aware
+        let multi = Digraph::from_fn(2, |u| vec![1 - u, 1 - u]);
+        assert_eq!(digon_count(&multi), 2);
+    }
+
+    #[test]
+    fn relabeled_graph_has_equal_certificate() {
+        let g = Digraph::from_fn(6, |u| vec![(u + 1) % 6, (u * 2) % 6]);
+        let relabeled = ops::relabel(&g, &[3, 1, 4, 0, 5, 2]);
+        assert_eq!(certificate(&g), certificate(&relabeled));
+        assert!(!definitely_not_isomorphic(&g, &relabeled));
+    }
+
+    #[test]
+    fn different_structures_flagged() {
+        // Same n, m: a 6-cycle vs two 3-cycles.
+        let c6 = ops::circuit(6);
+        let c3c3 = ops::disjoint_union(&ops::circuit(3), &ops::circuit(3));
+        assert!(definitely_not_isomorphic(&c6, &c3c3));
+        // Different sizes trivially flagged.
+        assert!(definitely_not_isomorphic(&c6, &ops::circuit(5)));
+    }
+
+    #[test]
+    fn profile_classes_split_asymmetric_graph() {
+        // Path 0->1->2: all three vertices pairwise distinguishable.
+        let g = Digraph::from_fn(3, |u| if u < 2 { vec![u + 1] } else { vec![] });
+        let p = vertex_profiles(&g);
+        assert_ne!(p[0], p[1]);
+        assert_ne!(p[1], p[2]);
+        assert_ne!(p[0], p[2]);
+    }
+
+    #[test]
+    fn profile_classes_uniform_on_vertex_transitive_graph() {
+        let c = ops::circuit(8);
+        let p = vertex_profiles(&c);
+        assert!(p.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -1,0 +1,46 @@
+//! Compact digraph substrate for the de Bruijn / OTIS reproduction.
+//!
+//! Everything in the paper is a *digraph* — usually a sparse,
+//! `d`-regular one with `d^D` or `d^{D-1}(d+1)` vertices — and every
+//! experiment ultimately asks one of a handful of structural
+//! questions: what is the diameter (Table 1)? is it connected
+//! (Proposition 3.9's negative branch)? are these two digraphs
+//! isomorphic, and can a claimed isomorphism be *verified* cheaply
+//! (Corollaries 4.2/4.5)?
+//!
+//! This crate answers those questions with no external graph
+//! dependency:
+//!
+//! * [`Digraph`] — an immutable CSR (compressed sparse row)
+//!   multi-digraph; build it from an arc list ([`DigraphBuilder`]) or
+//!   straight from an adjacency function ([`Digraph::from_fn`]);
+//! * [`bfs`] — single-source distances, eccentricities, diameter
+//!   (scoped-thread parallel all-pairs), distance distributions;
+//! * [`connectivity`] — weakly connected components (union–find) and
+//!   strongly connected components (iterative Tarjan);
+//! * [`ops`] — reverse, conjunction `⊗` (Definition 2.3), line
+//!   digraph `L(G)`, disjoint union, relabeling;
+//! * [`iso`] — `O(n + m)` verification of explicit isomorphism
+//!   witnesses (the paper's constructive maps), plus a VF2-style
+//!   search with invariant pruning as the *baseline* a practitioner
+//!   would otherwise use;
+//! * [`invariants`] — cheap non-isomorphism certificates (degree
+//!   multisets, loop/digon counts, distance profiles);
+//! * [`dot`] — Graphviz export used to regenerate the paper's figures.
+
+pub mod bfs;
+pub mod connectivity;
+pub mod dot;
+pub mod euler;
+pub mod flow;
+mod graph;
+pub mod invariants;
+pub mod iso;
+pub mod ops;
+mod unionfind;
+
+pub use graph::{Digraph, DigraphBuilder};
+pub use unionfind::UnionFind;
+
+/// Sentinel distance for unreachable vertices.
+pub const INFINITY: u32 = u32::MAX;

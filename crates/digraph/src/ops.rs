@@ -1,0 +1,261 @@
+//! Digraph operations: reverse, conjunction `⊗`, line digraph,
+//! disjoint union, relabeling.
+//!
+//! The paper leans on two product-like operations:
+//!
+//! * the **conjunction** `G₁ ⊗ G₂` (Definition 2.3): arcs
+//!   `(u₁,u₂) → (v₁,v₂)` iff `u₁ → v₁` and `u₂ → v₂`. Remark 2.4 notes
+//!   `B(d,k) ⊗ B(d',k) = B(dd',k)`, and Remark 3.10 describes the
+//!   components of disconnected `A(f,σ,j)` as conjunctions
+//!   `C_r ⊗ B(d,·)` of circuits with de Bruijn digraphs;
+//! * the **line digraph** `L(G)`: vertices are arcs of `G`, with
+//!   `(u,v) → (v,w)`. De Bruijn and Kautz digraphs are line-digraph
+//!   towers (`L(B(d,D)) = B(d,D+1)`, `L(II(d,n)) = II(d,dn)`), which
+//!   is how `otis-core` derives the Kautz ↔ Imase–Itoh isomorphism.
+
+use crate::{Digraph, DigraphBuilder};
+
+/// The reverse digraph `G⁻`: every arc `u → v` becomes `v → u`.
+///
+/// Section 4.2: if `G` has an `OTIS(p,q)` layout then `G⁻` has an
+/// `OTIS(q,p)` layout, so reversal is part of the layout story.
+pub fn reverse(g: &Digraph) -> Digraph {
+    let mut builder = DigraphBuilder::with_arc_capacity(g.node_count(), g.arc_count());
+    for (u, v) in g.arcs() {
+        builder.add_arc(v, u);
+    }
+    builder.build()
+}
+
+/// Conjunction `G₁ ⊗ G₂` (Definition 2.3).
+///
+/// Vertex `(u₁, u₂)` is encoded as `u₁ · n₂ + u₂`; the encoding is
+/// exposed via [`conjunction_vertex`] / [`conjunction_unpair`] so
+/// callers can build explicit isomorphism witnesses on top.
+pub fn conjunction(g1: &Digraph, g2: &Digraph) -> Digraph {
+    let n1 = g1.node_count();
+    let n2 = g2.node_count();
+    let n = n1
+        .checked_mul(n2)
+        .filter(|&n| n <= u32::MAX as usize)
+        .expect("conjunction vertex count overflows u32");
+    Digraph::from_fn(n, |uv| {
+        let (u1, u2) = conjunction_unpair(uv, n2);
+        let targets2: Vec<u32> = g2.out_neighbors(u2).to_vec();
+        g1.out_neighbors(u1)
+            .iter()
+            .flat_map(move |&v1| {
+                targets2
+                    .clone()
+                    .into_iter()
+                    .map(move |v2| conjunction_vertex(v1, v2, n2))
+            })
+            .collect::<Vec<u32>>()
+    })
+}
+
+/// Encode the conjunction vertex `(u₁, u₂)` with `n₂` = order of the
+/// right factor.
+#[inline]
+pub fn conjunction_vertex(u1: u32, u2: u32, n2: usize) -> u32 {
+    u1 * n2 as u32 + u2
+}
+
+/// Decode a conjunction vertex id back into `(u₁, u₂)`.
+#[inline]
+pub fn conjunction_unpair(uv: u32, n2: usize) -> (u32, u32) {
+    (uv / n2 as u32, uv % n2 as u32)
+}
+
+/// The directed cycle `C_n` (`u → u+1 mod n`), the left factor of
+/// Remark 3.10's component decomposition. `C_1` is a single loop.
+pub fn circuit(n: usize) -> Digraph {
+    assert!(n >= 1, "circuit needs at least one vertex");
+    Digraph::from_fn(n, |u| [(u + 1) % n as u32])
+}
+
+/// The complete symmetric digraph with loops `K_n⁺` (every ordered
+/// pair, including `u → u`). The OTIS network of [34] (Zane et al.)
+/// realizes exactly this digraph; used by the optics tests.
+pub fn complete_with_loops(n: usize) -> Digraph {
+    Digraph::from_fn(n, |_| (0..n as u32).collect::<Vec<_>>())
+}
+
+/// Line digraph `L(G)`: vertex `a` of `L(G)` is the arc with id `a`
+/// in `G` (CSR order, see [`Digraph::arcs`]); there is an arc
+/// `a → b` iff `target(a) = source(b)`.
+pub fn line_digraph(g: &Digraph) -> Digraph {
+    let m = g.arc_count();
+    assert!(m <= u32::MAX as usize, "line digraph vertex count overflows u32");
+    Digraph::from_fn(m, |a| {
+        let v = g.arc_target(a as usize);
+        g.arc_range(v).map(|b| b as u32).collect::<Vec<u32>>()
+    })
+}
+
+/// Disjoint union: vertices of `g2` are shifted by `g1.node_count()`.
+pub fn disjoint_union(g1: &Digraph, g2: &Digraph) -> Digraph {
+    let n1 = g1.node_count();
+    let n = n1 + g2.node_count();
+    let mut builder = DigraphBuilder::with_arc_capacity(n, g1.arc_count() + g2.arc_count());
+    for (u, v) in g1.arcs() {
+        builder.add_arc(u, v);
+    }
+    for (u, v) in g2.arcs() {
+        builder.add_arc(u + n1 as u32, v + n1 as u32);
+    }
+    builder.build()
+}
+
+/// Relabel vertices: vertex `u` of the result is vertex `mapping[u]`
+/// of `g` — i.e. `mapping` sends *new* ids to *old* ids and must be a
+/// bijection (checked).
+pub fn relabel(g: &Digraph, mapping: &[u32]) -> Digraph {
+    let n = g.node_count();
+    assert_eq!(mapping.len(), n, "relabel mapping has wrong length");
+    let mut inverse = vec![u32::MAX; n];
+    for (new, &old) in mapping.iter().enumerate() {
+        assert!((old as usize) < n, "relabel image {old} out of range");
+        assert!(inverse[old as usize] == u32::MAX, "relabel mapping not injective at {old}");
+        inverse[old as usize] = new as u32;
+    }
+    Digraph::from_fn(n, |new_u| {
+        g.out_neighbors(mapping[new_u as usize])
+            .iter()
+            .map(|&old_v| inverse[old_v as usize])
+            .collect::<Vec<u32>>()
+    })
+}
+
+/// Extract the subgraph induced by `vertices` (which must be distinct);
+/// vertex `k` of the result is `vertices[k]`. Arcs with an endpoint
+/// outside the set are dropped. Used to pull the components of
+/// disconnected `A(f,σ,j)` apart for Remark 3.10.
+pub fn induced_subgraph(g: &Digraph, vertices: &[u32]) -> Digraph {
+    let mut position = otis_util::FxHashMap::default();
+    position.reserve(vertices.len());
+    for (k, &u) in vertices.iter().enumerate() {
+        let prev = position.insert(u, k as u32);
+        assert!(prev.is_none(), "induced_subgraph: duplicate vertex {u}");
+    }
+    Digraph::from_fn(vertices.len(), |k| {
+        g.out_neighbors(vertices[k as usize])
+            .iter()
+            .filter_map(|v| position.get(v).copied())
+            .collect::<Vec<u32>>()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+
+    #[test]
+    fn reverse_involution_and_degrees() {
+        let g = Digraph::from_fn(4, |u| vec![(u + 1) % 4, (u + 2) % 4]);
+        let r = reverse(&g);
+        assert_eq!(reverse(&r), g);
+        assert_eq!(r.in_degrees(), vec![2, 2, 2, 2]);
+        assert!(r.has_arc(1, 0));
+        assert!(!r.has_arc(0, 1));
+    }
+
+    #[test]
+    fn conjunction_sizes_and_adjacency() {
+        let c2 = circuit(2);
+        let c3 = circuit(3);
+        let g = conjunction(&c2, &c3);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.arc_count(), 6);
+        // (0,0) -> (1,1): id 0 -> 1*3+1 = 4
+        assert!(g.has_arc(0, 4));
+        // C2 ⊗ C3 is a single 6-cycle (gcd(2,3)=1).
+        assert_eq!(bfs::diameter(&g), Some(5));
+    }
+
+    #[test]
+    fn conjunction_disconnected_when_gcd_not_one() {
+        // C2 ⊗ C2 = two disjoint 2-cycles.
+        let g = conjunction(&circuit(2), &circuit(2));
+        let wcc = crate::connectivity::weak_components(&g);
+        assert_eq!(wcc.count(), 2);
+        assert_eq!(wcc.size_multiset(), vec![2, 2]);
+    }
+
+    #[test]
+    fn conjunction_degree_law() {
+        // degree multiplies: 2-regular ⊗ 3-regular = 6-regular.
+        let g1 = Digraph::from_fn(3, |u| vec![(u + 1) % 3, (u + 2) % 3]);
+        let g2 = complete_with_loops(3);
+        let g = conjunction(&g1, &g2);
+        assert_eq!(g.regular_degree(), Some(6));
+        assert_eq!(g.arc_count(), g1.arc_count() * g2.arc_count());
+    }
+
+    #[test]
+    fn line_digraph_of_cycle_is_cycle() {
+        let g = circuit(5);
+        let l = line_digraph(&g);
+        assert_eq!(l.node_count(), 5);
+        assert_eq!(l.arc_count(), 5);
+        assert_eq!(bfs::diameter(&l), Some(4));
+    }
+
+    #[test]
+    fn line_digraph_arc_count_law() {
+        // m(L(G)) = Σ_v indeg(v)·outdeg(v)
+        let g = Digraph::from_fn(4, |u| vec![(u + 1) % 4, (u + 3) % 4]);
+        let l = line_digraph(&g);
+        let indeg = g.in_degrees();
+        let expected: usize = (0..4u32)
+            .map(|v| indeg[v as usize] * g.out_degree(v))
+            .sum();
+        assert_eq!(l.arc_count(), expected);
+        assert_eq!(l.node_count(), g.arc_count());
+    }
+
+    #[test]
+    fn complete_with_loops_shape() {
+        let g = complete_with_loops(4);
+        assert_eq!(g.regular_degree(), Some(4));
+        assert_eq!(g.loop_count(), 4);
+        assert_eq!(bfs::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let g = disjoint_union(&circuit(2), &circuit(3));
+        assert_eq!(g.node_count(), 5);
+        assert!(g.has_arc(0, 1));
+        assert!(g.has_arc(2, 3));
+        assert!(g.has_arc(4, 2));
+        assert!(!g.has_arc(1, 2));
+    }
+
+    #[test]
+    fn relabel_by_rotation() {
+        // Path 0->1->2 relabeled by mapping [2,0,1]: new 0 = old 2.
+        let g = Digraph::from_fn(3, |u| if u < 2 { vec![u + 1] } else { vec![] });
+        let r = relabel(&g, &[2, 0, 1]);
+        // old arcs: 0->1, 1->2 ; new names: old0=new1, old1=new2, old2=new0.
+        assert!(r.has_arc(1, 2));
+        assert!(r.has_arc(2, 0));
+        assert_eq!(r.arc_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn relabel_rejects_non_bijection() {
+        relabel(&circuit(3), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_extracts_component() {
+        let g = disjoint_union(&circuit(2), &circuit(3));
+        let sub = induced_subgraph(&g, &[2, 3, 4]);
+        assert_eq!(sub, circuit(3));
+        let cross = induced_subgraph(&g, &[0, 2]);
+        assert_eq!(cross.arc_count(), 0, "arcs leaving the set are dropped");
+    }
+}

@@ -1,0 +1,98 @@
+//! Union–find (disjoint set union) with path halving and union by size.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were
+    /// distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// True iff `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of `x`'s set.
+    pub fn component_size(&mut self, x: u32) -> usize {
+        let root = self.find(x);
+        self.size[root as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_merge_and_count() {
+        let mut uf = UnionFind::new(6);
+        assert_eq!(uf.component_count(), 6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(0, 2));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(1, 3));
+        assert!(!uf.connected(1, 4));
+        assert_eq!(uf.component_size(3), 4);
+        assert_eq!(uf.component_size(5), 1);
+    }
+
+    #[test]
+    fn chain_of_unions_collapses() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.component_size(0), n);
+        assert!(uf.connected(0, n as u32 - 1));
+    }
+}

@@ -1,0 +1,195 @@
+//! The Section 5 conjecture: "one could consider `OTIS(p,q)`-layouts
+//! with `p, q ≠ dⁱ`, but intuition and exhaustive search make us
+//! conjecture that, except for trivial cases, such layouts do not
+//! exist."
+//!
+//! [`scan`] reruns that exhaustive search: for every factor pair
+//! `p ≤ q` of `m = d^{D+1}`, decide (a) whether the pair is a
+//! power-of-`d` split with cyclic `f` (the paper's characterized
+//! family) and (b) whether `H(p,q,d)` is actually isomorphic to
+//! `B(d,D)` (invariant pre-filter + VF2). The conjecture holds on an
+//! instance iff (a) ⇔ (b) for every pair.
+//!
+//! For prime `d` every divisor of `d^{D+1}` is a power of `d`, so the
+//! scan is only interesting for composite `d` — exactly the gap the
+//! paper leaves open.
+
+use crate::LayoutSpec;
+use otis_core::{DeBruijn, DigraphFamily};
+use otis_optics::HDigraph;
+use otis_util::digits;
+use serde::{Deserialize, Serialize};
+
+/// Verdict for one factor pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairVerdict {
+    /// Transmitter-side lens count.
+    pub p: u64,
+    /// Receiver-side lens count.
+    pub q: u64,
+    /// Is `(p, q) = (d^{p'}, d^{q'})` with `f_{p',q'}` cyclic?
+    pub characterized: bool,
+    /// Is `H(p, q, d)` actually isomorphic to `B(d, D)`?
+    pub isomorphic: bool,
+}
+
+/// Scan result over all factor pairs of `d^{D+1}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjectureScan {
+    /// Degree and diameter scanned.
+    pub d: u32,
+    /// Diameter.
+    pub diameter: u32,
+    /// Per-pair verdicts, ascending in `p`.
+    pub pairs: Vec<PairVerdict>,
+}
+
+impl ConjectureScan {
+    /// True iff the conjecture holds on this instance: a pair is
+    /// isomorphic to `B(d,D)` exactly when it is a characterized
+    /// power-of-`d` split.
+    pub fn conjecture_holds(&self) -> bool {
+        self.pairs.iter().all(|v| v.characterized == v.isomorphic)
+    }
+
+    /// The counterexamples, if any: isomorphic pairs that are not
+    /// power-of-`d` splits (or characterized splits that fail).
+    pub fn counterexamples(&self) -> Vec<&PairVerdict> {
+        self.pairs.iter().filter(|v| v.characterized != v.isomorphic).collect()
+    }
+}
+
+/// `log_d(x)` if `x` is an exact positive power of `d` (returns
+/// `None` for `x = 1`, since the paper's splits need `p' ≥ 1`).
+fn exact_log(d: u32, x: u64) -> Option<u32> {
+    let d = d as u64;
+    let mut power = d;
+    let mut exponent = 1u32;
+    while power < x {
+        power = power.checked_mul(d)?;
+        exponent += 1;
+    }
+    (power == x).then_some(exponent)
+}
+
+/// Run the exhaustive scan for degree `d` and diameter `D`.
+/// Exponential-ish in `d^D` (VF2 on non-characterized pairs); intended
+/// for the small instances the paper's own exhaustive search covered.
+pub fn scan(d: u32, diameter: u32) -> ConjectureScan {
+    let m = digits::pow(d as u64, diameter + 1);
+    let b = DeBruijn::new(d, diameter).digraph();
+    let mut pairs = Vec::new();
+    let mut p = 1u64;
+    while p * p <= m {
+        if m.is_multiple_of(p) {
+            let q = m / p;
+            let characterized = match (exact_log(d, p), exact_log(d, q)) {
+                (Some(pp), Some(qq)) => LayoutSpec::new(d, pp, qq).is_debruijn(),
+                _ => false,
+            };
+            let h = HDigraph::new(p, q, d).digraph();
+            let isomorphic = !otis_digraph::invariants::definitely_not_isomorphic(&h, &b)
+                && otis_digraph::iso::are_isomorphic(&h, &b);
+            pairs.push(PairVerdict { p, q, characterized, isomorphic });
+        }
+        p += 1;
+    }
+    ConjectureScan { d, diameter, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_log_basics() {
+        assert_eq!(exact_log(2, 8), Some(3));
+        assert_eq!(exact_log(2, 1), None, "p' ≥ 1 required");
+        assert_eq!(exact_log(2, 6), None);
+        assert_eq!(exact_log(4, 16), Some(2));
+        assert_eq!(exact_log(4, 8), None, "8 is not a power of 4");
+        assert_eq!(exact_log(6, 36), Some(2));
+    }
+
+    #[test]
+    fn prime_degree_scan_trivially_characterized() {
+        // d = 2: every divisor is a power of 2 except p = 1; the scan
+        // must find characterized == isomorphic everywhere.
+        for diameter in [2u32, 3, 4] {
+            let result = scan(2, diameter);
+            assert!(
+                result.conjecture_holds(),
+                "counterexamples: {:?}",
+                result.counterexamples()
+            );
+            // p = 1 pairs exist and are never characterized; VF2 must
+            // also reject them (H(1, m, d) has out-degree d but only
+            // d distinct receiver groups reachable — never B for D ≥ 2).
+            let p1 = result.pairs.iter().find(|v| v.p == 1).expect("p = 1 pair");
+            assert!(!p1.characterized);
+            assert!(!p1.isomorphic);
+        }
+    }
+
+    #[test]
+    fn composite_degree_scan_d4() {
+        // d = 4, D = 2: m = 64; pairs (1,64), (2,32), (4,16), (8,8).
+        // Only (4,16) = (4¹,4²) is characterized; the conjecture says
+        // it is the only isomorphic one.
+        let result = scan(4, 2);
+        let shapes: Vec<(u64, u64, bool, bool)> = result
+            .pairs
+            .iter()
+            .map(|v| (v.p, v.q, v.characterized, v.isomorphic))
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                (1, 64, false, false),
+                (2, 32, false, false),
+                (4, 16, true, true),
+                (8, 8, false, false),
+            ]
+        );
+        assert!(result.conjecture_holds());
+    }
+
+    #[test]
+    fn composite_degree_scan_d6() {
+        // d = 6, D = 2: m = 216 has many non-power divisors
+        // (2,3,4,8,9,12,...). The conjecture survives them all.
+        let result = scan(6, 2);
+        assert!(
+            result.conjecture_holds(),
+            "counterexamples: {:?}",
+            result.counterexamples()
+        );
+        // Exactly one characterized pair: (6, 36).
+        let characterized: Vec<(u64, u64)> = result
+            .pairs
+            .iter()
+            .filter(|v| v.characterized)
+            .map(|v| (v.p, v.q))
+            .collect();
+        assert_eq!(characterized, vec![(6, 36)]);
+    }
+
+    #[test]
+    fn composite_degree_scan_d4_diameter3() {
+        // d = 4, D = 3: m = 256; power pairs (4,64) [p'=1,q'=3] and
+        // (16,16) [p'=q'=2 — excluded by Proposition 4.3].
+        let result = scan(4, 3);
+        assert!(result.conjecture_holds());
+        let characterized: Vec<(u64, u64)> = result
+            .pairs
+            .iter()
+            .filter(|v| v.characterized)
+            .map(|v| (v.p, v.q))
+            .collect();
+        assert_eq!(characterized, vec![(4, 64)]);
+        // (16,16) is a power split but NOT characterized (f not
+        // cyclic) and indeed not isomorphic:
+        let pair_16 = result.pairs.iter().find(|v| v.p == 16).unwrap();
+        assert!(!pair_16.characterized && !pair_16.isomorphic);
+    }
+}

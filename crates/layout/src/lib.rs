@@ -1,0 +1,32 @@
+//! OTIS layout theory (Section 4) and the degree–diameter search
+//! (Table 1).
+//!
+//! The pipeline, matching the paper:
+//!
+//! 1. [`layout_permutation`] builds the index permutation `f_{p',q'}`
+//!    of Proposition 4.1; [`h_as_alphabet_digraph`] states the
+//!    proposition itself — `H(d^{p'}, d^{q'}, d)` **equals**
+//!    `A(f_{p',q'}, C, p'-1)` under the standard d-ary labeling
+//!    (tested as digraph equality, stronger than the isomorphism the
+//!    paper claims);
+//! 2. [`LayoutSpec`] wraps a candidate `(d, p', q')`;
+//!    [`LayoutSpec::is_debruijn`] is Corollary 4.2 + 4.5's `O(D)`
+//!    check, [`LayoutSpec::debruijn_witness`] the full constructive
+//!    isomorphism onto `B(d, D)`;
+//! 3. [`minimize_lenses`] is Corollary 4.6's `O(D²)` optimization,
+//!    returning the lens-minimal de Bruijn layout — `Θ(√n)` lenses for
+//!    even `D` (Corollary 4.4, via the balanced split
+//!    `p' = D/2, q' = D/2+1`), against the `O(n)` lenses of the
+//!    prior-art Imase–Itoh layout ([`ii_layout_lens_count`]);
+//! 4. [`search`] reproduces Table 1: exhaustive enumeration of
+//!    `H(p, q, d)` digraphs by diameter, scoped-thread parallel.
+
+pub mod conjecture;
+mod search;
+mod spec;
+
+pub use search::{degree_diameter_search, largest_for_diameter, SearchRow};
+pub use spec::{
+    balanced_even_layout, h_as_alphabet_digraph, ii_layout_lens_count, layout_permutation,
+    minimize_lenses, LayoutSpec,
+};

@@ -1,0 +1,220 @@
+//! Fault injection and fault-tolerant routing.
+//!
+//! Free-space optical hardware fails in characteristic units: a VCSEL
+//! dies (one arc), a detector dies (one arc), or a whole lens is
+//! occluded/misaligned (every arc through it — `q` arcs for a
+//! first-array lens, `p` for a second-array lens). This module models
+//! those fault classes on an [`HDigraph`], derives the surviving
+//! digraph, and measures what the network can still do — the
+//! resilience story a downstream adopter of an OTIS fabric needs,
+//! and an exercise of the de Bruijn's known fault-tolerance (`d`
+//! arc-disjoint-ish alternatives per hop).
+
+use crate::HDigraph;
+use otis_core::DigraphFamily;
+use otis_digraph::{Digraph, DigraphBuilder};
+use serde::{Deserialize, Serialize};
+
+/// A set of hardware faults on one OTIS bench.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    /// Dead transmitters (global indices).
+    pub dead_transmitters: Vec<u64>,
+    /// Dead receivers (global indices).
+    pub dead_receivers: Vec<u64>,
+    /// Occluded first-array lenses (index `i ∈ Z_p`): kills every beam
+    /// from transmitter group `i`.
+    pub dead_lens1: Vec<u64>,
+    /// Occluded second-array lenses (index `a ∈ Z_q`): kills every
+    /// beam into receiver group `a`.
+    pub dead_lens2: Vec<u64>,
+}
+
+impl FaultSet {
+    /// No faults.
+    pub fn none() -> Self {
+        FaultSet::default()
+    }
+
+    /// True iff the beam of transmitter `t` (global index) survives
+    /// all faults on the given system.
+    pub fn beam_alive(&self, h: &HDigraph, t: u64) -> bool {
+        let otis = h.otis();
+        let tx = otis.transmitter(t);
+        if self.dead_transmitters.contains(&t) || self.dead_lens1.contains(&tx.group) {
+            return false;
+        }
+        let r = otis.connect(tx);
+        if self.dead_lens2.contains(&r.group) {
+            return false;
+        }
+        !self.dead_receivers.contains(&otis.receiver_index(r))
+    }
+
+    /// Number of beams this fault set kills on the given system.
+    pub fn killed_beam_count(&self, h: &HDigraph) -> usize {
+        (0..h.otis().link_count())
+            .filter(|&t| !self.beam_alive(h, t))
+            .count()
+    }
+}
+
+/// The digraph that survives a fault set: same nodes, minus every arc
+/// whose beam is dead.
+pub fn surviving_digraph(h: &HDigraph, faults: &FaultSet) -> Digraph {
+    let n = h.node_count();
+    let d = h.degree() as u64;
+    let mut builder = DigraphBuilder::with_arc_capacity(n as usize, (n * d) as usize);
+    for u in 0..n {
+        for k in 0..h.degree() {
+            let t = u * d + k as u64;
+            if faults.beam_alive(h, t) {
+                builder.add_arc(u as u32, h.out_neighbor(u, k) as u32);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Resilience report for a fault set on a fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceReport {
+    /// Beams killed by the faults (out of `pq`).
+    pub beams_lost: usize,
+    /// Is the surviving digraph still strongly connected?
+    pub strongly_connected: bool,
+    /// Diameter of the surviving digraph (`None` if disconnected).
+    pub diameter: Option<u32>,
+    /// Ordered node pairs that can no longer communicate.
+    pub unreachable_pairs: u64,
+}
+
+/// Evaluate a fault set end to end.
+pub fn assess(h: &HDigraph, faults: &FaultSet) -> ResilienceReport {
+    let g = surviving_digraph(h, faults);
+    let n = g.node_count();
+    let strongly_connected = otis_digraph::connectivity::is_strongly_connected(&g);
+    let diameter = otis_digraph::bfs::diameter(&g);
+    // Unreachable ordered pairs via the distance distribution.
+    let reachable: u64 = otis_digraph::bfs::distance_distribution(&g).iter().sum();
+    let unreachable_pairs = (n as u64) * (n as u64) - reachable;
+    ResilienceReport {
+        beams_lost: faults.killed_beam_count(h),
+        strongly_connected,
+        diameter,
+        unreachable_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> HDigraph {
+        HDigraph::new(16, 32, 2) // ≅ B(2,8)
+    }
+
+    #[test]
+    fn no_faults_baseline() {
+        let h = fabric();
+        let report = assess(&h, &FaultSet::none());
+        assert_eq!(report.beams_lost, 0);
+        assert!(report.strongly_connected);
+        assert_eq!(report.diameter, Some(8));
+        assert_eq!(report.unreachable_pairs, 0);
+    }
+
+    #[test]
+    fn one_dead_transmitter_kills_one_beam() {
+        let h = fabric();
+        let faults = FaultSet { dead_transmitters: vec![42], ..FaultSet::none() };
+        let report = assess(&h, &faults);
+        assert_eq!(report.beams_lost, 1);
+        // B(2,8) survives one arc loss: still strongly connected, the
+        // diameter can only grow.
+        assert!(report.strongly_connected);
+        assert!(report.diameter.unwrap() >= 8);
+        let g = surviving_digraph(&h, &faults);
+        assert_eq!(g.arc_count(), 511);
+    }
+
+    #[test]
+    fn dead_lens_kills_a_whole_group() {
+        let h = fabric();
+        // First-array lens 3: kills the q = 32 beams of group 3.
+        let faults = FaultSet { dead_lens1: vec![3], ..FaultSet::none() };
+        assert_eq!(faults.killed_beam_count(&h), 32);
+        let report = assess(&h, &faults);
+        assert_eq!(report.beams_lost, 32);
+        // 32 of 512 arcs gone: the 16 nodes of group 3 lose ALL their
+        // out-arcs (each node has both transmitters in one group), so
+        // the digraph cannot remain strongly connected.
+        assert!(!report.strongly_connected);
+        assert!(report.unreachable_pairs > 0);
+    }
+
+    #[test]
+    fn second_array_lens_kills_p_beams() {
+        let h = fabric();
+        let faults = FaultSet { dead_lens2: vec![0], ..FaultSet::none() };
+        assert_eq!(faults.killed_beam_count(&h), 16);
+    }
+
+    #[test]
+    fn dead_receiver_blocks_exactly_its_beam() {
+        let h = fabric();
+        let otis = *h.otis();
+        // Find the transmitter feeding receiver 100.
+        let t = otis.transmitter_index(otis.source_of(otis.receiver(100)));
+        let faults = FaultSet { dead_receivers: vec![100], ..FaultSet::none() };
+        assert!(!faults.beam_alive(&h, t));
+        assert_eq!(faults.killed_beam_count(&h), 1);
+    }
+
+    #[test]
+    fn rerouting_around_a_fault() {
+        let h = fabric();
+        // Kill node 0's transceiver 0 (the beam implementing one of
+        // its two out-arcs) and verify traffic reroutes via the other.
+        let faults = FaultSet { dead_transmitters: vec![0], ..FaultSet::none() };
+        let g = surviving_digraph(&h, &faults);
+        let lost_target = h.out_neighbor(0, 0);
+        let dist = otis_digraph::bfs::distances(&g, 0);
+        // Still reachable, just (possibly) farther.
+        assert!(dist[lost_target as usize] != otis_digraph::INFINITY);
+        assert!(dist[lost_target as usize] >= 1);
+    }
+
+    #[test]
+    fn compound_faults_accumulate() {
+        let h = fabric();
+        let faults = FaultSet {
+            dead_transmitters: vec![7, 8],
+            dead_receivers: vec![100],
+            dead_lens1: vec![5],
+            dead_lens2: vec![],
+        };
+        let killed = faults.killed_beam_count(&h);
+        // Lens 5 kills 32; transmitters 7, 8 are outside group 5
+        // (group = t / 32, so 7/32 = 0); receiver 100's source may or
+        // may not overlap — bound it instead of hardcoding.
+        assert!((33..=35).contains(&killed), "killed = {killed}");
+        let report = assess(&h, &faults);
+        assert_eq!(report.beams_lost, killed);
+    }
+
+    #[test]
+    fn degraded_but_connected_fabric_still_routes() {
+        // Two scattered transmitter faults leave B(2,8) strongly
+        // connected; diameter grows by a bounded amount.
+        let h = fabric();
+        let faults = FaultSet {
+            dead_transmitters: vec![3, 200],
+            ..FaultSet::none()
+        };
+        let report = assess(&h, &faults);
+        assert!(report.strongly_connected);
+        let diameter = report.diameter.unwrap();
+        assert!((8..=12).contains(&diameter), "diameter {diameter}");
+    }
+}

@@ -1,0 +1,336 @@
+//! Geometric model of the OTIS bench.
+//!
+//! The physical OTIS [Marsden et al. 1993, Blume et al. 1997] is a
+//! two-lenslet-array telescope: a `p`-lens array images the
+//! transmitter groups, a `q`-lens array images onto the receiver
+//! groups, and the 4-f style arrangement produces the inverted
+//! transpose wiring `(i,j) → (q-1-j, p-1-i)`.
+//!
+//! We model the bench in one transverse dimension with ideal thin
+//! lenses. The model's job is **not** wave optics; it is to give every
+//! link an honest physical footprint — element coordinates, a 4-segment
+//! beam polyline, path length (hence time of flight), aperture checks,
+//! and lens sizes — all consistent with the wiring law, which the
+//! tests verify beam by beam. DESIGN.md documents this as the
+//! substitution for the unavailable UCSD hardware.
+//!
+//! Layout along the optical axis `z` (all lengths in millimetres):
+//!
+//! ```text
+//! z = 0            transmitter plane (p groups × q emitters)
+//! z = f1           lens array 1 (p lenses, pitch = group pitch)
+//! z = f1 + span    lens array 2 (q lenses)
+//! z = f1 + span + f2   receiver plane (q groups × p detectors)
+//! ```
+
+use crate::{Otis, Receiver, Transmitter};
+use serde::{Deserialize, Serialize};
+
+/// Geometry parameters of the simulated bench (millimetres).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchParams {
+    /// Emitter pitch within a transmitter group.
+    pub emitter_pitch: f64,
+    /// Detector pitch within a receiver group.
+    pub detector_pitch: f64,
+    /// Focal length of the first lens array.
+    pub f1: f64,
+    /// Focal length of the second lens array.
+    pub f2: f64,
+    /// Free-space span between the two lens arrays.
+    pub span: f64,
+}
+
+impl Default for BenchParams {
+    /// Values in the neighbourhood of the UCSD demonstrators:
+    /// 250 µm VCSEL/detector pitch, few-mm focal lengths, 30 mm span.
+    fn default() -> Self {
+        BenchParams {
+            emitter_pitch: 0.25,
+            detector_pitch: 0.25,
+            f1: 4.0,
+            f2: 4.0,
+            span: 30.0,
+        }
+    }
+}
+
+/// One beam's path through the bench: a polyline of 3-D points
+/// `(x, z)` flattened to transverse `x` + axial `z`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeamTrace {
+    /// The transmitter that launched the beam.
+    pub from: Transmitter,
+    /// The receiver the beam lands on (per the wiring law).
+    pub to: Receiver,
+    /// Waypoints `(x, z)`: emitter, lens-1 center, lens-2 center,
+    /// detector.
+    pub waypoints: [(f64, f64); 4],
+    /// Total geometric path length (mm).
+    pub path_length: f64,
+}
+
+impl BeamTrace {
+    /// Time of flight in picoseconds (free-space propagation at
+    /// c ≈ 0.2998 mm/ps).
+    pub fn time_of_flight_ps(&self) -> f64 {
+        const C_MM_PER_PS: f64 = 0.299_792_458;
+        self.path_length / C_MM_PER_PS
+    }
+}
+
+/// The simulated optical bench realizing one `OTIS(p, q)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bench {
+    otis: Otis,
+    params: BenchParams,
+}
+
+impl Bench {
+    /// Build the bench for an OTIS system with the given parameters.
+    pub fn new(otis: Otis, params: BenchParams) -> Self {
+        assert!(params.emitter_pitch > 0.0 && params.detector_pitch > 0.0);
+        assert!(params.f1 > 0.0 && params.f2 > 0.0 && params.span > 0.0);
+        Bench { otis, params }
+    }
+
+    /// Bench with default parameters, with the inter-array span
+    /// scaled up when the transceiver planes are wide: free-space
+    /// telescopes keep their half-angle roughly constant, so the span
+    /// grows with the transverse extent (this is why huge OTIS systems
+    /// are physically long, another practical cost of unbalanced
+    /// `p, q` alongside the lens count).
+    pub fn with_defaults(otis: Otis) -> Self {
+        Bench::new(otis, Bench::scaled_params(&otis))
+    }
+
+    /// Default parameters scaled to the system size: span grows with
+    /// the transverse extent and focal lengths keep each lens at
+    /// roughly f/2 so rays stay paraxial. Exposed so other components
+    /// (e.g. the packet simulator) can build size-consistent benches.
+    pub fn scaled_params(otis: &Otis) -> BenchParams {
+        let mut params = BenchParams::default();
+        let extent = (otis.p() * otis.q()) as f64
+            * params.emitter_pitch.max(params.detector_pitch);
+        params.span = params.span.max(3.0 * extent);
+        let group_w = otis.q() as f64 * params.emitter_pitch;
+        let rgroup_w = otis.p() as f64 * params.detector_pitch;
+        params.f1 = params.f1.max(2.0 * group_w);
+        params.f2 = params.f2.max(2.0 * rgroup_w);
+        params
+    }
+
+    /// The OTIS wiring this bench realizes.
+    pub fn otis(&self) -> &Otis {
+        &self.otis
+    }
+
+    /// Geometry parameters.
+    pub fn params(&self) -> &BenchParams {
+        &self.params
+    }
+
+    /// Width of one transmitter group (`q` emitters).
+    pub fn group_width(&self) -> f64 {
+        self.otis.q() as f64 * self.params.emitter_pitch
+    }
+
+    /// Width of one receiver group (`p` detectors).
+    pub fn receiver_group_width(&self) -> f64 {
+        self.otis.p() as f64 * self.params.detector_pitch
+    }
+
+    /// Transverse position of a transmitter: groups tile the plane,
+    /// emitters tile the group, everything centered on 0.
+    pub fn transmitter_x(&self, t: Transmitter) -> f64 {
+        let group_w = self.group_width();
+        let total = self.otis.p() as f64 * group_w;
+        (t.group as f64 + 0.5) * group_w - total / 2.0
+            + ((t.offset as f64 + 0.5) / self.otis.q() as f64 - 0.5) * group_w
+    }
+
+    /// Transverse position of a receiver.
+    pub fn receiver_x(&self, r: Receiver) -> f64 {
+        let group_w = self.receiver_group_width();
+        let total = self.otis.q() as f64 * group_w;
+        (r.group as f64 + 0.5) * group_w - total / 2.0
+            + ((r.offset as f64 + 0.5) / self.otis.p() as f64 - 0.5) * group_w
+    }
+
+    /// Center of lens `i` of the first array (one lens per
+    /// transmitter group).
+    pub fn lens1_x(&self, i: u64) -> f64 {
+        assert!(i < self.otis.p(), "lens-1 index out of range");
+        let group_w = self.group_width();
+        let total = self.otis.p() as f64 * group_w;
+        (i as f64 + 0.5) * group_w - total / 2.0
+    }
+
+    /// Center of lens `a` of the second array (one lens per receiver
+    /// group).
+    pub fn lens2_x(&self, a: u64) -> f64 {
+        assert!(a < self.otis.q(), "lens-2 index out of range");
+        let group_w = self.receiver_group_width();
+        let total = self.otis.q() as f64 * group_w;
+        (a as f64 + 0.5) * group_w - total / 2.0
+    }
+
+    /// Clear aperture needed by each lens of array 1 (its group's
+    /// width) and array 2 (its receiver group's width): technology
+    /// prefers the two to be close, which is the paper's stated reason
+    /// to favour `p ≈ q` (Section 4.2).
+    pub fn lens_apertures(&self) -> (f64, f64) {
+        (self.group_width(), self.receiver_group_width())
+    }
+
+    /// Ratio of the larger to the smaller lens aperture — 1.0 means
+    /// perfectly balanced arrays (`p = q`).
+    pub fn aperture_imbalance(&self) -> f64 {
+        let (a1, a2) = self.lens_apertures();
+        a1.max(a2) / a1.min(a2)
+    }
+
+    /// Total axial length of the bench.
+    pub fn bench_length(&self) -> f64 {
+        self.params.f1 + self.params.span + self.params.f2
+    }
+
+    /// Trace the beam launched by transmitter `t`: emitter → lens of
+    /// its group → lens of the destination receiver group → detector.
+    /// The destination is *computed from the wiring law*; the test
+    /// suite confirms the polyline is geometrically sane (monotone in
+    /// `z`, endpoints on the right elements, paraxial angles).
+    pub fn trace(&self, t: Transmitter) -> BeamTrace {
+        let r = self.otis.connect(t);
+        let z1 = self.params.f1;
+        let z2 = self.params.f1 + self.params.span;
+        let z3 = self.bench_length();
+        let waypoints = [
+            (self.transmitter_x(t), 0.0),
+            (self.lens1_x(t.group), z1),
+            (self.lens2_x(r.group), z2),
+            (self.receiver_x(r), z3),
+        ];
+        let path_length = waypoints
+            .windows(2)
+            .map(|w| {
+                let (dx, dz) = (w[1].0 - w[0].0, w[1].1 - w[0].1);
+                (dx * dx + dz * dz).sqrt()
+            })
+            .sum();
+        BeamTrace { from: t, to: r, waypoints, path_length }
+    }
+
+    /// Trace every beam of the system (`pq` of them).
+    pub fn trace_all(&self) -> Vec<BeamTrace> {
+        (0..self.otis.link_count())
+            .map(|index| self.trace(self.otis.transmitter(index)))
+            .collect()
+    }
+
+    /// The worst (longest) path length over all beams — sets the
+    /// synchronous clock period of the simulated interconnect.
+    pub fn worst_path_length(&self) -> f64 {
+        self.trace_all()
+            .iter()
+            .map(|trace| trace.path_length)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_3_6() -> Bench {
+        Bench::with_defaults(Otis::new(3, 6))
+    }
+
+    #[test]
+    fn traces_terminate_on_wired_receiver() {
+        let bench = bench_3_6();
+        for trace in bench.trace_all() {
+            let wired = bench.otis().connect(trace.from);
+            assert_eq!(trace.to, wired);
+            // Endpoint x-coordinates must equal the element positions.
+            assert_eq!(trace.waypoints[0].0, bench.transmitter_x(trace.from));
+            assert_eq!(trace.waypoints[3].0, bench.receiver_x(wired));
+        }
+    }
+
+    #[test]
+    fn traces_monotone_in_z_and_positive_length() {
+        let bench = bench_3_6();
+        for trace in bench.trace_all() {
+            for w in trace.waypoints.windows(2) {
+                assert!(w[1].1 > w[0].1, "z must strictly increase");
+            }
+            assert!(trace.path_length >= bench.bench_length());
+            assert!(trace.time_of_flight_ps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn distinct_beams_distinct_detectors() {
+        let bench = Bench::with_defaults(Otis::new(4, 4));
+        let traces = bench.trace_all();
+        for (a, ta) in traces.iter().enumerate() {
+            for tb in traces.iter().skip(a + 1) {
+                assert_ne!(ta.to, tb.to, "two beams on one detector: crosstalk");
+                assert!(
+                    (ta.waypoints[3].0 - tb.waypoints[3].0).abs()
+                        >= bench.params().detector_pitch * 0.999,
+                    "detector spacing violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apertures_balanced_iff_p_equals_q() {
+        let balanced = Bench::with_defaults(Otis::new(8, 8));
+        assert!((balanced.aperture_imbalance() - 1.0).abs() < 1e-12);
+        // II layout OTIS(2, 256): wildly imbalanced lenses — the
+        // technological argument for p ≈ q in Section 4.2.
+        let skewed = Bench::with_defaults(Otis::new(2, 256));
+        assert!(skewed.aperture_imbalance() > 100.0);
+        // The paper's balanced B(2,8) layout OTIS(16,32):
+        let good = Bench::with_defaults(Otis::new(16, 32));
+        assert!(good.aperture_imbalance() <= 2.0);
+    }
+
+    #[test]
+    fn element_positions_centered_and_ordered() {
+        let bench = bench_3_6();
+        // Transmitter x increases with global index.
+        let xs: Vec<f64> = (0..18)
+            .map(|i| bench.transmitter_x(bench.otis().transmitter(i)))
+            .collect();
+        assert!(xs.windows(2).all(|w| w[1] > w[0]));
+        // Symmetric around 0.
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn paraxial_angles_bounded() {
+        // Largest transverse excursion per axial mm stays below ~0.5,
+        // keeping the thin-lens model plausible for default params.
+        let bench = Bench::with_defaults(Otis::new(16, 32));
+        for trace in bench.trace_all() {
+            for w in trace.waypoints.windows(2) {
+                let slope = ((w[1].0 - w[0].0) / (w[1].1 - w[0].1)).abs();
+                assert!(slope < 0.5, "non-paraxial slope {slope}");
+            }
+        }
+    }
+
+    #[test]
+    fn time_of_flight_scale_sane() {
+        // A ~38 mm bench: ToF must be on the order of 130 ps.
+        let bench = bench_3_6();
+        let trace = bench.trace(bench.otis().transmitter(0));
+        let tof = trace.time_of_flight_ps();
+        assert!(tof > 100.0 && tof < 200.0, "ToF {tof} ps out of range");
+    }
+}

@@ -1,0 +1,272 @@
+//! Two-dimensional OTIS bench.
+//!
+//! The UCSD demonstrators arrange transceivers in 2-D: `p` transmitter
+//! groups tile a `gp × gp` grid (`gp = ⌈√p⌉`) and each group is a
+//! `gq × gq` grid of emitters; the lens arrays mirror that tiling.
+//! The 1-D model of [`crate::geometry`] is exact for the wiring and
+//! the axial budget; this module adds the transverse reality —
+//! element `(x, y)` coordinates, 3-D beam polylines, square apertures
+//! — because physical quantities like maximum beam tilt and plane
+//! area only make sense in 2-D.
+//!
+//! The tests pin the consistency contract: the 2-D trace must connect
+//! exactly the transmitter/receiver pairs of the wiring law, and its
+//! path length must be at least the 1-D model's (a diagonal cannot be
+//! shorter than its axial projection).
+
+use crate::geometry::BenchParams;
+use crate::{Otis, Receiver, Transmitter};
+use serde::{Deserialize, Serialize};
+
+/// Side length (in elements) of the smallest square grid holding `n`
+/// elements.
+pub fn grid_side(n: u64) -> u64 {
+    let mut side = (n as f64).sqrt().floor() as u64;
+    while side * side < n {
+        side += 1;
+    }
+    side.max(1)
+}
+
+/// Position of element `index` within a square grid of the given
+/// side, row-major, centered on the origin, with unit `pitch`.
+pub fn grid_position(index: u64, side: u64, pitch: f64) -> (f64, f64) {
+    assert!(index < side * side, "element index outside grid");
+    let row = index / side;
+    let col = index % side;
+    let offset = (side as f64 - 1.0) / 2.0;
+    (
+        (col as f64 - offset) * pitch,
+        (offset - row as f64) * pitch, // +y up, row 0 on top
+    )
+}
+
+/// A 3-D beam polyline through the 2-D bench.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BeamTrace3d {
+    /// Launching transmitter.
+    pub from: Transmitter,
+    /// Destination receiver (wiring law).
+    pub to: Receiver,
+    /// Waypoints `(x, y, z)`: emitter, lens-1, lens-2, detector.
+    pub waypoints: [(f64, f64, f64); 4],
+    /// Total path length (mm).
+    pub path_length: f64,
+}
+
+/// The 2-D (transverse) + 1-D (axial) bench model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridBench {
+    otis: Otis,
+    params: BenchParams,
+    /// Transmitter-group grid side (`⌈√p⌉`).
+    group_grid: u64,
+    /// Emitters-per-group grid side (`⌈√q⌉`).
+    emitter_grid: u64,
+    /// Receiver-group grid side (`⌈√q⌉`).
+    rgroup_grid: u64,
+    /// Detectors-per-group grid side (`⌈√p⌉`).
+    detector_grid: u64,
+}
+
+impl GridBench {
+    /// 2-D bench over an OTIS system.
+    pub fn new(otis: Otis, params: BenchParams) -> Self {
+        GridBench {
+            otis,
+            params,
+            group_grid: grid_side(otis.p()),
+            emitter_grid: grid_side(otis.q()),
+            rgroup_grid: grid_side(otis.q()),
+            detector_grid: grid_side(otis.p()),
+        }
+    }
+
+    /// 2-D bench with size-scaled defaults.
+    pub fn with_defaults(otis: Otis) -> Self {
+        GridBench::new(otis, crate::geometry::Bench::scaled_params(&otis))
+    }
+
+    /// The OTIS wiring this bench realizes.
+    pub fn otis(&self) -> &Otis {
+        &self.otis
+    }
+
+    /// Width of one transmitter group (square side, mm).
+    pub fn group_width(&self) -> f64 {
+        self.emitter_grid as f64 * self.params.emitter_pitch
+    }
+
+    /// Width of one receiver group (square side, mm).
+    pub fn receiver_group_width(&self) -> f64 {
+        self.detector_grid as f64 * self.params.detector_pitch
+    }
+
+    /// Transmitter-plane side length (mm).
+    pub fn transmitter_plane_side(&self) -> f64 {
+        self.group_grid as f64 * self.group_width()
+    }
+
+    /// Receiver-plane side length (mm).
+    pub fn receiver_plane_side(&self) -> f64 {
+        self.rgroup_grid as f64 * self.receiver_group_width()
+    }
+
+    /// `(x, y)` of a transmitter on the transmitter plane.
+    pub fn transmitter_xy(&self, t: Transmitter) -> (f64, f64) {
+        let (gx, gy) = grid_position(t.group, self.group_grid, self.group_width());
+        let (ex, ey) = grid_position(t.offset, self.emitter_grid, self.params.emitter_pitch);
+        (gx + ex, gy + ey)
+    }
+
+    /// `(x, y)` of a receiver on the receiver plane.
+    pub fn receiver_xy(&self, r: Receiver) -> (f64, f64) {
+        let (gx, gy) = grid_position(r.group, self.rgroup_grid, self.receiver_group_width());
+        let (dx, dy) = grid_position(r.offset, self.detector_grid, self.params.detector_pitch);
+        (gx + dx, gy + dy)
+    }
+
+    /// `(x, y)` of lens `i` of the first array.
+    pub fn lens1_xy(&self, i: u64) -> (f64, f64) {
+        grid_position(i, self.group_grid, self.group_width())
+    }
+
+    /// `(x, y)` of lens `a` of the second array.
+    pub fn lens2_xy(&self, a: u64) -> (f64, f64) {
+        grid_position(a, self.rgroup_grid, self.receiver_group_width())
+    }
+
+    /// Total axial length of the bench (mm).
+    pub fn bench_length(&self) -> f64 {
+        self.params.f1 + self.params.span + self.params.f2
+    }
+
+    /// Trace one beam in 3-D.
+    pub fn trace(&self, t: Transmitter) -> BeamTrace3d {
+        let r = self.otis.connect(t);
+        let z1 = self.params.f1;
+        let z2 = self.params.f1 + self.params.span;
+        let z3 = self.bench_length();
+        let (tx, ty) = self.transmitter_xy(t);
+        let (l1x, l1y) = self.lens1_xy(t.group);
+        let (l2x, l2y) = self.lens2_xy(r.group);
+        let (rx, ry) = self.receiver_xy(r);
+        let waypoints = [
+            (tx, ty, 0.0),
+            (l1x, l1y, z1),
+            (l2x, l2y, z2),
+            (rx, ry, z3),
+        ];
+        let path_length = waypoints
+            .windows(2)
+            .map(|w| {
+                let (dx, dy, dz) = (w[1].0 - w[0].0, w[1].1 - w[0].1, w[1].2 - w[0].2);
+                (dx * dx + dy * dy + dz * dz).sqrt()
+            })
+            .sum();
+        BeamTrace3d { from: t, to: r, waypoints, path_length }
+    }
+
+    /// Trace every beam.
+    pub fn trace_all(&self) -> Vec<BeamTrace3d> {
+        (0..self.otis.link_count())
+            .map(|index| self.trace(self.otis.transmitter(index)))
+            .collect()
+    }
+
+    /// Largest beam tilt (transverse travel / axial travel) over all
+    /// beams and segments — the paraxiality figure of merit.
+    pub fn worst_tilt(&self) -> f64 {
+        self.trace_all()
+            .iter()
+            .flat_map(|trace| {
+                trace.waypoints.windows(2).map(|w| {
+                    let (dx, dy, dz) = (w[1].0 - w[0].0, w[1].1 - w[0].1, w[1].2 - w[0].2);
+                    (dx * dx + dy * dy).sqrt() / dz
+                })
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_side_minimal_squares() {
+        assert_eq!(grid_side(1), 1);
+        assert_eq!(grid_side(4), 2);
+        assert_eq!(grid_side(5), 3);
+        assert_eq!(grid_side(16), 4);
+        assert_eq!(grid_side(17), 5);
+    }
+
+    #[test]
+    fn grid_positions_centered_and_distinct() {
+        let side = 4u64;
+        let mut seen = std::collections::HashSet::new();
+        let mut sum = (0.0f64, 0.0f64);
+        for i in 0..16 {
+            let (x, y) = grid_position(i, side, 1.0);
+            assert!(seen.insert((x.to_bits(), y.to_bits())), "positions collide");
+            sum.0 += x;
+            sum.1 += y;
+        }
+        assert!(sum.0.abs() < 1e-9 && sum.1.abs() < 1e-9, "grid must be centered");
+    }
+
+    #[test]
+    fn traces_match_wiring_law() {
+        let bench = GridBench::with_defaults(Otis::new(4, 9));
+        for trace in bench.trace_all() {
+            assert_eq!(trace.to, bench.otis().connect(trace.from));
+            let (ex, ey) = bench.transmitter_xy(trace.from);
+            assert_eq!((trace.waypoints[0].0, trace.waypoints[0].1), (ex, ey));
+            let (rx, ry) = bench.receiver_xy(trace.to);
+            assert_eq!((trace.waypoints[3].0, trace.waypoints[3].1), (rx, ry));
+        }
+    }
+
+    #[test]
+    fn path_at_least_axial_length() {
+        let bench = GridBench::with_defaults(Otis::new(16, 32));
+        for trace in bench.trace_all() {
+            assert!(trace.path_length >= bench.bench_length() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_d_no_detector_collisions() {
+        let bench = GridBench::with_defaults(Otis::new(8, 8));
+        let traces = bench.trace_all();
+        let mut endpoints = std::collections::HashSet::new();
+        for trace in &traces {
+            let key = (trace.waypoints[3].0.to_bits(), trace.waypoints[3].1.to_bits());
+            assert!(endpoints.insert(key), "two beams land on one detector");
+        }
+    }
+
+    #[test]
+    fn square_plane_beats_line_on_extent() {
+        // The reason real OTIS is 2-D: a 512-transmitter plane is
+        // ~3 mm more square than 128 mm of line.
+        let otis = Otis::new(16, 32);
+        let grid = GridBench::with_defaults(otis);
+        let line = crate::geometry::Bench::with_defaults(otis);
+        let line_extent = otis.p() as f64 * line.group_width();
+        assert!(grid.transmitter_plane_side() < line_extent / 4.0);
+    }
+
+    #[test]
+    fn paraxial_in_two_d_with_defaults() {
+        for (p, q) in [(4u64, 8u64), (16, 32), (3, 6)] {
+            let bench = GridBench::with_defaults(Otis::new(p, q));
+            assert!(
+                bench.worst_tilt() < 0.75,
+                "OTIS({p},{q}): tilt {} too steep",
+                bench.worst_tilt()
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! `H(p, q, d)` — the node-level digraph realized by `OTIS(p, q)`
+//! (Section 4.2, Figure 7).
+
+use crate::{Otis, Receiver, Transmitter};
+use otis_core::DigraphFamily;
+use serde::{Deserialize, Serialize};
+
+/// The digraph `H(p, q, d)`: processing node `u ∈ Z_n`, `n = pq/d`,
+/// owns the `d` transmitters with global indices `{du+δ : δ ∈ Z_d}`
+/// and the `d` receivers `{du+δ : δ ∈ Z_d}`; there is an arc `u → v`
+/// whenever a transmitter of `u` reaches a receiver of `v` through the
+/// OTIS wiring.
+///
+/// Key facts (all tested):
+///
+/// * `H(p,q,d)` is `d`-regular with `pq/d` nodes;
+/// * `H(d, n, d) = II(d, n)` as labeled digraphs — the known Imase–Itoh
+///   layout [14], which costs `d + n = O(n)` lenses;
+/// * `H(d^{p'}, d^{q'}, d) ≅ A(f_{p',q'}, C, p'-1)` (Proposition 4.1,
+///   implemented in `otis-layout`), which is how the paper gets
+///   `Θ(√n)`-lens de Bruijn layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HDigraph {
+    otis: Otis,
+    d: u32,
+}
+
+impl HDigraph {
+    /// `H(p, q, d)`; requires `d ≥ 1` and `d | pq`.
+    pub fn new(p: u64, q: u64, d: u32) -> Self {
+        let otis = Otis::new(p, q);
+        assert!(d >= 1, "degree must be at least 1");
+        assert!(
+            otis.link_count().is_multiple_of(d as u64),
+            "d = {d} must divide pq = {}",
+            otis.link_count()
+        );
+        HDigraph { otis, d }
+    }
+
+    /// The underlying OTIS system.
+    pub fn otis(&self) -> &Otis {
+        &self.otis
+    }
+
+    /// Number of lenses `p + q` used by the layout.
+    pub fn lens_count(&self) -> u64 {
+        self.otis.lens_count()
+    }
+
+    /// The node owning a given transmitter (global index).
+    pub fn node_of_transmitter(&self, t: u64) -> u64 {
+        t / self.d as u64
+    }
+
+    /// The node owning a given receiver (global index).
+    pub fn node_of_receiver(&self, r: u64) -> u64 {
+        r / self.d as u64
+    }
+
+    /// The transmitters of node `u`, as hardware coordinates.
+    pub fn transmitters_of(&self, u: u64) -> Vec<Transmitter> {
+        (0..self.d as u64)
+            .map(|delta| self.otis.transmitter(u * self.d as u64 + delta))
+            .collect()
+    }
+
+    /// The receivers of node `u`, as hardware coordinates.
+    pub fn receivers_of(&self, u: u64) -> Vec<Receiver> {
+        (0..self.d as u64)
+            .map(|delta| self.otis.receiver(u * self.d as u64 + delta))
+            .collect()
+    }
+}
+
+impl DigraphFamily for HDigraph {
+    fn node_count(&self) -> u64 {
+        self.otis.link_count() / self.d as u64
+    }
+
+    fn degree(&self) -> u32 {
+        self.d
+    }
+
+    fn out_neighbor(&self, u: u64, k: u32) -> u64 {
+        debug_assert!(u < self.node_count() && k < self.d);
+        let t = u * self.d as u64 + k as u64;
+        self.node_of_receiver(self.otis.connect_index(t))
+    }
+
+    fn name(&self) -> String {
+        format!("H({},{},{})", self.otis.p(), self.otis.q(), self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_core::{DeBruijn, ImaseItoh};
+    use otis_digraph::bfs;
+
+    #[test]
+    fn figure_7_h482_adjacency() {
+        // Figure 7 / Figure 8: H(4,8,2) realizes B(2,4) with
+        // Γ⁺(x₃x₂x₁x₀) = { x̄₁ x̄₀ α x̄₃ } — the adjacency of
+        // A(f, C, 1) from Proposition 4.1 (complements letterwise).
+        // Hand check from the raw wiring: node 0000's transmitters
+        // t ∈ {0,1} are (i=0, j∈{0,1}) → receivers 31, 27 → nodes
+        // {15, 13} = {1111, 1101}. ✓
+        let h = HDigraph::new(4, 8, 2);
+        assert_eq!(h.node_count(), 16);
+        assert_eq!(h.degree(), 2);
+        let space = otis_words::WordSpace::new(2, 4);
+        for u in 0..16u64 {
+            let x = space.unrank(u);
+            let mut expected: Vec<u64> = (0..2u8)
+                .map(|alpha| {
+                    let word = otis_words::Word::from_msb(&[
+                        1 - x.digit(1),
+                        1 - x.digit(0),
+                        alpha,
+                        1 - x.digit(3),
+                    ]);
+                    space.rank(&word)
+                })
+                .collect();
+            expected.sort_unstable();
+            let mut actual = h.out_neighbors(u);
+            actual.sort_unstable();
+            assert_eq!(actual, expected, "node {x}");
+        }
+    }
+
+    #[test]
+    fn h_d_n_d_equals_imase_itoh() {
+        // The known OTIS layout of II [14], as digraph equality:
+        // H(d, n, d) = II(d, n).
+        for (d, n) in [(2u32, 8u64), (2, 11), (3, 9), (3, 14), (4, 16)] {
+            let h = HDigraph::new(d as u64, n, d).digraph();
+            let ii = ImaseItoh::new(d, n).digraph();
+            assert_eq!(h, ii, "H({d},{n},{d}) != II({d},{n})");
+        }
+    }
+
+    #[test]
+    fn regular_and_sized() {
+        for (p, q, d) in [(4u64, 8u64, 2u32), (16, 32, 2), (9, 27, 3), (2, 256, 2)] {
+            let h = HDigraph::new(p, q, d);
+            assert_eq!(h.node_count(), p * q / d as u64);
+            let g = h.digraph();
+            assert_eq!(g.regular_degree(), Some(d as usize), "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn h_16_32_2_is_debruijn_shaped() {
+        // Section 4.3: H(16,32,2) ≅ B(2,8) — check the cheap
+        // invariants here (the full witness lives in otis-layout).
+        let h = HDigraph::new(16, 32, 2).digraph();
+        let b = DeBruijn::new(2, 8).digraph();
+        assert_eq!(h.node_count(), b.node_count());
+        assert_eq!(bfs::diameter(&h), Some(8));
+        assert_eq!(h.loop_count(), b.loop_count());
+        assert!(!otis_digraph::invariants::definitely_not_isomorphic(&h, &b));
+    }
+
+    #[test]
+    fn transceiver_ownership_partition() {
+        let h = HDigraph::new(4, 8, 2);
+        for u in 0..h.node_count() {
+            for t in h.transmitters_of(u) {
+                assert_eq!(h.node_of_transmitter(h.otis().transmitter_index(t)), u);
+            }
+            for r in h.receivers_of(u) {
+                assert_eq!(h.node_of_receiver(h.otis().receiver_index(r)), u);
+            }
+        }
+    }
+
+    #[test]
+    fn in_degree_equals_out_degree() {
+        // The wiring is a bijection on pq links, and nodes own d
+        // receivers each, so in-degree is exactly d too.
+        let g = HDigraph::new(8, 16, 4).digraph();
+        assert!(g.in_degrees().iter().all(|&deg| deg == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn indivisible_degree_rejected() {
+        HDigraph::new(3, 5, 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! The OTIS free-space optical architecture (Section 4) and the
+//! hardware-simulation substrate.
+//!
+//! The Optical Transpose Interconnection System `OTIS(p, q)` [Marsden
+//! et al., Opt. Lett. 18(13), 1993] connects `p` groups of `q`
+//! transmitters to `q` groups of `p` receivers through two lenslet
+//! arrays (`p + q` lenses total): transmitter `(i, j)` reaches
+//! receiver `(q-1-j, p-1-i)`. That wiring law is the entire
+//! combinatorial content of the hardware; everything the paper proves
+//! rides on it.
+//!
+//! Since the physical UCSD bench is obviously not available, this
+//! crate *simulates* it at three levels (see DESIGN.md §3):
+//!
+//! * [`Otis`] — the exact wiring law and its algebra (transpose +
+//!   reversal identity, `OTIS(p,q)⁻ = OTIS(q,p)`);
+//! * [`geometry`] — a 1-D thin-lens layout of the two lenslet planes:
+//!   element coordinates, per-beam polyline paths, aperture checks,
+//!   time-of-flight; the geometric trace is tested to reproduce the
+//!   wiring law exactly;
+//! * [`power`] — an optical/electrical link budget in the style of the
+//!   paper's motivation refs [16, 33]: per-hop loss, receiver margin,
+//!   energy per bit, and the optical-vs-electrical break-even length;
+//! * [`HDigraph`] — the node-level digraph `H(p, q, d)` induced by
+//!   giving each processing node `d` consecutive transmitters and
+//!   receivers (Section 4.2) — including the labeled *equality*
+//!   `H(d, n, d) = II(d, n)`, which is the known II layout [14];
+//! * [`simulator`] — a packet-level simulator that moves messages
+//!   through the simulated hardware hop by hop and accounts latency
+//!   and energy per the geometry and power models.
+
+pub mod faults;
+pub mod geometry;
+pub mod grid;
+mod h_digraph;
+mod otis;
+pub mod pops;
+pub mod power;
+pub mod simulator;
+
+pub use h_digraph::HDigraph;
+pub use otis::{Otis, Receiver, Transmitter};

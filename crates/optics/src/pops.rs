@@ -1,0 +1,251 @@
+//! The Partitioned Optical Passive Star network `POPS(t, g)`
+//! (Chiarulli et al. [10]) — the single-hop multi-OPS network the
+//! paper's introduction cites as an OTIS application ([14]).
+//!
+//! `n = t·g` processors are partitioned into `g` groups of `t`. For
+//! every **ordered** pair of groups `(i, j)` there is one passive
+//! star coupler `c(i, j)`: any processor of group `j` can transmit
+//! into it, and it *broadcasts* to every processor of group `i`.
+//! Hence `g²` couplers, `g` transmitters and `g` receivers per
+//! processor, and any-to-any communication in **one hop** — at the
+//! price of coupler contention: a coupler carries one message per
+//! time slot.
+//!
+//! This module models the topology, one-hop routing, the collision
+//! rule, and a greedy slot scheduler, with the classical structural
+//! facts pinned by tests (e.g. a permutation routes in one slot iff
+//! it induces a permutation-like load on the group digraph).
+
+use serde::{Deserialize, Serialize};
+
+/// A coupler `c(to_group, from_group)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coupler {
+    /// Destination group (the coupler broadcasts to all of it).
+    pub to_group: u64,
+    /// Source group (any member may transmit into it).
+    pub from_group: u64,
+}
+
+/// The `POPS(t, g)` network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pops {
+    t: u64,
+    g: u64,
+}
+
+impl Pops {
+    /// `POPS(t, g)`: `g ≥ 1` groups of `t ≥ 1` processors.
+    pub fn new(t: u64, g: u64) -> Self {
+        assert!(t >= 1 && g >= 1, "POPS needs t, g >= 1");
+        assert!(t.checked_mul(g).is_some(), "t·g overflows");
+        Pops { t, g }
+    }
+
+    /// Processors per group.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Number of groups.
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// Total processors `n = t·g`.
+    pub fn processor_count(&self) -> u64 {
+        self.t * self.g
+    }
+
+    /// Total couplers `g²` — the hardware cost (the analogue of the
+    /// OTIS lens count; minimized at `g = √n`).
+    pub fn coupler_count(&self) -> u64 {
+        self.g * self.g
+    }
+
+    /// Per-processor transceiver count: `g` transmitters + `g`
+    /// receivers.
+    pub fn transceivers_per_processor(&self) -> u64 {
+        2 * self.g
+    }
+
+    /// Group of a processor.
+    pub fn group_of(&self, processor: u64) -> u64 {
+        assert!(processor < self.processor_count(), "processor out of range");
+        processor / self.t
+    }
+
+    /// The unique coupler that carries a message from `src` to `dst`
+    /// in one hop.
+    pub fn route(&self, src: u64, dst: u64) -> Coupler {
+        Coupler {
+            to_group: self.group_of(dst),
+            from_group: self.group_of(src),
+        }
+    }
+
+    /// The processors that *hear* a transmission on `coupler`
+    /// (the whole destination group — passive stars broadcast).
+    pub fn listeners(&self, coupler: Coupler) -> std::ops::Range<u64> {
+        assert!(coupler.to_group < self.g && coupler.from_group < self.g);
+        coupler.to_group * self.t..(coupler.to_group + 1) * self.t
+    }
+
+    /// Can this set of `(src, dst)` messages be delivered in a single
+    /// slot? Requires every coupler to carry at most one message and
+    /// every processor to transmit at most once.
+    pub fn one_slot_feasible(&self, messages: &[(u64, u64)]) -> bool {
+        let mut couplers = otis_util::FxHashSet::default();
+        let mut senders = otis_util::FxHashSet::default();
+        for &(src, dst) in messages {
+            if !senders.insert(src) {
+                return false;
+            }
+            if !couplers.insert(self.route(src, dst)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Greedy slot scheduler: partition `messages` into slots, each
+    /// one-slot feasible. Returns the slot assignment (a list of
+    /// message lists). Not optimal — a baseline for contention
+    /// studies.
+    pub fn greedy_schedule(&self, messages: &[(u64, u64)]) -> Vec<Vec<(u64, u64)>> {
+        let mut slots: Vec<Vec<(u64, u64)>> = Vec::new();
+        let mut slot_couplers: Vec<otis_util::FxHashSet<Coupler>> = Vec::new();
+        let mut slot_senders: Vec<otis_util::FxHashSet<u64>> = Vec::new();
+        for &(src, dst) in messages {
+            let coupler = self.route(src, dst);
+            let slot = (0..slots.len()).find(|&s| {
+                !slot_couplers[s].contains(&coupler) && !slot_senders[s].contains(&src)
+            });
+            match slot {
+                Some(s) => {
+                    slots[s].push((src, dst));
+                    slot_couplers[s].insert(coupler);
+                    slot_senders[s].insert(src);
+                }
+                None => {
+                    slots.push(vec![(src, dst)]);
+                    let mut c = otis_util::FxHashSet::default();
+                    c.insert(coupler);
+                    slot_couplers.push(c);
+                    let mut p = otis_util::FxHashSet::default();
+                    p.insert(src);
+                    slot_senders.push(p);
+                }
+            }
+        }
+        slots
+    }
+
+    /// The group-level digraph: one node per group, arcs = couplers.
+    /// Always the complete digraph with loops `K_g⁺` — which is why
+    /// [34]'s OTIS-realized `K_n⁺` is the degenerate `t = 1` POPS.
+    pub fn group_digraph(&self) -> otis_digraph::Digraph {
+        otis_digraph::ops::complete_with_loops(self.g as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_counts() {
+        let pops = Pops::new(4, 3);
+        assert_eq!(pops.processor_count(), 12);
+        assert_eq!(pops.coupler_count(), 9);
+        assert_eq!(pops.transceivers_per_processor(), 6);
+    }
+
+    #[test]
+    fn one_hop_any_to_any() {
+        let pops = Pops::new(3, 4);
+        for src in 0..12 {
+            for dst in 0..12 {
+                let coupler = pops.route(src, dst);
+                assert_eq!(coupler.from_group, pops.group_of(src));
+                assert!(pops.listeners(coupler).contains(&dst), "{src} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_semantics() {
+        // One transmission is heard by the whole destination group.
+        let pops = Pops::new(4, 3);
+        let coupler = pops.route(0, 9); // group 0 -> group 2
+        let listeners: Vec<u64> = pops.listeners(coupler).collect();
+        assert_eq!(listeners, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn slot_feasibility_rules() {
+        let pops = Pops::new(2, 2);
+        // Two messages on distinct couplers, distinct senders: OK.
+        assert!(pops.one_slot_feasible(&[(0, 2), (2, 0)]));
+        // Same coupler twice (both group0 -> group1): collision.
+        assert!(!pops.one_slot_feasible(&[(0, 2), (1, 3)]));
+        // Same sender twice: single transmitter per slot.
+        assert!(!pops.one_slot_feasible(&[(0, 2), (0, 1)]));
+        // Empty is trivially fine.
+        assert!(pops.one_slot_feasible(&[]));
+    }
+
+    #[test]
+    fn intra_group_traffic_uses_loop_coupler() {
+        let pops = Pops::new(4, 3);
+        let coupler = pops.route(1, 2); // both in group 0
+        assert_eq!(coupler, Coupler { to_group: 0, from_group: 0 });
+    }
+
+    #[test]
+    fn greedy_schedule_is_feasible_and_complete() {
+        let pops = Pops::new(2, 3);
+        // All-to-all from group 0's two processors to one target per
+        // group: forces coupler contention.
+        let messages: Vec<(u64, u64)> =
+            (0..2).flat_map(|s| (0..6).map(move |d| (s, d))).collect();
+        let slots = pops.greedy_schedule(&messages);
+        let delivered: usize = slots.iter().map(Vec::len).sum();
+        assert_eq!(delivered, messages.len());
+        for slot in &slots {
+            assert!(pops.one_slot_feasible(slot), "slot {slot:?} infeasible");
+        }
+        // Each of the 2 senders sends 6 messages, one per slot
+        // minimum: at least 6 slots.
+        assert!(slots.len() >= 6);
+    }
+
+    #[test]
+    fn permutation_traffic_lower_bound() {
+        // A permutation where every processor sends to the *same*
+        // destination group needs ≥ t slots (one coupler bottleneck).
+        let pops = Pops::new(3, 2);
+        let messages: Vec<(u64, u64)> = (0..3).map(|k| (k, 3 + k)).collect();
+        let slots = pops.greedy_schedule(&messages);
+        assert!(slots.len() >= 3, "coupler c(1,0) carries all three");
+    }
+
+    #[test]
+    fn group_digraph_is_complete_with_loops() {
+        let pops = Pops::new(5, 4);
+        let g = pops.group_digraph();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.arc_count() as u64, pops.coupler_count());
+        assert_eq!(otis_digraph::bfs::diameter(&g), Some(1));
+    }
+
+    #[test]
+    fn degenerate_single_group() {
+        let pops = Pops::new(6, 1);
+        assert_eq!(pops.coupler_count(), 1);
+        // Everything routes over the single coupler: n messages need
+        // n slots.
+        let messages: Vec<(u64, u64)> = (0..6).map(|k| (k, (k + 1) % 6)).collect();
+        assert_eq!(pops.greedy_schedule(&messages).len(), 6);
+    }
+}

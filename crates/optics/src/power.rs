@@ -1,0 +1,196 @@
+//! Optical / electrical link budgets.
+//!
+//! The paper's motivation rests on Feldman et al. [16] ("the
+//! break-even line length where optical communication lines become
+//! more effective than their electrical counterparts is less than
+//! 1 cm") and Yayla et al. [33]. This module reproduces that
+//! comparison with a transparent first-order model so the
+//! `lens_scaling` bench and the `optical_design` example can report
+//! energy and margin numbers alongside the lens counts.
+//!
+//! All constants are stated per-link and documented; nothing here
+//! pretends to be device-exact — the *shape* (optics flat in length,
+//! electrical growing with length, crossover below 1 cm) is what the
+//! tests pin down.
+
+use serde::{Deserialize, Serialize};
+
+/// Optical link parameters (a VCSEL → lenslet ×2 → detector chain).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpticalLinkParams {
+    /// Launched optical power, mW (low-threshold VCSEL class [15]).
+    pub tx_power_mw: f64,
+    /// Transmission of each lens surface (two lenses, four surfaces).
+    pub lens_transmission: f64,
+    /// Geometric coupling efficiency onto the detector.
+    pub coupling_efficiency: f64,
+    /// Receiver sensitivity at the design bitrate, mW (transimpedance
+    /// receiver class [5]).
+    pub rx_sensitivity_mw: f64,
+    /// Laser + driver energy per bit, pJ.
+    pub tx_energy_pj: f64,
+    /// Receiver energy per bit, pJ.
+    pub rx_energy_pj: f64,
+    /// E/O + O/E conversion latency, ps.
+    pub conversion_latency_ps: f64,
+}
+
+impl Default for OpticalLinkParams {
+    fn default() -> Self {
+        OpticalLinkParams {
+            tx_power_mw: 1.0,
+            lens_transmission: 0.96,
+            coupling_efficiency: 0.8,
+            rx_sensitivity_mw: 0.02,
+            tx_energy_pj: 1.5,
+            rx_energy_pj: 1.0,
+            conversion_latency_ps: 150.0,
+        }
+    }
+}
+
+/// Electrical line parameters (on-board microstrip / on-chip wire
+/// blend used for the break-even comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElectricalLinkParams {
+    /// Driver + termination energy independent of length, pJ/bit.
+    pub fixed_energy_pj: f64,
+    /// Energy per millimetre of line, pJ/(bit·mm) (CV² charging).
+    pub energy_per_mm_pj: f64,
+    /// Propagation delay per millimetre, ps/mm (≈ c/2 in FR4 ≈ 6.7,
+    /// plus repeater overhead folded in).
+    pub delay_per_mm_ps: f64,
+}
+
+impl Default for ElectricalLinkParams {
+    fn default() -> Self {
+        ElectricalLinkParams {
+            fixed_energy_pj: 0.4,
+            energy_per_mm_pj: 0.25,
+            delay_per_mm_ps: 9.0,
+        }
+    }
+}
+
+/// Budget outcome for one optical link through an OTIS bench.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpticalBudget {
+    /// Power arriving at the detector, mW.
+    pub received_power_mw: f64,
+    /// Link margin in dB over receiver sensitivity (negative = dead
+    /// link).
+    pub margin_db: f64,
+    /// Total energy per bit, pJ.
+    pub energy_pj: f64,
+    /// End-to-end latency (conversions + flight), ps.
+    pub latency_ps: f64,
+}
+
+impl OpticalBudget {
+    /// True iff the detector sees at least its sensitivity.
+    pub fn closes(&self) -> bool {
+        self.margin_db >= 0.0
+    }
+}
+
+/// Evaluate an optical link of the given free-space path length (mm).
+///
+/// Loss model: four lens surfaces (`lens_transmission⁴`) times the
+/// coupling efficiency; free space itself is lossless at these scales.
+pub fn optical_budget(params: &OpticalLinkParams, path_length_mm: f64) -> OpticalBudget {
+    let transmission = params.lens_transmission.powi(4) * params.coupling_efficiency;
+    let received = params.tx_power_mw * transmission;
+    let margin_db = 10.0 * (received / params.rx_sensitivity_mw).log10();
+    const C_MM_PER_PS: f64 = 0.299_792_458;
+    OpticalBudget {
+        received_power_mw: received,
+        margin_db,
+        energy_pj: params.tx_energy_pj + params.rx_energy_pj,
+        latency_ps: params.conversion_latency_ps + path_length_mm / C_MM_PER_PS,
+    }
+}
+
+/// Energy per bit (pJ) of an electrical line of the given length (mm).
+pub fn electrical_energy_pj(params: &ElectricalLinkParams, length_mm: f64) -> f64 {
+    params.fixed_energy_pj + params.energy_per_mm_pj * length_mm
+}
+
+/// Latency (ps) of an electrical line of the given length (mm).
+pub fn electrical_latency_ps(params: &ElectricalLinkParams, length_mm: f64) -> f64 {
+    params.delay_per_mm_ps * length_mm
+}
+
+/// The break-even line length (mm) above which the optical link costs
+/// less energy per bit than the electrical line. Solves
+/// `fixed + slope·L = optical_energy` for `L`; `None` if optics never
+/// wins (optical energy below the electrical fixed cost never
+/// happens with sane parameters).
+pub fn break_even_length_mm(
+    optical: &OpticalLinkParams,
+    electrical: &ElectricalLinkParams,
+) -> Option<f64> {
+    let optical_energy = optical.tx_energy_pj + optical.rx_energy_pj;
+    let excess = optical_energy - electrical.fixed_energy_pj;
+    (excess >= 0.0).then(|| excess / electrical.energy_per_mm_pj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_link_closes_with_healthy_margin() {
+        let budget = optical_budget(&OpticalLinkParams::default(), 38.0);
+        assert!(budget.closes());
+        assert!(budget.margin_db > 10.0, "margin {} dB too thin", budget.margin_db);
+        assert!(budget.received_power_mw < 1.0, "lenses must lose something");
+    }
+
+    #[test]
+    fn dead_link_detected() {
+        let params = OpticalLinkParams {
+            rx_sensitivity_mw: 5.0, // absurdly deaf receiver
+            ..OpticalLinkParams::default()
+        };
+        assert!(!optical_budget(&params, 38.0).closes());
+    }
+
+    #[test]
+    fn optical_energy_flat_in_length_electrical_grows() {
+        let opt = OpticalLinkParams::default();
+        let ele = ElectricalLinkParams::default();
+        let short = optical_budget(&opt, 10.0);
+        let long = optical_budget(&opt, 100.0);
+        assert_eq!(short.energy_pj, long.energy_pj, "optical energy length-independent");
+        assert!(electrical_energy_pj(&ele, 100.0) > electrical_energy_pj(&ele, 10.0));
+    }
+
+    #[test]
+    fn break_even_below_one_centimetre() {
+        // Feldman et al. [16]: break-even < 1 cm = 10 mm.
+        let break_even = break_even_length_mm(
+            &OpticalLinkParams::default(),
+            &ElectricalLinkParams::default(),
+        )
+        .expect("break-even exists");
+        assert!(break_even < 10.0, "break-even {break_even} mm not below 1 cm");
+        assert!(break_even > 1.0, "break-even {break_even} mm implausibly small");
+        // And at the break-even point the two energies agree.
+        let opt = optical_budget(&OpticalLinkParams::default(), break_even).energy_pj;
+        let ele = electrical_energy_pj(&ElectricalLinkParams::default(), break_even);
+        assert!((opt - ele).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_grows_with_path() {
+        let opt = OpticalLinkParams::default();
+        assert!(optical_budget(&opt, 100.0).latency_ps > optical_budget(&opt, 10.0).latency_ps);
+        let ele = ElectricalLinkParams::default();
+        assert!(electrical_latency_ps(&ele, 30.0) > electrical_latency_ps(&ele, 3.0));
+        // At bench scale (~38 mm) optics is latency-competitive:
+        // flight 127 ps + conversions 150 ps < electrical 342 ps.
+        assert!(
+            optical_budget(&opt, 38.0).latency_ps < electrical_latency_ps(&ele, 38.0)
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the OTIS hardware model.
+
+use otis_core::DigraphFamily;
+use otis_optics::geometry::Bench;
+use otis_optics::grid::GridBench;
+use otis_optics::{HDigraph, Otis, Transmitter};
+use proptest::prelude::*;
+
+proptest! {
+    /// The wiring law is a bijection for every (p, q).
+    #[test]
+    fn wiring_bijective(p in 1u64..20, q in 1u64..20) {
+        let otis = Otis::new(p, q);
+        let mut hit = vec![false; (p * q) as usize];
+        for t in 0..p * q {
+            let r = otis.connect_index(t);
+            prop_assert!(!std::mem::replace(&mut hit[r as usize], true));
+        }
+    }
+
+    /// connect/source_of are mutually inverse.
+    #[test]
+    fn wiring_invertible(p in 1u64..20, q in 1u64..20, seed in any::<u64>()) {
+        let otis = Otis::new(p, q);
+        let t = otis.transmitter(seed % (p * q));
+        prop_assert_eq!(otis.source_of(otis.connect(t)), t);
+    }
+
+    /// Reversal: OTIS(q,p) routes the wire back.
+    #[test]
+    fn reversal_inverts(p in 1u64..16, q in 1u64..16, seed in any::<u64>()) {
+        let otis = Otis::new(p, q);
+        let rev = otis.reversed();
+        let t = otis.transmitter(seed % (p * q));
+        let r = otis.connect(t);
+        let back = rev.connect(Transmitter { group: r.group, offset: r.offset });
+        prop_assert_eq!((back.group, back.offset), (t.group, t.offset));
+    }
+
+    /// The global-index law t ↦ pq - 1 - transpose(t).
+    #[test]
+    fn global_law(p in 1u64..16, q in 1u64..16, seed in any::<u64>()) {
+        let otis = Otis::new(p, q);
+        let t = seed % (p * q);
+        let (i, j) = (t / q, t % q);
+        prop_assert_eq!(otis.connect_index(t), p * q - 1 - (j * p + i));
+    }
+
+    /// H(p,q,d) is d-regular with in-degree d, for every valid shape.
+    #[test]
+    fn h_digraph_regularity(p in 1u64..12, q in 1u64..12, d_seed in any::<u32>()) {
+        let m = p * q;
+        // pick a divisor of m as degree
+        let divisors: Vec<u64> = (1..=m).filter(|x| m % x == 0).collect();
+        let d = divisors[(d_seed as usize) % divisors.len()];
+        prop_assume!(d <= 64 && m / d >= 1);
+        let h = HDigraph::new(p, q, d as u32);
+        let g = h.digraph();
+        prop_assert_eq!(g.regular_degree(), Some(d as usize));
+        prop_assert!(g.in_degrees().iter().all(|&deg| deg == d as usize));
+    }
+
+    /// 1-D beam traces always land on the wired receiver, and path
+    /// lengths dominate the axial bench length.
+    #[test]
+    fn beam_traces_consistent(p in 1u64..10, q in 1u64..10, seed in any::<u64>()) {
+        let otis = Otis::new(p, q);
+        let bench = Bench::with_defaults(otis);
+        let t = otis.transmitter(seed % (p * q));
+        let trace = bench.trace(t);
+        prop_assert_eq!(trace.to, otis.connect(t));
+        prop_assert!(trace.path_length >= bench.bench_length());
+        prop_assert!(trace.time_of_flight_ps() > 0.0);
+    }
+
+    /// 2-D traces agree with the wiring too, and are never shorter
+    /// than the axial length.
+    #[test]
+    fn grid_traces_consistent(p in 1u64..10, q in 1u64..10, seed in any::<u64>()) {
+        let otis = Otis::new(p, q);
+        let bench = GridBench::with_defaults(otis);
+        let t = otis.transmitter(seed % (p * q));
+        let trace = bench.trace(t);
+        prop_assert_eq!(trace.to, otis.connect(t));
+        prop_assert!(trace.path_length >= bench.bench_length() - 1e-9);
+    }
+
+    /// Fault sets only ever remove arcs, never add or rewire.
+    #[test]
+    fn faults_shrink_monotonically(kill in proptest::collection::vec(0u64..64, 0..6)) {
+        let h = HDigraph::new(4, 16, 2);
+        let faults = otis_optics::faults::FaultSet {
+            dead_transmitters: kill.clone(),
+            ..otis_optics::faults::FaultSet::none()
+        };
+        let full = h.digraph();
+        let survived = otis_optics::faults::surviving_digraph(&h, &faults);
+        prop_assert!(survived.arc_count() <= full.arc_count());
+        // Every surviving arc exists in the pristine digraph.
+        for (u, v) in survived.arcs() {
+            prop_assert!(full.has_arc(u, v));
+        }
+        // Distinct dead transmitters kill exactly that many beams.
+        let mut unique = kill;
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(full.arc_count() - survived.arc_count(), unique.len());
+    }
+}

@@ -1,0 +1,169 @@
+//! Exhaustive enumeration of permutations.
+//!
+//! Section 3 of the paper counts `d!(D-1)!` alternative definitions of
+//! `B(d, D)`: `d!` alphabet permutations `σ` times `(D-1)!` cyclic
+//! index permutations `f`. The tests and the `enumerate_definitions`
+//! bench sweep these spaces exhaustively for small `d`, `D`, so we
+//! provide allocation-light iterators over
+//!
+//! * all `n!` permutations of `Z_n` (Heap's algorithm), and
+//! * all `(n-1)!` cyclic permutations of `Z_n` (successor tables of
+//!   circular arrangements).
+
+use crate::Perm;
+
+/// `n!` as `u128`, panicking on overflow (n ≤ 34 fits).
+pub fn factorial(n: u64) -> u128 {
+    (1..=n as u128).try_fold(1u128, u128::checked_mul).expect("factorial overflows u128")
+}
+
+/// Iterator over all `n!` permutations of `Z_n`, generated in Heap's
+/// order. Each item is a fresh [`Perm`].
+pub fn all_permutations(n: usize) -> AllPerms {
+    AllPerms {
+        state: (0..n as u32).collect(),
+        stack: vec![0; n],
+        frame: 0,
+        first: true,
+        done: false,
+    }
+}
+
+/// See [`all_permutations`].
+pub struct AllPerms {
+    state: Vec<u32>,
+    stack: Vec<usize>,
+    frame: usize,
+    first: bool,
+    done: bool,
+}
+
+impl Iterator for AllPerms {
+    type Item = Perm;
+
+    fn next(&mut self) -> Option<Perm> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            return Some(to_perm(&self.state));
+        }
+        // Heap's algorithm, iterative form.
+        let n = self.state.len();
+        while self.frame < n {
+            if self.stack[self.frame] < self.frame {
+                if self.frame.is_multiple_of(2) {
+                    self.state.swap(0, self.frame);
+                } else {
+                    self.state.swap(self.stack[self.frame], self.frame);
+                }
+                self.stack[self.frame] += 1;
+                self.frame = 0;
+                return Some(to_perm(&self.state));
+            }
+            self.stack[self.frame] = 0;
+            self.frame += 1;
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// Iterator over all `(n-1)!` **cyclic** permutations of `Z_n`.
+///
+/// A cyclic permutation is the successor table of a circular
+/// arrangement `0 → a_1 → a_2 → … → a_{n-1} → 0`; enumerating the
+/// `(n-1)!` orderings of `{1, …, n-1}` enumerates them all exactly
+/// once. Requires `n ≥ 1`.
+pub fn cyclic_permutations(n: usize) -> CyclicPerms {
+    assert!(n >= 1, "cyclic permutations need n >= 1");
+    CyclicPerms {
+        inner: all_permutations(n - 1),
+        n,
+    }
+}
+
+/// See [`cyclic_permutations`].
+pub struct CyclicPerms {
+    inner: AllPerms,
+    n: usize,
+}
+
+impl Iterator for CyclicPerms {
+    type Item = Perm;
+
+    fn next(&mut self) -> Option<Perm> {
+        if self.n == 1 {
+            // Sole permutation of Z_1 is the identity, which is cyclic.
+            // all_permutations(0) yields exactly one (empty) item, so
+            // the count works out.
+            return self.inner.next().map(|_| Perm::identity(1));
+        }
+        let tail = self.inner.next()?;
+        // Circular order: 0, tail(0)+1, tail(1)+1, …, tail(n-2)+1, back to 0.
+        let mut images = vec![0u32; self.n];
+        let mut prev = 0u32;
+        for i in 0..self.n - 1 {
+            let cur = tail.apply(i as u32) + 1;
+            images[prev as usize] = cur;
+            prev = cur;
+        }
+        images[prev as usize] = 0;
+        Some(Perm::from_images(images).expect("constructed successor table is a permutation"))
+    }
+}
+
+fn to_perm(state: &[u32]) -> Perm {
+    Perm::from_images(state.to_vec()).expect("Heap state is a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000);
+    }
+
+    #[test]
+    fn all_permutations_counts_and_distinct() {
+        for n in 0..=6usize {
+            let perms: Vec<Perm> = all_permutations(n).collect();
+            assert_eq!(perms.len() as u128, factorial(n as u64), "n = {n}");
+            let distinct: HashSet<Vec<u32>> =
+                perms.iter().map(|p| p.images().to_vec()).collect();
+            assert_eq!(distinct.len(), perms.len(), "duplicates at n = {n}");
+        }
+    }
+
+    #[test]
+    fn cyclic_permutations_counts_and_all_cyclic() {
+        for n in 1..=7usize {
+            let perms: Vec<Perm> = cyclic_permutations(n).collect();
+            assert_eq!(perms.len() as u128, factorial(n as u64 - 1), "n = {n}");
+            assert!(perms.iter().all(Perm::is_cyclic), "non-cyclic output at n = {n}");
+            let distinct: HashSet<Vec<u32>> =
+                perms.iter().map(|p| p.images().to_vec()).collect();
+            assert_eq!(distinct.len(), perms.len(), "duplicates at n = {n}");
+        }
+    }
+
+    #[test]
+    fn cyclic_permutations_match_filter_of_all() {
+        for n in 1..=6usize {
+            let from_iter: HashSet<Vec<u32>> =
+                cyclic_permutations(n).map(|p| p.images().to_vec()).collect();
+            let from_filter: HashSet<Vec<u32>> = all_permutations(n)
+                .filter(Perm::is_cyclic)
+                .map(|p| p.images().to_vec())
+                .collect();
+            assert_eq!(from_iter, from_filter, "n = {n}");
+        }
+    }
+}

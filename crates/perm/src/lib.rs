@@ -1,0 +1,35 @@
+//! Permutation algebra on `Z_n`.
+//!
+//! The paper's entire isomorphism theory is phrased in terms of two
+//! permutations: `σ` on the alphabet `Z_d` and `f` on the word indices
+//! `Z_D`, plus the distinguished *complement* `C(u) = n-1-u` and
+//! *rotation* (cyclic shift) permutations. Proposition 3.9 hinges on a
+//! single structural question — **is `f` a cyclic permutation?** — and
+//! on the auxiliary permutation `g(i) = f^i(j)` built from the orbit of
+//! the free position `j`.
+//!
+//! This crate provides:
+//!
+//! * [`Perm`] — an immutable permutation of `{0, …, n-1}` with
+//!   composition, inversion, powers, conjugation;
+//! * cycle structure: [`Perm::cycles`], [`Perm::cycle_type`],
+//!   [`Perm::order`], [`Perm::is_cyclic`] (the Proposition 3.9 test,
+//!   `O(n)` — Corollary 4.5 relies on this running in `O(D)`);
+//! * the orbit labeling [`Perm::orbit_labeling`] implementing the
+//!   paper's `g(i) = f^i(j)` construction;
+//! * named constructions: [`Perm::rotation`] (the de Bruijn left
+//!   shift), [`Perm::complement`] (Definition 2.1's `C`),
+//!   transpositions, random and random-cyclic (Sattolo) permutations;
+//! * exhaustive enumeration of all `n!` permutations (Heap's
+//!   algorithm) and all `(n-1)!` cyclic permutations, which the tests
+//!   and the `d!(D-1)!` definition-counting experiment sweep over;
+//! * cycle-notation formatting and parsing, and `serde` support with
+//!   validated deserialization.
+
+mod enumerate;
+mod parse;
+mod perm;
+
+pub use enumerate::{all_permutations, cyclic_permutations, factorial};
+pub use parse::{parse_with_len, ParsePermError};
+pub use perm::{NotCyclicError, Perm, PermError};

@@ -1,0 +1,203 @@
+//! Cycle-notation formatting and parsing for [`Perm`].
+//!
+//! `Display` prints standard disjoint-cycle notation with fixed points
+//! elided (`"(0 2 1)"` on `Z_4` fixes 3), printing `"()"` for the
+//! identity. `FromStr` accepts both cycle notation and one-line
+//! bracket notation (`"[2, 0, 1, 3]"`); cycle notation needs the
+//! ground-set size to be recoverable, so it takes the convention that
+//! the ground set is `0..=max` mentioned point (use
+//! [`parse_with_len`] to widen it).
+
+use crate::Perm;
+use std::fmt;
+use std::str::FromStr;
+
+/// Error parsing a permutation from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePermError {
+    message: String,
+}
+
+impl ParsePermError {
+    fn new(message: impl Into<String>) -> Self {
+        ParsePermError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParsePermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid permutation literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePermError {}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for cycle in self.cycles() {
+            if cycle.len() == 1 {
+                continue;
+            }
+            wrote = true;
+            write!(f, "(")?;
+            for (k, v) in cycle.iter().enumerate() {
+                if k > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        if !wrote {
+            write!(f, "()")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Perm {
+    type Err = ParsePermError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse_with_len(s, None)
+    }
+}
+
+/// Parse cycle or one-line notation, optionally forcing the ground-set
+/// size to `len` (points `>= len` are rejected; unmentioned points are
+/// fixed).
+pub fn parse_with_len(s: &str, len: Option<usize>) -> Result<Perm, ParsePermError> {
+    let s = s.trim();
+    if s.starts_with('[') {
+        parse_one_line(s, len)
+    } else if s.starts_with('(') || s == "()" {
+        parse_cycles(s, len)
+    } else {
+        Err(ParsePermError::new(
+            "expected '[…]' one-line or '(…)(…)' cycle notation",
+        ))
+    }
+}
+
+fn parse_one_line(s: &str, len: Option<usize>) -> Result<Perm, ParsePermError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ParsePermError::new("unbalanced brackets"))?;
+    let mut images = Vec::new();
+    for tok in inner.split(',') {
+        let tok = tok.trim();
+        if tok.is_empty() {
+            continue;
+        }
+        images.push(
+            tok.parse::<u32>()
+                .map_err(|e| ParsePermError::new(format!("bad integer {tok:?}: {e}")))?,
+        );
+    }
+    if let Some(len) = len {
+        if images.len() != len {
+            return Err(ParsePermError::new(format!(
+                "one-line table has {} entries, expected {len}",
+                images.len()
+            )));
+        }
+    }
+    Perm::from_images(images).map_err(|e| ParsePermError::new(e.to_string()))
+}
+
+fn parse_cycles(s: &str, len: Option<usize>) -> Result<Perm, ParsePermError> {
+    let mut cycles: Vec<Vec<u32>> = Vec::new();
+    let mut max_point: Option<u32> = None;
+    let mut rest = s;
+    while !rest.is_empty() {
+        let open = rest
+            .strip_prefix('(')
+            .ok_or_else(|| ParsePermError::new("expected '('"))?;
+        let close = open
+            .find(')')
+            .ok_or_else(|| ParsePermError::new("missing ')'"))?;
+        let body = &open[..close];
+        let mut cycle = Vec::new();
+        for tok in body.split_whitespace() {
+            let v = tok
+                .parse::<u32>()
+                .map_err(|e| ParsePermError::new(format!("bad integer {tok:?}: {e}")))?;
+            max_point = Some(max_point.map_or(v, |m| m.max(v)));
+            cycle.push(v);
+        }
+        if !cycle.is_empty() {
+            cycles.push(cycle);
+        }
+        rest = open[close + 1..].trim_start();
+    }
+    let inferred = max_point.map_or(0, |m| m as usize + 1);
+    let n = match len {
+        Some(len) if len < inferred => {
+            return Err(ParsePermError::new(format!(
+                "cycle mentions point {} outside Z_{len}",
+                inferred - 1
+            )))
+        }
+        Some(len) => len,
+        None => inferred,
+    };
+    Perm::from_cycles(n, &cycles).map_err(|e| ParsePermError::new(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_cycles() {
+        let f = Perm::from_images(vec![2, 0, 1, 3]).unwrap();
+        assert_eq!(f.to_string(), "(0 2 1)");
+        assert_eq!(Perm::identity(4).to_string(), "()");
+        assert_eq!(Perm::complement(4).to_string(), "(0 3)(1 2)");
+    }
+
+    #[test]
+    fn parse_cycle_notation() {
+        let f: Perm = "(0 2 1)".parse().unwrap();
+        assert_eq!(f, Perm::from_images(vec![2, 0, 1]).unwrap());
+        let g: Perm = "(0 3)(1 2)".parse().unwrap();
+        assert_eq!(g, Perm::complement(4));
+        let id: Perm = "()".parse().unwrap();
+        assert_eq!(id, Perm::identity(0));
+    }
+
+    #[test]
+    fn parse_one_line_notation() {
+        let f: Perm = "[2, 0, 1, 3]".parse().unwrap();
+        assert_eq!(f.to_string(), "(0 2 1)");
+        assert!("[0, 0]".parse::<Perm>().is_err());
+        assert!("[5]".parse::<Perm>().is_err());
+    }
+
+    #[test]
+    fn parse_with_explicit_len() {
+        let f = parse_with_len("(0 1)", Some(5)).unwrap();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.fixed_points(), vec![2, 3, 4]);
+        assert!(parse_with_len("(0 9)", Some(5)).is_err());
+        assert_eq!(parse_with_len("()", Some(3)).unwrap(), Perm::identity(3));
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        for images in [vec![0u32, 1, 2], vec![2, 0, 1], vec![1, 0, 3, 2], vec![3, 2, 1, 0]] {
+            let f = Perm::from_images(images).unwrap();
+            let back = parse_with_len(&f.to_string(), Some(f.len())).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!("hello".parse::<Perm>().is_err());
+        assert!("(0 1".parse::<Perm>().is_err());
+        assert!("[1, x]".parse::<Perm>().is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the permutation algebra.
+
+use otis_perm::{all_permutations, cyclic_permutations, factorial, Perm};
+use proptest::prelude::*;
+
+/// Strategy: a random permutation of `Z_n` for n in 1..=max_n, encoded
+/// as a shuffled image table.
+fn perm_strategy(max_n: usize) -> impl Strategy<Value = Perm> {
+    (1..=max_n).prop_flat_map(|n| {
+        Just((0..n as u32).collect::<Vec<u32>>())
+            .prop_shuffle()
+            .prop_map(|images| Perm::from_images(images).expect("shuffle is a permutation"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn inverse_is_two_sided(f in perm_strategy(64)) {
+        prop_assert!(f.compose(&f.inverse()).is_identity());
+        prop_assert!(f.inverse().compose(&f).is_identity());
+    }
+
+    #[test]
+    fn double_inverse_is_identity_map(f in perm_strategy(64)) {
+        prop_assert_eq!(f.inverse().inverse(), f);
+    }
+
+    #[test]
+    fn composition_associates(
+        f in perm_strategy(24),
+        g_seed in any::<u64>(),
+        h_seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let n = f.len();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(g_seed);
+        let g = Perm::random(n, &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(h_seed);
+        let h = Perm::random(n, &mut rng);
+        prop_assert_eq!(f.compose(&g).compose(&h), f.compose(&g.compose(&h)));
+    }
+
+    #[test]
+    fn pow_adds_exponents(f in perm_strategy(32), a in -8i64..8, b in -8i64..8) {
+        prop_assert_eq!(f.pow(a).compose(&f.pow(b)), f.pow(a + b));
+    }
+
+    #[test]
+    fn order_annihilates(f in perm_strategy(24)) {
+        let ord = f.order();
+        prop_assert!(ord <= factorial(f.len() as u64));
+        // Order can exceed i64 only for huge n; here n <= 24 so lcm fits.
+        prop_assert!(f.pow(ord as i64).is_identity());
+        // No smaller positive power of a *cycle length* annihilates:
+        // check minimality on the orbit structure instead of all k.
+        for cycle in f.cycles() {
+            prop_assert_eq!(ord % cycle.len() as u128, 0);
+        }
+    }
+
+    #[test]
+    fn cycle_type_sums_to_n(f in perm_strategy(64)) {
+        let ct = f.cycle_type();
+        prop_assert_eq!(ct.iter().sum::<usize>(), f.len());
+        prop_assert_eq!(f.is_cyclic(), ct == vec![f.len()]);
+    }
+
+    #[test]
+    fn conjugation_preserves_cycle_type(f in perm_strategy(24), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = Perm::random(f.len(), &mut rng);
+        prop_assert_eq!(f.conjugate_by(&g).cycle_type(), f.cycle_type());
+    }
+
+    #[test]
+    fn sign_is_multiplicative(f in perm_strategy(16), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let g = Perm::random(f.len(), &mut rng);
+        prop_assert_eq!(f.compose(&g).sign(), f.sign() * g.sign());
+    }
+
+    #[test]
+    fn orbit_labeling_conjugates_to_rotation(n in 1usize..48, j_seed in any::<u64>(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = Perm::random_cyclic(n, &mut rng);
+        let j = (j_seed % n as u64) as u32;
+        // Proposition 3.9's two identities.
+        let g = f.orbit_labeling(j).expect("cyclic f always yields a labeling");
+        prop_assert_eq!(f.conjugate_by(&g), Perm::rotation(n, 1));
+        prop_assert_eq!(g.apply(0), j);
+        prop_assert_eq!(g.inverse().apply(j), 0);
+    }
+
+    #[test]
+    fn non_cyclic_orbit_labeling_errors(f in perm_strategy(32), j_seed in any::<u64>()) {
+        let j = (j_seed % f.len() as u64) as u32;
+        let result = f.orbit_labeling(j);
+        prop_assert_eq!(result.is_ok(), f.is_cyclic());
+    }
+
+    #[test]
+    fn display_parse_round_trip(f in perm_strategy(32)) {
+        let text = f.to_string();
+        let back = otis_perm::parse_with_len(&text, Some(f.len())).unwrap();
+        prop_assert_eq!(back, f);
+    }
+}
+
+#[test]
+fn enumerators_agree_with_factorials_up_to_six() {
+    for n in 1..=6usize {
+        assert_eq!(all_permutations(n).count() as u128, factorial(n as u64));
+        assert_eq!(cyclic_permutations(n).count() as u128, factorial(n as u64 - 1));
+    }
+}

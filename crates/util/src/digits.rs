@@ -1,0 +1,125 @@
+//! Checked d-ary positional arithmetic.
+//!
+//! The paper constantly moves between three views of a vertex:
+//! a word `x_{D-1} … x_1 x_0` over the alphabet `Z_d`, the integer
+//! `u = Σ x_i d^i` (the Reddy–Raghavan–Kuhl / Imase–Itoh view), and an
+//! OTIS transceiver pair `(group, offset)`. This module is the single
+//! home for those conversions, with overflow made explicit.
+
+/// `d^exp` as `u64`, or `None` on overflow.
+///
+/// Every vertex-count computation in the workspace funnels through
+/// this, so a too-large `(d, D)` pair fails loudly at construction
+/// time instead of wrapping silently deep inside a generator.
+#[inline]
+pub fn checked_pow(d: u64, exp: u32) -> Option<u64> {
+    d.checked_pow(exp)
+}
+
+/// `d^exp` as `u64`, panicking on overflow with a descriptive message.
+#[inline]
+pub fn pow(d: u64, exp: u32) -> u64 {
+    checked_pow(d, exp)
+        .unwrap_or_else(|| panic!("d^D overflows u64: d = {d}, D = {exp}"))
+}
+
+/// Decompose `value` into `len` base-`d` digits, least significant
+/// first: `out[i]` is the coefficient of `d^i`.
+///
+/// Panics if `value >= d^len` (the value does not fit) or `d < 2`.
+pub fn to_digits(value: u64, d: u64, len: usize, out: &mut Vec<u8>) {
+    assert!(d >= 2, "alphabet size must be at least 2, got {d}");
+    assert!(d <= 256, "digits are stored as u8; alphabet size {d} > 256");
+    out.clear();
+    out.reserve(len);
+    let mut v = value;
+    for _ in 0..len {
+        out.push((v % d) as u8);
+        v /= d;
+    }
+    assert!(v == 0, "value {value} does not fit in {len} base-{d} digits");
+}
+
+/// Recompose base-`d` digits (least significant first) into an integer.
+///
+/// Panics on overflow or if any digit is `>= d`.
+pub fn from_digits(digits: &[u8], d: u64) -> u64 {
+    assert!(d >= 2, "alphabet size must be at least 2, got {d}");
+    let mut acc: u64 = 0;
+    for &digit in digits.iter().rev() {
+        assert!((digit as u64) < d, "digit {digit} out of range for base {d}");
+        acc = acc
+            .checked_mul(d)
+            .and_then(|a| a.checked_add(digit as u64))
+            .expect("digit recomposition overflows u64");
+    }
+    acc
+}
+
+/// Split `t` into `(t / q, t % q)` — the (group, offset) view of a
+/// transceiver index used throughout the OTIS crate.
+#[inline]
+pub fn div_mod(t: u64, q: u64) -> (u64, u64) {
+    (t / q, t % q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(pow(2, 10), 1024);
+        assert_eq!(pow(3, 0), 1);
+        assert_eq!(checked_pow(2, 64), None);
+        assert_eq!(checked_pow(10, 19), Some(10_000_000_000_000_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn pow_overflow_panics() {
+        pow(2, 64);
+    }
+
+    #[test]
+    fn digit_round_trip() {
+        let mut buf = Vec::new();
+        for d in 2u64..=5 {
+            for len in 1usize..=6 {
+                let n = pow(d, len as u32);
+                for v in 0..n {
+                    to_digits(v, d, len, &mut buf);
+                    assert_eq!(buf.len(), len);
+                    assert_eq!(from_digits(&buf, d), v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digits_least_significant_first() {
+        let mut buf = Vec::new();
+        // 13 = 1*8 + 1*4 + 0*2 + 1 -> binary 1101, LSB first = [1,0,1,1]
+        to_digits(13, 2, 4, &mut buf);
+        assert_eq!(buf, vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn value_too_large_panics() {
+        let mut buf = Vec::new();
+        to_digits(8, 2, 3, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_digit_panics() {
+        from_digits(&[3], 2);
+    }
+
+    #[test]
+    fn div_mod_splits() {
+        assert_eq!(div_mod(17, 5), (3, 2));
+        assert_eq!(div_mod(0, 9), (0, 0));
+    }
+}

@@ -1,0 +1,125 @@
+//! A fast, non-cryptographic hash for small keys.
+//!
+//! This is the multiply-xor scheme popularized by the Rust compiler's
+//! `FxHasher` (itself derived from Firefox). It is not HashDoS
+//! resistant — all inputs here are program-generated vertex ids,
+//! permutation images and word ranks, never attacker-controlled — and
+//! for those integer-heavy workloads it is several times faster than
+//! the standard library's SipHash 1-3.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant: `2^64 / golden_ratio`, the usual Fibonacci
+/// hashing multiplier.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The hasher state. One `u64`, mixed on every write.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Mix 8 bytes at a time, then the ragged tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("otis"), hash_one("otis"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Not a statistical test — just a smoke check that consecutive
+        // integers do not collide (a classic failure of weak mixers).
+        let hashes: std::collections::HashSet<u64> = (0u64..10_000).map(hash_one).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 4]));
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 3, 0]));
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m.get(&1), Some(&2));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

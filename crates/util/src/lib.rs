@@ -1,0 +1,23 @@
+//! Shared utilities for the `otis` workspace.
+//!
+//! This crate deliberately has no dependency on the rest of the
+//! workspace; every other crate may depend on it. It provides three
+//! things the whole reproduction leans on:
+//!
+//! * [`hash`] — a fast, non-cryptographic hasher (an `FxHash`-style
+//!   multiply-xor hash) plus [`FxHashMap`]/[`FxHashSet`] aliases. The
+//!   isomorphism search and the degree–diameter enumeration hash
+//!   millions of small integer keys; SipHash would dominate their
+//!   profiles.
+//! * [`par`] — minimal scoped-thread data parallelism (`par_map`,
+//!   `par_for_each_chunk`) built on `std::thread::scope`, used for the
+//!   all-pairs BFS diameter computation and the Table 1 sweep.
+//! * [`digits`] — checked d-ary positional arithmetic shared by the
+//!   word codecs and the OTIS transceiver indexing.
+
+pub mod digits;
+pub mod hash;
+pub mod par;
+
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use par::{num_threads, par_for_each_chunk, par_map};

@@ -1,0 +1,173 @@
+//! Minimal scoped-thread data parallelism.
+//!
+//! The workspace needs exactly two parallel shapes:
+//!
+//! * [`par_map`] — map a function over `0..n` and collect the results
+//!   in index order (all-pairs BFS eccentricities, per-`n` search rows);
+//! * [`par_for_each_chunk`] — run a closure over contiguous index
+//!   chunks for side-effecting work that partitions its output.
+//!
+//! Both are built on `std::thread::scope`, so borrowed data flows in
+//! without `Arc` gymnastics and panics propagate to the caller. Work is
+//! distributed by an atomic cursor over fixed-size chunks, which keeps
+//! threads busy when per-item cost is skewed (small `p` divisors of the
+//! Table 1 sweep are much cheaper than large ones).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: the available parallelism, capped
+/// so tiny inputs do not pay thread spawn cost for idle workers.
+pub fn num_threads(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    hw.min(items).max(1)
+}
+
+/// Parallel map over the index range `0..n`, preserving order.
+///
+/// `f` must be `Sync` (it is shared across workers) and is invoked
+/// exactly once per index. Results are written into a pre-allocated
+/// vector of `Option<T>` slots, then unwrapped — no ordering races are
+/// possible because each index is claimed by exactly one worker.
+///
+/// Falls back to a sequential loop when `n` is small or only one
+/// hardware thread is available, so callers never branch themselves.
+pub fn par_map<T, F>(n: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let workers = num_threads(n);
+    if workers <= 1 || n <= chunk {
+        return (0..n).map(f).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let f = &f;
+            let cursor = &cursor;
+            let slots_ptr = &slots_ptr;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    let value = f(i);
+                    // SAFETY: each index in 0..n is claimed by exactly
+                    // one worker (the atomic fetch_add hands out
+                    // disjoint ranges), the pointer outlives the scope,
+                    // and the slot was initialized to None.
+                    unsafe { *slots_ptr.0.add(i) = Some(value) };
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map: every index visited"))
+        .collect()
+}
+
+/// Parallel `for_each` over contiguous chunks of `0..n`.
+///
+/// The closure receives `(start, end)` half-open chunk bounds. Used
+/// where the caller wants to own per-chunk buffers (e.g. thread-local
+/// BFS queues) rather than per-item results.
+pub fn par_for_each_chunk<F>(n: usize, chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let workers = num_threads(n.div_ceil(chunk));
+    if workers <= 1 {
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            f(start, end);
+            start = end;
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let f = &f;
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                f(start, (start + chunk).min(n));
+            });
+        }
+    });
+}
+
+/// Raw pointer wrapper asserting cross-thread sendability for the
+/// disjoint-slot write pattern in [`par_map`].
+struct SendPtr<T>(*mut T);
+// SAFETY: only used to write disjoint indices from multiple threads;
+// the owning Vec outlives the scope and is not read concurrently.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let seq: Vec<u64> = (0..10_000).map(|i| (i as u64).wrapping_mul(37) ^ 11).collect();
+        let par = par_map(10_000, 64, |i| (i as u64).wrapping_mul(37) ^ 11);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_empty_and_tiny() {
+        assert_eq!(par_map(0, 16, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(1, 16, |i| i * 2), vec![0]);
+        assert_eq!(par_map(3, 1, |i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_map_borrows_environment() {
+        let base = vec![5u32; 100];
+        let out = par_map(100, 8, |i| base[i] + i as u32);
+        assert_eq!(out[99], 104);
+    }
+
+    #[test]
+    fn par_for_each_chunk_covers_all_indices_once() {
+        let n = 1000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        par_for_each_chunk(n, 7, |start, end| {
+            for hit in &hits[start..end] {
+                hit.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn num_threads_bounds() {
+        assert_eq!(num_threads(0), 1);
+        assert!(num_threads(1) >= 1);
+        assert!(num_threads(1_000_000) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_panics() {
+        par_map(10, 0, |i| i);
+    }
+}

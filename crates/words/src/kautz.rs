@@ -1,0 +1,177 @@
+//! [`KautzSpace`] — the Kautz vertex set and its rank/unrank codec.
+//!
+//! Definition 2.7: the Kautz digraph `K(d, D)` lives on words of
+//! length `D` over `Z_{d+1}` in which **consecutive letters differ**
+//! (`x_i ≠ x_{i+1}`). There are `(d+1)·d^{D-1}` such words: `d+1`
+//! choices for the leading letter, then `d` for each subsequent one.
+//!
+//! The codec below assigns each Kautz word a rank in
+//! `0..(d+1)d^{D-1}` by encoding the leading letter positionally and
+//! every following letter as its index among the `d` letters distinct
+//! from its left neighbor. This is the bijection the Kautz generator
+//! in `otis-core` and the OTIS layout search use as vertex ids.
+
+use crate::Word;
+use otis_util::digits;
+use serde::{Deserialize, Serialize};
+
+/// The set of Kautz words of length `D` over `Z_{d+1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KautzSpace {
+    d: u32,
+    dim: u32,
+    size: u64,
+}
+
+impl KautzSpace {
+    /// Kautz words of degree `d` and length `dim`. Panics if `d < 1`,
+    /// `dim < 1`, the alphabet `Z_{d+1}` exceeds `u8`, or the size
+    /// overflows.
+    pub fn new(d: u32, dim: u32) -> Self {
+        assert!(d >= 1, "Kautz degree must be at least 1, got {d}");
+        assert!(d < 256, "alphabet size {} > 256 unsupported", d + 1);
+        assert!(dim >= 1, "word length must be at least 1");
+        let size = digits::pow(d as u64, dim - 1)
+            .checked_mul(d as u64 + 1)
+            .expect("Kautz vertex count overflows u64");
+        KautzSpace { d, dim, size }
+    }
+
+    /// Degree `d` (alphabet is `Z_{d+1}`).
+    #[inline]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Word length `D`.
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of Kautz words, `(d+1)·d^{D-1}`.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// True iff `word` is a Kautz word of this space: right length,
+    /// letters in `Z_{d+1}`, no two consecutive letters equal.
+    pub fn contains(&self, word: &Word) -> bool {
+        let positions = word.positions();
+        positions.len() == self.dim as usize
+            && positions.iter().all(|&x| (x as u32) < self.d + 1)
+            && positions.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Rank of a Kautz word.
+    ///
+    /// Leading letter `x_{D-1}` contributes `x_{D-1} · d^{D-1}`; every
+    /// later letter `x_i` contributes `δ_i · dⁱ` where
+    /// `δ_i = x_i - [x_i > x_{i+1} ? 1 : 0]` is its index among the `d`
+    /// letters different from `x_{i+1}`.
+    pub fn rank(&self, word: &Word) -> u64 {
+        assert!(self.contains(word), "word {word} is not a Kautz({}, {}) word", self.d, self.dim);
+        let d = self.d as u64;
+        let positions = word.positions();
+        let top = positions[self.dim as usize - 1] as u64;
+        let mut rank = top * digits::pow(d, self.dim - 1);
+        for i in (0..self.dim as usize - 1).rev() {
+            let x = positions[i] as u64;
+            let left = positions[i + 1] as u64;
+            let delta = if x > left { x - 1 } else { x };
+            rank += delta * digits::pow(d, i as u32);
+        }
+        rank
+    }
+
+    /// Kautz word with the given rank. Inverse of [`KautzSpace::rank`].
+    pub fn unrank(&self, rank: u64) -> Word {
+        assert!(rank < self.size, "rank {rank} out of range (size {})", self.size);
+        let d = self.d as u64;
+        let top_place = digits::pow(d, self.dim - 1);
+        let mut positions = vec![0u8; self.dim as usize];
+        positions[self.dim as usize - 1] = (rank / top_place) as u8;
+        let mut rest = rank % top_place;
+        for i in (0..self.dim as usize - 1).rev() {
+            let place = digits::pow(d, i as u32);
+            let delta = rest / place;
+            rest %= place;
+            let left = positions[i + 1] as u64;
+            let x = if delta >= left { delta + 1 } else { delta };
+            positions[i] = x as u8;
+        }
+        Word::from_positions(positions)
+    }
+
+    /// Iterate all Kautz words in rank order.
+    pub fn words(&self) -> impl Iterator<Item = Word> + '_ {
+        (0..self.size).map(|r| self.unrank(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_formula() {
+        assert_eq!(KautzSpace::new(2, 1).size(), 3);
+        assert_eq!(KautzSpace::new(2, 8).size(), 384); // Table 1: K(2,8)
+        assert_eq!(KautzSpace::new(2, 9).size(), 768); // Table 1: K(2,9)
+        assert_eq!(KautzSpace::new(2, 10).size(), 1536); // Table 1: K(2,10)
+        assert_eq!(KautzSpace::new(3, 4).size(), 108);
+    }
+
+    #[test]
+    fn rank_unrank_bijection() {
+        for (d, dim) in [(1u32, 4u32), (2, 1), (2, 5), (3, 3), (4, 2)] {
+            let space = KautzSpace::new(d, dim);
+            for rank in 0..space.size() {
+                let word = space.unrank(rank);
+                assert!(space.contains(&word), "unrank({rank}) = {word} invalid (d={d}, D={dim})");
+                assert_eq!(space.rank(&word), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn contains_rejects_repeats_and_big_letters() {
+        let space = KautzSpace::new(2, 3);
+        assert!(space.contains(&"010".parse().unwrap()));
+        assert!(space.contains(&"212".parse().unwrap()));
+        assert!(!space.contains(&"011".parse().unwrap()), "repeat at positions 0,1");
+        assert!(!space.contains(&"330".parse().unwrap()), "letter 3 outside Z_3");
+        assert!(!space.contains(&"01".parse().unwrap()), "wrong length");
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_distinct() {
+        let space = KautzSpace::new(3, 3);
+        let all: Vec<Word> = space.words().collect();
+        assert_eq!(all.len() as u64, space.size());
+        let distinct: std::collections::HashSet<&Word> = all.iter().collect();
+        assert_eq!(distinct.len(), all.len());
+        // Cross-check against brute-force filtering of Z_4^3.
+        let brute = crate::WordSpace::new(4, 3)
+            .words()
+            .filter(|w| space.contains(w))
+            .count();
+        assert_eq!(brute as u64, space.size());
+    }
+
+    #[test]
+    fn degree_one_kautz_is_two_words_per_length() {
+        // d = 1: alphabet {0,1}, alternating words only.
+        let space = KautzSpace::new(1, 5);
+        assert_eq!(space.size(), 2);
+        let all: Vec<String> = space.words().map(|w| w.to_string()).collect();
+        assert_eq!(all, vec!["01010", "10101"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a Kautz")]
+    fn rank_rejects_non_kautz_word() {
+        KautzSpace::new(2, 3).rank(&"001".parse().unwrap());
+    }
+}

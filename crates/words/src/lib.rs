@@ -1,0 +1,33 @@
+//! Words over `Z_d` and permutation actions on the vector space `Z_d^D`.
+//!
+//! Vertices of every digraph in the paper are words
+//! `x = x_{D-1} x_{D-2} … x_1 x_0` over an alphabet `Z_d` (Definition
+//! 2.2), identified with integers `u = Σ x_i dⁱ` when convenient
+//! (Remark 2.6). Two permutation actions drive the whole theory
+//! (Definitions 3.5 and 3.6):
+//!
+//! * the **index action** `→f` of a permutation `f` of `Z_D`, the
+//!   linear map with `→f(e_i) = e_{f(i)}` — digit `x_i` moves to
+//!   position `f(i)`; and
+//! * the **alphabet action** of a permutation `σ` of `Z_d`, applied
+//!   letterwise: `σ(x) = σ(x_{D-1}) … σ(x_0)`.
+//!
+//! This crate supplies:
+//!
+//! * [`Word`] — an owned word with paper-faithful display
+//!   (most-significant position first);
+//! * [`WordSpace`] — the space `Z_d^D` with the rank/unrank bijection
+//!   onto `0..d^D`, word iteration, and both actions (on words and
+//!   directly on ranks);
+//! * [`KautzSpace`] — the Kautz vertex set (words with
+//!   `x_i ≠ x_{i+1}`, Definition 2.7) with its own rank/unrank codec;
+//! * digit-pairing codecs ([`pair_rank`], [`unpair_rank`]) used by the
+//!   conjunction identity `B(d,k) ⊗ B(d',k) = B(dd',k)` (Remark 2.4).
+
+mod kautz;
+mod space;
+mod word;
+
+pub use kautz::KautzSpace;
+pub use space::{pair_rank, unpair_rank, WordSpace};
+pub use word::{ParseWordError, Word};

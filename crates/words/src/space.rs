@@ -1,0 +1,386 @@
+//! [`WordSpace`] — the vector space `Z_d^D` with rank/unrank and the
+//! two permutation actions of Definitions 3.5 / 3.6.
+
+use crate::Word;
+use otis_perm::Perm;
+use otis_util::digits;
+use serde::{Deserialize, Serialize};
+
+/// The set of all `d^D` words of length `D` over `Z_d`, with the
+/// rank/unrank bijection `x ↔ Σ x_i dⁱ` of Remark 2.6.
+///
+/// All adjacency generators in `otis-core` work on **ranks** (`u64`)
+/// for speed and use this type to move between views; the word view is
+/// for humans, tests and the paper's figures.
+///
+/// ```
+/// use otis_words::WordSpace;
+///
+/// let space = WordSpace::new(2, 3);
+/// let word = space.unrank(6);
+/// assert_eq!(word.to_string(), "110"); // Remark 2.6: u = Σ x_i 2^i
+/// assert_eq!(space.rank(&word), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WordSpace {
+    d: u32,
+    dim: u32,
+    size: u64,
+}
+
+impl WordSpace {
+    /// The space `Z_d^D`. Panics if `d < 2`, `D = 0`, or `d^D`
+    /// overflows `u64` (the paper's instances are far below that).
+    pub fn new(d: u32, dim: u32) -> Self {
+        assert!(d >= 2, "alphabet size must be at least 2, got {d}");
+        assert!(d <= 256, "alphabet size {d} > 256 unsupported (digits are u8)");
+        assert!(dim >= 1, "word length must be at least 1");
+        let size = digits::pow(d as u64, dim);
+        WordSpace { d, dim, size }
+    }
+
+    /// Alphabet size `d`.
+    #[inline]
+    pub fn d(&self) -> u32 {
+        self.d
+    }
+
+    /// Word length `D` (the paper's *dimension*).
+    #[inline]
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of words `d^D`.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// True iff `rank` names a word of this space.
+    #[inline]
+    pub fn contains_rank(&self, rank: u64) -> bool {
+        rank < self.size
+    }
+
+    /// True iff `word` has the right length and digits below `d`.
+    pub fn contains(&self, word: &Word) -> bool {
+        word.len() == self.dim as usize
+            && word.positions().iter().all(|&digit| (digit as u32) < self.d)
+    }
+
+    /// Integer rank of a word: `Σ x_i dⁱ`.
+    pub fn rank(&self, word: &Word) -> u64 {
+        assert!(self.contains(word), "word {word} not in Z_{}^{}", self.d, self.dim);
+        digits::from_digits(word.positions(), self.d as u64)
+    }
+
+    /// Word with the given rank.
+    pub fn unrank(&self, rank: u64) -> Word {
+        assert!(self.contains_rank(rank), "rank {rank} out of range (size {})", self.size);
+        let mut buf = Vec::new();
+        digits::to_digits(rank, self.d as u64, self.dim as usize, &mut buf);
+        Word::from_positions(buf)
+    }
+
+    /// Iterate all words in rank order.
+    pub fn words(&self) -> impl Iterator<Item = Word> + '_ {
+        (0..self.size).map(|r| self.unrank(r))
+    }
+
+    /// Digit `x_i` of the word with the given rank, without
+    /// materializing the word.
+    #[inline]
+    pub fn digit_of_rank(&self, rank: u64, i: u32) -> u8 {
+        debug_assert!(self.contains_rank(rank));
+        ((rank / digits::pow(self.d as u64, i)) % self.d as u64) as u8
+    }
+
+    // ----- Definition 3.5: the index action →f ------------------------------
+
+    /// Apply the linear map `→f` to a word: digit `x_i` moves to
+    /// position `f(i)`, i.e. `y_{f(i)} = x_i`.
+    ///
+    /// `f` must be a permutation of `Z_D`.
+    pub fn apply_index_perm(&self, f: &Perm, word: &Word) -> Word {
+        self.check_index_perm(f);
+        assert!(self.contains(word), "word {word} not in Z_{}^{}", self.d, self.dim);
+        let mut out = vec![0u8; self.dim as usize];
+        for (i, &x) in word.positions().iter().enumerate() {
+            out[f.apply(i as u32) as usize] = x;
+        }
+        Word::from_positions(out)
+    }
+
+    /// Rank-level [`WordSpace::apply_index_perm`].
+    pub fn apply_index_perm_rank(&self, f: &Perm, rank: u64) -> u64 {
+        self.check_index_perm(f);
+        debug_assert!(self.contains_rank(rank));
+        let d = self.d as u64;
+        let mut rest = rank;
+        let mut out = 0u64;
+        for i in 0..self.dim {
+            let digit = rest % d;
+            rest /= d;
+            out += digit * digits::pow(d, f.apply(i));
+        }
+        out
+    }
+
+    // ----- Definition 3.6: the alphabet action σ ---------------------------
+
+    /// Apply an alphabet permutation letterwise:
+    /// `σ(x) = σ(x_{D-1}) … σ(x_0)`.
+    ///
+    /// `sigma` must be a permutation of `Z_d`.
+    pub fn apply_alphabet_perm(&self, sigma: &Perm, word: &Word) -> Word {
+        self.check_alphabet_perm(sigma);
+        assert!(self.contains(word), "word {word} not in Z_{}^{}", self.d, self.dim);
+        Word::from_positions(
+            word.positions().iter().map(|&x| sigma.apply(x as u32) as u8).collect(),
+        )
+    }
+
+    /// Rank-level [`WordSpace::apply_alphabet_perm`].
+    pub fn apply_alphabet_perm_rank(&self, sigma: &Perm, rank: u64) -> u64 {
+        self.check_alphabet_perm(sigma);
+        debug_assert!(self.contains_rank(rank));
+        let d = self.d as u64;
+        let mut rest = rank;
+        let mut out = 0u64;
+        let mut place = 1u64;
+        for _ in 0..self.dim {
+            let digit = rest % d;
+            rest /= d;
+            out += sigma.apply(digit as u32) as u64 * place;
+            place *= d;
+        }
+        out
+    }
+
+    fn check_index_perm(&self, f: &Perm) {
+        assert_eq!(
+            f.len(),
+            self.dim as usize,
+            "index permutation degree {} != word length {}",
+            f.len(),
+            self.dim
+        );
+    }
+
+    fn check_alphabet_perm(&self, sigma: &Perm) {
+        assert_eq!(
+            sigma.len(),
+            self.d as usize,
+            "alphabet permutation degree {} != alphabet size {}",
+            sigma.len(),
+            self.d
+        );
+    }
+}
+
+// ----- digit pairing for conjunctions (Remark 2.4) --------------------------
+
+/// Combine a rank in `Z_d^k` and a rank in `Z_{d'}^k` into the rank in
+/// `Z_{dd'}^k` whose `i`-th digit is the pair `(x_i, y_i)` encoded as
+/// `x_i · d' + y_i`.
+///
+/// This digit-wise pairing is the vertex bijection behind Remark 2.4:
+/// `B(d,k) ⊗ B(d',k) = B(dd',k)`.
+pub fn pair_rank(a: &WordSpace, b: &WordSpace, ra: u64, rb: u64) -> u64 {
+    assert_eq!(a.dim(), b.dim(), "pairing requires equal word lengths");
+    let (da, db) = (a.d() as u64, b.d() as u64);
+    let mut out = 0u64;
+    let mut place = 1u64;
+    let (mut ra, mut rb) = (ra, rb);
+    for _ in 0..a.dim() {
+        let xa = ra % da;
+        let xb = rb % db;
+        ra /= da;
+        rb /= db;
+        out += (xa * db + xb) * place;
+        place *= da * db;
+    }
+    out
+}
+
+/// Inverse of [`pair_rank`].
+pub fn unpair_rank(a: &WordSpace, b: &WordSpace, rank: u64) -> (u64, u64) {
+    assert_eq!(a.dim(), b.dim(), "pairing requires equal word lengths");
+    let (da, db) = (a.d() as u64, b.d() as u64);
+    let (mut ra, mut rb) = (0u64, 0u64);
+    let (mut pa, mut pb) = (1u64, 1u64);
+    let mut rest = rank;
+    for _ in 0..a.dim() {
+        let digit = rest % (da * db);
+        rest /= da * db;
+        ra += (digit / db) * pa;
+        rb += (digit % db) * pb;
+        pa *= da;
+        pb *= db;
+    }
+    (ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_unrank_bijection() {
+        for (d, dim) in [(2u32, 1u32), (2, 5), (3, 3), (5, 2)] {
+            let space = WordSpace::new(d, dim);
+            for rank in 0..space.size() {
+                let word = space.unrank(rank);
+                assert!(space.contains(&word));
+                assert_eq!(space.rank(&word), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_identification() {
+        // Remark 2.6 example: vertex 110 of B(2,3) is u = 6.
+        let space = WordSpace::new(2, 3);
+        let w: Word = "110".parse().unwrap();
+        assert_eq!(space.rank(&w), 6);
+        assert_eq!(space.unrank(6), w);
+    }
+
+    #[test]
+    fn digit_of_rank_matches_unrank() {
+        let space = WordSpace::new(3, 4);
+        for rank in 0..space.size() {
+            let word = space.unrank(rank);
+            for i in 0..4 {
+                assert_eq!(space.digit_of_rank(rank, i), word.digit(i as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn index_action_is_definition_35() {
+        // →f(e_i) = e_{f(i)}: the word e_1 = "010" must map to e_{f(1)}.
+        let space = WordSpace::new(2, 3);
+        let f = Perm::from_images(vec![2, 0, 1]).unwrap();
+        for i in 0..3u32 {
+            let e_i = space.unrank(otis_util::digits::pow(2, i));
+            let image = space.apply_index_perm(&f, &e_i);
+            assert_eq!(space.rank(&image), otis_util::digits::pow(2, f.apply(i)));
+        }
+    }
+
+    #[test]
+    fn index_action_word_and_rank_agree() {
+        let space = WordSpace::new(3, 4);
+        let f = Perm::from_images(vec![1, 3, 0, 2]).unwrap();
+        for rank in 0..space.size() {
+            let via_word = space.rank(&space.apply_index_perm(&f, &space.unrank(rank)));
+            assert_eq!(space.apply_index_perm_rank(&f, rank), via_word);
+        }
+    }
+
+    #[test]
+    fn index_action_is_homomorphism() {
+        // →(f ∘ g) = →f ∘ →g (Definition 3.5's note).
+        let space = WordSpace::new(2, 5);
+        let f = Perm::from_images(vec![1, 2, 3, 4, 0]).unwrap();
+        let g = Perm::from_images(vec![4, 2, 0, 1, 3]).unwrap();
+        let fg = f.compose(&g);
+        for rank in 0..space.size() {
+            let via_g = space.apply_index_perm_rank(&g, rank);
+            let composed = space.apply_index_perm_rank(&f, via_g);
+            assert_eq!(space.apply_index_perm_rank(&fg, rank), composed);
+        }
+    }
+
+    #[test]
+    fn paper_example_331_index_action() {
+        // §3.3.1: →f(x5 x4 x3 x2 x1 x0) = x2 x1 x0 x3 x5 x4 for
+        // f = [3,4,5,2,0,1] (f(0)=3, f(1)=4, f(2)=5, f(3)=2, f(4)=0, f(5)=1).
+        let space = WordSpace::new(2, 6);
+        let f = Perm::from_images(vec![3, 4, 5, 2, 0, 1]).unwrap();
+        // x = 101010 in paper order: x5=1, x4=0, x3=1, x2=0, x1=1, x0=0.
+        let x: Word = "101010".parse().unwrap();
+        let y = space.apply_index_perm(&f, &x);
+        // Paper: →f(x) = x2 x1 x0 x3 x5 x4 = 0 1 0 1 1 0.
+        assert_eq!(y.to_string(), "010110");
+    }
+
+    #[test]
+    fn alphabet_action_word_and_rank_agree() {
+        let space = WordSpace::new(4, 3);
+        let sigma = Perm::from_images(vec![2, 3, 1, 0]).unwrap();
+        for rank in 0..space.size() {
+            let via_word = space.rank(&space.apply_alphabet_perm(&sigma, &space.unrank(rank)));
+            assert_eq!(space.apply_alphabet_perm_rank(&sigma, rank), via_word);
+        }
+    }
+
+    #[test]
+    fn complement_alphabet_action_is_rank_complement() {
+        // For σ = C on Z_d, σ applied letterwise to the word of rank u
+        // yields the word of rank d^D - 1 - u.
+        for (d, dim) in [(2u32, 4u32), (3, 3)] {
+            let space = WordSpace::new(d, dim);
+            let c = Perm::complement(d as usize);
+            for rank in 0..space.size() {
+                assert_eq!(
+                    space.apply_alphabet_perm_rank(&c, rank),
+                    space.size() - 1 - rank
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn actions_commute() {
+        // Index moves and letterwise substitution commute — the fact
+        // that lets Proposition 3.9 pull →g through σ.
+        let space = WordSpace::new(3, 4);
+        let f = Perm::from_images(vec![1, 3, 0, 2]).unwrap();
+        let sigma = Perm::from_images(vec![2, 0, 1]).unwrap();
+        for rank in 0..space.size() {
+            let a = space.apply_alphabet_perm_rank(&sigma, space.apply_index_perm_rank(&f, rank));
+            let b = space.apply_index_perm_rank(&f, space.apply_alphabet_perm_rank(&sigma, rank));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn pairing_bijection() {
+        let a = WordSpace::new(2, 3);
+        let b = WordSpace::new(3, 3);
+        let ab = WordSpace::new(6, 3);
+        let mut seen = vec![false; ab.size() as usize];
+        for ra in 0..a.size() {
+            for rb in 0..b.size() {
+                let paired = pair_rank(&a, &b, ra, rb);
+                assert!(ab.contains_rank(paired));
+                assert!(!std::mem::replace(&mut seen[paired as usize], true));
+                assert_eq!(unpair_rank(&a, &b, paired), (ra, rb));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet size")]
+    fn unary_alphabet_rejected() {
+        WordSpace::new(1, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_out_of_range_panics() {
+        WordSpace::new(2, 3).unrank(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn wrong_perm_degree_panics() {
+        let space = WordSpace::new(2, 3);
+        let f = Perm::identity(4);
+        space.apply_index_perm_rank(&f, 0);
+    }
+}

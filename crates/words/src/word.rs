@@ -1,0 +1,186 @@
+//! The [`Word`] type: an owned word over `Z_d`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A word `x_{D-1} … x_1 x_0` over some alphabet `Z_d`.
+///
+/// Storage is **position-indexed**: `word[i]` is the paper's `x_i`,
+/// the coefficient of `dⁱ` in the integer view. `Display` prints the
+/// paper's order (`x_{D-1}` first), so `B(2,3)`'s vertex `6` prints as
+/// `"110"`.
+///
+/// A `Word` does not carry its alphabet size; the owning
+/// [`WordSpace`](crate::WordSpace) or
+/// [`KautzSpace`](crate::KautzSpace) validates digits at the border.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Word {
+    digits: Box<[u8]>,
+}
+
+impl Word {
+    /// Build from position-indexed digits (`digits[i]` = `x_i`).
+    pub fn from_positions(digits: Vec<u8>) -> Self {
+        Word { digits: digits.into_boxed_slice() }
+    }
+
+    /// Build from paper-order digits (`x_{D-1}` first), the order used
+    /// in every figure of the paper.
+    pub fn from_msb(digits: &[u8]) -> Self {
+        Word { digits: digits.iter().rev().copied().collect() }
+    }
+
+    /// Word length `D`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// True iff the word is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.digits.is_empty()
+    }
+
+    /// Digit at position `i` (the paper's `x_i`).
+    #[inline]
+    pub fn digit(&self, i: usize) -> u8 {
+        self.digits[i]
+    }
+
+    /// Replace the digit at position `i`, returning a new word. This
+    /// is the `+ Z_d·e_j` part of Definition 3.7's adjacency.
+    pub fn with_digit(&self, i: usize, value: u8) -> Word {
+        let mut digits = self.digits.clone();
+        digits[i] = value;
+        Word { digits }
+    }
+
+    /// Position-indexed digits (`[x_0, x_1, …]`).
+    #[inline]
+    pub fn positions(&self) -> &[u8] {
+        &self.digits
+    }
+
+    /// Digits in paper order (`x_{D-1}` first).
+    pub fn msb_digits(&self) -> Vec<u8> {
+        self.digits.iter().rev().copied().collect()
+    }
+
+    /// Largest digit value, or `None` for the empty word. Handy for
+    /// inferring the minimal alphabet that contains the word.
+    pub fn max_digit(&self) -> Option<u8> {
+        self.digits.iter().copied().max()
+    }
+}
+
+impl fmt::Display for Word {
+    /// Paper order, one character per digit (`0-9` then `a-z`);
+    /// alphabets larger than 36 print dot-separated decimal.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let wide = self.digits.iter().any(|&d| d >= 36);
+        for (k, &digit) in self.digits.iter().rev().enumerate() {
+            if wide {
+                if k > 0 {
+                    write!(f, ".")?;
+                }
+                write!(f, "{digit}")?;
+            } else {
+                write!(f, "{}", char::from_digit(digit as u32, 36).expect("digit < 36"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`Word`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWordError {
+    message: String,
+}
+
+impl fmt::Display for ParseWordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid word literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseWordError {}
+
+impl FromStr for Word {
+    type Err = ParseWordError;
+
+    /// Accepts the compact form (`"110"`, paper order, base-36 digits)
+    /// and the dotted form (`"1.0.37"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let msb: Result<Vec<u8>, ParseWordError> = if s.contains('.') {
+            s.split('.')
+                .map(|tok| {
+                    tok.trim().parse::<u8>().map_err(|e| ParseWordError {
+                        message: format!("bad digit {tok:?}: {e}"),
+                    })
+                })
+                .collect()
+        } else {
+            s.chars()
+                .map(|c| {
+                    c.to_digit(36).map(|d| d as u8).ok_or_else(|| ParseWordError {
+                        message: format!("bad digit char {c:?}"),
+                    })
+                })
+                .collect()
+        };
+        Ok(Word::from_msb(&msb?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_and_msb_agree() {
+        // Paper word 110 (x_2 = 1, x_1 = 1, x_0 = 0).
+        let w = Word::from_msb(&[1, 1, 0]);
+        assert_eq!(w.positions(), &[0, 1, 1]);
+        assert_eq!(w.digit(0), 0);
+        assert_eq!(w.digit(2), 1);
+        assert_eq!(w.msb_digits(), vec![1, 1, 0]);
+        assert_eq!(w, Word::from_positions(vec![0, 1, 1]));
+    }
+
+    #[test]
+    fn display_paper_order() {
+        assert_eq!(Word::from_msb(&[1, 1, 0]).to_string(), "110");
+        assert_eq!(Word::from_msb(&[10, 35]).to_string(), "az");
+        assert_eq!(Word::from_msb(&[1, 40]).to_string(), "1.40");
+        assert_eq!(Word::from_positions(vec![]).to_string(), "");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for text in ["110", "0", "2101", "az", "1.40.0"] {
+            let w: Word = text.parse().unwrap();
+            assert_eq!(w.to_string(), text);
+        }
+        assert!("1 0".parse::<Word>().is_err());
+        assert!("1.x".parse::<Word>().is_err());
+    }
+
+    #[test]
+    fn with_digit_replaces_one_position() {
+        let w = Word::from_msb(&[1, 1, 0]);
+        assert_eq!(w.with_digit(0, 1).to_string(), "111");
+        assert_eq!(w.with_digit(2, 0).to_string(), "010");
+        assert_eq!(w.to_string(), "110", "original untouched");
+    }
+
+    #[test]
+    fn max_digit() {
+        assert_eq!(Word::from_msb(&[1, 3, 2]).max_digit(), Some(3));
+        assert_eq!(Word::from_positions(vec![]).max_digit(), None);
+    }
+}

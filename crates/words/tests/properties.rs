@@ -1,0 +1,123 @@
+//! Property-based tests for word spaces and permutation actions.
+
+use otis_perm::Perm;
+use otis_words::{pair_rank, unpair_rank, KautzSpace, Word, WordSpace};
+use proptest::prelude::*;
+
+fn perm(n: usize) -> impl Strategy<Value = Perm> {
+    Just((0..n as u32).collect::<Vec<u32>>())
+        .prop_shuffle()
+        .prop_map(|v| Perm::from_images(v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn rank_unrank_inverse(d in 2u32..6, dim in 1u32..6, seed in any::<u64>()) {
+        let space = WordSpace::new(d, dim);
+        let rank = seed % space.size();
+        let word = space.unrank(rank);
+        prop_assert!(space.contains(&word));
+        prop_assert_eq!(space.rank(&word), rank);
+    }
+
+    #[test]
+    fn index_action_homomorphism(f in perm(5), g in perm(5), seed in any::<u64>()) {
+        let space = WordSpace::new(2, 5);
+        let rank = seed % space.size();
+        let via_two = space.apply_index_perm_rank(&f, space.apply_index_perm_rank(&g, rank));
+        let via_composed = space.apply_index_perm_rank(&f.compose(&g), rank);
+        prop_assert_eq!(via_two, via_composed);
+    }
+
+    #[test]
+    fn alphabet_action_homomorphism(s1 in perm(4), s2 in perm(4), seed in any::<u64>()) {
+        let space = WordSpace::new(4, 3);
+        let rank = seed % space.size();
+        let via_two =
+            space.apply_alphabet_perm_rank(&s1, space.apply_alphabet_perm_rank(&s2, rank));
+        let via_composed = space.apply_alphabet_perm_rank(&s1.compose(&s2), rank);
+        prop_assert_eq!(via_two, via_composed);
+    }
+
+    #[test]
+    fn actions_commute(f in perm(4), sigma in perm(3), seed in any::<u64>()) {
+        let space = WordSpace::new(3, 4);
+        let rank = seed % space.size();
+        let ab = space.apply_index_perm_rank(&f, space.apply_alphabet_perm_rank(&sigma, rank));
+        let ba = space.apply_alphabet_perm_rank(&sigma, space.apply_index_perm_rank(&f, rank));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn index_action_identity_and_inverse(f in perm(6), seed in any::<u64>()) {
+        let space = WordSpace::new(2, 6);
+        let rank = seed % space.size();
+        let id = Perm::identity(6);
+        prop_assert_eq!(space.apply_index_perm_rank(&id, rank), rank);
+        let there = space.apply_index_perm_rank(&f, rank);
+        let back = space.apply_index_perm_rank(&f.inverse(), there);
+        prop_assert_eq!(back, rank);
+    }
+
+    #[test]
+    fn word_display_parse_round_trip(d in 2u32..6, dim in 1u32..7, seed in any::<u64>()) {
+        let space = WordSpace::new(d, dim);
+        let word = space.unrank(seed % space.size());
+        let text = word.to_string();
+        let back: Word = text.parse().unwrap();
+        prop_assert_eq!(back, word);
+    }
+
+    #[test]
+    fn pairing_bijective_pointwise(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let a = WordSpace::new(2, 4);
+        let b = WordSpace::new(3, 4);
+        let (ra, rb) = (seed_a % a.size(), seed_b % b.size());
+        let paired = pair_rank(&a, &b, ra, rb);
+        prop_assert!(paired < a.size() * b.size());
+        prop_assert_eq!(unpair_rank(&a, &b, paired), (ra, rb));
+    }
+
+    #[test]
+    fn kautz_rank_unrank_inverse(d in 1u32..5, dim in 1u32..6, seed in any::<u64>()) {
+        let space = KautzSpace::new(d, dim);
+        let rank = seed % space.size();
+        let word = space.unrank(rank);
+        prop_assert!(space.contains(&word));
+        prop_assert_eq!(space.rank(&word), rank);
+        // No consecutive repeats, ever.
+        for w in word.positions().windows(2) {
+            prop_assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn kautz_ranks_dense(d in 1u32..4, dim in 1u32..5) {
+        // The codec is a bijection onto 0..size: sample the whole
+        // (small) space and check density.
+        let space = KautzSpace::new(d, dim);
+        let mut seen = vec![false; space.size() as usize];
+        for word in space.words() {
+            let r = space.rank(&word) as usize;
+            prop_assert!(!std::mem::replace(&mut seen[r], true));
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn with_digit_only_changes_one_position(
+        d in 2u32..5, dim in 2u32..6, seed in any::<u64>(), pos_seed in any::<u32>(),
+    ) {
+        let space = WordSpace::new(d, dim);
+        let word = space.unrank(seed % space.size());
+        let position = (pos_seed % dim) as usize;
+        let value = (pos_seed % d) as u8;
+        let modified = word.with_digit(position, value);
+        prop_assert_eq!(modified.digit(position), value);
+        for i in 0..dim as usize {
+            if i != position {
+                prop_assert_eq!(modified.digit(i), word.digit(i));
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Network simulation: run random traffic over `B(2,8)` hosted on the
+//! paper's 48-lens OTIS(16,32) layout, and over the prior-art 258-lens
+//! OTIS(2,256) II layout, and compare what the *physics* says —
+//! latency, energy, bench size — on top of the lens-count headline.
+//!
+//! Run with: `cargo run --release --example network_simulation [packets]`
+
+use otis::core::{routing, DeBruijn, DigraphFamily};
+use otis::layout::balanced_even_layout;
+use otis::optics::simulator::OtisSimulator;
+use otis::optics::HDigraph;
+use rand::{Rng, SeedableRng};
+
+struct TrafficStats {
+    packets: usize,
+    hops: usize,
+    latency_ps: f64,
+    energy_pj: f64,
+    worst_latency_ps: f64,
+}
+
+fn run_traffic(
+    sim: &OtisSimulator,
+    to_b: &[u32],
+    from_b: &[u32],
+    b: &DeBruijn,
+    pairs: &[(u64, u64)],
+) -> TrafficStats {
+    let mut stats = TrafficStats {
+        packets: 0,
+        hops: 0,
+        latency_ps: 0.0,
+        energy_pj: 0.0,
+        worst_latency_ps: 0.0,
+    };
+    for &(src, dst) in pairs {
+        let report = sim
+            .send(src, dst, |current, dst| {
+                let path = routing::shortest_path(
+                    b,
+                    to_b[current as usize] as u64,
+                    to_b[dst as usize] as u64,
+                );
+                from_b[path[1] as usize] as u64
+            })
+            .expect("de Bruijn arithmetic routing is loop-free");
+        assert!(report.delivered(), "all links must close");
+        stats.packets += 1;
+        stats.hops += report.hop_count();
+        stats.latency_ps += report.latency_ps;
+        stats.energy_pj += report.energy_pj;
+        stats.worst_latency_ps = stats.worst_latency_ps.max(report.latency_ps);
+    }
+    stats
+}
+
+fn print_stats(name: &str, lens_count: u64, bench_mm: f64, s: &TrafficStats) {
+    println!("{name}");
+    println!("  lenses            : {lens_count}");
+    println!("  bench length      : {bench_mm:.0} mm");
+    println!("  packets delivered : {}", s.packets);
+    println!("  mean hops         : {:.2}", s.hops as f64 / s.packets as f64);
+    println!("  mean latency      : {:.0} ps", s.latency_ps / s.packets as f64);
+    println!("  worst latency     : {:.0} ps", s.worst_latency_ps);
+    println!("  mean energy       : {:.1} pJ", s.energy_pj / s.packets as f64);
+}
+
+fn main() {
+    let packets: usize = std::env::args()
+        .nth(1)
+        .map_or(2000, |s| s.parse().expect("packet count"));
+
+    let b = DeBruijn::new(2, 8);
+    let n = b.node_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0715_2000);
+    let pairs: Vec<(u64, u64)> = (0..packets)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
+
+    println!("traffic: {packets} random (src, dst) pairs over {} ({} nodes)\n", b.name(), n);
+
+    // ---- the paper's layout: OTIS(16,32), 48 lenses ---------------------
+    let spec = balanced_even_layout(2, 8);
+    let sim = OtisSimulator::with_defaults(spec.h_digraph());
+    let witness = spec.debruijn_witness().expect("cyclic");
+    let inverse = otis::core::iso::invert_witness(&witness);
+    let stats = run_traffic(&sim, &witness, &inverse, &b, &pairs);
+    print_stats(
+        &format!("Θ(√n) layout — OTIS({}, {})", spec.p(), spec.q()),
+        spec.lens_count(),
+        sim.bench().bench_length(),
+        &stats,
+    );
+
+    // ---- prior art: OTIS(2,256) = II layout, 258 lenses ------------------
+    // H(2,256,2) ≅ B(2,8) as well (split p' = 1), so the same logical
+    // traffic runs over it; only the hardware differs.
+    let ii_spec = otis::layout::LayoutSpec::new(2, 1, 8);
+    let ii_sim = OtisSimulator::with_defaults(HDigraph::new(2, 256, 2));
+    let ii_witness = ii_spec.debruijn_witness().expect("II split is cyclic");
+    let ii_inverse = otis::core::iso::invert_witness(&ii_witness);
+    let ii_stats = run_traffic(&ii_sim, &ii_witness, &ii_inverse, &b, &pairs);
+    println!();
+    print_stats(
+        "O(n) layout — OTIS(2, 256) [Imase-Itoh]",
+        ii_spec.lens_count(),
+        ii_sim.bench().bench_length(),
+        &ii_stats,
+    );
+
+    // ---- the comparison the paper argues for ------------------------------
+    println!("\nsummary:");
+    println!(
+        "  same logical network, same mean hops ({:.2} vs {:.2})",
+        stats.hops as f64 / stats.packets as f64,
+        ii_stats.hops as f64 / ii_stats.packets as f64
+    );
+    println!(
+        "  lens count         : {} vs {}  ({:.1}× fewer)",
+        spec.lens_count(),
+        ii_spec.lens_count(),
+        ii_spec.lens_count() as f64 / spec.lens_count() as f64
+    );
+    println!(
+        "  bench length       : {:.0} mm vs {:.0} mm  ({:.1}× shorter)",
+        sim.bench().bench_length(),
+        ii_sim.bench().bench_length(),
+        ii_sim.bench().bench_length() / sim.bench().bench_length()
+    );
+    println!(
+        "  mean latency       : {:.0} ps vs {:.0} ps",
+        stats.latency_ps / stats.packets as f64,
+        ii_stats.latency_ps / ii_stats.packets as f64
+    );
+}

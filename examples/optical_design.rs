@@ -1,0 +1,116 @@
+//! Optical design study: given a degree `d` and diameter `D`, design
+//! the lens-minimal OTIS layout of `B(d,D)` and compare it with the
+//! prior-art Imase–Itoh layout on every hardware axis the paper
+//! discusses: lens count, lens-size balance, bench size, and the
+//! optical power budget.
+//!
+//! Run with: `cargo run --release --example optical_design [d] [D]`
+//! (defaults: d = 2, D = 8 — the paper's flagship B(2,8) example).
+
+use otis::core::DigraphFamily;
+use otis::layout::{ii_layout_lens_count, minimize_lenses, LayoutSpec};
+use otis::optics::geometry::Bench;
+use otis::optics::power::{
+    break_even_length_mm, electrical_energy_pj, optical_budget, ElectricalLinkParams,
+    OpticalLinkParams, OpticalBudget,
+};
+use otis::optics::Otis;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let d: u32 = args.next().map_or(2, |s| s.parse().expect("d must be an integer ≥ 2"));
+    let dd: u32 = args.next().map_or(8, |s| s.parse().expect("D must be an integer ≥ 1"));
+
+    let best = minimize_lenses(d, dd).expect("a layout always exists");
+    let n = best.node_count();
+
+    println!("=== OTIS layout design for B({d},{dd}) — {n} nodes ===\n");
+
+    // ---- the full split table (Corollary 4.6's search space) -----------
+    println!("{:>4} {:>4} {:>10} {:>10} {:>12}  B-layout?", "p'", "q'", "p", "q", "lenses");
+    for p_prime in 1..=dd {
+        let spec = LayoutSpec::new(d, p_prime, dd + 1 - p_prime);
+        println!(
+            "{:>4} {:>4} {:>10} {:>10} {:>12}  {}",
+            spec.p_prime(),
+            spec.q_prime(),
+            spec.p(),
+            spec.q(),
+            spec.lens_count(),
+            if spec.is_debruijn() { "yes" } else { "no (f not cyclic)" }
+        );
+    }
+
+    println!(
+        "\noptimal     : OTIS({}, {}) with {} lenses",
+        best.p(),
+        best.q(),
+        best.lens_count()
+    );
+    println!(
+        "prior art   : OTIS({d}, {n}) [II layout] with {} lenses",
+        ii_layout_lens_count(d, n)
+    );
+    println!(
+        "improvement : {:.1}× fewer lenses (Θ(√n) vs O(n))",
+        ii_layout_lens_count(d, n) as f64 / best.lens_count() as f64
+    );
+
+    // ---- bench geometry --------------------------------------------------
+    let optimal_bench = Bench::with_defaults(Otis::new(best.p(), best.q()));
+    let ii_bench = Bench::with_defaults(Otis::new(d as u64, n));
+    println!("\n=== bench geometry (simulated hardware) ===");
+    print_bench("optimal", &optimal_bench);
+    print_bench("II", &ii_bench);
+
+    // ---- power budget -----------------------------------------------------
+    let link = OpticalLinkParams::default();
+    let budget = optical_budget(&link, optimal_bench.worst_path_length());
+    println!("\n=== optical link budget (worst-case beam, optimal bench) ===");
+    print_budget(&budget);
+
+    let electrical = ElectricalLinkParams::default();
+    let break_even = break_even_length_mm(&link, &electrical).expect("exists");
+    println!("\n=== optics vs electronics (Feldman et al. [16] style) ===");
+    println!("break-even length     : {break_even:.1} mm (paper cites < 1 cm)");
+    let bench_scale = optimal_bench.bench_length();
+    println!(
+        "at bench scale {bench_scale:.0} mm : optics {:.1} pJ/bit vs electrical {:.1} pJ/bit",
+        budget.energy_pj,
+        electrical_energy_pj(&electrical, bench_scale)
+    );
+
+    // ---- witness check -----------------------------------------------------
+    if n <= 1 << 20 {
+        let witness = best.debruijn_witness().expect("optimal layout is de Bruijn");
+        otis::digraph::iso::check_witness(
+            &best.h_digraph().digraph(),
+            &otis::core::DeBruijn::new(d, dd).digraph(),
+            &witness,
+        )
+        .expect("constructive isomorphism verifies");
+        println!("\nisomorphism H({}, {}, {d}) ≅ B({d},{dd}): verified on all {n} nodes", best.p(), best.q());
+    } else {
+        println!("\nisomorphism check skipped (n too large to materialize); O(D) criterion: {}",
+            best.is_debruijn());
+    }
+}
+
+fn print_bench(name: &str, bench: &Bench) {
+    let (a1, a2) = bench.lens_apertures();
+    println!(
+        "{name:>8}: length {:>8.1} mm | lens apertures {:>7.2} / {:>7.2} mm | imbalance {:>6.1}×",
+        bench.bench_length(),
+        a1,
+        a2,
+        bench.aperture_imbalance()
+    );
+}
+
+fn print_budget(budget: &OpticalBudget) {
+    println!("received power       : {:.3} mW", budget.received_power_mw);
+    println!("margin               : {:.1} dB ({})", budget.margin_db,
+        if budget.closes() { "link closes" } else { "LINK FAILS" });
+    println!("energy               : {:.1} pJ/bit", budget.energy_pj);
+    println!("latency              : {:.1} ps", budget.latency_ps);
+}

@@ -1,0 +1,88 @@
+//! Quickstart: build a de Bruijn network, find its optimal OTIS
+//! layout, and push a packet through the simulated optics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use otis::core::{routing, DeBruijn, DigraphFamily};
+use otis::layout::{ii_layout_lens_count, minimize_lenses};
+use otis::optics::simulator::OtisSimulator;
+
+fn main() {
+    // ---- 1. The logical network: B(2,4) --------------------------------
+    let b = DeBruijn::new(2, 4);
+    println!("network     : {}", b.name());
+    println!("nodes       : {}", b.node_count());
+    println!("degree      : {}", b.degree());
+
+    let g = b.digraph();
+    println!(
+        "diameter    : {} (computed by all-pairs BFS)",
+        otis::digraph::bfs::diameter(&g).expect("strongly connected")
+    );
+
+    // Vertices are binary words; adjacency is the left shift.
+    let space = *b.space();
+    let x = space.unrank(0b1011);
+    println!(
+        "Γ+({x})  : {}",
+        b.word_neighbors(&x)
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // ---- 2. The paper's contribution: a Θ(√n)-lens OTIS layout ---------
+    let spec = minimize_lenses(2, 4).expect("even diameter always has a layout");
+    println!(
+        "\nbest layout : OTIS({}, {})  ->  {} lenses (II layout would use {})",
+        spec.p(),
+        spec.q(),
+        spec.lens_count(),
+        ii_layout_lens_count(2, b.node_count()),
+    );
+
+    // The isomorphism H(4,8,2) -> B(2,4) is constructed, not searched:
+    let witness = spec.debruijn_witness().expect("f_{2,3} is cyclic");
+    otis::digraph::iso::check_witness(
+        &spec.h_digraph().digraph(),
+        &g,
+        &witness,
+    )
+    .expect("the paper's witness verifies in O(n + m)");
+    println!("witness     : verified (fabric node u is B-vertex witness[u])");
+
+    // ---- 3. Physics: route a packet through the simulated bench --------
+    let sim = OtisSimulator::with_defaults(spec.h_digraph());
+    let inverse = otis::core::iso::invert_witness(&witness);
+    let (src_b, dst_b) = (0b0000u64, 0b1111u64);
+    let (src, dst) = (inverse[src_b as usize] as u64, inverse[dst_b as usize] as u64);
+
+    let report = sim
+        .send(src, dst, |current, dst| {
+            let path = routing::shortest_path(
+                &b,
+                witness[current as usize] as u64,
+                witness[dst as usize] as u64,
+            );
+            inverse[path[1] as usize] as u64
+        })
+        .expect("routable");
+
+    println!(
+        "\npacket {:04b} -> {:04b}: {} hops, {:.1} ps, {:.1} pJ",
+        src_b,
+        dst_b,
+        report.hop_count(),
+        report.latency_ps,
+        report.energy_pj
+    );
+    for hop in &report.hops {
+        println!(
+            "  node {:2} -> node {:2}  via transceiver {}  ({:.2} mm of free space, margin {:.1} dB)",
+            hop.from, hop.to, hop.transceiver, hop.path_length_mm, hop.budget.margin_db
+        );
+    }
+    assert_eq!(report.hop_count() as u32, routing::distance(&b, src_b, dst_b));
+    println!("\nexpected {} hops (distance 0000 -> 1111 in B(2,4)) — OK", report.hop_count());
+}

@@ -1,0 +1,65 @@
+//! Regenerate Table 1 of the paper: the largest `H(p, q, 2)` digraphs
+//! of diameters 8, 9 and 10, with every OTIS shape realizing them.
+//!
+//! Run with: `cargo run --release --example table1 [window]`
+//! `window` controls how far below the Kautz bound the scan starts
+//! (default 6 rows' worth, like the paper's "⋮" cutoff).
+
+use otis::core::{DeBruijn, DigraphFamily, Kautz};
+use otis::layout::degree_diameter_search;
+
+fn main() {
+    let window: u64 = std::env::args()
+        .nth(1)
+        .map_or(4, |s| s.parse().expect("window must be an integer"));
+
+    for diameter in [8u32, 9, 10] {
+        let b_size = DeBruijn::new(2, diameter).node_count();
+        let k_size = Kautz::new(2, diameter).node_count();
+        // Scan from a little below B(2,D) up to a margin past K(2,D):
+        // everything beyond the Kautz size must come up empty.
+        let n_min = b_size - window;
+        let n_max = k_size + 16;
+
+        println!("== D = {diameter} ==   (B(2,{diameter}) = {b_size}, K(2,{diameter}) = {k_size})");
+        println!("{:>6} {:>8} {:>8}", "n", "p", "q");
+        let rows = degree_diameter_search(2, diameter, n_min, n_max);
+        for row in &rows {
+            let mut first = true;
+            for &(p, q) in &row.pairs {
+                if first {
+                    print!("{:>6} {:>8} {:>8}", row.n, p, q);
+                    first = false;
+                } else {
+                    print!("\n{:>6} {:>8} {:>8}", "", p, q);
+                }
+                if row.n == b_size && p != 2 {
+                    // power-of-two split: ≅ B(2,D) by Corollary 4.2
+                    let lens = p + q;
+                    let best = otis::layout::minimize_lenses(2, diameter)
+                        .expect("layout exists")
+                        .lens_count();
+                    if lens == best {
+                        print!("   <- lens-minimal B(2,{diameter}) layout ({lens} lenses)");
+                    } else {
+                        print!("   ≅ B(2,{diameter}) ({lens} lenses)");
+                    }
+                } else if row.n == b_size && p == 2 {
+                    print!("   B(2,{diameter})");
+                } else if row.n == k_size {
+                    print!("   K(2,{diameter})");
+                }
+            }
+            println!();
+        }
+        let largest = rows.last().expect("Kautz row always present");
+        assert_eq!(
+            largest.n, k_size,
+            "the Kautz digraph must be the largest of diameter {diameter}"
+        );
+        println!(
+            "largest diameter-{diameter} OTIS digraph: n = {} = K(2,{diameter})  ✓ matches the paper\n",
+            largest.n
+        );
+    }
+}

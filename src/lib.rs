@@ -1,0 +1,45 @@
+//! # otis — De Bruijn isomorphisms and free-space optical networks
+//!
+//! Umbrella crate for the reproduction of Coudert, Ferreira &
+//! Pérennes, *"De Bruijn Isomorphisms and Free Space Optical
+//! Networks"*, IPDPS 2000. It re-exports every workspace crate under
+//! one roof so examples, integration tests and downstream users can
+//! write `use otis::core::DeBruijn;`.
+//!
+//! The layering, bottom-up:
+//!
+//! * [`util`] — hashing, scoped-thread parallelism, d-ary arithmetic;
+//! * [`perm`] — permutation algebra on `Z_n` (cyclicity, orbits, `g(i) = f^i(j)`);
+//! * [`words`] — words over `Z_d` and permutation actions on `Z_d^D`;
+//! * [`digraph`] — compact CSR digraphs: BFS, diameter, SCC, products,
+//!   line digraphs, isomorphism testing;
+//! * [`core`] — the paper's families `B(d,D)`, `B_σ`, `K(d,D)`,
+//!   `II(d,n)`, `RRK(d,n)`, `A(f,σ,j)` and every isomorphism
+//!   (Propositions 3.2, 3.3, 3.9; Corollary 3.4; Remark 3.10);
+//! * [`optics`] — the OTIS(p,q) architecture: wiring law, geometry and
+//!   power simulation, `H(p,q,d)` digraphs, optical packet simulator;
+//! * [`layout`] — OTIS layout theory (Propositions 4.1/4.3,
+//!   Corollaries 4.2/4.4/4.5/4.6) and the Table 1 degree–diameter search.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use otis::core::{DeBruijn, DigraphFamily};
+//! use otis::layout::minimize_lenses;
+//!
+//! // The de Bruijn digraph B(2, 8): 256 nodes, degree 2, diameter 8.
+//! let b = DeBruijn::new(2, 8);
+//! assert_eq!(b.node_count(), 256);
+//!
+//! // The paper's headline: an OTIS layout with Θ(√n) lenses.
+//! let best = minimize_lenses(2, 8).expect("even diameter always has a layout");
+//! assert_eq!((best.p(), best.q()), (16, 32)); // 48 = Θ(√256) lenses
+//! ```
+
+pub use otis_core as core;
+pub use otis_digraph as digraph;
+pub use otis_layout as layout;
+pub use otis_optics as optics;
+pub use otis_perm as perm;
+pub use otis_util as util;
+pub use otis_words as words;

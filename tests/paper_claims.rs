@@ -1,0 +1,361 @@
+//! Every numbered claim of the paper, machine-checked end-to-end.
+//!
+//! One test per claim, named after it, so `cargo test --test
+//! paper_claims` reads as a checklist of the reproduction.
+
+use otis::core::{
+    enumerate, iso as core_iso, line, AlphabetDigraph, BSigma, DeBruijn, DigraphFamily,
+    ImaseItoh, Kautz, PositionalSigma, Rrk,
+};
+use otis::digraph::{bfs, connectivity, iso, ops};
+use otis::layout::{
+    balanced_even_layout, ii_layout_lens_count, layout_permutation, minimize_lenses, LayoutSpec,
+};
+use otis::optics::HDigraph;
+use otis::perm::{all_permutations, cyclic_permutations, factorial, Perm};
+
+#[test]
+fn definition_2_2_debruijn_basics() {
+    for (d, dd) in [(2u32, 5u32), (3, 3)] {
+        let b = DeBruijn::new(d, dd);
+        assert_eq!(b.node_count(), (d as u64).pow(dd));
+        assert_eq!(b.degree(), d);
+        assert_eq!(bfs::diameter(&b.digraph()), Some(dd));
+    }
+}
+
+#[test]
+fn definition_2_3_remark_2_4_conjunction() {
+    // B(2,3) ⊗ B(3,3) = B(6,3), with witness.
+    let left = DeBruijn::new(2, 3);
+    let right = DeBruijn::new(3, 3);
+    let product = ops::conjunction(&left.digraph(), &right.digraph());
+    let witness = otis::core::conjunction::conjunction_witness(&left, &right);
+    let target = DeBruijn::new(6, 3).digraph();
+    assert_eq!(iso::check_witness(&product, &target, &witness), Ok(()));
+}
+
+#[test]
+fn remark_2_6_rrk_is_debruijn_at_powers() {
+    for (d, dd) in [(2u32, 6u32), (3, 4), (5, 2)] {
+        assert_eq!(
+            Rrk::new(d, (d as u64).pow(dd)).digraph(),
+            DeBruijn::new(d, dd).digraph()
+        );
+    }
+}
+
+#[test]
+fn definition_2_7_kautz_shape() {
+    let k = Kautz::new(2, 9);
+    assert_eq!(k.node_count(), 768);
+    assert_eq!(bfs::diameter(&Kautz::new(2, 4).digraph()), Some(4));
+}
+
+#[test]
+fn imase_itoh_1983_kautz_isomorphism() {
+    // II(d, d^{D-1}(d+1)) ≅ K(d, D) — cited below Definition 2.8,
+    // rebuilt constructively through line digraphs.
+    for (d, dd) in [(2u32, 4u32), (3, 3)] {
+        let witness = line::kautz_imase_itoh_witness(d, dd);
+        let n = (d as u64).pow(dd - 1) * (d as u64 + 1);
+        assert_eq!(
+            iso::check_witness(
+                &Kautz::new(d, dd).digraph(),
+                &ImaseItoh::new(d, n).digraph(),
+                &witness
+            ),
+            Ok(())
+        );
+    }
+}
+
+#[test]
+fn proposition_3_2_alphabet_twist() {
+    for sigma in all_permutations(3) {
+        let bs = BSigma::new(3, 3, sigma);
+        let witness = core_iso::prop_3_2_witness(&bs);
+        assert_eq!(
+            iso::check_witness(&bs.digraph(), &DeBruijn::new(3, 3).digraph(), &witness),
+            Ok(())
+        );
+    }
+}
+
+#[test]
+fn proposition_3_2_notice_per_position_twists() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let sigmas: Vec<Perm> = (0..4).map(|_| Perm::random(2, &mut rng)).collect();
+    let ps = PositionalSigma::new(2, 4, sigmas);
+    let witness = core_iso::positional_sigma_witness(&ps);
+    assert_eq!(
+        iso::check_witness(&ps.digraph(), &DeBruijn::new(2, 4).digraph(), &witness),
+        Ok(())
+    );
+}
+
+#[test]
+fn proposition_3_3_and_corollary_3_4() {
+    for (d, dd) in [(2u32, 4u32), (3, 3)] {
+        let n = (d as u64).pow(dd);
+        // II = B_C exactly …
+        assert_eq!(
+            ImaseItoh::new(d, n).digraph(),
+            BSigma::complemented(d, dd).digraph()
+        );
+        // … and the triple B ≅ RRK ≅ II (Corollary 3.4).
+        assert_eq!(Rrk::new(d, n).digraph(), DeBruijn::new(d, dd).digraph());
+        let witness = core_iso::prop_3_3_witness(d, dd);
+        assert_eq!(
+            iso::check_witness(
+                &ImaseItoh::new(d, n).digraph(),
+                &DeBruijn::new(d, dd).digraph(),
+                &witness
+            ),
+            Ok(())
+        );
+    }
+}
+
+#[test]
+fn remark_3_8_debruijn_as_alphabet_digraph() {
+    assert_eq!(
+        AlphabetDigraph::debruijn(2, 5).digraph(),
+        DeBruijn::new(2, 5).digraph()
+    );
+}
+
+#[test]
+fn proposition_3_9_iff_direction_positive() {
+    // Cyclic f ⇒ isomorphic, over an exhaustive small sweep.
+    let b = DeBruijn::new(2, 4).digraph();
+    for f in cyclic_permutations(4) {
+        for j in 0..4 {
+            let a = AlphabetDigraph::new(2, 4, f.clone(), Perm::complement(2), j);
+            assert!(a.is_debruijn_isomorphic());
+            let witness = core_iso::prop_3_9_witness(&a).unwrap();
+            assert_eq!(iso::check_witness(&a.digraph(), &b, &witness), Ok(()));
+        }
+    }
+}
+
+#[test]
+fn proposition_3_9_iff_direction_negative() {
+    // Non-cyclic f with σ = Id ⇒ disconnected ⇒ not isomorphic.
+    for f in all_permutations(4).filter(|f| !f.is_cyclic()) {
+        let a = AlphabetDigraph::new(2, 4, f.clone(), Perm::identity(2), 0);
+        assert!(!a.is_debruijn_isomorphic());
+        let g = a.digraph();
+        assert!(
+            !connectivity::is_weakly_connected(&g),
+            "σ = Id and non-cyclic f = {f} must disconnect"
+        );
+        assert!(!iso::are_isomorphic(&g, &DeBruijn::new(2, 4).digraph()));
+    }
+}
+
+#[test]
+fn remark_3_10_components_are_circuit_conjunctions() {
+    // The full structural verification lives in otis-core; spot-check
+    // a mixed cycle structure end to end here.
+    let f = Perm::from_cycles(5, &[vec![0, 1, 2], vec![3, 4]]).unwrap();
+    let a = AlphabetDigraph::new(2, 5, f, Perm::identity(2), 1);
+    otis::core::components::verify(&a);
+}
+
+/// Reproduction finding: Remark 3.10's sentence "if f is not cyclic,
+/// A(f,σ,s) is not connected" requires σ = Id (or more precisely a
+/// single-orbit-free outside action). With a non-trivial σ the outside
+/// states can form one orbit and the digraph is weakly connected while
+/// still NOT being isomorphic to B(d,D). Documented in EXPERIMENTS.md.
+#[test]
+fn remark_3_10_connectivity_caveat() {
+    // f = Id on Z_2 (not cyclic), σ = 3-cycle, d = 3, j = 0:
+    let a = AlphabetDigraph::new(3, 2, Perm::identity(2), Perm::rotation(3, 1), 0);
+    assert!(!a.is_debruijn_isomorphic());
+    let g = a.digraph();
+    assert!(
+        connectivity::is_weakly_connected(&g),
+        "counterexample to the remark's literal statement"
+    );
+    assert!(connectivity::is_strongly_connected(&g));
+    // … but, as the paper's main claim states, it is NOT B(3,2):
+    assert!(!iso::are_isomorphic(&g, &DeBruijn::new(3, 2).digraph()));
+    // It is C₃ ⊗ B(3,1), per the (correct) component-structure claim.
+    let model = ops::conjunction(&ops::circuit(3), &DeBruijn::new(3, 1).digraph());
+    assert!(iso::are_isomorphic(&g, &model));
+}
+
+#[test]
+fn section_3_count_of_alternative_definitions() {
+    assert_eq!(
+        enumerate::alternative_definition_count(2, 8),
+        factorial(2) * factorial(7)
+    );
+    // Exhaustive verification for a small case is in otis-core; here
+    // just pin the count used in the abstract's d!(D-1)! claim.
+    assert_eq!(enumerate::alternative_definitions(2, 4, 0).count(), 12);
+}
+
+#[test]
+fn section_4_2_known_layouts() {
+    // II(d,n) has an OTIS(d,n)-layout [14]: H(d,n,d) = II(d,n).
+    for (d, n) in [(2u32, 12u64), (3, 27), (4, 10)] {
+        assert_eq!(
+            HDigraph::new(d as u64, n, d).digraph(),
+            ImaseItoh::new(d, n).digraph()
+        );
+    }
+    // Zane et al. [34]: OTIS(n,n) with d = n realizes K_n with loops.
+    for n in [3u64, 5] {
+        let h = HDigraph::new(n, n, n as u32).digraph();
+        assert_eq!(h, ops::complete_with_loops(n as usize));
+    }
+}
+
+#[test]
+fn proposition_4_1_h_equals_alphabet_digraph() {
+    for (d, pp, qq) in [(2u32, 3u32, 4u32), (3, 2, 3), (5, 1, 2)] {
+        let spec = LayoutSpec::new(d, pp, qq);
+        assert_eq!(
+            spec.h_digraph().digraph(),
+            spec.alphabet_digraph().digraph(),
+            "H(d^{pp}, d^{qq}, {d})"
+        );
+    }
+}
+
+#[test]
+fn corollary_4_2_iff_on_all_splits_of_d8() {
+    let b = DeBruijn::new(2, 8).digraph();
+    for pp in 1..=8u32 {
+        let spec = LayoutSpec::new(2, pp, 9 - pp);
+        let h = spec.h_digraph().digraph();
+        if spec.is_debruijn() {
+            let witness = spec.debruijn_witness().unwrap();
+            assert_eq!(iso::check_witness(&h, &b, &witness), Ok(()), "split {pp}");
+        } else {
+            assert!(!connectivity::is_strongly_connected(&h), "split {pp}");
+        }
+    }
+}
+
+#[test]
+fn section_4_3_all_powers_of_two_shapes_of_256_are_debruijn() {
+    // "H(2,256,2), H(4,128,2) and H(16,32,2) are isomorphic to B(2,8)"
+    for (pp, qq) in [(1u32, 8u32), (2, 7), (4, 5)] {
+        assert!(LayoutSpec::new(2, pp, qq).is_debruijn());
+    }
+    // and the remaining power split (8,64): p'=3, q'=6 — check
+    // against the criterion rather than assuming.
+    let spec_36 = LayoutSpec::new(2, 3, 6);
+    assert_eq!(
+        spec_36.is_debruijn(),
+        layout_permutation(3, 6).is_cyclic()
+    );
+}
+
+#[test]
+fn proposition_4_3_balanced_odd_only_trivial() {
+    assert!(LayoutSpec::new(3, 1, 1).is_debruijn());
+    for pp in 2..=6u32 {
+        assert!(!LayoutSpec::new(3, pp, pp).is_debruijn());
+    }
+}
+
+#[test]
+fn corollary_4_4_theta_sqrt_n_lenses() {
+    for dd in [2u32, 4, 6, 8, 10, 12] {
+        let spec = balanced_even_layout(2, dd);
+        let n = spec.node_count();
+        let sqrt_n = (n as f64).sqrt();
+        let lenses = spec.lens_count() as f64;
+        // p + q = 3·√n exactly for d = 2.
+        assert!((lenses - 3.0 * sqrt_n).abs() < 1e-9, "D = {dd}");
+        // Beats the O(n)-lens II layout strictly once D > 2 (at D = 2
+        // the balanced split (1,2) *is* the II layout).
+        if dd > 2 {
+            assert!(lenses < ii_layout_lens_count(2, n) as f64, "D = {dd}");
+        }
+    }
+}
+
+#[test]
+fn section_4_4_odd_cases() {
+    assert!(LayoutSpec::new(2, 5, 7).is_debruijn(), "H(2⁵,2⁷,2) ≅ B(2,11)");
+    assert!(!LayoutSpec::new(2, 6, 8).is_debruijn(), "H(2⁶,2⁸,2) ≇ B(2,13)");
+    // And the witness for the positive case actually verifies
+    // (n = 2048: the largest full witness check in the suite).
+    let spec = LayoutSpec::new(2, 5, 7);
+    let witness = spec.debruijn_witness().unwrap();
+    assert_eq!(
+        iso::check_witness(
+            &spec.h_digraph().digraph(),
+            &DeBruijn::new(2, 11).digraph(),
+            &witness
+        ),
+        Ok(())
+    );
+}
+
+#[test]
+fn corollary_4_5_verification_is_linear_walk() {
+    // The O(D) claim: criterion = one orbit walk, no digraph built.
+    // Functional check at a size where building H would be absurd
+    // (n = 2^59 nodes): the criterion still answers instantly.
+    let spec = LayoutSpec::new(2, 29, 31);
+    assert_eq!(spec.diameter(), 59);
+    let _ = spec.is_debruijn(); // must not allocate beyond O(D)
+    let spec_even = LayoutSpec::new(2, 30, 31);
+    assert!(spec_even.is_debruijn(), "even D = 60 balanced split works");
+}
+
+#[test]
+fn corollary_4_6_minimization() {
+    for dd in [4u32, 8, 11, 13] {
+        let best = minimize_lenses(2, dd).unwrap();
+        assert!(best.is_debruijn());
+        // Optimal is within the splits; brute-force cross-check.
+        let brute = (1..=dd)
+            .map(|pp| LayoutSpec::new(2, pp, dd + 1 - pp))
+            .filter(LayoutSpec::is_debruijn)
+            .map(|s| s.lens_count())
+            .min()
+            .unwrap();
+        assert_eq!(best.lens_count(), brute);
+    }
+}
+
+#[test]
+fn section_5_conjecture_composite_degree_spot_check() {
+    // For composite d the conjecture says non-power-of-d splits give
+    // no de Bruijn layout. d = 4, D = 2, n = 16, m = 64:
+    // splits (4,16) [= (4¹,4²)] works; (2,32) and (8,8) must not be
+    // isomorphic to B(4,2).
+    let b = DeBruijn::new(4, 2).digraph();
+    let good = HDigraph::new(4, 16, 4).digraph();
+    assert!(iso::are_isomorphic(&good, &b));
+    for (p, q) in [(2u64, 32u64), (8, 8)] {
+        let h = HDigraph::new(p, q, 4).digraph();
+        assert!(
+            !iso::are_isomorphic(&h, &b),
+            "H({p},{q},4) unexpectedly isomorphic to B(4,2)"
+        );
+    }
+}
+
+#[test]
+fn table_1_largest_is_kautz_for_each_diameter() {
+    // The K(d,D) ↔ OTIS(2, n) layout exists because K ≅ II and
+    // H(d,n,d) = II(d,n); diameters verified by the search tests in
+    // otis-layout. Here: the three Kautz sizes the paper reports.
+    assert_eq!(Kautz::new(2, 8).node_count(), 384);
+    assert_eq!(Kautz::new(2, 9).node_count(), 768);
+    assert_eq!(Kautz::new(2, 10).node_count(), 1536);
+    for dd in [8u32, 9, 10] {
+        let n = Kautz::new(2, dd).node_count();
+        let h = HDigraph::new(2, n, 2).digraph();
+        assert_eq!(bfs::diameter(&h), Some(dd), "K(2,{dd}) as OTIS(2,{n})");
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end regeneration of every figure in the paper.
+//!
+//! The figures are small structural drawings; we regenerate each as a
+//! machine-checked construction plus DOT text a human can render with
+//! `dot -Tpng` to re-draw the figure.
+
+use otis::core::{AlphabetDigraph, DeBruijn, DigraphFamily, ImaseItoh, Rrk};
+use otis::digraph::{connectivity, dot, iso};
+use otis::optics::{HDigraph, Otis, Transmitter};
+use otis::perm::Perm;
+
+/// Figure 1: `B(2,3)` — 8 nodes labeled by binary words.
+#[test]
+fn figure_1_debruijn_2_3() {
+    let b = DeBruijn::new(2, 3);
+    let g = b.digraph();
+    assert_eq!(g.node_count(), 8);
+    assert_eq!(g.regular_degree(), Some(2));
+    assert_eq!(otis::digraph::bfs::diameter(&g), Some(3));
+
+    // Regenerate the drawing: word labels exactly as in the figure.
+    let space = *b.space();
+    let rendered = dot::to_dot_with_labels(&g, "B_2_3", |u| space.unrank(u as u64).to_string());
+    for label in ["000", "001", "010", "011", "100", "101", "110", "111"] {
+        assert!(rendered.contains(&format!("label=\"{label}\"")), "missing node {label}");
+    }
+    // Figure highlights: loops at 000 and 111, the 2-cycle 010 <-> 101.
+    assert!(g.has_arc(0, 0) && g.has_arc(7, 7));
+    assert!(g.has_arc(2, 5) && g.has_arc(5, 2));
+}
+
+/// Figure 2: `RRK(2,8)` drawn on the integer line 0..7.
+#[test]
+fn figure_2_rrk_2_8() {
+    let g = Rrk::new(2, 8).digraph();
+    assert_eq!(g.node_count(), 8);
+    // Exact adjacency of the drawing: u -> 2u, 2u+1 (mod 8).
+    for u in 0..8u32 {
+        assert_eq!(
+            g.out_neighbors(u),
+            &[(2 * u) % 8, (2 * u + 1) % 8],
+            "vertex {u}"
+        );
+    }
+    // And it *is* Figure 1's digraph, on the nose (Remark 2.6).
+    assert_eq!(g, DeBruijn::new(2, 3).digraph());
+}
+
+/// Figure 3: `II(2,8)` drawn on the integer line 0..7.
+#[test]
+fn figure_3_ii_2_8() {
+    let g = ImaseItoh::new(2, 8).digraph();
+    assert_eq!(g.node_count(), 8);
+    for u in 0..8u32 {
+        let expected = {
+            let mut v = vec![(24 - 2 * u - 1) % 8, (24 - 2 * u - 2) % 8];
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(g.out_neighbors(u), expected.as_slice(), "vertex {u}");
+    }
+    // Isomorphic to Figures 1 and 2 via the Proposition 3.3 witness.
+    let witness = otis::core::iso::prop_3_3_witness(2, 3);
+    assert_eq!(
+        iso::check_witness(&g, &DeBruijn::new(2, 3).digraph(), &witness),
+        Ok(())
+    );
+}
+
+/// Figure 4: the orbit labeling `g(i) = fⁱ(2)` for the §3.3.1
+/// permutation, drawn as the 6-cycle of `f`.
+#[test]
+fn figure_4_orbit_labeling() {
+    let f = Perm::from_images(vec![3, 4, 5, 2, 0, 1]).unwrap();
+    let g = f.orbit_labeling(2).unwrap();
+    // The figure's values: g(0)=2, g(1)=5, g(2)=1, g(3)=4, g(4)=0, g(5)=3.
+    assert_eq!(g.images(), &[2, 5, 1, 4, 0, 3]);
+    // The figure draws f's single cycle through those labels:
+    // g(0) -f-> g(1) -f-> … -f-> g(5) -f-> g(0).
+    for i in 0..6u32 {
+        assert_eq!(f.apply(g.apply(i)), g.apply((i + 1) % 6));
+    }
+    // →g⁻¹ as printed in the text: g⁻¹ = [4, 2, 0, 5, 3, 1].
+    assert_eq!(g.inverse().images(), &[4, 2, 0, 5, 3, 1]);
+}
+
+/// Figure 5: the disconnected `H = A(f, Id, 1)` of §3.3.2 for d = 2.
+#[test]
+fn figure_5_disconnected_example() {
+    let a = AlphabetDigraph::new(2, 3, Perm::complement(3), Perm::identity(2), 1);
+    let g = a.digraph();
+    let wcc = connectivity::weak_components(&g);
+    // One C₂⊗B(2,1) (4 vertices: 001, 100, 011, 110) and two
+    // C₁⊗B(2,1) (000, 010 and 101, 111).
+    assert_eq!(wcc.count(), 3);
+    assert_eq!(wcc.size_multiset(), vec![2, 2, 4]);
+
+    let space = *a.space();
+    let label_of = |name: &str| space.rank(&name.parse().unwrap()) as u32;
+    // The figure's groups:
+    assert_eq!(wcc.label(label_of("000")), wcc.label(label_of("010")));
+    assert_eq!(wcc.label(label_of("101")), wcc.label(label_of("111")));
+    assert_eq!(wcc.label(label_of("001")), wcc.label(label_of("100")));
+    assert_eq!(wcc.label(label_of("011")), wcc.label(label_of("110")));
+    assert_ne!(wcc.label(label_of("000")), wcc.label(label_of("101")));
+    assert_ne!(wcc.label(label_of("000")), wcc.label(label_of("001")));
+
+    // DOT regeneration with word labels.
+    let rendered = dot::to_dot_with_labels(&g, "fig5", |u| space.unrank(u as u64).to_string());
+    assert_eq!(rendered.matches("->").count(), 16, "8 vertices × degree 2");
+}
+
+/// Figure 6: the `OTIS(3,6)` wiring diagram — all 18 beams.
+#[test]
+fn figure_6_otis_3_6_wiring() {
+    let otis = Otis::new(3, 6);
+    // The figure shows transmitters (i,j) wired to receivers
+    // (5-j, 2-i); verify the complete wiring table.
+    let mut receivers_hit = Vec::new();
+    for i in 0..3 {
+        for j in 0..6 {
+            let r = otis.connect(Transmitter { group: i, offset: j });
+            assert_eq!((r.group, r.offset), (5 - j, 2 - i));
+            receivers_hit.push(otis.receiver_index(r));
+        }
+    }
+    receivers_hit.sort_unstable();
+    let all: Vec<u64> = (0..18).collect();
+    assert_eq!(receivers_hit, all, "perfect one-to-one coverage");
+
+    // The physical bench reproduces the same table beam by beam.
+    let bench = otis::optics::geometry::Bench::with_defaults(otis);
+    for trace in bench.trace_all() {
+        assert_eq!(trace.to, otis.connect(trace.from));
+    }
+}
+
+/// Figure 7: the transmitter/receiver wiring of `H(4,8,2)`.
+#[test]
+fn figure_7_h_4_8_2_wiring() {
+    let h = HDigraph::new(4, 8, 2);
+    assert_eq!(h.node_count(), 16);
+    // The figure pairs 32 transmitters with 32 receivers. Each node's
+    // two transmitters reach the receivers of its two out-neighbors.
+    let g = h.digraph();
+    for u in 0..16u64 {
+        let mut via_graph: Vec<u64> = g.out_neighbors(u as u32).iter().map(|&v| v as u64).collect();
+        via_graph.sort_unstable();
+        let mut via_wiring: Vec<u64> = (0..2u64)
+            .map(|delta| h.node_of_receiver(h.otis().connect_index(2 * u + delta)))
+            .collect();
+        via_wiring.sort_unstable();
+        assert_eq!(via_graph, via_wiring, "node {u}");
+    }
+}
+
+/// Figure 8: `B(2,4)` relabeled with the `H(4,8,2)` adjacency
+/// `Γ⁺(x₃x₂x₁x₀) = {x̄₁x̄₀αx̄₃}`, isomorphic to the plain `B(2,4)`.
+#[test]
+fn figure_8_b24_with_h_adjacency() {
+    let spec = otis::layout::LayoutSpec::new(2, 2, 3);
+    let h = spec.h_digraph().digraph();
+    let b = DeBruijn::new(2, 4).digraph();
+    let witness = spec.debruijn_witness().expect("f_{2,3} is cyclic");
+    assert_eq!(iso::check_witness(&h, &b, &witness), Ok(()));
+    // The figure is drawn on 16 binary words; regenerate labels.
+    let space = otis::words::WordSpace::new(2, 4);
+    let rendered = dot::to_dot_with_labels(&h, "fig8", |u| space.unrank(u as u64).to_string());
+    assert!(rendered.contains("label=\"1111\""));
+    assert_eq!(rendered.matches("->").count(), 32);
+}

@@ -1,0 +1,75 @@
+//! Serde round-trips for the public artifact types: downstream
+//! tooling stores layouts, search rows and fault reports as JSON, so
+//! the wire format is part of the API contract.
+
+use otis::core::{AlphabetDigraph, DeBruijn, DigraphFamily};
+use otis::layout::{degree_diameter_search, LayoutSpec, SearchRow};
+use otis::optics::faults::{assess, FaultSet, ResilienceReport};
+use otis::optics::{HDigraph, Otis};
+use otis::perm::Perm;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn layout_spec_round_trip() {
+    let spec = LayoutSpec::new(2, 4, 5);
+    assert_eq!(round_trip(&spec), spec);
+}
+
+#[test]
+fn search_rows_round_trip() {
+    let rows: Vec<SearchRow> = degree_diameter_search(2, 4, 14, 18);
+    let back: Vec<SearchRow> = round_trip(&rows);
+    assert_eq!(back, rows);
+}
+
+#[test]
+fn families_round_trip() {
+    let b = DeBruijn::new(3, 4);
+    assert_eq!(round_trip(&b), b);
+    let a = AlphabetDigraph::new(2, 4, Perm::rotation(4, 1), Perm::complement(2), 1);
+    assert_eq!(round_trip(&a), a);
+    // Digraphs themselves serialize too (CSR fields).
+    let g = b.digraph();
+    assert_eq!(round_trip(&g), g);
+}
+
+#[test]
+fn hardware_types_round_trip() {
+    let otis = Otis::new(16, 32);
+    assert_eq!(round_trip(&otis), otis);
+    let h = HDigraph::new(16, 32, 2);
+    assert_eq!(round_trip(&h), h);
+    let faults = FaultSet {
+        dead_transmitters: vec![1, 2],
+        dead_receivers: vec![],
+        dead_lens1: vec![3],
+        dead_lens2: vec![],
+    };
+    assert_eq!(round_trip(&faults), faults);
+    let report: ResilienceReport = assess(&h, &faults);
+    assert_eq!(round_trip(&report), report);
+}
+
+#[test]
+fn perm_json_is_one_line_table() {
+    // The wire format is the plain image table — stable and readable.
+    let f = Perm::rotation(4, 1);
+    assert_eq!(serde_json::to_string(&f).unwrap(), "[1,2,3,0]");
+    // Invalid tables are rejected at the serde boundary.
+    assert!(serde_json::from_str::<Perm>("[1,1,0]").is_err());
+}
+
+#[test]
+fn pops_round_trip() {
+    let pops = otis::optics::pops::Pops::new(4, 3);
+    assert_eq!(round_trip(&pops), pops);
+    let coupler = pops.route(0, 11);
+    assert_eq!(round_trip(&coupler), coupler);
+}
