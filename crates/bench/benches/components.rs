@@ -24,9 +24,11 @@ fn bench_predict(c: &mut Criterion) {
     let mut group = c.benchmark_group("components/predict");
     for dim in [6u32, 10, 14, 18] {
         let a = worst_case_instance(dim);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("D{dim}")), &a, |b, a| {
-            b.iter(|| black_box(components::predict(a)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{dim}")),
+            &a,
+            |b, a| b.iter(|| black_box(components::predict(a))),
+        );
     }
     group.finish();
 }
@@ -36,12 +38,16 @@ fn bench_materialize(c: &mut Criterion) {
     group.sample_size(10);
     for dim in [6u32, 10, 14, 18] {
         let a = worst_case_instance(dim);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("D{dim}")), &a, |b, a| {
-            b.iter(|| {
-                let g = a.digraph();
-                black_box(otis_digraph::connectivity::weak_components(&g).count())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{dim}")),
+            &a,
+            |b, a| {
+                b.iter(|| {
+                    let g = a.digraph();
+                    black_box(otis_digraph::connectivity::weak_components(&g).count())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -63,5 +69,10 @@ fn bench_agreement_check(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_predict, bench_materialize, bench_agreement_check);
+criterion_group!(
+    benches,
+    bench_predict,
+    bench_materialize,
+    bench_agreement_check
+);
 criterion_main!(benches);

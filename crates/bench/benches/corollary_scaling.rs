@@ -71,13 +71,16 @@ fn bench_minimize_concrete(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("D{diameter}")),
             &diameter,
-            |bench, &diameter| {
-                bench.iter(|| black_box(otis_layout::minimize_lenses(2, diameter)))
-            },
+            |bench, &diameter| bench.iter(|| black_box(otis_layout::minimize_lenses(2, diameter))),
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_verify, bench_minimize, bench_minimize_concrete);
+criterion_group!(
+    benches,
+    bench_verify,
+    bench_minimize,
+    bench_minimize_concrete
+);
 criterion_main!(benches);

@@ -12,7 +12,10 @@ use std::hint::black_box;
 
 fn print_series() {
     eprintln!("--- lens scaling, d = 2 (lenses to host B(2,D) on n = 2^D nodes) ---");
-    eprintln!("{:>3} {:>12} {:>12} {:>12} {:>8}", "D", "n", "optimal", "II (O(n))", "ratio");
+    eprintln!(
+        "{:>3} {:>12} {:>12} {:>12} {:>8}",
+        "D", "n", "optimal", "II (O(n))", "ratio"
+    );
     for diameter in 2..=20u32 {
         let best = minimize_lenses(2, diameter).expect("always exists");
         let n = best.node_count();
@@ -74,5 +77,10 @@ fn bench_spec_criterion(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_minimize, bench_balanced_construction, bench_spec_criterion);
+criterion_group!(
+    benches,
+    bench_minimize,
+    bench_balanced_construction,
+    bench_spec_criterion
+);
 criterion_main!(benches);

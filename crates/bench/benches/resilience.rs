@@ -55,5 +55,10 @@ fn bench_max_flow(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assess, bench_arc_connectivity, bench_max_flow);
+criterion_group!(
+    benches,
+    bench_assess,
+    bench_arc_connectivity,
+    bench_max_flow
+);
 criterion_main!(benches);

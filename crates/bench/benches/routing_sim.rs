@@ -1,85 +1,138 @@
-//! E-routing — the applications layer: de Bruijn arithmetic routing
-//! versus BFS routing, and packet transport through the simulated
-//! OTIS hardware.
+//! E-routing — the applications layer, now organized around the
+//! `Router` abstraction: the same 10k-packet batch on the 1024-node
+//! `B(2,10)` routed three ways —
+//!
+//! * `table_precomputed`   — `RoutingTable` built once (cost measured
+//!   separately in `table_build`), then pure array-lookup walks;
+//! * `arithmetic_tableless` — the paper's `O(D)` digit arithmetic,
+//!   zero precomputation, zero memory;
+//! * `per_packet_bfs`      — the naive baseline: one reverse-BFS per
+//!   packet (what `send_shortest` does).
+//!
+//! The headline the traffic engine rides on: the table router beats
+//! the per-packet-BFS baseline by well over an order of magnitude on
+//! batched workloads (acceptance floor: ≥ 10×).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use otis_core::{routing, DeBruijn, DigraphFamily};
+use otis_core::{
+    routing, BfsRouter, DeBruijn, DeBruijnRouter, DigraphFamily, Router, RoutingTable,
+};
 use otis_optics::simulator::OtisSimulator;
+use otis_optics::traffic::{generate_workload, TrafficEngine, TrafficPattern};
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn pairs(n: u64, count: usize, seed: u64) -> Vec<(u64, u64)> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    (0..count).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect()
+    (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect()
 }
 
-fn bench_routing_arithmetic_vs_bfs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing/path_computation");
-    for dd in [8u32, 12, 16] {
-        let b = DeBruijn::new(2, dd);
-        let n = b.node_count();
-        let workload = pairs(n, 256, 1);
+/// Route a whole batch, returning total hops (the value every router
+/// must agree on).
+fn route_batch(router: &dyn Router, workload: &[(u64, u64)]) -> u64 {
+    let mut total_hops = 0u64;
+    for &(src, dst) in workload {
+        let mut current = src;
+        while current != dst {
+            current = router
+                .next_hop(current, dst)
+                .expect("strongly connected fabric");
+            total_hops += 1;
+        }
+    }
+    total_hops
+}
+
+fn bench_batched_routers(c: &mut Criterion) {
+    let b = DeBruijn::new(2, 10); // 1024 nodes — the acceptance fabric
+    let n = b.node_count();
+    let g = b.digraph();
+    let workload = pairs(n, 10_000, 1);
+
+    let table = RoutingTable::new(&g);
+    let arithmetic = DeBruijnRouter::new(b);
+    let baseline = BfsRouter::new(&g);
+    // All three must route identically before we time them.
+    let expected = route_batch(&table, &workload);
+    assert_eq!(route_batch(&arithmetic, &workload), expected);
+    assert_eq!(
+        route_batch(&baseline, &workload[..64]),
+        route_batch(&table, &workload[..64])
+    );
+
+    let mut group = c.benchmark_group("routing/batched_B_2_10");
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    group.bench_function("table_precomputed", |bench| {
+        bench.iter(|| black_box(route_batch(&table, &workload)))
+    });
+    group.bench_function("arithmetic_tableless", |bench| {
+        bench.iter(|| black_box(route_batch(&arithmetic, &workload)))
+    });
+    group.sample_size(10);
+    group.bench_function("per_packet_bfs", |bench| {
+        // `route` does one reverse-BFS per packet, then walks.
+        bench.iter(|| {
+            let mut total_hops = 0usize;
+            for &(src, dst) in &workload {
+                total_hops += baseline.route(src, dst).expect("connected").len() - 1;
+            }
+            black_box(total_hops)
+        })
+    });
+    group.finish();
+
+    // The cost the table router amortizes: one build per fabric.
+    let mut group = c.benchmark_group("routing/table_build");
+    group.sample_size(10);
+    group.bench_function("B_2_10", |bench| {
+        bench.iter(|| black_box(RoutingTable::new(&g)))
+    });
+    group.finish();
+}
+
+fn bench_traffic_engine(c: &mut Criterion) {
+    // End to end: workload generation already done, physics
+    // precomputed — what does a full batch cost per pattern?
+    let spec = otis_layout::minimize_lenses(2, 10).expect("even diameter layout");
+    let sim = OtisSimulator::with_defaults(spec.h_digraph());
+    let router = RoutingTable::from_family(sim.h());
+    let engine = TrafficEngine::new(&sim);
+    let n = engine.node_count();
+
+    let mut group = c.benchmark_group("routing/traffic_engine_H_32_64");
+    for pattern in [
+        TrafficPattern::Uniform,
+        TrafficPattern::Transpose,
+        TrafficPattern::Hotspot,
+    ] {
+        let workload = generate_workload(pattern, n, 2, 10_000, 2);
         group.throughput(Throughput::Elements(workload.len() as u64));
         group.bench_with_input(
-            BenchmarkId::new("arithmetic_O_D", format!("D{dd}")),
+            BenchmarkId::new("run_10k", pattern.to_string()),
             &workload,
-            |bench, workload| {
-                bench.iter(|| {
-                    let mut acc = 0usize;
-                    for &(x, y) in workload {
-                        acc += routing::shortest_path(&b, x, y).len();
-                    }
-                    black_box(acc)
-                })
-            },
+            |bench, workload| bench.iter(|| black_box(engine.run(&router, workload))),
         );
-        // BFS baseline only at sizes where materialization is cheap.
-        if dd <= 12 {
-            let g = b.digraph();
-            group.bench_with_input(
-                BenchmarkId::new("bfs_O_n_plus_m", format!("D{dd}")),
-                &workload,
-                |bench, workload| {
-                    bench.iter(|| {
-                        let mut acc = 0u32;
-                        for &(x, y) in workload {
-                            let dist = otis_digraph::bfs::distances(&g, x as u32);
-                            acc += dist[y as usize];
-                        }
-                        black_box(acc)
-                    })
-                },
-            );
-        }
     }
     group.finish();
 }
 
 fn bench_simulator_transport(c: &mut Criterion) {
+    // Hop-by-hop physics simulation, driven through the Router
+    // abstraction instead of a hand-rolled witness closure.
     let spec = otis_layout::balanced_even_layout(2, 8);
     let sim = OtisSimulator::with_defaults(spec.h_digraph());
-    let witness = spec.debruijn_witness().unwrap();
-    let inverse = otis_core::iso::invert_witness(&witness);
-    let b = DeBruijn::new(2, 8);
-    let workload = pairs(b.node_count(), 64, 2);
+    let router = RoutingTable::from_family(sim.h());
+    let workload = pairs(sim.h().node_count(), 64, 2);
 
     let mut group = c.benchmark_group("routing/simulated_transport");
     group.throughput(Throughput::Elements(workload.len() as u64));
-    group.bench_function("B28_on_OTIS_16_32", |bench| {
+    group.bench_function("send_via_table_B28_on_OTIS_16_32", |bench| {
         bench.iter(|| {
             let mut total_hops = 0usize;
             for &(src, dst) in &workload {
-                let report = sim
-                    .send(src, dst, |current, dst| {
-                        let path = routing::shortest_path(
-                            &b,
-                            witness[current as usize] as u64,
-                            witness[dst as usize] as u64,
-                        );
-                        inverse[path[1] as usize] as u64
-                    })
-                    .unwrap();
-                total_hops += report.hop_count();
+                total_hops += sim.send_via(&router, src, dst).unwrap().hop_count();
             }
             black_box(total_hops)
         })
@@ -107,7 +160,8 @@ fn bench_broadcast(c: &mut Criterion) {
 
 criterion_group!(
     benches,
-    bench_routing_arithmetic_vs_bfs,
+    bench_batched_routers,
+    bench_traffic_engine,
     bench_simulator_transport,
     bench_broadcast
 );

@@ -20,9 +20,11 @@ fn bench_diameter_par_vs_seq(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel", format!("n{n}")), &g, |b, g| {
             b.iter(|| black_box(bfs::eccentricities(g)))
         });
-        group.bench_with_input(BenchmarkId::new("sequential", format!("n{n}")), &g, |b, g| {
-            b.iter(|| black_box(bfs::eccentricities_seq(g)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential", format!("n{n}")),
+            &g,
+            |b, g| b.iter(|| black_box(bfs::eccentricities_seq(g))),
+        );
     }
     group.finish();
 }
@@ -51,9 +53,11 @@ fn bench_line_digraph(c: &mut Criterion) {
     for dd in [8u32, 11] {
         let g = DeBruijn::new(2, dd).digraph();
         group.throughput(Throughput::Elements(g.arc_count() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("B(2,{dd})")), &g, |b, g| {
-            b.iter(|| black_box(otis_digraph::ops::line_digraph(g)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("B(2,{dd})")),
+            &g,
+            |b, g| b.iter(|| black_box(otis_digraph::ops::line_digraph(g))),
+        );
     }
     group.finish();
 }

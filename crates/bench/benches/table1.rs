@@ -15,8 +15,11 @@ fn print_reproduced_table() {
     for (diameter, lo, hi) in [(8u32, 253u64, 400u64), (9, 508, 784), (10, 1020, 1552)] {
         eprintln!("--- Table 1, D = {diameter} (n in {lo}..={hi}) ---");
         for row in degree_diameter_search(2, diameter, lo, hi) {
-            let pairs: Vec<String> =
-                row.pairs.iter().map(|&(p, q)| format!("({p},{q})")).collect();
+            let pairs: Vec<String> = row
+                .pairs
+                .iter()
+                .map(|&(p, q)| format!("({p},{q})"))
+                .collect();
             eprintln!("n = {:>5}: {}", row.n, pairs.join(" "));
         }
     }

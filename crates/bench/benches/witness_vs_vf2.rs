@@ -67,12 +67,19 @@ fn bench_criterion_only(c: &mut Criterion) {
     let mut group = c.benchmark_group("witness_vs_vf2/cyclicity_only");
     for dim in [8u32, 16, 64, 256] {
         let f = Perm::rotation(dim as usize, 3);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("D{dim}")), &f, |bench, f| {
-            bench.iter(|| black_box(f.is_cyclic()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("D{dim}")),
+            &f,
+            |bench, f| bench.iter(|| black_box(f.is_cyclic())),
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_witness_path, bench_vf2_path, bench_criterion_only);
+criterion_group!(
+    benches,
+    bench_witness_path,
+    bench_vf2_path,
+    bench_criterion_only
+);
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! otis search <d> <D> <n_min> <n_max>    Table-1 style degree–diameter rows
 //! otis verify <d> <p'> <q'>              Corollary 4.2/4.5 layout check (+ witness)
 //! otis route <d> <D> <from> <to>         shortest path between de Bruijn words
+//! otis traffic <d> <D> <pattern> <n>     batched traffic over the simulated fabric
 //! otis sequence <d> <k>                  a de Bruijn sequence dB(d,k)
 //! otis dot <family> <d> <D>              DOT drawing (family: debruijn|kautz|ii|rrk)
 //! ```
@@ -22,6 +23,7 @@ fn main() -> ExitCode {
         Some("search") => cmd_search(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("traffic") => cmd_traffic(&args[1..]),
         Some("sequence") => cmd_sequence(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("help") | None => {
@@ -47,6 +49,10 @@ USAGE:
   otis search <d> <D> <n_min> <n_max>  degree-diameter search rows (Table 1)
   otis verify <d> <p'> <q'>            layout criterion + witness verification
   otis route <d> <D> <from> <to>       shortest de Bruijn path between words
+  otis traffic <d> <D> <pattern> <n>   route n packets of a synthetic pattern
+                                       (uniform|permutation|transpose|bitrev|
+                                        hotspot|alltoall) over the lens-minimal
+                                       OTIS fabric of B(d,D)
   otis sequence <d> <k>                print a de Bruijn sequence dB(d,k)
   otis dot <family> <d> <D>            DOT drawing (debruijn|kautz|ii|rrk)
 ";
@@ -102,8 +108,11 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         return Err("need 1 <= n_min <= n_max".into());
     }
     for row in otis_layout::degree_diameter_search(d, dd, n_min, n_max) {
-        let pairs: Vec<String> =
-            row.pairs.iter().map(|&(p, q)| format!("({p},{q})")).collect();
+        let pairs: Vec<String> = row
+            .pairs
+            .iter()
+            .map(|&(p, q)| format!("({p},{q})"))
+            .collect();
         println!("n = {:>6}: {}", row.n, pairs.join(" "));
     }
     Ok(())
@@ -126,8 +135,10 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     );
     println!("f_{{p',q'}} = {}", spec.permutation());
     if !spec.is_debruijn() {
-        println!("NOT a de Bruijn layout: f is not cyclic (cycle type {:?})",
-            spec.permutation().cycle_type());
+        println!(
+            "NOT a de Bruijn layout: f is not cyclic (cycle type {:?})",
+            spec.permutation().cycle_type()
+        );
         return Ok(());
     }
     println!("de Bruijn layout: f is cyclic (O(D) check, Corollary 4.5)");
@@ -162,6 +173,92 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_traffic(args: &[String]) -> Result<(), String> {
+    let d: u32 = parse(args, 0, "d")?;
+    let dd: u32 = parse(args, 1, "D")?;
+    let pattern: otis_optics::TrafficPattern = parse(args, 2, "pattern")?;
+    let packets: usize = parse(args, 3, "packets")?;
+    if d < 2 {
+        return Err("d must be at least 2".into());
+    }
+    if dd < 1 {
+        return Err("D must be at least 1".into());
+    }
+    let n = otis_util::digits::checked_pow(d as u64, dd)
+        .ok_or_else(|| format!("d^D overflows u64 (d = {d}, D = {dd})"))?;
+    let cap = otis_digraph::bfs::NextHopTable::MAX_NODES as u64;
+    if n > cap {
+        return Err(format!(
+            "B({d},{dd}) has {n} nodes; the precomputed routing table caps at {cap}"
+        ));
+    }
+
+    // Host the fabric on its lens-minimal OTIS layout.
+    let spec = otis_layout::minimize_lenses(d, dd)
+        .ok_or_else(|| format!("no de Bruijn OTIS layout found for B({d},{dd})"))?;
+    let h = spec.h_digraph();
+    println!(
+        "fabric: {} ≅ B({d},{dd}) — {n} nodes, degree {d}, {} lenses",
+        h.name(),
+        spec.lens_count()
+    );
+
+    let sim = otis_optics::simulator::OtisSimulator::with_defaults(h);
+    let build_start = std::time::Instant::now();
+    let router = otis_core::RoutingTable::from_family(sim.h());
+    let engine = otis_optics::TrafficEngine::new(&sim);
+    println!(
+        "router: {} (table + physics precomputed in {:.1} ms)",
+        otis_core::Router::name(&router),
+        build_start.elapsed().as_secs_f64() * 1e3
+    );
+
+    let workload = otis_optics::traffic::generate_workload(pattern, n, d as u64, packets, 0x0715);
+    let run_start = std::time::Instant::now();
+    let report = engine.run(&router, &workload);
+    let elapsed = run_start.elapsed();
+
+    println!(
+        "routed {} {pattern} packets in {:.1} ms ({:.2} Mpkt/s)",
+        report.packets,
+        elapsed.as_secs_f64() * 1e3,
+        report.packets as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "  delivered         : {} ({:.2}%)",
+        report.delivered,
+        report.delivery_rate() * 100.0
+    );
+    println!(
+        "  hops              : mean {:.2}, max {} (diameter {dd})",
+        report.mean_hops(),
+        report.max_hops
+    );
+    println!(
+        "  link congestion   : max {} (empirical forwarding index), mean {:.1}",
+        report.max_link_load,
+        report.mean_link_load()
+    );
+    println!(
+        "  latency           : mean {:.0} ps, p50 {:.0} ps, p99 {:.0} ps, max {:.0} ps",
+        report.latency_mean_ps, report.latency_p50_ps, report.latency_p99_ps, report.latency_max_ps
+    );
+    println!(
+        "  energy            : {:.1} pJ/packet, {:.2} nJ total",
+        report.mean_energy_pj(),
+        report.energy_total_pj / 1e3
+    );
+    println!(
+        "  link budgets      : {}",
+        if report.all_budgets_close {
+            "all close"
+        } else {
+            "SOME DO NOT CLOSE"
+        }
+    );
+    Ok(())
+}
+
 fn cmd_sequence(args: &[String]) -> Result<(), String> {
     let d: u32 = parse(args, 0, "d")?;
     let k: u32 = parse(args, 1, "k")?;
@@ -189,12 +286,18 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
         "debruijn" => {
             let b = DeBruijn::new(d, dd);
             let space = *b.space();
-            (b.digraph(), Box::new(move |u| space.unrank(u as u64).to_string()))
+            (
+                b.digraph(),
+                Box::new(move |u| space.unrank(u as u64).to_string()),
+            )
         }
         "kautz" => {
             let k = Kautz::new(d, dd);
             let space = *k.space();
-            (k.digraph(), Box::new(move |u| space.unrank(u as u64).to_string()))
+            (
+                k.digraph(),
+                Box::new(move |u| space.unrank(u as u64).to_string()),
+            )
         }
         "ii" => {
             let n = otis_util::digits::pow(d as u64, dd);
@@ -204,11 +307,18 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
             let n = otis_util::digits::pow(d as u64, dd);
             (Rrk::new(d, n).digraph(), Box::new(|u| u.to_string()))
         }
-        other => return Err(format!("unknown family {other:?} (want debruijn|kautz|ii|rrk)")),
+        other => {
+            return Err(format!(
+                "unknown family {other:?} (want debruijn|kautz|ii|rrk)"
+            ))
+        }
     };
     if graph.node_count() > 4096 {
         return Err("graph too large for DOT output (max 4096 nodes)".into());
     }
-    print!("{}", otis_digraph::dot::to_dot_with_labels(&graph, family, label));
+    print!(
+        "{}",
+        otis_digraph::dot::to_dot_with_labels(&graph, family, label)
+    );
     Ok(())
 }

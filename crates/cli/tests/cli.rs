@@ -93,6 +93,44 @@ fn route_rejects_alien_words() {
 }
 
 #[test]
+fn traffic_uniform_reports_full_delivery() {
+    let out = otis(&["traffic", "2", "6", "uniform", "2000"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("≅ B(2,6) — 64 nodes"), "{text}");
+    assert!(
+        text.contains("delivered         : 2000 (100.00%)"),
+        "{text}"
+    );
+    assert!(text.contains("empirical forwarding index"), "{text}");
+    assert!(text.contains("all close"), "{text}");
+}
+
+#[test]
+fn traffic_patterns_all_run() {
+    for pattern in ["permutation", "transpose", "bitrev", "hotspot", "alltoall"] {
+        let out = otis(&["traffic", "2", "4", pattern, "200"]);
+        assert!(out.status.success(), "{pattern}: {}", stderr(&out));
+        assert!(stdout(&out).contains("routed 200"), "{pattern}");
+    }
+}
+
+#[test]
+fn traffic_rejects_bad_input() {
+    let out = otis(&["traffic", "2", "6", "zigzag", "100"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown pattern"), "{}", stderr(&out));
+
+    let out = otis(&["traffic", "1", "6", "uniform", "100"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("at least 2"));
+
+    let out = otis(&["traffic", "2", "14", "uniform", "100"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("caps at 8192"), "{}", stderr(&out));
+}
+
+#[test]
 fn sequence_is_checked_and_printed() {
     let out = otis(&["sequence", "2", "4"]);
     assert!(out.status.success());

@@ -71,7 +71,10 @@ pub fn predict(a: &AlphabetDigraph) -> ComponentCensus {
         outside.iter().enumerate().map(|(k, &p)| (p, k)).collect();
 
     let state_count = digits::pow(d, outside.len() as u32);
-    assert!(state_count <= u32::MAX as u64, "outside state space too large to enumerate");
+    assert!(
+        state_count <= u32::MAX as u64,
+        "outside state space too large to enumerate"
+    );
 
     // π on encoded states: digit at slot k (position p = outside[k])
     // moves to the slot of f(p), rewritten by σ.
@@ -102,12 +105,18 @@ pub fn predict(a: &AlphabetDigraph) -> ComponentCensus {
             if cur == start {
                 break;
             }
-            debug_assert!(!seen[cur as usize], "π is a permutation; orbits are simple cycles");
+            debug_assert!(
+                !seen[cur as usize],
+                "π is a permutation; orbits are simple cycles"
+            );
         }
         *cycle_counts.entry(length).or_insert(0) += 1;
     }
 
-    ComponentCensus { debruijn_dim: r, cycle_counts }
+    ComponentCensus {
+        debruijn_dim: r,
+        cycle_counts,
+    }
 }
 
 /// Verify the predicted census against the materialized digraph:
@@ -139,12 +148,14 @@ pub fn verify(a: &AlphabetDigraph) {
     let mut predicted_sizes: Vec<usize> = census
         .cycle_counts
         .iter()
-        .flat_map(|(&s, &count)| {
-            std::iter::repeat_n(s as usize * per_cycle, count as usize)
-        })
+        .flat_map(|(&s, &count)| std::iter::repeat_n(s as usize * per_cycle, count as usize))
         .collect();
     predicted_sizes.sort_unstable();
-    assert_eq!(wcc.size_multiset(), predicted_sizes, "component size multiset mismatch");
+    assert_eq!(
+        wcc.size_multiset(),
+        predicted_sizes,
+        "component size multiset mismatch"
+    );
 
     // Structural check per component.
     let b_factor = DeBruijn::new(d, census.debruijn_dim.max(1));
@@ -156,10 +167,7 @@ pub fn verify(a: &AlphabetDigraph) {
             // is always in its own orbit, r ≥ 1) — kept for clarity.
             otis_digraph::ops::circuit(s)
         } else {
-            otis_digraph::ops::conjunction(
-                &otis_digraph::ops::circuit(s),
-                &b_factor.digraph(),
-            )
+            otis_digraph::ops::conjunction(&otis_digraph::ops::circuit(s), &b_factor.digraph())
         };
         assert!(
             otis_digraph::iso::are_isomorphic(&sub, &model),
@@ -180,13 +188,7 @@ mod tests {
         // §3.3.2 / Figure 5: f = complement on Z_3, j = 1:
         // (d²-d)/2 components C₂⊗B(d,1), d components C₁⊗B(d,1).
         for d in [2u32, 3, 4] {
-            let a = AlphabetDigraph::new(
-                d,
-                3,
-                Perm::complement(3),
-                Perm::identity(d as usize),
-                1,
-            );
+            let a = AlphabetDigraph::new(d, 3, Perm::complement(3), Perm::identity(d as usize), 1);
             let census = predict(&a);
             assert_eq!(census.debruijn_dim, 1, "orbit of j = 1 is a fixed point");
             let expected: BTreeMap<u64, u64> = [
@@ -202,13 +204,7 @@ mod tests {
     #[test]
     fn example_332_verified_structurally() {
         for d in [2u32, 3] {
-            let a = AlphabetDigraph::new(
-                d,
-                3,
-                Perm::complement(3),
-                Perm::identity(d as usize),
-                1,
-            );
+            let a = AlphabetDigraph::new(d, 3, Perm::complement(3), Perm::identity(d as usize), 1);
             verify(&a);
         }
     }

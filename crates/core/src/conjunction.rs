@@ -85,7 +85,9 @@ mod tests {
         let target = DeBruijn::new(8, 2).digraph();
         assert_eq!(bbb.node_count(), target.node_count());
         assert_eq!(bbb.arc_count(), target.arc_count());
-        assert!(!otis_digraph::invariants::definitely_not_isomorphic(&bbb, &target));
+        assert!(!otis_digraph::invariants::definitely_not_isomorphic(
+            &bbb, &target
+        ));
         // Full witness: pair twice.
         let w1 = conjunction_witness(&DeBruijn::new(2, 2), &DeBruijn::new(2, 2));
         // relabel bb by w1 to become B(4,2), then pair with B(2,2).

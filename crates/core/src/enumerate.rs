@@ -85,7 +85,12 @@ mod tests {
             let b = DeBruijn::new(d, dd).digraph();
             for a in alternative_definitions(d, dd, dd - 1) {
                 let witness = iso::prop_3_9_witness(&a).expect("f cyclic by construction");
-                assert_eq!(check_witness(&a.digraph(), &b, &witness), Ok(()), "{}", a.name());
+                assert_eq!(
+                    check_witness(&a.digraph(), &b, &witness),
+                    Ok(()),
+                    "{}",
+                    a.name()
+                );
             }
         }
     }

@@ -26,7 +26,10 @@ impl BSigma {
     /// `B_σ(d, D)`; `sigma` must be a permutation of `Z_d`.
     pub fn new(d: u32, diameter: u32, sigma: Perm) -> Self {
         assert_eq!(sigma.len(), d as usize, "σ must permute Z_{d}");
-        BSigma { space: WordSpace::new(d, diameter), sigma }
+        BSigma {
+            space: WordSpace::new(d, diameter),
+            sigma,
+        }
     }
 
     /// The complement-twisted de Bruijn `B̄(d,D) = B_C(d,D)` of
@@ -116,7 +119,10 @@ impl PositionalSigma {
         for (k, sigma) in sigmas.iter().enumerate() {
             assert_eq!(sigma.len(), d as usize, "σ_{k} must permute Z_{d}");
         }
-        PositionalSigma { space: WordSpace::new(d, diameter), sigmas }
+        PositionalSigma {
+            space: WordSpace::new(d, diameter),
+            sigmas,
+        }
     }
 
     /// Alphabet size / degree `d`.
@@ -194,7 +200,12 @@ impl AlphabetDigraph {
         assert_eq!(f.len(), dimension as usize, "f must permute Z_{dimension}");
         assert_eq!(sigma.len(), d as usize, "σ must permute Z_{d}");
         assert!(j < dimension, "free position {j} outside Z_{dimension}");
-        AlphabetDigraph { space: WordSpace::new(d, dimension), f, sigma, j }
+        AlphabetDigraph {
+            space: WordSpace::new(d, dimension),
+            f,
+            sigma,
+            j,
+        }
     }
 
     /// The de Bruijn digraph as `A(ρ, Id, 0)` (Remark 3.8).

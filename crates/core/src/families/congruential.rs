@@ -82,7 +82,10 @@ impl ImaseItoh {
         assert!(d >= 1, "degree must be at least 1");
         assert!(n >= 1, "vertex count must be at least 1");
         assert!(
-            (d as u64).checked_mul(n).and_then(|dn| dn.checked_add(d as u64)).is_some(),
+            (d as u64)
+                .checked_mul(n)
+                .and_then(|dn| dn.checked_add(d as u64))
+                .is_some(),
             "d·n overflows u64 (d = {d}, n = {n})"
         );
         ImaseItoh { d, n }

@@ -36,7 +36,9 @@ pub struct DeBruijn {
 impl DeBruijn {
     /// `B(d, D)` with alphabet size `d ≥ 2` and diameter `D ≥ 1`.
     pub fn new(d: u32, diameter: u32) -> Self {
-        DeBruijn { space: WordSpace::new(d, diameter) }
+        DeBruijn {
+            space: WordSpace::new(d, diameter),
+        }
     }
 
     /// Alphabet size / degree `d`.
@@ -56,7 +58,11 @@ impl DeBruijn {
 
     /// Out-neighbors of a word, in `α` order (Definition 2.2).
     pub fn word_neighbors(&self, x: &Word) -> Vec<Word> {
-        assert!(self.space.contains(x), "word {x} not a vertex of {}", self.name());
+        assert!(
+            self.space.contains(x),
+            "word {x} not a vertex of {}",
+            self.name()
+        );
         (0..self.d() as u8)
             .map(|alpha| {
                 let mut digits = vec![alpha];
@@ -117,8 +123,11 @@ mod tests {
             let space = *b.space();
             for u in 0..b.node_count() {
                 let word = space.unrank(u);
-                let via_words: Vec<u64> =
-                    b.word_neighbors(&word).iter().map(|w| space.rank(w)).collect();
+                let via_words: Vec<u64> = b
+                    .word_neighbors(&word)
+                    .iter()
+                    .map(|w| space.rank(w))
+                    .collect();
                 assert_eq!(b.out_neighbors(u), via_words, "vertex {word}");
             }
         }

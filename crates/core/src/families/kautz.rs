@@ -25,7 +25,9 @@ pub struct Kautz {
 impl Kautz {
     /// `K(d, D)` with degree `d ≥ 1` and diameter `D ≥ 1`.
     pub fn new(d: u32, diameter: u32) -> Self {
-        Kautz { space: KautzSpace::new(d, diameter) }
+        Kautz {
+            space: KautzSpace::new(d, diameter),
+        }
     }
 
     /// Degree `d` (alphabet is `Z_{d+1}`).
@@ -45,7 +47,11 @@ impl Kautz {
 
     /// Out-neighbors of a word, in increasing-`α` order.
     pub fn word_neighbors(&self, x: &Word) -> Vec<Word> {
-        assert!(self.space.contains(x), "word {x} not a vertex of {}", self.name());
+        assert!(
+            self.space.contains(x),
+            "word {x} not a vertex of {}",
+            self.name()
+        );
         let forbidden = x.digit(0);
         (0..=self.d() as u8)
             .filter(|&alpha| alpha != forbidden)
@@ -102,8 +108,7 @@ mod tests {
     fn word_neighbors_respect_no_repeat() {
         let k = Kautz::new(2, 3);
         let x: Word = "010".parse().unwrap();
-        let neighbors: Vec<String> =
-            k.word_neighbors(&x).iter().map(|w| w.to_string()).collect();
+        let neighbors: Vec<String> = k.word_neighbors(&x).iter().map(|w| w.to_string()).collect();
         // last letter of x is 0 -> α ∈ {1, 2}
         assert_eq!(neighbors, vec!["101", "102"]);
         for w in k.word_neighbors(&x) {

@@ -25,14 +25,20 @@ pub trait DigraphFamily {
 
     /// All out-neighbors of `u` in natural order.
     fn out_neighbors(&self, u: u64) -> Vec<u64> {
-        (0..self.degree()).map(|k| self.out_neighbor(u, k)).collect()
+        (0..self.degree())
+            .map(|k| self.out_neighbor(u, k))
+            .collect()
     }
 
     /// Materialize as a CSR [`Digraph`]. Panics if the vertex count
     /// exceeds `u32` range.
     fn digraph(&self) -> Digraph {
         let n = self.node_count();
-        assert!(n <= u32::MAX as u64, "{}: {n} vertices exceed u32 range", self.name());
+        assert!(
+            n <= u32::MAX as u64,
+            "{}: {n} vertices exceed u32 range",
+            self.name()
+        );
         Digraph::from_fn(n as usize, |u| {
             (0..self.degree()).map(move |k| self.out_neighbor(u as u64, k) as u32)
         })

@@ -36,7 +36,11 @@ pub fn materialize(n: u64, witness: impl Fn(u64) -> u64) -> Vec<u32> {
 /// Returned as a rank map; use [`prop_3_2_witness`] for the
 /// materialized form.
 pub fn prop_3_2_witness_rank(space: &WordSpace, sigma: &Perm) -> impl Fn(u64) -> u64 {
-    assert_eq!(sigma.len(), space.d() as usize, "σ must permute the alphabet");
+    assert_eq!(
+        sigma.len(),
+        space.d() as usize,
+        "σ must permute the alphabet"
+    );
     let dim = space.dim();
     let d = space.d() as u64;
     // Precompute σ^0 .. σ^{D-1} as image tables.
@@ -130,9 +134,7 @@ pub fn prop_3_9_witness(a: &AlphabetDigraph) -> Result<Vec<u32>, NotCyclicError>
 /// Rank-level Proposition 3.9 witness for instances too large to
 /// materialize. Returns a closure mapping `A(f,σ,j)` ranks to
 /// `B(d,D)` ranks.
-pub fn prop_3_9_witness_rank(
-    a: &AlphabetDigraph,
-) -> Result<impl Fn(u64) -> u64, NotCyclicError> {
+pub fn prop_3_9_witness_rank(a: &AlphabetDigraph) -> Result<impl Fn(u64) -> u64, NotCyclicError> {
     let g_inv = a.f().orbit_labeling(a.j())?.inverse();
     let space = *a.space();
     let w = prop_3_2_witness_rank(&space, a.sigma());
@@ -156,7 +158,11 @@ pub fn self_converse_witness(d: u32, diameter: u32) -> Vec<u32> {
 
 /// Compose two materialized witnesses (`g → h` then `h → k`).
 pub fn compose_witnesses(first: &[u32], second: &[u32]) -> Vec<u32> {
-    assert_eq!(first.len(), second.len(), "composing witnesses of different sizes");
+    assert_eq!(
+        first.len(),
+        second.len(),
+        "composing witnesses of different sizes"
+    );
     first.iter().map(|&mid| second[mid as usize]).collect()
 }
 
@@ -287,8 +293,9 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(0x32);
         for (d, dd) in [(2u32, 4u32), (3, 3)] {
-            let sigmas: Vec<Perm> =
-                (0..dd).map(|_| Perm::random(d as usize, &mut rng)).collect();
+            let sigmas: Vec<Perm> = (0..dd)
+                .map(|_| Perm::random(d as usize, &mut rng))
+                .collect();
             let ps = PositionalSigma::new(d, dd, sigmas);
             let witness = positional_sigma_witness(&ps);
             let b = DeBruijn::new(d, dd).digraph();

@@ -51,8 +51,10 @@ mod family;
 pub mod gossip;
 pub mod iso;
 pub mod line;
+pub mod router;
 pub mod routing;
 pub mod sequences;
 
 pub use families::{AlphabetDigraph, BSigma, DeBruijn, ImaseItoh, Kautz, PositionalSigma, Rrk};
 pub use family::DigraphFamily;
+pub use router::{BfsRouter, DeBruijnRouter, KautzRouter, Router, RoutingTable};

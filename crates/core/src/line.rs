@@ -138,7 +138,12 @@ mod tests {
         for (d, dd) in [(2u32, 1u32), (2, 4), (3, 2), (4, 2)] {
             let b = DeBruijn::new(d, dd).digraph();
             let next = DeBruijn::new(d, dd + 1).digraph();
-            assert_eq!(ops::line_digraph(&b), next, "L(B({d},{dd})) != B({d},{})", dd + 1);
+            assert_eq!(
+                ops::line_digraph(&b),
+                next,
+                "L(B({d},{dd})) != B({d},{})",
+                dd + 1
+            );
         }
     }
 
@@ -147,7 +152,12 @@ mod tests {
         for (d, dd) in [(2u32, 1u32), (2, 3), (3, 2)] {
             let k = Kautz::new(d, dd).digraph();
             let next = Kautz::new(d, dd + 1).digraph();
-            assert_eq!(ops::line_digraph(&k), next, "L(K({d},{dd})) != K({d},{})", dd + 1);
+            assert_eq!(
+                ops::line_digraph(&k),
+                next,
+                "L(K({d},{dd})) != K({d},{})",
+                dd + 1
+            );
         }
     }
 

@@ -1,0 +1,430 @@
+//! The [`Router`] abstraction: one interface over every way this
+//! workspace computes next hops, so the packet simulator and the
+//! batched traffic engine in `otis-optics` can be driven by any of
+//! them interchangeably.
+//!
+//! Three families of implementation live here:
+//!
+//! * [`DeBruijnRouter`] / [`KautzRouter`] — the paper's *tableless*
+//!   arithmetic routers: `O(D)` per hop, no precomputation beyond a
+//!   `D + 1`-entry power table, no per-query allocation (de Bruijn) —
+//!   the routing story that makes these fabrics attractive at scale;
+//! * [`RoutingTable`] — a precomputed all-pairs next-hop table for an
+//!   *arbitrary* digraph, built once with parallel reverse-BFS
+//!   ([`otis_digraph::bfs::NextHopTable`]) and then shared read-only
+//!   across every packet of a batch;
+//! * [`BfsRouter`] — the no-precomputation baseline a practitioner
+//!   would write first: one reverse-BFS **per packet**. It exists to
+//!   be measured against (see `crates/bench/benches/routing_sim.rs`),
+//!   not to be deployed.
+//!
+//! A fourth implementation, the fault-aware router that recomputes
+//! around dead optical hardware, lives in `otis_optics::faults` next
+//! to the fault model it consumes.
+
+use crate::{DeBruijn, DigraphFamily, Kautz};
+use otis_digraph::bfs::NextHopTable;
+use otis_digraph::{Digraph, INFINITY};
+use otis_words::Word;
+
+/// A next-hop chooser over vertices `0..node_count()`.
+///
+/// The contract: [`Router::next_hop`] returns a vertex one step along
+/// some path toward `dst` (not necessarily shortest, though every
+/// implementation here is), or `None` when `current == dst` or no
+/// progress is possible. Routers are `Sync` so a batch engine can
+/// share one across worker threads.
+pub trait Router: Sync {
+    /// Number of vertices routed over.
+    fn node_count(&self) -> u64;
+
+    /// Human-readable description, e.g. `table(B(2,10))`.
+    fn name(&self) -> String;
+
+    /// The next vertex on the way from `current` to `dst`; `None` if
+    /// already there or unreachable.
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64>;
+
+    /// The full vertex path `src..=dst` (inclusive of both ends), or
+    /// `None` if `dst` is unreachable. The default walks
+    /// [`Router::next_hop`] with a loop guard; implementations with a
+    /// cheaper bulk form may override.
+    fn route(&self, src: u64, dst: u64) -> Option<Vec<u64>> {
+        let hop_limit = self.node_count();
+        let mut path = vec![src];
+        let mut current = src;
+        while current != dst {
+            if path.len() as u64 > hop_limit {
+                return None; // routing loop: not a working router/pair
+            }
+            current = self.next_hop(current, dst)?;
+            path.push(current);
+        }
+        Some(path)
+    }
+
+    /// Hop count `src → dst`, or `None` if unreachable. Default walks
+    /// the route; table-backed routers answer in `O(1)`.
+    fn distance(&self, src: u64, dst: u64) -> Option<u64> {
+        self.route(src, dst).map(|path| path.len() as u64 - 1)
+    }
+}
+
+// ----- arithmetic (tableless) routers ----------------------------------------
+
+/// Tableless `O(D)` shortest-path router on `B(d, D)`.
+///
+/// Carries the `d^0..=d^D` power table so the per-hop digit arithmetic
+/// never recomputes powers (the hot-loop hoisting that
+/// `routing::distance` gets by running the powers incrementally).
+#[derive(Debug, Clone)]
+pub struct DeBruijnRouter {
+    b: DeBruijn,
+    /// `powers[i] = d^i`, `i ∈ 0..=D`.
+    powers: Box<[u64]>,
+}
+
+impl DeBruijnRouter {
+    pub fn new(b: DeBruijn) -> Self {
+        let d = b.d() as u64;
+        let dim = b.diameter() as usize;
+        let mut powers = Vec::with_capacity(dim + 1);
+        let mut power = 1u64;
+        for _ in 0..=dim {
+            powers.push(power);
+            power = power.saturating_mul(d); // top entry d^D = node_count, exact
+        }
+        powers[dim] = b.node_count();
+        DeBruijnRouter {
+            b,
+            powers: powers.into_boxed_slice(),
+        }
+    }
+
+    /// The family routed over.
+    pub fn family(&self) -> &DeBruijn {
+        &self.b
+    }
+
+    /// Shortest-path distance from `x` to `y`: the smallest `k` with
+    /// `⌊y / d^k⌋ = x mod d^{D-k}` — pure table lookups, no `pow`.
+    #[inline]
+    pub fn debruijn_distance(&self, x: u64, y: u64) -> u32 {
+        let dim = self.b.diameter();
+        for k in 0..=dim {
+            if y / self.powers[k as usize] == x % self.powers[(dim - k) as usize] {
+                return k;
+            }
+        }
+        unreachable!("k = D always matches")
+    }
+}
+
+impl Router for DeBruijnRouter {
+    fn node_count(&self) -> u64 {
+        self.b.node_count()
+    }
+
+    fn name(&self) -> String {
+        format!("arithmetic({})", self.b.name())
+    }
+
+    #[inline]
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        let k = self.debruijn_distance(current, dst);
+        if k == 0 {
+            return None;
+        }
+        // Shift in digit y_{k-1} of the destination.
+        let d = self.b.d() as u64;
+        let dim = self.b.diameter() as usize;
+        let digit = (dst / self.powers[k as usize - 1]) % d;
+        Some((current % self.powers[dim - 1]) * d + digit)
+    }
+
+    fn distance(&self, src: u64, dst: u64) -> Option<u64> {
+        Some(self.debruijn_distance(src, dst) as u64)
+    }
+}
+
+/// Tableless `O(D)` shortest-path router on `K(d, D)` word ranks.
+///
+/// Routes by the same longest-overlap rule as de Bruijn, through the
+/// Kautz word codec (so each hop costs one unrank/rank pair — still
+/// `O(D)`, with two small allocations).
+#[derive(Debug, Clone)]
+pub struct KautzRouter {
+    k: Kautz,
+}
+
+impl KautzRouter {
+    pub fn new(k: Kautz) -> Self {
+        KautzRouter { k }
+    }
+
+    /// The family routed over.
+    pub fn family(&self) -> &Kautz {
+        &self.k
+    }
+}
+
+impl Router for KautzRouter {
+    fn node_count(&self) -> u64 {
+        self.k.node_count()
+    }
+
+    fn name(&self) -> String {
+        format!("arithmetic({})", self.k.name())
+    }
+
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        let space = self.k.space();
+        let x = space.unrank(current);
+        let y = space.unrank(dst);
+        let steps = crate::routing::kautz_distance(&self.k, &x, &y) as usize;
+        if steps == 0 {
+            return None;
+        }
+        // One left shift, appending the destination's digit y_{steps-1}.
+        let mut positions: Vec<u8> = x.positions().to_vec();
+        positions.rotate_right(1);
+        positions[0] = y.digit(steps - 1);
+        Some(space.rank(&Word::from_positions(positions)))
+    }
+
+    fn distance(&self, src: u64, dst: u64) -> Option<u64> {
+        let space = self.k.space();
+        Some(crate::routing::kautz_distance(&self.k, &space.unrank(src), &space.unrank(dst)) as u64)
+    }
+}
+
+// ----- precomputed table router ----------------------------------------------
+
+/// Precomputed all-pairs next-hop router for an arbitrary digraph.
+///
+/// Construction runs one reverse-BFS per destination in parallel
+/// (`otis_util::par` under [`NextHopTable::build`]); afterwards every
+/// `next_hop` is a single array load, so batches of millions of
+/// packets route at memory speed. Works on any materialized fabric —
+/// de Bruijn, Kautz, `II`/`RRK` at non-power sizes, faulted networks.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    table: NextHopTable,
+    label: String,
+}
+
+impl RoutingTable {
+    /// Build from a materialized digraph.
+    pub fn new(g: &Digraph) -> Self {
+        RoutingTable {
+            table: NextHopTable::build(g),
+            label: format!("{} nodes", g.node_count()),
+        }
+    }
+
+    /// Build from any family (materializes it first).
+    pub fn from_family<F: DigraphFamily>(family: &F) -> Self {
+        RoutingTable {
+            table: NextHopTable::build(&family.digraph()),
+            label: family.name(),
+        }
+    }
+
+    /// Shortest-path distance, `O(1)` ([`INFINITY`] if unreachable).
+    #[inline]
+    pub fn table_distance(&self, src: u64, dst: u64) -> u32 {
+        self.table.distance(src as u32, dst as u32)
+    }
+}
+
+impl Router for RoutingTable {
+    fn node_count(&self) -> u64 {
+        self.table.node_count() as u64
+    }
+
+    fn name(&self) -> String {
+        format!("table({})", self.label)
+    }
+
+    #[inline]
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        self.table
+            .next_hop(current as u32, dst as u32)
+            .map(u64::from)
+    }
+
+    fn distance(&self, src: u64, dst: u64) -> Option<u64> {
+        let distance = self.table_distance(src, dst);
+        (distance != INFINITY).then_some(distance as u64)
+    }
+}
+
+// ----- per-packet BFS baseline ----------------------------------------------
+
+/// The no-precomputation baseline: one reverse-BFS **per route call**
+/// (exactly what `OtisSimulator::send_shortest` historically did per
+/// packet). Correct everywhere, catastrophically slower than
+/// [`RoutingTable`] on batches — which is the point of benchmarking it.
+#[derive(Debug, Clone)]
+pub struct BfsRouter {
+    g: Digraph,
+    rev: Digraph,
+}
+
+impl BfsRouter {
+    pub fn new(g: &Digraph) -> Self {
+        BfsRouter {
+            g: g.clone(),
+            rev: otis_digraph::ops::reverse(g),
+        }
+    }
+
+    /// The digraph routed over.
+    pub fn digraph(&self) -> &Digraph {
+        &self.g
+    }
+}
+
+impl Router for BfsRouter {
+    fn node_count(&self) -> u64 {
+        self.g.node_count() as u64
+    }
+
+    fn name(&self) -> String {
+        format!("per-packet-bfs({} nodes)", self.g.node_count())
+    }
+
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        if current == dst {
+            return None;
+        }
+        let dist_to_dst = otis_digraph::bfs::distances(&self.rev, dst as u32);
+        let here = dist_to_dst[current as usize];
+        if here == INFINITY {
+            return None;
+        }
+        self.g
+            .out_neighbors(current as u32)
+            .iter()
+            .find(|&&v| dist_to_dst[v as usize] == here - 1)
+            .map(|&v| v as u64)
+    }
+
+    fn route(&self, src: u64, dst: u64) -> Option<Vec<u64>> {
+        // One BFS for the whole packet, then a pure table walk.
+        let dist_to_dst = otis_digraph::bfs::distances(&self.rev, dst as u32);
+        if dist_to_dst[src as usize] == INFINITY {
+            return None;
+        }
+        let mut path = Vec::with_capacity(dist_to_dst[src as usize] as usize + 1);
+        let mut current = src as u32;
+        path.push(src);
+        while current != dst as u32 {
+            let here = dist_to_dst[current as usize];
+            current = *self
+                .g
+                .out_neighbors(current)
+                .iter()
+                .find(|&&v| dist_to_dst[v as usize] == here - 1)
+                .expect("finite distance implies a descending neighbor");
+            path.push(current as u64);
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_digraph::bfs;
+
+    fn assert_agrees_with_bfs(router: &dyn Router, g: &Digraph) {
+        let n = g.node_count();
+        assert_eq!(router.node_count(), n as u64);
+        for src in 0..n as u32 {
+            let dist = bfs::distances(g, src);
+            for dst in 0..n as u32 {
+                let expected = dist[dst as usize];
+                match router.route(src as u64, dst as u64) {
+                    None => assert_eq!(expected, INFINITY, "{src}->{dst} should be routable"),
+                    Some(path) => {
+                        assert_eq!(path.len() as u32 - 1, expected, "{src}->{dst} length");
+                        assert_eq!(path[0], src as u64);
+                        assert_eq!(*path.last().unwrap(), dst as u64);
+                        for pair in path.windows(2) {
+                            assert!(
+                                g.has_arc(pair[0] as u32, pair[1] as u32),
+                                "invalid hop {} -> {}",
+                                pair[0],
+                                pair[1]
+                            );
+                        }
+                    }
+                }
+                assert_eq!(
+                    router.distance(src as u64, dst as u64),
+                    (expected != INFINITY).then_some(expected as u64)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn debruijn_router_exhaustive() {
+        for (d, dim) in [(2u32, 4u32), (3, 3), (4, 2)] {
+            let b = DeBruijn::new(d, dim);
+            let g = b.digraph();
+            assert_agrees_with_bfs(&DeBruijnRouter::new(b), &g);
+        }
+    }
+
+    #[test]
+    fn kautz_router_exhaustive() {
+        for (d, dim) in [(2u32, 3u32), (3, 2)] {
+            let k = Kautz::new(d, dim);
+            let g = k.digraph();
+            assert_agrees_with_bfs(&KautzRouter::new(k), &g);
+        }
+    }
+
+    #[test]
+    fn table_router_exhaustive_on_families() {
+        let b = DeBruijn::new(2, 5);
+        assert_agrees_with_bfs(&RoutingTable::from_family(&b), &b.digraph());
+        let k = Kautz::new(2, 3);
+        assert_agrees_with_bfs(&RoutingTable::from_family(&k), &k.digraph());
+    }
+
+    #[test]
+    fn bfs_router_exhaustive() {
+        let b = DeBruijn::new(2, 4);
+        let g = b.digraph();
+        assert_agrees_with_bfs(&BfsRouter::new(&g), &g);
+    }
+
+    #[test]
+    fn routers_agree_with_each_other() {
+        let b = DeBruijn::new(3, 3);
+        let g = b.digraph();
+        let arithmetic = DeBruijnRouter::new(b);
+        let table = RoutingTable::new(&g);
+        let baseline = BfsRouter::new(&g);
+        for src in 0..g.node_count() as u64 {
+            for dst in 0..g.node_count() as u64 {
+                let expected = arithmetic.distance(src, dst);
+                assert_eq!(table.distance(src, dst), expected);
+                assert_eq!(baseline.distance(src, dst), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn table_router_handles_disconnection() {
+        let g = Digraph::from_fn(4, |u| if u < 2 { vec![(u + 1) % 2] } else { vec![] });
+        let table = RoutingTable::new(&g);
+        assert_eq!(table.route(0, 1), Some(vec![0, 1]));
+        assert_eq!(table.route(2, 0), None);
+        assert_eq!(table.distance(2, 0), None);
+        assert_eq!(table.route(3, 3), Some(vec![3]));
+    }
+}

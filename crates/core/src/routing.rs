@@ -21,12 +21,15 @@ pub fn distance(b: &DeBruijn, x: u64, y: u64) -> u32 {
     assert!(x < n && y < n, "vertices out of range");
     let d = b.d() as u64;
     let dim = b.diameter();
+    // Both powers run incrementally — no `pow` calls in the loop.
     let mut suffix_modulus = n; // d^{D-k}
+    let mut prefix_divisor = 1u64; // d^k
     for k in 0..=dim {
-        if y / digits::pow(d, k) == x % suffix_modulus {
+        if y / prefix_divisor == x % suffix_modulus {
             return k;
         }
         suffix_modulus /= d;
+        prefix_divisor = prefix_divisor.saturating_mul(d);
     }
     unreachable!("k = D always matches (both sides become the whole word)")
 }
@@ -39,11 +42,17 @@ pub fn shortest_path(b: &DeBruijn, x: u64, y: u64) -> Vec<u64> {
     let n = b.node_count();
     let k = distance(b, x, y);
     let mut path = Vec::with_capacity(k as usize + 1);
-    for t in 0..=k {
+    // d^t and d^{k-t} run incrementally across hops — one `pow` call
+    // total instead of three per hop.
+    let mut dt = 1u64; // d^t
+    let mut dkt = digits::pow(d, k); // d^{k-t}
+    for _ in 0..=k {
         // z_t = (x mod d^{D-t})·d^t + top-t digits of y's low-k block.
-        let kept = x % (n / digits::pow(d, t));
-        let injected = (y / digits::pow(d, k - t)) % digits::pow(d, t);
-        path.push(kept * digits::pow(d, t) + injected);
+        let kept = x % (n / dt);
+        let injected = (y / dkt) % dt;
+        path.push(kept * dt + injected);
+        dt = dt.saturating_mul(d);
+        dkt /= d;
     }
     path
 }
@@ -127,7 +136,12 @@ pub fn single_port_broadcast(b: &DeBruijn, root: u64) -> Vec<Vec<(u64, u64)>> {
 /// word makes every junction legal (`y_{k-1} ≠ y_k = x_0`).
 pub fn kautz_distance(k: &Kautz, x: &Word, y: &Word) -> u32 {
     let space = k.space();
-    assert!(space.contains(x) && space.contains(y), "not Kautz({},{}) words", k.d(), k.diameter());
+    assert!(
+        space.contains(x) && space.contains(y),
+        "not Kautz({},{}) words",
+        k.d(),
+        k.diameter()
+    );
     let dim = k.diameter() as usize;
     'shift: for steps in 0..=dim {
         for position in 0..dim - steps {

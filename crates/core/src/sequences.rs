@@ -29,7 +29,10 @@ pub fn debruijn_sequence(d: u32, k: u32) -> Vec<u8> {
     let circuit = otis_digraph::euler::eulerian_circuit(&g)
         .expect("B(d,D) is Eulerian: in-degree = out-degree = d, strongly connected");
     // Arc id a = d·u + α appends letter α (the digit shifted in).
-    circuit.iter().map(|&arc| (arc as u64 % d as u64) as u8).collect()
+    circuit
+        .iter()
+        .map(|&arc| (arc as u64 % d as u64) as u8)
+        .collect()
 }
 
 /// A Hamiltonian cycle of `B(d, D)` (vertex ranks, in visit order,
@@ -46,8 +49,8 @@ pub fn hamiltonian_cycle(d: u32, diameter: u32) -> Vec<u64> {
         return (0..d as u64).collect();
     }
     let lower = DeBruijn::new(d, diameter - 1);
-    let circuit = otis_digraph::euler::eulerian_circuit(&lower.digraph())
-        .expect("B(d,D-1) is Eulerian");
+    let circuit =
+        otis_digraph::euler::eulerian_circuit(&lower.digraph()).expect("B(d,D-1) is Eulerian");
     circuit.into_iter().map(|arc| arc as u64).collect()
 }
 
@@ -107,9 +110,15 @@ mod tests {
     #[test]
     fn checker_rejects_defects() {
         // Right length, wrong content.
-        assert!(!is_debruijn_sequence(2, 2, &[0, 0, 1, 0]), "window 00 repeats");
+        assert!(
+            !is_debruijn_sequence(2, 2, &[0, 0, 1, 0]),
+            "window 00 repeats"
+        );
         assert!(!is_debruijn_sequence(2, 2, &[0, 0, 1]), "wrong length");
-        assert!(!is_debruijn_sequence(2, 2, &[0, 0, 2, 1]), "letter out of range");
+        assert!(
+            !is_debruijn_sequence(2, 2, &[0, 0, 2, 1]),
+            "letter out of range"
+        );
         // A known-good order-2 binary sequence.
         assert!(is_debruijn_sequence(2, 2, &[0, 0, 1, 1]));
     }
@@ -122,7 +131,10 @@ mod tests {
             assert_eq!(cycle.len() as u64, b.node_count(), "B({d},{dd})");
             let mut seen = vec![false; cycle.len()];
             for &v in &cycle {
-                assert!(!std::mem::replace(&mut seen[v as usize], true), "vertex {v} repeated");
+                assert!(
+                    !std::mem::replace(&mut seen[v as usize], true),
+                    "vertex {v} repeated"
+                );
             }
             // Consecutive vertices (cyclically) must be arcs of B(d,D).
             let g = b.digraph();

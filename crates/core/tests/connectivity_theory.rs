@@ -11,11 +11,7 @@ use otis_digraph::flow;
 fn debruijn_arc_connectivity_is_d_minus_1() {
     for (d, dd) in [(2u32, 3u32), (2, 4), (3, 2), (3, 3), (4, 2)] {
         let g = DeBruijn::new(d, dd).digraph();
-        assert_eq!(
-            flow::arc_connectivity(&g),
-            d as usize - 1,
-            "λ(B({d},{dd}))"
-        );
+        assert_eq!(flow::arc_connectivity(&g), d as usize - 1, "λ(B({d},{dd}))");
     }
 }
 
@@ -59,7 +55,11 @@ fn loop_vertex_is_the_bottleneck() {
     // The minimum cut of B(2,D) isolates a constant word: vertex 0
     // (word 00…0) has out-arcs {loop, 0→1}; cutting 0→1 severs it.
     let g = DeBruijn::new(2, 4).digraph();
-    assert_eq!(flow::max_flow_unit(&g, 0, 7), 1, "flow out of the all-zeros word");
+    assert_eq!(
+        flow::max_flow_unit(&g, 0, 7),
+        1,
+        "flow out of the all-zeros word"
+    );
     // A Kautz digraph has no loops, hence no such bottleneck.
     let k = Kautz::new(2, 4).digraph();
     for v in 1..6u32 {

@@ -126,6 +126,112 @@ pub fn diameter_at_most(g: &Digraph, cap: u32) -> Option<u32> {
     Some(best)
 }
 
+/// All-destinations next-hop table: for every ordered pair `(u, dst)`,
+/// the first hop of some shortest `u → dst` path, plus the distance.
+///
+/// Built once with one reverse-BFS per destination (destinations
+/// sharded over scoped threads like [`eccentricities`]); after that,
+/// every routing query is an array load. This is the precomputation
+/// that turns per-packet BFS routing into per-packet table lookups —
+/// the batched traffic engine's whole speedup.
+///
+/// Storage is two `n²` arrays of `u32`, so the table is meant for
+/// fabrics up to a few thousand nodes (`n = 4096` costs 128 MiB);
+/// [`NextHopTable::build`] asserts a generous cap rather than
+/// thrashing silently.
+#[derive(Debug, Clone)]
+pub struct NextHopTable {
+    n: usize,
+    /// `next[dst * n + u]`: next hop from `u` toward `dst`;
+    /// [`INFINITY`] when `dst` is unreachable from `u` (or `u == dst`).
+    next: Box<[u32]>,
+    /// `dist[dst * n + u]`: shortest-path distance `u → dst`.
+    dist: Box<[u32]>,
+}
+
+impl NextHopTable {
+    /// Maximum node count the quadratic table accepts (512 MiB of
+    /// entries); larger fabrics should route arithmetically.
+    pub const MAX_NODES: usize = 8192;
+
+    /// Build the table for `g` by parallel reverse-BFS, one source per
+    /// destination.
+    pub fn build(g: &Digraph) -> Self {
+        let n = g.node_count();
+        assert!(
+            n <= Self::MAX_NODES,
+            "next-hop table would need {n}² entries; cap is {}²",
+            Self::MAX_NODES
+        );
+        let rev = crate::ops::reverse(g);
+        // One (next, dist) column pair per destination; chunked so each
+        // worker reuses its BFS buffers across its whole shard.
+        const CHUNK: usize = 8;
+        let columns = otis_util::par_map(n.div_ceil(CHUNK), 1, |chunk_index| {
+            let start = chunk_index * CHUNK;
+            let end = ((chunk_index + 1) * CHUNK).min(n);
+            let mut dist_to = Vec::new();
+            let mut queue = std::collections::VecDeque::new();
+            let mut next = Vec::with_capacity((end - start) * n);
+            let mut dist = Vec::with_capacity((end - start) * n);
+            for dst in start..end {
+                // Distances *toward* dst = BFS on the reverse digraph.
+                distances_into(&rev, dst as u32, &mut dist_to, &mut queue);
+                for u in 0..n as u32 {
+                    let here = dist_to[u as usize];
+                    let hop = if here == INFINITY || here == 0 {
+                        INFINITY
+                    } else {
+                        // Any out-neighbor one step closer to dst; the
+                        // first (smallest, since CSR neighbors are
+                        // sorted) keeps routes deterministic. Compare
+                        // with `here - 1` so INFINITY neighbors never
+                        // overflow.
+                        *g.out_neighbors(u)
+                            .iter()
+                            .find(|&&v| dist_to[v as usize] == here - 1)
+                            .expect("a finite-distance vertex has a descending neighbor")
+                    };
+                    next.push(hop);
+                    dist.push(here);
+                }
+            }
+            (next, dist)
+        });
+        let mut next = Vec::with_capacity(n * n);
+        let mut dist = Vec::with_capacity(n * n);
+        for (next_chunk, dist_chunk) in columns {
+            next.extend(next_chunk);
+            dist.extend(dist_chunk);
+        }
+        NextHopTable {
+            n,
+            next: next.into_boxed_slice(),
+            dist: dist.into_boxed_slice(),
+        }
+    }
+
+    /// Number of vertices the table covers.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Next hop from `u` toward `dst`: `None` if `u == dst` or `dst`
+    /// is unreachable from `u`.
+    #[inline]
+    pub fn next_hop(&self, u: u32, dst: u32) -> Option<u32> {
+        let hop = self.next[dst as usize * self.n + u as usize];
+        (hop != INFINITY).then_some(hop)
+    }
+
+    /// Shortest-path distance `u → dst` ([`INFINITY`] if unreachable).
+    #[inline]
+    pub fn distance(&self, u: u32, dst: u32) -> u32 {
+        self.dist[dst as usize * self.n + u as usize]
+    }
+}
+
 /// Histogram of finite pairwise distances: `out[k]` = number of
 /// ordered pairs at distance exactly `k`. A cheap isomorphism
 /// invariant and the basis of average-distance reporting.
@@ -241,5 +347,55 @@ mod tests {
     fn mean_distance_edge_cases() {
         assert_eq!(mean_distance(&Digraph::empty(1)), None);
         assert_eq!(mean_distance(&Digraph::empty(3)), None, "no finite pairs");
+    }
+
+    #[test]
+    fn next_hop_table_on_cycle() {
+        let g = cycle(7);
+        let table = NextHopTable::build(&g);
+        for u in 0..7u32 {
+            for dst in 0..7u32 {
+                assert_eq!(table.distance(u, dst), (dst + 7 - u) % 7);
+                if u == dst {
+                    assert_eq!(table.next_hop(u, dst), None);
+                } else {
+                    assert_eq!(table.next_hop(u, dst), Some((u + 1) % 7));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_table_matches_bfs_and_walks_shortest_paths() {
+        // Irregular digraph: cycle plus multiplicative chords.
+        let n = 97u32;
+        let g = Digraph::from_fn(n as usize, |u| vec![(u + 1) % n, (u * 5 + 2) % n]);
+        let table = NextHopTable::build(&g);
+        for src in 0..n {
+            let dist = distances(&g, src);
+            for dst in 0..n {
+                assert_eq!(table.distance(src, dst), dist[dst as usize], "{src}->{dst}");
+                // Walking the table must reach dst in exactly that many hops.
+                let mut current = src;
+                let mut hops = 0;
+                while current != dst {
+                    current = table.next_hop(current, dst).expect("strongly connected");
+                    hops += 1;
+                    assert!(hops <= n, "routing loop {src}->{dst}");
+                }
+                assert_eq!(hops, dist[dst as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn next_hop_table_unreachable_is_none() {
+        let g = Digraph::from_fn(3, |u| if u == 0 { vec![1] } else { vec![] });
+        let table = NextHopTable::build(&g);
+        assert_eq!(table.next_hop(0, 1), Some(1));
+        assert_eq!(table.next_hop(1, 0), None);
+        assert_eq!(table.distance(2, 0), INFINITY);
+        assert_eq!(table.next_hop(2, 2), None, "self-route needs no hop");
+        assert_eq!(table.distance(2, 2), 0);
     }
 }

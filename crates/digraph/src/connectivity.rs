@@ -27,7 +27,10 @@ pub fn weak_components(g: &Digraph) -> Components {
         }
         labels[u as usize] = labels[root];
     }
-    Components { labels, count: count as usize }
+    Components {
+        labels,
+        count: count as usize,
+    }
 }
 
 /// Strongly connected components by Tarjan's algorithm, iterative so
@@ -77,8 +80,7 @@ pub fn strong_components(g: &Digraph) -> Components {
             } else {
                 frames.pop();
                 if let Some(&mut (parent, _)) = frames.last_mut() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[u as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[u as usize]);
                 }
                 if lowlink[u as usize] == index[u as usize] {
                     // u is an SCC root; pop its component.
@@ -96,7 +98,10 @@ pub fn strong_components(g: &Digraph) -> Components {
         }
     }
 
-    Components { labels: labels.into_iter().collect(), count: count as usize }
+    Components {
+        labels: labels.into_iter().collect(),
+        count: count as usize,
+    }
 }
 
 /// True iff the digraph is strongly connected (and nonempty).

@@ -88,9 +88,7 @@ pub fn arc_connectivity(g: &Digraph) -> usize {
     // cut separates vertex 0 from some vertex in one direction.
     let mut best = usize::MAX;
     for v in 1..n as u32 {
-        best = best
-            .min(max_flow_unit(g, 0, v))
-            .min(max_flow_unit(g, v, 0));
+        best = best.min(max_flow_unit(g, 0, v)).min(max_flow_unit(g, v, 0));
         if best == 0 {
             break;
         }

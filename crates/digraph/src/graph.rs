@@ -43,7 +43,10 @@ impl Digraph {
         for u in 0..n as u32 {
             let start = targets.len();
             for v in neighbors(u) {
-                assert!((v as usize) < n, "arc {u} -> {v} leaves vertex range 0..{n}");
+                assert!(
+                    (v as usize) < n,
+                    "arc {u} -> {v} leaves vertex range 0..{n}"
+                );
                 targets.push(v);
             }
             targets[start..].sort_unstable();
@@ -168,7 +171,10 @@ impl DigraphBuilder {
     /// Builder for a digraph with `n` vertices.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "vertex count {n} exceeds u32 range");
-        DigraphBuilder { n, arcs: Vec::new() }
+        DigraphBuilder {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Pre-allocate for `m` arcs.
@@ -180,8 +186,16 @@ impl DigraphBuilder {
 
     /// Add the arc `u → v`.
     pub fn add_arc(&mut self, u: u32, v: u32) -> &mut Self {
-        assert!((u as usize) < self.n, "source {u} out of range 0..{}", self.n);
-        assert!((v as usize) < self.n, "target {v} out of range 0..{}", self.n);
+        assert!(
+            (u as usize) < self.n,
+            "source {u} out of range 0..{}",
+            self.n
+        );
+        assert!(
+            (v as usize) < self.n,
+            "target {v} out of range 0..{}",
+            self.n
+        );
         self.arcs.push((u, v));
         self
     }
@@ -211,7 +225,10 @@ impl DigraphBuilder {
         for u in 0..self.n {
             targets[offsets[u]..offsets[u + 1]].sort_unstable();
         }
-        Digraph { offsets, targets: targets.into_boxed_slice() }
+        Digraph {
+            offsets,
+            targets: targets.into_boxed_slice(),
+        }
     }
 }
 

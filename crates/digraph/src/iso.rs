@@ -63,7 +63,10 @@ impl std::error::Error for WitnessError {}
 pub fn check_witness(g: &Digraph, h: &Digraph, witness: &[u32]) -> Result<(), WitnessError> {
     let n = g.node_count();
     if n != h.node_count() {
-        return Err(WitnessError::NodeCountMismatch { left: n, right: h.node_count() });
+        return Err(WitnessError::NodeCountMismatch {
+            left: n,
+            right: h.node_count(),
+        });
     }
     if g.arc_count() != h.arc_count() {
         return Err(WitnessError::ArcCountMismatch {
@@ -72,7 +75,10 @@ pub fn check_witness(g: &Digraph, h: &Digraph, witness: &[u32]) -> Result<(), Wi
         });
     }
     if witness.len() != n {
-        return Err(WitnessError::WrongLength { expected: n, actual: witness.len() });
+        return Err(WitnessError::WrongLength {
+            expected: n,
+            actual: witness.len(),
+        });
     }
     let mut seen = vec![false; n];
     for &image in witness {
@@ -125,12 +131,7 @@ pub fn find_isomorphism(g: &Digraph, h: &Digraph) -> Option<Vec<u32>> {
 
     // Order g's vertices rarest-class-first so the search fails fast.
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.sort_by_key(|&u| {
-        (
-            class_h.get(&profile_g[u as usize]).map_or(0, Vec::len),
-            u,
-        )
-    });
+    order.sort_by_key(|&u| (class_h.get(&profile_g[u as usize]).map_or(0, Vec::len), u));
 
     let rev_g = crate::ops::reverse(g);
     let rev_h = crate::ops::reverse(h);
@@ -316,7 +317,10 @@ mod tests {
 
     #[test]
     fn vf2_empty_graphs() {
-        assert_eq!(find_isomorphism(&Digraph::empty(0), &Digraph::empty(0)), Some(vec![]));
+        assert_eq!(
+            find_isomorphism(&Digraph::empty(0), &Digraph::empty(0)),
+            Some(vec![])
+        );
         assert!(are_isomorphic(&Digraph::empty(3), &Digraph::empty(3)));
         assert!(!are_isomorphic(&Digraph::empty(3), &Digraph::empty(4)));
     }

@@ -86,7 +86,10 @@ pub fn complete_with_loops(n: usize) -> Digraph {
 /// `a → b` iff `target(a) = source(b)`.
 pub fn line_digraph(g: &Digraph) -> Digraph {
     let m = g.arc_count();
-    assert!(m <= u32::MAX as usize, "line digraph vertex count overflows u32");
+    assert!(
+        m <= u32::MAX as usize,
+        "line digraph vertex count overflows u32"
+    );
     Digraph::from_fn(m, |a| {
         let v = g.arc_target(a as usize);
         g.arc_range(v).map(|b| b as u32).collect::<Vec<u32>>()
@@ -116,7 +119,10 @@ pub fn relabel(g: &Digraph, mapping: &[u32]) -> Digraph {
     let mut inverse = vec![u32::MAX; n];
     for (new, &old) in mapping.iter().enumerate() {
         assert!((old as usize) < n, "relabel image {old} out of range");
-        assert!(inverse[old as usize] == u32::MAX, "relabel mapping not injective at {old}");
+        assert!(
+            inverse[old as usize] == u32::MAX,
+            "relabel mapping not injective at {old}"
+        );
         inverse[old as usize] = new as u32;
     }
     Digraph::from_fn(n, |new_u| {
@@ -208,9 +214,7 @@ mod tests {
         let g = Digraph::from_fn(4, |u| vec![(u + 1) % 4, (u + 3) % 4]);
         let l = line_digraph(&g);
         let indeg = g.in_degrees();
-        let expected: usize = (0..4u32)
-            .map(|v| indeg[v as usize] * g.out_degree(v))
-            .sum();
+        let expected: usize = (0..4u32).map(|v| indeg[v as usize] * g.out_degree(v)).sum();
         assert_eq!(l.arc_count(), expected);
         assert_eq!(l.node_count(), g.arc_count());
     }

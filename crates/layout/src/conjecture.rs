@@ -55,7 +55,10 @@ impl ConjectureScan {
     /// The counterexamples, if any: isomorphic pairs that are not
     /// power-of-`d` splits (or characterized splits that fail).
     pub fn counterexamples(&self) -> Vec<&PairVerdict> {
-        self.pairs.iter().filter(|v| v.characterized != v.isomorphic).collect()
+        self.pairs
+            .iter()
+            .filter(|v| v.characterized != v.isomorphic)
+            .collect()
     }
 }
 
@@ -90,7 +93,12 @@ pub fn scan(d: u32, diameter: u32) -> ConjectureScan {
             let h = HDigraph::new(p, q, d).digraph();
             let isomorphic = !otis_digraph::invariants::definitely_not_isomorphic(&h, &b)
                 && otis_digraph::iso::are_isomorphic(&h, &b);
-            pairs.push(PairVerdict { p, q, characterized, isomorphic });
+            pairs.push(PairVerdict {
+                p,
+                q,
+                characterized,
+                isomorphic,
+            });
         }
         p += 1;
     }

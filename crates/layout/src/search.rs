@@ -32,12 +32,7 @@ pub struct SearchRow {
 ///
 /// Only `p ≤ q` is enumerated: `H(q, p, d)` is the reverse digraph of
 /// `H(p, q, d)` (Section 4.2) and reversal preserves diameters.
-pub fn degree_diameter_search(
-    d: u32,
-    diameter: u32,
-    n_min: u64,
-    n_max: u64,
-) -> Vec<SearchRow> {
+pub fn degree_diameter_search(d: u32, diameter: u32, n_min: u64, n_max: u64) -> Vec<SearchRow> {
     assert!(d >= 1 && n_min >= 1 && n_min <= n_max);
     let count = (n_max - n_min + 1) as usize;
     let rows = otis_util::par_map(count, 4, |index| {
@@ -45,7 +40,9 @@ pub fn degree_diameter_search(
         let pairs = pairs_with_diameter(d, diameter, n);
         SearchRow { n, pairs }
     });
-    rows.into_iter().filter(|row| !row.pairs.is_empty()).collect()
+    rows.into_iter()
+        .filter(|row| !row.pairs.is_empty())
+        .collect()
 }
 
 /// The factor pairs `(p, q)`, `p ≤ q`, `pq = dn`, with
@@ -71,13 +68,10 @@ fn pairs_with_diameter(d: u32, diameter: u32, n: u64) -> Vec<(u64, u64)> {
 
 /// The largest `n` admitting an OTIS digraph of the target diameter
 /// within the searched range, with its realizing pairs.
-pub fn largest_for_diameter(
-    d: u32,
-    diameter: u32,
-    n_min: u64,
-    n_max: u64,
-) -> Option<SearchRow> {
-    degree_diameter_search(d, diameter, n_min, n_max).into_iter().last()
+pub fn largest_for_diameter(d: u32, diameter: u32, n_min: u64, n_max: u64) -> Option<SearchRow> {
+    degree_diameter_search(d, diameter, n_min, n_max)
+        .into_iter()
+        .last()
 }
 
 #[cfg(test)]
@@ -96,7 +90,10 @@ mod tests {
         assert_eq!(by_n[&254], vec![(2, 254)]);
         assert_eq!(by_n[&255], vec![(2, 255)]);
         assert_eq!(by_n[&256], vec![(2, 256), (4, 128), (16, 32)]);
-        assert!(!by_n.contains_key(&257), "257 has no diameter-8 OTIS digraph");
+        assert!(
+            !by_n.contains_key(&257),
+            "257 has no diameter-8 OTIS digraph"
+        );
         assert_eq!(by_n[&258], vec![(2, 258)]);
     }
 
@@ -107,7 +104,11 @@ mod tests {
         let ns: Vec<u64> = rows.iter().map(|r| r.n).collect();
         assert_eq!(ns, vec![264, 288, 384]);
         let last = rows.last().unwrap();
-        assert_eq!(last.pairs, vec![(2, 384)], "K(2,8) realized only as OTIS(2,384)");
+        assert_eq!(
+            last.pairs,
+            vec![(2, 384)],
+            "K(2,8) realized only as OTIS(2,384)"
+        );
     }
 
     #[test]
@@ -126,7 +127,11 @@ mod tests {
         let by_n: std::collections::BTreeMap<u64, Vec<(u64, u64)>> =
             rows.into_iter().map(|r| (r.n, r.pairs)).collect();
         assert_eq!(by_n[&509], vec![(2, 509)]);
-        assert_eq!(by_n[&512], vec![(2, 512), (8, 128)], "note: (16,64) is NOT here");
+        assert_eq!(
+            by_n[&512],
+            vec![(2, 512), (8, 128)],
+            "note: (16,64) is NOT here"
+        );
         assert_eq!(by_n[&513], vec![(2, 513)]);
         assert_eq!(by_n[&516], vec![(2, 516)]);
         assert_eq!(by_n[&528], vec![(2, 528)]);
@@ -139,7 +144,10 @@ mod tests {
         // 512 = 2^9: the split (16, 64) = (2^4, 2^6) has non-cyclic f
         // (p'=4, q'=6, D=9) — verify the search agrees with theory.
         assert!(!crate::LayoutSpec::new(2, 4, 6).is_debruijn());
-        assert!(crate::LayoutSpec::new(2, 3, 7).is_debruijn(), "(8,128) works");
+        assert!(
+            crate::LayoutSpec::new(2, 3, 7).is_debruijn(),
+            "(8,128) works"
+        );
     }
 
     #[test]
@@ -159,10 +167,16 @@ mod tests {
         let rows = degree_diameter_search(3, 3, 27, 27);
         assert_eq!(rows.len(), 1);
         let pairs = &rows[0].pairs;
-        assert!(pairs.contains(&(3, 27)), "II layout shape missing: {pairs:?}");
+        assert!(
+            pairs.contains(&(3, 27)),
+            "II layout shape missing: {pairs:?}"
+        );
         // (9,9): p'=q'=2, D=3 — Proposition 4.3 says NOT de Bruijn;
         // but it could still have diameter 3 as a non-B digraph only
         // if connected — it is not (f non-cyclic ⇒ disconnected).
-        assert!(!pairs.contains(&(9, 9)), "balanced odd split must be disconnected");
+        assert!(
+            !pairs.contains(&(9, 9)),
+            "balanced odd split must be disconnected"
+        );
     }
 }

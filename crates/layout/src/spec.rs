@@ -67,7 +67,11 @@ impl LayoutSpec {
         // Force early overflow panics with a clear message.
         let _ = digits::pow(d as u64, p_prime);
         let _ = digits::pow(d as u64, q_prime);
-        LayoutSpec { d, p_prime, q_prime }
+        LayoutSpec {
+            d,
+            p_prime,
+            q_prime,
+        }
     }
 
     /// Degree `d`.
@@ -145,7 +149,10 @@ impl LayoutSpec {
 /// `p' = D/2, q' = D/2 + 1` always yields a de Bruijn layout with
 /// `p + q = d^{D/2}(1 + d) = Θ(√n)` lenses.
 pub fn balanced_even_layout(d: u32, diameter: u32) -> LayoutSpec {
-    assert!(diameter >= 2 && diameter.is_multiple_of(2), "Corollary 4.4 needs even D ≥ 2");
+    assert!(
+        diameter >= 2 && diameter.is_multiple_of(2),
+        "Corollary 4.4 needs even D ≥ 2"
+    );
     let spec = LayoutSpec::new(d, diameter / 2, diameter / 2 + 1);
     debug_assert!(spec.is_debruijn(), "Corollary 4.4 guarantees cyclicity");
     spec
@@ -172,7 +179,10 @@ pub fn minimize_lenses(d: u32, diameter: u32) -> Option<LayoutSpec> {
         if !spec.is_debruijn() {
             continue;
         }
-        if best.as_ref().is_none_or(|b| spec.lens_count() < b.lens_count()) {
+        if best
+            .as_ref()
+            .is_none_or(|b| spec.lens_count() < b.lens_count())
+        {
             best = Some(spec);
         }
     }
@@ -215,7 +225,14 @@ mod tests {
             let spec = LayoutSpec::new(d, pp, qq);
             let h = spec.h_digraph().digraph();
             let a = spec.alphabet_digraph().digraph();
-            assert_eq!(h, a, "H({}, {}, {d}) != A(f, C, {})", spec.p(), spec.q(), pp - 1);
+            assert_eq!(
+                h,
+                a,
+                "H({}, {}, {d}) != A(f, C, {})",
+                spec.p(),
+                spec.q(),
+                pp - 1
+            );
         }
     }
 
@@ -244,9 +261,8 @@ mod tests {
             let predicted = spec.is_debruijn();
             let h = spec.h_digraph().digraph();
             let b = DeBruijn::new(2, spec.diameter()).digraph();
-            let actually_iso =
-                !otis_digraph::invariants::definitely_not_isomorphic(&h, &b)
-                    && otis_digraph::bfs::diameter(&h) == Some(spec.diameter());
+            let actually_iso = !otis_digraph::invariants::definitely_not_isomorphic(&h, &b)
+                && otis_digraph::bfs::diameter(&h) == Some(spec.diameter());
             if predicted {
                 let witness = spec.debruijn_witness().unwrap();
                 assert_eq!(check_witness(&h, &b, &witness), Ok(()));
@@ -298,7 +314,10 @@ mod tests {
         assert_eq!(spec.lens_count(), 48);
         let witness = spec.debruijn_witness().unwrap();
         let b = DeBruijn::new(2, 8).digraph();
-        assert_eq!(check_witness(&spec.h_digraph().digraph(), &b, &witness), Ok(()));
+        assert_eq!(
+            check_witness(&spec.h_digraph().digraph(), &b, &witness),
+            Ok(())
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! arc-disjoint-ish alternatives per hop).
 
 use crate::HDigraph;
-use otis_core::DigraphFamily;
+use otis_core::{DigraphFamily, Router, RoutingTable};
 use otis_digraph::{Digraph, DigraphBuilder};
 use serde::{Deserialize, Serialize};
 
@@ -76,6 +76,77 @@ pub fn surviving_digraph(h: &HDigraph, faults: &FaultSet) -> Digraph {
     builder.build()
 }
 
+/// A [`Router`] that routes around hardware faults: it precomputes a
+/// next-hop table over the *surviving* digraph, so any packet with a
+/// surviving path is delivered on a shortest surviving route, and
+/// packets with no path fail cleanly (`next_hop` → `None`, which the
+/// simulator reports as `SimError::Unreachable`).
+///
+/// When the fault set changes, [`FaultAwareRouter::refresh`] rebuilds
+/// the table (parallel reverse-BFS; milliseconds at OTIS scales) —
+/// the "recompute around failed links" story a degraded optical bench
+/// needs.
+#[derive(Debug, Clone)]
+pub struct FaultAwareRouter {
+    table: RoutingTable,
+    faults: FaultSet,
+    label: String,
+}
+
+impl FaultAwareRouter {
+    /// Router over what survives of `h` under `faults`.
+    pub fn new(h: &HDigraph, faults: FaultSet) -> Self {
+        let table = RoutingTable::new(&surviving_digraph(h, &faults));
+        FaultAwareRouter {
+            table,
+            faults,
+            label: h.name(),
+        }
+    }
+
+    /// The fault set currently routed around.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Recompute the table for a new fault set on the same fabric.
+    pub fn refresh(&mut self, h: &HDigraph, faults: FaultSet) {
+        assert_eq!(h.name(), self.label, "refresh must use the same fabric");
+        self.table = RoutingTable::new(&surviving_digraph(h, &faults));
+        self.faults = faults;
+    }
+
+    /// Shortest surviving distance, if any.
+    pub fn surviving_distance(&self, src: u64, dst: u64) -> Option<u64> {
+        self.table.distance(src, dst)
+    }
+}
+
+impl Router for FaultAwareRouter {
+    fn node_count(&self) -> u64 {
+        self.table.node_count()
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "fault-aware({}, {} faults)",
+            self.label,
+            self.faults.dead_transmitters.len()
+                + self.faults.dead_receivers.len()
+                + self.faults.dead_lens1.len()
+                + self.faults.dead_lens2.len()
+        )
+    }
+
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        self.table.next_hop(current, dst)
+    }
+
+    fn distance(&self, src: u64, dst: u64) -> Option<u64> {
+        self.table.distance(src, dst)
+    }
+}
+
 /// Resilience report for a fault set on a fabric.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResilienceReport {
@@ -127,7 +198,10 @@ mod tests {
     #[test]
     fn one_dead_transmitter_kills_one_beam() {
         let h = fabric();
-        let faults = FaultSet { dead_transmitters: vec![42], ..FaultSet::none() };
+        let faults = FaultSet {
+            dead_transmitters: vec![42],
+            ..FaultSet::none()
+        };
         let report = assess(&h, &faults);
         assert_eq!(report.beams_lost, 1);
         // B(2,8) survives one arc loss: still strongly connected, the
@@ -142,7 +216,10 @@ mod tests {
     fn dead_lens_kills_a_whole_group() {
         let h = fabric();
         // First-array lens 3: kills the q = 32 beams of group 3.
-        let faults = FaultSet { dead_lens1: vec![3], ..FaultSet::none() };
+        let faults = FaultSet {
+            dead_lens1: vec![3],
+            ..FaultSet::none()
+        };
         assert_eq!(faults.killed_beam_count(&h), 32);
         let report = assess(&h, &faults);
         assert_eq!(report.beams_lost, 32);
@@ -156,7 +233,10 @@ mod tests {
     #[test]
     fn second_array_lens_kills_p_beams() {
         let h = fabric();
-        let faults = FaultSet { dead_lens2: vec![0], ..FaultSet::none() };
+        let faults = FaultSet {
+            dead_lens2: vec![0],
+            ..FaultSet::none()
+        };
         assert_eq!(faults.killed_beam_count(&h), 16);
     }
 
@@ -166,7 +246,10 @@ mod tests {
         let otis = *h.otis();
         // Find the transmitter feeding receiver 100.
         let t = otis.transmitter_index(otis.source_of(otis.receiver(100)));
-        let faults = FaultSet { dead_receivers: vec![100], ..FaultSet::none() };
+        let faults = FaultSet {
+            dead_receivers: vec![100],
+            ..FaultSet::none()
+        };
         assert!(!faults.beam_alive(&h, t));
         assert_eq!(faults.killed_beam_count(&h), 1);
     }
@@ -176,13 +259,67 @@ mod tests {
         let h = fabric();
         // Kill node 0's transceiver 0 (the beam implementing one of
         // its two out-arcs) and verify traffic reroutes via the other.
-        let faults = FaultSet { dead_transmitters: vec![0], ..FaultSet::none() };
+        let faults = FaultSet {
+            dead_transmitters: vec![0],
+            ..FaultSet::none()
+        };
         let g = surviving_digraph(&h, &faults);
         let lost_target = h.out_neighbor(0, 0);
         let dist = otis_digraph::bfs::distances(&g, 0);
         // Still reachable, just (possibly) farther.
         assert!(dist[lost_target as usize] != otis_digraph::INFINITY);
         assert!(dist[lost_target as usize] >= 1);
+    }
+
+    #[test]
+    fn fault_aware_router_delivers_whenever_a_path_survives() {
+        let h = fabric();
+        let faults = FaultSet {
+            dead_transmitters: vec![0, 17, 301],
+            dead_lens2: vec![5],
+            ..FaultSet::none()
+        };
+        let router = FaultAwareRouter::new(&h, faults.clone());
+        let survivors = surviving_digraph(&h, &faults);
+        for src in (0..h.node_count()).step_by(7) {
+            let dist = otis_digraph::bfs::distances(&survivors, src as u32);
+            for dst in (0..h.node_count()).step_by(5) {
+                let expected = dist[dst as usize];
+                match router.route(src, dst) {
+                    None => assert_eq!(expected, otis_digraph::INFINITY, "{src}→{dst}"),
+                    Some(path) => {
+                        assert_eq!(path.len() as u32 - 1, expected, "{src}→{dst}");
+                        // Every hop must ride a *surviving* beam.
+                        for pair in path.windows(2) {
+                            assert!(
+                                survivors.has_arc(pair[0] as u32, pair[1] as u32),
+                                "hop {} → {} uses a dead beam",
+                                pair[0],
+                                pair[1]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_aware_router_refresh_tracks_new_faults() {
+        let h = fabric();
+        let mut router = FaultAwareRouter::new(&h, FaultSet::none());
+        let full_distance = router.surviving_distance(1, h.out_neighbor(1, 0));
+        assert_eq!(full_distance, Some(1));
+        // Kill node 1's first transmitter: that 1-hop route must now
+        // detour (or keep length 1 only via the other transceiver).
+        let faults = FaultSet {
+            dead_transmitters: vec![2],
+            ..FaultSet::none()
+        };
+        router.refresh(&h, faults);
+        let degraded = router.surviving_distance(1, h.out_neighbor(1, 0));
+        assert!(degraded.is_some(), "B(2,8) survives one arc loss");
+        assert!(degraded.unwrap() >= 1);
     }
 
     #[test]

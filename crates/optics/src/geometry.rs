@@ -110,8 +110,7 @@ impl Bench {
     /// (e.g. the packet simulator) can build size-consistent benches.
     pub fn scaled_params(otis: &Otis) -> BenchParams {
         let mut params = BenchParams::default();
-        let extent = (otis.p() * otis.q()) as f64
-            * params.emitter_pitch.max(params.detector_pitch);
+        let extent = (otis.p() * otis.q()) as f64 * params.emitter_pitch.max(params.detector_pitch);
         params.span = params.span.max(3.0 * extent);
         let group_w = otis.q() as f64 * params.emitter_pitch;
         let rgroup_w = otis.p() as f64 * params.detector_pitch;
@@ -218,7 +217,12 @@ impl Bench {
                 (dx * dx + dz * dz).sqrt()
             })
             .sum();
-        BeamTrace { from: t, to: r, waypoints, path_length }
+        BeamTrace {
+            from: t,
+            to: r,
+            waypoints,
+            path_length,
+        }
     }
 
     /// Trace every beam of the system (`pq` of them).

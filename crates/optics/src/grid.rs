@@ -151,12 +151,7 @@ impl GridBench {
         let (l1x, l1y) = self.lens1_xy(t.group);
         let (l2x, l2y) = self.lens2_xy(r.group);
         let (rx, ry) = self.receiver_xy(r);
-        let waypoints = [
-            (tx, ty, 0.0),
-            (l1x, l1y, z1),
-            (l2x, l2y, z2),
-            (rx, ry, z3),
-        ];
+        let waypoints = [(tx, ty, 0.0), (l1x, l1y, z1), (l2x, l2y, z2), (rx, ry, z3)];
         let path_length = waypoints
             .windows(2)
             .map(|w| {
@@ -164,7 +159,12 @@ impl GridBench {
                 (dx * dx + dy * dy + dz * dz).sqrt()
             })
             .sum();
-        BeamTrace3d { from: t, to: r, waypoints, path_length }
+        BeamTrace3d {
+            from: t,
+            to: r,
+            waypoints,
+            path_length,
+        }
     }
 
     /// Trace every beam.
@@ -213,7 +213,10 @@ mod tests {
             sum.0 += x;
             sum.1 += y;
         }
-        assert!(sum.0.abs() < 1e-9 && sum.1.abs() < 1e-9, "grid must be centered");
+        assert!(
+            sum.0.abs() < 1e-9 && sum.1.abs() < 1e-9,
+            "grid must be centered"
+        );
     }
 
     #[test]
@@ -242,7 +245,10 @@ mod tests {
         let traces = bench.trace_all();
         let mut endpoints = std::collections::HashSet::new();
         for trace in &traces {
-            let key = (trace.waypoints[3].0.to_bits(), trace.waypoints[3].1.to_bits());
+            let key = (
+                trace.waypoints[3].0.to_bits(),
+                trace.waypoints[3].1.to_bits(),
+            );
             assert!(endpoints.insert(key), "two beams land on one detector");
         }
     }

@@ -27,7 +27,13 @@
 //!   `H(d, n, d) = II(d, n)`, which is the known II layout [14];
 //! * [`simulator`] — a packet-level simulator that moves messages
 //!   through the simulated hardware hop by hop and accounts latency
-//!   and energy per the geometry and power models.
+//!   and energy per the geometry and power models;
+//! * [`traffic`] — the batched engine on top: synthetic workloads
+//!   (uniform, permutation, transpose, bit-reversal, hotspot,
+//!   all-to-all) routed in parallel through any
+//!   [`otis_core::Router`], reporting per-link load, empirical
+//!   forwarding index, latency/energy distributions and delivery
+//!   rate.
 
 pub mod faults;
 pub mod geometry;
@@ -37,6 +43,8 @@ mod otis;
 pub mod pops;
 pub mod power;
 pub mod simulator;
+pub mod traffic;
 
 pub use h_digraph::HDigraph;
 pub use otis::{Otis, Receiver, Transmitter};
+pub use traffic::{TrafficEngine, TrafficPattern, TrafficReport};

@@ -79,7 +79,10 @@ impl Otis {
 
     /// The wiring law: the receiver reached by transmitter `(i, j)`.
     pub fn connect(&self, t: Transmitter) -> Receiver {
-        assert!(t.group < self.p && t.offset < self.q, "transmitter out of range");
+        assert!(
+            t.group < self.p && t.offset < self.q,
+            "transmitter out of range"
+        );
         Receiver {
             group: self.q - 1 - t.offset,
             offset: self.p - 1 - t.group,
@@ -88,7 +91,10 @@ impl Otis {
 
     /// Inverse wiring: the transmitter feeding receiver `(a, b)`.
     pub fn source_of(&self, r: Receiver) -> Transmitter {
-        assert!(r.group < self.q && r.offset < self.p, "receiver out of range");
+        assert!(
+            r.group < self.q && r.offset < self.p,
+            "receiver out of range"
+        );
         Transmitter {
             group: self.p - 1 - r.offset,
             offset: self.q - 1 - r.group,
@@ -103,7 +109,10 @@ impl Otis {
     /// Transmitter with the given global index.
     pub fn transmitter(&self, index: u64) -> Transmitter {
         assert!(index < self.link_count(), "transmitter index out of range");
-        Transmitter { group: index / self.q, offset: index % self.q }
+        Transmitter {
+            group: index / self.q,
+            offset: index % self.q,
+        }
     }
 
     /// Global index of a receiver: `r = a·p + b`.
@@ -114,7 +123,10 @@ impl Otis {
     /// Receiver with the given global index.
     pub fn receiver(&self, index: u64) -> Receiver {
         assert!(index < self.link_count(), "receiver index out of range");
-        Receiver { group: index / self.p, offset: index % self.p }
+        Receiver {
+            group: index / self.p,
+            offset: index % self.p,
+        }
     }
 
     /// The wiring law on global indices:
@@ -127,7 +139,10 @@ impl Otis {
     /// `OTIS(p,q)` layout, `G⁻` has an `OTIS(q,p)` layout — this is
     /// the hardware-side half of that statement.
     pub fn reversed(&self) -> Otis {
-        Otis { p: self.q, q: self.p }
+        Otis {
+            p: self.q,
+            q: self.p,
+        }
     }
 }
 
@@ -141,12 +156,24 @@ mod tests {
         // transmitter (2,5) → receiver (0,0).
         let otis = Otis::new(3, 6);
         assert_eq!(
-            otis.connect(Transmitter { group: 0, offset: 0 }),
-            Receiver { group: 5, offset: 2 }
+            otis.connect(Transmitter {
+                group: 0,
+                offset: 0
+            }),
+            Receiver {
+                group: 5,
+                offset: 2
+            }
         );
         assert_eq!(
-            otis.connect(Transmitter { group: 2, offset: 5 }),
-            Receiver { group: 0, offset: 0 }
+            otis.connect(Transmitter {
+                group: 2,
+                offset: 5
+            }),
+            Receiver {
+                group: 0,
+                offset: 0
+            }
         );
         assert_eq!(otis.lens_count(), 9);
         assert_eq!(otis.link_count(), 18);
@@ -158,7 +185,10 @@ mod tests {
         let mut hit = [false; 24];
         for t in 0..24 {
             let r = otis.connect_index(t);
-            assert!(!std::mem::replace(&mut hit[r as usize], true), "receiver {r} hit twice");
+            assert!(
+                !std::mem::replace(&mut hit[r as usize], true),
+                "receiver {r} hit twice"
+            );
         }
         assert!(hit.iter().all(|&h| h));
     }
@@ -194,7 +224,10 @@ mod tests {
         // transmitter's coordinates.
         for t in 0..otis.link_count() {
             let r = otis.connect(otis.transmitter(t));
-            let back = rev.connect(Transmitter { group: r.group, offset: r.offset });
+            let back = rev.connect(Transmitter {
+                group: r.group,
+                offset: r.offset,
+            });
             let original = otis.transmitter(t);
             assert_eq!((back.group, back.offset), (original.group, original.offset));
         }
@@ -214,7 +247,10 @@ mod tests {
         let otis = Otis::new(1, 5);
         // transmitter (0, j) → receiver (4-j, 0)
         for j in 0..5 {
-            let r = otis.connect(Transmitter { group: 0, offset: j });
+            let r = otis.connect(Transmitter {
+                group: 0,
+                offset: j,
+            });
             assert_eq!((r.group, r.offset), (4 - j, 0));
         }
     }

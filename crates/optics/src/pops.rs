@@ -118,9 +118,8 @@ impl Pops {
         let mut slot_senders: Vec<otis_util::FxHashSet<u64>> = Vec::new();
         for &(src, dst) in messages {
             let coupler = self.route(src, dst);
-            let slot = (0..slots.len()).find(|&s| {
-                !slot_couplers[s].contains(&coupler) && !slot_senders[s].contains(&src)
-            });
+            let slot = (0..slots.len())
+                .find(|&s| !slot_couplers[s].contains(&coupler) && !slot_senders[s].contains(&src));
             match slot {
                 Some(s) => {
                     slots[s].push((src, dst));
@@ -199,7 +198,13 @@ mod tests {
     fn intra_group_traffic_uses_loop_coupler() {
         let pops = Pops::new(4, 3);
         let coupler = pops.route(1, 2); // both in group 0
-        assert_eq!(coupler, Coupler { to_group: 0, from_group: 0 });
+        assert_eq!(
+            coupler,
+            Coupler {
+                to_group: 0,
+                from_group: 0
+            }
+        );
     }
 
     #[test]
@@ -207,8 +212,7 @@ mod tests {
         let pops = Pops::new(2, 3);
         // All-to-all from group 0's two processors to one target per
         // group: forces coupler contention.
-        let messages: Vec<(u64, u64)> =
-            (0..2).flat_map(|s| (0..6).map(move |d| (s, d))).collect();
+        let messages: Vec<(u64, u64)> = (0..2).flat_map(|s| (0..6).map(move |d| (s, d))).collect();
         let slots = pops.greedy_schedule(&messages);
         let delivered: usize = slots.iter().map(Vec::len).sum();
         assert_eq!(delivered, messages.len());

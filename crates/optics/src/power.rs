@@ -142,7 +142,11 @@ mod tests {
     fn default_link_closes_with_healthy_margin() {
         let budget = optical_budget(&OpticalLinkParams::default(), 38.0);
         assert!(budget.closes());
-        assert!(budget.margin_db > 10.0, "margin {} dB too thin", budget.margin_db);
+        assert!(
+            budget.margin_db > 10.0,
+            "margin {} dB too thin",
+            budget.margin_db
+        );
         assert!(budget.received_power_mw < 1.0, "lenses must lose something");
     }
 
@@ -161,7 +165,10 @@ mod tests {
         let ele = ElectricalLinkParams::default();
         let short = optical_budget(&opt, 10.0);
         let long = optical_budget(&opt, 100.0);
-        assert_eq!(short.energy_pj, long.energy_pj, "optical energy length-independent");
+        assert_eq!(
+            short.energy_pj, long.energy_pj,
+            "optical energy length-independent"
+        );
         assert!(electrical_energy_pj(&ele, 100.0) > electrical_energy_pj(&ele, 10.0));
     }
 
@@ -173,8 +180,14 @@ mod tests {
             &ElectricalLinkParams::default(),
         )
         .expect("break-even exists");
-        assert!(break_even < 10.0, "break-even {break_even} mm not below 1 cm");
-        assert!(break_even > 1.0, "break-even {break_even} mm implausibly small");
+        assert!(
+            break_even < 10.0,
+            "break-even {break_even} mm not below 1 cm"
+        );
+        assert!(
+            break_even > 1.0,
+            "break-even {break_even} mm implausibly small"
+        );
         // And at the break-even point the two energies agree.
         let opt = optical_budget(&OpticalLinkParams::default(), break_even).energy_pj;
         let ele = electrical_energy_pj(&ElectricalLinkParams::default(), break_even);
@@ -189,8 +202,6 @@ mod tests {
         assert!(electrical_latency_ps(&ele, 30.0) > electrical_latency_ps(&ele, 3.0));
         // At bench scale (~38 mm) optics is latency-competitive:
         // flight 127 ps + conversions 150 ps < electrical 342 ps.
-        assert!(
-            optical_budget(&opt, 38.0).latency_ps < electrical_latency_ps(&ele, 38.0)
-        );
+        assert!(optical_budget(&opt, 38.0).latency_ps < electrical_latency_ps(&ele, 38.0));
     }
 }

@@ -16,7 +16,7 @@
 use crate::geometry::{Bench, BenchParams};
 use crate::power::{optical_budget, OpticalBudget, OpticalLinkParams};
 use crate::HDigraph;
-use otis_core::DigraphFamily;
+use otis_core::{DigraphFamily, Router};
 use serde::{Deserialize, Serialize};
 
 /// One hop of a delivered packet.
@@ -63,6 +63,9 @@ impl PacketReport {
 pub enum SimError {
     /// The router proposed a next node that is not an out-neighbor.
     NotANeighbor { from: u64, proposed: u64 },
+    /// The router reported no way forward: `dst` is unreachable from
+    /// `from` (e.g. the packet hit a dead end in a faulted fabric).
+    Unreachable { from: u64, dst: u64 },
     /// The hop limit was exceeded (routing loop).
     HopLimit { limit: usize },
 }
@@ -71,7 +74,13 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::NotANeighbor { from, proposed } => {
-                write!(f, "router proposed {proposed}, not an out-neighbor of {from}")
+                write!(
+                    f,
+                    "router proposed {proposed}, not an out-neighbor of {from}"
+                )
+            }
+            SimError::Unreachable { from, dst } => {
+                write!(f, "no route from {from} to {dst}")
             }
             SimError::HopLimit { limit } => write!(f, "hop limit {limit} exceeded"),
         }
@@ -96,7 +105,12 @@ impl OtisSimulator {
     /// Simulator over `h` with explicit bench and link parameters.
     pub fn new(h: HDigraph, bench_params: BenchParams, link_params: OpticalLinkParams) -> Self {
         let bench = Bench::new(*h.otis(), bench_params);
-        OtisSimulator { h, bench, link_params, hop_overhead_ps: 200.0 }
+        OtisSimulator {
+            h,
+            bench,
+            link_params,
+            hop_overhead_ps: 200.0,
+        }
     }
 
     /// Simulator with default physical parameters, bench scaled to
@@ -116,15 +130,26 @@ impl OtisSimulator {
         &self.bench
     }
 
+    /// Full physical accounting of the beam realizing the arc carried
+    /// by transceiver `t_index` (global transmitter index): beam path
+    /// length and link budget. The batched traffic engine calls this
+    /// once per transceiver up front instead of once per hop.
+    pub fn link_budget(&self, t_index: u64) -> (f64, OpticalBudget) {
+        let trace = self.bench.trace(self.h.otis().transmitter(t_index));
+        let budget = optical_budget(&self.link_params, trace.path_length);
+        (trace.path_length, budget)
+    }
+
     /// Send one packet from `src` along the route chosen by `router`:
-    /// given the current node and the destination, `router` must name
-    /// the next node (an out-neighbor). Returns the full accounting,
-    /// or an error if the router misbehaves.
+    /// given the current node and the destination, `router` names the
+    /// next node (an out-neighbor), or `None` when no way forward
+    /// exists. Returns the full accounting, or an error if the route
+    /// dead-ends or the router misbehaves.
     pub fn send(
         &self,
         src: u64,
         dst: u64,
-        mut router: impl FnMut(u64, u64) -> u64,
+        mut router: impl FnMut(u64, u64) -> Option<u64>,
     ) -> Result<PacketReport, SimError> {
         let n = self.h.node_count();
         assert!(src < n && dst < n, "nodes out of range");
@@ -135,15 +160,19 @@ impl OtisSimulator {
             if hops.len() >= hop_limit {
                 return Err(SimError::HopLimit { limit: hop_limit });
             }
-            let next = router(current, dst);
+            let next = router(current, dst).ok_or(SimError::Unreachable { from: current, dst })?;
             // Which transceiver realizes the arc current → next?
             let transceiver = (0..self.h.degree())
                 .find(|&k| self.h.out_neighbor(current, k) == next)
-                .ok_or(SimError::NotANeighbor { from: current, proposed: next })?;
+                .ok_or(SimError::NotANeighbor {
+                    from: current,
+                    proposed: next,
+                })?;
             let t_index = current * self.h.degree() as u64 + transceiver as u64;
             let trace = self.bench.trace(self.h.otis().transmitter(t_index));
             debug_assert_eq!(
-                self.h.node_of_receiver(self.h.otis().receiver_index(trace.to)),
+                self.h
+                    .node_of_receiver(self.h.otis().receiver_index(trace.to)),
                 next,
                 "geometry disagrees with the node graph"
             );
@@ -162,11 +191,30 @@ impl OtisSimulator {
             .map(|h| h.budget.latency_ps + self.hop_overhead_ps)
             .sum();
         let energy_pj: f64 = hops.iter().map(|h| h.budget.energy_pj).sum();
-        Ok(PacketReport { hops, latency_ps, energy_pj })
+        Ok(PacketReport {
+            hops,
+            latency_ps,
+            energy_pj,
+        })
     }
 
-    /// Send via BFS shortest paths (router built once per call —
-    /// convenient for tests and small fabrics).
+    /// Send along the route chosen by any [`Router`] — the arithmetic
+    /// tableless routers, a precomputed [`otis_core::RoutingTable`],
+    /// or the fault-aware router from [`crate::faults`].
+    pub fn send_via(
+        &self,
+        router: &dyn Router,
+        src: u64,
+        dst: u64,
+    ) -> Result<PacketReport, SimError> {
+        self.send(src, dst, |current, dst| router.next_hop(current, dst))
+    }
+
+    /// Send via BFS shortest paths, recomputed per call: the
+    /// no-precomputation baseline (one reverse-BFS per packet). For
+    /// batches, build an [`otis_core::RoutingTable`] once and use
+    /// [`OtisSimulator::send_via`] — or better, the batched
+    /// [`crate::traffic`] engine.
     pub fn send_shortest(&self, src: u64, dst: u64) -> Result<PacketReport, SimError> {
         let g = self.h.digraph();
         // Parents on some shortest path toward dst: BFS on the
@@ -175,12 +223,13 @@ impl OtisSimulator {
         let dist_to_dst = otis_digraph::bfs::distances(&rev, dst as u32);
         self.send(src, dst, move |current, _| {
             let here = dist_to_dst[current as usize];
-            for &v in g.out_neighbors(current as u32) {
-                if dist_to_dst[v as usize] + 1 == here {
-                    return v as u64;
-                }
+            if here == otis_digraph::INFINITY {
+                return None;
             }
-            current // dead end: triggers NotANeighbor upstream
+            g.out_neighbors(current as u32)
+                .iter()
+                .find(|&&v| dist_to_dst[v as usize] == here - 1)
+                .map(|&v| v as u64)
         })
     }
 }
@@ -245,18 +294,19 @@ mod tests {
         let many = sim.send_shortest(0, far).unwrap();
         assert!(many.latency_ps > one.latency_ps);
         assert!(many.energy_pj > one.energy_pj);
-        assert!((many.energy_pj / many.hop_count() as f64
-            - one.energy_pj / one.hop_count() as f64)
-            .abs()
-            < 1e-9);
+        assert!(
+            (many.energy_pj / many.hop_count() as f64 - one.energy_pj / one.hop_count() as f64)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
     fn bad_router_caught() {
         let sim = simulator();
-        // Router that always proposes node 0 (usually not a neighbor).
+        // Router that always proposes node 5 (usually not a neighbor).
         let far = 9u64;
-        let result = sim.send(far, 0, |_, _| 5);
+        let result = sim.send(far, 0, |_, _| Some(5));
         // Either it's rejected as a non-neighbor, or it happens to be
         // one and the packet loops to the hop limit — both are errors
         // unless 5 is genuinely on a path; assert the specific case:
@@ -266,9 +316,38 @@ mod tests {
         } else {
             assert_eq!(
                 result,
-                Err(SimError::NotANeighbor { from: far, proposed: 5 })
+                Err(SimError::NotANeighbor {
+                    from: far,
+                    proposed: 5
+                })
             );
         }
+    }
+
+    #[test]
+    fn send_via_table_router_matches_bfs() {
+        let sim = simulator();
+        let router = otis_core::RoutingTable::from_family(sim.h());
+        let g = sim.h().digraph();
+        for src in 0..sim.h().node_count() {
+            let dist = otis_digraph::bfs::distances(&g, src as u32);
+            for dst in 0..sim.h().node_count() {
+                let report = sim.send_via(&router, src, dst).unwrap();
+                assert_eq!(
+                    report.hop_count() as u32,
+                    dist[dst as usize],
+                    "{src} → {dst}"
+                );
+                assert!(report.delivered());
+            }
+        }
+    }
+
+    #[test]
+    fn dead_end_reports_unreachable() {
+        let sim = simulator();
+        let result = sim.send(3, 7, |_, _| None);
+        assert_eq!(result, Err(SimError::Unreachable { from: 3, dst: 7 }));
     }
 
     #[test]

@@ -1,0 +1,706 @@
+//! Batched, parallel traffic over a simulated OTIS fabric.
+//!
+//! The per-packet simulator ([`crate::simulator`]) traces every beam
+//! through the bench geometry on every hop — faithful, but wasteful
+//! for workloads: a fabric has only `n·d` transceivers, so the engine
+//! here precomputes each transceiver's physics exactly once
+//! ([`TrafficEngine::new`]) and then routes whole batches with pure
+//! table/arithmetic work, sharded over scoped threads
+//! (`otis_util::par_map`). That turns "run 100k packets" from minutes
+//! of repeated BFS + ray tracing into milliseconds of lookups.
+//!
+//! What comes out is what the networking literature actually asks of a
+//! topology under load (cf. the forwarding-index analysis of the BCube
+//! and conjugate-network papers in PAPERS.md): per-link load, the
+//! empirical forwarding index (max link congestion), the latency and
+//! energy distribution, and the delivery rate — per traffic pattern,
+//! not just the diameter.
+
+use crate::simulator::OtisSimulator;
+use otis_core::{DigraphFamily, Router};
+use otis_util::par_map;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+// ----- workload patterns -----------------------------------------------------
+
+/// Synthetic traffic patterns. The digit-structured patterns
+/// (transpose, bit reversal) interpret node ids as length-`D` words
+/// over `Z_d` — the same identification the de Bruijn fabric itself
+/// uses — and therefore require `n = d^D` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Independent uniform `(src, dst)` pairs, `dst ≠ src`.
+    Uniform,
+    /// A fixed random permutation `π`; packet `i` goes `i mod n → π(i mod n)`.
+    Permutation,
+    /// Digit transpose: the high and low halves of the digit string
+    /// swap (the classic matrix-transpose stressor).
+    Transpose,
+    /// Digit reversal: `x_{D-1}…x_0 → x_0…x_{D-1}` (FFT butterfly
+    /// traffic).
+    BitReversal,
+    /// One node is hot: a quarter of all packets target node `n/2`,
+    /// the rest are uniform.
+    Hotspot,
+    /// Every ordered pair `(src, dst)`, `src ≠ dst`, visited round-robin.
+    AllToAll,
+}
+
+impl TrafficPattern {
+    pub const ALL: [TrafficPattern; 6] = [
+        TrafficPattern::Uniform,
+        TrafficPattern::Permutation,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitReversal,
+        TrafficPattern::Hotspot,
+        TrafficPattern::AllToAll,
+    ];
+
+    /// True iff the pattern needs the `n = d^D` digit structure.
+    pub fn needs_digit_structure(&self) -> bool {
+        matches!(
+            self,
+            TrafficPattern::Transpose | TrafficPattern::BitReversal
+        )
+    }
+}
+
+impl std::fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Permutation => "permutation",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitReversal => "bitrev",
+            TrafficPattern::Hotspot => "hotspot",
+            TrafficPattern::AllToAll => "alltoall",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl std::str::FromStr for TrafficPattern {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, String> {
+        match raw {
+            "uniform" => Ok(TrafficPattern::Uniform),
+            "permutation" | "perm" => Ok(TrafficPattern::Permutation),
+            "transpose" => Ok(TrafficPattern::Transpose),
+            "bitrev" | "bit-reversal" | "bitreversal" => Ok(TrafficPattern::BitReversal),
+            "hotspot" => Ok(TrafficPattern::Hotspot),
+            "alltoall" | "all-to-all" => Ok(TrafficPattern::AllToAll),
+            other => Err(format!(
+                "unknown pattern {other:?} (want uniform|permutation|transpose|bitrev|hotspot|alltoall)"
+            )),
+        }
+    }
+}
+
+/// Reverse the base-`d` digits of `value` (`digits` of them).
+fn digit_reverse(value: u64, d: u64, digits: u32) -> u64 {
+    let mut v = value;
+    let mut out = 0;
+    for _ in 0..digits {
+        out = out * d + v % d;
+        v /= d;
+    }
+    out
+}
+
+/// Swap the high `⌈D/2⌉` and low `⌊D/2⌋` digit blocks of `value`.
+fn digit_transpose(value: u64, d: u64, digits: u32) -> u64 {
+    let low_len = digits / 2;
+    let low_modulus = d.pow(low_len);
+    let high = value / low_modulus;
+    let low = value % low_modulus;
+    let high_modulus = d.pow(digits - low_len);
+    low * high_modulus + high
+}
+
+/// Generate `packets` source/destination pairs over `0..n` for a
+/// pattern. `d` is the fabric's alphabet (used by the digit-structured
+/// patterns, which require `n = d^D`); `seed` makes workloads
+/// reproducible.
+pub fn generate_workload(
+    pattern: TrafficPattern,
+    n: u64,
+    d: u64,
+    packets: usize,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    assert!(n >= 2, "need at least two nodes for traffic");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let digits = if pattern.needs_digit_structure() {
+        assert!(
+            d >= 2,
+            "{pattern} traffic needs an alphabet of size ≥ 2, got d = {d}"
+        );
+        let mut digits = 0u32;
+        let mut size = 1u64;
+        while size < n {
+            size *= d;
+            digits += 1;
+        }
+        assert!(
+            size == n,
+            "{pattern} traffic needs n = d^D nodes, got n = {n}, d = {d}"
+        );
+        digits
+    } else {
+        0
+    };
+    let draw_other = |rng: &mut StdRng, src: u64| loop {
+        let dst = rng.gen_range(0..n);
+        if dst != src {
+            return dst;
+        }
+    };
+    match pattern {
+        TrafficPattern::Uniform => (0..packets)
+            .map(|_| {
+                let src = rng.gen_range(0..n);
+                let dst = draw_other(&mut rng, src);
+                (src, dst)
+            })
+            .collect(),
+        TrafficPattern::Permutation => {
+            let mut images: Vec<u64> = (0..n).collect();
+            for i in (1..n as usize).rev() {
+                let j = rng.gen_range(0..=i);
+                images.swap(i, j);
+            }
+            (0..packets)
+                .map(|i| {
+                    let src = i as u64 % n;
+                    (src, images[src as usize])
+                })
+                .collect()
+        }
+        TrafficPattern::Transpose => (0..packets)
+            .map(|i| {
+                let src = i as u64 % n;
+                (src, digit_transpose(src, d, digits))
+            })
+            .collect(),
+        TrafficPattern::BitReversal => (0..packets)
+            .map(|i| {
+                let src = i as u64 % n;
+                (src, digit_reverse(src, d, digits))
+            })
+            .collect(),
+        TrafficPattern::Hotspot => {
+            let hot = n / 2;
+            (0..packets)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        let src = loop {
+                            let candidate = rng.gen_range(0..n);
+                            if candidate != hot {
+                                break candidate;
+                            }
+                        };
+                        (src, hot)
+                    } else {
+                        let src = rng.gen_range(0..n);
+                        (src, draw_other(&mut rng, src))
+                    }
+                })
+                .collect()
+        }
+        TrafficPattern::AllToAll => {
+            let pairs = n * (n - 1);
+            (0..packets)
+                .map(|i| {
+                    let index = i as u64 % pairs;
+                    let src = index / (n - 1);
+                    let mut dst = index % (n - 1);
+                    if dst >= src {
+                        dst += 1; // skip the diagonal
+                    }
+                    (src, dst)
+                })
+                .collect()
+        }
+    }
+}
+
+// ----- the batched engine ----------------------------------------------------
+
+/// Precomputed physics of one transceiver's beam.
+#[derive(Debug, Clone, Copy)]
+struct HopCost {
+    latency_ps: f64,
+    energy_pj: f64,
+    closes: bool,
+}
+
+/// Aggregate results of one batch run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Router description (see [`Router::name`]).
+    pub router: String,
+    /// Packets attempted.
+    pub packets: usize,
+    /// Packets that reached their destination.
+    pub delivered: usize,
+    /// Packets dropped (no route / routing loop).
+    pub dropped: usize,
+    /// Every link traversal, including hops a dropped packet took
+    /// before dead-ending — always equals `sum(link_load)`.
+    pub total_hops: u64,
+    /// Sum of hops over *delivered* packets only.
+    pub delivered_hops: u64,
+    /// Longest delivered route, in hops.
+    pub max_hops: u32,
+    /// Packets carried per transceiver (index `u·d + k`): the link
+    /// load vector.
+    pub link_load: Vec<u64>,
+    /// `max(link_load)` — the empirical forwarding index of the
+    /// workload under this routing.
+    pub max_link_load: u64,
+    /// Mean end-to-end latency over delivered packets, ps.
+    pub latency_mean_ps: f64,
+    /// Median end-to-end latency, ps.
+    pub latency_p50_ps: f64,
+    /// 99th-percentile end-to-end latency, ps.
+    pub latency_p99_ps: f64,
+    /// Worst end-to-end latency, ps.
+    pub latency_max_ps: f64,
+    /// Total optical energy spent, pJ.
+    pub energy_total_pj: f64,
+    /// True iff every traversed link's power budget closed.
+    pub all_budgets_close: bool,
+}
+
+impl TrafficReport {
+    /// Fraction of packets delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.packets == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.packets as f64
+    }
+
+    /// Mean hops per delivered packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.delivered_hops as f64 / self.delivered as f64
+    }
+
+    /// Mean load over links that carried any traffic at all
+    /// (traversals by dropped packets included — they loaded the
+    /// link all the same).
+    pub fn mean_link_load(&self) -> f64 {
+        let used = self.link_load.iter().filter(|&&load| load > 0).count();
+        if used == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / used as f64
+    }
+
+    /// Mean optical energy per *attempted* packet, pJ: the fabric
+    /// spends energy on a packet's hops whether or not it ultimately
+    /// arrives.
+    pub fn mean_energy_pj(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.energy_total_pj / self.packets as f64
+    }
+}
+
+/// Per-worker accumulator for [`TrafficEngine::run`] (also reused as
+/// the merge target).
+struct Partial {
+    link_load: Vec<u64>,
+    latencies: Vec<f64>,
+    delivered: usize,
+    dropped: usize,
+    /// All link traversals, dropped packets' hops included.
+    total_hops: u64,
+    /// Hops of delivered packets only.
+    delivered_hops: u64,
+    max_hops: u32,
+    energy: f64,
+    budgets_close: bool,
+}
+
+impl Partial {
+    fn new(links: usize, capacity: usize) -> Self {
+        Partial {
+            link_load: vec![0u64; links],
+            latencies: Vec::with_capacity(capacity),
+            delivered: 0,
+            dropped: 0,
+            total_hops: 0,
+            delivered_hops: 0,
+            max_hops: 0,
+            energy: 0.0,
+            budgets_close: true,
+        }
+    }
+}
+
+/// Batched traffic runner over one simulated fabric.
+///
+/// Construction pays the physics once — one geometric trace and one
+/// link budget per transceiver — after which [`TrafficEngine::run`]
+/// routes arbitrarily many packets without touching the bench model.
+pub struct TrafficEngine<'a> {
+    sim: &'a OtisSimulator,
+    /// `neighbors[u·d + k]` = `out_neighbor(u, k)`.
+    neighbors: Vec<u64>,
+    /// Physics per transceiver, same indexing.
+    costs: Vec<HopCost>,
+    degree: usize,
+}
+
+impl<'a> TrafficEngine<'a> {
+    pub fn new(sim: &'a OtisSimulator) -> Self {
+        let h = sim.h();
+        let n = h.node_count();
+        let degree = h.degree() as usize;
+        let links = n * degree as u64;
+        let mut neighbors = Vec::with_capacity(links as usize);
+        let mut costs = Vec::with_capacity(links as usize);
+        for u in 0..n {
+            for k in 0..degree as u32 {
+                neighbors.push(h.out_neighbor(u, k));
+                let (_, budget) = sim.link_budget(u * degree as u64 + k as u64);
+                costs.push(HopCost {
+                    latency_ps: budget.latency_ps + sim.hop_overhead_ps,
+                    energy_pj: budget.energy_pj,
+                    closes: budget.closes(),
+                });
+            }
+        }
+        TrafficEngine {
+            sim,
+            neighbors,
+            costs,
+            degree,
+        }
+    }
+
+    /// The fabric's node count.
+    pub fn node_count(&self) -> u64 {
+        self.sim.h().node_count()
+    }
+
+    /// Route a whole workload through `router`, in parallel, and
+    /// aggregate per-link load, congestion, latency, energy and
+    /// delivery statistics.
+    pub fn run(&self, router: &dyn Router, workload: &[(u64, u64)]) -> TrafficReport {
+        let n = self.node_count();
+        assert_eq!(
+            router.node_count(),
+            n,
+            "router covers {} nodes but the fabric has {n}",
+            router.node_count()
+        );
+        let links = self.neighbors.len();
+        let hop_limit = (n as usize).max(64);
+        // Shard the workload; each worker owns a full link-load vector
+        // (links is small — n·d — so per-worker copies are cheap) and
+        // merges at the end.
+        const CHUNK: usize = 1024;
+        let chunks = workload.len().div_ceil(CHUNK);
+        let partials = par_map(chunks, 1, |chunk_index| {
+            let start = chunk_index * CHUNK;
+            let end = ((chunk_index + 1) * CHUNK).min(workload.len());
+            let mut partial = Partial::new(links, end - start);
+            for &(src, dst) in &workload[start..end] {
+                let mut current = src;
+                let mut hops = 0u32;
+                let mut latency = 0.0f64;
+                let mut reached = true;
+                while current != dst {
+                    if hops as usize >= hop_limit {
+                        reached = false; // routing loop
+                        break;
+                    }
+                    let Some(next) = router.next_hop(current, dst) else {
+                        reached = false; // dead end
+                        break;
+                    };
+                    let base = current as usize * self.degree;
+                    let Some(k) = (0..self.degree).find(|&k| self.neighbors[base + k] == next)
+                    else {
+                        reached = false; // router proposed a non-neighbor
+                        break;
+                    };
+                    let link = base + k;
+                    partial.link_load[link] += 1;
+                    let cost = &self.costs[link];
+                    latency += cost.latency_ps;
+                    partial.energy += cost.energy_pj;
+                    partial.budgets_close &= cost.closes;
+                    hops += 1;
+                    current = next;
+                }
+                partial.total_hops += hops as u64;
+                if reached {
+                    partial.delivered += 1;
+                    partial.delivered_hops += hops as u64;
+                    partial.max_hops = partial.max_hops.max(hops);
+                    partial.latencies.push(latency);
+                } else {
+                    partial.dropped += 1;
+                }
+            }
+            partial
+        });
+
+        let mut merged = Partial::new(links, workload.len());
+        for partial in partials {
+            for (slot, value) in merged.link_load.iter_mut().zip(partial.link_load) {
+                *slot += value;
+            }
+            merged.latencies.extend(partial.latencies);
+            merged.delivered += partial.delivered;
+            merged.dropped += partial.dropped;
+            merged.total_hops += partial.total_hops;
+            merged.delivered_hops += partial.delivered_hops;
+            merged.max_hops = merged.max_hops.max(partial.max_hops);
+            merged.energy += partial.energy;
+            merged.budgets_close &= partial.budgets_close;
+        }
+        let Partial {
+            link_load,
+            mut latencies,
+            delivered,
+            dropped,
+            total_hops,
+            delivered_hops,
+            max_hops,
+            energy: energy_total_pj,
+            budgets_close: all_budgets_close,
+        } = merged;
+
+        latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let percentile = |fraction: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let index = ((latencies.len() - 1) as f64 * fraction).round() as usize;
+            latencies[index]
+        };
+        let latency_mean_ps = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+
+        TrafficReport {
+            router: router.name(),
+            packets: workload.len(),
+            delivered,
+            dropped,
+            total_hops,
+            delivered_hops,
+            max_hops,
+            max_link_load: link_load.iter().copied().max().unwrap_or(0),
+            link_load,
+            latency_mean_ps,
+            latency_p50_ps: percentile(0.50),
+            latency_p99_ps: percentile(0.99),
+            latency_max_ps: latencies.last().copied().unwrap_or(0.0),
+            energy_total_pj,
+            all_budgets_close,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HDigraph;
+    use otis_core::RoutingTable;
+
+    fn engine_fixture() -> (OtisSimulator, Vec<(u64, u64)>) {
+        // H(4,8,2) ≅ B(2,4): 16 nodes, degree 2.
+        let sim = OtisSimulator::with_defaults(HDigraph::new(4, 8, 2));
+        let workload = generate_workload(TrafficPattern::Uniform, 16, 2, 2000, 7);
+        (sim, workload)
+    }
+
+    #[test]
+    fn uniform_traffic_all_delivered_and_conserved() {
+        let (sim, workload) = engine_fixture();
+        let engine = TrafficEngine::new(&sim);
+        let router = RoutingTable::from_family(sim.h());
+        let report = engine.run(&router, &workload);
+        assert_eq!(report.delivered, workload.len());
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.delivery_rate(), 1.0);
+        // Conservation: every hop crosses exactly one link.
+        assert_eq!(report.link_load.iter().sum::<u64>(), report.total_hops);
+        assert!(report.max_hops <= 4, "diameter of B(2,4) is 4");
+        assert!(report.max_link_load >= report.total_hops / report.link_load.len() as u64);
+        assert!(report.all_budgets_close);
+        assert!(report.latency_p50_ps <= report.latency_p99_ps);
+        assert!(report.latency_p99_ps <= report.latency_max_ps);
+    }
+
+    #[test]
+    fn engine_matches_per_packet_simulator() {
+        // The batched engine's per-packet latency/energy must agree
+        // with the hop-by-hop simulator on the same routes.
+        let (sim, _) = engine_fixture();
+        let engine = TrafficEngine::new(&sim);
+        let router = RoutingTable::from_family(sim.h());
+        for (src, dst) in [(0u64, 15u64), (3, 9), (12, 1)] {
+            let single = sim.send_via(&router, src, dst).unwrap();
+            let report = engine.run(&router, &[(src, dst)]);
+            assert_eq!(report.delivered, 1);
+            assert_eq!(report.total_hops as usize, single.hop_count());
+            assert!((report.latency_max_ps - single.latency_ps).abs() < 1e-9);
+            assert!((report.energy_total_pj - single.energy_pj).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn patterns_generate_valid_pairs() {
+        for pattern in TrafficPattern::ALL {
+            let workload = generate_workload(pattern, 16, 2, 500, 11);
+            assert_eq!(workload.len(), 500, "{pattern}");
+            for &(src, dst) in &workload {
+                assert!(src < 16 && dst < 16, "{pattern}: ({src}, {dst})");
+            }
+            // The random patterns avoid self-traffic by construction;
+            // permutation fixed points and digit-palindromes are
+            // legitimate self-pairs.
+            if matches!(
+                pattern,
+                TrafficPattern::Uniform | TrafficPattern::Hotspot | TrafficPattern::AllToAll
+            ) {
+                assert!(
+                    workload.iter().all(|&(src, dst)| src != dst),
+                    "{pattern} should avoid self-traffic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_and_bitrev_are_involutions() {
+        for value in 0..256u64 {
+            assert_eq!(digit_reverse(digit_reverse(value, 2, 8), 2, 8), value);
+        }
+        // Transpose swaps halves; applying it twice is the identity
+        // when D is even.
+        for value in 0..256u64 {
+            assert_eq!(digit_transpose(digit_transpose(value, 2, 8), 2, 8), value);
+        }
+        for value in 0..27u64 {
+            assert_eq!(digit_reverse(digit_reverse(value, 3, 3), 3, 3), value);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_hot_node() {
+        let workload = generate_workload(TrafficPattern::Hotspot, 64, 2, 4000, 3);
+        let hot = 32u64;
+        let to_hot = workload.iter().filter(|&&(_, dst)| dst == hot).count();
+        assert!(
+            to_hot >= workload.len() / 4,
+            "hotspot sends ≥ 25% to the hot node, got {to_hot}/4000"
+        );
+        // And the hotspot's forwarding index dwarfs uniform's.
+        let sim = OtisSimulator::with_defaults(HDigraph::new(8, 16, 2));
+        let engine = TrafficEngine::new(&sim);
+        let router = RoutingTable::from_family(sim.h());
+        let uniform = generate_workload(TrafficPattern::Uniform, 64, 2, 4000, 3);
+        let hot_report = engine.run(&router, &workload);
+        let uniform_report = engine.run(&router, &uniform);
+        assert!(
+            hot_report.max_link_load > uniform_report.max_link_load,
+            "hotspot congestion {} should exceed uniform {}",
+            hot_report.max_link_load,
+            uniform_report.max_link_load
+        );
+    }
+
+    #[test]
+    fn all_to_all_covers_every_pair() {
+        let n = 8u64;
+        let pairs = (n * (n - 1)) as usize;
+        let workload = generate_workload(TrafficPattern::AllToAll, n, 2, pairs, 0);
+        let mut seen = std::collections::HashSet::new();
+        for &pair in &workload {
+            assert!(
+                seen.insert(pair),
+                "duplicate pair {pair:?} within one sweep"
+            );
+        }
+        assert_eq!(seen.len(), pairs);
+    }
+
+    #[test]
+    fn dropped_packet_hops_load_links_but_not_delivered_stats() {
+        // A router that always forwards to the first transceiver's
+        // neighbor: some packets deliver, the rest loop to the hop
+        // limit — every traversal they made must show up in link_load
+        // and total_hops, but not in delivered_hops/mean_hops.
+        let (sim, workload) = engine_fixture();
+        let engine = TrafficEngine::new(&sim);
+        struct FirstHopRouter(HDigraph);
+        impl otis_core::Router for FirstHopRouter {
+            fn node_count(&self) -> u64 {
+                otis_core::DigraphFamily::node_count(&self.0)
+            }
+            fn name(&self) -> String {
+                "first-hop".into()
+            }
+            fn next_hop(&self, current: u64, _dst: u64) -> Option<u64> {
+                Some(otis_core::DigraphFamily::out_neighbor(&self.0, current, 0))
+            }
+        }
+        let report = engine.run(&FirstHopRouter(*sim.h()), &workload);
+        assert!(
+            report.dropped > 0,
+            "blind forwarding must strand some packets"
+        );
+        assert!(report.delivered > 0, "and deliver some others");
+        // Conservation over ALL traversals, including looping packets.
+        assert_eq!(report.link_load.iter().sum::<u64>(), report.total_hops);
+        assert!(report.total_hops > report.delivered_hops);
+        // Delivered-only statistics stay bounded by the walk the
+        // delivered packets actually took.
+        assert!(report.mean_hops() <= report.max_hops as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet of size")]
+    fn digit_pattern_rejects_degenerate_alphabet() {
+        generate_workload(TrafficPattern::Transpose, 8, 1, 10, 0);
+    }
+
+    #[test]
+    fn dropped_packets_counted_on_unroutable_fabric() {
+        let (sim, _) = engine_fixture();
+        let engine = TrafficEngine::new(&sim);
+        // A router that knows no routes at all.
+        struct NoRouter(u64);
+        impl otis_core::Router for NoRouter {
+            fn node_count(&self) -> u64 {
+                self.0
+            }
+            fn name(&self) -> String {
+                "none".into()
+            }
+            fn next_hop(&self, _: u64, _: u64) -> Option<u64> {
+                None
+            }
+        }
+        let report = engine.run(&NoRouter(16), &[(0, 5), (1, 1), (2, 9)]);
+        assert_eq!(report.delivered, 1, "only the self-pair needs no hops");
+        assert_eq!(report.dropped, 2);
+        assert!(report.delivery_rate() < 1.0);
+    }
+}

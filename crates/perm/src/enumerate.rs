@@ -14,7 +14,9 @@ use crate::Perm;
 
 /// `n!` as `u128`, panicking on overflow (n ≤ 34 fits).
 pub fn factorial(n: u64) -> u128 {
-    (1..=n as u128).try_fold(1u128, u128::checked_mul).expect("factorial overflows u128")
+    (1..=n as u128)
+        .try_fold(1u128, u128::checked_mul)
+        .expect("factorial overflows u128")
 }
 
 /// Iterator over all `n!` permutations of `Z_n`, generated in Heap's
@@ -136,8 +138,7 @@ mod tests {
         for n in 0..=6usize {
             let perms: Vec<Perm> = all_permutations(n).collect();
             assert_eq!(perms.len() as u128, factorial(n as u64), "n = {n}");
-            let distinct: HashSet<Vec<u32>> =
-                perms.iter().map(|p| p.images().to_vec()).collect();
+            let distinct: HashSet<Vec<u32>> = perms.iter().map(|p| p.images().to_vec()).collect();
             assert_eq!(distinct.len(), perms.len(), "duplicates at n = {n}");
         }
     }
@@ -147,9 +148,11 @@ mod tests {
         for n in 1..=7usize {
             let perms: Vec<Perm> = cyclic_permutations(n).collect();
             assert_eq!(perms.len() as u128, factorial(n as u64 - 1), "n = {n}");
-            assert!(perms.iter().all(Perm::is_cyclic), "non-cyclic output at n = {n}");
-            let distinct: HashSet<Vec<u32>> =
-                perms.iter().map(|p| p.images().to_vec()).collect();
+            assert!(
+                perms.iter().all(Perm::is_cyclic),
+                "non-cyclic output at n = {n}"
+            );
+            let distinct: HashSet<Vec<u32>> = perms.iter().map(|p| p.images().to_vec()).collect();
             assert_eq!(distinct.len(), perms.len(), "duplicates at n = {n}");
         }
     }
@@ -157,8 +160,9 @@ mod tests {
     #[test]
     fn cyclic_permutations_match_filter_of_all() {
         for n in 1..=6usize {
-            let from_iter: HashSet<Vec<u32>> =
-                cyclic_permutations(n).map(|p| p.images().to_vec()).collect();
+            let from_iter: HashSet<Vec<u32>> = cyclic_permutations(n)
+                .map(|p| p.images().to_vec())
+                .collect();
             let from_filter: HashSet<Vec<u32>> = all_permutations(n)
                 .filter(Perm::is_cyclic)
                 .map(|p| p.images().to_vec())

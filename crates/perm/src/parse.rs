@@ -20,7 +20,9 @@ pub struct ParsePermError {
 
 impl ParsePermError {
     fn new(message: impl Into<String>) -> Self {
-        ParsePermError { message: message.into() }
+        ParsePermError {
+            message: message.into(),
+        }
     }
 }
 
@@ -187,7 +189,12 @@ mod tests {
 
     #[test]
     fn round_trip_display_parse() {
-        for images in [vec![0u32, 1, 2], vec![2, 0, 1], vec![1, 0, 3, 2], vec![3, 2, 1, 0]] {
+        for images in [
+            vec![0u32, 1, 2],
+            vec![2, 0, 1],
+            vec![1, 0, 3, 2],
+            vec![3, 2, 1, 0],
+        ] {
             let f = Perm::from_images(images).unwrap();
             let back = parse_with_len(&f.to_string(), Some(f.len())).unwrap();
             assert_eq!(back, f);

@@ -7,7 +7,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PermError {
     /// An image is `>= n`.
-    OutOfRange { index: usize, image: u32, len: usize },
+    OutOfRange {
+        index: usize,
+        image: u32,
+        len: usize,
+    },
     /// Two indices map to the same image.
     Duplicate { image: u32 },
 }
@@ -38,7 +42,11 @@ pub struct NotCyclicError {
 
 impl fmt::Display for NotCyclicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "permutation is not cyclic; cycle type {:?}", self.cycle_type)
+        write!(
+            f,
+            "permutation is not cyclic; cycle type {:?}",
+            self.cycle_type
+        )
     }
 }
 
@@ -83,7 +91,9 @@ impl Perm {
 
     /// The identity permutation of `Z_n`.
     pub fn identity(n: usize) -> Self {
-        Perm { images: (0..n as u32).collect() }
+        Perm {
+            images: (0..n as u32).collect(),
+        }
     }
 
     /// Build from the one-line image table, validating bijectivity.
@@ -92,13 +102,19 @@ impl Perm {
         let mut seen = vec![false; n];
         for (index, &image) in images.iter().enumerate() {
             if image as usize >= n {
-                return Err(PermError::OutOfRange { index, image, len: n });
+                return Err(PermError::OutOfRange {
+                    index,
+                    image,
+                    len: n,
+                });
             }
             if std::mem::replace(&mut seen[image as usize], true) {
                 return Err(PermError::Duplicate { image });
             }
         }
-        Ok(Perm { images: images.into_boxed_slice() })
+        Ok(Perm {
+            images: images.into_boxed_slice(),
+        })
     }
 
     /// Build from disjoint cycles over `Z_n`; unmentioned points are
@@ -111,7 +127,11 @@ impl Perm {
                 let a = cycle[window];
                 let b = cycle[(window + 1) % cycle.len()];
                 if a as usize >= n {
-                    return Err(PermError::OutOfRange { index: window, image: a, len: n });
+                    return Err(PermError::OutOfRange {
+                        index: window,
+                        image: a,
+                        len: n,
+                    });
                 }
                 if std::mem::replace(&mut touched[a as usize], true) {
                     return Err(PermError::Duplicate { image: a });
@@ -130,7 +150,9 @@ impl Perm {
     pub fn rotation(n: usize, k: usize) -> Self {
         let n64 = n as u64;
         Perm {
-            images: (0..n64).map(|i| ((i + k as u64) % n64.max(1)) as u32).collect(),
+            images: (0..n64)
+                .map(|i| ((i + k as u64) % n64.max(1)) as u32)
+                .collect(),
         }
     }
 
@@ -138,7 +160,9 @@ impl Perm {
     /// written `ū` in the paper. Key to the `B ≅ II` isomorphism
     /// (Proposition 3.3) and the OTIS wiring law.
     pub fn complement(n: usize) -> Self {
-        Perm { images: (0..n as u32).rev().collect() }
+        Perm {
+            images: (0..n as u32).rev().collect(),
+        }
     }
 
     /// The transposition swapping `a` and `b`.
@@ -152,7 +176,9 @@ impl Perm {
         for i in (1..n).rev() {
             images.swap(i, rng.gen_range(0..=i));
         }
-        Perm { images: images.into_boxed_slice() }
+        Perm {
+            images: images.into_boxed_slice(),
+        }
     }
 
     /// Uniformly random **cyclic** permutation (Sattolo's algorithm).
@@ -167,7 +193,9 @@ impl Perm {
         for i in (1..n).rev() {
             images.swap(i, rng.gen_range(0..i));
         }
-        Perm { images: images.into_boxed_slice() }
+        Perm {
+            images: images.into_boxed_slice(),
+        }
     }
 
     // ----- basic access ---------------------------------------------------
@@ -198,7 +226,10 @@ impl Perm {
 
     /// True iff this is the identity.
     pub fn is_identity(&self) -> bool {
-        self.images.iter().enumerate().all(|(i, &img)| i as u32 == img)
+        self.images
+            .iter()
+            .enumerate()
+            .all(|(i, &img)| i as u32 == img)
     }
 
     // ----- algebra --------------------------------------------------------
@@ -206,9 +237,17 @@ impl Perm {
     /// Functional composition `self ∘ other`: `(self ∘ other)(i) =
     /// self(other(i))` — `other` acts first.
     pub fn compose(&self, other: &Perm) -> Perm {
-        assert_eq!(self.len(), other.len(), "composing permutations of different degree");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composing permutations of different degree"
+        );
         Perm {
-            images: other.images.iter().map(|&i| self.images[i as usize]).collect(),
+            images: other
+                .images
+                .iter()
+                .map(|&i| self.images[i as usize])
+                .collect(),
         }
     }
 
@@ -224,7 +263,9 @@ impl Perm {
         for (i, &img) in self.images.iter().enumerate() {
             images[img as usize] = i as u32;
         }
-        Perm { images: images.into_boxed_slice() }
+        Perm {
+            images: images.into_boxed_slice(),
+        }
     }
 
     /// `self^k` for any integer exponent (negative = powers of the
@@ -374,7 +415,9 @@ impl Perm {
         }
         // images = [j, f(j), f²(j), …]; bijective iff the orbit closed
         // only after n steps.
-        Perm::from_images(images).map_err(|_| NotCyclicError { cycle_type: self.cycle_type() })
+        Perm::from_images(images).map_err(|_| NotCyclicError {
+            cycle_type: self.cycle_type(),
+        })
     }
 }
 
@@ -437,7 +480,7 @@ mod tests {
     fn compose_conventions() {
         let f = p(&[1, 2, 0]); // 0→1→2→0
         let g = p(&[0, 2, 1]); // swap 1,2
-        // (f ∘ g)(1) = f(g(1)) = f(2) = 0
+                               // (f ∘ g)(1) = f(g(1)) = f(2) = 0
         assert_eq!(f.compose(&g).apply(1), 0);
         // f.then(g) = g ∘ f: (g ∘ f)(0) = g(1) = 2
         assert_eq!(f.then(&g).apply(0), 2);
@@ -540,7 +583,10 @@ mod tests {
         let mut rng = rand_pcg();
         for n in 1..=40 {
             let f = Perm::random_cyclic(n, &mut rng);
-            assert!(f.is_cyclic(), "Sattolo output must be a single n-cycle (n = {n})");
+            assert!(
+                f.is_cyclic(),
+                "Sattolo output must be a single n-cycle (n = {n})"
+            );
         }
     }
 

@@ -113,6 +113,9 @@ proptest! {
 fn enumerators_agree_with_factorials_up_to_six() {
     for n in 1..=6usize {
         assert_eq!(all_permutations(n).count() as u128, factorial(n as u64));
-        assert_eq!(cyclic_permutations(n).count() as u128, factorial(n as u64 - 1));
+        assert_eq!(
+            cyclic_permutations(n).count() as u128,
+            factorial(n as u64 - 1)
+        );
     }
 }

@@ -19,8 +19,7 @@ pub fn checked_pow(d: u64, exp: u32) -> Option<u64> {
 /// `d^exp` as `u64`, panicking on overflow with a descriptive message.
 #[inline]
 pub fn pow(d: u64, exp: u32) -> u64 {
-    checked_pow(d, exp)
-        .unwrap_or_else(|| panic!("d^D overflows u64: d = {d}, D = {exp}"))
+    checked_pow(d, exp).unwrap_or_else(|| panic!("d^D overflows u64: d = {d}, D = {exp}"))
 }
 
 /// Decompose `value` into `len` base-`d` digits, least significant
@@ -37,7 +36,10 @@ pub fn to_digits(value: u64, d: u64, len: usize, out: &mut Vec<u8>) {
         out.push((v % d) as u8);
         v /= d;
     }
-    assert!(v == 0, "value {value} does not fit in {len} base-{d} digits");
+    assert!(
+        v == 0,
+        "value {value} does not fit in {len} base-{d} digits"
+    );
 }
 
 /// Recompose base-`d` digits (least significant first) into an integer.
@@ -47,7 +49,10 @@ pub fn from_digits(digits: &[u8], d: u64) -> u64 {
     assert!(d >= 2, "alphabet size must be at least 2, got {d}");
     let mut acc: u64 = 0;
     for &digit in digits.iter().rev() {
-        assert!((digit as u64) < d, "digit {digit} out of range for base {d}");
+        assert!(
+            (digit as u64) < d,
+            "digit {digit} out of range for base {d}"
+        );
         acc = acc
             .checked_mul(d)
             .and_then(|a| a.checked_add(digit as u64))

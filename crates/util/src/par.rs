@@ -127,7 +127,9 @@ mod tests {
 
     #[test]
     fn par_map_matches_sequential() {
-        let seq: Vec<u64> = (0..10_000).map(|i| (i as u64).wrapping_mul(37) ^ 11).collect();
+        let seq: Vec<u64> = (0..10_000)
+            .map(|i| (i as u64).wrapping_mul(37) ^ 11)
+            .collect();
         let par = par_map(10_000, 64, |i| (i as u64).wrapping_mul(37) ^ 11);
         assert_eq!(seq, par);
     }

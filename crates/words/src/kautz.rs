@@ -71,7 +71,12 @@ impl KautzSpace {
     /// `δ_i = x_i - [x_i > x_{i+1} ? 1 : 0]` is its index among the `d`
     /// letters different from `x_{i+1}`.
     pub fn rank(&self, word: &Word) -> u64 {
-        assert!(self.contains(word), "word {word} is not a Kautz({}, {}) word", self.d, self.dim);
+        assert!(
+            self.contains(word),
+            "word {word} is not a Kautz({}, {}) word",
+            self.d,
+            self.dim
+        );
         let d = self.d as u64;
         let positions = word.positions();
         let top = positions[self.dim as usize - 1] as u64;
@@ -87,7 +92,11 @@ impl KautzSpace {
 
     /// Kautz word with the given rank. Inverse of [`KautzSpace::rank`].
     pub fn unrank(&self, rank: u64) -> Word {
-        assert!(rank < self.size, "rank {rank} out of range (size {})", self.size);
+        assert!(
+            rank < self.size,
+            "rank {rank} out of range (size {})",
+            self.size
+        );
         let d = self.d as u64;
         let top_place = digits::pow(d, self.dim - 1);
         let mut positions = vec![0u8; self.dim as usize];
@@ -129,7 +138,10 @@ mod tests {
             let space = KautzSpace::new(d, dim);
             for rank in 0..space.size() {
                 let word = space.unrank(rank);
-                assert!(space.contains(&word), "unrank({rank}) = {word} invalid (d={d}, D={dim})");
+                assert!(
+                    space.contains(&word),
+                    "unrank({rank}) = {word} invalid (d={d}, D={dim})"
+                );
                 assert_eq!(space.rank(&word), rank);
             }
         }
@@ -140,8 +152,14 @@ mod tests {
         let space = KautzSpace::new(2, 3);
         assert!(space.contains(&"010".parse().unwrap()));
         assert!(space.contains(&"212".parse().unwrap()));
-        assert!(!space.contains(&"011".parse().unwrap()), "repeat at positions 0,1");
-        assert!(!space.contains(&"330".parse().unwrap()), "letter 3 outside Z_3");
+        assert!(
+            !space.contains(&"011".parse().unwrap()),
+            "repeat at positions 0,1"
+        );
+        assert!(
+            !space.contains(&"330".parse().unwrap()),
+            "letter 3 outside Z_3"
+        );
         assert!(!space.contains(&"01".parse().unwrap()), "wrong length");
     }
 

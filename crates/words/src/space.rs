@@ -33,7 +33,10 @@ impl WordSpace {
     /// overflows `u64` (the paper's instances are far below that).
     pub fn new(d: u32, dim: u32) -> Self {
         assert!(d >= 2, "alphabet size must be at least 2, got {d}");
-        assert!(d <= 256, "alphabet size {d} > 256 unsupported (digits are u8)");
+        assert!(
+            d <= 256,
+            "alphabet size {d} > 256 unsupported (digits are u8)"
+        );
         assert!(dim >= 1, "word length must be at least 1");
         let size = digits::pow(d as u64, dim);
         WordSpace { d, dim, size }
@@ -66,18 +69,30 @@ impl WordSpace {
     /// True iff `word` has the right length and digits below `d`.
     pub fn contains(&self, word: &Word) -> bool {
         word.len() == self.dim as usize
-            && word.positions().iter().all(|&digit| (digit as u32) < self.d)
+            && word
+                .positions()
+                .iter()
+                .all(|&digit| (digit as u32) < self.d)
     }
 
     /// Integer rank of a word: `Σ x_i dⁱ`.
     pub fn rank(&self, word: &Word) -> u64 {
-        assert!(self.contains(word), "word {word} not in Z_{}^{}", self.d, self.dim);
+        assert!(
+            self.contains(word),
+            "word {word} not in Z_{}^{}",
+            self.d,
+            self.dim
+        );
         digits::from_digits(word.positions(), self.d as u64)
     }
 
     /// Word with the given rank.
     pub fn unrank(&self, rank: u64) -> Word {
-        assert!(self.contains_rank(rank), "rank {rank} out of range (size {})", self.size);
+        assert!(
+            self.contains_rank(rank),
+            "rank {rank} out of range (size {})",
+            self.size
+        );
         let mut buf = Vec::new();
         digits::to_digits(rank, self.d as u64, self.dim as usize, &mut buf);
         Word::from_positions(buf)
@@ -104,7 +119,12 @@ impl WordSpace {
     /// `f` must be a permutation of `Z_D`.
     pub fn apply_index_perm(&self, f: &Perm, word: &Word) -> Word {
         self.check_index_perm(f);
-        assert!(self.contains(word), "word {word} not in Z_{}^{}", self.d, self.dim);
+        assert!(
+            self.contains(word),
+            "word {word} not in Z_{}^{}",
+            self.d,
+            self.dim
+        );
         let mut out = vec![0u8; self.dim as usize];
         for (i, &x) in word.positions().iter().enumerate() {
             out[f.apply(i as u32) as usize] = x;
@@ -135,9 +155,17 @@ impl WordSpace {
     /// `sigma` must be a permutation of `Z_d`.
     pub fn apply_alphabet_perm(&self, sigma: &Perm, word: &Word) -> Word {
         self.check_alphabet_perm(sigma);
-        assert!(self.contains(word), "word {word} not in Z_{}^{}", self.d, self.dim);
+        assert!(
+            self.contains(word),
+            "word {word} not in Z_{}^{}",
+            self.d,
+            self.dim
+        );
         Word::from_positions(
-            word.positions().iter().map(|&x| sigma.apply(x as u32) as u8).collect(),
+            word.positions()
+                .iter()
+                .map(|&x| sigma.apply(x as u32) as u8)
+                .collect(),
         )
     }
 

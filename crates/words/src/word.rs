@@ -23,13 +23,17 @@ pub struct Word {
 impl Word {
     /// Build from position-indexed digits (`digits[i]` = `x_i`).
     pub fn from_positions(digits: Vec<u8>) -> Self {
-        Word { digits: digits.into_boxed_slice() }
+        Word {
+            digits: digits.into_boxed_slice(),
+        }
     }
 
     /// Build from paper-order digits (`x_{D-1}` first), the order used
     /// in every figure of the paper.
     pub fn from_msb(digits: &[u8]) -> Self {
-        Word { digits: digits.iter().rev().copied().collect() }
+        Word {
+            digits: digits.iter().rev().copied().collect(),
+        }
     }
 
     /// Word length `D`.
@@ -88,7 +92,11 @@ impl fmt::Display for Word {
                 }
                 write!(f, "{digit}")?;
             } else {
-                write!(f, "{}", char::from_digit(digit as u32, 36).expect("digit < 36"))?;
+                write!(
+                    f,
+                    "{}",
+                    char::from_digit(digit as u32, 36).expect("digit < 36")
+                )?;
             }
         }
         Ok(())
@@ -127,9 +135,11 @@ impl FromStr for Word {
         } else {
             s.chars()
                 .map(|c| {
-                    c.to_digit(36).map(|d| d as u8).ok_or_else(|| ParseWordError {
-                        message: format!("bad digit char {c:?}"),
-                    })
+                    c.to_digit(36)
+                        .map(|d| d as u8)
+                        .ok_or_else(|| ParseWordError {
+                            message: format!("bad digit char {c:?}"),
+                        })
                 })
                 .collect()
         };

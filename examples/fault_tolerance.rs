@@ -16,14 +16,19 @@ use otis::optics::HDigraph;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let trials: usize = std::env::args().nth(1).map_or(200, |s| s.parse().expect("trials"));
+    let trials: usize = std::env::args()
+        .nth(1)
+        .map_or(200, |s| s.parse().expect("trials"));
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xFA_17);
 
     // ---- the fabric and its theoretical resilience ----------------------
     let h = HDigraph::new(16, 32, 2); // ≅ B(2,8)
     let g = h.digraph();
     println!("fabric: H(16,32,2) ≅ B(2,8), 256 nodes, 512 beams");
-    println!("arc-connectivity λ = {} (theory: d-1 = 1)\n", flow::arc_connectivity(&g));
+    println!(
+        "arc-connectivity λ = {} (theory: d-1 = 1)\n",
+        flow::arc_connectivity(&g)
+    );
 
     // ---- adversarial single fault ----------------------------------------
     // The λ = 1 bottleneck sits at a loop node (the image of a
@@ -32,23 +37,36 @@ fn main() {
     let loop_node = (0..h.otis().link_count() / 2)
         .find(|&u| g.has_arc(u as u32, u as u32))
         .expect("B(2,8)-shaped fabric has 2 loop nodes");
-    let loop_k = (0..2).find(|&k| h.out_neighbor(loop_node, k) == loop_node).unwrap();
+    let loop_k = (0..2)
+        .find(|&k| h.out_neighbor(loop_node, k) == loop_node)
+        .unwrap();
     let cut_transmitter = loop_node * 2 + (1 - loop_k) as u64;
-    let adversarial =
-        FaultSet { dead_transmitters: vec![cut_transmitter], ..FaultSet::none() };
+    let adversarial = FaultSet {
+        dead_transmitters: vec![cut_transmitter],
+        ..FaultSet::none()
+    };
     let report = assess(&h, &adversarial);
     println!("adversarial single beam (loop node {loop_node}'s non-loop transmitter):");
     println!("  beams lost          : {}", report.beams_lost);
-    println!("  strongly connected  : {} (λ = 1 bottleneck confirmed)", report.strongly_connected);
+    println!(
+        "  strongly connected  : {} (λ = 1 bottleneck confirmed)",
+        report.strongly_connected
+    );
     println!("  unreachable pairs   : {}\n", report.unreachable_pairs);
-    assert!(!report.strongly_connected, "cutting a min-cut arc must disconnect");
+    assert!(
+        !report.strongly_connected,
+        "cutting a min-cut arc must disconnect"
+    );
 
     // ---- random single faults ---------------------------------------------
     let mut survived = 0usize;
     let mut diameter_growth = Vec::new();
     for _ in 0..trials {
         let t = rng.gen_range(0..512u64);
-        let faults = FaultSet { dead_transmitters: vec![t], ..FaultSet::none() };
+        let faults = FaultSet {
+            dead_transmitters: vec![t],
+            ..FaultSet::none()
+        };
         let report = assess(&h, &faults);
         if report.strongly_connected {
             survived += 1;
@@ -70,7 +88,10 @@ fn main() {
     // ---- lens failures (catastrophic class) --------------------------------
     println!("single lens occlusion (kills a whole group of beams):");
     for lens in [0u64, 7, 15] {
-        let faults = FaultSet { dead_lens1: vec![lens], ..FaultSet::none() };
+        let faults = FaultSet {
+            dead_lens1: vec![lens],
+            ..FaultSet::none()
+        };
         let report = assess(&h, &faults);
         println!(
             "  lens-1 #{lens:<2}: {} beams lost, connected: {}, unreachable pairs: {}",
@@ -81,11 +102,17 @@ fn main() {
     // ---- Kautz comparison ----------------------------------------------------
     let kautz_fabric = HDigraph::new(2, 48, 2); // ≅ K(2,5), λ = 2
     let kg = kautz_fabric.digraph();
-    println!("\nKautz fabric H(2,48,2) ≅ K(2,5): λ = {}", flow::arc_connectivity(&kg));
+    println!(
+        "\nKautz fabric H(2,48,2) ≅ K(2,5): λ = {}",
+        flow::arc_connectivity(&kg)
+    );
     let mut kautz_survived = 0usize;
     for _ in 0..trials {
         let t = rng.gen_range(0..96u64);
-        let faults = FaultSet { dead_transmitters: vec![t], ..FaultSet::none() };
+        let faults = FaultSet {
+            dead_transmitters: vec![t],
+            ..FaultSet::none()
+        };
         if assess(&kautz_fabric, &faults).strongly_connected {
             kautz_survived += 1;
         }
@@ -94,5 +121,8 @@ fn main() {
         "  random single beam failure: survived {kautz_survived}/{trials} ({:.0}%) — λ = 2 guarantees 100%",
         100.0 * kautz_survived as f64 / trials as f64
     );
-    assert_eq!(kautz_survived, trials, "λ = 2 must absorb any single arc loss");
+    assert_eq!(
+        kautz_survived, trials,
+        "λ = 2 must absorb any single arc loss"
+    );
 }

@@ -6,8 +6,8 @@
 //! Pipe a block into `dot -Tpng` to re-draw a paper figure.
 
 use otis::core::{
-    components, enumerate, iso, AlphabetDigraph, BSigma, DeBruijn, DigraphFamily, ImaseItoh,
-    Kautz, Rrk,
+    components, enumerate, iso, AlphabetDigraph, BSigma, DeBruijn, DigraphFamily, ImaseItoh, Kautz,
+    Rrk,
 };
 use otis::digraph::{connectivity, dot, iso::check_witness};
 use otis::perm::Perm;
@@ -19,20 +19,25 @@ fn main() {
     let ii = ImaseItoh::new(2, 8);
 
     println!("=== Figures 1-3: B(2,3), RRK(2,8), II(2,8) ===");
-    println!("B(2,3) and RRK(2,8) are EQUAL as labeled digraphs: {}",
-        b.digraph() == rrk.digraph());
+    println!(
+        "B(2,3) and RRK(2,8) are EQUAL as labeled digraphs: {}",
+        b.digraph() == rrk.digraph()
+    );
 
     let w33 = iso::prop_3_3_witness(2, 3);
     check_witness(&ii.digraph(), &b.digraph(), &w33).expect("Proposition 3.3");
-    println!("II(2,8) ≅ B(2,3) via W_C; e.g. II-vertex 0 is B-vertex {} ({})",
+    println!(
+        "II(2,8) ≅ B(2,3) via W_C; e.g. II-vertex 0 is B-vertex {} ({})",
         w33[0],
-        b.space().unrank(w33[0] as u64));
+        b.space().unrank(w33[0] as u64)
+    );
 
     let space = *b.space();
     println!("\n--- DOT of Figure 1 ---");
-    println!("{}", dot::to_dot_with_labels(&b.digraph(), "fig1", |u| space
-        .unrank(u as u64)
-        .to_string()));
+    println!(
+        "{}",
+        dot::to_dot_with_labels(&b.digraph(), "fig1", |u| space.unrank(u as u64).to_string())
+    );
 
     // ---- §3.3.1 / Figure 4: a twisted definition that works -------------
     println!("=== §3.3.1: A(f, Id, 2) with f = (0 3 2 5 1 4) on Z_6 ===");
@@ -43,9 +48,11 @@ fn main() {
 
     let a = AlphabetDigraph::new(2, 6, f, Perm::identity(2), 2);
     let witness = iso::prop_3_9_witness(&a).unwrap();
-    check_witness(&a.digraph(), &DeBruijn::new(2, 6).digraph(), &witness)
-        .expect("Proposition 3.9");
-    println!("A(f, Id, 2) ≅ B(2,6): witness verified on all {} vertices\n", a.node_count());
+    check_witness(&a.digraph(), &DeBruijn::new(2, 6).digraph(), &witness).expect("Proposition 3.9");
+    println!(
+        "A(f, Id, 2) ≅ B(2,6): witness verified on all {} vertices\n",
+        a.node_count()
+    );
 
     // ---- §3.3.2 / Figure 5: a twisted definition that fails -------------
     println!("=== §3.3.2: A(f, Id, 1) with f = complement on Z_3 ===");
@@ -63,9 +70,12 @@ fn main() {
 
     println!("--- DOT of Figure 5 ---");
     let bad_space = *bad.space();
-    println!("{}", dot::to_dot_with_labels(&bad.digraph(), "fig5", |u| bad_space
-        .unrank(u as u64)
-        .to_string()));
+    println!(
+        "{}",
+        dot::to_dot_with_labels(&bad.digraph(), "fig5", |u| bad_space
+            .unrank(u as u64)
+            .to_string())
+    );
 
     // ---- the d!(D-1)! census --------------------------------------------
     println!("=== d!(D-1)! alternative definitions ===");
@@ -87,7 +97,10 @@ fn main() {
         let n = (d as u64).pow(dd - 1) * (d as u64 + 1);
         let w = otis::core::line::kautz_imase_itoh_witness(d, dd);
         check_witness(&k.digraph(), &ImaseItoh::new(d, n).digraph(), &w).unwrap();
-        println!("K({d},{dd}) ≅ II({d},{n}): witness verified ({} vertices)", k.node_count());
+        println!(
+            "K({d},{dd}) ≅ II({d},{n}): witness verified ({} vertices)",
+            k.node_count()
+        );
     }
 
     // ---- B_σ sampler ------------------------------------------------------

@@ -1,135 +1,185 @@
-//! Network simulation: run random traffic over `B(2,8)` hosted on the
+//! Network simulation: run batched traffic over `B(2,8)` hosted on the
 //! paper's 48-lens OTIS(16,32) layout, and over the prior-art 258-lens
 //! OTIS(2,256) II layout, and compare what the *physics* says —
-//! latency, energy, bench size — on top of the lens-count headline.
+//! latency, energy, congestion, bench size — on top of the lens-count
+//! headline.
 //!
-//! Run with: `cargo run --release --example network_simulation [packets]`
+//! The same logical workload (generated in de Bruijn rank space, then
+//! translated through each layout's isomorphism witness) runs over
+//! both fabrics via precomputed table routers and the batched traffic
+//! engine, so the hop statistics are *identical by construction* and
+//! every remaining difference is hardware.
+//!
+//! Run with: `cargo run --release --example network_simulation [packets] [pattern]`
 
-use otis::core::{routing, DeBruijn, DigraphFamily};
-use otis::layout::balanced_even_layout;
+use otis::core::{DeBruijn, DigraphFamily, Router, RoutingTable};
+use otis::layout::LayoutSpec;
 use otis::optics::simulator::OtisSimulator;
-use otis::optics::HDigraph;
-use rand::{Rng, SeedableRng};
+use otis::optics::traffic::{generate_workload, TrafficEngine, TrafficPattern, TrafficReport};
 
-struct TrafficStats {
-    packets: usize,
-    hops: usize,
-    latency_ps: f64,
-    energy_pj: f64,
-    worst_latency_ps: f64,
+struct Fabric {
+    name: String,
+    spec: LayoutSpec,
+    sim: OtisSimulator,
+    /// `witness[h_node]` = de Bruijn rank (iso witness from H to B).
+    inverse: Vec<u32>,
 }
 
-fn run_traffic(
-    sim: &OtisSimulator,
-    to_b: &[u32],
-    from_b: &[u32],
-    b: &DeBruijn,
-    pairs: &[(u64, u64)],
-) -> TrafficStats {
-    let mut stats = TrafficStats {
-        packets: 0,
-        hops: 0,
-        latency_ps: 0.0,
-        energy_pj: 0.0,
-        worst_latency_ps: 0.0,
-    };
-    for &(src, dst) in pairs {
-        let report = sim
-            .send(src, dst, |current, dst| {
-                let path = routing::shortest_path(
-                    b,
-                    to_b[current as usize] as u64,
-                    to_b[dst as usize] as u64,
-                );
-                from_b[path[1] as usize] as u64
-            })
-            .expect("de Bruijn arithmetic routing is loop-free");
-        assert!(report.delivered(), "all links must close");
-        stats.packets += 1;
-        stats.hops += report.hop_count();
-        stats.latency_ps += report.latency_ps;
-        stats.energy_pj += report.energy_pj;
-        stats.worst_latency_ps = stats.worst_latency_ps.max(report.latency_ps);
+impl Fabric {
+    fn new(name: &str, spec: LayoutSpec) -> Self {
+        let sim = OtisSimulator::with_defaults(spec.h_digraph());
+        let witness = spec.debruijn_witness().expect("cyclic split");
+        let inverse = otis::core::iso::invert_witness(&witness);
+        Fabric {
+            name: name.into(),
+            spec,
+            sim,
+            inverse,
+        }
     }
-    stats
+
+    /// Translate a workload from de Bruijn rank space into this
+    /// fabric's node ids through the isomorphism witness.
+    fn translate(&self, workload_b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        workload_b
+            .iter()
+            .map(|&(src, dst)| {
+                (
+                    self.inverse[src as usize] as u64,
+                    self.inverse[dst as usize] as u64,
+                )
+            })
+            .collect()
+    }
+
+    /// Run the B-space workload on this fabric through any router.
+    fn run_with(&self, router: &dyn Router, workload_b: &[(u64, u64)]) -> TrafficReport {
+        let engine = TrafficEngine::new(&self.sim);
+        engine.run(router, &self.translate(workload_b))
+    }
+
+    /// Run the B-space workload through a precomputed table router.
+    fn run(&self, workload_b: &[(u64, u64)]) -> TrafficReport {
+        self.run_with(&RoutingTable::from_family(self.sim.h()), workload_b)
+    }
 }
 
-fn print_stats(name: &str, lens_count: u64, bench_mm: f64, s: &TrafficStats) {
-    println!("{name}");
-    println!("  lenses            : {lens_count}");
-    println!("  bench length      : {bench_mm:.0} mm");
-    println!("  packets delivered : {}", s.packets);
-    println!("  mean hops         : {:.2}", s.hops as f64 / s.packets as f64);
-    println!("  mean latency      : {:.0} ps", s.latency_ps / s.packets as f64);
-    println!("  worst latency     : {:.0} ps", s.worst_latency_ps);
-    println!("  mean energy       : {:.1} pJ", s.energy_pj / s.packets as f64);
+fn print_report(fabric: &Fabric, report: &TrafficReport) {
+    println!("{}", fabric.name);
+    println!("  router            : {}", report.router);
+    println!("  lenses            : {}", fabric.spec.lens_count());
+    println!(
+        "  bench length      : {:.0} mm",
+        fabric.sim.bench().bench_length()
+    );
+    println!(
+        "  packets delivered : {} / {} ({:.1}%)",
+        report.delivered,
+        report.packets,
+        report.delivery_rate() * 100.0
+    );
+    println!("  mean hops         : {:.2}", report.mean_hops());
+    println!(
+        "  link congestion   : max {} (forwarding index), mean {:.1}",
+        report.max_link_load,
+        report.mean_link_load()
+    );
+    println!(
+        "  latency           : mean {:.0} ps, p99 {:.0} ps, worst {:.0} ps",
+        report.latency_mean_ps, report.latency_p99_ps, report.latency_max_ps
+    );
+    println!(
+        "  mean energy       : {:.1} pJ/packet",
+        report.mean_energy_pj()
+    );
 }
 
 fn main() {
     let packets: usize = std::env::args()
         .nth(1)
-        .map_or(2000, |s| s.parse().expect("packet count"));
+        .map_or(20_000, |raw| raw.parse().expect("packet count"));
+    let pattern: TrafficPattern = std::env::args()
+        .nth(2)
+        .map_or(TrafficPattern::Uniform, |raw| raw.parse().expect("pattern"));
 
     let b = DeBruijn::new(2, 8);
-    let n = b.node_count();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0715_2000);
-    let pairs: Vec<(u64, u64)> = (0..packets)
-        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
-        .collect();
-
-    println!("traffic: {packets} random (src, dst) pairs over {} ({} nodes)\n", b.name(), n);
+    let workload_b = generate_workload(pattern, b.node_count(), 2, packets, 0x0715_2000);
+    println!(
+        "traffic: {packets} {pattern} packets over {} ({} nodes)\n",
+        b.name(),
+        b.node_count()
+    );
 
     // ---- the paper's layout: OTIS(16,32), 48 lenses ---------------------
-    let spec = balanced_even_layout(2, 8);
-    let sim = OtisSimulator::with_defaults(spec.h_digraph());
-    let witness = spec.debruijn_witness().expect("cyclic");
-    let inverse = otis::core::iso::invert_witness(&witness);
-    let stats = run_traffic(&sim, &witness, &inverse, &b, &pairs);
-    print_stats(
-        &format!("Θ(√n) layout — OTIS({}, {})", spec.p(), spec.q()),
-        spec.lens_count(),
-        sim.bench().bench_length(),
-        &stats,
+    let balanced = Fabric::new(
+        "Θ(√n) layout — OTIS(16, 32)",
+        otis::layout::balanced_even_layout(2, 8),
     );
+    let report = balanced.run(&workload_b);
+    print_report(&balanced, &report);
+    assert!(report.all_budgets_close, "all links must close");
 
     // ---- prior art: OTIS(2,256) = II layout, 258 lenses ------------------
     // H(2,256,2) ≅ B(2,8) as well (split p' = 1), so the same logical
     // traffic runs over it; only the hardware differs.
-    let ii_spec = otis::layout::LayoutSpec::new(2, 1, 8);
-    let ii_sim = OtisSimulator::with_defaults(HDigraph::new(2, 256, 2));
-    let ii_witness = ii_spec.debruijn_witness().expect("II split is cyclic");
-    let ii_inverse = otis::core::iso::invert_witness(&ii_witness);
-    let ii_stats = run_traffic(&ii_sim, &ii_witness, &ii_inverse, &b, &pairs);
-    println!();
-    print_stats(
+    let ii = Fabric::new(
         "O(n) layout — OTIS(2, 256) [Imase-Itoh]",
-        ii_spec.lens_count(),
-        ii_sim.bench().bench_length(),
-        &ii_stats,
+        LayoutSpec::new(2, 1, 8),
     );
+    let ii_report = ii.run(&workload_b);
+    println!();
+    print_report(&ii, &ii_report);
 
     // ---- the comparison the paper argues for ------------------------------
+    assert_eq!(
+        report.total_hops, ii_report.total_hops,
+        "same logical pairs through isomorphic fabrics take identical hops"
+    );
     println!("\nsummary:");
     println!(
-        "  same logical network, same mean hops ({:.2} vs {:.2})",
-        stats.hops as f64 / stats.packets as f64,
-        ii_stats.hops as f64 / ii_stats.packets as f64
+        "  identical logical traffic: {:.2} mean hops on both (same witness-mapped pairs)",
+        report.mean_hops()
     );
     println!(
         "  lens count         : {} vs {}  ({:.1}× fewer)",
-        spec.lens_count(),
-        ii_spec.lens_count(),
-        ii_spec.lens_count() as f64 / spec.lens_count() as f64
+        balanced.spec.lens_count(),
+        ii.spec.lens_count(),
+        ii.spec.lens_count() as f64 / balanced.spec.lens_count() as f64
     );
     println!(
         "  bench length       : {:.0} mm vs {:.0} mm  ({:.1}× shorter)",
-        sim.bench().bench_length(),
-        ii_sim.bench().bench_length(),
-        ii_sim.bench().bench_length() / sim.bench().bench_length()
+        balanced.sim.bench().bench_length(),
+        ii.sim.bench().bench_length(),
+        ii.sim.bench().bench_length() / balanced.sim.bench().bench_length()
     );
     println!(
         "  mean latency       : {:.0} ps vs {:.0} ps",
-        stats.latency_ps / stats.packets as f64,
-        ii_stats.latency_ps / ii_stats.packets as f64
+        report.latency_mean_ps, ii_report.latency_mean_ps
+    );
+    println!(
+        "  mean energy        : {:.1} pJ vs {:.1} pJ",
+        report.mean_energy_pj(),
+        ii_report.mean_energy_pj()
+    );
+
+    // ---- fault injection through the same engine --------------------------
+    // Kill a transmitter and re-run on the degraded balanced fabric:
+    // the fault-aware router recomputes and still delivers everything.
+    let faults = otis::optics::faults::FaultSet {
+        dead_transmitters: vec![42],
+        ..otis::optics::faults::FaultSet::none()
+    };
+    let fault_router = otis::optics::faults::FaultAwareRouter::new(balanced.sim.h(), faults);
+    let degraded = balanced.run_with(&fault_router, &workload_b);
+    println!(
+        "\nwith one dead transmitter ({}): {:.1}% delivered, mean hops {:.2} (was {:.2})",
+        Router::name(&fault_router),
+        degraded.delivery_rate() * 100.0,
+        degraded.mean_hops(),
+        report.mean_hops()
+    );
+    assert_eq!(
+        degraded.dropped, 0,
+        "B(2,8) reroutes around a single dead beam"
     );
 }

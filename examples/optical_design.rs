@@ -12,14 +12,18 @@ use otis::layout::{ii_layout_lens_count, minimize_lenses, LayoutSpec};
 use otis::optics::geometry::Bench;
 use otis::optics::power::{
     break_even_length_mm, electrical_energy_pj, optical_budget, ElectricalLinkParams,
-    OpticalLinkParams, OpticalBudget,
+    OpticalBudget, OpticalLinkParams,
 };
 use otis::optics::Otis;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let d: u32 = args.next().map_or(2, |s| s.parse().expect("d must be an integer ≥ 2"));
-    let dd: u32 = args.next().map_or(8, |s| s.parse().expect("D must be an integer ≥ 1"));
+    let d: u32 = args
+        .next()
+        .map_or(2, |s| s.parse().expect("d must be an integer ≥ 2"));
+    let dd: u32 = args
+        .next()
+        .map_or(8, |s| s.parse().expect("D must be an integer ≥ 1"));
 
     let best = minimize_lenses(d, dd).expect("a layout always exists");
     let n = best.node_count();
@@ -27,7 +31,10 @@ fn main() {
     println!("=== OTIS layout design for B({d},{dd}) — {n} nodes ===\n");
 
     // ---- the full split table (Corollary 4.6's search space) -----------
-    println!("{:>4} {:>4} {:>10} {:>10} {:>12}  B-layout?", "p'", "q'", "p", "q", "lenses");
+    println!(
+        "{:>4} {:>4} {:>10} {:>10} {:>12}  B-layout?",
+        "p'", "q'", "p", "q", "lenses"
+    );
     for p_prime in 1..=dd {
         let spec = LayoutSpec::new(d, p_prime, dd + 1 - p_prime);
         println!(
@@ -37,7 +44,11 @@ fn main() {
             spec.p(),
             spec.q(),
             spec.lens_count(),
-            if spec.is_debruijn() { "yes" } else { "no (f not cyclic)" }
+            if spec.is_debruijn() {
+                "yes"
+            } else {
+                "no (f not cyclic)"
+            }
         );
     }
 
@@ -82,17 +93,25 @@ fn main() {
 
     // ---- witness check -----------------------------------------------------
     if n <= 1 << 20 {
-        let witness = best.debruijn_witness().expect("optimal layout is de Bruijn");
+        let witness = best
+            .debruijn_witness()
+            .expect("optimal layout is de Bruijn");
         otis::digraph::iso::check_witness(
             &best.h_digraph().digraph(),
             &otis::core::DeBruijn::new(d, dd).digraph(),
             &witness,
         )
         .expect("constructive isomorphism verifies");
-        println!("\nisomorphism H({}, {}, {d}) ≅ B({d},{dd}): verified on all {n} nodes", best.p(), best.q());
+        println!(
+            "\nisomorphism H({}, {}, {d}) ≅ B({d},{dd}): verified on all {n} nodes",
+            best.p(),
+            best.q()
+        );
     } else {
-        println!("\nisomorphism check skipped (n too large to materialize); O(D) criterion: {}",
-            best.is_debruijn());
+        println!(
+            "\nisomorphism check skipped (n too large to materialize); O(D) criterion: {}",
+            best.is_debruijn()
+        );
     }
 }
 
@@ -109,8 +128,15 @@ fn print_bench(name: &str, bench: &Bench) {
 
 fn print_budget(budget: &OpticalBudget) {
     println!("received power       : {:.3} mW", budget.received_power_mw);
-    println!("margin               : {:.1} dB ({})", budget.margin_db,
-        if budget.closes() { "link closes" } else { "LINK FAILS" });
+    println!(
+        "margin               : {:.1} dB ({})",
+        budget.margin_db,
+        if budget.closes() {
+            "link closes"
+        } else {
+            "LINK FAILS"
+        }
+    );
     println!("energy               : {:.1} pJ/bit", budget.energy_pj);
     println!("latency              : {:.1} ps", budget.latency_ps);
 }

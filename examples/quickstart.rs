@@ -44,19 +44,18 @@ fn main() {
 
     // The isomorphism H(4,8,2) -> B(2,4) is constructed, not searched:
     let witness = spec.debruijn_witness().expect("f_{2,3} is cyclic");
-    otis::digraph::iso::check_witness(
-        &spec.h_digraph().digraph(),
-        &g,
-        &witness,
-    )
-    .expect("the paper's witness verifies in O(n + m)");
+    otis::digraph::iso::check_witness(&spec.h_digraph().digraph(), &g, &witness)
+        .expect("the paper's witness verifies in O(n + m)");
     println!("witness     : verified (fabric node u is B-vertex witness[u])");
 
     // ---- 3. Physics: route a packet through the simulated bench --------
     let sim = OtisSimulator::with_defaults(spec.h_digraph());
     let inverse = otis::core::iso::invert_witness(&witness);
     let (src_b, dst_b) = (0b0000u64, 0b1111u64);
-    let (src, dst) = (inverse[src_b as usize] as u64, inverse[dst_b as usize] as u64);
+    let (src, dst) = (
+        inverse[src_b as usize] as u64,
+        inverse[dst_b as usize] as u64,
+    );
 
     let report = sim
         .send(src, dst, |current, dst| {
@@ -65,7 +64,7 @@ fn main() {
                 witness[current as usize] as u64,
                 witness[dst as usize] as u64,
             );
-            inverse[path[1] as usize] as u64
+            Some(inverse[path[1] as usize] as u64)
         })
         .expect("routable");
 
@@ -83,6 +82,12 @@ fn main() {
             hop.from, hop.to, hop.transceiver, hop.path_length_mm, hop.budget.margin_db
         );
     }
-    assert_eq!(report.hop_count() as u32, routing::distance(&b, src_b, dst_b));
-    println!("\nexpected {} hops (distance 0000 -> 1111 in B(2,4)) — OK", report.hop_count());
+    assert_eq!(
+        report.hop_count() as u32,
+        routing::distance(&b, src_b, dst_b)
+    );
+    println!(
+        "\nexpected {} hops (distance 0000 -> 1111 in B(2,4)) — OK",
+        report.hop_count()
+    );
 }

@@ -29,7 +29,11 @@ fn balanced_fabric_routes_all_pairs_within_diameter() {
     for src in (0..n).step_by(7) {
         for dst in (0..n).step_by(5) {
             let report = sim.send_shortest(src, dst).unwrap();
-            assert!(report.hop_count() <= 6, "{src}→{dst} took {} hops", report.hop_count());
+            assert!(
+                report.hop_count() <= 6,
+                "{src}→{dst} took {} hops",
+                report.hop_count()
+            );
             assert!(report.delivered());
         }
     }
@@ -53,10 +57,14 @@ fn debruijn_arithmetic_routing_drives_the_simulator() {
                 let bc = witness[current as usize] as u64;
                 let bd = witness[dst as usize] as u64;
                 let path = routing::shortest_path(&b, bc, bd);
-                inverse[path[1] as usize] as u64
+                Some(inverse[path[1] as usize] as u64)
             })
             .unwrap();
-        let expected = routing::distance(&b, witness[src as usize] as u64, witness[dst as usize] as u64);
+        let expected = routing::distance(
+            &b,
+            witness[src as usize] as u64,
+            witness[dst as usize] as u64,
+        );
         assert_eq!(report.hop_count() as u32, expected, "{src}→{dst}");
         total_hops += report.hop_count();
     }
@@ -109,7 +117,10 @@ fn per_hop_physics_accounted() {
     }
     // Latency = Σ hop latencies + per-hop overhead.
     let raw: f64 = report.hops.iter().map(|h| h.budget.latency_ps).sum();
-    assert!(report.latency_ps > raw, "store-and-forward overhead included");
+    assert!(
+        report.latency_ps > raw,
+        "store-and-forward overhead included"
+    );
 }
 
 #[test]

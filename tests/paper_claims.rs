@@ -4,8 +4,8 @@
 //! paper_claims` reads as a checklist of the reproduction.
 
 use otis::core::{
-    enumerate, iso as core_iso, line, AlphabetDigraph, BSigma, DeBruijn, DigraphFamily,
-    ImaseItoh, Kautz, PositionalSigma, Rrk,
+    enumerate, iso as core_iso, line, AlphabetDigraph, BSigma, DeBruijn, DigraphFamily, ImaseItoh,
+    Kautz, PositionalSigma, Rrk,
 };
 use otis::digraph::{bfs, connectivity, iso, ops};
 use otis::layout::{
@@ -250,10 +250,7 @@ fn section_4_3_all_powers_of_two_shapes_of_256_are_debruijn() {
     // and the remaining power split (8,64): p'=3, q'=6 — check
     // against the criterion rather than assuming.
     let spec_36 = LayoutSpec::new(2, 3, 6);
-    assert_eq!(
-        spec_36.is_debruijn(),
-        layout_permutation(3, 6).is_cyclic()
-    );
+    assert_eq!(spec_36.is_debruijn(), layout_permutation(3, 6).is_cyclic());
 }
 
 #[test]
@@ -283,8 +280,14 @@ fn corollary_4_4_theta_sqrt_n_lenses() {
 
 #[test]
 fn section_4_4_odd_cases() {
-    assert!(LayoutSpec::new(2, 5, 7).is_debruijn(), "H(2⁵,2⁷,2) ≅ B(2,11)");
-    assert!(!LayoutSpec::new(2, 6, 8).is_debruijn(), "H(2⁶,2⁸,2) ≇ B(2,13)");
+    assert!(
+        LayoutSpec::new(2, 5, 7).is_debruijn(),
+        "H(2⁵,2⁷,2) ≅ B(2,11)"
+    );
+    assert!(
+        !LayoutSpec::new(2, 6, 8).is_debruijn(),
+        "H(2⁶,2⁸,2) ≇ B(2,13)"
+    );
     // And the witness for the positive case actually verifies
     // (n = 2048: the largest full witness check in the suite).
     let spec = LayoutSpec::new(2, 5, 7);

@@ -22,7 +22,10 @@ fn figure_1_debruijn_2_3() {
     let space = *b.space();
     let rendered = dot::to_dot_with_labels(&g, "B_2_3", |u| space.unrank(u as u64).to_string());
     for label in ["000", "001", "010", "011", "100", "101", "110", "111"] {
-        assert!(rendered.contains(&format!("label=\"{label}\"")), "missing node {label}");
+        assert!(
+            rendered.contains(&format!("label=\"{label}\"")),
+            "missing node {label}"
+        );
     }
     // Figure highlights: loops at 000 and 111, the 2-cycle 010 <-> 101.
     assert!(g.has_arc(0, 0) && g.has_arc(7, 7));
@@ -119,7 +122,10 @@ fn figure_6_otis_3_6_wiring() {
     let mut receivers_hit = Vec::new();
     for i in 0..3 {
         for j in 0..6 {
-            let r = otis.connect(Transmitter { group: i, offset: j });
+            let r = otis.connect(Transmitter {
+                group: i,
+                offset: j,
+            });
             assert_eq!((r.group, r.offset), (5 - j, 2 - i));
             receivers_hit.push(otis.receiver_index(r));
         }
@@ -144,7 +150,11 @@ fn figure_7_h_4_8_2_wiring() {
     // two transmitters reach the receivers of its two out-neighbors.
     let g = h.digraph();
     for u in 0..16u64 {
-        let mut via_graph: Vec<u64> = g.out_neighbors(u as u32).iter().map(|&v| v as u64).collect();
+        let mut via_graph: Vec<u64> = g
+            .out_neighbors(u as u32)
+            .iter()
+            .map(|&v| v as u64)
+            .collect();
         via_graph.sort_unstable();
         let mut via_wiring: Vec<u64> = (0..2u64)
             .map(|delta| h.node_of_receiver(h.otis().connect_index(2 * u + delta)))

@@ -1,0 +1,259 @@
+//! Offline stand-in for `criterion`: the group/bencher API surface the
+//! workspace's benches use, measured with plain wall-clock timing.
+//! Each benchmark is warmed up, then run for enough iterations to fill
+//! a short measurement window; mean ns/iter is printed in a
+//! criterion-like one-line format. Statistical machinery (outlier
+//! detection, HTML reports) is intentionally absent.
+//!
+//! When invoked by `cargo test` (which passes `--test` to bench
+//! binaries built with `harness = false`), every benchmark body runs
+//! exactly once so benches stay smoke-tested without slowing the
+//! test suite.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (recorded, printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(raw: &str) -> Self {
+        BenchmarkId { id: raw.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(raw: String) -> Self {
+        BenchmarkId { id: raw }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// True when run under `cargo test`: run each body once, skip timing.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|arg| arg == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&id.id, None, self.test_mode, |bencher| routine(bencher));
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes its own sampling.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _window: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(
+            &label,
+            self.throughput,
+            self.criterion.test_mode,
+            |bencher| routine(bencher),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(
+            &label,
+            self.throughput,
+            self.criterion.test_mode,
+            |bencher| routine(bencher, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; `iter` does the measuring.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean time per iteration from the last `iter` call.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.mean_ns = f64::NAN;
+            return;
+        }
+        // Warm-up + calibration: time a single iteration.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        // Fill roughly a 200 ms window, capped to keep huge benches fast.
+        let target = Duration::from_millis(200);
+        let iterations = (target.as_nanos() / first.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iterations as f64;
+    }
+
+    /// `iter_batched` collapses to plain iteration: setup runs inside
+    /// the timed region (adequate for the shim's comparative numbers).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    mut routine: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        test_mode,
+        mean_ns: f64::NAN,
+    };
+    routine(&mut bencher);
+    if test_mode {
+        println!("{label}: ok (test mode)");
+        return;
+    }
+    let mean = bencher.mean_ns;
+    let rate = match throughput {
+        Some(Throughput::Elements(count)) if mean > 0.0 => {
+            format!("  ({:.2} Melem/s)", count as f64 * 1_000.0 / mean)
+        }
+        Some(Throughput::Bytes(count)) if mean > 0.0 => {
+            format!(
+                "  ({:.2} MiB/s)",
+                count as f64 * 1e9 / mean / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("{label:<55} time: [{}]{rate}", format_time(mean));
+}
+
+/// Build the group-runner functions `criterion_group!(name, target…)`
+/// expects, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,421 @@
+//! Offline stand-in for `proptest`: the subset this workspace's
+//! property tests use. Strategies are samplers over a deterministic
+//! seeded RNG; the [`proptest!`] macro runs each property for
+//! `ProptestConfig::cases` generated cases and panics with the case
+//! number on failure. No shrinking — a failing case prints its inputs
+//! via the assertion message instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values: the heart of the shim. Real proptest
+/// strategies also know how to shrink; this one only samples.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, map }
+    }
+
+    fn prop_flat_map<S, F>(self, make: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, make }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, keep: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            keep,
+            reason,
+        }
+    }
+
+    /// Shuffle the produced collection (only for `Vec` values).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMap<S, F> {
+    inner: S,
+    make: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.make)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// `prop_filter` adapter (rejection sampling with a retry cap).
+pub struct Filter<S, F> {
+    inner: S,
+    keep: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let candidate = self.inner.generate(rng);
+            if (self.keep)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.reason
+        )
+    }
+}
+
+/// `prop_shuffle` adapter.
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+        use rand::seq::SliceRandom;
+        let mut value = self.inner.generate(rng);
+        value.shuffle(rng);
+        value
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy (see [`any`]).
+pub trait ArbitraryValue: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl ArbitraryValue for $ty {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rand::RngCore::next_u64(rng) as $ty
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rand::RngCore::next_u64(rng) & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    marker: std::marker::PhantomData<T>,
+}
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for a primitive type.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any {
+        marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $index:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Inclusive length bounds for [`vec`]; the `usize`-only `From`
+    /// impls pin untyped literals like `0..=30` to `usize`, matching
+    /// real proptest's `SizeRange`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(range: std::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            SizeRange {
+                min: range.start,
+                max: range.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *range.start(),
+                max: *range.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        length: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `length` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, length: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            length: length.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let length = rng.gen_range(self.length.min..=self.length.max);
+            (0..length).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG. Mixing the test path in keeps different
+/// properties off identical sample sequences.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut seed = 0xcafe_f00d_d15e_a5e5u64;
+    for byte in test_name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(byte as u64);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", format_args!($($fmt)*), file!(), line!()
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{:?}` == `{:?}` ({}:{})",
+                        left, right, file!(), line!()
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{:?}` == `{:?}`: {} ({}:{})",
+                        left, right, format_args!($($fmt)*), file!(), line!()
+                    ));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                if *left == *right {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{:?}` != `{:?}` ({}:{})",
+                        left,
+                        right,
+                        file!(),
+                        line!()
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Reject the current case (counts as skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($config) $($rest)* }
+    };
+    (@run ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "property {} failed on case {}: {}",
+                        stringify!($name),
+                        case,
+                        message
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}

@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde`, vendored because this workspace builds
+//! without network access to a crate registry.
+//!
+//! It keeps the *surface* the workspace actually uses — the
+//! `Serialize`/`Deserialize` traits and derives, `Deserializer` with an
+//! associated `Error: de::Error`, `de::DeserializeOwned` — but routes
+//! everything through a self-describing [`Value`] tree instead of
+//! serde's zero-copy visitor machinery. `serde_json` (also vendored)
+//! prints and parses that tree as real JSON, so wire formats match what
+//! upstream serde would produce for these types (maps of named fields,
+//! sequences, `#[serde(transparent)]` newtypes).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use de::Error as _;
+
+/// Self-describing data-model value: the meeting point between
+/// `Serialize` impls and `Deserializer`s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// A source of one [`Value`]; mirrors serde's `Deserializer` closely
+/// enough that manual impls written against real serde (generic over
+/// `D: Deserializer<'de>`, using `D::Error` and `de::Error::custom`)
+/// compile unchanged.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+pub mod de {
+    //! Deserialization support traits.
+
+    /// Error constructor every deserializer error type provides.
+    pub trait Error: Sized + std::error::Error {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Marker for types deserializable from any lifetime (all of ours).
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// A [`Deserializer`] over an already-materialized [`Value`], generic
+/// in its error type so derived code can thread the outer `D::Error`.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    marker: std::marker::PhantomData<E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer {
+            value,
+            marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+// ----- Serialize impls for std types ----------------------------------------
+
+macro_rules! serialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn to_value(&self) -> Value {
+        self.as_ref().to_value()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $index:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$index.to_value()),+])
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (T0.0)
+    (T0.0, T1.1)
+    (T0.0, T1.1, T2.2)
+    (T0.0, T1.1, T2.2, T3.3)
+}
+
+// ----- Deserialize impls for std types --------------------------------------
+
+fn unexpected<E: de::Error>(want: &str, got: &Value) -> E {
+    E::custom(format!("expected {want}, found {got:?}"))
+}
+
+macro_rules! deserialize_uint {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                match deserializer.take_value()? {
+                    Value::UInt(raw) => <$ty>::try_from(raw)
+                        .map_err(|_| de::Error::custom(format!("{raw} out of range"))),
+                    Value::Int(raw) if raw >= 0 => <$ty>::try_from(raw as u64)
+                        .map_err(|_| de::Error::custom(format!("{raw} out of range"))),
+                    other => Err(unexpected(stringify!($ty), &other)),
+                }
+            }
+        }
+    )*};
+}
+deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let raw = match deserializer.take_value()? {
+                    Value::Int(raw) => raw,
+                    Value::UInt(raw) => i64::try_from(raw)
+                        .map_err(|_| D::Error::custom(format!("{raw} out of range")))?,
+                    other => return Err(unexpected(stringify!($ty), &other)),
+                };
+                <$ty>::try_from(raw).map_err(|_| de::Error::custom(format!("{raw} out of range")))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Float(raw) => Ok(raw),
+            Value::UInt(raw) => Ok(raw as f64),
+            Value::Int(raw) => Ok(raw as f64),
+            other => Err(unexpected("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|raw| raw as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(raw) => Ok(raw),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(raw) => Ok(raw),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            value => T::deserialize(ValueDeserializer::<D::Error>::new(value)).map(Some),
+        }
+    }
+}
+
+fn elements<'de, T: Deserialize<'de>, E: de::Error>(value: Value) -> Result<Vec<T>, E> {
+    let seq = match value {
+        Value::Seq(seq) => seq,
+        other => return Err(unexpected("sequence", &other)),
+    };
+    seq.into_iter()
+        .map(|element| T::deserialize(ValueDeserializer::<E>::new(element)))
+        .collect()
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        elements(deserializer.take_value()?)
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let elements: Vec<T> = elements(deserializer.take_value()?)?;
+        let found = elements.len();
+        elements
+            .try_into()
+            .map_err(|_| D::Error::custom(format!("expected {N} elements, found {found}")))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(Vec::into_boxed_slice)
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let seq = match deserializer.take_value()? {
+                    Value::Seq(seq) => seq,
+                    other => return Err(unexpected("tuple sequence", &other)),
+                };
+                if seq.len() != $len {
+                    return Err(D::Error::custom(format!(
+                        "expected tuple of {}, found {} elements", $len, seq.len()
+                    )));
+                }
+                let mut iter = seq.into_iter();
+                Ok(($(
+                    $name::deserialize(ValueDeserializer::<D::Error>::new(
+                        iter.next().expect("length checked"),
+                    ))?,
+                )+))
+            }
+        }
+    )*};
+}
+deserialize_tuple! {
+    (1; T0)
+    (2; T0, T1)
+    (3; T0, T1, T2)
+    (4; T0, T1, T2, T3)
+}
+
+// ----- helpers the derive macros expand to ----------------------------------
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{de, Deserialize, Value, ValueDeserializer};
+
+    pub fn into_map<E: de::Error>(value: Value) -> Result<Vec<(String, Value)>, E> {
+        match value {
+            Value::Map(map) => Ok(map),
+            other => Err(E::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+
+    pub fn into_seq<E: de::Error>(value: Value) -> Result<Vec<Value>, E> {
+        match value {
+            Value::Seq(seq) => Ok(seq),
+            other => Err(E::custom(format!("expected sequence, found {other:?}"))),
+        }
+    }
+
+    /// Pull one named field out of a map and deserialize it.
+    pub fn field<'de, T: Deserialize<'de>, E: de::Error>(
+        map: &mut Vec<(String, Value)>,
+        key: &str,
+    ) -> Result<T, E> {
+        let position = map
+            .iter()
+            .position(|(name, _)| name == key)
+            .ok_or_else(|| E::custom(format!("missing field `{key}`")))?;
+        let (_, value) = map.swap_remove(position);
+        T::deserialize(ValueDeserializer::<E>::new(value))
+    }
+
+    /// Pull one positional field out of a sequence (consumed in order).
+    pub fn seq_field<'de, T: Deserialize<'de>, E: de::Error>(
+        seq: &mut std::vec::IntoIter<Value>,
+        index: usize,
+    ) -> Result<T, E> {
+        let value = seq
+            .next()
+            .ok_or_else(|| E::custom(format!("missing tuple field {index}")))?;
+        T::deserialize(ValueDeserializer::<E>::new(value))
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the struct shapes this workspace uses
+//! (named-field structs, tuple structs, `#[serde(transparent)]`),
+//! hand-parsed from the token stream because `syn`/`quote` are not
+//! available offline. Unsupported shapes (enums, generics) produce a
+//! `compile_error!` naming the limitation instead of silently breaking.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    /// Unit-variant-only enum: serialized as the variant name string.
+    UnitEnum(Vec<String>),
+}
+
+struct StructDef {
+    name: String,
+    transparent: bool,
+    fields: Fields,
+}
+
+fn error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("valid compile_error")
+}
+
+/// Skip a `#[...]` attribute at `index`, reporting whether it was
+/// `#[serde(transparent)]`.
+fn skip_attribute(tokens: &[TokenTree], index: &mut usize) -> Option<bool> {
+    match tokens.get(*index) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '#' => {}
+        _ => return None,
+    }
+    match tokens.get(*index + 1) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Bracket => {
+            let body = group.stream().to_string();
+            *index += 2;
+            let is_serde = body.starts_with("serde");
+            Some(is_serde && body.contains("transparent"))
+        }
+        _ => None,
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in …)` at `index`.
+fn skip_visibility(tokens: &[TokenTree], index: &mut usize) {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(*index) {
+        if ident.to_string() == "pub" {
+            *index += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(*index) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    *index += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        while skip_attribute(&tokens, &mut index).is_some() {}
+        if index >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut index);
+        let name = match tokens.get(index) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        index += 1;
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => index += 1,
+            other => return Err(format!("expected `:` after `{name}`, found {other:?}")),
+        }
+        // Skip the type: everything up to the next comma at angle depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(token) = tokens.get(index) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+            index += 1;
+        }
+        index += 1; // past the comma (or the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut fields = 1;
+    for (position, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                // A trailing comma does not start a new field.
+                ',' if angle_depth == 0 && position + 1 < tokens.len() => fields += 1,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Parse the variants of a unit-variant-only enum body.
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        while skip_attribute(&tokens, &mut index).is_some() {}
+        if index >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(index) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected enum variant, found {other:?}")),
+        };
+        index += 1;
+        match tokens.get(index) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => index += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "the vendored serde_derive shim only supports unit enum variants; \
+                     `{name}` carries data"
+                ))
+            }
+            other => {
+                return Err(format!(
+                    "expected `,` after variant `{name}`, found {other:?}"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_struct(input: TokenStream) -> Result<StructDef, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = 0;
+    let mut transparent = false;
+    while let Some(is_transparent) = skip_attribute(&tokens, &mut index) {
+        transparent |= is_transparent;
+    }
+    skip_visibility(&tokens, &mut index);
+    let is_enum = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "struct" => {
+            index += 1;
+            false
+        }
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "enum" => {
+            index += 1;
+            true
+        }
+        other => {
+            return Err(format!(
+                "the vendored serde_derive shim only supports structs and unit enums, \
+                 found {other:?}"
+            ))
+        }
+    };
+    if is_enum {
+        let name = match tokens.get(index) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => return Err(format!("expected enum name, found {other:?}")),
+        };
+        index += 1;
+        let variants = match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                parse_unit_variants(group.stream())?
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        return Ok(StructDef {
+            name,
+            transparent: false,
+            fields: Fields::UnitEnum(variants),
+        });
+    }
+    let name = match tokens.get(index) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("expected struct name, found {other:?}")),
+    };
+    index += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(index) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive shim does not support generics on `{name}`"
+            ));
+        }
+    }
+    let fields = match tokens.get(index) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(group.stream())?)
+        }
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(group.stream()))
+        }
+        _ => Fields::Unit,
+    };
+    Ok(StructDef {
+        name,
+        transparent,
+        fields,
+    })
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(def) => def,
+        Err(message) => return error(&message),
+    };
+    let body = match &def.fields {
+        Fields::Named(fields) if def.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Fields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|field| {
+                    format!(
+                        "(::std::string::String::from({field:?}), \
+                         ::serde::Serialize::to_value(&self.{field}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(len) => {
+            let entries: Vec<String> = (0..*len)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    format!(
+                        "{name}::{variant} => ::serde::Value::Str(\
+                         ::std::string::String::from({variant:?}))",
+                        name = def.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        def.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = match parse_struct(input) {
+        Ok(def) => def,
+        Err(message) => return error(&message),
+    };
+    let name = &def.name;
+    let body = match &def.fields {
+        Fields::Named(fields) if def.transparent && fields.len() == 1 => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {}: \
+                 ::serde::Deserialize::deserialize(deserializer)? }})",
+                fields[0]
+            )
+        }
+        Fields::Named(fields) => {
+            let bindings: Vec<String> = fields
+                .iter()
+                .map(|field| format!("{field}: ::serde::__private::field(&mut map, {field:?})?"))
+                .collect();
+            format!(
+                "let mut map = ::serde::__private::into_map::<__D::Error>(\
+                     ::serde::Deserializer::take_value(deserializer)?)?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                bindings.join(", ")
+            )
+        }
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(deserializer)?))"
+        ),
+        Fields::Tuple(len) => {
+            let bindings: Vec<String> = (0..*len)
+                .map(|i| format!("::serde::__private::seq_field(&mut seq, {i})?"))
+                .collect();
+            format!(
+                "let mut seq = ::serde::__private::into_seq::<__D::Error>(\
+                     ::serde::Deserializer::take_value(deserializer)?)?.into_iter();\n\
+                 ::std::result::Result::Ok({name}({}))",
+                bindings.join(", ")
+            )
+        }
+        Fields::Unit => {
+            format!("let _ = deserializer;\n::std::result::Result::Ok({name})")
+        }
+        Fields::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    format!("{variant:?} => ::std::result::Result::Ok({name}::{variant})")
+                })
+                .collect();
+            format!(
+                "let raw: ::std::string::String = ::serde::Deserialize::deserialize(deserializer)?;\n\
+                 match raw.as_str() {{\n\
+                     {},\n\
+                     other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(deserializer: __D)\n\
+                 -> ::std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

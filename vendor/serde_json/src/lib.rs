@@ -1,0 +1,325 @@
+//! Offline stand-in for `serde_json`: compact JSON printing and parsing
+//! over the vendored `serde` shim's [`serde::Value`] tree. Output is
+//! byte-compatible with upstream serde_json's compact form for the
+//! types this workspace serializes (maps, sequences, numbers, strings).
+
+use serde::{de, Serialize, Value, ValueDeserializer};
+
+/// Error for both serialization and deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            message: msg.to_string(),
+        }
+    }
+}
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    print_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: de::DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        position: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.position != parser.bytes.len() {
+        return Err(Error {
+            message: format!("trailing input at byte {}", parser.position),
+        });
+    }
+    T::deserialize(ValueDeserializer::<Error>::new(value))
+}
+
+// ----- printer --------------------------------------------------------------
+
+fn print_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(raw) => out.push_str(&raw.to_string()),
+        Value::Int(raw) => out.push_str(&raw.to_string()),
+        Value::Float(raw) => {
+            if raw.is_finite() {
+                // `{:?}` is the shortest representation that round-trips.
+                out.push_str(&format!("{raw:?}"));
+            } else {
+                out.push_str("null"); // JSON has no NaN/Infinity
+            }
+        }
+        Value::Str(raw) => print_string(raw, out),
+        Value::Seq(elements) => {
+            out.push('[');
+            for (index, element) in elements.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                print_value(element, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (index, (key, element)) in entries.iter().enumerate() {
+                if index > 0 {
+                    out.push(',');
+                }
+                print_string(key, out);
+                out.push(':');
+                print_value(element, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn print_string(raw: &str, out: &mut String) {
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    position: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.position) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.position += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn fail(&self, message: &str) -> Error {
+        Error {
+            message: format!("{message} at byte {}", self.position),
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.bytes.get(self.position) == Some(&byte) {
+            self.position += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.bytes[self.position..].starts_with(keyword.as_bytes()) {
+            self.position += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.bytes.get(self.position) {
+            None => Err(self.fail("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.fail("invalid keyword"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.fail("invalid keyword"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.fail("invalid keyword"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.position += 1;
+                let mut elements = Vec::new();
+                self.skip_whitespace();
+                if self.bytes.get(self.position) == Some(&b']') {
+                    self.position += 1;
+                    return Ok(Value::Seq(elements));
+                }
+                loop {
+                    elements.push(self.parse_value()?);
+                    self.skip_whitespace();
+                    match self.bytes.get(self.position) {
+                        Some(b',') => self.position += 1,
+                        Some(b']') => {
+                            self.position += 1;
+                            return Ok(Value::Seq(elements));
+                        }
+                        _ => return Err(self.fail("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.position += 1;
+                let mut entries = Vec::new();
+                self.skip_whitespace();
+                if self.bytes.get(self.position) == Some(&b'}') {
+                    self.position += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.skip_whitespace();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_whitespace();
+                    match self.bytes.get(self.position) {
+                        Some(b',') => self.position += 1,
+                        Some(b'}') => {
+                            self.position += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(self.fail("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.position;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.position) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.position += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.position])
+                    .map_err(|_| self.fail("invalid UTF-8"))?,
+            );
+            match self.bytes.get(self.position) {
+                Some(b'"') => {
+                    self.position += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.position += 1;
+                    match self.bytes.get(self.position) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.position + 1..self.position + 5)
+                                .ok_or_else(|| self.fail("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.fail("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.fail("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.fail("invalid \\u code point"))?,
+                            );
+                            self.position += 4;
+                        }
+                        _ => return Err(self.fail("invalid escape")),
+                    }
+                    self.position += 1;
+                }
+                _ => return Err(self.fail("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.position;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.position) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.position += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.position += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.position]).expect("number bytes are ASCII");
+        if text.is_empty() {
+            return Err(self.fail("expected a value"));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.fail("invalid number"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.fail("invalid number"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.fail("invalid number"))
+        }
+    }
+}
