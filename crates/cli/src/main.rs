@@ -53,6 +53,14 @@ USAGE:
                                        (uniform|permutation|transpose|bitrev|
                                         hotspot|alltoall) over the lens-minimal
                                        OTIS fabric of B(d,D)
+    --buffers <B>      queueing: FIFO slots per link (default 16)
+    --wavelengths <W>  queueing: channels drained per link per cycle (default 1)
+    --adaptive         route contention-aware (least-queued candidate hop)
+    --sweep            sweep offered load and report saturation throughput
+    --load <L>         offered load, packets/node/cycle (default 0.2)
+    --policy <P>       full-buffer behavior: taildrop (default) | backpressure
+                       any of these flags switches from the batched static
+                       engine to the cycle-accurate queueing simulator
   otis sequence <d> <k>                print a de Bruijn sequence dB(d,k)
   otis dot <family> <d> <D>            DOT drawing (debruijn|kautz|ii|rrk)
 ";
@@ -173,11 +181,99 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Queueing knobs parsed from `otis traffic` flags. Presence of any
+/// flag switches from the batched static engine to the cycle-accurate
+/// queueing simulator.
+struct TrafficOptions {
+    queueing: bool,
+    adaptive: bool,
+    sweep: bool,
+    load_per_node: f64,
+    /// True iff `--load` was given explicitly (a sweep then includes
+    /// that point alongside its default grid).
+    load_set: bool,
+    config: otis_optics::QueueConfig,
+}
+
+/// Split `args` into positionals and [`TrafficOptions`].
+fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), String> {
+    let mut positionals = Vec::new();
+    let mut options = TrafficOptions {
+        queueing: false,
+        adaptive: false,
+        sweep: false,
+        load_per_node: 0.2,
+        load_set: false,
+        config: otis_optics::QueueConfig::default(),
+    };
+    let mut iter = args.iter();
+    fn value<'a>(
+        flag: &str,
+        iter: &mut std::slice::Iter<'a, String>,
+    ) -> Result<&'a String, String> {
+        iter.next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))
+    }
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--buffers" => {
+                options.config.buffers = value("--buffers", &mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --buffers: {e}"))?;
+                if options.config.buffers == 0 {
+                    return Err("--buffers must be at least 1".into());
+                }
+                options.queueing = true;
+            }
+            "--wavelengths" => {
+                options.config.wavelengths = value("--wavelengths", &mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --wavelengths: {e}"))?;
+                if options.config.wavelengths == 0 {
+                    return Err("--wavelengths must be at least 1".into());
+                }
+                options.queueing = true;
+            }
+            "--load" => {
+                options.load_per_node = value("--load", &mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --load: {e}"))?;
+                // Finiteness first, so NaN cannot slip past the sign check.
+                if !options.load_per_node.is_finite() || options.load_per_node <= 0.0 {
+                    return Err("--load must be a positive finite number".into());
+                }
+                options.load_set = true;
+                options.queueing = true;
+            }
+            "--policy" => {
+                options.config.policy = value("--policy", &mut iter)?.parse()?;
+                options.queueing = true;
+            }
+            "--adaptive" => {
+                options.adaptive = true;
+                options.queueing = true;
+            }
+            "--sweep" => {
+                options.sweep = true;
+                options.queueing = true;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag {other:?} (want --buffers|--wavelengths|--adaptive|--sweep|--load|--policy)"
+                ));
+            }
+            _ => positionals.push(arg.clone()),
+        }
+    }
+    Ok((positionals, options))
+}
+
 fn cmd_traffic(args: &[String]) -> Result<(), String> {
-    let d: u32 = parse(args, 0, "d")?;
-    let dd: u32 = parse(args, 1, "D")?;
-    let pattern: otis_optics::TrafficPattern = parse(args, 2, "pattern")?;
-    let packets: usize = parse(args, 3, "packets")?;
+    let (positionals, options) = parse_traffic_args(args)?;
+    let d: u32 = parse(&positionals, 0, "d")?;
+    let dd: u32 = parse(&positionals, 1, "D")?;
+    let pattern: otis_optics::TrafficPattern = parse(&positionals, 2, "pattern")?;
+    let packets: usize = parse(&positionals, 3, "packets")?;
     if d < 2 {
         return Err("d must be at least 2".into());
     }
@@ -186,12 +282,6 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
     }
     let n = otis_util::digits::checked_pow(d as u64, dd)
         .ok_or_else(|| format!("d^D overflows u64 (d = {d}, D = {dd})"))?;
-    let cap = otis_digraph::bfs::NextHopTable::MAX_NODES as u64;
-    if n > cap {
-        return Err(format!(
-            "B({d},{dd}) has {n} nodes; the precomputed routing table caps at {cap}"
-        ));
-    }
 
     // Host the fabric on its lens-minimal OTIS layout.
     let spec = otis_layout::minimize_lenses(d, dd)
@@ -203,9 +293,21 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
         spec.lens_count()
     );
 
-    let sim = otis_optics::simulator::OtisSimulator::with_defaults(h);
     let build_start = std::time::Instant::now();
-    let router = otis_core::RoutingTable::from_family(sim.h());
+    // The descriptive cap error (node count, cap, arithmetic-router
+    // suggestion) comes straight from the routing layer. The CLI
+    // cannot yet follow the arithmetic advice itself: its fabric is
+    // the OTIS H-numbering, and the tableless router speaks de Bruijn
+    // ranks (the relabeling is the ROADMAP's larger-than-table item).
+    let router = otis_core::RoutingTable::try_from_family(&h)
+        .map_err(|e| format!("{e} (CLI traffic on larger fabrics is a ROADMAP item)"))?;
+    let workload = otis_optics::traffic::generate_workload(pattern, n, d as u64, packets, 0x0715);
+
+    if options.queueing {
+        return run_queueing_traffic(&h, router, &workload, pattern, options, build_start);
+    }
+
+    let sim = otis_optics::simulator::OtisSimulator::with_defaults(h);
     let engine = otis_optics::TrafficEngine::new(&sim);
     println!(
         "router: {} (table + physics precomputed in {:.1} ms)",
@@ -213,7 +315,6 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
         build_start.elapsed().as_secs_f64() * 1e3
     );
 
-    let workload = otis_optics::traffic::generate_workload(pattern, n, d as u64, packets, 0x0715);
     let run_start = std::time::Instant::now();
     let report = engine.run(&router, &workload);
     let elapsed = run_start.elapsed();
@@ -255,6 +356,121 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
         } else {
             "SOME DO NOT CLOSE"
         }
+    );
+    Ok(())
+}
+
+/// The queueing side of `otis traffic`: cycle-accurate simulation
+/// with finite buffers and wavelength channels, optionally adaptive,
+/// optionally sweeping offered load for the saturation curve.
+fn run_queueing_traffic(
+    h: &otis_optics::HDigraph,
+    router: otis_core::RoutingTable,
+    workload: &[(u64, u64)],
+    pattern: otis_optics::TrafficPattern,
+    options: TrafficOptions,
+    build_start: std::time::Instant,
+) -> Result<(), String> {
+    use otis_core::Router;
+
+    let n = otis_core::DigraphFamily::node_count(h);
+    let engine = otis_optics::QueueingEngine::from_family(h, options.config);
+    let (oblivious, adaptive);
+    let routed: &dyn Router = if options.adaptive {
+        adaptive = otis_core::AdaptiveRouter::new(router, engine.occupancy());
+        &adaptive
+    } else {
+        oblivious = router;
+        &oblivious
+    };
+    println!(
+        "router: {} (built in {:.1} ms)",
+        routed.name(),
+        build_start.elapsed().as_secs_f64() * 1e3
+    );
+    println!(
+        "queueing: {} buffers × {} wavelength(s) per link, {} on full buffers",
+        options.config.buffers,
+        options.config.wavelengths,
+        match options.config.policy {
+            otis_optics::ContentionPolicy::Backpressure => "backpressure",
+            otis_optics::ContentionPolicy::TailDrop => "tail-drop",
+        }
+    );
+
+    if options.sweep {
+        let mut loads = vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.8];
+        if options.load_set && !loads.contains(&options.load_per_node) {
+            loads.push(options.load_per_node);
+            loads.sort_by(|a, b| a.total_cmp(b));
+        }
+        let sweep = engine.saturation_sweep(routed, workload, &loads);
+        println!("offered-load sweep ({pattern}, packets/node/cycle):");
+        println!("  offered  delivered  drop%   p99 wait");
+        for point in &sweep.points {
+            println!(
+                "  {:>7.3}  {:>9.4}  {:>5.1}  {:>6} cy{}",
+                point.offered_per_node,
+                point.delivered_per_node,
+                point.drop_rate * 100.0,
+                point.wait_p99_cycles,
+                if point.deadlocked { "  DEADLOCK" } else { "" }
+            );
+        }
+        println!(
+            "saturation throughput ≈ {:.4} packets/node/cycle",
+            sweep.saturation_throughput_per_node()
+        );
+        return Ok(());
+    }
+
+    let offered = options.load_per_node * n as f64;
+    let run_start = std::time::Instant::now();
+    let report = engine.run(routed, workload, offered);
+    let elapsed = run_start.elapsed();
+    println!(
+        "simulated {} {pattern} packets over {} cycles in {:.1} ms (offered {:.3}/node/cycle)",
+        report.injected,
+        report.cycles,
+        elapsed.as_secs_f64() * 1e3,
+        options.load_per_node
+    );
+    println!(
+        "  delivered         : {} ({:.2}%), throughput {:.2} packets/cycle",
+        report.delivered,
+        report.delivery_rate() * 100.0,
+        report.throughput_per_cycle()
+    );
+    println!(
+        "  dropped           : {} full-buffer, {} unroutable, {} hop-budget",
+        report.dropped_full, report.dropped_unroutable, report.dropped_ttl
+    );
+    if report.in_flight > 0 || report.deadlocked {
+        println!(
+            "  in flight         : {}{}",
+            report.in_flight,
+            if report.deadlocked {
+                "  (backpressure DEADLOCK)"
+            } else {
+                "  (cycle horizon reached)"
+            }
+        );
+    }
+    println!(
+        "  hops              : mean {:.2}, max {}",
+        report.mean_hops(),
+        report.max_hops
+    );
+    println!(
+        "  queueing delay    : mean {:.1} cy, p50 {} cy, p99 {} cy, max {} cy",
+        report.wait_mean_cycles,
+        report.wait_p50_cycles,
+        report.wait_p99_cycles,
+        report.wait_max_cycles
+    );
+    println!(
+        "  peak occupancy    : {} of {} buffer slots on the fullest link",
+        report.max_peak_occupancy, options.config.buffers
     );
     Ok(())
 }

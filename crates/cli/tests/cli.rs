@@ -128,6 +128,107 @@ fn traffic_rejects_bad_input() {
     let out = otis(&["traffic", "2", "14", "uniform", "100"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("caps at 8192"), "{}", stderr(&out));
+    // The cap error is actionable: node count and the tableless
+    // alternative, straight from the routing layer.
+    assert!(stderr(&out).contains("16384 nodes"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("arithmetic"), "{}", stderr(&out));
+}
+
+#[test]
+fn traffic_unknown_pattern_lists_the_valid_ones() {
+    let out = otis(&["traffic", "2", "6", "zigzag", "100"]);
+    assert!(!out.status.success(), "unknown pattern must exit nonzero");
+    let text = stderr(&out);
+    for pattern in [
+        "uniform",
+        "permutation",
+        "transpose",
+        "bitrev",
+        "hotspot",
+        "alltoall",
+    ] {
+        assert!(text.contains(pattern), "missing {pattern} in: {text}");
+    }
+}
+
+#[test]
+fn traffic_adaptive_queueing_run() {
+    let out = otis(&["traffic", "2", "6", "hotspot", "2000", "--adaptive"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("adaptive(table("), "{text}");
+    assert!(text.contains("queueing: 16 buffers"), "{text}");
+    assert!(text.contains("queueing delay"), "{text}");
+    assert!(text.contains("packets/cycle"), "{text}");
+}
+
+#[test]
+fn traffic_queueing_knobs_are_respected() {
+    let out = otis(&[
+        "traffic",
+        "2",
+        "5",
+        "uniform",
+        "500",
+        "--buffers",
+        "4",
+        "--wavelengths",
+        "2",
+        "--policy",
+        "backpressure",
+        "--load",
+        "0.1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("queueing: 4 buffers × 2 wavelength(s) per link, backpressure"),
+        "{text}"
+    );
+    assert!(text.contains("offered 0.100/node/cycle"), "{text}");
+}
+
+#[test]
+fn traffic_sweep_reports_saturation() {
+    let out = otis(&["traffic", "2", "5", "hotspot", "2000", "--sweep"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("offered-load sweep"), "{text}");
+    assert!(text.contains("saturation throughput"), "{text}");
+}
+
+#[test]
+fn traffic_rejects_unknown_flags_and_bad_values() {
+    let out = otis(&["traffic", "2", "6", "uniform", "100", "--warp"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown flag"), "{}", stderr(&out));
+
+    let out = otis(&["traffic", "2", "6", "uniform", "100", "--buffers", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("at least 1"), "{}", stderr(&out));
+
+    let out = otis(&["traffic", "2", "6", "uniform", "100", "--policy", "magic"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("backpressure|taildrop"),
+        "{}",
+        stderr(&out)
+    );
+
+    // NaN parses as f64 but must not reach the engine.
+    let out = otis(&["traffic", "2", "6", "uniform", "100", "--load", "nan"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("positive finite"), "{}", stderr(&out));
+}
+
+#[test]
+fn traffic_sweep_includes_an_explicit_load_point() {
+    let out = otis(&[
+        "traffic", "2", "5", "uniform", "1000", "--sweep", "--load", "0.3",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("0.300"), "user's load point missing: {text}");
 }
 
 #[test]

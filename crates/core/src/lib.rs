@@ -57,4 +57,7 @@ pub mod sequences;
 
 pub use families::{AlphabetDigraph, BSigma, DeBruijn, ImaseItoh, Kautz, PositionalSigma, Rrk};
 pub use family::DigraphFamily;
-pub use router::{BfsRouter, DeBruijnRouter, KautzRouter, Router, RoutingTable};
+pub use router::{
+    AdaptiveRouter, BfsRouter, Candidates, CongestionMap, DeBruijnRouter, KautzRouter,
+    NoCongestion, RankedCandidates, Router, RoutingTable,
+};

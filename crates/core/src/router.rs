@@ -18,14 +18,32 @@
 //!   be measured against (see `crates/bench/benches/routing_sim.rs`),
 //!   not to be deployed.
 //!
-//! A fourth implementation, the fault-aware router that recomputes
-//! around dead optical hardware, lives in `otis_optics::faults` next
-//! to the fault model it consumes.
+//! Two more implementations compose with these:
+//!
+//! * [`AdaptiveRouter`] — wraps any router and a [`CongestionMap`]
+//!   (live queue occupancy, fed by the queueing engine in
+//!   `otis_optics::traffic::queueing`) and picks the least-queued of
+//!   the candidate next hops, with a deroute penalty so packets only
+//!   leave shortest paths when congestion justifies it;
+//! * the fault-aware router that recomputes around dead optical
+//!   hardware lives in `otis_optics::faults` next to the fault model
+//!   it consumes — and exposes candidates over the *surviving*
+//!   digraph, so adaptivity composes with dead hardware.
 
 use crate::{DeBruijn, DigraphFamily, Kautz};
-use otis_digraph::bfs::NextHopTable;
+use otis_digraph::bfs::{NextHopTable, TableCapExceeded};
 use otis_digraph::{Digraph, INFINITY};
+use otis_util::SmallVec;
 use otis_words::Word;
+
+/// Candidate next hops for one routing query: at most the fabric
+/// degree `d` entries, inline for `d ≤ 4` (every configuration the
+/// paper tabulates).
+pub type Candidates = SmallVec<u64, 4>;
+
+/// Candidates with the distance each leaves to the destination:
+/// `(distance, vertex)` pairs, ascending by distance.
+pub type RankedCandidates = SmallVec<(u64, u64), 4>;
 
 /// A next-hop chooser over vertices `0..node_count()`.
 ///
@@ -44,6 +62,41 @@ pub trait Router: Sync {
     /// The next vertex on the way from `current` to `dst`; `None` if
     /// already there or unreachable.
     fn next_hop(&self, current: u64, dst: u64) -> Option<u64>;
+
+    /// Candidate next hops from `current` toward `dst`, best first.
+    ///
+    /// The contract: every entry is an out-neighbor of `current` from
+    /// which `dst` is still reachable, the first entry lies on a
+    /// shortest path (it is an acceptable answer for
+    /// [`Router::next_hop`]), and entries are ordered by the distance
+    /// they leave to `dst` (ties keep the fabric's natural neighbor
+    /// order). Empty iff `next_hop` is `None`.
+    ///
+    /// The default is the oblivious singleton (via
+    /// [`Router::ranked_candidates`]); topology-aware routers override
+    /// `ranked_candidates` to expose all `≤ d` usable out-neighbors so
+    /// an [`AdaptiveRouter`] can spread load across them.
+    fn candidates(&self, current: u64, dst: u64) -> Candidates {
+        self.ranked_candidates(current, dst)
+            .iter()
+            .map(|&(_, v)| v)
+            .collect()
+    }
+
+    /// [`Router::candidates`] with the remaining distance each hop
+    /// leaves to `dst`, as `(distance, vertex)` pairs, best first —
+    /// so congestion-aware wrappers need not recompute distances the
+    /// ranking already paid for. Same contract and ordering as
+    /// `candidates`; the two must agree.
+    fn ranked_candidates(&self, current: u64, dst: u64) -> RankedCandidates {
+        match self.next_hop(current, dst) {
+            Some(next) => match self.distance(next, dst) {
+                Some(dist) => RankedCandidates::of((dist, next)),
+                None => RankedCandidates::new(),
+            },
+            None => RankedCandidates::new(),
+        }
+    }
 
     /// The full vertex path `src..=dst` (inclusive of both ends), or
     /// `None` if `dst` is unreachable. The default walks
@@ -68,6 +121,29 @@ pub trait Router: Sync {
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {
         self.route(src, dst).map(|path| path.len() as u64 - 1)
     }
+}
+
+/// Rank a node's out-neighbors into a [`RankedCandidates`] list: drop
+/// self-loops, duplicates and dead ends (`distance` = `None`), then
+/// stable-sort ascending by remaining distance so the shortest-path
+/// hop comes first and ties keep the fabric's neighbor order.
+fn rank_candidates(
+    current: u64,
+    neighbors: impl Iterator<Item = u64>,
+    distance_to_dst: impl Fn(u64) -> Option<u64>,
+) -> RankedCandidates {
+    let mut ranked = RankedCandidates::new();
+    for v in neighbors {
+        if v == current || ranked.iter().any(|&(_, seen)| seen == v) {
+            continue; // a self-loop never progresses; duplicates add nothing
+        }
+        if let Some(dist) = distance_to_dst(v) {
+            ranked.push((dist, v));
+        }
+    }
+    // Insertion-ordered stable sort on ≤ d entries.
+    ranked.as_mut_slice().sort_by_key(|&(dist, _)| dist);
+    ranked
 }
 
 // ----- arithmetic (tableless) routers ----------------------------------------
@@ -142,6 +218,18 @@ impl Router for DeBruijnRouter {
         Some((current % self.powers[dim - 1]) * d + digit)
     }
 
+    fn ranked_candidates(&self, current: u64, dst: u64) -> RankedCandidates {
+        if current == dst {
+            return RankedCandidates::new();
+        }
+        let d = self.b.d() as u64;
+        let dim = self.b.diameter() as usize;
+        let shifted = (current % self.powers[dim - 1]) * d;
+        rank_candidates(current, (0..d).map(|digit| shifted + digit), |v| {
+            Some(self.debruijn_distance(v, dst) as u64)
+        })
+    }
+
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {
         Some(self.debruijn_distance(src, dst) as u64)
     }
@@ -192,6 +280,14 @@ impl Router for KautzRouter {
         Some(space.rank(&Word::from_positions(positions)))
     }
 
+    fn ranked_candidates(&self, current: u64, dst: u64) -> RankedCandidates {
+        if current == dst {
+            return RankedCandidates::new();
+        }
+        let neighbors = (0..self.k.degree()).map(|j| self.k.out_neighbor(current, j));
+        rank_candidates(current, neighbors, |v| self.distance(v, dst))
+    }
+
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {
         let space = self.k.space();
         Some(crate::routing::kautz_distance(&self.k, &space.unrank(src), &space.unrank(dst)) as u64)
@@ -210,30 +306,75 @@ impl Router for KautzRouter {
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     table: NextHopTable,
+    /// The routed digraph's adjacency, kept so
+    /// [`Router::candidates`] can enumerate *all* descending
+    /// out-neighbors (the table itself stores only one per pair).
+    g: Digraph,
     label: String,
 }
 
 impl RoutingTable {
-    /// Build from a materialized digraph.
+    /// Build from a materialized digraph. Panics on fabrics beyond
+    /// [`NextHopTable::MAX_NODES`]; use [`RoutingTable::try_new`] to
+    /// handle that gracefully.
     pub fn new(g: &Digraph) -> Self {
-        RoutingTable {
-            table: NextHopTable::build(g),
-            label: format!("{} nodes", g.node_count()),
+        match Self::try_new(g) {
+            Ok(table) => table,
+            Err(err) => panic!("{err}"),
         }
     }
 
-    /// Build from any family (materializes it first).
+    /// Build from a materialized digraph, or report
+    /// [`TableCapExceeded`] (node count, cap, and the arithmetic
+    /// alternative) when the quadratic table would not fit.
+    pub fn try_new(g: &Digraph) -> Result<Self, TableCapExceeded> {
+        Self::try_new_owned(g.clone())
+    }
+
+    /// [`RoutingTable::try_new`] taking the digraph by value, so
+    /// callers that just materialized one (the family path) pay no
+    /// second adjacency copy.
+    fn try_new_owned(g: Digraph) -> Result<Self, TableCapExceeded> {
+        Ok(RoutingTable {
+            table: NextHopTable::try_build(&g)?,
+            label: format!("{} nodes", g.node_count()),
+            g,
+        })
+    }
+
+    /// Build from any family (materializes it first). Panics past the
+    /// table cap; see [`RoutingTable::try_from_family`].
     pub fn from_family<F: DigraphFamily>(family: &F) -> Self {
-        RoutingTable {
-            table: NextHopTable::build(&family.digraph()),
-            label: family.name(),
+        match Self::try_from_family(family) {
+            Ok(table) => table,
+            Err(err) => panic!("{err}"),
         }
+    }
+
+    /// Build from any family, or report [`TableCapExceeded`] when the
+    /// fabric exceeds the table cap. The cap is checked against
+    /// `family.node_count()` *before* materializing the digraph, so an
+    /// oversized fabric errors in O(1) instead of allocating gigabytes
+    /// of adjacency first.
+    pub fn try_from_family<F: DigraphFamily>(family: &F) -> Result<Self, TableCapExceeded> {
+        let n = family.node_count();
+        if n > NextHopTable::MAX_NODES as u64 {
+            return Err(TableCapExceeded { nodes: n as usize });
+        }
+        let mut table = Self::try_new_owned(family.digraph())?;
+        table.label = family.name();
+        Ok(table)
     }
 
     /// Shortest-path distance, `O(1)` ([`INFINITY`] if unreachable).
     #[inline]
     pub fn table_distance(&self, src: u64, dst: u64) -> u32 {
         self.table.distance(src as u32, dst as u32)
+    }
+
+    /// The digraph this table routes over.
+    pub fn digraph(&self) -> &Digraph {
+        &self.g
     }
 }
 
@@ -253,9 +394,163 @@ impl Router for RoutingTable {
             .map(u64::from)
     }
 
+    fn ranked_candidates(&self, current: u64, dst: u64) -> RankedCandidates {
+        if current == dst {
+            return RankedCandidates::new();
+        }
+        let neighbors = self
+            .g
+            .out_neighbors(current as u32)
+            .iter()
+            .map(|&v| v as u64);
+        rank_candidates(current, neighbors, |v| {
+            let dist = self.table.distance(v as u32, dst as u32);
+            (dist != INFINITY).then_some(dist as u64)
+        })
+    }
+
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {
         let distance = self.table_distance(src, dst);
         (distance != INFINITY).then_some(distance as u64)
+    }
+}
+
+// ----- contention-aware adaptive routing -------------------------------------
+
+/// A live view of per-link congestion: how many packets are queued on
+/// the directed link `from → to` right now.
+///
+/// The queueing engine (`otis_optics::traffic::queueing`) publishes
+/// its buffer occupancy through this trait so an [`AdaptiveRouter`]
+/// can steer around hot links without the router layer knowing
+/// anything about buffers or wavelengths. Implementations must be
+/// `Sync`; the engine mutates occupancy through atomics while routers
+/// read it.
+pub trait CongestionMap: Sync {
+    /// Packets currently queued on the link `from → to`; `0` for
+    /// unknown links (an unknown link is an uncongested link).
+    fn queued(&self, from: u64, to: u64) -> usize;
+}
+
+impl<C: CongestionMap + ?Sized> CongestionMap for &C {
+    fn queued(&self, from: u64, to: u64) -> usize {
+        (**self).queued(from, to)
+    }
+}
+
+impl<C: CongestionMap + Send + Sync + ?Sized> CongestionMap for std::sync::Arc<C> {
+    fn queued(&self, from: u64, to: u64) -> usize {
+        (**self).queued(from, to)
+    }
+}
+
+/// A congestion-free [`CongestionMap`]: under it, [`AdaptiveRouter`]
+/// degrades to its inner router's shortest-path choice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCongestion;
+
+impl CongestionMap for NoCongestion {
+    fn queued(&self, _from: u64, _to: u64) -> usize {
+        0
+    }
+}
+
+/// Contention-aware adaptive router: picks the least-queued of the
+/// inner router's `≤ d` candidate next hops ([`Router::candidates`]),
+/// weighing queue depth against path stretch.
+///
+/// The decision rule is UGAL-flavored: candidate `v` scores
+/// `queued(current → v) + penalty · (dist(v, dst) − dist_min)`, and
+/// the lowest score wins (ties go to the shorter, earlier candidate).
+/// With empty queues every choice is a shortest-path hop; a packet
+/// deroutes onto a longer path only when the shortest candidate's
+/// queue is at least `penalty` packets deeper per extra hop — so
+/// adaptivity cannot livelock under light load, and under heavy load
+/// the engine's TTL bounds any wandering.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRouter<R: Router, C: CongestionMap> {
+    inner: R,
+    congestion: C,
+    deroute_penalty: usize,
+}
+
+impl<R: Router, C: CongestionMap> AdaptiveRouter<R, C> {
+    /// Queue-depth advantage (packets per extra hop) required before a
+    /// packet leaves a shortest path.
+    pub const DEFAULT_DEROUTE_PENALTY: usize = 4;
+
+    /// Adaptive routing over `inner`'s candidates, steered by live
+    /// congestion from `congestion`.
+    pub fn new(inner: R, congestion: C) -> Self {
+        Self::with_penalty(inner, congestion, Self::DEFAULT_DEROUTE_PENALTY)
+    }
+
+    /// As [`AdaptiveRouter::new`] with an explicit deroute penalty
+    /// (`0` = pure least-queued, large = effectively oblivious).
+    ///
+    /// Caution at `0`: with no stretch penalty and a congestion map
+    /// that never relaxes, `next_hop` can oscillate between two
+    /// equally-queued neighbors, so walking it to completion
+    /// ([`Router::route`], `OtisSimulator::send_via`) may hit the loop
+    /// guard and report no route even though [`Router::distance`]
+    /// (congestion-free shortest) is `Some`. The queueing engine is
+    /// immune — its hop budget retires wanderers as `dropped_ttl` —
+    /// but path-walking callers should keep the penalty positive.
+    pub fn with_penalty(inner: R, congestion: C, deroute_penalty: usize) -> Self {
+        AdaptiveRouter {
+            inner,
+            congestion,
+            deroute_penalty,
+        }
+    }
+
+    /// The wrapped oblivious router.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: Router, C: CongestionMap> Router for AdaptiveRouter<R, C> {
+    fn node_count(&self) -> u64 {
+        self.inner.node_count()
+    }
+
+    fn name(&self) -> String {
+        format!("adaptive({})", self.inner.name())
+    }
+
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        let ranked = self.inner.ranked_candidates(current, dst);
+        if ranked.len() == 1 {
+            // No choice to make — skip the scoring.
+            return ranked.first().map(|&(_, v)| v);
+        }
+        // Ranked ascending, so the first entry holds the minimum
+        // remaining distance.
+        let &(dist_min, _) = ranked.first()?;
+        ranked
+            .iter()
+            .min_by_key(|&&(dist, v)| {
+                let stretch = (dist - dist_min).min(usize::MAX as u64) as usize;
+                self.congestion
+                    .queued(current, v)
+                    .saturating_add(self.deroute_penalty.saturating_mul(stretch))
+            })
+            .map(|&(_, v)| v)
+    }
+
+    fn candidates(&self, current: u64, dst: u64) -> Candidates {
+        self.inner.candidates(current, dst)
+    }
+
+    fn ranked_candidates(&self, current: u64, dst: u64) -> RankedCandidates {
+        self.inner.ranked_candidates(current, dst)
+    }
+
+    fn distance(&self, src: u64, dst: u64) -> Option<u64> {
+        // The congestion-free shortest distance: what the packet would
+        // take on an idle fabric (deroutes can stretch actual walks).
+        self.inner.distance(src, dst)
     }
 }
 
@@ -426,5 +721,155 @@ mod tests {
         assert_eq!(table.route(2, 0), None);
         assert_eq!(table.distance(2, 0), None);
         assert_eq!(table.route(3, 3), Some(vec![3]));
+        // candidates mirror next_hop: present iff a route exists.
+        assert!(table.candidates(2, 0).is_empty());
+        assert_eq!(table.candidates(0, 1).as_slice(), &[1]);
+    }
+
+    #[test]
+    fn try_new_reports_cap_with_suggestion() {
+        let oversized = Digraph::empty(NextHopTable::MAX_NODES + 1);
+        let err = RoutingTable::try_new(&oversized).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("8193 nodes"), "{message}");
+        assert!(message.contains("caps at 8192"), "{message}");
+        assert!(message.contains("arithmetic"), "{message}");
+        assert!(RoutingTable::try_new(&Digraph::from_fn(3, |u| [(u + 1) % 3])).is_ok());
+        // The family path must reject BEFORE materializing: a 2^24-node
+        // de Bruijn would cost ~130 MB of adjacency just to fail, so
+        // this only passes quickly if the guard precedes digraph().
+        let start = std::time::Instant::now();
+        let err = RoutingTable::try_from_family(&DeBruijn::new(2, 24)).unwrap_err();
+        assert_eq!(err.nodes, 1 << 24);
+        assert!(
+            start.elapsed().as_millis() < 500,
+            "cap check materialized the digraph first"
+        );
+    }
+
+    /// The candidates contract, checked for one router against its
+    /// digraph: real arcs, reachable, sorted by remaining distance,
+    /// first entry a shortest-path hop, empty iff next_hop is None.
+    fn assert_candidates_contract(router: &dyn Router, g: &Digraph) {
+        for src in 0..g.node_count() as u64 {
+            for dst in 0..g.node_count() as u64 {
+                let candidates = router.candidates(src, dst);
+                assert_eq!(
+                    candidates.is_empty(),
+                    router.next_hop(src, dst).is_none(),
+                    "{src}->{dst}"
+                );
+                let mut previous = None;
+                for &v in &candidates {
+                    assert!(g.has_arc(src as u32, v as u32), "{src}->{dst} via {v}");
+                    let left = router.distance(v, dst).expect("candidates reach dst");
+                    if let Some(prev) = previous {
+                        assert!(prev <= left, "{src}->{dst}: candidates out of order");
+                    }
+                    previous = Some(left);
+                }
+                if let Some(&first) = candidates.first() {
+                    let dist = router.distance(src, dst).unwrap();
+                    assert_eq!(
+                        router.distance(first, dst).unwrap(),
+                        dist - 1,
+                        "{src}->{dst}: first candidate must be a shortest-path hop"
+                    );
+                }
+                // ranked_candidates must agree with candidates, and
+                // carry the true remaining distances.
+                let ranked = router.ranked_candidates(src, dst);
+                assert_eq!(ranked.len(), candidates.len(), "{src}->{dst}");
+                for (&(dist, v), &c) in ranked.iter().zip(candidates.iter()) {
+                    assert_eq!(v, c, "{src}->{dst}: ranked/plain order differs");
+                    assert_eq!(router.distance(v, dst), Some(dist), "{src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_contract_on_every_router() {
+        let b = DeBruijn::new(2, 4);
+        let g = b.digraph();
+        assert_candidates_contract(&DeBruijnRouter::new(b), &g);
+        assert_candidates_contract(&RoutingTable::new(&g), &g);
+        // BfsRouter keeps the default singleton candidates.
+        assert_candidates_contract(&BfsRouter::new(&g), &g);
+
+        let k = Kautz::new(2, 3);
+        let kg = k.digraph();
+        assert_candidates_contract(&KautzRouter::new(k), &kg);
+        assert_candidates_contract(&RoutingTable::new(&kg), &kg);
+    }
+
+    #[test]
+    fn candidates_expose_every_usable_neighbor() {
+        // In B(3,3), a node with 3 distinct non-loop out-neighbors
+        // must offer all of them (sorted by distance) — the spread an
+        // adaptive router needs.
+        let b = DeBruijn::new(3, 3);
+        let router = DeBruijnRouter::new(b);
+        let candidates = router.candidates(1, 22);
+        assert_eq!(candidates.len(), 3, "{:?}", candidates.as_slice());
+    }
+
+    /// A congestion map for tests: explicit per-link queue depths.
+    struct FixedCongestion(Vec<((u64, u64), usize)>);
+
+    impl CongestionMap for FixedCongestion {
+        fn queued(&self, from: u64, to: u64) -> usize {
+            self.0
+                .iter()
+                .find(|&&(link, _)| link == (from, to))
+                .map_or(0, |&(_, depth)| depth)
+        }
+    }
+
+    #[test]
+    fn adaptive_router_idle_matches_shortest_paths() {
+        let b = DeBruijn::new(2, 4);
+        let g = b.digraph();
+        let adaptive = AdaptiveRouter::new(DeBruijnRouter::new(b), NoCongestion);
+        // On an idle fabric the adaptive walk is exactly as short as
+        // the oblivious one, pair by pair.
+        assert_agrees_with_bfs(&adaptive, &g);
+    }
+
+    #[test]
+    fn adaptive_router_steers_around_a_queued_link() {
+        // B(3,3): node 1 has three usable neighbors toward dst 22
+        // (= shortest via one of them). Pile queue onto the shortest
+        // link and the router must deroute onto an alternative.
+        let b = DeBruijn::new(3, 3);
+        let router = DeBruijnRouter::new(b);
+        let shortest = router.next_hop(1, 22).unwrap();
+        let penalty = 4;
+        let congested = AdaptiveRouter::with_penalty(
+            DeBruijnRouter::new(DeBruijn::new(3, 3)),
+            FixedCongestion(vec![((1, shortest), 100)]),
+            penalty,
+        );
+        let chosen = congested.next_hop(1, 22).unwrap();
+        assert_ne!(chosen, shortest, "100-deep queue must force a deroute");
+        // A queue shallower than the penalty never forces one.
+        let patient = AdaptiveRouter::with_penalty(
+            DeBruijnRouter::new(DeBruijn::new(3, 3)),
+            FixedCongestion(vec![((1, shortest), penalty - 1)]),
+            penalty,
+        );
+        assert_eq!(patient.next_hop(1, 22), Some(shortest));
+    }
+
+    #[test]
+    fn adaptive_router_never_strands_a_packet() {
+        // Whatever the congestion says, next_hop is Some iff a route
+        // exists — congestion can stretch paths, not invent or destroy
+        // reachability.
+        let g = Digraph::from_fn(4, |u| if u < 2 { vec![(u + 1) % 2] } else { vec![] });
+        let table = RoutingTable::new(&g);
+        let adaptive = AdaptiveRouter::new(table, FixedCongestion(vec![((0, 1), 1000)]));
+        assert_eq!(adaptive.next_hop(0, 1), Some(1), "only route survives");
+        assert_eq!(adaptive.next_hop(2, 0), None);
     }
 }

@@ -137,8 +137,8 @@ pub fn diameter_at_most(g: &Digraph, cap: u32) -> Option<u32> {
 ///
 /// Storage is two `n²` arrays of `u32`, so the table is meant for
 /// fabrics up to a few thousand nodes (`n = 4096` costs 128 MiB);
-/// [`NextHopTable::build`] asserts a generous cap rather than
-/// thrashing silently.
+/// [`NextHopTable::try_build`] refuses larger fabrics with a
+/// [`TableCapExceeded`] error rather than thrashing silently.
 #[derive(Debug, Clone)]
 pub struct NextHopTable {
     n: usize,
@@ -149,20 +149,61 @@ pub struct NextHopTable {
     dist: Box<[u32]>,
 }
 
+/// A fabric too large for the quadratic next-hop table.
+///
+/// Carries the offending node count so callers can render a precise
+/// message; [`std::fmt::Display`] spells out the cap and the
+/// alternative (the `O(D)` arithmetic routers need no table at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableCapExceeded {
+    /// Node count of the rejected digraph.
+    pub nodes: usize,
+}
+
+impl std::fmt::Display for TableCapExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fabric has {} nodes; the precomputed next-hop table caps at {} \
+             (its two n² arrays would need {} entries) — route arithmetically \
+             instead (e.g. the tableless de Bruijn/Kautz routers)",
+            self.nodes,
+            NextHopTable::MAX_NODES,
+            2 * self.nodes * self.nodes,
+        )
+    }
+}
+
+impl std::error::Error for TableCapExceeded {}
+
 impl NextHopTable {
     /// Maximum node count the quadratic table accepts (512 MiB of
     /// entries); larger fabrics should route arithmetically.
     pub const MAX_NODES: usize = 8192;
 
-    /// Build the table for `g` by parallel reverse-BFS, one source per
-    /// destination.
-    pub fn build(g: &Digraph) -> Self {
+    /// Build the table for `g`, or report [`TableCapExceeded`] when
+    /// the quadratic storage would blow past [`Self::MAX_NODES`].
+    pub fn try_build(g: &Digraph) -> Result<Self, TableCapExceeded> {
         let n = g.node_count();
-        assert!(
-            n <= Self::MAX_NODES,
-            "next-hop table would need {n}² entries; cap is {}²",
-            Self::MAX_NODES
-        );
+        if n > Self::MAX_NODES {
+            return Err(TableCapExceeded { nodes: n });
+        }
+        Ok(Self::build_unchecked(g))
+    }
+
+    /// Build the table for `g` by parallel reverse-BFS, one source per
+    /// destination. Panics (with the [`TableCapExceeded`] message) on
+    /// fabrics beyond [`Self::MAX_NODES`]; use [`Self::try_build`] to
+    /// handle that case gracefully.
+    pub fn build(g: &Digraph) -> Self {
+        match Self::try_build(g) {
+            Ok(table) => table,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    fn build_unchecked(g: &Digraph) -> Self {
+        let n = g.node_count();
         let rev = crate::ops::reverse(g);
         // One (next, dist) column pair per destination; chunked so each
         // worker reuses its BFS buffers across its whole shard.
@@ -386,6 +427,21 @@ mod tests {
                 assert_eq!(hops, dist[dst as usize]);
             }
         }
+    }
+
+    #[test]
+    fn next_hop_table_cap_is_a_descriptive_error() {
+        let oversized = Digraph::empty(NextHopTable::MAX_NODES + 1);
+        let err = NextHopTable::try_build(&oversized).unwrap_err();
+        assert_eq!(err.nodes, NextHopTable::MAX_NODES + 1);
+        let message = err.to_string();
+        assert!(message.contains("8193 nodes"), "{message}");
+        assert!(message.contains("caps at 8192"), "{message}");
+        assert!(message.contains("arithmetic"), "{message}");
+        // Below the cap the table builds fine. (The exact n = 8192
+        // boundary is not exercised: even empty, it allocates two
+        // 256 MiB arrays — too heavy for a unit test.)
+        assert!(NextHopTable::try_build(&Digraph::empty(4)).is_ok());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! arc-disjoint-ish alternatives per hop).
 
 use crate::HDigraph;
-use otis_core::{DigraphFamily, Router, RoutingTable};
+use otis_core::{AdaptiveRouter, Candidates, CongestionMap, DigraphFamily, Router, RoutingTable};
 use otis_digraph::{Digraph, DigraphBuilder};
 use serde::{Deserialize, Serialize};
 
@@ -120,6 +120,13 @@ impl FaultAwareRouter {
     pub fn surviving_distance(&self, src: u64, dst: u64) -> Option<u64> {
         self.table.distance(src, dst)
     }
+
+    /// Compose with contention awareness: an [`AdaptiveRouter`] whose
+    /// candidate set already excludes dead beams, so the adaptive
+    /// choice spreads load over *surviving* hardware only.
+    pub fn adaptive<C: CongestionMap>(self, congestion: C) -> AdaptiveRouter<Self, C> {
+        AdaptiveRouter::new(self, congestion)
+    }
 }
 
 impl Router for FaultAwareRouter {
@@ -140,6 +147,16 @@ impl Router for FaultAwareRouter {
 
     fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
         self.table.next_hop(current, dst)
+    }
+
+    fn candidates(&self, current: u64, dst: u64) -> Candidates {
+        // The table was built over the *surviving* digraph, so every
+        // candidate rides a live beam.
+        self.table.candidates(current, dst)
+    }
+
+    fn ranked_candidates(&self, current: u64, dst: u64) -> otis_core::RankedCandidates {
+        self.table.ranked_candidates(current, dst)
     }
 
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {

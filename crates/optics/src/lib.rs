@@ -28,12 +28,15 @@
 //! * [`simulator`] — a packet-level simulator that moves messages
 //!   through the simulated hardware hop by hop and accounts latency
 //!   and energy per the geometry and power models;
-//! * [`traffic`] — the batched engine on top: synthetic workloads
+//! * [`traffic`] — the workload layer on top: synthetic patterns
 //!   (uniform, permutation, transpose, bit-reversal, hotspot,
-//!   all-to-all) routed in parallel through any
-//!   [`otis_core::Router`], reporting per-link load, empirical
-//!   forwarding index, latency/energy distributions and delivery
-//!   rate.
+//!   all-to-all) routed through any [`otis_core::Router`] by two
+//!   engines — the batched static engine (per-link load, empirical
+//!   forwarding index, latency/energy distributions) and the
+//!   cycle-accurate queueing engine (finite buffers, wavelength
+//!   channels, backpressure/tail-drop, queueing-delay percentiles,
+//!   saturation sweeps) whose live occupancy drives
+//!   [`otis_core::AdaptiveRouter`].
 
 pub mod faults;
 pub mod geometry;
@@ -47,4 +50,7 @@ pub mod traffic;
 
 pub use h_digraph::HDigraph;
 pub use otis::{Otis, Receiver, Transmitter};
-pub use traffic::{TrafficEngine, TrafficPattern, TrafficReport};
+pub use traffic::{
+    ContentionPolicy, LinkOccupancy, QueueConfig, QueueingEngine, QueueingReport, TrafficEngine,
+    TrafficPattern, TrafficReport,
+};

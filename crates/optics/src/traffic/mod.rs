@@ -1,0 +1,44 @@
+//! Traffic over a simulated OTIS fabric: workloads, a batched static
+//! engine, and a cycle-accurate queueing simulator.
+//!
+//! The per-packet simulator ([`crate::simulator`]) traces every beam
+//! through the bench geometry on every hop — faithful, but wasteful
+//! for workloads. This module is the workload layer above it, split by
+//! concern:
+//!
+//! * [`workload`] — synthetic traffic patterns ([`TrafficPattern`]:
+//!   uniform, permutation, transpose, bit-reversal, hotspot,
+//!   all-to-all) and reproducible pair generation
+//!   ([`generate_workload`]);
+//! * [`engine`] — the batched *static* engine ([`TrafficEngine`]):
+//!   physics precomputed once per transceiver, workloads routed in
+//!   parallel shards, congestion reported as per-link load and the
+//!   empirical forwarding index;
+//! * [`queueing`] — the *dynamic* engine ([`QueueingEngine`]): finite
+//!   FIFO buffers and wavelength channels per link, cycle-based
+//!   draining with backpressure or tail-drop, queueing-delay
+//!   percentiles, drops, peak occupancy, and offered-load sweeps that
+//!   locate saturation throughput. Its live buffer occupancy
+//!   ([`LinkOccupancy`]) feeds [`otis_core::AdaptiveRouter`], closing
+//!   the loop between congestion and routing;
+//! * [`report`] — the aggregate result types ([`TrafficReport`],
+//!   [`QueueingReport`]) and their percentile arithmetic.
+//!
+//! What comes out is what the networking literature actually asks of a
+//! topology under load (cf. the forwarding-index analysis of the BCube
+//! and conjugate-network papers in PAPERS.md): not just the diameter,
+//! but link load, latency and energy distributions — and, past
+//! saturation, who waits, who drops, and how much the fabric can
+//! actually carry.
+
+pub mod engine;
+pub mod queueing;
+pub mod report;
+pub mod workload;
+
+pub use engine::TrafficEngine;
+pub use queueing::{
+    ContentionPolicy, LinkOccupancy, QueueConfig, QueueingEngine, SaturationPoint, SaturationSweep,
+};
+pub use report::{QueueingReport, TrafficReport};
+pub use workload::{generate_workload, TrafficPattern};

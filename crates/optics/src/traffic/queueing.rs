@@ -1,0 +1,699 @@
+//! Cycle-based discrete-event queueing simulation: congestion with
+//! *dynamics*.
+//!
+//! The static engine ([`super::TrafficEngine`]) tallies how much load
+//! oblivious routing piles on each link — the forwarding-index view of
+//! the paper. What it cannot show is what an optical fabric actually
+//! does when a link is oversubscribed: packets wait in finite buffers,
+//! buffers fill, upstream traffic backs up or gets dropped, and
+//! throughput saturates. On wavelength-routed fabrics that contention
+//! — not path length — bounds achievable throughput (cf. the all-optical
+//! BCube and conjugate-network papers in PAPERS.md).
+//!
+//! The model here is the standard synchronous abstraction of that
+//! story:
+//!
+//! * every directed link (one transceiver beam) owns a FIFO buffer of
+//!   `buffers` packets and `wavelengths` parallel channels;
+//! * each cycle, every link drains up to `wavelengths` packets from
+//!   its buffer head; a packet arriving at its destination leaves the
+//!   network, any other packet asks the router for its next link;
+//! * a full downstream buffer either blocks the packet in place
+//!   (head-of-line [`ContentionPolicy::Backpressure`]) or discards it
+//!   ([`ContentionPolicy::TailDrop`]);
+//! * injection offers `offered_per_cycle` new packets per cycle from
+//!   a single shared source stream, in workload order, subject to the
+//!   same two policies. Under backpressure the stream stalls as a
+//!   unit when its head packet's first-hop buffer is full — one
+//!   injection port, not one queue per source (per-source injection
+//!   queues are a ROADMAP item). Both routers in a comparison face
+//!   the identical injection model.
+//!
+//! Everything is deterministic: links are serviced in arc order, ties
+//! in the adaptive router resolve by candidate order, and the same
+//! seed yields the same report. The engine publishes live buffer
+//! occupancy through [`LinkOccupancy`] (an
+//! [`otis_core::CongestionMap`]), which is what lets an
+//! [`otis_core::AdaptiveRouter`] steer *this* simulation's packets
+//! around *this* simulation's queues.
+
+use super::report::{percentile_u64, QueueingReport};
+use otis_core::{CongestionMap, DigraphFamily, Router};
+use otis_digraph::Digraph;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// What happens upstream when a downstream buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContentionPolicy {
+    /// The packet waits where it is, blocking its FIFO (and, at the
+    /// source, stalling injection). Lossless, but cyclic fabrics can
+    /// deadlock under saturation — the run detects a wedged cycle and
+    /// reports it.
+    Backpressure,
+    /// The packet is discarded and counted (`dropped_full`). Lossy,
+    /// deadlock-free — the usual optical-switch behavior when no
+    /// buffer wavelength is free.
+    TailDrop,
+}
+
+impl std::str::FromStr for ContentionPolicy {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, String> {
+        match raw {
+            "backpressure" => Ok(ContentionPolicy::Backpressure),
+            "taildrop" | "tail-drop" => Ok(ContentionPolicy::TailDrop),
+            other => Err(format!(
+                "unknown contention policy {other:?} (valid: backpressure|taildrop)"
+            )),
+        }
+    }
+}
+
+/// Knobs of the queueing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// FIFO buffer capacity per directed link, packets. Must be ≥ 1.
+    pub buffers: usize,
+    /// Wavelength channels per link: packets drained per link per
+    /// cycle. Must be ≥ 1.
+    pub wavelengths: usize,
+    /// Full-buffer behavior.
+    pub policy: ContentionPolicy,
+    /// Hop budget per packet (TTL); `None` = `max(64, 2n)`. Bounds
+    /// adaptive deroutes and misrouting routers alike.
+    pub hop_limit: Option<u32>,
+    /// Hard cap on simulated cycles; packets still buffered then are
+    /// reported as `in_flight`.
+    pub max_cycles: u64,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            buffers: 16,
+            wavelengths: 1,
+            policy: ContentionPolicy::TailDrop,
+            hop_limit: None,
+            max_cycles: 10_000_000,
+        }
+    }
+}
+
+/// Live per-link buffer occupancy, shared between a running
+/// [`QueueingEngine`] and any [`otis_core::AdaptiveRouter`] steering
+/// packets through it.
+///
+/// Cloning is cheap (two `Arc`s); all clones observe the same counts.
+#[derive(Debug, Clone)]
+pub struct LinkOccupancy {
+    g: Arc<Digraph>,
+    counts: Arc<[AtomicU32]>,
+}
+
+impl LinkOccupancy {
+    /// Occupancy of the `arc`-th link (arc order of the digraph).
+    pub fn arc_occupancy(&self, arc: usize) -> usize {
+        self.counts[arc].load(Ordering::Relaxed) as usize
+    }
+}
+
+impl CongestionMap for LinkOccupancy {
+    fn queued(&self, from: u64, to: u64) -> usize {
+        for arc in self.g.arc_range(from as u32) {
+            if self.g.arc_target(arc) == to as u32 {
+                return self.counts[arc].load(Ordering::Relaxed) as usize;
+            }
+        }
+        0
+    }
+}
+
+/// A packet in flight. `offered_cycle` is when the packet's injection
+/// credit accrued, not when a stalled source finally bought it a
+/// buffer slot — so queueing delay includes source stalling (the
+/// open-loop measurement convention; clocking from injection instead
+/// would hide exactly the congestion being measured).
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dst: u64,
+    offered_cycle: u64,
+    hops: u32,
+}
+
+/// Cycle-accurate queueing simulator over one fabric digraph.
+///
+/// Reusable across runs ([`QueueingEngine::run`] carries no state
+/// over), but runs must not overlap: the occupancy counters are a
+/// single shared scoreboard.
+pub struct QueueingEngine {
+    g: Arc<Digraph>,
+    config: QueueConfig,
+    counts: Arc<[AtomicU32]>,
+}
+
+impl QueueingEngine {
+    /// Engine over a materialized fabric digraph.
+    pub fn new(g: Digraph, config: QueueConfig) -> Self {
+        assert!(
+            config.buffers >= 1,
+            "need at least one buffer slot per link"
+        );
+        assert!(
+            config.wavelengths >= 1,
+            "need at least one wavelength channel per link"
+        );
+        let counts: Vec<AtomicU32> = (0..g.arc_count()).map(|_| AtomicU32::new(0)).collect();
+        QueueingEngine {
+            g: Arc::new(g),
+            config,
+            counts: counts.into(),
+        }
+    }
+
+    /// Engine over any family (materializes it first).
+    pub fn from_family<F: DigraphFamily>(family: &F, config: QueueConfig) -> Self {
+        Self::new(family.digraph(), config)
+    }
+
+    /// The fabric's node count.
+    pub fn node_count(&self) -> u64 {
+        self.g.node_count() as u64
+    }
+
+    /// Number of directed links (arcs) simulated.
+    pub fn link_count(&self) -> usize {
+        self.g.arc_count()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &QueueConfig {
+        &self.config
+    }
+
+    /// A live view of this engine's buffer occupancy — hand it to an
+    /// [`otis_core::AdaptiveRouter`] *before* calling
+    /// [`QueueingEngine::run`] and the router adapts to the queues the
+    /// run builds up.
+    pub fn occupancy(&self) -> LinkOccupancy {
+        LinkOccupancy {
+            g: Arc::clone(&self.g),
+            counts: Arc::clone(&self.counts),
+        }
+    }
+
+    /// The arc `from → to`, if present.
+    fn arc_of(&self, from: u64, to: u64) -> Option<usize> {
+        self.g
+            .arc_range(from as u32)
+            .find(|&arc| self.g.arc_target(arc) == to as u32)
+    }
+
+    /// Inject `workload` at `offered_per_cycle` packets per cycle
+    /// (fabric-wide), simulate until every injected packet is
+    /// delivered or dropped (or the run deadlocks / hits
+    /// `max_cycles`), and report the dynamics.
+    pub fn run(
+        &self,
+        router: &dyn Router,
+        workload: &[(u64, u64)],
+        offered_per_cycle: f64,
+    ) -> QueueingReport {
+        assert!(
+            offered_per_cycle > 0.0,
+            "offered load must be positive, got {offered_per_cycle}"
+        );
+        let n = self.node_count();
+        assert_eq!(
+            router.node_count(),
+            n,
+            "router covers {} nodes but the fabric has {n}",
+            router.node_count()
+        );
+        let arcs = self.g.arc_count();
+        let hop_limit = self
+            .config
+            .hop_limit
+            .unwrap_or_else(|| (2 * n).max(64) as u32);
+        let buffers = self.config.buffers;
+        let wavelengths = self.config.wavelengths;
+
+        let mut queues: Vec<VecDeque<Packet>> = (0..arcs).map(|_| VecDeque::new()).collect();
+        for count in self.counts.iter() {
+            count.store(0, Ordering::Relaxed);
+        }
+        let mut peak = vec![0u32; arcs];
+        // Arrivals staged during the drain phase so a packet moves at
+        // most one hop per cycle; `staged_len[arc]` counts them toward
+        // the capacity check before they land in the FIFO.
+        let mut staged: Vec<(usize, Packet)> = Vec::new();
+        let mut staged_len = vec![0u32; arcs];
+
+        let mut injected = 0usize;
+        let mut delivered = 0usize;
+        let mut dropped_full = 0usize;
+        let mut dropped_unroutable = 0usize;
+        let mut dropped_ttl = 0usize;
+        let mut delivered_hops = 0u64;
+        let mut max_hops = 0u32;
+        let mut waits: Vec<u64> = Vec::with_capacity(workload.len());
+        let mut deadlocked = false;
+
+        let mut next_inject = 0usize;
+        let mut credits = 0.0f64;
+        let mut in_network = 0usize;
+        let mut cycle = 0u64;
+        // Cycle the `i`-th packet's injection credit accrues: credits
+        // issued through cycle `c` total `(c+1)·offered`, so packet
+        // `i` is covered once that reaches `i+1`. Without stalls this
+        // is exactly the injection cycle.
+        let offer_cycle =
+            |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
+
+        let bump = |counts: &Arc<[AtomicU32]>, arc: usize, delta: i32| {
+            if delta >= 0 {
+                counts[arc].fetch_add(delta as u32, Ordering::Relaxed);
+            } else {
+                counts[arc].fetch_sub((-delta) as u32, Ordering::Relaxed);
+            }
+        };
+
+        while (next_inject < workload.len() || in_network > 0) && cycle < self.config.max_cycles {
+            let mut activity = 0usize;
+
+            // --- injection phase -------------------------------------
+            credits += offered_per_cycle;
+            while credits >= 1.0 && next_inject < workload.len() {
+                let (src, dst) = workload[next_inject];
+                if src == dst {
+                    // Delivered without entering the network (any
+                    // source-stall time still counts as waiting).
+                    injected += 1;
+                    delivered += 1;
+                    waits.push(cycle - offer_cycle(next_inject).min(cycle));
+                    next_inject += 1;
+                    credits -= 1.0;
+                    activity += 1;
+                    continue;
+                }
+                let arc = router
+                    .next_hop(src, dst)
+                    .and_then(|next| self.arc_of(src, next));
+                let Some(arc) = arc else {
+                    // No route (or the router proposed a non-neighbor).
+                    injected += 1;
+                    dropped_unroutable += 1;
+                    next_inject += 1;
+                    credits -= 1.0;
+                    activity += 1;
+                    continue;
+                };
+                if queues[arc].len() < buffers {
+                    queues[arc].push_back(Packet {
+                        dst,
+                        offered_cycle: offer_cycle(next_inject).min(cycle),
+                        hops: 0,
+                    });
+                    bump(&self.counts, arc, 1);
+                    peak[arc] = peak[arc].max(queues[arc].len() as u32);
+                    in_network += 1;
+                    injected += 1;
+                    next_inject += 1;
+                    credits -= 1.0;
+                    activity += 1;
+                } else {
+                    match self.config.policy {
+                        ContentionPolicy::TailDrop => {
+                            injected += 1;
+                            dropped_full += 1;
+                            next_inject += 1;
+                            credits -= 1.0;
+                            activity += 1;
+                        }
+                        ContentionPolicy::Backpressure => break, // stall; keep credits
+                    }
+                }
+            }
+            if next_inject == workload.len() {
+                credits = 0.0;
+            }
+
+            // --- drain phase -----------------------------------------
+            // Every link moves up to `wavelengths` packets off its
+            // buffer head. Moves land in `staged` and join the target
+            // FIFO only after the phase, so no packet rides two links
+            // in one cycle; occupancy counts update live so adaptive
+            // routing sees the queues as they shift.
+            for arc in 0..arcs {
+                let arrive_at = self.g.arc_target(arc) as u64;
+                for _ in 0..wavelengths {
+                    let Some(&head) = queues[arc].front() else {
+                        break;
+                    };
+                    let hops_after = head.hops + 1;
+                    if head.dst == arrive_at {
+                        queues[arc].pop_front();
+                        bump(&self.counts, arc, -1);
+                        in_network -= 1;
+                        delivered += 1;
+                        delivered_hops += hops_after as u64;
+                        max_hops = max_hops.max(hops_after);
+                        // Total time since offer minus one cycle per
+                        // hop = cycles spent waiting (source stall
+                        // plus buffer queueing).
+                        waits.push(cycle + 1 - head.offered_cycle - hops_after as u64);
+                        activity += 1;
+                        continue;
+                    }
+                    if hops_after >= hop_limit {
+                        queues[arc].pop_front();
+                        bump(&self.counts, arc, -1);
+                        in_network -= 1;
+                        dropped_ttl += 1;
+                        activity += 1;
+                        continue;
+                    }
+                    let next_arc = router
+                        .next_hop(arrive_at, head.dst)
+                        .and_then(|next| self.arc_of(arrive_at, next));
+                    let Some(next_arc) = next_arc else {
+                        queues[arc].pop_front();
+                        bump(&self.counts, arc, -1);
+                        in_network -= 1;
+                        dropped_unroutable += 1;
+                        activity += 1;
+                        continue;
+                    };
+                    if queues[next_arc].len() + (staged_len[next_arc] as usize) < buffers {
+                        let mut packet = queues[arc].pop_front().expect("head exists");
+                        bump(&self.counts, arc, -1);
+                        packet.hops = hops_after;
+                        staged_len[next_arc] += 1;
+                        bump(&self.counts, next_arc, 1);
+                        staged.push((next_arc, packet));
+                        activity += 1;
+                    } else {
+                        match self.config.policy {
+                            ContentionPolicy::TailDrop => {
+                                queues[arc].pop_front();
+                                bump(&self.counts, arc, -1);
+                                in_network -= 1;
+                                dropped_full += 1;
+                                activity += 1;
+                            }
+                            ContentionPolicy::Backpressure => break, // head-of-line block
+                        }
+                    }
+                }
+            }
+            for (arc, packet) in staged.drain(..) {
+                queues[arc].push_back(packet);
+                peak[arc] = peak[arc].max(queues[arc].len() as u32);
+            }
+            staged_len.fill(0);
+
+            cycle += 1;
+            if activity == 0 && in_network > 0 {
+                // Packets are buffered but nothing moved, injected or
+                // dropped: every head waits on a full buffer in a
+                // cycle of full buffers. The queue state is static, so
+                // no future cycle can differ — a backpressure
+                // deadlock. (An idle network with activity 0 is just
+                // injection pacing: credits below one packet.)
+                deadlocked = true;
+                break;
+            }
+        }
+
+        let in_flight = in_network;
+        waits.sort_unstable();
+        let wait_mean_cycles = if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<u64>() as f64 / waits.len() as f64
+        };
+
+        QueueingReport {
+            router: router.name(),
+            offered_per_cycle,
+            cycles: cycle,
+            injected,
+            delivered,
+            dropped_full,
+            dropped_unroutable,
+            dropped_ttl,
+            in_flight,
+            deadlocked,
+            delivered_hops,
+            max_hops,
+            wait_mean_cycles,
+            wait_p50_cycles: percentile_u64(&waits, 0.50),
+            wait_p99_cycles: percentile_u64(&waits, 0.99),
+            wait_max_cycles: waits.last().copied().unwrap_or(0),
+            max_peak_occupancy: peak.iter().copied().max().unwrap_or(0),
+            peak_occupancy: peak,
+        }
+    }
+
+    /// Sweep offered load (packets per **node** per cycle) and measure
+    /// delivered throughput at each point — the saturation curve of
+    /// the fabric under this router.
+    pub fn saturation_sweep(
+        &self,
+        router: &dyn Router,
+        workload: &[(u64, u64)],
+        loads_per_node: &[f64],
+    ) -> SaturationSweep {
+        let n = self.node_count() as f64;
+        let points = loads_per_node
+            .iter()
+            .map(|&load| {
+                let report = self.run(router, workload, load * n);
+                SaturationPoint {
+                    offered_per_node: load,
+                    delivered_per_node: report.throughput_per_cycle() / n,
+                    drop_rate: report.drop_rate(),
+                    wait_p99_cycles: report.wait_p99_cycles,
+                    deadlocked: report.deadlocked,
+                }
+            })
+            .collect();
+        SaturationSweep { points }
+    }
+}
+
+/// One point of an offered-load sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationPoint {
+    /// Offered load, packets per node per cycle.
+    pub offered_per_node: f64,
+    /// Delivered throughput, packets per node per cycle.
+    pub delivered_per_node: f64,
+    /// Fraction of injected packets dropped at this load.
+    pub drop_rate: f64,
+    /// 99th-percentile queueing delay at this load, cycles.
+    pub wait_p99_cycles: u64,
+    /// True iff this point's run wedged under backpressure.
+    pub deadlocked: bool,
+}
+
+/// An offered-load sweep: the saturation curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaturationSweep {
+    /// One entry per offered load, in sweep order.
+    pub points: Vec<SaturationPoint>,
+}
+
+impl SaturationSweep {
+    /// Saturation-throughput estimate: the highest delivered
+    /// throughput any offered load achieved (past saturation the curve
+    /// plateaus or degrades, so the max is the knee).
+    pub fn saturation_throughput_per_node(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.delivered_per_node)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_core::RoutingTable;
+
+    /// The directed cycle C_n: one arc per node, fully deterministic.
+    fn cycle(n: usize) -> Digraph {
+        Digraph::from_fn(n, |u| [(u + 1) % n as u32])
+    }
+
+    fn config(buffers: usize, wavelengths: usize, policy: ContentionPolicy) -> QueueConfig {
+        QueueConfig {
+            buffers,
+            wavelengths,
+            policy,
+            ..QueueConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_packet_crosses_without_waiting() {
+        let g = cycle(5);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, QueueConfig::default());
+        let report = engine.run(&router, &[(0, 3)], 1.0);
+        assert_eq!(report.injected, 1);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.dropped(), 0);
+        assert_eq!(report.in_flight, 0);
+        assert!(report.conserves_packets());
+        assert_eq!(report.delivered_hops, 3);
+        assert_eq!(report.max_hops, 3);
+        // Uncontended: zero queueing delay, one cycle per hop.
+        assert_eq!(report.wait_max_cycles, 0);
+        assert_eq!(report.cycles, 3);
+        assert!(!report.deadlocked);
+    }
+
+    #[test]
+    fn wavelength_contention_serializes_a_shared_link() {
+        // Three packets all need link 0→1 in the same cycle; one
+        // wavelength drains one per cycle, so they wait 0, 1, 2 cycles.
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(16, 1, ContentionPolicy::Backpressure));
+        let report = engine.run(&router, &[(0, 1), (0, 1), (0, 1)], 3.0);
+        assert_eq!(report.delivered, 3);
+        assert!(report.conserves_packets());
+        assert_eq!(report.wait_max_cycles, 2);
+        assert_eq!(report.wait_p50_cycles, 1);
+        assert_eq!(report.max_peak_occupancy, 3, "all three queued at once");
+        // Two wavelengths halve the serialization.
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(16, 2, ContentionPolicy::Backpressure));
+        let report = engine.run(&router, &[(0, 1), (0, 1), (0, 1)], 3.0);
+        assert_eq!(report.delivered, 3);
+        assert_eq!(report.wait_max_cycles, 1);
+    }
+
+    #[test]
+    fn tail_drop_discards_past_full_buffers() {
+        // One buffer slot on the injection link: of three simultaneous
+        // packets, the first queues, the other two tail-drop.
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(1, 1, ContentionPolicy::TailDrop));
+        let report = engine.run(&router, &[(0, 1), (0, 1), (0, 1)], 3.0);
+        assert_eq!(report.delivered, 1);
+        assert_eq!(report.dropped_full, 2);
+        assert!(report.conserves_packets());
+        assert_eq!(report.max_peak_occupancy, 1, "buffer never exceeds its cap");
+    }
+
+    #[test]
+    fn backpressure_stalls_injection_instead_of_dropping() {
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(1, 1, ContentionPolicy::Backpressure));
+        let report = engine.run(&router, &[(0, 1), (0, 1), (0, 1)], 3.0);
+        // Lossless: everything eventually delivers, the run just takes
+        // longer than the tail-drop run.
+        assert_eq!(report.delivered, 3);
+        assert_eq!(report.dropped(), 0);
+        assert!(report.conserves_packets());
+        assert!(!report.deadlocked);
+    }
+
+    #[test]
+    fn backpressure_ring_deadlock_is_detected_and_conserved() {
+        // C_3 with single-slot buffers and every packet two hops from
+        // home: all three buffers fill, each head needs the next full
+        // buffer — a classic cyclic-dependency deadlock.
+        let g = cycle(3);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g.clone(), config(1, 1, ContentionPolicy::Backpressure));
+        let occupancy = engine.occupancy();
+        let report = engine.run(&router, &[(0, 2), (1, 0), (2, 1)], 3.0);
+        assert!(report.deadlocked, "{report:?}");
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.in_flight, 3);
+        assert!(report.conserves_packets());
+        // The occupancy view still shows the wedged buffers.
+        assert_eq!(occupancy.queued(0, 1), 1);
+        assert_eq!(occupancy.queued(1, 2), 1);
+        assert_eq!(occupancy.queued(2, 0), 1);
+        // The same scenario under tail-drop cannot wedge.
+        let engine = QueueingEngine::new(g, config(1, 1, ContentionPolicy::TailDrop));
+        let report = engine.run(&router, &[(0, 2), (1, 0), (2, 1)], 3.0);
+        assert!(!report.deadlocked);
+        assert!(report.conserves_packets());
+        assert_eq!(report.in_flight, 0);
+    }
+
+    #[test]
+    fn unroutable_packets_drop_at_injection() {
+        let g = Digraph::from_fn(3, |u| if u == 0 { vec![1] } else { vec![] });
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, QueueConfig::default());
+        let report = engine.run(&router, &[(0, 1), (2, 0), (1, 1)], 3.0);
+        assert_eq!(report.delivered, 2, "the real route and the self-pair");
+        assert_eq!(report.dropped_unroutable, 1);
+        assert!(report.conserves_packets());
+    }
+
+    #[test]
+    fn ttl_bounds_a_looping_packet() {
+        // A blind router that always forwards around C_4 while the
+        // packet's destination id exists nowhere on its walk: the hop
+        // budget must retire it (as dropped_ttl, conserving packets)
+        // instead of simulating forever.
+        struct Forward;
+        impl Router for Forward {
+            fn node_count(&self) -> u64 {
+                4
+            }
+            fn name(&self) -> String {
+                "forward".into()
+            }
+            fn next_hop(&self, current: u64, _dst: u64) -> Option<u64> {
+                Some((current + 1) % 4)
+            }
+        }
+        let engine = QueueingEngine::new(
+            cycle(4),
+            QueueConfig {
+                hop_limit: Some(6),
+                ..QueueConfig::default()
+            },
+        );
+        let report = engine.run(&Forward, &[(1, 7)], 1.0);
+        assert_eq!(report.dropped_ttl, 1);
+        assert_eq!(report.delivered, 0);
+        assert!(report.conserves_packets());
+    }
+
+    #[test]
+    fn saturation_sweep_finds_the_cycle_service_rate() {
+        // On C_8 under uniform-ish traffic with one wavelength, each
+        // link serves at most 1 packet/cycle; delivered throughput
+        // must plateau once offered load exceeds capacity.
+        let g = cycle(8);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(8, 1, ContentionPolicy::TailDrop));
+        let workload: Vec<(u64, u64)> = (0..400).map(|i| (i % 8, (i + 3) % 8)).collect();
+        let sweep = engine.saturation_sweep(&router, &workload, &[0.05, 0.1, 0.3, 0.6, 1.0]);
+        assert_eq!(sweep.points.len(), 5);
+        let saturation = sweep.saturation_throughput_per_node();
+        assert!(saturation > 0.0);
+        // Per-node delivery can never exceed the per-node service
+        // capacity of 1/3 (every packet holds its links 3 cycles).
+        assert!(saturation <= 1.0 / 3.0 + 1e-9, "saturation {saturation}");
+        // Low offered loads deliver what they offer; the top of the
+        // sweep cannot (drops or stretched runs).
+        let first = &sweep.points[0];
+        assert!(first.delivered_per_node >= first.offered_per_node * 0.8);
+    }
+}

@@ -1,0 +1,315 @@
+//! Aggregate reports for the two traffic engines: the batched static
+//! engine ([`TrafficReport`]) and the cycle-accurate queueing engine
+//! ([`QueueingReport`]), plus the shared percentile arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Value at `fraction` (0.0..=1.0) of a **sorted** sample, by
+/// nearest-rank on the closed index range; `0.0` for an empty sample.
+pub(crate) fn percentile_f64(sorted: &[f64], fraction: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((sorted.len() - 1) as f64 * fraction).round() as usize;
+    sorted[index]
+}
+
+/// As [`percentile_f64`] for integer samples (queueing delays in
+/// cycles); `0` for an empty sample.
+pub(crate) fn percentile_u64(sorted: &[u64], fraction: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let index = ((sorted.len() - 1) as f64 * fraction).round() as usize;
+    sorted[index]
+}
+
+/// Aggregate results of one batched (static, uncontended) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Router description (see [`otis_core::Router::name`]).
+    pub router: String,
+    /// Packets attempted.
+    pub packets: usize,
+    /// Packets that reached their destination.
+    pub delivered: usize,
+    /// Packets dropped (no route / routing loop).
+    pub dropped: usize,
+    /// Every link traversal, including hops a dropped packet took
+    /// before dead-ending — always equals `sum(link_load)`.
+    pub total_hops: u64,
+    /// Sum of hops over *delivered* packets only.
+    pub delivered_hops: u64,
+    /// Longest delivered route, in hops.
+    pub max_hops: u32,
+    /// Packets carried per transceiver (index `u·d + k`): the link
+    /// load vector.
+    pub link_load: Vec<u64>,
+    /// `max(link_load)` — the empirical forwarding index of the
+    /// workload under this routing.
+    pub max_link_load: u64,
+    /// Mean end-to-end latency over delivered packets, ps.
+    pub latency_mean_ps: f64,
+    /// Median end-to-end latency, ps.
+    pub latency_p50_ps: f64,
+    /// 99th-percentile end-to-end latency, ps.
+    pub latency_p99_ps: f64,
+    /// Worst end-to-end latency, ps.
+    pub latency_max_ps: f64,
+    /// Total optical energy spent, pJ.
+    pub energy_total_pj: f64,
+    /// True iff every traversed link's power budget closed.
+    pub all_budgets_close: bool,
+}
+
+impl TrafficReport {
+    /// Fraction of packets delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.packets == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.packets as f64
+    }
+
+    /// Mean hops per delivered packet.
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.delivered_hops as f64 / self.delivered as f64
+    }
+
+    /// Mean load over links that carried any traffic at all
+    /// (traversals by dropped packets included — they loaded the
+    /// link all the same).
+    pub fn mean_link_load(&self) -> f64 {
+        let used = self.link_load.iter().filter(|&&load| load > 0).count();
+        if used == 0 {
+            return 0.0;
+        }
+        self.total_hops as f64 / used as f64
+    }
+
+    /// Mean optical energy per *attempted* packet, pJ: the fabric
+    /// spends energy on a packet's hops whether or not it ultimately
+    /// arrives.
+    pub fn mean_energy_pj(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.energy_total_pj / self.packets as f64
+    }
+}
+
+/// Aggregate results of one cycle-accurate queueing run
+/// ([`super::QueueingEngine::run`]): where [`TrafficReport`] tallies
+/// static link load, this report captures congestion *dynamics* —
+/// queueing delay, drops by cause, buffer occupancy, and throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueingReport {
+    /// Router description (see [`otis_core::Router::name`]).
+    pub router: String,
+    /// Injection rate the run offered, packets per cycle (fabric-wide).
+    pub offered_per_cycle: f64,
+    /// Cycles the run took (injection + drain).
+    pub cycles: u64,
+    /// Packets that entered the network (self-pairs and drops at the
+    /// injection port included; workload left uninjected at the
+    /// horizon is not).
+    pub injected: usize,
+    /// Packets that reached their destination.
+    pub delivered: usize,
+    /// Packets tail-dropped at a full buffer.
+    pub dropped_full: usize,
+    /// Packets with no (surviving) route, or misrouted off-fabric.
+    pub dropped_unroutable: usize,
+    /// Packets that exhausted their hop budget (routing loops or
+    /// excessive adaptive deroutes).
+    pub dropped_ttl: usize,
+    /// Packets still buffered when the run ended (nonzero only at the
+    /// cycle horizon or after a backpressure deadlock).
+    pub in_flight: usize,
+    /// True iff a backpressure cycle wedged: buffers full in a ring,
+    /// no packet able to move (de Bruijn shortest-path routing is not
+    /// deadlock-free under finite buffers).
+    pub deadlocked: bool,
+    /// Sum of hops over delivered packets.
+    pub delivered_hops: u64,
+    /// Longest delivered walk, in hops (deroutes included).
+    pub max_hops: u32,
+    /// Mean queueing delay of delivered packets, cycles: time since
+    /// the packet's injection credit accrued, beyond the one cycle per
+    /// hop a contention-free packet would spend — source stalling
+    /// under backpressure counts (the open-loop convention, so
+    /// congestion cannot hide in an unmeasured source queue).
+    pub wait_mean_cycles: f64,
+    /// Median queueing delay, cycles.
+    pub wait_p50_cycles: u64,
+    /// 99th-percentile queueing delay, cycles.
+    pub wait_p99_cycles: u64,
+    /// Worst queueing delay, cycles.
+    pub wait_max_cycles: u64,
+    /// Peak buffer occupancy per directed link (arc order of the
+    /// routed digraph).
+    pub peak_occupancy: Vec<u32>,
+    /// `max(peak_occupancy)` — how close the worst link came to its
+    /// buffer cap.
+    pub max_peak_occupancy: u32,
+}
+
+impl QueueingReport {
+    /// All drops, regardless of cause.
+    pub fn dropped(&self) -> usize {
+        self.dropped_full + self.dropped_unroutable + self.dropped_ttl
+    }
+
+    /// Fraction of injected packets delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.injected as f64
+    }
+
+    /// Fraction of injected packets dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.injected == 0 {
+            return 0.0;
+        }
+        self.dropped() as f64 / self.injected as f64
+    }
+
+    /// Delivered throughput, packets per cycle (fabric-wide). Under
+    /// saturation this plateaus while offered load keeps climbing.
+    pub fn throughput_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.delivered as f64 / self.cycles as f64
+    }
+
+    /// Mean hops per delivered packet (deroutes included).
+    pub fn mean_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.delivered_hops as f64 / self.delivered as f64
+    }
+
+    /// Packet conservation: everything injected is delivered, dropped,
+    /// or still buffered. The queueing engine's core invariant.
+    pub fn conserves_packets(&self) -> bool {
+        self.injected == self.delivered + self.dropped() + self.in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_empty_samples_are_zero() {
+        assert_eq!(percentile_f64(&[], 0.5), 0.0);
+        assert_eq!(percentile_f64(&[], 0.99), 0.0);
+        assert_eq!(percentile_u64(&[], 0.5), 0);
+        assert_eq!(percentile_u64(&[], 1.0), 0);
+    }
+
+    #[test]
+    fn percentiles_of_single_samples_are_that_sample() {
+        for fraction in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile_f64(&[42.5], fraction), 42.5);
+            assert_eq!(percentile_u64(&[7], fraction), 7);
+        }
+    }
+
+    #[test]
+    fn percentiles_interior() {
+        let sorted: Vec<u64> = (0..=100).collect();
+        assert_eq!(percentile_u64(&sorted, 0.5), 50);
+        assert_eq!(percentile_u64(&sorted, 0.99), 99);
+        assert_eq!(percentile_u64(&sorted, 1.0), 100);
+        let f: Vec<f64> = sorted.iter().map(|&x| x as f64).collect();
+        assert_eq!(percentile_f64(&f, 0.0), 0.0);
+        assert_eq!(percentile_f64(&f, 1.0), 100.0);
+    }
+
+    fn empty_traffic_report() -> TrafficReport {
+        TrafficReport {
+            router: "test".into(),
+            packets: 0,
+            delivered: 0,
+            dropped: 0,
+            total_hops: 0,
+            delivered_hops: 0,
+            max_hops: 0,
+            link_load: vec![],
+            max_link_load: 0,
+            latency_mean_ps: 0.0,
+            latency_p50_ps: 0.0,
+            latency_p99_ps: 0.0,
+            latency_max_ps: 0.0,
+            energy_total_pj: 0.0,
+            all_budgets_close: true,
+        }
+    }
+
+    #[test]
+    fn traffic_report_rates_on_empty_workload() {
+        // The divide-by-zero-adjacent paths: every ratio must stay
+        // finite and sensible with zero packets and zero loaded links.
+        let report = empty_traffic_report();
+        assert_eq!(report.delivery_rate(), 1.0, "vacuously delivered");
+        assert_eq!(report.mean_hops(), 0.0);
+        assert_eq!(report.mean_link_load(), 0.0);
+        assert_eq!(report.mean_energy_pj(), 0.0);
+    }
+
+    #[test]
+    fn traffic_report_rates_on_single_packet() {
+        let report = TrafficReport {
+            packets: 1,
+            delivered: 1,
+            total_hops: 3,
+            delivered_hops: 3,
+            max_hops: 3,
+            link_load: vec![1, 1, 1, 0],
+            max_link_load: 1,
+            energy_total_pj: 6.0,
+            ..empty_traffic_report()
+        };
+        assert_eq!(report.delivery_rate(), 1.0);
+        assert_eq!(report.mean_hops(), 3.0);
+        assert_eq!(report.mean_link_load(), 1.0);
+        assert_eq!(report.mean_energy_pj(), 6.0);
+    }
+
+    #[test]
+    fn queueing_report_rates_on_empty_run() {
+        let report = QueueingReport {
+            router: "test".into(),
+            offered_per_cycle: 1.0,
+            cycles: 0,
+            injected: 0,
+            delivered: 0,
+            dropped_full: 0,
+            dropped_unroutable: 0,
+            dropped_ttl: 0,
+            in_flight: 0,
+            deadlocked: false,
+            delivered_hops: 0,
+            max_hops: 0,
+            wait_mean_cycles: 0.0,
+            wait_p50_cycles: 0,
+            wait_p99_cycles: 0,
+            wait_max_cycles: 0,
+            peak_occupancy: vec![],
+            max_peak_occupancy: 0,
+        };
+        assert_eq!(report.delivery_rate(), 1.0);
+        assert_eq!(report.drop_rate(), 0.0);
+        assert_eq!(report.throughput_per_cycle(), 0.0);
+        assert_eq!(report.mean_hops(), 0.0);
+        assert!(report.conserves_packets());
+    }
+}

@@ -1,0 +1,300 @@
+//! Synthetic workload generation: the traffic patterns of the
+//! interconnection-network literature, reproducibly seeded.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Synthetic traffic patterns. The digit-structured patterns
+/// (transpose, bit reversal) interpret node ids as length-`D` words
+/// over `Z_d` — the same identification the de Bruijn fabric itself
+/// uses — and therefore require `n = d^D` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Independent uniform `(src, dst)` pairs, `dst ≠ src`.
+    Uniform,
+    /// A fixed random permutation `π`; packet `i` goes `i mod n → π(i mod n)`.
+    Permutation,
+    /// Digit transpose: the high and low halves of the digit string
+    /// swap (the classic matrix-transpose stressor).
+    Transpose,
+    /// Digit reversal: `x_{D-1}…x_0 → x_0…x_{D-1}` (FFT butterfly
+    /// traffic).
+    BitReversal,
+    /// One node is hot: a quarter of all packets target node `n/2`,
+    /// the rest are uniform.
+    Hotspot,
+    /// Every ordered pair `(src, dst)`, `src ≠ dst`, visited round-robin.
+    AllToAll,
+}
+
+impl TrafficPattern {
+    pub const ALL: [TrafficPattern; 6] = [
+        TrafficPattern::Uniform,
+        TrafficPattern::Permutation,
+        TrafficPattern::Transpose,
+        TrafficPattern::BitReversal,
+        TrafficPattern::Hotspot,
+        TrafficPattern::AllToAll,
+    ];
+
+    /// True iff the pattern needs the `n = d^D` digit structure.
+    pub fn needs_digit_structure(&self) -> bool {
+        matches!(
+            self,
+            TrafficPattern::Transpose | TrafficPattern::BitReversal
+        )
+    }
+
+    /// The valid pattern names, `|`-separated — the single source the
+    /// CLI and the parse error both quote.
+    pub fn valid_names() -> String {
+        let names: Vec<String> = Self::ALL.iter().map(|p| p.to_string()).collect();
+        names.join("|")
+    }
+}
+
+impl std::fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Permutation => "permutation",
+            TrafficPattern::Transpose => "transpose",
+            TrafficPattern::BitReversal => "bitrev",
+            TrafficPattern::Hotspot => "hotspot",
+            TrafficPattern::AllToAll => "alltoall",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl std::str::FromStr for TrafficPattern {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, String> {
+        match raw {
+            "uniform" => Ok(TrafficPattern::Uniform),
+            "permutation" | "perm" => Ok(TrafficPattern::Permutation),
+            "transpose" => Ok(TrafficPattern::Transpose),
+            "bitrev" | "bit-reversal" | "bitreversal" => Ok(TrafficPattern::BitReversal),
+            "hotspot" => Ok(TrafficPattern::Hotspot),
+            "alltoall" | "all-to-all" => Ok(TrafficPattern::AllToAll),
+            other => Err(format!(
+                "unknown pattern {other:?} (valid patterns: {})",
+                TrafficPattern::valid_names()
+            )),
+        }
+    }
+}
+
+/// Reverse the base-`d` digits of `value` (`digits` of them).
+pub(crate) fn digit_reverse(value: u64, d: u64, digits: u32) -> u64 {
+    let mut v = value;
+    let mut out = 0;
+    for _ in 0..digits {
+        out = out * d + v % d;
+        v /= d;
+    }
+    out
+}
+
+/// Swap the high `⌈D/2⌉` and low `⌊D/2⌋` digit blocks of `value`.
+pub(crate) fn digit_transpose(value: u64, d: u64, digits: u32) -> u64 {
+    let low_len = digits / 2;
+    let low_modulus = d.pow(low_len);
+    let high = value / low_modulus;
+    let low = value % low_modulus;
+    let high_modulus = d.pow(digits - low_len);
+    low * high_modulus + high
+}
+
+/// Generate `packets` source/destination pairs over `0..n` for a
+/// pattern. `d` is the fabric's alphabet (used by the digit-structured
+/// patterns, which require `n = d^D`); `seed` makes workloads
+/// reproducible.
+pub fn generate_workload(
+    pattern: TrafficPattern,
+    n: u64,
+    d: u64,
+    packets: usize,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    assert!(n >= 2, "need at least two nodes for traffic");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let digits = if pattern.needs_digit_structure() {
+        assert!(
+            d >= 2,
+            "{pattern} traffic needs an alphabet of size ≥ 2, got d = {d}"
+        );
+        let mut digits = 0u32;
+        let mut size = 1u64;
+        while size < n {
+            size *= d;
+            digits += 1;
+        }
+        assert!(
+            size == n,
+            "{pattern} traffic needs n = d^D nodes, got n = {n}, d = {d}"
+        );
+        digits
+    } else {
+        0
+    };
+    let draw_other = |rng: &mut StdRng, src: u64| loop {
+        let dst = rng.gen_range(0..n);
+        if dst != src {
+            return dst;
+        }
+    };
+    match pattern {
+        TrafficPattern::Uniform => (0..packets)
+            .map(|_| {
+                let src = rng.gen_range(0..n);
+                let dst = draw_other(&mut rng, src);
+                (src, dst)
+            })
+            .collect(),
+        TrafficPattern::Permutation => {
+            let mut images: Vec<u64> = (0..n).collect();
+            for i in (1..n as usize).rev() {
+                let j = rng.gen_range(0..=i);
+                images.swap(i, j);
+            }
+            (0..packets)
+                .map(|i| {
+                    let src = i as u64 % n;
+                    (src, images[src as usize])
+                })
+                .collect()
+        }
+        TrafficPattern::Transpose => (0..packets)
+            .map(|i| {
+                let src = i as u64 % n;
+                (src, digit_transpose(src, d, digits))
+            })
+            .collect(),
+        TrafficPattern::BitReversal => (0..packets)
+            .map(|i| {
+                let src = i as u64 % n;
+                (src, digit_reverse(src, d, digits))
+            })
+            .collect(),
+        TrafficPattern::Hotspot => {
+            let hot = n / 2;
+            (0..packets)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        let src = loop {
+                            let candidate = rng.gen_range(0..n);
+                            if candidate != hot {
+                                break candidate;
+                            }
+                        };
+                        (src, hot)
+                    } else {
+                        let src = rng.gen_range(0..n);
+                        (src, draw_other(&mut rng, src))
+                    }
+                })
+                .collect()
+        }
+        TrafficPattern::AllToAll => {
+            let pairs = n * (n - 1);
+            (0..packets)
+                .map(|i| {
+                    let index = i as u64 % pairs;
+                    let src = index / (n - 1);
+                    let mut dst = index % (n - 1);
+                    if dst >= src {
+                        dst += 1; // skip the diagonal
+                    }
+                    (src, dst)
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_generate_valid_pairs() {
+        for pattern in TrafficPattern::ALL {
+            let workload = generate_workload(pattern, 16, 2, 500, 11);
+            assert_eq!(workload.len(), 500, "{pattern}");
+            for &(src, dst) in &workload {
+                assert!(src < 16 && dst < 16, "{pattern}: ({src}, {dst})");
+            }
+            // The random patterns avoid self-traffic by construction;
+            // permutation fixed points and digit-palindromes are
+            // legitimate self-pairs.
+            if matches!(
+                pattern,
+                TrafficPattern::Uniform | TrafficPattern::Hotspot | TrafficPattern::AllToAll
+            ) {
+                assert!(
+                    workload.iter().all(|&(src, dst)| src != dst),
+                    "{pattern} should avoid self-traffic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_and_bitrev_are_involutions() {
+        for value in 0..256u64 {
+            assert_eq!(digit_reverse(digit_reverse(value, 2, 8), 2, 8), value);
+        }
+        // Transpose swaps halves; applying it twice is the identity
+        // when D is even.
+        for value in 0..256u64 {
+            assert_eq!(digit_transpose(digit_transpose(value, 2, 8), 2, 8), value);
+        }
+        for value in 0..27u64 {
+            assert_eq!(digit_reverse(digit_reverse(value, 3, 3), 3, 3), value);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_hot_node() {
+        let workload = generate_workload(TrafficPattern::Hotspot, 64, 2, 4000, 3);
+        let hot = 32u64;
+        let to_hot = workload.iter().filter(|&&(_, dst)| dst == hot).count();
+        assert!(
+            to_hot >= workload.len() / 4,
+            "hotspot sends ≥ 25% to the hot node, got {to_hot}/4000"
+        );
+    }
+
+    #[test]
+    fn all_to_all_covers_every_pair() {
+        let n = 8u64;
+        let pairs = (n * (n - 1)) as usize;
+        let workload = generate_workload(TrafficPattern::AllToAll, n, 2, pairs, 0);
+        let mut seen = std::collections::HashSet::new();
+        for &pair in &workload {
+            assert!(
+                seen.insert(pair),
+                "duplicate pair {pair:?} within one sweep"
+            );
+        }
+        assert_eq!(seen.len(), pairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "alphabet of size")]
+    fn digit_pattern_rejects_degenerate_alphabet() {
+        generate_workload(TrafficPattern::Transpose, 8, 1, 10, 0);
+    }
+
+    #[test]
+    fn parse_error_lists_valid_patterns() {
+        let err = "zigzag".parse::<TrafficPattern>().unwrap_err();
+        assert!(err.contains("unknown pattern"), "{err}");
+        for pattern in TrafficPattern::ALL {
+            assert!(err.contains(&pattern.to_string()), "{err}");
+        }
+    }
+}

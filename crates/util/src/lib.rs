@@ -14,10 +14,14 @@
 //!   all-pairs BFS diameter computation and the Table 1 sweep.
 //! * [`digits`] — checked d-ary positional arithmetic shared by the
 //!   word codecs and the OTIS transceiver indexing.
+//! * [`smallvec`] — an inline-first vector for the router layer's
+//!   per-query candidate lists (degree-sized, allocation-free).
 
 pub mod digits;
 pub mod hash;
 pub mod par;
+pub mod smallvec;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use par::{num_threads, par_for_each_chunk, par_map};
+pub use smallvec::SmallVec;

@@ -1,0 +1,205 @@
+//! A minimal inline-first vector, `SmallVec<T, N>`.
+//!
+//! The router layer returns *candidate next hops* per query — at most
+//! the fabric degree `d`, which is 2–4 in every configuration the
+//! paper considers. Returning a `Vec` would put a heap allocation on
+//! the per-hop hot path of the queueing engine; the registry `smallvec`
+//! crate is unavailable offline (see `vendor/README.md`), so this is
+//! the subset the workspace needs: push, slice access, iteration, and
+//! a spill to the heap on the rare fabric with `d > N`.
+
+/// A vector that stores up to `N` elements inline and spills to a
+/// heap `Vec` beyond that.
+///
+/// `T: Copy + Default` keeps the inline buffer trivially initializable
+/// — all workspace uses carry small `Copy` payloads (vertex ids,
+/// `(distance, vertex)` pairs).
+#[derive(Debug, Clone)]
+pub enum SmallVec<T: Copy + Default, const N: usize> {
+    /// All elements fit inline; only `buf[..len]` is meaningful.
+    Inline { buf: [T; N], len: usize },
+    /// Spilled: every element lives on the heap.
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        SmallVec::Inline {
+            buf: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// A one-element vector (no allocation): the common case of an
+    /// oblivious router with a single next hop.
+    pub fn of(value: T) -> Self {
+        let mut v = Self::new();
+        v.push(value);
+        v
+    }
+
+    /// Append, spilling to the heap if the inline buffer is full.
+    pub fn push(&mut self, value: T) {
+        match self {
+            SmallVec::Inline { buf, len } => {
+                if *len < N {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut heap = buf[..*len].to_vec();
+                    heap.push(value);
+                    *self = SmallVec::Heap(heap);
+                }
+            }
+            SmallVec::Heap(heap) => heap.push(value),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            SmallVec::Inline { buf, len } => &buf[..*len],
+            SmallVec::Heap(heap) => heap,
+        }
+    }
+
+    /// The elements as a mutable slice (e.g. for sorting candidates).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            SmallVec::Inline { buf, len } => &mut buf[..*len],
+            SmallVec::Heap(heap) => heap,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallVec::Inline { len, .. } => *len,
+            SmallVec::Heap(heap) => heap.len(),
+        }
+    }
+
+    /// True iff there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// First element, if any.
+    pub fn first(&self) -> Option<&T> {
+        self.as_slice().first()
+    }
+
+    /// True iff the elements still live in the inline buffer.
+    pub fn is_inline(&self) -> bool {
+        matches!(self, SmallVec::Inline { .. })
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for SmallVec<T, N> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<u64, 4> = SmallVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn spills_past_capacity_and_keeps_order() {
+        let mut v: SmallVec<u64, 2> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i * 10);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 10, 20, 30, 40]);
+        v.push(50);
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn of_and_first() {
+        let v: SmallVec<u64, 4> = SmallVec::of(7);
+        assert_eq!(v.first(), Some(&7));
+        assert_eq!(v.len(), 1);
+        let empty: SmallVec<u64, 4> = SmallVec::new();
+        assert_eq!(empty.first(), None);
+    }
+
+    #[test]
+    fn sortable_through_mut_slice() {
+        let mut v: SmallVec<(u32, u64), 4> = [(3, 30), (1, 10), (2, 20)].into_iter().collect();
+        v.as_mut_slice().sort();
+        assert_eq!(v.as_slice(), &[(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline: SmallVec<u64, 8> = (0..3).collect();
+        let mut spilled: SmallVec<u64, 2> = (0..3).collect();
+        assert_eq!(inline.as_slice(), spilled.as_slice());
+        assert!(!spilled.is_inline());
+        spilled.as_mut_slice().sort_unstable();
+        assert_eq!(spilled.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let v: SmallVec<u64, 4> = (0..4).collect();
+        assert!(v.contains(&2));
+        assert_eq!(v.iter().copied().max(), Some(3));
+    }
+}
