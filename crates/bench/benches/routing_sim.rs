@@ -13,11 +13,14 @@
 //! the per-packet-BFS baseline by well over an order of magnitude on
 //! batched workloads (acceptance floor: ≥ 10×).
 //!
-//! The queueing group adds the contention story: on hotspot traffic
+//! The queueing groups add the contention story: on hotspot traffic
 //! past the oblivious saturation point, the contention-aware
 //! `AdaptiveRouter` delivers strictly more packets per cycle at a
 //! strictly lower p99 queueing delay than the oblivious
-//! `DeBruijnRouter` (asserted before timing).
+//! `DeBruijnRouter`; and under lossless backpressure with tight
+//! buffers, the same saturation that wedges a single-channel fabric
+//! into a ring deadlock completes lossless with two dateline virtual
+//! channels (both asserted before timing).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use otis_core::{
@@ -141,6 +144,7 @@ fn bench_queueing_adaptive_vs_oblivious(c: &mut Criterion) {
     let config = QueueConfig {
         buffers: 32,
         wavelengths: 1,
+        vcs: 1,
         policy: ContentionPolicy::Backpressure,
         hop_limit: None,
         max_cycles: 1000,
@@ -184,6 +188,59 @@ fn bench_queueing_adaptive_vs_oblivious(c: &mut Criterion) {
     });
     group.bench_function("adaptive_backpressure", |bench| {
         bench.iter(|| black_box(adaptive_engine.run(&adaptive, &workload, offered)))
+    });
+    group.finish();
+}
+
+fn bench_queueing_vcs_deadlock_freedom(c: &mut Criterion) {
+    // The lossless story: hotspot traffic on B(2,8) at 0.5
+    // packets/node/cycle under backpressure with tight 4-slot
+    // buffers. With a single channel per link the fabric wedges into
+    // a ring deadlock within a few dozen cycles and strands most of
+    // the workload; with two dateline virtual channels the identical
+    // run is deadlock-free by construction and delivers every packet.
+    let b = DeBruijn::new(2, 8);
+    let n = b.node_count();
+    let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 20_000, 0x0715);
+    let config = |vcs: usize| QueueConfig {
+        buffers: 4,
+        wavelengths: 1,
+        vcs,
+        policy: ContentionPolicy::Backpressure,
+        hop_limit: None,
+        max_cycles: 200_000,
+    };
+    let offered = 0.5 * n as f64;
+
+    // The acceptance result the bench exists to demonstrate, asserted
+    // before timing: vcs = 1 deadlocks, vcs = 2 completes lossless.
+    let wedged_engine = QueueingEngine::from_family(&b, config(1));
+    let wedged = wedged_engine.run(&DeBruijnRouter::new(b), &workload, offered);
+    assert!(wedged.deadlocked, "single-channel saturation must wedge");
+    let vc_engine = QueueingEngine::from_family(&b, config(2));
+    let lossless = vc_engine.run(&DeBruijnRouter::new(b), &workload, offered);
+    assert!(!lossless.deadlocked);
+    assert_eq!(lossless.delivered, workload.len());
+    assert_eq!(lossless.dropped(), 0);
+    println!(
+        "hotspot@0.50/node, 4 buffers, backpressure: vcs=1 DEADLOCK at cycle {} ({} stranded) → vcs=2 lossless {}/{} in {} cycles ({} promotions, {} relief)",
+        wedged.cycles,
+        wedged.in_flight,
+        lossless.delivered,
+        lossless.injected,
+        lossless.cycles,
+        lossless.dateline_promotions,
+        lossless.dateline_relief
+    );
+
+    let router = DeBruijnRouter::new(b);
+    let mut group = c.benchmark_group("routing/queueing_vcs_B_2_8");
+    group.sample_size(10);
+    group.bench_function("vcs1_until_wedge", |bench| {
+        bench.iter(|| black_box(wedged_engine.run(&router, &workload, offered)))
+    });
+    group.bench_function("vcs2_lossless_run", |bench| {
+        bench.iter(|| black_box(vc_engine.run(&router, &workload, offered)))
     });
     group.finish();
 }
@@ -233,6 +290,7 @@ criterion_group!(
     bench_batched_routers,
     bench_traffic_engine,
     bench_queueing_adaptive_vs_oblivious,
+    bench_queueing_vcs_deadlock_freedom,
     bench_simulator_transport,
     bench_broadcast
 );

@@ -53,14 +53,19 @@ USAGE:
                                        (uniform|permutation|transpose|bitrev|
                                         hotspot|alltoall) over the lens-minimal
                                        OTIS fabric of B(d,D)
-    --buffers <B>      queueing: FIFO slots per link (default 16)
+    --buffers <B>      queueing: FIFO slots per virtual channel (default 16)
     --wavelengths <W>  queueing: channels drained per link per cycle (default 1)
-    --adaptive         route contention-aware (least-queued candidate hop)
+    --vcs <V>          queueing: dateline virtual channels per link (default 1;
+                       2+ makes backpressure deadlock-free by construction)
+    --adaptive         route contention-aware (least-queued candidate hop,
+                       scored per VC class when --vcs > 1)
     --sweep            sweep offered load and report saturation throughput
     --load <L>         offered load, packets/node/cycle (default 0.2)
     --policy <P>       full-buffer behavior: taildrop (default) | backpressure
                        any of these flags switches from the batched static
-                       engine to the cycle-accurate queueing simulator
+                       engine to the cycle-accurate queueing simulator;
+                       hotspot queueing runs also report hot-vs-background
+                       per-class statistics
   otis sequence <d> <k>                print a de Bruijn sequence dB(d,k)
   otis dot <family> <d> <D>            DOT drawing (debruijn|kautz|ii|rrk)
 ";
@@ -234,6 +239,15 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
                 }
                 options.queueing = true;
             }
+            "--vcs" => {
+                options.config.vcs = value("--vcs", &mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --vcs: {e}"))?;
+                if !(1..=255).contains(&options.config.vcs) {
+                    return Err("--vcs must be 1..=255".into());
+                }
+                options.queueing = true;
+            }
             "--load" => {
                 options.load_per_node = value("--load", &mut iter)?
                     .parse()
@@ -259,7 +273,7 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
             }
             other if other.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag {other:?} (want --buffers|--wavelengths|--adaptive|--sweep|--load|--policy)"
+                    "unknown flag {other:?} (want --buffers|--wavelengths|--vcs|--adaptive|--sweep|--load|--policy)"
                 ));
             }
             _ => positionals.push(arg.clone()),
@@ -377,7 +391,8 @@ fn run_queueing_traffic(
     let engine = otis_optics::QueueingEngine::from_family(h, options.config);
     let (oblivious, adaptive);
     let routed: &dyn Router = if options.adaptive {
-        adaptive = otis_core::AdaptiveRouter::new(router, engine.occupancy());
+        adaptive = otis_core::AdaptiveRouter::new(router, engine.occupancy())
+            .with_dateline(engine.dateline());
         &adaptive
     } else {
         oblivious = router;
@@ -389,7 +404,8 @@ fn run_queueing_traffic(
         build_start.elapsed().as_secs_f64() * 1e3
     );
     println!(
-        "queueing: {} buffers × {} wavelength(s) per link, {} on full buffers",
+        "queueing: {} virtual channel(s) × {} buffers, {} wavelength(s) per link, {} on full buffers",
+        options.config.vcs,
         options.config.buffers,
         options.config.wavelengths,
         match options.config.policy {
@@ -397,6 +413,18 @@ fn run_queueing_traffic(
             otis_optics::ContentionPolicy::TailDrop => "tail-drop",
         }
     );
+    if options.config.vcs >= 2 {
+        println!(
+            "dateline: {} wrap arcs of {}{}",
+            engine.dateline().wrap_arc_count(),
+            engine.link_count(),
+            match options.config.policy {
+                otis_optics::ContentionPolicy::Backpressure =>
+                    " — backpressure is deadlock-free by construction",
+                otis_optics::ContentionPolicy::TailDrop => "",
+            }
+        );
+    }
 
     if options.sweep {
         let mut loads = vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.8];
@@ -426,7 +454,7 @@ fn run_queueing_traffic(
 
     let offered = options.load_per_node * n as f64;
     let run_start = std::time::Instant::now();
-    let report = engine.run(routed, workload, offered);
+    let report = engine.run_classified(routed, workload, offered, pattern.hot_node(n));
     let elapsed = run_start.elapsed();
     println!(
         "simulated {} {pattern} packets over {} cycles in {:.1} ms (offered {:.3}/node/cycle)",
@@ -469,9 +497,46 @@ fn run_queueing_traffic(
         report.wait_max_cycles
     );
     println!(
-        "  peak occupancy    : {} of {} buffer slots on the fullest link",
-        report.max_peak_occupancy, options.config.buffers
+        "  peak occupancy    : {} of {} buffer slots on the fullest link (per class: {}){}",
+        report.max_peak_occupancy,
+        options.config.buffers,
+        report
+            .vc_peak_occupancy
+            .iter()
+            .map(|peak| peak.to_string())
+            .collect::<Vec<_>>()
+            .join(" / "),
+        if report.max_peak_occupancy as usize > options.config.buffers {
+            "  [top class stretched by dateline relief]"
+        } else {
+            ""
+        }
     );
+    if report.vcs >= 2 {
+        println!(
+            "  dateline          : {} promotions, {} relief moves (deadlocks prevented, not detected)",
+            report.dateline_promotions, report.dateline_relief
+        );
+    }
+    if report.source_stall_cycles > 0 {
+        println!(
+            "  source stalls     : {} source-cycles (per-source queues: only congested sources stall)",
+            report.source_stall_cycles
+        );
+    }
+    if let Some(stats) = &report.class_stats {
+        let show = |label: &str, class: &otis_optics::ClassStats| {
+            println!(
+                "  {label:<17} : {} injected, {:.1}% delivered, delay p50 {} cy, p99 {} cy",
+                class.injected,
+                class.delivery_rate() * 100.0,
+                class.wait_p50_cycles,
+                class.wait_p99_cycles
+            );
+        };
+        show("hot class", &stats.hot);
+        show("background class", &stats.background);
+    }
     Ok(())
 }
 

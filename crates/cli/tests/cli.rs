@@ -157,9 +157,46 @@ fn traffic_adaptive_queueing_run() {
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("adaptive(table("), "{text}");
-    assert!(text.contains("queueing: 16 buffers"), "{text}");
+    assert!(
+        text.contains("queueing: 1 virtual channel(s) × 16 buffers"),
+        "{text}"
+    );
     assert!(text.contains("queueing delay"), "{text}");
     assert!(text.contains("packets/cycle"), "{text}");
+    // Hotspot queueing runs report the per-class split.
+    assert!(text.contains("hot class"), "{text}");
+    assert!(text.contains("background class"), "{text}");
+}
+
+#[test]
+fn traffic_vcs_backpressure_is_deadlock_free() {
+    // The saturating hotspot run on B(2,8) that wedges with one
+    // channel per link: two dateline VCs must complete it lossless.
+    let out = otis(&[
+        "traffic",
+        "2",
+        "8",
+        "hotspot",
+        "5000",
+        "--policy",
+        "backpressure",
+        "--vcs",
+        "2",
+        "--buffers",
+        "4",
+        "--load",
+        "0.5",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("queueing: 2 virtual channel(s)"), "{text}");
+    assert!(text.contains("deadlock-free by construction"), "{text}");
+    assert!(
+        text.contains("delivered         : 5000 (100.00%)"),
+        "{text}"
+    );
+    assert!(text.contains("dateline"), "{text}");
+    assert!(!text.contains("DEADLOCK"), "{text}");
 }
 
 #[test]
@@ -182,7 +219,9 @@ fn traffic_queueing_knobs_are_respected() {
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(
-        text.contains("queueing: 4 buffers × 2 wavelength(s) per link, backpressure"),
+        text.contains(
+            "queueing: 1 virtual channel(s) × 4 buffers, 2 wavelength(s) per link, backpressure"
+        ),
         "{text}"
     );
     assert!(text.contains("offered 0.100/node/cycle"), "{text}");
@@ -214,6 +253,14 @@ fn traffic_rejects_unknown_flags_and_bad_values() {
         "{}",
         stderr(&out)
     );
+
+    let out = otis(&["traffic", "2", "6", "uniform", "100", "--vcs", "0"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("1..=255"), "{}", stderr(&out));
+
+    let out = otis(&["traffic", "2", "6", "uniform", "100", "--vcs", "900"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("1..=255"), "{}", stderr(&out));
 
     // NaN parses as f64 but must not reach the engine.
     let out = otis(&["traffic", "2", "6", "uniform", "100", "--load", "nan"]);

@@ -58,6 +58,6 @@ pub mod sequences;
 pub use families::{AlphabetDigraph, BSigma, DeBruijn, ImaseItoh, Kautz, PositionalSigma, Rrk};
 pub use family::DigraphFamily;
 pub use router::{
-    AdaptiveRouter, BfsRouter, Candidates, CongestionMap, DeBruijnRouter, KautzRouter,
+    AdaptiveRouter, BfsRouter, Candidates, CongestionMap, Dateline, DeBruijnRouter, KautzRouter,
     NoCongestion, RankedCandidates, Router, RoutingTable,
 };

@@ -63,6 +63,19 @@ pub trait Router: Sync {
     /// already there or unreachable.
     fn next_hop(&self, current: u64, dst: u64) -> Option<u64>;
 
+    /// [`Router::next_hop`] for a packet currently occupying virtual
+    /// channel class `vc` — the hook a lossless queueing engine with
+    /// [`Dateline`] virtual channels drives. The class never changes
+    /// *where* a packet may legally go (that is `next_hop`'s job); it
+    /// changes which per-VC queue a congestion-aware router should
+    /// score when several candidates are available. The default
+    /// ignores the class; [`AdaptiveRouter`] built via
+    /// [`AdaptiveRouter::with_dateline`] overrides it.
+    fn next_hop_on_vc(&self, current: u64, dst: u64, vc: u8) -> Option<u64> {
+        let _ = vc;
+        self.next_hop(current, dst)
+    }
+
     /// Candidate next hops from `current` toward `dst`, best first.
     ///
     /// The contract: every entry is an out-neighbor of `current` from
@@ -415,6 +428,120 @@ impl Router for RoutingTable {
     }
 }
 
+// ----- dateline virtual-channel classes --------------------------------------
+
+/// The dateline virtual-channel discipline shared by the queueing
+/// engine (`otis_optics::traffic::queueing`) and [`AdaptiveRouter`]:
+/// every directed link carries `classes` virtual channels, a packet is
+/// injected on class 0, and each hop that crosses the *dateline* —
+/// the wrap arcs of the fabric's cycle decomposition, computed as a
+/// feedback arc set ([`otis_digraph::feedback::feedback_arcs`]) —
+/// promotes the packet to the next class, saturating at the top.
+///
+/// Why this breaks deadlocks: by construction every directed cycle of
+/// the fabric (the rings of the de Bruijn/Kautz cycle decompositions
+/// included) contains at least one wrap arc, so the non-wrap arcs
+/// form an acyclic subgraph. A cycle of channel dependencies confined
+/// to one class would have to use non-wrap arcs only — impossible
+/// below the top class, because a wrap hop leaves the class, and
+/// impossible over non-wrap arcs at any class, because they carry a
+/// topological order. The one dependency the order does not cover is
+/// a *top-class* packet crossing the dateline again; the queueing
+/// engine closes that last gap by never letting exactly that move
+/// block ([`Dateline::needs_relief`] — the classical "deep dateline
+/// buffer" escape valve), making the whole dependency graph acyclic
+/// for any router and any `classes ≥ 2`. Routes that wrap `k` times
+/// never need relief once `classes > k`; a ring route wraps at most
+/// once, so 2 classes cover every pure ring with the valve shut.
+#[derive(Debug, Clone)]
+pub struct Dateline {
+    classes: u8,
+    g: std::sync::Arc<Digraph>,
+    /// `wrap[arc]` — true iff the `arc`-th arc crosses the dateline.
+    wrap: std::sync::Arc<[bool]>,
+}
+
+impl Dateline {
+    /// The dateline discipline over a fabric, with `classes` virtual
+    /// channels per link. `classes = 1` is the degenerate
+    /// single-channel fabric (every packet stays on class 0 — and
+    /// cyclic fabrics keep their backpressure deadlocks).
+    pub fn new(g: std::sync::Arc<Digraph>, classes: usize) -> Self {
+        assert!(
+            (1..=u8::MAX as usize).contains(&classes),
+            "need 1..=255 virtual channel classes, got {classes}"
+        );
+        let wrap = otis_digraph::feedback::feedback_arcs(&g);
+        Dateline {
+            classes: classes as u8,
+            g,
+            wrap: wrap.into(),
+        }
+    }
+
+    /// Number of virtual channel classes per link.
+    pub fn classes(&self) -> usize {
+        self.classes as usize
+    }
+
+    /// How many arcs of the fabric cross the dateline.
+    pub fn wrap_arc_count(&self) -> usize {
+        self.wrap.iter().filter(|&&wrap| wrap).count()
+    }
+
+    /// True iff the `arc`-th arc (arc order of the fabric digraph)
+    /// crosses the dateline.
+    #[inline]
+    pub fn crosses_arc(&self, arc: usize) -> bool {
+        self.wrap[arc]
+    }
+
+    /// True iff the hop `from → to` crosses the dateline; `false` for
+    /// links the fabric does not have (off-fabric endpoints included).
+    pub fn crosses(&self, from: u64, to: u64) -> bool {
+        let n = self.g.node_count() as u64;
+        if from >= n || to >= n {
+            return false;
+        }
+        self.g
+            .arc_between(from as u32, to as u32)
+            .is_some_and(|arc| self.wrap[arc])
+    }
+
+    /// The class a packet on class `vc` occupies after taking the
+    /// `arc`-th arc: promoted past each dateline crossing, saturating
+    /// at the top class.
+    #[inline]
+    pub fn next_class_arc(&self, vc: u8, arc: usize) -> u8 {
+        if self.wrap[arc] {
+            (vc + 1).min(self.classes - 1)
+        } else {
+            vc
+        }
+    }
+
+    /// As [`Dateline::next_class_arc`] by endpoints.
+    pub fn next_class(&self, vc: u8, from: u64, to: u64) -> u8 {
+        if self.crosses(from, to) {
+            (vc + 1).min(self.classes - 1)
+        } else {
+            vc
+        }
+    }
+
+    /// True iff a packet on class `vc` taking the `arc`-th arc is the
+    /// one dependency the class order cannot rank: a top-class packet
+    /// wrapping again. The queueing engine admits exactly this move
+    /// past a full FIFO (deep dateline buffers), which is what makes
+    /// the channel-dependency graph acyclic outright. Never true with
+    /// a single class, where the engine keeps its legacy
+    /// detect-and-report behavior.
+    #[inline]
+    pub fn needs_relief(&self, vc: u8, arc: usize) -> bool {
+        self.classes >= 2 && vc == self.classes - 1 && self.wrap[arc]
+    }
+}
+
 // ----- contention-aware adaptive routing -------------------------------------
 
 /// A live view of per-link congestion: how many packets are queued on
@@ -430,17 +557,36 @@ pub trait CongestionMap: Sync {
     /// Packets currently queued on the link `from → to`; `0` for
     /// unknown links (an unknown link is an uncongested link).
     fn queued(&self, from: u64, to: u64) -> usize;
+
+    /// Packets currently queued on virtual channel class `vc` of the
+    /// link `from → to`. Maps without per-VC resolution report the
+    /// whole link (the conservative default); the queueing engine's
+    /// occupancy view resolves individual classes so a
+    /// dateline-aware [`AdaptiveRouter`] scores only the FIFO the
+    /// packet would actually join.
+    fn queued_vc(&self, from: u64, to: u64, vc: u8) -> usize {
+        let _ = vc;
+        self.queued(from, to)
+    }
 }
 
 impl<C: CongestionMap + ?Sized> CongestionMap for &C {
     fn queued(&self, from: u64, to: u64) -> usize {
         (**self).queued(from, to)
     }
+
+    fn queued_vc(&self, from: u64, to: u64, vc: u8) -> usize {
+        (**self).queued_vc(from, to, vc)
+    }
 }
 
 impl<C: CongestionMap + Send + Sync + ?Sized> CongestionMap for std::sync::Arc<C> {
     fn queued(&self, from: u64, to: u64) -> usize {
         (**self).queued(from, to)
+    }
+
+    fn queued_vc(&self, from: u64, to: u64, vc: u8) -> usize {
+        (**self).queued_vc(from, to, vc)
     }
 }
 
@@ -472,6 +618,12 @@ pub struct AdaptiveRouter<R: Router, C: CongestionMap> {
     inner: R,
     congestion: C,
     deroute_penalty: usize,
+    /// When set, candidate links are scored by the occupancy of the
+    /// *virtual channel class* the packet would join on each
+    /// ([`Dateline::next_class`]) instead of the whole link — so a
+    /// deep queue of promoted packets on one class does not scare
+    /// traffic off a link whose other classes are empty.
+    dateline: Option<Dateline>,
 }
 
 impl<R: Router, C: CongestionMap> AdaptiveRouter<R, C> {
@@ -501,12 +653,35 @@ impl<R: Router, C: CongestionMap> AdaptiveRouter<R, C> {
             inner,
             congestion,
             deroute_penalty,
+            dateline: None,
         }
+    }
+
+    /// Score candidates per virtual channel class under `dateline`
+    /// instead of per whole link: each candidate hop is charged only
+    /// the occupancy of the VC FIFO the packet would join there (its
+    /// current class, promoted if the hop crosses the dateline).
+    pub fn with_dateline(mut self, dateline: Dateline) -> Self {
+        self.dateline = Some(dateline);
+        self
     }
 
     /// The wrapped oblivious router.
     pub fn inner(&self) -> &R {
         &self.inner
+    }
+
+    /// The congestion charged to the hop `current → v` for a packet on
+    /// class `vc`: the target VC FIFO when a dateline is configured,
+    /// the whole link otherwise.
+    fn hop_congestion(&self, current: u64, v: u64, vc: u8) -> usize {
+        match &self.dateline {
+            Some(dateline) => {
+                self.congestion
+                    .queued_vc(current, v, dateline.next_class(vc, current, v))
+            }
+            None => self.congestion.queued(current, v),
+        }
     }
 }
 
@@ -520,6 +695,10 @@ impl<R: Router, C: CongestionMap> Router for AdaptiveRouter<R, C> {
     }
 
     fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        self.next_hop_on_vc(current, dst, 0)
+    }
+
+    fn next_hop_on_vc(&self, current: u64, dst: u64, vc: u8) -> Option<u64> {
         let ranked = self.inner.ranked_candidates(current, dst);
         if ranked.len() == 1 {
             // No choice to make — skip the scoring.
@@ -532,8 +711,7 @@ impl<R: Router, C: CongestionMap> Router for AdaptiveRouter<R, C> {
             .iter()
             .min_by_key(|&&(dist, v)| {
                 let stretch = (dist - dist_min).min(usize::MAX as u64) as usize;
-                self.congestion
-                    .queued(current, v)
+                self.hop_congestion(current, v, vc)
                     .saturating_add(self.deroute_penalty.saturating_mul(stretch))
             })
             .map(|&(_, v)| v)
@@ -859,6 +1037,117 @@ mod tests {
             penalty,
         );
         assert_eq!(patient.next_hop(1, 22), Some(shortest));
+    }
+
+    #[test]
+    fn dateline_promotes_on_wrap_and_saturates() {
+        // On the directed ring C_6 the dateline is the single wrap
+        // arc 5→0 the DFS finds.
+        let ring = std::sync::Arc::new(Digraph::from_fn(6, |u| [(u + 1) % 6]));
+        let dateline = Dateline::new(std::sync::Arc::clone(&ring), 3);
+        assert_eq!(dateline.classes(), 3);
+        assert_eq!(dateline.wrap_arc_count(), 1);
+        assert!(dateline.crosses(5, 0));
+        assert!(!dateline.crosses(3, 4));
+        assert!(!dateline.crosses(0, 5), "absent links never cross");
+        assert!(!dateline.crosses(99, 0), "off-fabric sources never cross");
+        assert_eq!(dateline.next_class(0, 3, 4), 0);
+        assert_eq!(dateline.next_class(0, 5, 0), 1);
+        assert_eq!(dateline.next_class(2, 5, 0), 2, "saturates at the top");
+        // A ring walk 3→4→5→0→1 wraps exactly once: one promotion.
+        let two = Dateline::new(ring, 2);
+        let mut vc = 0;
+        for (from, to) in [(3u64, 4u64), (4, 5), (5, 0), (0, 1)] {
+            vc = two.next_class(vc, from, to);
+        }
+        assert_eq!(vc, 1);
+        // Relief is exactly the top-class wrap: class 1 of 2 crossing
+        // arc 5 (the wrap); never any other arc, class, or a
+        // single-class fabric.
+        assert!(two.needs_relief(1, 5));
+        assert!(!two.needs_relief(0, 5));
+        assert!(!two.needs_relief(1, 4));
+        let one = Dateline::new(
+            std::sync::Arc::new(Digraph::from_fn(6, |u| [(u + 1) % 6])),
+            1,
+        );
+        assert!(!one.needs_relief(0, 5));
+    }
+
+    #[test]
+    fn dateline_wrap_set_cuts_every_fabric_cycle() {
+        // The structural guarantee the deadlock argument rides on,
+        // checked on a de Bruijn fabric: removing the wrap arcs
+        // leaves the dependency substrate acyclic.
+        let g = DeBruijn::new(2, 5).digraph();
+        let dateline = Dateline::new(std::sync::Arc::new(g.clone()), 2);
+        let wraps: Vec<bool> = (0..g.arc_count())
+            .map(|a| dateline.crosses_arc(a))
+            .collect();
+        assert!(otis_digraph::feedback::is_feedback_arc_set(&g, &wraps));
+        assert!(dateline.wrap_arc_count() > 0, "cyclic fabrics must wrap");
+    }
+
+    /// A per-VC congestion map for tests: explicit queue depths per
+    /// (link, class); `queued` sums the classes of a link.
+    struct FixedVcCongestion(Vec<((u64, u64, u8), usize)>);
+
+    impl CongestionMap for FixedVcCongestion {
+        fn queued(&self, from: u64, to: u64) -> usize {
+            self.0
+                .iter()
+                .filter(|&&((f, t, _), _)| (f, t) == (from, to))
+                .map(|&(_, depth)| depth)
+                .sum()
+        }
+
+        fn queued_vc(&self, from: u64, to: u64, vc: u8) -> usize {
+            self.0
+                .iter()
+                .find(|&&(link, _)| link == (from, to, vc))
+                .map_or(0, |&(_, depth)| depth)
+        }
+    }
+
+    #[test]
+    fn adaptive_router_with_dateline_scores_the_joined_class_only() {
+        // B(3,3), node 1 → 22: the shortest hop's link carries a deep
+        // queue — but only on one VC class. Whether the packet
+        // deroutes must depend on whether that class is the one it
+        // would join there.
+        let b = DeBruijn::new(3, 3);
+        let fabric = std::sync::Arc::new(b.digraph());
+        let shortest = DeBruijnRouter::new(b).next_hop(1, 22).unwrap();
+        let dateline = Dateline::new(fabric, 2);
+        let joined = dateline.next_class(0, 1, shortest);
+        let other = (joined + 1) % 2;
+        let on_joined_class = AdaptiveRouter::new(
+            DeBruijnRouter::new(DeBruijn::new(3, 3)),
+            FixedVcCongestion(vec![((1, shortest, joined), 100)]),
+        )
+        .with_dateline(dateline.clone());
+        assert_ne!(
+            on_joined_class.next_hop_on_vc(1, 22, 0),
+            Some(shortest),
+            "a deep queue on the packet's own class forces a deroute"
+        );
+        let on_other_class = AdaptiveRouter::new(
+            DeBruijnRouter::new(DeBruijn::new(3, 3)),
+            FixedVcCongestion(vec![((1, shortest, other), 100)]),
+        )
+        .with_dateline(dateline);
+        assert_eq!(
+            on_other_class.next_hop_on_vc(1, 22, 0),
+            Some(shortest),
+            "congestion on a class the packet never joins is irrelevant"
+        );
+        // Without the dateline, whole-link scoring sees the 100 either
+        // way and deroutes both times.
+        let whole_link = AdaptiveRouter::new(
+            DeBruijnRouter::new(DeBruijn::new(3, 3)),
+            FixedVcCongestion(vec![((1, shortest, other), 100)]),
+        );
+        assert_ne!(whole_link.next_hop_on_vc(1, 22, 0), Some(shortest));
     }
 
     #[test]

@@ -147,6 +147,20 @@ impl Digraph {
         self.out_neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// The arc index (arc order of the digraph) of `u → v`, if
+    /// present — the first such arc when parallel arcs exist, and
+    /// `None` both for absent links and for `u` outside the vertex
+    /// range, so occupancy-style probes need no pre-checks. Binary
+    /// search on the sorted neighbor list.
+    pub fn arc_between(&self, u: u32, v: u32) -> Option<usize> {
+        if u as usize >= self.node_count() {
+            return None;
+        }
+        let neighbors = self.out_neighbors(u);
+        let offset = neighbors.partition_point(|&w| w < v);
+        (neighbors.get(offset) == Some(&v)).then(|| self.arc_range(u).start + offset)
+    }
+
     /// Multiplicity of the arc `u → v`.
     pub fn arc_multiplicity(&self, u: u32, v: u32) -> usize {
         let neighbors = self.out_neighbors(u);
@@ -249,6 +263,22 @@ mod tests {
         assert_eq!(g.out_neighbors(0), &[1]);
         assert_eq!(g.out_degree(2), 1);
         assert_eq!(g.regular_degree(), Some(1));
+    }
+
+    #[test]
+    fn arc_between_finds_the_arc_index() {
+        let g = Digraph::from_fn(3, |u| if u == 0 { vec![2, 1, 2] } else { vec![0] });
+        // Node 0's arcs sort to [1, 2, 2] at indices 0..3.
+        assert_eq!(g.arc_between(0, 1), Some(0));
+        assert_eq!(g.arc_between(0, 2), Some(1), "first of the parallel pair");
+        assert_eq!(g.arc_between(1, 0), Some(3));
+        assert_eq!(g.arc_between(0, 0), None, "absent link");
+        assert_eq!(g.arc_between(7, 0), None, "out-of-range source");
+        for (arc, (u, v)) in g.arcs().enumerate() {
+            let found = g.arc_between(u, v).unwrap();
+            assert_eq!(g.arc_target(found), v, "{u}->{v}");
+            assert!(found <= arc);
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod bfs;
 pub mod connectivity;
 pub mod dot;
 pub mod euler;
+pub mod feedback;
 pub mod flow;
 mod graph;
 pub mod invariants;

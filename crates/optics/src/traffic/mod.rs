@@ -15,14 +15,18 @@
 //!   parallel shards, congestion reported as per-link load and the
 //!   empirical forwarding index;
 //! * [`queueing`] — the *dynamic* engine ([`QueueingEngine`]): finite
-//!   FIFO buffers and wavelength channels per link, cycle-based
-//!   draining with backpressure or tail-drop, queueing-delay
-//!   percentiles, drops, peak occupancy, and offered-load sweeps that
-//!   locate saturation throughput. Its live buffer occupancy
-//!   ([`LinkOccupancy`]) feeds [`otis_core::AdaptiveRouter`], closing
-//!   the loop between congestion and routing;
+//!   FIFO buffers, `--vcs` dateline virtual channels and wavelength
+//!   channels per link, per-source injection queues, cycle-based
+//!   draining with backpressure (deadlock-free by construction for
+//!   `vcs ≥ 2` on ring decompositions) or tail-drop, queueing-delay
+//!   percentiles, drops, per-VC peak occupancy, hot-versus-background
+//!   class splits, and offered-load sweeps that locate saturation
+//!   throughput. Its live per-VC buffer occupancy ([`LinkOccupancy`])
+//!   feeds [`otis_core::AdaptiveRouter`], closing the loop between
+//!   congestion and routing;
 //! * [`report`] — the aggregate result types ([`TrafficReport`],
-//!   [`QueueingReport`]) and their percentile arithmetic.
+//!   [`QueueingReport`], [`ClassBreakdown`]) and their nearest-rank
+//!   percentile arithmetic.
 //!
 //! What comes out is what the networking literature actually asks of a
 //! topology under load (cf. the forwarding-index analysis of the BCube
@@ -40,5 +44,5 @@ pub use engine::TrafficEngine;
 pub use queueing::{
     ContentionPolicy, LinkOccupancy, QueueConfig, QueueingEngine, SaturationPoint, SaturationSweep,
 };
-pub use report::{QueueingReport, TrafficReport};
+pub use report::{ClassBreakdown, ClassStats, QueueingReport, TrafficReport};
 pub use workload::{generate_workload, TrafficPattern};

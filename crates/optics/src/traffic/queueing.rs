@@ -13,32 +13,55 @@
 //! The model here is the standard synchronous abstraction of that
 //! story:
 //!
-//! * every directed link (one transceiver beam) owns a FIFO buffer of
-//!   `buffers` packets and `wavelengths` parallel channels;
-//! * each cycle, every link drains up to `wavelengths` packets from
-//!   its buffer head; a packet arriving at its destination leaves the
-//!   network, any other packet asks the router for its next link;
-//! * a full downstream buffer either blocks the packet in place
-//!   (head-of-line [`ContentionPolicy::Backpressure`]) or discards it
+//! * every directed link (one transceiver beam) owns `vcs` virtual
+//!   channels, each a FIFO of `buffers` packets, and `wavelengths`
+//!   parallel drain channels shared by its VCs;
+//! * each cycle, every link drains up to `wavelengths` packets off its
+//!   VC FIFO heads, round-robin across classes; a packet arriving at
+//!   its destination leaves the network, any other packet asks the
+//!   router for its next link;
+//! * a full downstream FIFO either blocks the packet in place —
+//!   blocking only its own VC class
+//!   ([`ContentionPolicy::Backpressure`]) — or discards it
 //!   ([`ContentionPolicy::TailDrop`]);
-//! * injection offers `offered_per_cycle` new packets per cycle from
-//!   a single shared source stream, in workload order, subject to the
-//!   same two policies. Under backpressure the stream stalls as a
-//!   unit when its head packet's first-hop buffer is full — one
-//!   injection port, not one queue per source (per-source injection
-//!   queues are a ROADMAP item). Both routers in a comparison face
-//!   the identical injection model.
+//! * injection offers `offered_per_cycle` new packets per cycle
+//!   (fabric-wide) through **independent per-source injection
+//!   queues**: each source holds its own packets in workload order and
+//!   a backpressured source stalls only itself, not its neighbors —
+//!   the head-of-line isolation a shared stream cannot give;
+//! * virtual channel classes follow the **dateline** discipline
+//!   ([`otis_core::Dateline`]): packets inject on class 0 and are
+//!   promoted one class each time they traverse a *wrap arc* — the
+//!   dateline of the fabric's cycle decomposition, computed as a
+//!   feedback arc set ([`otis_digraph::feedback::feedback_arcs`]), so
+//!   every directed cycle of the fabric contains one. The
+//!   channel-dependency graph is then acyclic by construction: within
+//!   a class, dependencies ride the non-wrap subgraph, which is
+//!   acyclic by definition of a feedback arc set; a wrap hop below
+//!   the top class promotes out of the class; and the single
+//!   remaining dependency — a top-class packet wrapping *again* — is
+//!   never allowed to block (the deep-dateline-buffer escape valve,
+//!   counted as `dateline_relief`). With `vcs ≥ 2` and
+//!   `Backpressure`, the all-blocked state the deadlock detector
+//!   looks for is therefore unreachable for any router; the wedges a
+//!   single-channel run *detects* become `dateline_promotions`
+//!   instead. Routes that wrap `k` times never need relief once
+//!   `vcs > k` — a ring route wraps at most once, so two classes
+//!   cover every pure ring with the valve shut.
 //!
-//! Everything is deterministic: links are serviced in arc order, ties
-//! in the adaptive router resolve by candidate order, and the same
-//! seed yields the same report. The engine publishes live buffer
-//! occupancy through [`LinkOccupancy`] (an
-//! [`otis_core::CongestionMap`]), which is what lets an
-//! [`otis_core::AdaptiveRouter`] steer *this* simulation's packets
-//! around *this* simulation's queues.
+//! Everything is deterministic, and fair by rotation: the drain phase
+//! starts from a different link each cycle (and from a different VC
+//! class within a link), so no low-index link persistently wins the
+//! wavelength channels; the injection phase rotates its starting
+//! source the same way. The same seed yields the same report. The
+//! engine publishes live per-VC buffer occupancy through
+//! [`LinkOccupancy`] (an [`otis_core::CongestionMap`]), which is what
+//! lets an [`otis_core::AdaptiveRouter`] steer *this* simulation's
+//! packets around *this* simulation's queues — per VC class, when
+//! built with [`otis_core::AdaptiveRouter::with_dateline`].
 
-use super::report::{percentile_u64, QueueingReport};
-use otis_core::{CongestionMap, DigraphFamily, Router};
+use super::report::{percentile_u64, ClassBreakdown, ClassStats, QueueingReport};
+use otis_core::{CongestionMap, Dateline, DigraphFamily, Router};
 use otis_digraph::Digraph;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -48,10 +71,11 @@ use std::sync::Arc;
 /// What happens upstream when a downstream buffer is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ContentionPolicy {
-    /// The packet waits where it is, blocking its FIFO (and, at the
-    /// source, stalling injection). Lossless, but cyclic fabrics can
-    /// deadlock under saturation — the run detects a wedged cycle and
-    /// reports it.
+    /// The packet waits where it is, blocking its VC FIFO (and, at the
+    /// source, stalling that source's injection queue). Lossless; with
+    /// `vcs = 1` cyclic fabrics can deadlock under saturation (the run
+    /// detects the wedged cycle and reports it), while `vcs ≥ 2`
+    /// dateline channels dissolve the ring dependencies instead.
     Backpressure,
     /// The packet is discarded and counted (`dropped_full`). Lossy,
     /// deadlock-free — the usual optical-switch behavior when no
@@ -76,11 +100,16 @@ impl std::str::FromStr for ContentionPolicy {
 /// Knobs of the queueing model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct QueueConfig {
-    /// FIFO buffer capacity per directed link, packets. Must be ≥ 1.
+    /// FIFO buffer capacity per virtual channel, packets. Must be ≥ 1.
     pub buffers: usize,
     /// Wavelength channels per link: packets drained per link per
-    /// cycle. Must be ≥ 1.
+    /// cycle, shared by the link's VCs. Must be ≥ 1.
     pub wavelengths: usize,
+    /// Virtual channels per directed link (dateline classes). Must be
+    /// `1..=255`; `1` reproduces the single-FIFO fabric (and its
+    /// backpressure deadlocks), `≥ 2` makes backpressure lossless on
+    /// the ring decompositions these fabrics are built from.
+    pub vcs: usize,
     /// Full-buffer behavior.
     pub policy: ContentionPolicy,
     /// Hop budget per packet (TTL); `None` = `max(64, 2n)`. Bounds
@@ -96,6 +125,7 @@ impl Default for QueueConfig {
         QueueConfig {
             buffers: 16,
             wavelengths: 1,
+            vcs: 1,
             policy: ContentionPolicy::TailDrop,
             hop_limit: None,
             max_cycles: 10_000_000,
@@ -103,7 +133,7 @@ impl Default for QueueConfig {
     }
 }
 
-/// Live per-link buffer occupancy, shared between a running
+/// Live per-VC buffer occupancy, shared between a running
 /// [`QueueingEngine`] and any [`otis_core::AdaptiveRouter`] steering
 /// packets through it.
 ///
@@ -111,24 +141,63 @@ impl Default for QueueConfig {
 #[derive(Debug, Clone)]
 pub struct LinkOccupancy {
     g: Arc<Digraph>,
+    /// One counter per (arc, VC class), arc-major.
     counts: Arc<[AtomicU32]>,
+    vcs: usize,
 }
 
 impl LinkOccupancy {
-    /// Occupancy of the `arc`-th link (arc order of the digraph).
-    pub fn arc_occupancy(&self, arc: usize) -> usize {
-        self.counts[arc].load(Ordering::Relaxed) as usize
+    /// Virtual channels per link this view resolves.
+    pub fn vcs(&self) -> usize {
+        self.vcs
     }
+
+    /// Occupancy of the `arc`-th link (arc order of the digraph),
+    /// summed over its VC classes.
+    pub fn arc_occupancy(&self, arc: usize) -> usize {
+        (0..self.vcs)
+            .map(|vc| self.counts[arc * self.vcs + vc].load(Ordering::Relaxed) as usize)
+            .sum()
+    }
+
+    /// Occupancy of one VC FIFO of the `arc`-th link. Classes this
+    /// view does not have (`vc ≥ vcs`) read `0` — a router configured
+    /// with more dateline classes than the engine must not read a
+    /// neighboring link's counter.
+    pub fn channel_occupancy(&self, arc: usize, vc: usize) -> usize {
+        if vc >= self.vcs {
+            return 0;
+        }
+        self.counts[arc * self.vcs + vc].load(Ordering::Relaxed) as usize
+    }
+
+    /// The arc `from → to`, if present (`None` off-fabric: the
+    /// congestion contract reads unknown links as empty).
+    fn arc_of(&self, from: u64, to: u64) -> Option<usize> {
+        arc_of(&self.g, from, to)
+    }
+}
+
+/// The arc `from → to` of `g`, if present — `None` for off-fabric
+/// endpoints (u64-safe: no truncation before the range check), so
+/// probes against router-proposed hops need no pre-validation.
+fn arc_of(g: &Digraph, from: u64, to: u64) -> Option<usize> {
+    let n = g.node_count() as u64;
+    if from >= n || to >= n {
+        return None;
+    }
+    g.arc_between(from as u32, to as u32)
 }
 
 impl CongestionMap for LinkOccupancy {
     fn queued(&self, from: u64, to: u64) -> usize {
-        for arc in self.g.arc_range(from as u32) {
-            if self.g.arc_target(arc) == to as u32 {
-                return self.counts[arc].load(Ordering::Relaxed) as usize;
-            }
-        }
-        0
+        self.arc_of(from, to)
+            .map_or(0, |arc| self.arc_occupancy(arc))
+    }
+
+    fn queued_vc(&self, from: u64, to: u64, vc: u8) -> usize {
+        self.arc_of(from, to)
+            .map_or(0, |arc| self.channel_occupancy(arc, vc as usize))
     }
 }
 
@@ -142,6 +211,8 @@ struct Packet {
     dst: u64,
     offered_cycle: u64,
     hops: u32,
+    /// Dateline VC class the packet currently occupies.
+    vc: u8,
 }
 
 /// Cycle-accurate queueing simulator over one fabric digraph.
@@ -152,7 +223,12 @@ struct Packet {
 pub struct QueueingEngine {
     g: Arc<Digraph>,
     config: QueueConfig,
+    /// One counter per (arc, VC class), arc-major — the live
+    /// occupancy scoreboard behind [`LinkOccupancy`].
     counts: Arc<[AtomicU32]>,
+    /// The dateline wrap set (a feedback arc set of the fabric) and
+    /// class discipline, computed once per engine.
+    dateline: Dateline,
 }
 
 impl QueueingEngine {
@@ -160,17 +236,27 @@ impl QueueingEngine {
     pub fn new(g: Digraph, config: QueueConfig) -> Self {
         assert!(
             config.buffers >= 1,
-            "need at least one buffer slot per link"
+            "need at least one buffer slot per virtual channel"
         );
         assert!(
             config.wavelengths >= 1,
             "need at least one wavelength channel per link"
         );
-        let counts: Vec<AtomicU32> = (0..g.arc_count()).map(|_| AtomicU32::new(0)).collect();
+        assert!(
+            (1..=u8::MAX as usize).contains(&config.vcs),
+            "need 1..=255 virtual channels per link, got {}",
+            config.vcs
+        );
+        let counts: Vec<AtomicU32> = (0..g.arc_count() * config.vcs)
+            .map(|_| AtomicU32::new(0))
+            .collect();
+        let g = Arc::new(g);
+        let dateline = Dateline::new(Arc::clone(&g), config.vcs);
         QueueingEngine {
-            g: Arc::new(g),
+            g,
             config,
             counts: counts.into(),
+            dateline,
         }
     }
 
@@ -194,6 +280,14 @@ impl QueueingEngine {
         &self.config
     }
 
+    /// The dateline VC discipline this engine runs (cheap to clone —
+    /// the wrap set is shared) — hand it to
+    /// [`otis_core::AdaptiveRouter::with_dateline`] so adaptive
+    /// scoring charges exactly the FIFO a packet would join.
+    pub fn dateline(&self) -> Dateline {
+        self.dateline.clone()
+    }
+
     /// A live view of this engine's buffer occupancy — hand it to an
     /// [`otis_core::AdaptiveRouter`] *before* calling
     /// [`QueueingEngine::run`] and the router adapts to the queues the
@@ -202,25 +296,45 @@ impl QueueingEngine {
         LinkOccupancy {
             g: Arc::clone(&self.g),
             counts: Arc::clone(&self.counts),
+            vcs: self.config.vcs,
         }
     }
 
     /// The arc `from → to`, if present.
     fn arc_of(&self, from: u64, to: u64) -> Option<usize> {
-        self.g
-            .arc_range(from as u32)
-            .find(|&arc| self.g.arc_target(arc) == to as u32)
+        arc_of(&self.g, from, to)
     }
 
     /// Inject `workload` at `offered_per_cycle` packets per cycle
-    /// (fabric-wide), simulate until every injected packet is
-    /// delivered or dropped (or the run deadlocks / hits
-    /// `max_cycles`), and report the dynamics.
+    /// (fabric-wide) through per-source injection queues, simulate
+    /// until every injected packet is delivered or dropped (or the
+    /// run deadlocks / hits `max_cycles`), and report the dynamics.
+    /// Every workload source must be a fabric node (`src <
+    /// node_count`); destinations may be arbitrary (an off-fabric
+    /// destination is an unroutable drop).
     pub fn run(
         &self,
         router: &dyn Router,
         workload: &[(u64, u64)],
         offered_per_cycle: f64,
+    ) -> QueueingReport {
+        self.run_classified(router, workload, offered_per_cycle, None)
+    }
+
+    /// As [`QueueingEngine::run`], additionally splitting delay,
+    /// delivery and drops by traffic class — packets destined for
+    /// `hot_dst` versus everything else
+    /// ([`QueueingReport::class_stats`]). Pass the hotspot pattern's
+    /// hot node ([`super::TrafficPattern::hot_node`]) and the
+    /// tree-saturation story becomes visible per class: the hot
+    /// quarter queueing into the saturated in-tree, the background
+    /// three quarters suffering only collateral head-of-line damage.
+    pub fn run_classified(
+        &self,
+        router: &dyn Router,
+        workload: &[(u64, u64)],
+        offered_per_cycle: f64,
+        hot_dst: Option<u64>,
     ) -> QueueingReport {
         assert!(
             offered_per_cycle > 0.0,
@@ -234,6 +348,9 @@ impl QueueingEngine {
             router.node_count()
         );
         let arcs = self.g.arc_count();
+        let vcs = self.config.vcs;
+        let channels = arcs * vcs;
+        let dateline = &self.dateline;
         let hop_limit = self
             .config
             .hop_limit
@@ -241,18 +358,38 @@ impl QueueingEngine {
         let buffers = self.config.buffers;
         let wavelengths = self.config.wavelengths;
 
-        let mut queues: Vec<VecDeque<Packet>> = (0..arcs).map(|_| VecDeque::new()).collect();
+        let mut queues: Vec<VecDeque<Packet>> = (0..channels).map(|_| VecDeque::new()).collect();
         for count in self.counts.iter() {
             count.store(0, Ordering::Relaxed);
         }
-        let mut peak = vec![0u32; arcs];
+        let mut peak = vec![0u32; channels];
         // Arrivals staged during the drain phase so a packet moves at
-        // most one hop per cycle; `staged_len[arc]` counts them toward
-        // the capacity check before they land in the FIFO.
+        // most one hop per cycle; `staged_len[chan]` counts them
+        // toward the capacity check before they land in the FIFO.
         let mut staged: Vec<(usize, Packet)> = Vec::new();
-        let mut staged_len = vec![0u32; arcs];
+        let mut staged_len = vec![0u32; channels];
+        // Per-(link, class) head-of-line block flags, reused across
+        // the drain loop.
+        let mut vc_blocked = vec![false; vcs];
+
+        // Per-source injection queues: each source owns its packets in
+        // workload order, so a backpressured source stalls only
+        // itself. `source_ids` lists the sources that have traffic at
+        // all, in node order; the injection scan rotates over it.
+        let mut sources: Vec<VecDeque<usize>> = vec![VecDeque::new(); n as usize];
+        for (index, &(src, _)) in workload.iter().enumerate() {
+            assert!(
+                src < n,
+                "workload source {src} is not a fabric node (fabric has {n})"
+            );
+            sources[src as usize].push_back(index);
+        }
+        let source_ids: Vec<usize> = (0..n as usize)
+            .filter(|&src| !sources[src].is_empty())
+            .collect();
 
         let mut injected = 0usize;
+        let mut pending = workload.len();
         let mut delivered = 0usize;
         let mut dropped_full = 0usize;
         let mut dropped_unroutable = 0usize;
@@ -261,9 +398,20 @@ impl QueueingEngine {
         let mut max_hops = 0u32;
         let mut waits: Vec<u64> = Vec::with_capacity(workload.len());
         let mut deadlocked = false;
+        let mut dateline_promotions = 0u64;
+        let mut dateline_relief = 0u64;
+        let mut source_stall_cycles = 0u64;
+        let mut delivered_per_link = vec![0u64; arcs];
 
-        let mut next_inject = 0usize;
-        let mut credits = 0.0f64;
+        // Per-class (background = 0, hot = 1) accounting, populated
+        // only when the run is classified.
+        let classified = hot_dst.is_some();
+        let class_of = |dst: u64| usize::from(hot_dst == Some(dst));
+        let mut class_injected = [0usize; 2];
+        let mut class_delivered = [0usize; 2];
+        let mut class_dropped = [0usize; 2];
+        let mut class_waits: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+
         let mut in_network = 0usize;
         let mut cycle = 0u64;
         // Cycle the `i`-th packet's injection credit accrues: credits
@@ -273,156 +421,270 @@ impl QueueingEngine {
         let offer_cycle =
             |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
 
-        let bump = |counts: &Arc<[AtomicU32]>, arc: usize, delta: i32| {
+        let bump = |counts: &Arc<[AtomicU32]>, chan: usize, delta: i32| {
             if delta >= 0 {
-                counts[arc].fetch_add(delta as u32, Ordering::Relaxed);
+                counts[chan].fetch_add(delta as u32, Ordering::Relaxed);
             } else {
-                counts[arc].fetch_sub((-delta) as u32, Ordering::Relaxed);
+                counts[chan].fetch_sub((-delta) as u32, Ordering::Relaxed);
             }
         };
 
-        while (next_inject < workload.len() || in_network > 0) && cycle < self.config.max_cycles {
+        while (pending > 0 || in_network > 0) && cycle < self.config.max_cycles {
             let mut activity = 0usize;
 
             // --- injection phase -------------------------------------
-            credits += offered_per_cycle;
-            while credits >= 1.0 && next_inject < workload.len() {
-                let (src, dst) = workload[next_inject];
-                if src == dst {
-                    // Delivered without entering the network (any
-                    // source-stall time still counts as waiting).
-                    injected += 1;
-                    delivered += 1;
-                    waits.push(cycle - offer_cycle(next_inject).min(cycle));
-                    next_inject += 1;
-                    credits -= 1.0;
-                    activity += 1;
-                    continue;
-                }
-                let arc = router
-                    .next_hop(src, dst)
-                    .and_then(|next| self.arc_of(src, next));
-                let Some(arc) = arc else {
-                    // No route (or the router proposed a non-neighbor).
-                    injected += 1;
-                    dropped_unroutable += 1;
-                    next_inject += 1;
-                    credits -= 1.0;
-                    activity += 1;
-                    continue;
-                };
-                if queues[arc].len() < buffers {
-                    queues[arc].push_back(Packet {
-                        dst,
-                        offered_cycle: offer_cycle(next_inject).min(cycle),
-                        hops: 0,
-                    });
-                    bump(&self.counts, arc, 1);
-                    peak[arc] = peak[arc].max(queues[arc].len() as u32);
-                    in_network += 1;
-                    injected += 1;
-                    next_inject += 1;
-                    credits -= 1.0;
-                    activity += 1;
-                } else {
-                    match self.config.policy {
-                        ContentionPolicy::TailDrop => {
-                            injected += 1;
-                            dropped_full += 1;
-                            next_inject += 1;
-                            credits -= 1.0;
-                            activity += 1;
-                        }
-                        ContentionPolicy::Backpressure => break, // stall; keep credits
-                    }
-                }
-            }
-            if next_inject == workload.len() {
-                credits = 0.0;
-            }
-
-            // --- drain phase -----------------------------------------
-            // Every link moves up to `wavelengths` packets off its
-            // buffer head. Moves land in `staged` and join the target
-            // FIFO only after the phase, so no packet rides two links
-            // in one cycle; occupancy counts update live so adaptive
-            // routing sees the queues as they shift.
-            for arc in 0..arcs {
-                let arrive_at = self.g.arc_target(arc) as u64;
-                for _ in 0..wavelengths {
-                    let Some(&head) = queues[arc].front() else {
+            // Every source offers its own queue head (packets whose
+            // credit has accrued), independently: under backpressure a
+            // full first-hop FIFO stalls that source alone. The
+            // starting source rotates each cycle so no low-numbered
+            // source persistently injects into contended buffers
+            // first. Skipped entirely once every source has drained —
+            // the post-injection tail only moves in-network packets.
+            let scan_count = if pending == 0 { 0 } else { source_ids.len() };
+            let source_start = if source_ids.is_empty() {
+                0
+            } else {
+                cycle as usize % source_ids.len()
+            };
+            for scan in 0..scan_count {
+                let src = source_ids[(source_start + scan) % source_ids.len()];
+                while let Some(&index) = sources[src].front() {
+                    if offer_cycle(index) > cycle {
+                        // Not offered yet — and queues hold workload
+                        // order, so nothing behind it is either.
                         break;
-                    };
-                    let hops_after = head.hops + 1;
-                    if head.dst == arrive_at {
-                        queues[arc].pop_front();
-                        bump(&self.counts, arc, -1);
-                        in_network -= 1;
+                    }
+                    let (_, dst) = workload[index];
+                    let class = class_of(dst);
+                    if src as u64 == dst {
+                        // Delivered without entering the network (any
+                        // source-stall time still counts as waiting).
+                        sources[src].pop_front();
+                        pending -= 1;
+                        injected += 1;
                         delivered += 1;
-                        delivered_hops += hops_after as u64;
-                        max_hops = max_hops.max(hops_after);
-                        // Total time since offer minus one cycle per
-                        // hop = cycles spent waiting (source stall
-                        // plus buffer queueing).
-                        waits.push(cycle + 1 - head.offered_cycle - hops_after as u64);
+                        class_injected[class] += 1;
+                        class_delivered[class] += 1;
+                        let wait = cycle - offer_cycle(index);
+                        waits.push(wait);
+                        if classified {
+                            class_waits[class].push(wait);
+                        }
                         activity += 1;
                         continue;
                     }
-                    if hops_after >= hop_limit {
-                        queues[arc].pop_front();
-                        bump(&self.counts, arc, -1);
-                        in_network -= 1;
-                        dropped_ttl += 1;
-                        activity += 1;
-                        continue;
-                    }
-                    let next_arc = router
-                        .next_hop(arrive_at, head.dst)
-                        .and_then(|next| self.arc_of(arrive_at, next));
-                    let Some(next_arc) = next_arc else {
-                        queues[arc].pop_front();
-                        bump(&self.counts, arc, -1);
-                        in_network -= 1;
+                    let arc = router
+                        .next_hop_on_vc(src as u64, dst, 0)
+                        .and_then(|next| self.arc_of(src as u64, next));
+                    let Some(arc) = arc else {
+                        // No route (or the router proposed a non-neighbor).
+                        sources[src].pop_front();
+                        pending -= 1;
+                        injected += 1;
                         dropped_unroutable += 1;
+                        class_injected[class] += 1;
+                        class_dropped[class] += 1;
                         activity += 1;
                         continue;
                     };
-                    if queues[next_arc].len() + (staged_len[next_arc] as usize) < buffers {
-                        let mut packet = queues[arc].pop_front().expect("head exists");
-                        bump(&self.counts, arc, -1);
-                        packet.hops = hops_after;
-                        staged_len[next_arc] += 1;
-                        bump(&self.counts, next_arc, 1);
-                        staged.push((next_arc, packet));
+                    // A packet starts at class 0 and, like any other
+                    // hop, is promoted if its very first arc crosses
+                    // the dateline — so the class it joins is exactly
+                    // the one a dateline-aware adaptive scorer charged
+                    // for this hop.
+                    let vc0 = dateline.next_class_arc(0, arc);
+                    let chan = arc * vcs + vc0 as usize;
+                    if queues[chan].len() < buffers {
+                        sources[src].pop_front();
+                        pending -= 1;
+                        if vc0 > 0 {
+                            dateline_promotions += 1;
+                        }
+                        queues[chan].push_back(Packet {
+                            dst,
+                            offered_cycle: offer_cycle(index),
+                            hops: 0,
+                            vc: vc0,
+                        });
+                        bump(&self.counts, chan, 1);
+                        peak[chan] = peak[chan].max(queues[chan].len() as u32);
+                        in_network += 1;
+                        injected += 1;
+                        class_injected[class] += 1;
                         activity += 1;
                     } else {
                         match self.config.policy {
                             ContentionPolicy::TailDrop => {
-                                queues[arc].pop_front();
-                                bump(&self.counts, arc, -1);
-                                in_network -= 1;
+                                sources[src].pop_front();
+                                pending -= 1;
+                                injected += 1;
                                 dropped_full += 1;
+                                class_injected[class] += 1;
+                                class_dropped[class] += 1;
                                 activity += 1;
                             }
-                            ContentionPolicy::Backpressure => break, // head-of-line block
+                            ContentionPolicy::Backpressure => {
+                                // This source stalls; the others go on.
+                                source_stall_cycles += 1;
+                                break;
+                            }
                         }
                     }
                 }
             }
-            for (arc, packet) in staged.drain(..) {
-                queues[arc].push_back(packet);
-                peak[arc] = peak[arc].max(queues[arc].len() as u32);
+
+            // --- drain phase -----------------------------------------
+            // Every link moves up to `wavelengths` packets off its VC
+            // FIFO heads, one per class per round so no class hogs the
+            // channels; a blocked head blocks only its own class.
+            // Moves land in `staged` and join the target FIFO only
+            // after the phase, so no packet rides two links in one
+            // cycle; occupancy counts update live so adaptive routing
+            // sees the queues as they shift. Both starting offsets —
+            // which link drains first and which class within it —
+            // rotate each cycle, so under contention every link gets
+            // the same long-run first claim on downstream buffer
+            // space (a fixed order starves high-index links).
+            let link_start = if arcs == 0 { 0 } else { cycle as usize % arcs };
+            let vc_start = cycle as usize % vcs;
+            for step in 0..arcs {
+                let arc = (link_start + step) % arcs;
+                let arrive_at = self.g.arc_target(arc) as u64;
+                let mut budget = wavelengths;
+                vc_blocked.fill(false);
+                'link: loop {
+                    let mut progressed = false;
+                    for offset in 0..vcs {
+                        if budget == 0 {
+                            break 'link;
+                        }
+                        let vc = (vc_start + offset) % vcs;
+                        if vc_blocked[vc] {
+                            continue;
+                        }
+                        let chan = arc * vcs + vc;
+                        let Some(&head) = queues[chan].front() else {
+                            vc_blocked[vc] = true;
+                            continue;
+                        };
+                        let hops_after = head.hops + 1;
+                        if head.dst == arrive_at {
+                            queues[chan].pop_front();
+                            bump(&self.counts, chan, -1);
+                            in_network -= 1;
+                            delivered += 1;
+                            class_delivered[class_of(head.dst)] += 1;
+                            delivered_per_link[arc] += 1;
+                            delivered_hops += hops_after as u64;
+                            max_hops = max_hops.max(hops_after);
+                            // Total time since offer minus one cycle
+                            // per hop = cycles spent waiting (source
+                            // stall plus buffer queueing).
+                            let wait = cycle + 1 - head.offered_cycle - hops_after as u64;
+                            waits.push(wait);
+                            if classified {
+                                class_waits[class_of(head.dst)].push(wait);
+                            }
+                            activity += 1;
+                            budget -= 1;
+                            progressed = true;
+                            continue;
+                        }
+                        if hops_after >= hop_limit {
+                            queues[chan].pop_front();
+                            bump(&self.counts, chan, -1);
+                            in_network -= 1;
+                            dropped_ttl += 1;
+                            class_dropped[class_of(head.dst)] += 1;
+                            activity += 1;
+                            budget -= 1;
+                            progressed = true;
+                            continue;
+                        }
+                        let next_arc = router
+                            .next_hop_on_vc(arrive_at, head.dst, head.vc)
+                            .and_then(|next| self.arc_of(arrive_at, next));
+                        let Some(next_arc) = next_arc else {
+                            queues[chan].pop_front();
+                            bump(&self.counts, chan, -1);
+                            in_network -= 1;
+                            dropped_unroutable += 1;
+                            class_dropped[class_of(head.dst)] += 1;
+                            activity += 1;
+                            budget -= 1;
+                            progressed = true;
+                            continue;
+                        };
+                        let next_vc = dateline.next_class_arc(head.vc, next_arc);
+                        let next_chan = next_arc * vcs + next_vc as usize;
+                        // The one move the class order cannot rank — a
+                        // top-class packet wrapping again — is never
+                        // allowed to block (deep dateline buffers):
+                        // that waiver is what makes the dependency
+                        // graph acyclic outright, so `Backpressure`
+                        // with `vcs ≥ 2` provably cannot reach the
+                        // all-blocked state the deadlock detector
+                        // looks for. Tail-drop never blocks, so it
+                        // neither needs nor gets the valve: its full
+                        // buffers keep dropping.
+                        let has_room =
+                            queues[next_chan].len() + (staged_len[next_chan] as usize) < buffers;
+                        let relief = !has_room
+                            && self.config.policy == ContentionPolicy::Backpressure
+                            && dateline.needs_relief(head.vc, next_arc);
+                        if relief {
+                            dateline_relief += 1;
+                        }
+                        if has_room || relief {
+                            let mut packet = queues[chan].pop_front().expect("head exists");
+                            bump(&self.counts, chan, -1);
+                            packet.hops = hops_after;
+                            if next_vc > packet.vc {
+                                dateline_promotions += 1;
+                            }
+                            packet.vc = next_vc;
+                            staged_len[next_chan] += 1;
+                            bump(&self.counts, next_chan, 1);
+                            staged.push((next_chan, packet));
+                            activity += 1;
+                            budget -= 1;
+                            progressed = true;
+                        } else {
+                            match self.config.policy {
+                                ContentionPolicy::TailDrop => {
+                                    queues[chan].pop_front();
+                                    bump(&self.counts, chan, -1);
+                                    in_network -= 1;
+                                    dropped_full += 1;
+                                    class_dropped[class_of(head.dst)] += 1;
+                                    activity += 1;
+                                    budget -= 1;
+                                    progressed = true;
+                                }
+                                // Head-of-line block — this class only.
+                                ContentionPolicy::Backpressure => vc_blocked[vc] = true,
+                            }
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            }
+            for (chan, packet) in staged.drain(..) {
+                queues[chan].push_back(packet);
+                peak[chan] = peak[chan].max(queues[chan].len() as u32);
             }
             staged_len.fill(0);
 
             cycle += 1;
             if activity == 0 && in_network > 0 {
                 // Packets are buffered but nothing moved, injected or
-                // dropped: every head waits on a full buffer in a
-                // cycle of full buffers. The queue state is static, so
-                // no future cycle can differ — a backpressure
-                // deadlock. (An idle network with activity 0 is just
-                // injection pacing: credits below one packet.)
+                // dropped: every head waits on a full FIFO in a cycle
+                // of full FIFOs. The queue state is static, so no
+                // future cycle can differ — a backpressure deadlock.
+                // (An idle network with activity 0 is just injection
+                // pacing: no packet's credit has accrued yet.)
                 deadlocked = true;
                 break;
             }
@@ -430,11 +692,43 @@ impl QueueingEngine {
 
         let in_flight = in_network;
         waits.sort_unstable();
-        let wait_mean_cycles = if waits.is_empty() {
-            0.0
-        } else {
-            waits.iter().sum::<u64>() as f64 / waits.len() as f64
+        let wait_mean = |waits: &[u64]| {
+            if waits.is_empty() {
+                0.0
+            } else {
+                waits.iter().sum::<u64>() as f64 / waits.len() as f64
+            }
         };
+        let wait_mean_cycles = wait_mean(&waits);
+
+        let class_stats = hot_dst.map(|_| {
+            let mut build = |class: usize| {
+                class_waits[class].sort_unstable();
+                let waits = &class_waits[class];
+                ClassStats {
+                    injected: class_injected[class],
+                    delivered: class_delivered[class],
+                    dropped: class_dropped[class],
+                    wait_mean_cycles: wait_mean(waits),
+                    wait_p50_cycles: percentile_u64(waits, 0.50),
+                    wait_p99_cycles: percentile_u64(waits, 0.99),
+                    wait_max_cycles: waits.last().copied().unwrap_or(0),
+                }
+            };
+            ClassBreakdown {
+                hot: build(1),
+                background: build(0),
+            }
+        });
+
+        // Collapse per-channel peaks into the two views the report
+        // carries: deepest FIFO per link, deepest FIFO per class.
+        let peak_occupancy: Vec<u32> = (0..arcs)
+            .map(|arc| (0..vcs).map(|vc| peak[arc * vcs + vc]).max().unwrap_or(0))
+            .collect();
+        let vc_peak_occupancy: Vec<u32> = (0..vcs)
+            .map(|vc| (0..arcs).map(|arc| peak[arc * vcs + vc]).max().unwrap_or(0))
+            .collect();
 
         QueueingReport {
             router: router.name(),
@@ -447,14 +741,21 @@ impl QueueingEngine {
             dropped_ttl,
             in_flight,
             deadlocked,
+            vcs,
+            dateline_promotions,
+            dateline_relief,
+            source_stall_cycles,
             delivered_hops,
             max_hops,
             wait_mean_cycles,
             wait_p50_cycles: percentile_u64(&waits, 0.50),
             wait_p99_cycles: percentile_u64(&waits, 0.99),
             wait_max_cycles: waits.last().copied().unwrap_or(0),
-            max_peak_occupancy: peak.iter().copied().max().unwrap_or(0),
-            peak_occupancy: peak,
+            max_peak_occupancy: peak_occupancy.iter().copied().max().unwrap_or(0),
+            peak_occupancy,
+            vc_peak_occupancy,
+            delivered_per_link,
+            class_stats,
         }
     }
 
@@ -555,6 +856,11 @@ mod tests {
         assert_eq!(report.wait_max_cycles, 0);
         assert_eq!(report.cycles, 3);
         assert!(!report.deadlocked);
+        assert_eq!(report.vcs, 1);
+        assert_eq!(report.dateline_promotions, 0);
+        assert_eq!(report.source_stall_cycles, 0);
+        // The final hop 2→3 is the third arc.
+        assert_eq!(report.delivered_per_link, vec![0, 0, 1, 0, 0]);
     }
 
     #[test]
@@ -605,6 +911,10 @@ mod tests {
         assert_eq!(report.dropped(), 0);
         assert!(report.conserves_packets());
         assert!(!report.deadlocked);
+        assert!(
+            report.source_stall_cycles > 0,
+            "the single-slot buffer must have stalled the source"
+        );
     }
 
     #[test]
@@ -631,6 +941,96 @@ mod tests {
         assert!(!report.deadlocked);
         assert!(report.conserves_packets());
         assert_eq!(report.in_flight, 0);
+    }
+
+    #[test]
+    fn dateline_vcs_dissolve_the_ring_deadlock() {
+        // The exact scenario the previous test proves wedges with one
+        // channel: two dateline classes cut the dependency ring. The
+        // packet wrapping 2→0 is promoted to class 1, so its wait is
+        // on a FIFO no class-0 packet occupies — and the run drains.
+        let g = cycle(3);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(
+            g,
+            QueueConfig {
+                vcs: 2,
+                ..config(1, 1, ContentionPolicy::Backpressure)
+            },
+        );
+        let report = engine.run(&router, &[(0, 2), (1, 0), (2, 1)], 3.0);
+        assert!(!report.deadlocked, "{report:?}");
+        assert_eq!(report.delivered, 3);
+        assert_eq!(report.dropped(), 0);
+        assert_eq!(report.in_flight, 0);
+        assert!(report.conserves_packets());
+        assert_eq!(report.vcs, 2);
+        assert!(
+            report.dateline_promotions >= 1,
+            "the wrap hop must promote, got {report:?}"
+        );
+        // Both classes saw traffic: the wrap pushed packets upstairs.
+        assert_eq!(report.vc_peak_occupancy.len(), 2);
+        assert!(report.vc_peak_occupancy[0] >= 1);
+        assert!(report.vc_peak_occupancy[1] >= 1);
+    }
+
+    #[test]
+    fn per_source_queues_isolate_backpressure_stalls() {
+        // Source 0 offers six packets into a single-slot buffer — it
+        // will stall for cycles. Source 2's lone packet is offered
+        // *last* in workload order; under the old shared injection
+        // stream it would wait behind all of source 0's stalls, but
+        // per-source queues inject it immediately. Classify on its
+        // destination to read the two waits separately.
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(1, 1, ContentionPolicy::Backpressure));
+        let mut workload = vec![(0u64, 1u64); 6];
+        workload.push((2, 3));
+        let report = engine.run_classified(&router, &workload, 7.0, Some(3));
+        assert!(report.conserves_packets());
+        assert_eq!(report.delivered, 7);
+        let stats = report.class_stats.as_ref().expect("classified run");
+        assert_eq!(stats.hot.injected, 1);
+        assert_eq!(stats.background.injected, 6);
+        assert_eq!(
+            stats.hot.wait_max_cycles, 0,
+            "source 2 must not inherit source 0's stall: {stats:?}"
+        );
+        assert!(
+            stats.background.wait_max_cycles >= 5,
+            "source 0 serializes through its single-slot buffer: {stats:?}"
+        );
+        assert!(report.source_stall_cycles > 0);
+    }
+
+    #[test]
+    fn classified_run_splits_the_counters_exactly() {
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(4, 1, ContentionPolicy::TailDrop));
+        let workload = [(0, 2), (1, 2), (3, 2), (1, 0), (2, 1), (3, 3)];
+        let report = engine.run_classified(&router, &workload, 2.0, Some(2));
+        assert!(report.conserves_packets());
+        let stats = report.class_stats.as_ref().expect("classified run");
+        assert_eq!(stats.hot.injected, 3);
+        assert_eq!(stats.background.injected, 3);
+        assert_eq!(
+            stats.hot.injected + stats.background.injected,
+            report.injected
+        );
+        assert_eq!(
+            stats.hot.delivered + stats.background.delivered,
+            report.delivered
+        );
+        assert_eq!(
+            stats.hot.dropped + stats.background.dropped,
+            report.dropped()
+        );
+        // The unclassified run reports no breakdown.
+        let report = engine.run(&router, &workload, 2.0);
+        assert!(report.class_stats.is_none());
     }
 
     #[test]
@@ -673,6 +1073,41 @@ mod tests {
         assert_eq!(report.dropped_ttl, 1);
         assert_eq!(report.delivered, 0);
         assert!(report.conserves_packets());
+    }
+
+    #[test]
+    fn occupancy_resolves_individual_vc_classes() {
+        // A 2-VC engine's occupancy view: per-class and per-link
+        // reads agree, a fully drained run leaves every class of
+        // every link empty, and off-fabric or out-of-range probes
+        // read 0 instead of a neighboring counter.
+        let g = cycle(3);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(
+            g,
+            QueueConfig {
+                vcs: 2,
+                ..config(1, 1, ContentionPolicy::Backpressure)
+            },
+        );
+        let occupancy = engine.occupancy();
+        assert_eq!(occupancy.vcs(), 2);
+        let report = engine.run(&router, &[(0, 2), (1, 0), (2, 1)], 3.0);
+        assert!(!report.deadlocked);
+        // Drained run: every class of every link is empty again.
+        for arc in 0..3 {
+            assert_eq!(occupancy.arc_occupancy(arc), 0);
+            assert_eq!(occupancy.channel_occupancy(arc, 0), 0);
+            assert_eq!(occupancy.channel_occupancy(arc, 1), 0);
+        }
+        assert_eq!(occupancy.queued(0, 1), 0);
+        assert_eq!(occupancy.queued_vc(0, 1, 0), 0);
+        assert_eq!(occupancy.queued_vc(9, 9, 0), 0, "unknown links are empty");
+        assert_eq!(
+            occupancy.queued_vc(0, 1, 7),
+            0,
+            "classes beyond the engine's vcs are empty, not a neighbor's counter"
+        );
     }
 
     #[test]

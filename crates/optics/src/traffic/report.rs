@@ -4,14 +4,22 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Value at `fraction` (0.0..=1.0) of a **sorted** sample, by
-/// nearest-rank on the closed index range; `0.0` for an empty sample.
+/// Value at `fraction` (0.0..=1.0) of a **sorted** sample, by the
+/// nearest-rank convention: the smallest sample with at least
+/// `fraction` of the distribution at or below it, i.e. the 1-indexed
+/// rank `⌈fraction · N⌉` (clamped to `1..=N`, so `fraction = 0`
+/// reads the minimum). `0.0` for an empty sample.
+///
+/// Nearest-rank never interpolates and never over-reads: p99 of 100
+/// samples is the 99th smallest (not the maximum), and p50 of 2
+/// samples is the *lower* one (the old `.round()` rank read the
+/// upper, overstating the median of small samples).
 pub(crate) fn percentile_f64(sorted: &[f64], fraction: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let index = ((sorted.len() - 1) as f64 * fraction).round() as usize;
-    sorted[index]
+    let rank = (fraction * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// As [`percentile_f64`] for integer samples (queueing delays in
@@ -20,8 +28,8 @@ pub(crate) fn percentile_u64(sorted: &[u64], fraction: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let index = ((sorted.len() - 1) as f64 * fraction).round() as usize;
-    sorted[index]
+    let rank = (fraction * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Aggregate results of one batched (static, uncontended) run.
@@ -130,9 +138,32 @@ pub struct QueueingReport {
     /// cycle horizon or after a backpressure deadlock).
     pub in_flight: usize,
     /// True iff a backpressure cycle wedged: buffers full in a ring,
-    /// no packet able to move (de Bruijn shortest-path routing is not
-    /// deadlock-free under finite buffers).
+    /// no packet able to move. With a single virtual channel (`vcs =
+    /// 1`) de Bruijn shortest-path routing is not deadlock-free under
+    /// finite buffers; `vcs ≥ 2` dateline channels break those rings.
     pub deadlocked: bool,
+    /// Virtual channels per directed link the run was configured with.
+    pub vcs: usize,
+    /// Packets promoted to a higher VC class while crossing the
+    /// dateline (a wrap arc of the fabric's cycle decomposition). Each
+    /// promotion is a channel dependency moved off the class it would
+    /// otherwise have closed into a cycle — the evidence of deadlocks
+    /// prevented rather than merely detected. Always `0` with
+    /// `vcs = 1`.
+    pub dateline_promotions: u64,
+    /// Moves admitted past a full FIFO because a top-class packet
+    /// crossed the dateline again (the deep-dateline-buffer escape
+    /// valve; see `otis_core::Dateline::needs_relief`). These are the
+    /// only moves that may push a wrap channel's top-class FIFO past
+    /// `buffers` — `0` whenever `vcs` exceeds every route's wrap
+    /// count, and always `0` with `vcs = 1` or under tail-drop
+    /// (which never blocks, so it keeps its caps by dropping).
+    pub dateline_relief: u64,
+    /// Cycles some source spent stalled at its injection queue under
+    /// backpressure (summed over sources). With per-source injection
+    /// queues a stalled source blocks only itself; this counts how
+    /// much stalling the fabric actually imposed.
+    pub source_stall_cycles: u64,
     /// Sum of hops over delivered packets.
     pub delivered_hops: u64,
     /// Longest delivered walk, in hops (deroutes included).
@@ -150,11 +181,67 @@ pub struct QueueingReport {
     /// Worst queueing delay, cycles.
     pub wait_max_cycles: u64,
     /// Peak buffer occupancy per directed link (arc order of the
-    /// routed digraph).
+    /// routed digraph): the deepest any of the link's VC FIFOs got.
     pub peak_occupancy: Vec<u32>,
-    /// `max(peak_occupancy)` — how close the worst link came to its
+    /// Peak buffer occupancy per VC class (length `vcs`): the deepest
+    /// FIFO of that class across all links — shows how far up the
+    /// class ladder the dateline actually pushed traffic.
+    pub vc_peak_occupancy: Vec<u32>,
+    /// `max(peak_occupancy)` — how close the worst FIFO came to its
     /// buffer cap.
     pub max_peak_occupancy: u32,
+    /// Packets delivered per directed link (arc order): counts the
+    /// final hop of each delivered packet. Under contention, drain
+    /// arbitration must keep these balanced on symmetric fabrics —
+    /// the fairness the rotating drain offset exists to provide.
+    pub delivered_per_link: Vec<u64>,
+    /// Hot-versus-background breakdown, present when the run was
+    /// classified (see `QueueingEngine::run_classified`): the
+    /// tree-saturation story made visible per traffic class.
+    pub class_stats: Option<ClassBreakdown>,
+}
+
+/// Queueing statistics of one traffic class within a classified run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Packets of this class that entered the network (injection
+    /// drops and self-pairs included).
+    pub injected: usize,
+    /// Packets of this class delivered.
+    pub delivered: usize,
+    /// Packets of this class dropped, all causes.
+    pub dropped: usize,
+    /// Mean queueing delay of this class's delivered packets, cycles.
+    pub wait_mean_cycles: f64,
+    /// Median queueing delay, cycles.
+    pub wait_p50_cycles: u64,
+    /// 99th-percentile queueing delay, cycles.
+    pub wait_p99_cycles: u64,
+    /// Worst queueing delay, cycles.
+    pub wait_max_cycles: u64,
+}
+
+impl ClassStats {
+    /// Fraction of this class's injected packets delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.injected as f64
+    }
+}
+
+/// Per-class split of a classified queueing run: the packets aimed at
+/// the hot destination versus everything else. Under tree saturation
+/// the hot class queues at the hot node's in-tree while the background
+/// class — 75% of a hotspot workload — suffers only head-of-line
+/// collateral; this breakdown shows each side separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    /// Packets whose destination is the hot node.
+    pub hot: ClassStats,
+    /// All other packets.
+    pub background: ClassStats,
 }
 
 impl QueueingReport {
@@ -234,6 +321,32 @@ mod tests {
         assert_eq!(percentile_f64(&f, 1.0), 100.0);
     }
 
+    /// The nearest-rank convention, pinned: rank `⌈q·N⌉` of the sorted
+    /// sample, never interpolated, never over-read.
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        // p99 of 100 samples is the 99th smallest — not the max.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_u64(&hundred, 0.99), 99);
+        assert_eq!(percentile_u64(&hundred, 0.50), 50);
+        assert_eq!(percentile_u64(&hundred, 0.999), 100);
+        // p50 of 2 samples is the lower one (the old rounded rank
+        // read the upper, overstating small-sample medians).
+        assert_eq!(percentile_u64(&[3, 9], 0.50), 3);
+        assert_eq!(percentile_f64(&[3.0, 9.0], 0.50), 3.0);
+        assert_eq!(percentile_u64(&[3, 9], 0.51), 9);
+        // Rank clamps: fraction 0 reads the minimum.
+        assert_eq!(percentile_u64(&[3, 9], 0.0), 3);
+        // Monotone in the fraction, by construction.
+        let sample: Vec<u64> = vec![1, 1, 2, 3, 5, 8, 13];
+        let mut last = 0;
+        for step in 0..=20 {
+            let value = percentile_u64(&sample, step as f64 / 20.0);
+            assert!(value >= last, "percentile must be monotone");
+            last = value;
+        }
+    }
+
     fn empty_traffic_report() -> TrafficReport {
         TrafficReport {
             router: "test".into(),
@@ -297,6 +410,10 @@ mod tests {
             dropped_ttl: 0,
             in_flight: 0,
             deadlocked: false,
+            vcs: 1,
+            dateline_promotions: 0,
+            dateline_relief: 0,
+            source_stall_cycles: 0,
             delivered_hops: 0,
             max_hops: 0,
             wait_mean_cycles: 0.0,
@@ -304,12 +421,36 @@ mod tests {
             wait_p99_cycles: 0,
             wait_max_cycles: 0,
             peak_occupancy: vec![],
+            vc_peak_occupancy: vec![],
             max_peak_occupancy: 0,
+            delivered_per_link: vec![],
+            class_stats: None,
         };
         assert_eq!(report.delivery_rate(), 1.0);
         assert_eq!(report.drop_rate(), 0.0);
         assert_eq!(report.throughput_per_cycle(), 0.0);
         assert_eq!(report.mean_hops(), 0.0);
         assert!(report.conserves_packets());
+    }
+
+    #[test]
+    fn class_stats_rates() {
+        let stats = ClassStats {
+            injected: 0,
+            delivered: 0,
+            dropped: 0,
+            wait_mean_cycles: 0.0,
+            wait_p50_cycles: 0,
+            wait_p99_cycles: 0,
+            wait_max_cycles: 0,
+        };
+        assert_eq!(stats.delivery_rate(), 1.0, "vacuously delivered");
+        let stats = ClassStats {
+            injected: 4,
+            delivered: 3,
+            dropped: 1,
+            ..stats
+        };
+        assert_eq!(stats.delivery_rate(), 0.75);
     }
 }

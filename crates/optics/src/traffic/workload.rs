@@ -46,6 +46,18 @@ impl TrafficPattern {
         )
     }
 
+    /// The hot destination of this pattern on an `n`-node fabric:
+    /// `Some(n/2)` for [`TrafficPattern::Hotspot`] (the node a quarter
+    /// of all packets target), `None` for every pattern without one.
+    /// Feed it to `QueueingEngine::run_classified` to split the
+    /// queueing report into hot and background classes.
+    pub fn hot_node(&self, n: u64) -> Option<u64> {
+        match self {
+            TrafficPattern::Hotspot => Some(n / 2),
+            _ => None,
+        }
+    }
+
     /// The valid pattern names, `|`-separated — the single source the
     /// CLI and the parse error both quote.
     pub fn valid_names() -> String {
@@ -260,7 +272,11 @@ mod tests {
     #[test]
     fn hotspot_concentrates_on_hot_node() {
         let workload = generate_workload(TrafficPattern::Hotspot, 64, 2, 4000, 3);
-        let hot = 32u64;
+        let hot = TrafficPattern::Hotspot
+            .hot_node(64)
+            .expect("hotspot is hot");
+        assert_eq!(hot, 32);
+        assert_eq!(TrafficPattern::Uniform.hot_node(64), None);
         let to_hot = workload.iter().filter(|&&(_, dst)| dst == hot).count();
         assert!(
             to_hot >= workload.len() / 4,
