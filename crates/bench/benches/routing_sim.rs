@@ -28,7 +28,7 @@ use otis_core::{
     RoutingTable,
 };
 use otis_optics::simulator::OtisSimulator;
-use otis_optics::traffic::{generate_workload, TrafficEngine, TrafficPattern};
+use otis_optics::traffic::{generate_workload, ReferenceEngine, TrafficEngine, TrafficPattern};
 use otis_optics::{ContentionPolicy, QueueConfig, QueueingEngine};
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -147,6 +147,7 @@ fn bench_queueing_adaptive_vs_oblivious(c: &mut Criterion) {
         vcs: 1,
         policy: ContentionPolicy::Backpressure,
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 1000,
     };
     let offered = 0.3 * n as f64;
@@ -155,6 +156,48 @@ fn bench_queueing_adaptive_vs_oblivious(c: &mut Criterion) {
     let oblivious = DeBruijnRouter::new(b);
     let adaptive_engine = QueueingEngine::from_family(&b, config);
     let adaptive = AdaptiveRouter::new(DeBruijnRouter::new(b), adaptive_engine.occupancy());
+
+    // PR-4 acceptance: the arena + worklist + event-driven-parking
+    // rewrite must clear ≥ 5× the frozen pre-arena engine's
+    // cycles/second on this hotspot shape, run losslessly to
+    // completion (vcs = 2 — the PR-3 way to run backpressure — so
+    // neither engine's run is cut short by the vcs = 1 wedge and the
+    // comparison covers the saturated steady state where the old
+    // full-scan engine burns its cycles). Best-of-3 each, measured
+    // before criterion timing.
+    let lossless_config = QueueConfig {
+        vcs: 2,
+        max_cycles: 1_000_000,
+        ..config
+    };
+    let new_engine = QueueingEngine::from_family(&b, lossless_config);
+    let reference = ReferenceEngine::from_family(&b, lossless_config);
+    let cycles_per_sec = |run: &dyn Fn() -> u64| {
+        let mut best = f64::INFINITY;
+        let mut cycles = 0u64;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            cycles = run();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        cycles as f64 / best
+    };
+    let new_rate = cycles_per_sec(&|| {
+        let report = new_engine.run(&oblivious, &workload, offered);
+        assert_eq!(report.delivered, workload.len(), "lossless run");
+        report.cycles
+    });
+    let reference_rate = cycles_per_sec(&|| reference.run(&oblivious, &workload, offered).cycles);
+    assert!(
+        new_rate >= 5.0 * reference_rate,
+        "rewrite must run ≥5× the pre-arena engine on the hotspot shape: \
+         {new_rate:.0} vs {reference_rate:.0} cycles/s ({:.1}×)",
+        new_rate / reference_rate
+    );
+    println!(
+        "hotspot@0.30/node lossless cycles/s: reference {reference_rate:.0} → rewrite {new_rate:.0} ({:.1}×)",
+        new_rate / reference_rate
+    );
 
     // The acceptance result the bench exists to demonstrate: strictly
     // higher delivered throughput AND lower p99 queueing delay.
@@ -208,6 +251,7 @@ fn bench_queueing_vcs_deadlock_freedom(c: &mut Criterion) {
         vcs,
         policy: ContentionPolicy::Backpressure,
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 200_000,
     };
     let offered = 0.5 * n as f64;
@@ -241,6 +285,44 @@ fn bench_queueing_vcs_deadlock_freedom(c: &mut Criterion) {
     });
     group.bench_function("vcs2_lossless_run", |bench| {
         bench.iter(|| black_box(vc_engine.run(&router, &workload, offered)))
+    });
+    group.finish();
+}
+
+fn bench_queueing_1m_b_2_14(c: &mut Criterion) {
+    // The run the 8192-node dense-table cap used to make impossible:
+    // a million hotspot packets through the cycle-accurate queueing
+    // engine on B(2,14) (16384 nodes), routed by the
+    // arithmetic-compressed next-hop table, over a 3000-cycle
+    // tail-drop window.
+    let b = DeBruijn::new(2, 14);
+    let n = b.node_count();
+    let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 1_000_000, 14);
+    let table = RoutingTable::from_debruijn(&b);
+    assert!(
+        table.is_compressed(),
+        "B(2,14) must ride the compressed table"
+    );
+    let config = QueueConfig {
+        buffers: 16,
+        wavelengths: 1,
+        vcs: 1,
+        policy: ContentionPolicy::TailDrop,
+        hop_limit: None,
+        max_cycles: 3000,
+        drain_threads: 0,
+    };
+    let offered = 0.2 * n as f64;
+    let engine = QueueingEngine::from_family(&b, config);
+    let report = engine.run(&table, &workload, offered);
+    assert!(report.conserves_packets());
+    assert_eq!(report.injected, workload.len(), "the window admits all 1M");
+
+    let mut group = c.benchmark_group("routing/queueing_1M_B_2_14");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(workload.len() as u64));
+    group.bench_function("hotspot_compressed_taildrop", |bench| {
+        bench.iter(|| black_box(engine.run(&table, &workload, offered)))
     });
     group.finish();
 }
@@ -291,6 +373,7 @@ criterion_group!(
     bench_traffic_engine,
     bench_queueing_adaptive_vs_oblivious,
     bench_queueing_vcs_deadlock_freedom,
+    bench_queueing_1m_b_2_14,
     bench_simulator_transport,
     bench_broadcast
 );

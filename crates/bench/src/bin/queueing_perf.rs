@@ -1,0 +1,404 @@
+//! `queueing-perf` — the machine-readable queueing benchmark harness.
+//!
+//! Runs a fixed set of queueing scenarios in release mode and emits
+//! `BENCH_queueing.json` (packets/s, cycles/s, peak RSS per scenario),
+//! committed at the repo root so the perf trajectory is tracked across
+//! PRs. The acceptance scenario also times the frozen pre-arena
+//! [`ReferenceEngine`] and records the speedup of the rewrite.
+//!
+//! ```text
+//! queueing-perf --out BENCH_queueing.json     measure and write
+//! queueing-perf --check BENCH_queueing.json   CI floor: fail if any
+//!                                             scenario's pkt/s fell
+//!                                             more than 30% below the
+//!                                             committed figure, after
+//!                                             normalizing for machine
+//!                                             speed via the frozen
+//!                                             reference engine's rate
+//! ```
+//!
+//! Scenario shapes are chosen to cover the trajectory: the B(2,8)
+//! hotspot acceptance shape (dense table scale), B(2,12) (top of the
+//! dense range), the B(2,14) million-packet run and B(2,16) — both
+//! impossible before the interval-compressed next-hop table lifted
+//! the 8192-node cap.
+
+use otis_core::{DeBruijn, DeBruijnRouter, DigraphFamily, Router, RoutingTable};
+use otis_optics::traffic::{generate_workload, ReferenceEngine, TrafficPattern};
+use otis_optics::{ContentionPolicy, QueueConfig, QueueingEngine};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+
+/// One scenario's measurement.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScenarioResult {
+    name: String,
+    nodes: u64,
+    links: usize,
+    packets: usize,
+    cycles: u64,
+    delivered: usize,
+    dropped: usize,
+    elapsed_s: f64,
+    pkt_per_s: f64,
+    cycles_per_s: f64,
+    /// Process peak RSS (VmHWM) after the scenario, bytes — monotone
+    /// across scenarios, so read it as "the run so far fit in this".
+    peak_rss_bytes: u64,
+    /// Cycles/s of the rewritten engine over the frozen pre-arena
+    /// reference on the same scenario, where measured.
+    #[serde(default)]
+    speedup_vs_reference: Option<f64>,
+    /// The reference engine's own cycles/s on this scenario, where
+    /// measured. The reference engine never changes, so this figure is
+    /// a pure machine-speed probe: `--check` uses the ratio of current
+    /// to committed reference rates to normalize the pkt/s floors, so
+    /// a slower CI runner does not read as a regression.
+    #[serde(default)]
+    reference_cycles_per_s: Option<f64>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchFile {
+    scenarios: Vec<ScenarioResult>,
+}
+
+/// Peak resident set (VmHWM) in bytes; 0 where /proc is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// Best-of-3 timing of one run; returns (report-derived figures, secs).
+fn time_run<F: Fn() -> (u64, usize, usize)>(run: F) -> (u64, usize, usize, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = (0u64, 0usize, 0usize);
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        out = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (out.0, out.1, out.2, best)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    name: &str,
+    b: DeBruijn,
+    engine: &QueueingEngine,
+    router: &dyn Router,
+    workload: &[(u64, u64)],
+    config: QueueConfig,
+    offered: f64,
+    with_reference: bool,
+) -> ScenarioResult {
+    let (cycles, delivered, dropped, elapsed) = time_run(|| {
+        let report = engine.run(router, workload, offered);
+        (report.cycles, report.delivered, report.dropped())
+    });
+    let reference_cycles_per_s = with_reference.then(|| {
+        let reference = ReferenceEngine::from_family(&b, config);
+        let (ref_cycles, _, _, ref_elapsed) = time_run(|| {
+            let report = reference.run(router, workload, offered);
+            (report.cycles, report.delivered, report.dropped())
+        });
+        ref_cycles as f64 / ref_elapsed
+    });
+    let speedup_vs_reference =
+        reference_cycles_per_s.map(|reference_rate| (cycles as f64 / elapsed) / reference_rate);
+    let processed = delivered + dropped;
+    let result = ScenarioResult {
+        name: name.to_string(),
+        nodes: b.node_count(),
+        links: engine.link_count(),
+        packets: workload.len(),
+        cycles,
+        delivered,
+        dropped,
+        elapsed_s: elapsed,
+        pkt_per_s: processed as f64 / elapsed,
+        cycles_per_s: cycles as f64 / elapsed,
+        peak_rss_bytes: peak_rss_bytes(),
+        speedup_vs_reference,
+        reference_cycles_per_s,
+    };
+    eprintln!(
+        "{name}: {} pkts over {} cycles in {:.3}s — {:.0} pkt/s, {:.0} cycles/s{}",
+        result.packets,
+        result.cycles,
+        result.elapsed_s,
+        result.pkt_per_s,
+        result.cycles_per_s,
+        match result.speedup_vs_reference {
+            Some(s) => format!(", {s:.1}x vs reference engine"),
+            None => String::new(),
+        }
+    );
+    result
+}
+
+fn run_all() -> BenchFile {
+    let mut scenarios = Vec::new();
+
+    // 1–2. The PR-2 acceptance shape: B(2,8) hotspot at 0.3
+    // packets/node/cycle under lossless backpressure, 1000-cycle
+    // window — oblivious (with the reference-engine ablation) and
+    // adaptive.
+    {
+        let b = DeBruijn::new(2, 8);
+        let n = b.node_count();
+        let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 100_000, 0x0715);
+        let config = QueueConfig {
+            buffers: 32,
+            wavelengths: 1,
+            vcs: 1,
+            policy: ContentionPolicy::Backpressure,
+            hop_limit: None,
+            max_cycles: 1000,
+            drain_threads: 0,
+        };
+        let offered = 0.3 * n as f64;
+        let engine = QueueingEngine::from_family(&b, config);
+        scenarios.push(measure(
+            "hotspot_B_2_8_oblivious_backpressure",
+            b,
+            &engine,
+            &DeBruijnRouter::new(b),
+            &workload,
+            config,
+            offered,
+            false,
+        ));
+        // The 5× acceptance variant: same hotspot shape run lossless
+        // to completion on two dateline VCs, where the saturated
+        // steady state exposes the old engine's full-scan cost.
+        let lossless = QueueConfig {
+            vcs: 2,
+            max_cycles: 1_000_000,
+            ..config
+        };
+        let lossless_engine = QueueingEngine::from_family(&b, lossless);
+        scenarios.push(measure(
+            "hotspot_B_2_8_lossless_vcs2_backpressure",
+            b,
+            &lossless_engine,
+            &DeBruijnRouter::new(b),
+            &workload,
+            lossless,
+            offered,
+            true,
+        ));
+        let adaptive_engine = QueueingEngine::from_family(&b, config);
+        let adaptive =
+            otis_core::AdaptiveRouter::new(DeBruijnRouter::new(b), adaptive_engine.occupancy());
+        scenarios.push(measure(
+            "hotspot_B_2_8_adaptive_backpressure",
+            b,
+            &adaptive_engine,
+            &adaptive,
+            &workload,
+            config,
+            offered,
+            false,
+        ));
+    }
+
+    // 3. Top of the dense-table range: B(2,12) uniform tail-drop.
+    {
+        let b = DeBruijn::new(2, 12);
+        let n = b.node_count();
+        let workload = generate_workload(TrafficPattern::Uniform, n, 2, 200_000, 12);
+        let config = QueueConfig {
+            buffers: 16,
+            wavelengths: 1,
+            vcs: 1,
+            policy: ContentionPolicy::TailDrop,
+            hop_limit: None,
+            max_cycles: 100_000,
+            drain_threads: 0,
+        };
+        let engine = QueueingEngine::from_family(&b, config);
+        scenarios.push(measure(
+            "uniform_B_2_12_taildrop",
+            b,
+            &engine,
+            &DeBruijnRouter::new(b),
+            &workload,
+            config,
+            0.1 * n as f64,
+            false,
+        ));
+    }
+
+    // 4. The million-packet run the dense cap made impossible:
+    // B(2,14) hotspot through the interval-compressed table.
+    {
+        let b = DeBruijn::new(2, 14);
+        let n = b.node_count();
+        let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 1_000_000, 14);
+        let table = RoutingTable::from_debruijn(&b);
+        assert!(table.is_compressed());
+        let config = QueueConfig {
+            buffers: 16,
+            wavelengths: 1,
+            vcs: 1,
+            policy: ContentionPolicy::TailDrop,
+            hop_limit: None,
+            max_cycles: 3000,
+            drain_threads: 0,
+        };
+        let engine = QueueingEngine::from_family(&b, config);
+        scenarios.push(measure(
+            "hotspot_B_2_14_1M_compressed_taildrop",
+            b,
+            &engine,
+            &table,
+            &workload,
+            config,
+            0.2 * n as f64,
+            false,
+        ));
+    }
+
+    // 5. B(2,16) end to end — 65536 nodes, 131072 links.
+    {
+        let b = DeBruijn::new(2, 16);
+        let n = b.node_count();
+        let workload = generate_workload(TrafficPattern::Uniform, n, 2, 200_000, 16);
+        let table = RoutingTable::from_debruijn(&b);
+        assert!(table.is_compressed());
+        let config = QueueConfig {
+            buffers: 8,
+            wavelengths: 1,
+            vcs: 1,
+            policy: ContentionPolicy::TailDrop,
+            hop_limit: None,
+            max_cycles: 100_000,
+            drain_threads: 0,
+        };
+        let engine = QueueingEngine::from_family(&b, config);
+        scenarios.push(measure(
+            "uniform_B_2_16_compressed_taildrop",
+            b,
+            &engine,
+            &table,
+            &workload,
+            config,
+            0.1 * n as f64,
+            false,
+        ));
+    }
+
+    BenchFile { scenarios }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => out_path = iter.next().cloned(),
+            "--check" => check_path = iter.next().cloned(),
+            other => {
+                eprintln!("unknown argument {other:?} (want --out FILE and/or --check FILE)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if out_path.is_none() && check_path.is_none() {
+        out_path = Some("BENCH_queueing.json".to_string());
+    }
+
+    let measured = run_all();
+
+    if let Some(path) = &out_path {
+        // The vendored serde_json shim has no pretty printer; make the
+        // committed file diffable by splitting scenario boundaries.
+        let json = serde_json::to_string(&measured)
+            .expect("results serialize")
+            .replace("},{", "},\n  {")
+            .replace("[{", "[\n  {")
+            .replace("}]}", "}\n]}");
+        if let Err(err) = std::fs::write(path, json + "\n") {
+            eprintln!("cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let committed: BenchFile = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+        {
+            Ok(file) => file,
+            Err(err) => {
+                eprintln!("cannot read committed floor {path}: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Machine-speed normalization: the frozen reference engine's
+        // absolute rate measures the hardware, not the code under
+        // test. Scale the committed floors by how this machine
+        // compares to the one that produced them.
+        let reference_rate =
+            |file: &BenchFile| file.scenarios.iter().find_map(|s| s.reference_cycles_per_s);
+        let machine_scale = match (reference_rate(&measured), reference_rate(&committed)) {
+            (Some(current), Some(then)) if then > 0.0 => current / then,
+            _ => 1.0,
+        };
+        eprintln!("machine scale vs committed figures: {machine_scale:.2}x");
+        let mut failed = false;
+        for floor in &committed.scenarios {
+            let Some(current) = measured.scenarios.iter().find(|s| s.name == floor.name) else {
+                eprintln!("FAIL {}: scenario no longer measured", floor.name);
+                failed = true;
+                continue;
+            };
+            if floor.elapsed_s < 0.05 {
+                // Sub-50ms scenarios flap far more than 30% run to
+                // run; they are tracked for the trajectory, not gated.
+                eprintln!(
+                    "skip {}: {:.3}s committed run is too short to gate on",
+                    floor.name, floor.elapsed_s
+                );
+                continue;
+            }
+            // The committed figure, scaled to this machine, is the
+            // floor; the 30% regression budget absorbs run-to-run
+            // noise.
+            let minimum = 0.7 * floor.pkt_per_s * machine_scale;
+            if current.pkt_per_s < minimum {
+                eprintln!(
+                    "FAIL {}: {:.0} pkt/s is below 70% of the committed {:.0}",
+                    floor.name, current.pkt_per_s, floor.pkt_per_s
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "ok   {}: {:.0} pkt/s (floor {:.0})",
+                    floor.name, current.pkt_per_s, minimum
+                );
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

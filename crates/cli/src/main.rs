@@ -62,10 +62,15 @@ USAGE:
     --sweep            sweep offered load and report saturation throughput
     --load <L>         offered load, packets/node/cycle (default 0.2)
     --policy <P>       full-buffer behavior: taildrop (default) | backpressure
+    --threads <T>      queueing: drain-phase worker threads (default auto;
+                       results are byte-identical at every thread count)
                        any of these flags switches from the batched static
                        engine to the cycle-accurate queueing simulator;
                        hotspot queueing runs also report hot-vs-background
-                       per-class statistics
+                       per-class statistics. Fabrics past the 8192-node dense
+                       table ride the interval-compressed de Bruijn table
+                       through the paper's isomorphism witness, so B(2,16)
+                       (65536 nodes) runs end to end.
   otis sequence <d> <k>                print a de Bruijn sequence dB(d,k)
   otis dot <family> <d> <D>            DOT drawing (debruijn|kautz|ii|rrk)
 ";
@@ -263,6 +268,12 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
                 options.config.policy = value("--policy", &mut iter)?.parse()?;
                 options.queueing = true;
             }
+            "--threads" => {
+                options.config.drain_threads = value("--threads", &mut iter)?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                options.queueing = true;
+            }
             "--adaptive" => {
                 options.adaptive = true;
                 options.queueing = true;
@@ -273,7 +284,7 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
             }
             other if other.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag {other:?} (want --buffers|--wavelengths|--vcs|--adaptive|--sweep|--load|--policy)"
+                    "unknown flag {other:?} (want --buffers|--wavelengths|--vcs|--adaptive|--sweep|--load|--policy|--threads)"
                 ));
             }
             _ => positionals.push(arg.clone()),
@@ -308,17 +319,42 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
     );
 
     let build_start = std::time::Instant::now();
-    // The descriptive cap error (node count, cap, arithmetic-router
-    // suggestion) comes straight from the routing layer. The CLI
-    // cannot yet follow the arithmetic advice itself: its fabric is
-    // the OTIS H-numbering, and the tableless router speaks de Bruijn
-    // ranks (the relabeling is the ROADMAP's larger-than-table item).
-    let router = otis_core::RoutingTable::try_from_family(&h)
-        .map_err(|e| format!("{e} (CLI traffic on larger fabrics is a ROADMAP item)"))?;
     let workload = otis_optics::traffic::generate_workload(pattern, n, d as u64, packets, 0x0715);
 
+    // Up to the dense-table cap, precompute the quadratic table over
+    // the OTIS H-numbering directly. Past it — B(2,14), B(2,16) — the
+    // fabric rides the *interval-compressed* de Bruijn table (runs
+    // derived arithmetically, no BFS) through the paper's isomorphism
+    // witness: the H fabric is routed in de Bruijn rank space, two
+    // array loads per query. That is what lifts the old 8192-node
+    // ceiling end to end.
+    if n <= otis_digraph::bfs::NextHopTable::MAX_NODES as u64 {
+        let router = otis_core::RoutingTable::try_from_family(&h).map_err(|e| e.to_string())?;
+        run_traffic_over(h, router, &workload, pattern, options, build_start)
+    } else {
+        let witness = spec
+            .debruijn_witness()
+            .map_err(|e| format!("layout is not de Bruijn: {e}"))?;
+        let b = DeBruijn::new(d, dd);
+        let table = otis_core::RoutingTable::try_from_debruijn(&b).map_err(|e| e.to_string())?;
+        let router = otis_core::RelabeledRouter::new(table, witness);
+        run_traffic_over(h, router, &workload, pattern, options, build_start)
+    }
+}
+
+/// Traffic over one fabric with whichever router the scale picked:
+/// queueing simulation when any queueing flag was given, the batched
+/// static engine otherwise.
+fn run_traffic_over<R: otis_core::Router>(
+    h: otis_optics::HDigraph,
+    router: R,
+    workload: &[(u64, u64)],
+    pattern: otis_optics::TrafficPattern,
+    options: TrafficOptions,
+    build_start: std::time::Instant,
+) -> Result<(), String> {
     if options.queueing {
-        return run_queueing_traffic(&h, router, &workload, pattern, options, build_start);
+        return run_queueing_traffic(&h, router, workload, pattern, options, build_start);
     }
 
     let sim = otis_optics::simulator::OtisSimulator::with_defaults(h);
@@ -330,7 +366,7 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
     );
 
     let run_start = std::time::Instant::now();
-    let report = engine.run(&router, &workload);
+    let report = engine.run(&router, workload);
     let elapsed = run_start.elapsed();
 
     println!(
@@ -345,7 +381,7 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
         report.delivery_rate() * 100.0
     );
     println!(
-        "  hops              : mean {:.2}, max {} (diameter {dd})",
+        "  hops              : mean {:.2}, max {}",
         report.mean_hops(),
         report.max_hops
     );
@@ -377,9 +413,9 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
 /// The queueing side of `otis traffic`: cycle-accurate simulation
 /// with finite buffers and wavelength channels, optionally adaptive,
 /// optionally sweeping offered load for the saturation curve.
-fn run_queueing_traffic(
+fn run_queueing_traffic<R: otis_core::Router>(
     h: &otis_optics::HDigraph,
-    router: otis_core::RoutingTable,
+    router: R,
     workload: &[(u64, u64)],
     pattern: otis_optics::TrafficPattern,
     options: TrafficOptions,

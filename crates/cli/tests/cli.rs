@@ -124,14 +124,45 @@ fn traffic_rejects_bad_input() {
     let out = otis(&["traffic", "1", "6", "uniform", "100"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("at least 2"));
+}
 
-    let out = otis(&["traffic", "2", "14", "uniform", "100"]);
-    assert!(!out.status.success());
-    assert!(stderr(&out).contains("caps at 8192"), "{}", stderr(&out));
-    // The cap error is actionable: node count and the tableless
-    // alternative, straight from the routing layer.
-    assert!(stderr(&out).contains("16384 nodes"), "{}", stderr(&out));
-    assert!(stderr(&out).contains("arithmetic"), "{}", stderr(&out));
+#[test]
+fn traffic_past_the_dense_cap_rides_the_compressed_table() {
+    // B(2,14) = 16384 nodes — double the dense-table cap, a hard
+    // error before the interval-compressed table. Now the fabric
+    // routes through the arithmetic-compressed de Bruijn table behind
+    // the isomorphism witness, batched engine end to end.
+    let out = otis(&["traffic", "2", "14", "uniform", "2000"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("≅ B(2,14) — 16384 nodes"), "{text}");
+    assert!(
+        text.contains("relabeled(compressed-table(B(2,14)))"),
+        "{text}"
+    );
+    assert!(
+        text.contains("delivered         : 2000 (100.00%)"),
+        "{text}"
+    );
+
+    // And the cycle-accurate queueing engine on the same fabric.
+    let out = otis(&[
+        "traffic",
+        "2",
+        "14",
+        "uniform",
+        "2000",
+        "--buffers",
+        "8",
+        "--load",
+        "0.05",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("delivered         : 2000 (100.00%)"),
+        "{text}"
+    );
 }
 
 #[test]

@@ -59,5 +59,5 @@ pub use families::{AlphabetDigraph, BSigma, DeBruijn, ImaseItoh, Kautz, Position
 pub use family::DigraphFamily;
 pub use router::{
     AdaptiveRouter, BfsRouter, Candidates, CongestionMap, Dateline, DeBruijnRouter, KautzRouter,
-    NoCongestion, RankedCandidates, Router, RoutingTable,
+    NoCongestion, RankedCandidates, RelabeledRouter, Router, RoutingTable,
 };

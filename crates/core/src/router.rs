@@ -32,9 +32,11 @@
 
 use crate::{DeBruijn, DigraphFamily, Kautz};
 use otis_digraph::bfs::{NextHopTable, TableCapExceeded};
+use otis_digraph::compressed::{CompressedNextHopTable, NextHopRun};
 use otis_digraph::{Digraph, INFINITY};
 use otis_util::SmallVec;
 use otis_words::Word;
+use std::sync::Arc;
 
 /// Candidate next hops for one routing query: at most the fabric
 /// degree `d` entries, inline for `d ≤ 4` (every configuration the
@@ -74,6 +76,18 @@ pub trait Router: Sync {
     fn next_hop_on_vc(&self, current: u64, dst: u64, vc: u8) -> Option<u64> {
         let _ = vc;
         self.next_hop(current, dst)
+    }
+
+    /// True iff [`Router::next_hop_on_vc`] is a pure function of
+    /// `(current, dst, vc)` for the duration of a simulation — i.e.
+    /// repeated queries with the same arguments always return the same
+    /// hop. Engines use this to cache a blocked packet's next hop
+    /// instead of re-asking every cycle (under saturation, most
+    /// queries are exactly such re-asks). Routers that consult live
+    /// state ([`AdaptiveRouter`] reading a [`CongestionMap`]) must
+    /// return `false`; everything oblivious keeps the default `true`.
+    fn hops_are_stateless(&self) -> bool {
+        true
     }
 
     /// Candidate next hops from `current` toward `dst`, best first.
@@ -309,16 +323,52 @@ impl Router for KautzRouter {
 
 // ----- precomputed table router ----------------------------------------------
 
+/// The storage behind a [`RoutingTable`]: dense `n²` arrays up to
+/// [`NextHopTable::MAX_NODES`], interval-compressed runs above (to
+/// [`CompressedNextHopTable::MAX_NODES`]). Both answer every query
+/// with the same canonical hop (smallest descending out-neighbor), so
+/// the choice is purely a size/speed trade: `O(1)` lookups versus
+/// `O(log runs)` lookups at a tiny fraction of the memory.
+#[derive(Debug, Clone)]
+enum TableBacking {
+    Dense(NextHopTable),
+    Compressed(CompressedNextHopTable),
+}
+
+impl TableBacking {
+    #[inline]
+    fn next_hop(&self, u: u32, dst: u32) -> Option<u32> {
+        match self {
+            TableBacking::Dense(t) => t.next_hop(u, dst),
+            TableBacking::Compressed(t) => t.next_hop(u, dst),
+        }
+    }
+
+    #[inline]
+    fn distance(&self, u: u32, dst: u32) -> u32 {
+        match self {
+            TableBacking::Dense(t) => t.distance(u, dst),
+            TableBacking::Compressed(t) => t.distance(u, dst),
+        }
+    }
+}
+
 /// Precomputed all-pairs next-hop router for an arbitrary digraph.
 ///
-/// Construction runs one reverse-BFS per destination in parallel
-/// (`otis_util::par` under [`NextHopTable::build`]); afterwards every
-/// `next_hop` is a single array load, so batches of millions of
-/// packets route at memory speed. Works on any materialized fabric —
-/// de Bruijn, Kautz, `II`/`RRK` at non-power sizes, faulted networks.
+/// Up to [`NextHopTable::MAX_NODES`] nodes the backing is the dense
+/// quadratic table (one reverse-BFS per destination, then every query
+/// a single array load). Above it — `B(2,16)` and friends — the
+/// backing switches to the interval-compressed
+/// [`CompressedNextHopTable`] automatically: same canonical answers,
+/// `O(total runs)` memory instead of `O(n²)`, `O(log runs)` per
+/// query. Works on any materialized fabric — de Bruijn, Kautz,
+/// `II`/`RRK` at non-power sizes, faulted networks; for de Bruijn
+/// fabrics at scale prefer [`RoutingTable::from_debruijn`], which
+/// derives the compressed runs arithmetically instead of paying one
+/// BFS per source.
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
-    table: NextHopTable,
+    backing: TableBacking,
     /// The routed digraph's adjacency, kept so
     /// [`Router::candidates`] can enumerate *all* descending
     /// out-neighbors (the table itself stores only one per pair).
@@ -328,8 +378,8 @@ pub struct RoutingTable {
 
 impl RoutingTable {
     /// Build from a materialized digraph. Panics on fabrics beyond
-    /// [`NextHopTable::MAX_NODES`]; use [`RoutingTable::try_new`] to
-    /// handle that gracefully.
+    /// [`CompressedNextHopTable::MAX_NODES`]; use
+    /// [`RoutingTable::try_new`] to handle that gracefully.
     pub fn new(g: &Digraph) -> Self {
         match Self::try_new(g) {
             Ok(table) => table,
@@ -337,9 +387,10 @@ impl RoutingTable {
         }
     }
 
-    /// Build from a materialized digraph, or report
-    /// [`TableCapExceeded`] (node count, cap, and the arithmetic
-    /// alternative) when the quadratic table would not fit.
+    /// Build from a materialized digraph — dense up to the dense cap,
+    /// interval-compressed above it — or report [`TableCapExceeded`]
+    /// (node count, cap, and the arithmetic alternative) past the
+    /// compressed cap too.
     pub fn try_new(g: &Digraph) -> Result<Self, TableCapExceeded> {
         Self::try_new_owned(g.clone())
     }
@@ -348,15 +399,20 @@ impl RoutingTable {
     /// callers that just materialized one (the family path) pay no
     /// second adjacency copy.
     fn try_new_owned(g: Digraph) -> Result<Self, TableCapExceeded> {
+        let backing = if g.node_count() <= NextHopTable::MAX_NODES {
+            TableBacking::Dense(NextHopTable::try_build(&g)?)
+        } else {
+            TableBacking::Compressed(CompressedNextHopTable::try_build(&g)?)
+        };
         Ok(RoutingTable {
-            table: NextHopTable::try_build(&g)?,
+            backing,
             label: format!("{} nodes", g.node_count()),
             g,
         })
     }
 
     /// Build from any family (materializes it first). Panics past the
-    /// table cap; see [`RoutingTable::try_from_family`].
+    /// compressed cap; see [`RoutingTable::try_from_family`].
     pub fn from_family<F: DigraphFamily>(family: &F) -> Self {
         match Self::try_from_family(family) {
             Ok(table) => table,
@@ -365,24 +421,80 @@ impl RoutingTable {
     }
 
     /// Build from any family, or report [`TableCapExceeded`] when the
-    /// fabric exceeds the table cap. The cap is checked against
-    /// `family.node_count()` *before* materializing the digraph, so an
-    /// oversized fabric errors in O(1) instead of allocating gigabytes
-    /// of adjacency first.
+    /// fabric exceeds even the compressed cap. The cap is checked
+    /// against `family.node_count()` *before* materializing the
+    /// digraph, so an oversized fabric errors in O(1) instead of
+    /// allocating gigabytes of adjacency first.
     pub fn try_from_family<F: DigraphFamily>(family: &F) -> Result<Self, TableCapExceeded> {
         let n = family.node_count();
-        if n > NextHopTable::MAX_NODES as u64 {
-            return Err(TableCapExceeded { nodes: n as usize });
+        if n > CompressedNextHopTable::MAX_NODES as u64 {
+            return Err(TableCapExceeded {
+                nodes: n as usize,
+                cap: CompressedNextHopTable::MAX_NODES,
+            });
         }
         let mut table = Self::try_new_owned(family.digraph())?;
         table.label = family.name();
         Ok(table)
     }
 
-    /// Shortest-path distance, `O(1)` ([`INFINITY`] if unreachable).
+    /// Interval-compressed table for a de Bruijn fabric, with the runs
+    /// derived *arithmetically*: from source `u`, destination space
+    /// splits into the `O(d · D)` prefix intervals of `u`'s suffix
+    /// matches, each further cut at multiples of `d^{k-1}` where the
+    /// appended digit flips. No BFS at all — `B(2,16)`'s 65536 sources
+    /// compress in milliseconds, which is what makes table routing on
+    /// paper-scale fabrics practical on a laptop. Answers are
+    /// identical to the BFS-built tables: the descending out-neighbor
+    /// of a de Bruijn routing step is unique, so "the arithmetic hop"
+    /// and "the smallest descending neighbor" are the same vertex.
+    pub fn try_from_debruijn(b: &DeBruijn) -> Result<Self, TableCapExceeded> {
+        let n = b.node_count();
+        if n > CompressedNextHopTable::MAX_NODES as u64 {
+            return Err(TableCapExceeded {
+                nodes: n as usize,
+                cap: CompressedNextHopTable::MAX_NODES,
+            });
+        }
+        let router = DeBruijnRouter::new(*b);
+        const CHUNK: usize = 64;
+        let rows = otis_util::par_map((n as usize).div_ceil(CHUNK), 1, |chunk_index| {
+            let start = chunk_index * CHUNK;
+            let end = ((chunk_index + 1) * CHUNK).min(n as usize);
+            (start..end)
+                .map(|u| debruijn_runs(&router, u as u64))
+                .collect::<Vec<_>>()
+        });
+        Ok(RoutingTable {
+            backing: TableBacking::Compressed(CompressedNextHopTable::from_rows(
+                n as usize,
+                rows.into_iter().flatten(),
+            )),
+            label: b.name(),
+            g: b.digraph(),
+        })
+    }
+
+    /// As [`RoutingTable::try_from_debruijn`], panicking past the
+    /// compressed cap.
+    pub fn from_debruijn(b: &DeBruijn) -> Self {
+        match Self::try_from_debruijn(b) {
+            Ok(table) => table,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// True iff the backing is the interval-compressed representation
+    /// (fabrics beyond the dense cap, or [`RoutingTable::from_debruijn`]).
+    pub fn is_compressed(&self) -> bool {
+        matches!(self.backing, TableBacking::Compressed(_))
+    }
+
+    /// Shortest-path distance ([`INFINITY`] if unreachable): `O(1)`
+    /// dense, `O(log runs)` compressed.
     #[inline]
     pub fn table_distance(&self, src: u64, dst: u64) -> u32 {
-        self.table.distance(src as u32, dst as u32)
+        self.backing.distance(src as u32, dst as u32)
     }
 
     /// The digraph this table routes over.
@@ -391,18 +503,84 @@ impl RoutingTable {
     }
 }
 
+/// The interval runs of one de Bruijn source, by digit arithmetic:
+/// segment destination space at every suffix-match interval boundary
+/// (distance changes there) and at every multiple of `d^{k-1}` inside
+/// a distance-`k` segment (the appended digit changes there).
+fn debruijn_runs(router: &DeBruijnRouter, u: u64) -> Vec<NextHopRun> {
+    let b = router.family();
+    let d = b.d() as u64;
+    let dim = b.diameter() as usize;
+    let n = b.node_count();
+    let powers: Vec<u64> = (0..=dim)
+        .map(|i| if i == dim { n } else { d.pow(i as u32) })
+        .collect();
+    // Match intervals: destinations whose length-L prefix equals u's
+    // length-L suffix, one interval per L (I_0 is everything, I_D is
+    // {u} itself).
+    let interval = |level: usize| {
+        let start = (u % powers[level]) * powers[dim - level];
+        start..start + powers[dim - level]
+    };
+    let mut cuts: Vec<u64> = vec![0, n];
+    for level in 0..=dim {
+        let i = interval(level);
+        cuts.push(i.start);
+        cuts.push(i.end);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let shifted = (u % powers[dim - 1]) * d;
+    let mut runs = Vec::new();
+    for pair in cuts.windows(2) {
+        let (start, end) = (pair[0], pair[1]);
+        // No segment straddles an interval boundary, so membership is
+        // decided by the start point alone.
+        let best_match = (0..=dim)
+            .rev()
+            .find(|&level| interval(level).contains(&start))
+            .expect("level 0 matches everything");
+        let k = dim - best_match;
+        if k == 0 {
+            // The segment is [u, u + 1): already home, no hop.
+            runs.push(NextHopRun {
+                start: start as u32,
+                hop: otis_digraph::INFINITY,
+                dist: 0,
+            });
+            continue;
+        }
+        // Within a distance-k segment the hop appends destination
+        // digit k-1, constant between multiples of d^{k-1}.
+        let mut t = start;
+        while t < end {
+            let digit = (t / powers[k - 1]) % d;
+            runs.push(NextHopRun {
+                start: t as u32,
+                hop: (shifted + digit) as u32,
+                dist: k as u32,
+            });
+            t = (t / powers[k - 1] + 1) * powers[k - 1];
+        }
+    }
+    runs
+}
+
 impl Router for RoutingTable {
     fn node_count(&self) -> u64 {
-        self.table.node_count() as u64
+        self.g.node_count() as u64
     }
 
     fn name(&self) -> String {
-        format!("table({})", self.label)
+        match self.backing {
+            TableBacking::Dense(_) => format!("table({})", self.label),
+            TableBacking::Compressed(_) => format!("compressed-table({})", self.label),
+        }
     }
 
     #[inline]
     fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
-        self.table
+        self.backing
             .next_hop(current as u32, dst as u32)
             .map(u64::from)
     }
@@ -417,7 +595,7 @@ impl Router for RoutingTable {
             .iter()
             .map(|&v| v as u64);
         rank_candidates(current, neighbors, |v| {
-            let dist = self.table.distance(v as u32, dst as u32);
+            let dist = self.backing.distance(v as u32, dst as u32);
             (dist != INFINITY).then_some(dist as u64)
         })
     }
@@ -425,6 +603,111 @@ impl Router for RoutingTable {
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {
         let distance = self.table_distance(src, dst);
         (distance != INFINITY).then_some(distance as u64)
+    }
+}
+
+// ----- isomorphism-relabeled routing ------------------------------------------
+
+/// Routes one fabric through a router for an *isomorphic* fabric, via
+/// a witness mapping (outer node → inner node, as produced by
+/// `otis_layout::LayoutSpec::debruijn_witness`).
+///
+/// This is what lets an OTIS `H(p, q, d)` fabric — whose node ids are
+/// transceiver-group coordinates — ride the de Bruijn rank-space
+/// machinery at full scale: the arithmetic routers and the
+/// arithmetic-compressed [`RoutingTable::from_debruijn`] both speak
+/// de Bruijn ranks, and the witness is exactly the paper's
+/// isomorphism. Every query costs two array loads on top of the inner
+/// router.
+#[derive(Debug, Clone)]
+pub struct RelabeledRouter<R: Router> {
+    inner: R,
+    /// `to_inner[outer]` = inner node id.
+    to_inner: Box<[u32]>,
+    /// `from_inner[inner]` = outer node id.
+    from_inner: Box<[u32]>,
+}
+
+impl<R: Router> RelabeledRouter<R> {
+    /// Wrap `inner` behind the bijection `to_inner` (outer node →
+    /// inner node). Panics unless `to_inner` is a permutation of
+    /// `0..inner.node_count()`.
+    pub fn new(inner: R, to_inner: Vec<u32>) -> Self {
+        let n = inner.node_count();
+        assert_eq!(
+            to_inner.len() as u64,
+            n,
+            "witness covers {} nodes but the router has {n}",
+            to_inner.len()
+        );
+        let mut from_inner = vec![u32::MAX; to_inner.len()];
+        for (outer, &inner_id) in to_inner.iter().enumerate() {
+            assert!(
+                (inner_id as u64) < n,
+                "witness maps {outer} off-fabric ({inner_id} ≥ {n})"
+            );
+            assert!(
+                from_inner[inner_id as usize] == u32::MAX,
+                "witness is not injective at inner node {inner_id}"
+            );
+            from_inner[inner_id as usize] = outer as u32;
+        }
+        RelabeledRouter {
+            inner,
+            to_inner: to_inner.into_boxed_slice(),
+            from_inner: from_inner.into_boxed_slice(),
+        }
+    }
+
+    /// The wrapped router.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    #[inline]
+    fn map_in(&self, outer: u64) -> Option<u64> {
+        self.to_inner.get(outer as usize).map(|&inner| inner as u64)
+    }
+}
+
+impl<R: Router> Router for RelabeledRouter<R> {
+    fn node_count(&self) -> u64 {
+        self.inner.node_count()
+    }
+
+    fn name(&self) -> String {
+        format!("relabeled({})", self.inner.name())
+    }
+
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        self.next_hop_on_vc(current, dst, 0)
+    }
+
+    fn next_hop_on_vc(&self, current: u64, dst: u64, vc: u8) -> Option<u64> {
+        let (c, d) = (self.map_in(current)?, self.map_in(dst)?);
+        self.inner
+            .next_hop_on_vc(c, d, vc)
+            .map(|v| self.from_inner[v as usize] as u64)
+    }
+
+    fn ranked_candidates(&self, current: u64, dst: u64) -> RankedCandidates {
+        let (Some(c), Some(d)) = (self.map_in(current), self.map_in(dst)) else {
+            return RankedCandidates::new();
+        };
+        self.inner
+            .ranked_candidates(c, d)
+            .iter()
+            .map(|&(dist, v)| (dist, self.from_inner[v as usize] as u64))
+            .collect()
+    }
+
+    fn distance(&self, src: u64, dst: u64) -> Option<u64> {
+        let (c, d) = (self.map_in(src)?, self.map_in(dst)?);
+        self.inner.distance(c, d)
+    }
+
+    fn hops_are_stateless(&self) -> bool {
+        self.inner.hops_are_stateless()
     }
 }
 
@@ -622,8 +905,10 @@ pub struct AdaptiveRouter<R: Router, C: CongestionMap> {
     /// *virtual channel class* the packet would join on each
     /// ([`Dateline::next_class`]) instead of the whole link — so a
     /// deep queue of promoted packets on one class does not scare
-    /// traffic off a link whose other classes are empty.
-    dateline: Option<Dateline>,
+    /// traffic off a link whose other classes are empty. `Arc`-shared
+    /// with the engine that computed the wrap set, so building one
+    /// adaptive router per sweep point copies a pointer, not the set.
+    dateline: Option<Arc<Dateline>>,
 }
 
 impl<R: Router, C: CongestionMap> AdaptiveRouter<R, C> {
@@ -660,8 +945,10 @@ impl<R: Router, C: CongestionMap> AdaptiveRouter<R, C> {
     /// Score candidates per virtual channel class under `dateline`
     /// instead of per whole link: each candidate hop is charged only
     /// the occupancy of the VC FIFO the packet would join there (its
-    /// current class, promoted if the hop crosses the dateline).
-    pub fn with_dateline(mut self, dateline: Dateline) -> Self {
+    /// current class, promoted if the hop crosses the dateline). Takes
+    /// the engine's shared handle (`QueueingEngine::dateline`), so no
+    /// wrap set is copied however many routers a sweep builds.
+    pub fn with_dateline(mut self, dateline: Arc<Dateline>) -> Self {
         self.dateline = Some(dateline);
         self
     }
@@ -729,6 +1016,13 @@ impl<R: Router, C: CongestionMap> Router for AdaptiveRouter<R, C> {
         // The congestion-free shortest distance: what the packet would
         // take on an idle fabric (deroutes can stretch actual walks).
         self.inner.distance(src, dst)
+    }
+
+    fn hops_are_stateless(&self) -> bool {
+        // Decisions read the live congestion map: the same query can
+        // answer differently as queues shift, so engines must not
+        // cache.
+        false
     }
 }
 
@@ -905,24 +1199,116 @@ mod tests {
     }
 
     #[test]
-    fn try_new_reports_cap_with_suggestion() {
-        let oversized = Digraph::empty(NextHopTable::MAX_NODES + 1);
-        let err = RoutingTable::try_new(&oversized).unwrap_err();
-        let message = err.to_string();
-        assert!(message.contains("8193 nodes"), "{message}");
-        assert!(message.contains("caps at 8192"), "{message}");
-        assert!(message.contains("arithmetic"), "{message}");
-        assert!(RoutingTable::try_new(&Digraph::from_fn(3, |u| [(u + 1) % 3])).is_ok());
-        // The family path must reject BEFORE materializing: a 2^24-node
-        // de Bruijn would cost ~130 MB of adjacency just to fail, so
-        // this only passes quickly if the guard precedes digraph().
+    fn table_boundary_dense_below_compressed_above_error_past_both() {
+        // Below the dense cap: dense backing, as before.
+        let small = RoutingTable::try_new(&Digraph::from_fn(3, |u| [(u + 1) % 3])).unwrap();
+        assert!(!small.is_compressed());
+        assert!(small.name().starts_with("table("));
+        // Just past the dense cap — the size that used to be a hard
+        // error — now builds on the compressed backing. (Arc-free so
+        // the build stays test-cheap; compressed-table *correctness*
+        // on real fabrics is pinned by the tests around this one and
+        // in otis-digraph.)
+        let past_dense = Digraph::empty(NextHopTable::MAX_NODES + 1);
+        let table = RoutingTable::try_new(&past_dense).unwrap();
+        assert!(table.is_compressed());
+        assert!(table.name().starts_with("compressed-table("));
+        assert_eq!(table.next_hop(0, 1), None);
+        assert_eq!(table.distance(0, 0), Some(0));
+        // Past the compressed cap too: still a fast, descriptive error
+        // — and the family path must reject BEFORE materializing (a
+        // 2^24-node de Bruijn would cost ~130 MB of adjacency just to
+        // fail), so this only passes quickly if the guard precedes
+        // digraph().
         let start = std::time::Instant::now();
         let err = RoutingTable::try_from_family(&DeBruijn::new(2, 24)).unwrap_err();
         assert_eq!(err.nodes, 1 << 24);
+        assert_eq!(
+            err.cap,
+            otis_digraph::compressed::CompressedNextHopTable::MAX_NODES
+        );
+        let message = err.to_string();
+        assert!(message.contains("arithmetic"), "{message}");
         assert!(
             start.elapsed().as_millis() < 500,
             "cap check materialized the digraph first"
         );
+        // The dense builder's own refusal now points at the compressed
+        // alternative.
+        let dense_err = NextHopTable::try_build(&past_dense).unwrap_err();
+        assert_eq!(dense_err.cap, NextHopTable::MAX_NODES);
+        assert!(
+            dense_err.to_string().contains("interval-compressed"),
+            "{dense_err}"
+        );
+    }
+
+    #[test]
+    fn debruijn_compressed_table_matches_dense_and_arithmetic() {
+        // The arithmetic run builder must answer every query exactly
+        // like the BFS-built dense table (both pick the unique
+        // descending neighbor) — hops, distances, and candidates.
+        for (d, dim) in [(2u32, 5u32), (3, 3), (4, 2)] {
+            let b = DeBruijn::new(d, dim);
+            let dense = RoutingTable::from_family(&b);
+            let compressed = RoutingTable::from_debruijn(&b);
+            assert!(compressed.is_compressed());
+            let arithmetic = DeBruijnRouter::new(b);
+            let n = b.node_count();
+            for src in 0..n {
+                for dst in 0..n {
+                    assert_eq!(
+                        compressed.next_hop(src, dst),
+                        dense.next_hop(src, dst),
+                        "B({d},{dim}) hop {src}->{dst}"
+                    );
+                    assert_eq!(
+                        compressed.next_hop(src, dst),
+                        arithmetic.next_hop(src, dst),
+                        "B({d},{dim}) arithmetic hop {src}->{dst}"
+                    );
+                    assert_eq!(
+                        compressed.distance(src, dst),
+                        dense.distance(src, dst),
+                        "B({d},{dim}) dist {src}->{dst}"
+                    );
+                    assert_eq!(
+                        compressed.ranked_candidates(src, dst).as_slice(),
+                        dense.ranked_candidates(src, dst).as_slice(),
+                        "B({d},{dim}) candidates {src}->{dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relabeled_router_routes_the_outer_fabric() {
+        // Relabel B(2,4) by the bit-reversal permutation of its ranks
+        // — a nontrivial automorphism-free relabeling — and check the
+        // relabeled router is a correct router for the relabeled
+        // digraph.
+        let b = DeBruijn::new(2, 4);
+        let n = b.node_count() as u32;
+        let reverse = |u: u32| (0..4).fold(0u32, |acc, i| acc | (((u >> i) & 1) << (3 - i)));
+        let witness: Vec<u32> = (0..n).map(reverse).collect();
+        // Outer digraph: relabel the inner one through the inverse.
+        let inner_g = b.digraph();
+        let outer_g = Digraph::from_fn(n as usize, |outer| {
+            inner_g
+                .out_neighbors(witness[outer as usize])
+                .iter()
+                .map(|&v| reverse(v))
+                .collect::<Vec<_>>()
+        });
+        let relabeled = RelabeledRouter::new(DeBruijnRouter::new(b), witness);
+        assert!(relabeled.hops_are_stateless());
+        assert!(relabeled.name().starts_with("relabeled("));
+        assert_agrees_with_bfs(&relabeled, &outer_g);
+        assert_candidates_contract(&relabeled, &outer_g);
+        // Off-fabric queries answer None instead of panicking.
+        assert_eq!(relabeled.next_hop(0, 99), None);
+        assert_eq!(relabeled.next_hop(99, 0), None);
     }
 
     /// The candidates contract, checked for one router against its
@@ -1118,14 +1504,14 @@ mod tests {
         let b = DeBruijn::new(3, 3);
         let fabric = std::sync::Arc::new(b.digraph());
         let shortest = DeBruijnRouter::new(b).next_hop(1, 22).unwrap();
-        let dateline = Dateline::new(fabric, 2);
+        let dateline = Arc::new(Dateline::new(fabric, 2));
         let joined = dateline.next_class(0, 1, shortest);
         let other = (joined + 1) % 2;
         let on_joined_class = AdaptiveRouter::new(
             DeBruijnRouter::new(DeBruijn::new(3, 3)),
             FixedVcCongestion(vec![((1, shortest, joined), 100)]),
         )
-        .with_dateline(dateline.clone());
+        .with_dateline(Arc::clone(&dateline));
         assert_ne!(
             on_joined_class.next_hop_on_vc(1, 22, 0),
             Some(shortest),

@@ -149,28 +149,57 @@ pub struct NextHopTable {
     dist: Box<[u32]>,
 }
 
-/// A fabric too large for the quadratic next-hop table.
+/// A fabric too large for the requested next-hop table.
 ///
-/// Carries the offending node count so callers can render a precise
-/// message; [`std::fmt::Display`] spells out the cap and the
-/// alternative (the `O(D)` arithmetic routers need no table at all).
+/// Carries the offending node count and the cap that rejected it, so
+/// callers can render a precise message; [`std::fmt::Display`] spells
+/// out the alternative — the interval-compressed table
+/// ([`crate::compressed::CompressedNextHopTable`]) above the dense
+/// cap, and the `O(D)` arithmetic routers beyond every table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TableCapExceeded {
     /// Node count of the rejected digraph.
     pub nodes: usize,
+    /// The cap the node count tripped (the dense table's
+    /// [`NextHopTable::MAX_NODES`] or the compressed table's
+    /// [`crate::compressed::CompressedNextHopTable::MAX_NODES`]).
+    pub cap: usize,
+}
+
+impl TableCapExceeded {
+    /// The dense (quadratic) table's rejection of `nodes`.
+    pub(crate) fn dense(nodes: usize) -> Self {
+        TableCapExceeded {
+            nodes,
+            cap: NextHopTable::MAX_NODES,
+        }
+    }
 }
 
 impl std::fmt::Display for TableCapExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "fabric has {} nodes; the precomputed next-hop table caps at {} \
-             (its two n² arrays would need {} entries) — route arithmetically \
-             instead (e.g. the tableless de Bruijn/Kautz routers)",
-            self.nodes,
-            NextHopTable::MAX_NODES,
-            2 * self.nodes * self.nodes,
-        )
+        if self.cap == NextHopTable::MAX_NODES {
+            write!(
+                f,
+                "fabric has {} nodes; the dense next-hop table caps at {} \
+                 (its two n² arrays would need {} entries) — use the \
+                 interval-compressed table instead (CompressedNextHopTable; \
+                 RoutingTable::try_new picks it automatically above the dense \
+                 cap), or route arithmetically (the tableless de Bruijn/Kautz \
+                 routers)",
+                self.nodes,
+                NextHopTable::MAX_NODES,
+                2 * self.nodes * self.nodes,
+            )
+        } else {
+            write!(
+                f,
+                "fabric has {} nodes; even the interval-compressed next-hop \
+                 table caps at {} — route arithmetically instead (the \
+                 tableless de Bruijn/Kautz routers scale to any d^D)",
+                self.nodes, self.cap,
+            )
+        }
     }
 }
 
@@ -186,7 +215,7 @@ impl NextHopTable {
     pub fn try_build(g: &Digraph) -> Result<Self, TableCapExceeded> {
         let n = g.node_count();
         if n > Self::MAX_NODES {
-            return Err(TableCapExceeded { nodes: n });
+            return Err(TableCapExceeded::dense(n));
         }
         Ok(Self::build_unchecked(g))
     }

@@ -29,6 +29,7 @@
 //! * [`dot`] — Graphviz export used to regenerate the paper's figures.
 
 pub mod bfs;
+pub mod compressed;
 pub mod connectivity;
 pub mod dot;
 pub mod euler;

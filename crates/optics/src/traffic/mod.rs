@@ -41,6 +41,7 @@ pub mod report;
 pub mod workload;
 
 pub use engine::TrafficEngine;
+pub use queueing::reference::ReferenceEngine;
 pub use queueing::{
     ContentionPolicy, LinkOccupancy, QueueConfig, QueueingEngine, SaturationPoint, SaturationSweep,
 };

@@ -1,0 +1,255 @@
+//! The packet arena and intrusive channel queues — the queueing
+//! engine's storage layer.
+//!
+//! The pre-arena engine kept one `VecDeque<Packet>` per (link, VC)
+//! channel: hundreds of thousands of independently allocated ring
+//! buffers whose blocks scatter packets across the heap, so every
+//! drain touched allocator metadata and cold cache lines. Here all
+//! packet state lives in one structure-of-arrays slab, indexed by a
+//! `u32` packet id:
+//!
+//! * ids are recycled through a free list, so a steady-state run's
+//!   working set is its *in-flight* packets, not its packet count —
+//!   a million-packet run with 10k in flight touches 10k slots;
+//! * each channel's FIFO is an intrusive singly linked list threaded
+//!   through the `link` slab (`head`/`tail` per channel), so push/pop
+//!   are two or three word writes and the queue nodes are the packets
+//!   themselves — no per-channel allocation, ever;
+//! * slab fields are atomics (`Relaxed`) because the drain phase
+//!   shards channels across workers: every slot has exactly one
+//!   writer per phase (the worker owning the packet's current
+//!   downstream node), and the phase barriers order everything else.
+//!   On x86 a relaxed atomic is an ordinary `mov`. The *free list*
+//!   lives apart in [`ArenaAllocator`], touched only by the
+//!   single-threaded phases, so the shared slabs stay `&self` all the
+//!   way down.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+
+/// The null packet id / null cache / null queue link.
+pub(super) const NONE: u32 = u32::MAX;
+
+/// Structure-of-arrays packet slabs, `u32`-indexed. Capacity is fixed
+/// at construction (a run can never hold more live packets than its
+/// workload has entries); all access is `&self`.
+pub(super) struct PacketArena {
+    /// Destination node.
+    pub dst: Vec<AtomicU32>,
+    /// Cycle the packet's injection credit accrued (offer clock).
+    pub offered: Vec<AtomicU64>,
+    /// Hops taken so far.
+    pub hops: Vec<AtomicU32>,
+    /// Current dateline VC class (low 8 bits used).
+    pub vc: Vec<AtomicU32>,
+    /// Cached next-hop arc at the packet's current node, for stateless
+    /// routers: [`NONE`] = not computed; invalidated on every move.
+    /// This is what makes a blocked head cost a word load per cycle
+    /// instead of a router query.
+    pub cached_next: Vec<AtomicU32>,
+    /// Intrusive FIFO link: the next packet in this packet's channel.
+    pub link: Vec<AtomicU32>,
+}
+
+impl PacketArena {
+    /// Slabs for at most `capacity` simultaneously live packets.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slab = |cap: usize| (0..cap).map(|_| AtomicU32::new(0)).collect();
+        PacketArena {
+            dst: slab(capacity),
+            offered: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            hops: slab(capacity),
+            vc: slab(capacity),
+            cached_next: slab(capacity),
+            link: slab(capacity),
+        }
+    }
+
+    /// Initialize a freshly claimed slot.
+    pub fn init(&self, id: u32, dst: u32, offered: u64, vc: u8) {
+        let slot = id as usize;
+        self.dst[slot].store(dst, Relaxed);
+        self.offered[slot].store(offered, Relaxed);
+        self.hops[slot].store(0, Relaxed);
+        self.vc[slot].store(vc as u32, Relaxed);
+        self.cached_next[slot].store(NONE, Relaxed);
+        self.link[slot].store(NONE, Relaxed);
+    }
+}
+
+/// The arena's id supply: fresh slots up to capacity, recycled slots
+/// LIFO (hot slots stay cache-hot). Owned by the engine's sequential
+/// phases; drain workers hand departures back in per-worker batches.
+pub(super) struct ArenaAllocator {
+    free: Vec<u32>,
+    allocated: u32,
+    capacity: u32,
+}
+
+impl ArenaAllocator {
+    pub fn new(capacity: usize) -> Self {
+        ArenaAllocator {
+            free: Vec::new(),
+            allocated: 0,
+            capacity: capacity as u32,
+        }
+    }
+
+    /// Claim an id, recycling first.
+    pub fn claim(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(id) => id,
+            None => {
+                assert!(
+                    self.allocated < self.capacity,
+                    "arena overflow: {} live packets exceed capacity {}",
+                    self.allocated,
+                    self.capacity
+                );
+                let id = self.allocated;
+                self.allocated += 1;
+                id
+            }
+        }
+    }
+
+    /// Return a batch of slots (a drain phase's departures).
+    pub fn release_all(&mut self, ids: impl IntoIterator<Item = u32>) {
+        self.free.extend(ids);
+    }
+
+    /// Live packets = handed out minus recycled. The conservation
+    /// invariant: after a run this must equal the report's
+    /// `in_flight`.
+    pub fn live(&self) -> usize {
+        self.allocated as usize - self.free.len()
+    }
+}
+
+/// Per-channel FIFO heads/tails plus the occupancy words the drain
+/// phase's room checks read. One entry per (arc, VC) channel,
+/// arc-major — same indexing as the engine's occupancy scoreboard.
+pub(super) struct ChannelQueues {
+    /// First packet of the FIFO ([`NONE`] = empty).
+    pub head: Vec<AtomicU32>,
+    /// Last packet of the FIFO ([`NONE`] = empty).
+    pub tail: Vec<AtomicU32>,
+    /// Committed occupancy. Stable during a drain phase (pops are
+    /// batched to the phase boundary), which is what makes room
+    /// checks order- and thread-count-independent: a slot freed this
+    /// cycle becomes claimable next cycle.
+    pub len: Vec<AtomicU32>,
+    /// Arrivals staged *this* cycle, counted toward room checks so a
+    /// channel is never oversubscribed within the cycle. Written only
+    /// by the worker owning the channel's source node.
+    pub staged_len: Vec<AtomicU32>,
+}
+
+impl ChannelQueues {
+    pub fn new(channels: usize) -> Self {
+        let zeros = |cap: usize| (0..cap).map(|_| AtomicU32::new(0)).collect();
+        ChannelQueues {
+            head: (0..channels).map(|_| AtomicU32::new(NONE)).collect(),
+            tail: (0..channels).map(|_| AtomicU32::new(NONE)).collect(),
+            len: zeros(channels),
+            staged_len: zeros(channels),
+        }
+    }
+
+    /// Append `id` to `chan`'s FIFO, threading the intrusive link.
+    /// Returns the new committed length. Sequential phases only
+    /// (injection and staged-apply).
+    pub fn push(&self, chan: usize, id: u32, links: &[AtomicU32]) -> u32 {
+        links[id as usize].store(NONE, Relaxed);
+        let tail = self.tail[chan].load(Relaxed);
+        if tail == NONE {
+            self.head[chan].store(id, Relaxed);
+        } else {
+            links[tail as usize].store(id, Relaxed);
+        }
+        self.tail[chan].store(id, Relaxed);
+        let len = self.len[chan].load(Relaxed) + 1;
+        self.len[chan].store(len, Relaxed);
+        len
+    }
+
+    /// Unlink `chan`'s current head `id`. Does **not** touch `len` —
+    /// the drain phase batches its pop counts to the apply step so
+    /// occupancy stays phase-stable. Caller owns the channel's
+    /// downstream node.
+    pub fn pop_head(&self, chan: usize, id: u32, links: &[AtomicU32]) {
+        debug_assert_eq!(self.head[chan].load(Relaxed), id);
+        let next = links[id as usize].load(Relaxed);
+        self.head[chan].store(next, Relaxed);
+        if next == NONE {
+            self.tail[chan].store(NONE, Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_recycles_slots() {
+        let arena = PacketArena::with_capacity(3);
+        let mut ids = ArenaAllocator::new(3);
+        let a = ids.claim();
+        let b = ids.claim();
+        arena.init(a, 7, 1, 0);
+        arena.init(b, 8, 2, 1);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(ids.live(), 2);
+        ids.release_all([a]);
+        assert_eq!(ids.live(), 1);
+        // The freed slot is reused before fresh slots, fully
+        // reinitialized.
+        let c = ids.claim();
+        assert_eq!(c, a);
+        arena.init(c, 9, 3, 2);
+        assert_eq!(arena.dst[c as usize].load(Relaxed), 9);
+        assert_eq!(arena.hops[c as usize].load(Relaxed), 0);
+        assert_eq!(arena.cached_next[c as usize].load(Relaxed), NONE);
+        assert_eq!(ids.live(), 2);
+        ids.release_all([b, c]);
+        assert_eq!(ids.live(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena overflow")]
+    fn arena_overflow_is_loud() {
+        let mut ids = ArenaAllocator::new(1);
+        ids.claim();
+        ids.claim();
+    }
+
+    #[test]
+    fn channel_fifo_order() {
+        let arena = PacketArena::with_capacity(4);
+        let mut ids = ArenaAllocator::new(4);
+        let queues = ChannelQueues::new(2);
+        let handles: Vec<u32> = (0..4)
+            .map(|i| {
+                let id = ids.claim();
+                arena.init(id, i, 0, 0);
+                id
+            })
+            .collect();
+        for &id in &handles[..3] {
+            queues.push(0, id, &arena.link);
+        }
+        queues.push(1, handles[3], &arena.link);
+        assert_eq!(queues.len[0].load(Relaxed), 3);
+        assert_eq!(queues.len[1].load(Relaxed), 1);
+        // FIFO: pop order equals push order, per channel.
+        let mut order = Vec::new();
+        while queues.head[0].load(Relaxed) != NONE {
+            let id = queues.head[0].load(Relaxed);
+            queues.pop_head(0, id, &arena.link);
+            order.push(id);
+        }
+        assert_eq!(order, &handles[..3]);
+        assert_eq!(queues.tail[0].load(Relaxed), NONE);
+        assert_eq!(queues.head[1].load(Relaxed), handles[3]);
+    }
+}

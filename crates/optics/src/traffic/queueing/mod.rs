@@ -1,5 +1,5 @@
 //! Cycle-based discrete-event queueing simulation: congestion with
-//! *dynamics*.
+//! *dynamics*, at fabric scales the paper actually targets.
 //!
 //! The static engine ([`super::TrafficEngine`]) tallies how much load
 //! oblivious routing piles on each link — the forwarding-index view of
@@ -7,11 +7,10 @@
 //! does when a link is oversubscribed: packets wait in finite buffers,
 //! buffers fill, upstream traffic backs up or gets dropped, and
 //! throughput saturates. On wavelength-routed fabrics that contention
-//! — not path length — bounds achievable throughput (cf. the all-optical
-//! BCube and conjugate-network papers in PAPERS.md).
+//! — not path length — bounds achievable throughput (cf. the
+//! all-optical BCube and conjugate-network papers in PAPERS.md).
 //!
-//! The model here is the standard synchronous abstraction of that
-//! story:
+//! The model is the standard synchronous abstraction of that story:
 //!
 //! * every directed link (one transceiver beam) owns `vcs` virtual
 //!   channels, each a FIFO of `buffers` packets, and `wavelengths`
@@ -26,45 +25,54 @@
 //!   ([`ContentionPolicy::TailDrop`]);
 //! * injection offers `offered_per_cycle` new packets per cycle
 //!   (fabric-wide) through **independent per-source injection
-//!   queues**: each source holds its own packets in workload order and
-//!   a backpressured source stalls only itself, not its neighbors —
-//!   the head-of-line isolation a shared stream cannot give;
+//!   queues**; a backpressured source stalls only itself;
 //! * virtual channel classes follow the **dateline** discipline
 //!   ([`otis_core::Dateline`]): packets inject on class 0 and are
-//!   promoted one class each time they traverse a *wrap arc* — the
-//!   dateline of the fabric's cycle decomposition, computed as a
-//!   feedback arc set ([`otis_digraph::feedback::feedback_arcs`]), so
-//!   every directed cycle of the fabric contains one. The
-//!   channel-dependency graph is then acyclic by construction: within
-//!   a class, dependencies ride the non-wrap subgraph, which is
-//!   acyclic by definition of a feedback arc set; a wrap hop below
-//!   the top class promotes out of the class; and the single
-//!   remaining dependency — a top-class packet wrapping *again* — is
-//!   never allowed to block (the deep-dateline-buffer escape valve,
-//!   counted as `dateline_relief`). With `vcs ≥ 2` and
-//!   `Backpressure`, the all-blocked state the deadlock detector
-//!   looks for is therefore unreachable for any router; the wedges a
-//!   single-channel run *detects* become `dateline_promotions`
-//!   instead. Routes that wrap `k` times never need relief once
-//!   `vcs > k` — a ring route wraps at most once, so two classes
-//!   cover every pure ring with the valve shut.
+//!   promoted one class per *wrap arc* crossed (a feedback arc set of
+//!   the fabric, so every cycle of the fabric contains one), making
+//!   the channel-dependency graph acyclic; with `vcs ≥ 2` and
+//!   `Backpressure` the all-blocked state is unreachable for any
+//!   router — the one unorderable move (a top-class packet wrapping
+//!   again) never blocks (`dateline_relief`).
 //!
-//! Everything is deterministic, and fair by rotation: the drain phase
-//! starts from a different link each cycle (and from a different VC
-//! class within a link), so no low-index link persistently wins the
-//! wavelength channels; the injection phase rotates its starting
-//! source the same way. The same seed yields the same report. The
-//! engine publishes live per-VC buffer occupancy through
-//! [`LinkOccupancy`] (an [`otis_core::CongestionMap`]), which is what
+//! # The hot path (see [`run`] for the full contract)
+//!
+//! Packets live in a structure-of-arrays **arena** — one slab,
+//! free-list recycled `u32` ids, intrusive per-channel FIFOs — so a
+//! cycle touches cache lines, not allocator metadata. The drain phase
+//! walks an **active-node worklist** (a dense bitset over nodes with
+//! queued inbound traffic) instead of scanning every channel, so idle
+//! fabric regions cost one word load per 64 nodes. With
+//! `drain_threads > 1` the drain **shards nodes across scoped
+//! workers**: every buffer a node's drain writes belongs to that
+//! node's own out-arcs, so ownership is disjoint with no CAS loops,
+//! and room checks use phase-boundary credits (a slot freed this
+//! cycle is claimable next cycle) so the report is byte-identical at
+//! any thread count. Stateless routers get per-packet next-hop
+//! caching: a blocked head costs a word load per cycle, not a routing
+//! query. The pre-arena engine survives as
+//! [`reference::ReferenceEngine`], the ablation baseline the
+//! `routing_sim` bench measures the rewrite against.
+//!
+//! Everything is deterministic, and fair by rotation: each node's
+//! drain starts from a different inbound link each cycle (and from a
+//! different VC class within a link), and the injection phase rotates
+//! its starting source the same way. The same seed yields the same
+//! report — at any `drain_threads`. The engine publishes per-VC
+//! buffer occupancy through [`LinkOccupancy`] (an
+//! [`otis_core::CongestionMap`]) at cycle granularity, which is what
 //! lets an [`otis_core::AdaptiveRouter`] steer *this* simulation's
 //! packets around *this* simulation's queues — per VC class, when
 //! built with [`otis_core::AdaptiveRouter::with_dateline`].
 
-use super::report::{percentile_u64, ClassBreakdown, ClassStats, QueueingReport};
+mod arena;
+pub mod reference;
+mod run;
+
+use super::report::QueueingReport;
 use otis_core::{CongestionMap, Dateline, DigraphFamily, Router};
 use otis_digraph::Digraph;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -118,6 +126,12 @@ pub struct QueueConfig {
     /// Hard cap on simulated cycles; packets still buffered then are
     /// reported as `in_flight`.
     pub max_cycles: u64,
+    /// Drain-phase worker threads: `0` picks automatically (1 below
+    /// 4096 nodes, hardware parallelism capped at 8 above). The
+    /// report is byte-identical at every thread count — sharding is
+    /// by downstream-node ownership over phase-stable state, so
+    /// parallelism changes wall clock, never results.
+    pub drain_threads: usize,
 }
 
 impl Default for QueueConfig {
@@ -129,13 +143,16 @@ impl Default for QueueConfig {
             policy: ContentionPolicy::TailDrop,
             hop_limit: None,
             max_cycles: 10_000_000,
+            drain_threads: 0,
         }
     }
 }
 
 /// Live per-VC buffer occupancy, shared between a running
 /// [`QueueingEngine`] and any [`otis_core::AdaptiveRouter`] steering
-/// packets through it.
+/// packets through it. Updated at phase boundaries (injection commits
+/// live; drain moves commit at each cycle's apply step), so adaptive
+/// decisions read a consistent, cycle-stable view.
 ///
 /// Cloning is cheap (two `Arc`s); all clones observe the same counts.
 #[derive(Debug, Clone)]
@@ -181,7 +198,7 @@ impl LinkOccupancy {
 /// The arc `from → to` of `g`, if present — `None` for off-fabric
 /// endpoints (u64-safe: no truncation before the range check), so
 /// probes against router-proposed hops need no pre-validation.
-fn arc_of(g: &Digraph, from: u64, to: u64) -> Option<usize> {
+pub(crate) fn arc_of(g: &Digraph, from: u64, to: u64) -> Option<usize> {
     let n = g.node_count() as u64;
     if from >= n || to >= n {
         return None;
@@ -201,20 +218,6 @@ impl CongestionMap for LinkOccupancy {
     }
 }
 
-/// A packet in flight. `offered_cycle` is when the packet's injection
-/// credit accrued, not when a stalled source finally bought it a
-/// buffer slot — so queueing delay includes source stalling (the
-/// open-loop measurement convention; clocking from injection instead
-/// would hide exactly the congestion being measured).
-#[derive(Debug, Clone, Copy)]
-struct Packet {
-    dst: u64,
-    offered_cycle: u64,
-    hops: u32,
-    /// Dateline VC class the packet currently occupies.
-    vc: u8,
-}
-
 /// Cycle-accurate queueing simulator over one fabric digraph.
 ///
 /// Reusable across runs ([`QueueingEngine::run`] carries no state
@@ -223,12 +226,18 @@ struct Packet {
 pub struct QueueingEngine {
     g: Arc<Digraph>,
     config: QueueConfig,
-    /// One counter per (arc, VC class), arc-major — the live
-    /// occupancy scoreboard behind [`LinkOccupancy`].
+    /// One counter per (arc, VC class), arc-major — the occupancy
+    /// scoreboard behind [`LinkOccupancy`].
     counts: Arc<[AtomicU32]>,
     /// The dateline wrap set (a feedback arc set of the fabric) and
-    /// class discipline, computed once per engine.
-    dateline: Dateline,
+    /// class discipline, computed once per engine and `Arc`-shared
+    /// with every router and sweep point that needs it.
+    dateline: Arc<Dateline>,
+    /// Reverse CSR over the fabric: `in_arcs[in_offsets[v]..
+    /// in_offsets[v + 1]]` are the arc ids targeting `v`, ascending —
+    /// the drain phase's per-node work lists.
+    in_offsets: Box<[u32]>,
+    in_arcs: Box<[u32]>,
 }
 
 impl QueueingEngine {
@@ -247,16 +256,42 @@ impl QueueingEngine {
             "need 1..=255 virtual channels per link, got {}",
             config.vcs
         );
-        let counts: Vec<AtomicU32> = (0..g.arc_count() * config.vcs)
-            .map(|_| AtomicU32::new(0))
-            .collect();
+        let arcs = g.arc_count();
+        // Channel ids (arc · vcs + class) are u32 throughout the run
+        // loop, with u32::MAX as the null sentinel — guard the product,
+        // not just the arc count.
+        assert!(
+            arcs.checked_mul(config.vcs)
+                .is_some_and(|channels| channels < u32::MAX as usize),
+            "fabric has {arcs} arcs × {} VCs; channel ids must fit below u32::MAX",
+            config.vcs
+        );
+        let counts: Vec<AtomicU32> = (0..arcs * config.vcs).map(|_| AtomicU32::new(0)).collect();
+        // Reverse CSR by counting sort over arc targets.
+        let n = g.node_count();
+        let mut in_offsets = vec![0u32; n + 1];
+        for arc in 0..arcs {
+            in_offsets[g.arc_target(arc) as usize + 1] += 1;
+        }
+        for v in 0..n {
+            in_offsets[v + 1] += in_offsets[v];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_arcs = vec![0u32; arcs];
+        for arc in 0..arcs {
+            let v = g.arc_target(arc) as usize;
+            in_arcs[cursor[v] as usize] = arc as u32;
+            cursor[v] += 1;
+        }
         let g = Arc::new(g);
-        let dateline = Dateline::new(Arc::clone(&g), config.vcs);
+        let dateline = Arc::new(Dateline::new(Arc::clone(&g), config.vcs));
         QueueingEngine {
             g,
             config,
             counts: counts.into(),
             dateline,
+            in_offsets: in_offsets.into_boxed_slice(),
+            in_arcs: in_arcs.into_boxed_slice(),
         }
     }
 
@@ -280,12 +315,33 @@ impl QueueingEngine {
         &self.config
     }
 
-    /// The dateline VC discipline this engine runs (cheap to clone —
-    /// the wrap set is shared) — hand it to
-    /// [`otis_core::AdaptiveRouter::with_dateline`] so adaptive
-    /// scoring charges exactly the FIFO a packet would join.
-    pub fn dateline(&self) -> Dateline {
-        self.dateline.clone()
+    /// The simulated fabric.
+    pub(super) fn digraph(&self) -> &Digraph {
+        &self.g
+    }
+
+    pub(super) fn counts(&self) -> &[AtomicU32] {
+        &self.counts
+    }
+
+    pub(super) fn dateline_ref(&self) -> &Dateline {
+        &self.dateline
+    }
+
+    pub(super) fn in_offsets(&self) -> &[u32] {
+        &self.in_offsets
+    }
+
+    pub(super) fn in_arcs(&self) -> &[u32] {
+        &self.in_arcs
+    }
+
+    /// The dateline VC discipline this engine runs, `Arc`-shared (no
+    /// wrap-set copy however many sweep points or routers take one) —
+    /// hand it to [`otis_core::AdaptiveRouter::with_dateline`] so
+    /// adaptive scoring charges exactly the FIFO a packet would join.
+    pub fn dateline(&self) -> Arc<Dateline> {
+        Arc::clone(&self.dateline)
     }
 
     /// A live view of this engine's buffer occupancy — hand it to an
@@ -298,11 +354,6 @@ impl QueueingEngine {
             counts: Arc::clone(&self.counts),
             vcs: self.config.vcs,
         }
-    }
-
-    /// The arc `from → to`, if present.
-    fn arc_of(&self, from: u64, to: u64) -> Option<usize> {
-        arc_of(&self.g, from, to)
     }
 
     /// Inject `workload` at `offered_per_cycle` packets per cycle
@@ -336,427 +387,7 @@ impl QueueingEngine {
         offered_per_cycle: f64,
         hot_dst: Option<u64>,
     ) -> QueueingReport {
-        assert!(
-            offered_per_cycle > 0.0,
-            "offered load must be positive, got {offered_per_cycle}"
-        );
-        let n = self.node_count();
-        assert_eq!(
-            router.node_count(),
-            n,
-            "router covers {} nodes but the fabric has {n}",
-            router.node_count()
-        );
-        let arcs = self.g.arc_count();
-        let vcs = self.config.vcs;
-        let channels = arcs * vcs;
-        let dateline = &self.dateline;
-        let hop_limit = self
-            .config
-            .hop_limit
-            .unwrap_or_else(|| (2 * n).max(64) as u32);
-        let buffers = self.config.buffers;
-        let wavelengths = self.config.wavelengths;
-
-        let mut queues: Vec<VecDeque<Packet>> = (0..channels).map(|_| VecDeque::new()).collect();
-        for count in self.counts.iter() {
-            count.store(0, Ordering::Relaxed);
-        }
-        let mut peak = vec![0u32; channels];
-        // Arrivals staged during the drain phase so a packet moves at
-        // most one hop per cycle; `staged_len[chan]` counts them
-        // toward the capacity check before they land in the FIFO.
-        let mut staged: Vec<(usize, Packet)> = Vec::new();
-        let mut staged_len = vec![0u32; channels];
-        // Per-(link, class) head-of-line block flags, reused across
-        // the drain loop.
-        let mut vc_blocked = vec![false; vcs];
-
-        // Per-source injection queues: each source owns its packets in
-        // workload order, so a backpressured source stalls only
-        // itself. `source_ids` lists the sources that have traffic at
-        // all, in node order; the injection scan rotates over it.
-        let mut sources: Vec<VecDeque<usize>> = vec![VecDeque::new(); n as usize];
-        for (index, &(src, _)) in workload.iter().enumerate() {
-            assert!(
-                src < n,
-                "workload source {src} is not a fabric node (fabric has {n})"
-            );
-            sources[src as usize].push_back(index);
-        }
-        let source_ids: Vec<usize> = (0..n as usize)
-            .filter(|&src| !sources[src].is_empty())
-            .collect();
-
-        let mut injected = 0usize;
-        let mut pending = workload.len();
-        let mut delivered = 0usize;
-        let mut dropped_full = 0usize;
-        let mut dropped_unroutable = 0usize;
-        let mut dropped_ttl = 0usize;
-        let mut delivered_hops = 0u64;
-        let mut max_hops = 0u32;
-        let mut waits: Vec<u64> = Vec::with_capacity(workload.len());
-        let mut deadlocked = false;
-        let mut dateline_promotions = 0u64;
-        let mut dateline_relief = 0u64;
-        let mut source_stall_cycles = 0u64;
-        let mut delivered_per_link = vec![0u64; arcs];
-
-        // Per-class (background = 0, hot = 1) accounting, populated
-        // only when the run is classified.
-        let classified = hot_dst.is_some();
-        let class_of = |dst: u64| usize::from(hot_dst == Some(dst));
-        let mut class_injected = [0usize; 2];
-        let mut class_delivered = [0usize; 2];
-        let mut class_dropped = [0usize; 2];
-        let mut class_waits: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
-
-        let mut in_network = 0usize;
-        let mut cycle = 0u64;
-        // Cycle the `i`-th packet's injection credit accrues: credits
-        // issued through cycle `c` total `(c+1)·offered`, so packet
-        // `i` is covered once that reaches `i+1`. Without stalls this
-        // is exactly the injection cycle.
-        let offer_cycle =
-            |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
-
-        let bump = |counts: &Arc<[AtomicU32]>, chan: usize, delta: i32| {
-            if delta >= 0 {
-                counts[chan].fetch_add(delta as u32, Ordering::Relaxed);
-            } else {
-                counts[chan].fetch_sub((-delta) as u32, Ordering::Relaxed);
-            }
-        };
-
-        while (pending > 0 || in_network > 0) && cycle < self.config.max_cycles {
-            let mut activity = 0usize;
-
-            // --- injection phase -------------------------------------
-            // Every source offers its own queue head (packets whose
-            // credit has accrued), independently: under backpressure a
-            // full first-hop FIFO stalls that source alone. The
-            // starting source rotates each cycle so no low-numbered
-            // source persistently injects into contended buffers
-            // first. Skipped entirely once every source has drained —
-            // the post-injection tail only moves in-network packets.
-            let scan_count = if pending == 0 { 0 } else { source_ids.len() };
-            let source_start = if source_ids.is_empty() {
-                0
-            } else {
-                cycle as usize % source_ids.len()
-            };
-            for scan in 0..scan_count {
-                let src = source_ids[(source_start + scan) % source_ids.len()];
-                while let Some(&index) = sources[src].front() {
-                    if offer_cycle(index) > cycle {
-                        // Not offered yet — and queues hold workload
-                        // order, so nothing behind it is either.
-                        break;
-                    }
-                    let (_, dst) = workload[index];
-                    let class = class_of(dst);
-                    if src as u64 == dst {
-                        // Delivered without entering the network (any
-                        // source-stall time still counts as waiting).
-                        sources[src].pop_front();
-                        pending -= 1;
-                        injected += 1;
-                        delivered += 1;
-                        class_injected[class] += 1;
-                        class_delivered[class] += 1;
-                        let wait = cycle - offer_cycle(index);
-                        waits.push(wait);
-                        if classified {
-                            class_waits[class].push(wait);
-                        }
-                        activity += 1;
-                        continue;
-                    }
-                    let arc = router
-                        .next_hop_on_vc(src as u64, dst, 0)
-                        .and_then(|next| self.arc_of(src as u64, next));
-                    let Some(arc) = arc else {
-                        // No route (or the router proposed a non-neighbor).
-                        sources[src].pop_front();
-                        pending -= 1;
-                        injected += 1;
-                        dropped_unroutable += 1;
-                        class_injected[class] += 1;
-                        class_dropped[class] += 1;
-                        activity += 1;
-                        continue;
-                    };
-                    // A packet starts at class 0 and, like any other
-                    // hop, is promoted if its very first arc crosses
-                    // the dateline — so the class it joins is exactly
-                    // the one a dateline-aware adaptive scorer charged
-                    // for this hop.
-                    let vc0 = dateline.next_class_arc(0, arc);
-                    let chan = arc * vcs + vc0 as usize;
-                    if queues[chan].len() < buffers {
-                        sources[src].pop_front();
-                        pending -= 1;
-                        if vc0 > 0 {
-                            dateline_promotions += 1;
-                        }
-                        queues[chan].push_back(Packet {
-                            dst,
-                            offered_cycle: offer_cycle(index),
-                            hops: 0,
-                            vc: vc0,
-                        });
-                        bump(&self.counts, chan, 1);
-                        peak[chan] = peak[chan].max(queues[chan].len() as u32);
-                        in_network += 1;
-                        injected += 1;
-                        class_injected[class] += 1;
-                        activity += 1;
-                    } else {
-                        match self.config.policy {
-                            ContentionPolicy::TailDrop => {
-                                sources[src].pop_front();
-                                pending -= 1;
-                                injected += 1;
-                                dropped_full += 1;
-                                class_injected[class] += 1;
-                                class_dropped[class] += 1;
-                                activity += 1;
-                            }
-                            ContentionPolicy::Backpressure => {
-                                // This source stalls; the others go on.
-                                source_stall_cycles += 1;
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-
-            // --- drain phase -----------------------------------------
-            // Every link moves up to `wavelengths` packets off its VC
-            // FIFO heads, one per class per round so no class hogs the
-            // channels; a blocked head blocks only its own class.
-            // Moves land in `staged` and join the target FIFO only
-            // after the phase, so no packet rides two links in one
-            // cycle; occupancy counts update live so adaptive routing
-            // sees the queues as they shift. Both starting offsets —
-            // which link drains first and which class within it —
-            // rotate each cycle, so under contention every link gets
-            // the same long-run first claim on downstream buffer
-            // space (a fixed order starves high-index links).
-            let link_start = if arcs == 0 { 0 } else { cycle as usize % arcs };
-            let vc_start = cycle as usize % vcs;
-            for step in 0..arcs {
-                let arc = (link_start + step) % arcs;
-                let arrive_at = self.g.arc_target(arc) as u64;
-                let mut budget = wavelengths;
-                vc_blocked.fill(false);
-                'link: loop {
-                    let mut progressed = false;
-                    for offset in 0..vcs {
-                        if budget == 0 {
-                            break 'link;
-                        }
-                        let vc = (vc_start + offset) % vcs;
-                        if vc_blocked[vc] {
-                            continue;
-                        }
-                        let chan = arc * vcs + vc;
-                        let Some(&head) = queues[chan].front() else {
-                            vc_blocked[vc] = true;
-                            continue;
-                        };
-                        let hops_after = head.hops + 1;
-                        if head.dst == arrive_at {
-                            queues[chan].pop_front();
-                            bump(&self.counts, chan, -1);
-                            in_network -= 1;
-                            delivered += 1;
-                            class_delivered[class_of(head.dst)] += 1;
-                            delivered_per_link[arc] += 1;
-                            delivered_hops += hops_after as u64;
-                            max_hops = max_hops.max(hops_after);
-                            // Total time since offer minus one cycle
-                            // per hop = cycles spent waiting (source
-                            // stall plus buffer queueing).
-                            let wait = cycle + 1 - head.offered_cycle - hops_after as u64;
-                            waits.push(wait);
-                            if classified {
-                                class_waits[class_of(head.dst)].push(wait);
-                            }
-                            activity += 1;
-                            budget -= 1;
-                            progressed = true;
-                            continue;
-                        }
-                        if hops_after >= hop_limit {
-                            queues[chan].pop_front();
-                            bump(&self.counts, chan, -1);
-                            in_network -= 1;
-                            dropped_ttl += 1;
-                            class_dropped[class_of(head.dst)] += 1;
-                            activity += 1;
-                            budget -= 1;
-                            progressed = true;
-                            continue;
-                        }
-                        let next_arc = router
-                            .next_hop_on_vc(arrive_at, head.dst, head.vc)
-                            .and_then(|next| self.arc_of(arrive_at, next));
-                        let Some(next_arc) = next_arc else {
-                            queues[chan].pop_front();
-                            bump(&self.counts, chan, -1);
-                            in_network -= 1;
-                            dropped_unroutable += 1;
-                            class_dropped[class_of(head.dst)] += 1;
-                            activity += 1;
-                            budget -= 1;
-                            progressed = true;
-                            continue;
-                        };
-                        let next_vc = dateline.next_class_arc(head.vc, next_arc);
-                        let next_chan = next_arc * vcs + next_vc as usize;
-                        // The one move the class order cannot rank — a
-                        // top-class packet wrapping again — is never
-                        // allowed to block (deep dateline buffers):
-                        // that waiver is what makes the dependency
-                        // graph acyclic outright, so `Backpressure`
-                        // with `vcs ≥ 2` provably cannot reach the
-                        // all-blocked state the deadlock detector
-                        // looks for. Tail-drop never blocks, so it
-                        // neither needs nor gets the valve: its full
-                        // buffers keep dropping.
-                        let has_room =
-                            queues[next_chan].len() + (staged_len[next_chan] as usize) < buffers;
-                        let relief = !has_room
-                            && self.config.policy == ContentionPolicy::Backpressure
-                            && dateline.needs_relief(head.vc, next_arc);
-                        if relief {
-                            dateline_relief += 1;
-                        }
-                        if has_room || relief {
-                            let mut packet = queues[chan].pop_front().expect("head exists");
-                            bump(&self.counts, chan, -1);
-                            packet.hops = hops_after;
-                            if next_vc > packet.vc {
-                                dateline_promotions += 1;
-                            }
-                            packet.vc = next_vc;
-                            staged_len[next_chan] += 1;
-                            bump(&self.counts, next_chan, 1);
-                            staged.push((next_chan, packet));
-                            activity += 1;
-                            budget -= 1;
-                            progressed = true;
-                        } else {
-                            match self.config.policy {
-                                ContentionPolicy::TailDrop => {
-                                    queues[chan].pop_front();
-                                    bump(&self.counts, chan, -1);
-                                    in_network -= 1;
-                                    dropped_full += 1;
-                                    class_dropped[class_of(head.dst)] += 1;
-                                    activity += 1;
-                                    budget -= 1;
-                                    progressed = true;
-                                }
-                                // Head-of-line block — this class only.
-                                ContentionPolicy::Backpressure => vc_blocked[vc] = true,
-                            }
-                        }
-                    }
-                    if !progressed {
-                        break;
-                    }
-                }
-            }
-            for (chan, packet) in staged.drain(..) {
-                queues[chan].push_back(packet);
-                peak[chan] = peak[chan].max(queues[chan].len() as u32);
-            }
-            staged_len.fill(0);
-
-            cycle += 1;
-            if activity == 0 && in_network > 0 {
-                // Packets are buffered but nothing moved, injected or
-                // dropped: every head waits on a full FIFO in a cycle
-                // of full FIFOs. The queue state is static, so no
-                // future cycle can differ — a backpressure deadlock.
-                // (An idle network with activity 0 is just injection
-                // pacing: no packet's credit has accrued yet.)
-                deadlocked = true;
-                break;
-            }
-        }
-
-        let in_flight = in_network;
-        waits.sort_unstable();
-        let wait_mean = |waits: &[u64]| {
-            if waits.is_empty() {
-                0.0
-            } else {
-                waits.iter().sum::<u64>() as f64 / waits.len() as f64
-            }
-        };
-        let wait_mean_cycles = wait_mean(&waits);
-
-        let class_stats = hot_dst.map(|_| {
-            let mut build = |class: usize| {
-                class_waits[class].sort_unstable();
-                let waits = &class_waits[class];
-                ClassStats {
-                    injected: class_injected[class],
-                    delivered: class_delivered[class],
-                    dropped: class_dropped[class],
-                    wait_mean_cycles: wait_mean(waits),
-                    wait_p50_cycles: percentile_u64(waits, 0.50),
-                    wait_p99_cycles: percentile_u64(waits, 0.99),
-                    wait_max_cycles: waits.last().copied().unwrap_or(0),
-                }
-            };
-            ClassBreakdown {
-                hot: build(1),
-                background: build(0),
-            }
-        });
-
-        // Collapse per-channel peaks into the two views the report
-        // carries: deepest FIFO per link, deepest FIFO per class.
-        let peak_occupancy: Vec<u32> = (0..arcs)
-            .map(|arc| (0..vcs).map(|vc| peak[arc * vcs + vc]).max().unwrap_or(0))
-            .collect();
-        let vc_peak_occupancy: Vec<u32> = (0..vcs)
-            .map(|vc| (0..arcs).map(|arc| peak[arc * vcs + vc]).max().unwrap_or(0))
-            .collect();
-
-        QueueingReport {
-            router: router.name(),
-            offered_per_cycle,
-            cycles: cycle,
-            injected,
-            delivered,
-            dropped_full,
-            dropped_unroutable,
-            dropped_ttl,
-            in_flight,
-            deadlocked,
-            vcs,
-            dateline_promotions,
-            dateline_relief,
-            source_stall_cycles,
-            delivered_hops,
-            max_hops,
-            wait_mean_cycles,
-            wait_p50_cycles: percentile_u64(&waits, 0.50),
-            wait_p99_cycles: percentile_u64(&waits, 0.99),
-            wait_max_cycles: waits.last().copied().unwrap_or(0),
-            max_peak_occupancy: peak_occupancy.iter().copied().max().unwrap_or(0),
-            peak_occupancy,
-            vc_peak_occupancy,
-            delivered_per_link,
-            class_stats,
-        }
+        run::execute(self, router, workload, offered_per_cycle, hot_dst)
     }
 
     /// Sweep offered load (packets per **node** per cycle) and measure
@@ -1046,14 +677,15 @@ mod tests {
 
     #[test]
     fn ttl_bounds_a_looping_packet() {
-        // A blind router that always forwards around C_4 while the
-        // packet's destination id exists nowhere on its walk: the hop
-        // budget must retire it (as dropped_ttl, conserving packets)
-        // instead of simulating forever.
+        // A blind router that always forwards around the 0→1→2→3→0
+        // ring of a 5-node fabric while the packet's destination
+        // (node 4, on-fabric but never on the walk) is unreachable by
+        // it: the hop budget must retire the packet (as dropped_ttl,
+        // conserving packets) instead of simulating forever.
         struct Forward;
         impl Router for Forward {
             fn node_count(&self) -> u64 {
-                4
+                5
             }
             fn name(&self) -> String {
                 "forward".into()
@@ -1063,15 +695,29 @@ mod tests {
             }
         }
         let engine = QueueingEngine::new(
-            cycle(4),
+            Digraph::from_fn(5, |u| [(u + 1) % 4]),
             QueueConfig {
                 hop_limit: Some(6),
                 ..QueueConfig::default()
             },
         );
-        let report = engine.run(&Forward, &[(1, 7)], 1.0);
+        let report = engine.run(&Forward, &[(1, 4)], 1.0);
         assert_eq!(report.dropped_ttl, 1);
         assert_eq!(report.delivered, 0);
+        assert!(report.conserves_packets());
+    }
+
+    #[test]
+    fn off_fabric_destinations_drop_before_reaching_the_router() {
+        // A router that would panic on a nonexistent destination must
+        // never see one: the engine retires off-fabric-destination
+        // packets as unroutable at injection.
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, QueueConfig::default());
+        let report = engine.run(&router, &[(0, 4), (0, u64::MAX), (0, 2)], 3.0);
+        assert_eq!(report.dropped_unroutable, 2);
+        assert_eq!(report.delivered, 1);
         assert!(report.conserves_packets());
     }
 
@@ -1130,5 +776,93 @@ mod tests {
         // sweep cannot (drops or stretched runs).
         let first = &sweep.points[0];
         assert!(first.delivered_per_node >= first.offered_per_node * 0.8);
+    }
+
+    #[test]
+    fn drain_threads_do_not_change_any_report() {
+        // The determinism contract on a contended, multi-VC,
+        // backpressured hotspot-ish scenario: byte-identical reports
+        // at 1, 2 and 8 drain threads. (The broader randomized pin
+        // lives in optics/tests/queueing.rs.)
+        let workload: Vec<(u64, u64)> = (0..600)
+            .map(|i| ((i * 7) % 16, (i * 13 + 3) % 16))
+            .collect();
+        let run_with = |threads: usize| {
+            let g = Digraph::from_fn(16, |u| [(2 * u) % 16, (2 * u + 1) % 16]);
+            let router = RoutingTable::new(&g);
+            let engine = QueueingEngine::new(
+                g,
+                QueueConfig {
+                    vcs: 2,
+                    drain_threads: threads,
+                    ..config(2, 1, ContentionPolicy::Backpressure)
+                },
+            );
+            let report = engine.run_classified(&router, &workload, 8.0, Some(3));
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        let single = run_with(1);
+        assert_eq!(single, run_with(2), "2 threads changed the report");
+        assert_eq!(single, run_with(8), "8 threads changed the report");
+    }
+
+    #[test]
+    fn hop_cache_matches_fresh_queries() {
+        // A stateless router with a query counter: the cached engine
+        // must answer identically to an uncachable twin while asking
+        // the router far less under backpressure (blocked heads re-ask
+        // every cycle without the cache).
+        use std::sync::atomic::AtomicUsize;
+        struct Counting<R: Router> {
+            inner: R,
+            queries: AtomicUsize,
+            stateless: bool,
+        }
+        impl<R: Router> Router for Counting<R> {
+            fn node_count(&self) -> u64 {
+                self.inner.node_count()
+            }
+            fn name(&self) -> String {
+                self.inner.name()
+            }
+            fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+                self.queries.fetch_add(1, Ordering::Relaxed);
+                self.inner.next_hop(current, dst)
+            }
+            fn hops_are_stateless(&self) -> bool {
+                self.stateless
+            }
+        }
+        let workload: Vec<(u64, u64)> = (0..300).map(|i| (i % 8, (i + 5) % 8)).collect();
+        let run_with = |stateless: bool| {
+            let g = cycle(8);
+            let router = Counting {
+                inner: RoutingTable::new(&g),
+                queries: AtomicUsize::new(0),
+                stateless,
+            };
+            // Two dateline classes keep the saturated backpressure run
+            // lossless (vcs = 1 would wedge in a few cycles and leave
+            // nothing to cache).
+            let engine = QueueingEngine::new(
+                g,
+                QueueConfig {
+                    vcs: 2,
+                    ..config(2, 1, ContentionPolicy::Backpressure)
+                },
+            );
+            let report = engine.run(&router, &workload, 8.0);
+            (
+                serde_json::to_string(&report).expect("serializes"),
+                router.queries.load(Ordering::Relaxed),
+            )
+        };
+        let (cached_report, cached_queries) = run_with(true);
+        let (fresh_report, fresh_queries) = run_with(false);
+        assert_eq!(cached_report, fresh_report, "caching changed the physics");
+        assert!(
+            cached_queries * 2 < fresh_queries,
+            "cache saved too little: {cached_queries} vs {fresh_queries} queries"
+        );
     }
 }

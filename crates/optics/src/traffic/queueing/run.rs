@@ -1,0 +1,1018 @@
+//! The cycle loop: injection, sharded drain, apply — the engine's hot
+//! path, rebuilt for scale.
+//!
+//! # Cycle anatomy
+//!
+//! 1. **Injection** (sequential): each source with accrued credit
+//!    offers its queue head into its first-hop channel, rotating the
+//!    starting source. Pushes commit immediately.
+//! 2. **Drain** (sharded): every *node* with any occupied inbound
+//!    channel drains its in-arcs — up to `wavelengths` packets per
+//!    arc, round-robin over VC classes, both starting offsets rotating
+//!    per cycle. Moves are staged; pops are batched. Workers own
+//!    disjoint node ranges, and because every buffer a node's drain
+//!    writes belongs to that node's *own* out-arcs, ownership is
+//!    disjoint by construction — no locks, no CAS loops in the loop.
+//! 3. **Apply** (sequential): batched pop counts commit, emptied nodes
+//!    leave the worklist, staged arrivals join their FIFOs (per-channel
+//!    arrival order is the source node's drain order, so it cannot
+//!    depend on the worker layout), stats merge in worker order.
+//!
+//! # Boundary credits — the determinism contract
+//!
+//! A room check reads `len + staged_len`: the occupancy committed at
+//! the last apply plus this cycle's staged arrivals. Pops made *this*
+//! cycle are not visible, so a slot freed in cycle `t` is claimable in
+//! cycle `t + 1`. The pre-arena engine let later-scanned links see
+//! earlier pops, which made outcomes depend on scan order — harmless
+//! sequentially, fatal for deterministic parallelism. With boundary
+//! credits, a cycle's outcome is a pure function of its start state,
+//! so the drain may be sharded any way at all: the report is
+//! byte-identical at 1, 2, or 8 threads (pinned by proptest).
+//! Deliveries, drops and relief moves never need room, so progress
+//! (and deadlock detection) is unaffected. Two arbitration tie-breaks
+//! are thereby *re-specified* relative to the reference engine: a
+//! slot freed this cycle is claimable next cycle (not later in the
+//! same scan), and same-cycle arrivals into one FIFO land in the
+//! staging node's drain order (not the global scan order) — both
+//! deterministic, neither observable except as ±1-cycle shifts in
+//! individual waits under contention.
+//!
+//! # The worklist
+//!
+//! `active` is a dense bitset over nodes with `node_pending[v] > 0`
+//! (packets sitting in v's inbound channels). Injection and apply set
+//! bits as they push; a drain that empties a node queues it for a
+//! clear at the next apply. An idle region of the fabric costs one
+//! word load per 64 nodes per cycle — nothing — which is what makes
+//! sparse and hotspot workloads cheap on `B(2,16)`'s 131072 links.
+//!
+//! # Stateless-router hop caching
+//!
+//! Under saturation most drain attempts re-ask the router the exact
+//! question it answered last cycle (the head hasn't moved). When
+//! [`Router::hops_are_stateless`] holds, the computed next arc is
+//! cached in the packet and invalidated on movement, so a blocked head
+//! costs a word load, not a routing query. Adaptive routers opt out
+//! and are re-queried every attempt, reading congestion as of the last
+//! phase boundary — stable within a cycle, hence still deterministic.
+
+use super::arena::{ArenaAllocator, ChannelQueues, PacketArena, NONE};
+use super::{arc_of, ContentionPolicy, QueueingEngine};
+use crate::traffic::report::{percentile_u64, ClassBreakdown, ClassStats, QueueingReport};
+use otis_core::{Dateline, Router};
+use otis_digraph::Digraph;
+use otis_util::DenseBitset;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::{Barrier, Mutex};
+
+/// Everything a drain worker may touch: immutable context plus shared
+/// slabs whose writes are disjoint by node ownership (each channel's
+/// pops belong to the worker owning the channel's *target* node; each
+/// channel's `staged_len` to the worker owning its *source* node —
+/// which is the same worker that stages into it).
+struct SharedRun<'a> {
+    g: &'a Digraph,
+    router: &'a dyn Router,
+    dateline: &'a Dateline,
+    /// Reverse CSR: `in_arcs[in_offsets[v]..in_offsets[v + 1]]` are
+    /// the arc ids targeting `v`, ascending.
+    in_offsets: &'a [u32],
+    in_arcs: &'a [u32],
+    vcs: usize,
+    buffers: u32,
+    wavelengths: usize,
+    policy: ContentionPolicy,
+    hop_limit: u32,
+    /// Router promised pure hops — enable the per-packet cache.
+    stateless: bool,
+    hot_dst: Option<u64>,
+    classified: bool,
+    arena: &'a PacketArena,
+    queues: &'a ChannelQueues,
+    /// Inbound channels of `v` that are *ready*: nonempty and not
+    /// parked. The worklist counts these, not raw packets — a parked
+    /// channel costs nothing until its blocker commits a pop.
+    node_ready: &'a [AtomicU32],
+    /// The worklist: nodes with `node_ready > 0`.
+    active: &'a DenseBitset,
+    /// 1 iff the channel's head is blocked on a full downstream FIFO
+    /// under a *stateless* router. Under boundary credits room can
+    /// only reappear when the blocker commits a pop, so a parked
+    /// channel is simply skipped until that pop wakes it — the
+    /// event-driven half of the worklist. (Adaptive routers may pick
+    /// a different candidate each cycle, so they never park.)
+    parked: &'a [AtomicU32],
+    /// Intrusive single-linked waiter lists: `waiter_head[c]` is the
+    /// first channel parked on `c`'s room, threaded through
+    /// `waiter_link`. Written only by the owner of `c`'s source node
+    /// (every channel that can block on `c` drains at that same
+    /// node); drained by the apply step on each committed pop.
+    waiter_head: &'a [AtomicU32],
+    waiter_link: &'a [AtomicU32],
+    delivered_per_link: &'a [AtomicU64],
+    /// The engine's occupancy scoreboard (what adaptive routers read);
+    /// updated only at phase boundaries, hence cycle-stable.
+    counts: &'a [AtomicU32],
+    cycle: AtomicU64,
+    done: AtomicBool,
+}
+
+/// Per-worker buffers, reused across cycles. Handed to the apply step
+/// through a mutex that is only ever contended at phase boundaries.
+struct WorkerScratch {
+    /// Staged arrivals `(channel, packet)`, in drain order.
+    staged: Vec<(u32, u32)>,
+    /// Batched pop counts `(channel, count)`.
+    pops: Vec<(u32, u32)>,
+    /// Departed packet ids (delivered or dropped), for recycling.
+    freed: Vec<u32>,
+    /// Nodes whose pending count hit zero.
+    emptied: Vec<u32>,
+    waits: Vec<u64>,
+    class_waits: [Vec<u64>; 2],
+    vc_blocked: Vec<bool>,
+    vc_pops: Vec<u32>,
+    stats: DrainStats,
+}
+
+impl WorkerScratch {
+    fn new(vcs: usize) -> Self {
+        WorkerScratch {
+            staged: Vec::new(),
+            pops: Vec::new(),
+            freed: Vec::new(),
+            emptied: Vec::new(),
+            waits: Vec::new(),
+            class_waits: [Vec::new(), Vec::new()],
+            vc_blocked: vec![false; vcs],
+            vc_pops: vec![0; vcs],
+            stats: DrainStats::default(),
+        }
+    }
+}
+
+/// One drain phase's counter deltas, merged (and reset) at apply.
+#[derive(Default)]
+struct DrainStats {
+    activity: usize,
+    delivered: usize,
+    /// Packets that left the network (delivered + dropped).
+    departed: usize,
+    dropped_full: usize,
+    dropped_unroutable: usize,
+    dropped_ttl: usize,
+    delivered_hops: u64,
+    max_hops: u32,
+    promotions: u64,
+    relief: u64,
+    class_delivered: [usize; 2],
+    class_dropped: [usize; 2],
+}
+
+/// Main-thread run accumulators.
+struct MainState {
+    peak: Vec<u32>,
+    sources: Vec<VecDeque<usize>>,
+    source_ids: Vec<usize>,
+    /// Stateless-router injection cache: the workload index each
+    /// source's cached first-hop arc was computed for, and that arc.
+    /// A backpressured source re-offers the same head every cycle it
+    /// stalls; this makes the re-offer a compare, not a router query.
+    inject_cached_for: Vec<usize>,
+    inject_cached_arc: Vec<u32>,
+    /// Stateless-router source parking: the cycle each source stalled
+    /// and parked (`u64::MAX` = not parked). A parked source is
+    /// skipped by the injection scan until its first-hop channel
+    /// commits a pop; the skipped stall cycles are settled in bulk at
+    /// wake (and at run end), so the counter reads exactly as if the
+    /// source had been re-scanned every cycle.
+    source_parked_at: Vec<u64>,
+    /// Intrusive per-channel lists of parked sources, main-owned
+    /// (sources park during injection and wake during apply — both
+    /// sequential phases).
+    source_waiter_head: Vec<u32>,
+    source_waiter_link: Vec<u32>,
+    pending: usize,
+    in_network: usize,
+    injected: usize,
+    delivered: usize,
+    dropped_full: usize,
+    dropped_unroutable: usize,
+    dropped_ttl: usize,
+    delivered_hops: u64,
+    max_hops: u32,
+    waits: Vec<u64>,
+    class_injected: [usize; 2],
+    class_delivered: [usize; 2],
+    class_dropped: [usize; 2],
+    class_waits: [Vec<u64>; 2],
+    dateline_promotions: u64,
+    dateline_relief: u64,
+    source_stall_cycles: u64,
+    deadlocked: bool,
+    cycle: u64,
+}
+
+/// How many drain workers a run uses: an explicit
+/// `QueueConfig::drain_threads`, else 1 below 4096 nodes (sharding
+/// overhead beats the win on small fabrics) and the hardware
+/// parallelism, capped at 8, above.
+pub(super) fn resolve_threads(drain_threads: usize, n: usize) -> usize {
+    let threads = if drain_threads > 0 {
+        drain_threads
+    } else if n < 4096 {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(8)
+    };
+    threads.clamp(1, n.max(1))
+}
+
+pub(super) fn execute(
+    engine: &QueueingEngine,
+    router: &dyn Router,
+    workload: &[(u64, u64)],
+    offered_per_cycle: f64,
+    hot_dst: Option<u64>,
+) -> QueueingReport {
+    assert!(
+        offered_per_cycle > 0.0,
+        "offered load must be positive, got {offered_per_cycle}"
+    );
+    let g = engine.digraph();
+    let n = g.node_count() as u64;
+    assert_eq!(
+        router.node_count(),
+        n,
+        "router covers {} nodes but the fabric has {n}",
+        router.node_count()
+    );
+    let config = *engine.config();
+    let arcs = g.arc_count();
+    let vcs = config.vcs;
+    let channels = arcs * vcs;
+    let hop_limit = config.hop_limit.unwrap_or_else(|| (2 * n).max(64) as u32);
+    let threads = resolve_threads(config.drain_threads, n as usize);
+
+    let counts = engine.counts();
+    for count in counts.iter() {
+        count.store(0, Relaxed);
+    }
+
+    let arena = PacketArena::with_capacity(workload.len());
+    let mut allocator = ArenaAllocator::new(workload.len());
+    let queues = ChannelQueues::new(channels);
+    let node_ready: Vec<AtomicU32> = (0..n as usize).map(|_| AtomicU32::new(0)).collect();
+    let active = DenseBitset::new(n as usize);
+    let zeros = |len: usize| -> Vec<AtomicU32> { (0..len).map(|_| AtomicU32::new(0)).collect() };
+    let parked = zeros(channels);
+    let waiter_head: Vec<AtomicU32> = (0..channels).map(|_| AtomicU32::new(NONE)).collect();
+    let waiter_link: Vec<AtomicU32> = (0..channels).map(|_| AtomicU32::new(NONE)).collect();
+    let delivered_per_link: Vec<AtomicU64> = (0..arcs).map(|_| AtomicU64::new(0)).collect();
+
+    let shared = SharedRun {
+        g,
+        router,
+        dateline: engine.dateline_ref(),
+        in_offsets: engine.in_offsets(),
+        in_arcs: engine.in_arcs(),
+        vcs,
+        buffers: config.buffers as u32,
+        wavelengths: config.wavelengths,
+        policy: config.policy,
+        hop_limit,
+        stateless: router.hops_are_stateless(),
+        hot_dst,
+        classified: hot_dst.is_some(),
+        arena: &arena,
+        queues: &queues,
+        node_ready: &node_ready,
+        active: &active,
+        parked: &parked,
+        waiter_head: &waiter_head,
+        waiter_link: &waiter_link,
+        delivered_per_link: &delivered_per_link,
+        counts,
+        cycle: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+    };
+
+    // Per-source injection queues, workload order within each source.
+    let mut sources: Vec<VecDeque<usize>> = vec![VecDeque::new(); n as usize];
+    for (index, &(src, _)) in workload.iter().enumerate() {
+        assert!(
+            src < n,
+            "workload source {src} is not a fabric node (fabric has {n})"
+        );
+        sources[src as usize].push_back(index);
+    }
+    let source_ids: Vec<usize> = (0..n as usize)
+        .filter(|&src| !sources[src].is_empty())
+        .collect();
+
+    let mut main = MainState {
+        peak: vec![0u32; channels],
+        sources,
+        source_ids,
+        inject_cached_for: vec![usize::MAX; n as usize],
+        inject_cached_arc: vec![0u32; n as usize],
+        source_parked_at: vec![u64::MAX; n as usize],
+        source_waiter_head: vec![NONE; channels],
+        source_waiter_link: vec![NONE; n as usize],
+        pending: workload.len(),
+        in_network: 0,
+        injected: 0,
+        delivered: 0,
+        dropped_full: 0,
+        dropped_unroutable: 0,
+        dropped_ttl: 0,
+        delivered_hops: 0,
+        max_hops: 0,
+        waits: Vec::with_capacity(workload.len()),
+        class_injected: [0; 2],
+        class_delivered: [0; 2],
+        class_dropped: [0; 2],
+        class_waits: [Vec::new(), Vec::new()],
+        dateline_promotions: 0,
+        dateline_relief: 0,
+        source_stall_cycles: 0,
+        deadlocked: false,
+        cycle: 0,
+    };
+
+    let scratches: Vec<Mutex<WorkerScratch>> = (0..threads)
+        .map(|_| Mutex::new(WorkerScratch::new(vcs)))
+        .collect();
+    // Contiguous node shards: worker w owns [w·n/T, (w+1)·n/T).
+    let shard = |w: usize| -> std::ops::Range<usize> {
+        let lo = (n as usize * w) / threads;
+        let hi = (n as usize * (w + 1)) / threads;
+        lo..hi
+    };
+    let barrier = Barrier::new(threads);
+
+    std::thread::scope(|scope| {
+        for (w, scratch) in scratches.iter().enumerate().skip(1) {
+            let shared = &shared;
+            let barrier = &barrier;
+            let range = shard(w);
+            scope.spawn(move || loop {
+                barrier.wait();
+                if shared.done.load(Relaxed) {
+                    break;
+                }
+                let cycle = shared.cycle.load(Relaxed);
+                let mut ws = scratch.lock().expect("drain scratch");
+                drain_range(shared, range.clone(), cycle, &mut ws);
+                drop(ws);
+                barrier.wait();
+            });
+        }
+        loop {
+            let horizon = main.cycle >= config.max_cycles;
+            if (main.pending == 0 && main.in_network == 0) || horizon || main.deadlocked {
+                shared.done.store(true, Relaxed);
+                barrier.wait();
+                break;
+            }
+            let mut activity = inject(
+                &shared,
+                &mut main,
+                &mut allocator,
+                workload,
+                offered_per_cycle,
+            );
+            shared.cycle.store(main.cycle, Relaxed);
+            barrier.wait();
+            {
+                let mut ws = scratches[0].lock().expect("drain scratch");
+                drain_range(&shared, shard(0), main.cycle, &mut ws);
+            }
+            barrier.wait();
+            activity += apply(&shared, &mut main, &mut allocator, &scratches);
+            main.cycle += 1;
+            if activity == 0 && main.in_network > 0 {
+                // Packets are buffered but nothing moved, injected or
+                // dropped: every head waits on a full FIFO in a cycle
+                // of full FIFOs. With boundary credits the queue state
+                // is a pure function of itself, so no future cycle can
+                // differ — a backpressure deadlock. (An idle network
+                // with activity 0 is just injection pacing.)
+                main.deadlocked = true;
+            }
+        }
+    });
+
+    // Arena conservation: every slot handed out is either recycled
+    // (delivered/dropped) or still queued (in flight).
+    assert_eq!(
+        allocator.live(),
+        main.in_network,
+        "arena leak: {} live slots vs {} in-flight packets",
+        allocator.live(),
+        main.in_network
+    );
+
+    // Sources still parked at the end: the scan would have re-stalled
+    // them in every executed cycle after they parked — settle the
+    // counter so it reads identically to the unparked path.
+    if main.cycle > 0 {
+        for &parked_at in &main.source_parked_at {
+            if parked_at != u64::MAX {
+                main.source_stall_cycles += (main.cycle - 1) - parked_at;
+            }
+        }
+    }
+
+    finish(
+        &mut main,
+        &delivered_per_link,
+        arcs,
+        vcs,
+        router,
+        offered_per_cycle,
+        hot_dst,
+    )
+}
+
+/// The injection phase: rotate over sources with pending traffic,
+/// admitting each source's eligible queue head(s). Returns the phase's
+/// activity count.
+fn inject(
+    shared: &SharedRun,
+    main: &mut MainState,
+    allocator: &mut ArenaAllocator,
+    workload: &[(u64, u64)],
+    offered_per_cycle: f64,
+) -> usize {
+    // Cycle the `i`-th packet's injection credit accrues: credits
+    // issued through cycle `c` total `(c+1)·offered`, so packet `i` is
+    // covered once that reaches `i+1`. Without stalls this is exactly
+    // the injection cycle.
+    let offer_cycle =
+        |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
+    let cycle = main.cycle;
+    let mut activity = 0usize;
+    let scan_count = if main.pending == 0 {
+        0
+    } else {
+        main.source_ids.len()
+    };
+    let source_start = if main.source_ids.is_empty() {
+        0
+    } else {
+        cycle as usize % main.source_ids.len()
+    };
+    for scan in 0..scan_count {
+        let src = main.source_ids[(source_start + scan) % main.source_ids.len()];
+        if main.source_parked_at[src] != u64::MAX {
+            // Still blocked on a full first-hop FIFO; its wake-up is
+            // event-driven (the blocker's next committed pop).
+            continue;
+        }
+        while let Some(&index) = main.sources[src].front() {
+            if offer_cycle(index) > cycle {
+                // Not offered yet — and queues hold workload order, so
+                // nothing behind it is either.
+                break;
+            }
+            let (_, dst) = workload[index];
+            let class = usize::from(shared.hot_dst == Some(dst));
+            if src as u64 == dst {
+                // Delivered without entering the network (any
+                // source-stall time still counts as waiting).
+                main.sources[src].pop_front();
+                main.pending -= 1;
+                main.injected += 1;
+                main.delivered += 1;
+                main.class_injected[class] += 1;
+                main.class_delivered[class] += 1;
+                let wait = cycle - offer_cycle(index);
+                main.waits.push(wait);
+                if shared.classified {
+                    main.class_waits[class].push(wait);
+                }
+                activity += 1;
+                continue;
+            }
+            // An off-fabric destination is unroutable by definition
+            // — dropped here, before any router can be asked about a
+            // node that does not exist (dense tables index out of
+            // bounds, compressed ones would have to invent answers).
+            let arc = if dst >= shared.g.node_count() as u64 {
+                None
+            } else if shared.stateless && main.inject_cached_for[src] == index {
+                Some(main.inject_cached_arc[src] as usize)
+            } else {
+                let computed = shared
+                    .router
+                    .next_hop_on_vc(src as u64, dst, 0)
+                    .and_then(|next| arc_of(shared.g, src as u64, next));
+                if let (true, Some(found)) = (shared.stateless, computed) {
+                    main.inject_cached_for[src] = index;
+                    main.inject_cached_arc[src] = found as u32;
+                }
+                computed
+            };
+            let Some(arc) = arc else {
+                // No route (or the router proposed a non-neighbor).
+                main.sources[src].pop_front();
+                main.pending -= 1;
+                main.injected += 1;
+                main.dropped_unroutable += 1;
+                main.class_injected[class] += 1;
+                main.class_dropped[class] += 1;
+                activity += 1;
+                continue;
+            };
+            // A packet starts at class 0 and, like any other hop, is
+            // promoted if its very first arc crosses the dateline — so
+            // the class it joins is exactly the one a dateline-aware
+            // adaptive scorer charged for this hop.
+            let vc0 = shared.dateline.next_class_arc(0, arc);
+            let chan = arc * shared.vcs + vc0 as usize;
+            if shared.queues.len[chan].load(Relaxed) < shared.buffers {
+                main.sources[src].pop_front();
+                main.pending -= 1;
+                if vc0 > 0 {
+                    main.dateline_promotions += 1;
+                }
+                let id = allocator.claim();
+                shared.arena.init(id, dst as u32, offer_cycle(index), vc0);
+                push_packet(shared, &mut main.peak, chan, id);
+                main.in_network += 1;
+                main.injected += 1;
+                main.class_injected[class] += 1;
+                activity += 1;
+            } else {
+                match shared.policy {
+                    ContentionPolicy::TailDrop => {
+                        main.sources[src].pop_front();
+                        main.pending -= 1;
+                        main.injected += 1;
+                        main.dropped_full += 1;
+                        main.class_injected[class] += 1;
+                        main.class_dropped[class] += 1;
+                        activity += 1;
+                    }
+                    ContentionPolicy::Backpressure => {
+                        // This source stalls; the others go on. With a
+                        // stateless router the blocking channel is
+                        // fixed, so park the source until that channel
+                        // commits a pop instead of re-scanning it
+                        // every cycle (the skipped stalls are settled
+                        // at wake time).
+                        main.source_stall_cycles += 1;
+                        if shared.stateless {
+                            main.source_parked_at[src] = cycle;
+                            main.source_waiter_link[src] = main.source_waiter_head[chan];
+                            main.source_waiter_head[chan] = src as u32;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    activity
+}
+
+/// Commit a push: thread the FIFO, bump committed occupancy, publish
+/// to the congestion scoreboard, track the peak, and — when the
+/// channel just became nonempty — activate the downstream node's
+/// worklist bit. (A parked channel is never empty, so `len == 0`
+/// implies unparked.) Sequential phases only.
+fn push_packet(shared: &SharedRun, peak: &mut [u32], chan: usize, id: u32) {
+    let len = shared.queues.push(chan, id, &shared.arena.link);
+    if len > peak[chan] {
+        peak[chan] = len;
+    }
+    shared.counts[chan].store(len, Relaxed);
+    if len == 1 {
+        activate(shared, chan);
+    }
+}
+
+/// A channel became ready (first packet, or woken from parking):
+/// count it toward its node and set the node's worklist bit.
+fn activate(shared: &SharedRun, chan: usize) {
+    let node = shared.g.arc_target(chan / shared.vcs) as usize;
+    // Plain load+store: every node_ready word has exactly one writer
+    // per phase (the node's drain owner during drain, the main thread
+    // otherwise), so no lock-prefixed RMW is needed on the hot path.
+    let ready = shared.node_ready[node].load(Relaxed);
+    shared.node_ready[node].store(ready + 1, Relaxed);
+    if ready == 0 {
+        shared.active.insert(node);
+    }
+}
+
+/// Drain every active node in `range` — one worker's shard.
+fn drain_range(
+    shared: &SharedRun,
+    range: std::ops::Range<usize>,
+    cycle: u64,
+    ws: &mut WorkerScratch,
+) {
+    shared.active.for_each_in(range, |node| {
+        if shared.node_ready[node].load(Relaxed) > 0 {
+            drain_node(shared, node, cycle, ws);
+        }
+    });
+}
+
+/// Drain one node's inbound arcs, rotating the starting arc per cycle
+/// so no in-arc persistently wins the node's downstream buffer space.
+fn drain_node(shared: &SharedRun, node: usize, cycle: u64, ws: &mut WorkerScratch) {
+    let lo = shared.in_offsets[node] as usize;
+    let hi = shared.in_offsets[node + 1] as usize;
+    let degree = hi - lo;
+    debug_assert!(degree > 0, "ready channels imply inbound arcs");
+    let rotation = cycle as usize % degree;
+    for step in 0..degree {
+        let arc = shared.in_arcs[lo + (rotation + step) % degree] as usize;
+        drain_arc(shared, arc, node as u64, cycle, ws);
+        if shared.node_ready[node].load(Relaxed) == 0 {
+            break;
+        }
+    }
+    if shared.node_ready[node].load(Relaxed) == 0 {
+        ws.emptied.push(node as u32);
+    }
+}
+
+/// Drain one arc: up to `wavelengths` packets off its VC FIFO heads,
+/// one per class per round (rotating the starting class) so no class
+/// hogs the channels; a blocked head blocks only its own class.
+fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut WorkerScratch) {
+    let vcs = shared.vcs;
+    let vc_start = cycle as usize % vcs;
+    let mut budget = shared.wavelengths;
+    let mut parked_here = 0u32;
+    ws.vc_blocked[..vcs].fill(false);
+    ws.vc_pops[..vcs].fill(0);
+    'link: loop {
+        let mut progressed = false;
+        for offset in 0..vcs {
+            if budget == 0 {
+                break 'link;
+            }
+            let vc = (vc_start + offset) % vcs;
+            if ws.vc_blocked[vc] {
+                continue;
+            }
+            let chan = arc * vcs + vc;
+            if shared.parked[chan].load(Relaxed) != 0 {
+                // Still waiting on its blocker's pop — costs this one
+                // word load, nothing more.
+                ws.vc_blocked[vc] = true;
+                continue;
+            }
+            let head = shared.queues.head[chan].load(Relaxed);
+            if head == NONE {
+                ws.vc_blocked[vc] = true;
+                continue;
+            }
+            let slot = head as usize;
+            let dst = shared.arena.dst[slot].load(Relaxed);
+            let hops_after = shared.arena.hops[slot].load(Relaxed) + 1;
+            if dst as u64 == node {
+                shared.queues.pop_head(chan, head, &shared.arena.link);
+                ws.vc_pops[vc] += 1;
+                ws.freed.push(head);
+                let class = usize::from(shared.hot_dst == Some(dst as u64));
+                ws.stats.delivered += 1;
+                ws.stats.departed += 1;
+                ws.stats.class_delivered[class] += 1;
+                ws.stats.delivered_hops += hops_after as u64;
+                if hops_after > ws.stats.max_hops {
+                    ws.stats.max_hops = hops_after;
+                }
+                let delivered_here = shared.delivered_per_link[arc].load(Relaxed);
+                shared.delivered_per_link[arc].store(delivered_here + 1, Relaxed);
+                // Total time since offer minus one cycle per hop =
+                // cycles spent waiting (source stall plus queueing).
+                let offered = shared.arena.offered[slot].load(Relaxed);
+                let wait = cycle + 1 - offered - hops_after as u64;
+                ws.waits.push(wait);
+                if shared.classified {
+                    ws.class_waits[class].push(wait);
+                }
+                ws.stats.activity += 1;
+                budget -= 1;
+                progressed = true;
+                continue;
+            }
+            if hops_after >= shared.hop_limit {
+                shared.queues.pop_head(chan, head, &shared.arena.link);
+                ws.vc_pops[vc] += 1;
+                ws.freed.push(head);
+                ws.stats.dropped_ttl += 1;
+                ws.stats.departed += 1;
+                ws.stats.class_dropped[usize::from(shared.hot_dst == Some(dst as u64))] += 1;
+                ws.stats.activity += 1;
+                budget -= 1;
+                progressed = true;
+                continue;
+            }
+            let packet_vc = shared.arena.vc[slot].load(Relaxed) as u8;
+            // Stateless routers answer this identically every cycle
+            // the head stays blocked — cache the arc in the packet.
+            let next_arc = if shared.stateless {
+                let cached = shared.arena.cached_next[slot].load(Relaxed);
+                if cached != NONE {
+                    Some(cached as usize)
+                } else {
+                    let computed = shared
+                        .router
+                        .next_hop_on_vc(node, dst as u64, packet_vc)
+                        .and_then(|next| arc_of(shared.g, node, next));
+                    if let Some(found) = computed {
+                        shared.arena.cached_next[slot].store(found as u32, Relaxed);
+                    }
+                    computed
+                }
+            } else {
+                shared
+                    .router
+                    .next_hop_on_vc(node, dst as u64, packet_vc)
+                    .and_then(|next| arc_of(shared.g, node, next))
+            };
+            let Some(next_arc) = next_arc else {
+                shared.queues.pop_head(chan, head, &shared.arena.link);
+                ws.vc_pops[vc] += 1;
+                ws.freed.push(head);
+                ws.stats.dropped_unroutable += 1;
+                ws.stats.departed += 1;
+                ws.stats.class_dropped[usize::from(shared.hot_dst == Some(dst as u64))] += 1;
+                ws.stats.activity += 1;
+                budget -= 1;
+                progressed = true;
+                continue;
+            };
+            let next_vc = shared.dateline.next_class_arc(packet_vc, next_arc);
+            let next_chan = next_arc * vcs + next_vc as usize;
+            // Boundary credits: committed occupancy plus this cycle's
+            // staged arrivals; same-cycle pops become room next cycle.
+            let occupied = shared.queues.len[next_chan].load(Relaxed)
+                + shared.queues.staged_len[next_chan].load(Relaxed);
+            let has_room = occupied < shared.buffers;
+            // The one move the class order cannot rank — a top-class
+            // packet wrapping again — is never allowed to block (deep
+            // dateline buffers): that waiver is what makes the
+            // dependency graph acyclic outright, so `Backpressure`
+            // with `vcs ≥ 2` provably cannot reach the all-blocked
+            // state the deadlock detector looks for. Tail-drop never
+            // blocks, so it neither needs nor gets the valve.
+            let relief = !has_room
+                && shared.policy == ContentionPolicy::Backpressure
+                && shared.dateline.needs_relief(packet_vc, next_arc);
+            if relief {
+                ws.stats.relief += 1;
+            }
+            if has_room || relief {
+                shared.queues.pop_head(chan, head, &shared.arena.link);
+                ws.vc_pops[vc] += 1;
+                shared.arena.hops[slot].store(hops_after, Relaxed);
+                if next_vc > packet_vc {
+                    ws.stats.promotions += 1;
+                }
+                shared.arena.vc[slot].store(next_vc as u32, Relaxed);
+                shared.arena.cached_next[slot].store(NONE, Relaxed);
+                let staged = shared.queues.staged_len[next_chan].load(Relaxed);
+                shared.queues.staged_len[next_chan].store(staged + 1, Relaxed);
+                ws.staged.push((next_chan as u32, head));
+                ws.stats.activity += 1;
+                budget -= 1;
+                progressed = true;
+            } else {
+                match shared.policy {
+                    ContentionPolicy::TailDrop => {
+                        shared.queues.pop_head(chan, head, &shared.arena.link);
+                        ws.vc_pops[vc] += 1;
+                        ws.freed.push(head);
+                        ws.stats.dropped_full += 1;
+                        ws.stats.departed += 1;
+                        ws.stats.class_dropped[usize::from(shared.hot_dst == Some(dst as u64))] +=
+                            1;
+                        ws.stats.activity += 1;
+                        budget -= 1;
+                        progressed = true;
+                    }
+                    // Head-of-line block — this class only. With a
+                    // stateless router the blocker is fixed, and
+                    // under boundary credits its room can only
+                    // reappear through a committed pop — so park the
+                    // channel on the blocker's waiter list and stop
+                    // re-checking it every cycle. (Adaptive routers
+                    // may pick a different candidate next cycle:
+                    // they stay ready and are re-asked.)
+                    ContentionPolicy::Backpressure => {
+                        ws.vc_blocked[vc] = true;
+                        if shared.stateless {
+                            shared.parked[chan].store(1, Relaxed);
+                            let first = shared.waiter_head[next_chan].load(Relaxed);
+                            shared.waiter_link[chan].store(first, Relaxed);
+                            shared.waiter_head[next_chan].store(chan as u32, Relaxed);
+                            parked_here += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Batch this arc's pops (occupancy commits at apply) and settle
+    // the node's ready count now — this worker owns it. A channel
+    // leaves the ready set by emptying or by parking.
+    let mut ready_loss = parked_here;
+    for vc in 0..vcs {
+        let popped = ws.vc_pops[vc];
+        if popped > 0 {
+            let chan = arc * vcs + vc;
+            ws.pops.push((chan as u32, popped));
+            if shared.parked[chan].load(Relaxed) == 0
+                && shared.queues.head[chan].load(Relaxed) == NONE
+            {
+                ready_loss += 1;
+            }
+        }
+    }
+    if ready_loss > 0 {
+        let ready = shared.node_ready[node as usize].load(Relaxed);
+        shared.node_ready[node as usize].store(ready - ready_loss, Relaxed);
+    }
+}
+
+/// The apply step: commit pops, retire emptied nodes from the
+/// worklist, merge stats, recycle departures, then land staged
+/// arrivals. Per-channel arrival order is the staging worker's drain
+/// order (every channel has exactly one staging node), so the outcome
+/// is independent of the worker layout.
+fn apply(
+    shared: &SharedRun,
+    main: &mut MainState,
+    allocator: &mut ArenaAllocator,
+    scratches: &[Mutex<WorkerScratch>],
+) -> usize {
+    let mut activity = 0usize;
+    for cell in scratches {
+        let mut ws = cell.lock().expect("apply scratch");
+        for &(chan, count) in &ws.pops {
+            let chan = chan as usize;
+            let len = shared.queues.len[chan].load(Relaxed) - count;
+            shared.queues.len[chan].store(len, Relaxed);
+            shared.counts[chan].store(len, Relaxed);
+            // A committed pop is the one event that can give this
+            // channel's upstream blockers room: wake every channel —
+            // and every injection source — parked on it. (A waiter
+            // that finds the FIFO full again, refilled by this
+            // cycle's staged arrivals, simply re-parks on its next
+            // attempt.)
+            let mut waiter = shared.waiter_head[chan].load(Relaxed);
+            shared.waiter_head[chan].store(NONE, Relaxed);
+            while waiter != NONE {
+                let next = shared.waiter_link[waiter as usize].load(Relaxed);
+                shared.parked[waiter as usize].store(0, Relaxed);
+                activate(shared, waiter as usize);
+                waiter = next;
+            }
+            let mut source = main.source_waiter_head[chan];
+            main.source_waiter_head[chan] = NONE;
+            while source != NONE {
+                let slot = source as usize;
+                // The cycles the scan skipped would each have counted
+                // one stall: settle them now.
+                main.source_stall_cycles += main.cycle - main.source_parked_at[slot];
+                main.source_parked_at[slot] = u64::MAX;
+                source = std::mem::replace(&mut main.source_waiter_link[slot], NONE);
+            }
+        }
+        ws.pops.clear();
+        for &node in &ws.emptied {
+            // Guarded: a wake processed earlier in this same apply may
+            // have re-readied the node.
+            if shared.node_ready[node as usize].load(Relaxed) == 0 {
+                shared.active.remove(node as usize);
+            }
+        }
+        ws.emptied.clear();
+        let stats = std::mem::take(&mut ws.stats);
+        activity += stats.activity;
+        main.delivered += stats.delivered;
+        main.in_network -= stats.departed;
+        main.dropped_full += stats.dropped_full;
+        main.dropped_unroutable += stats.dropped_unroutable;
+        main.dropped_ttl += stats.dropped_ttl;
+        main.delivered_hops += stats.delivered_hops;
+        main.max_hops = main.max_hops.max(stats.max_hops);
+        main.dateline_promotions += stats.promotions;
+        main.dateline_relief += stats.relief;
+        for class in 0..2 {
+            main.class_delivered[class] += stats.class_delivered[class];
+            main.class_dropped[class] += stats.class_dropped[class];
+        }
+        main.waits.append(&mut ws.waits);
+        for class in 0..2 {
+            main.class_waits[class].append(&mut ws.class_waits[class]);
+        }
+        allocator.release_all(ws.freed.drain(..));
+    }
+    for cell in scratches {
+        let mut ws = cell.lock().expect("apply scratch");
+        for &(chan, id) in &ws.staged {
+            shared.queues.staged_len[chan as usize].store(0, Relaxed);
+            push_packet(shared, &mut main.peak, chan as usize, id);
+        }
+        ws.staged.clear();
+    }
+    activity
+}
+
+/// Fold the accumulators into the report.
+fn finish(
+    main: &mut MainState,
+    delivered_per_link: &[AtomicU64],
+    arcs: usize,
+    vcs: usize,
+    router: &dyn Router,
+    offered_per_cycle: f64,
+    hot_dst: Option<u64>,
+) -> QueueingReport {
+    main.waits.sort_unstable();
+    let wait_mean = |waits: &[u64]| {
+        if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<u64>() as f64 / waits.len() as f64
+        }
+    };
+    let wait_mean_cycles = wait_mean(&main.waits);
+
+    let class_stats = hot_dst.map(|_| {
+        let mut build = |class: usize| {
+            main.class_waits[class].sort_unstable();
+            let waits = &main.class_waits[class];
+            ClassStats {
+                injected: main.class_injected[class],
+                delivered: main.class_delivered[class],
+                dropped: main.class_dropped[class],
+                wait_mean_cycles: wait_mean(waits),
+                wait_p50_cycles: percentile_u64(waits, 0.50),
+                wait_p99_cycles: percentile_u64(waits, 0.99),
+                wait_max_cycles: waits.last().copied().unwrap_or(0),
+            }
+        };
+        ClassBreakdown {
+            hot: build(1),
+            background: build(0),
+        }
+    });
+
+    // Collapse per-channel peaks into the two views the report
+    // carries: deepest FIFO per link, deepest FIFO per class.
+    let peak = &main.peak;
+    let peak_occupancy: Vec<u32> = (0..arcs)
+        .map(|arc| (0..vcs).map(|vc| peak[arc * vcs + vc]).max().unwrap_or(0))
+        .collect();
+    let vc_peak_occupancy: Vec<u32> = (0..vcs)
+        .map(|vc| (0..arcs).map(|arc| peak[arc * vcs + vc]).max().unwrap_or(0))
+        .collect();
+
+    QueueingReport {
+        router: router.name(),
+        offered_per_cycle,
+        cycles: main.cycle,
+        injected: main.injected,
+        delivered: main.delivered,
+        dropped_full: main.dropped_full,
+        dropped_unroutable: main.dropped_unroutable,
+        dropped_ttl: main.dropped_ttl,
+        in_flight: main.in_network,
+        deadlocked: main.deadlocked,
+        vcs,
+        dateline_promotions: main.dateline_promotions,
+        dateline_relief: main.dateline_relief,
+        source_stall_cycles: main.source_stall_cycles,
+        delivered_hops: main.delivered_hops,
+        max_hops: main.max_hops,
+        wait_mean_cycles,
+        wait_p50_cycles: percentile_u64(&main.waits, 0.50),
+        wait_p99_cycles: percentile_u64(&main.waits, 0.99),
+        wait_max_cycles: main.waits.last().copied().unwrap_or(0),
+        max_peak_occupancy: peak_occupancy.iter().copied().max().unwrap_or(0),
+        peak_occupancy,
+        vc_peak_occupancy,
+        delivered_per_link: delivered_per_link
+            .iter()
+            .map(|count| count.load(Relaxed))
+            .collect(),
+        class_stats,
+    }
+}

@@ -12,7 +12,7 @@ use otis_core::{
 };
 use otis_digraph::Digraph;
 use otis_optics::faults::{surviving_digraph, FaultAwareRouter, FaultSet};
-use otis_optics::traffic::{generate_workload, TrafficPattern};
+use otis_optics::traffic::{generate_workload, ReferenceEngine, TrafficPattern};
 use otis_optics::{ContentionPolicy, HDigraph, QueueConfig, QueueingEngine};
 use proptest::prelude::*;
 
@@ -82,6 +82,7 @@ fn config_from(buffers: usize, wavelengths: usize, vcs: usize, tail_drop: bool) 
             ContentionPolicy::Backpressure
         },
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 100_000,
     }
 }
@@ -226,6 +227,7 @@ proptest! {
             vcs,
             policy: ContentionPolicy::Backpressure,
             hop_limit: None,
+            drain_threads: 0,
             max_cycles: 1_000_000,
         };
         let engine = QueueingEngine::from_family(&b, config);
@@ -290,6 +292,7 @@ fn vcs_2_complete_the_b28_hotspot_run_that_deadlocks_at_vcs_1() {
         vcs,
         policy: ContentionPolicy::Backpressure,
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 200_000,
     };
     let offered = 0.5 * n as f64; // ~10× past the oblivious saturation point
@@ -336,6 +339,7 @@ fn backpressure_sweep_sustains_loads_past_the_old_deadlock_point() {
         vcs: 2,
         policy: ContentionPolicy::Backpressure,
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 200_000,
     };
     let engine = QueueingEngine::from_family(&b, config);
@@ -386,6 +390,7 @@ fn drain_rotation_keeps_symmetric_ring_links_fair() {
         vcs: 1,
         policy: ContentionPolicy::TailDrop,
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 1_500,
     };
     let engine = QueueingEngine::new(ring, config);
@@ -423,6 +428,7 @@ fn hotspot_classes_split_the_tree_saturation_story() {
         vcs: 2,
         policy: ContentionPolicy::TailDrop,
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 1_500,
     };
     let engine = QueueingEngine::from_family(&b, config);
@@ -490,6 +496,7 @@ fn adaptive_beats_oblivious_on_saturated_hotspot() {
         vcs: 1,
         policy: ContentionPolicy::Backpressure,
         hop_limit: None,
+        drain_threads: 0,
         // Fixed measurement window: throughput = delivered packets
         // per cycle over the same horizon for both routers.
         max_cycles: 1000,
@@ -541,6 +548,7 @@ fn hotspot_sweep_saturates() {
         vcs: 1,
         policy: ContentionPolicy::TailDrop,
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 800,
     };
     let engine = QueueingEngine::from_family(&b, config);
@@ -590,6 +598,7 @@ fn adaptive_on_faulted_fabric_uses_only_surviving_beams() {
         vcs: 2,
         policy: ContentionPolicy::TailDrop,
         hop_limit: None,
+        drain_threads: 0,
         max_cycles: 100_000,
     };
     let engine = QueueingEngine::new(survivors, config);
@@ -603,4 +612,187 @@ fn adaptive_on_faulted_fabric_uses_only_surviving_beams() {
         "a strongly connected survivor digraph routes every pair"
     );
     assert!(report.delivered > 0);
+}
+
+// --- PR 4: arena + worklist + parallel drain pins ---------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole determinism contract: identical seed and config
+    /// yield a byte-identical `QueueingReport` at 1, 2 and 8 drain
+    /// threads — oblivious and adaptive, tail-drop and backpressure,
+    /// across VC counts. Sharding is by downstream-node ownership over
+    /// phase-stable state, so the thread count may only change wall
+    /// clock, never a single report byte.
+    #[test]
+    fn drain_thread_count_never_changes_the_report(
+        dim in 3u32..6,
+        buffers in 1usize..6,
+        vcs in 1usize..3,
+        tail_drop in any::<bool>(),
+        adaptive in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let b = DeBruijn::new(2, dim);
+        let n = b.node_count();
+        let pattern = TrafficPattern::Hotspot;
+        let workload = generate_workload(pattern, n, 2, 400, seed);
+        let hot = pattern.hot_node(n);
+        let report_at = |threads: usize| {
+            let config = QueueConfig {
+                buffers,
+                wavelengths: 1,
+                vcs,
+                policy: if tail_drop {
+                    ContentionPolicy::TailDrop
+                } else {
+                    ContentionPolicy::Backpressure
+                },
+                hop_limit: None,
+                max_cycles: 50_000,
+                drain_threads: threads,
+            };
+            let engine = QueueingEngine::from_family(&b, config);
+            let report = if adaptive {
+                let router = AdaptiveRouter::new(DeBruijnRouter::new(b), engine.occupancy())
+                    .with_dateline(engine.dateline());
+                engine.run_classified(&router, &workload, 0.5 * n as f64, hot)
+            } else {
+                engine.run_classified(&DeBruijnRouter::new(b), &workload, 0.5 * n as f64, hot)
+            };
+            serde_json::to_string(&report).expect("report serializes")
+        };
+        let single = report_at(1);
+        prop_assert_eq!(&single, &report_at(2), "2 drain threads diverged");
+        prop_assert_eq!(&single, &report_at(8), "8 drain threads diverged");
+    }
+
+    /// Arena recycling under churn: single-slot buffers force constant
+    /// alloc/free turnover (tail-drop) or long blocking chains
+    /// (backpressure + VCs); packets must balance exactly and the
+    /// engine's internal arena-vs-in-flight audit must hold (it
+    /// asserts at the end of every run).
+    #[test]
+    fn arena_recycling_conserves_packets_under_churn(
+        dim in 3u32..6,
+        tail_drop in any::<bool>(),
+        threads in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let b = DeBruijn::new(2, dim);
+        let n = b.node_count();
+        let workload = generate_workload(TrafficPattern::Uniform, n, 2, 2_000, seed);
+        let config = QueueConfig {
+            buffers: 1,
+            wavelengths: 1,
+            vcs: if tail_drop { 1 } else { 2 },
+            policy: if tail_drop {
+                ContentionPolicy::TailDrop
+            } else {
+                ContentionPolicy::Backpressure
+            },
+            hop_limit: None,
+            max_cycles: 500_000,
+            drain_threads: threads,
+        };
+        let engine = QueueingEngine::from_family(&b, config);
+        let report = engine.run(&DeBruijnRouter::new(b), &workload, n as f64);
+        prop_assert!(report.conserves_packets(), "{report:?}");
+        prop_assert_eq!(report.injected, workload.len());
+        prop_assert_eq!(report.in_flight, 0);
+        if !tail_drop {
+            prop_assert_eq!(report.delivered, workload.len(), "backpressure is lossless");
+        }
+    }
+
+    /// The rewritten engine against the frozen pre-arena reference:
+    /// with buffers far deeper than any queue the load builds (no
+    /// full-buffer event can ever fire), every arbitration-insensitive
+    /// quantity must agree exactly — same packets injected, same
+    /// packets delivered over the same routes, zero loss both. The
+    /// fields that *may* shift are the queueing-delay ones: when two
+    /// packets enter one FIFO in the same cycle, the rewrite orders
+    /// them by the staging node's drain order where the old engine
+    /// used its global scan order — a re-specified (still
+    /// deterministic) tie-break, so individual waits can move by a
+    /// cycle while the physics stays put; the means must still agree
+    /// closely.
+    #[test]
+    fn rewrite_matches_reference_engine_when_uncontended(
+        dim in 3u32..6,
+        wavelengths in 1usize..3,
+        vcs in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let b = DeBruijn::new(2, dim);
+        let n = b.node_count();
+        let workload = generate_workload(TrafficPattern::Uniform, n, 2, 300, seed);
+        let config = QueueConfig {
+            buffers: 512, // deeper than 300 packets can ever stack
+            wavelengths,
+            vcs,
+            policy: ContentionPolicy::Backpressure,
+            hop_limit: None,
+            max_cycles: 100_000,
+            drain_threads: 1,
+        };
+        let offered = 0.2 * n as f64;
+        let new_engine = QueueingEngine::from_family(&b, config);
+        let new = new_engine.run(&DeBruijnRouter::new(b), &workload, offered);
+        let reference = ReferenceEngine::from_family(&b, config);
+        let old = reference.run(&DeBruijnRouter::new(b), &workload, offered);
+        prop_assert_eq!(new.injected, old.injected);
+        prop_assert_eq!(new.delivered, old.delivered);
+        prop_assert_eq!(new.delivered, workload.len());
+        prop_assert_eq!(new.dropped(), 0);
+        prop_assert_eq!(old.dropped(), 0);
+        // Oblivious routes are pair-determined, so total hops cannot
+        // depend on the engine.
+        prop_assert_eq!(new.delivered_hops, old.delivered_hops);
+        prop_assert_eq!(new.max_hops, old.max_hops);
+        prop_assert_eq!(new.dateline_promotions, old.dateline_promotions);
+        prop_assert!(!new.deadlocked && !old.deadlocked);
+        prop_assert!(
+            (new.wait_mean_cycles - old.wait_mean_cycles).abs()
+                <= 0.05 + 0.2 * old.wait_mean_cycles,
+            "mean wait drifted: {} vs {}",
+            new.wait_mean_cycles,
+            old.wait_mean_cycles
+        );
+    }
+}
+
+/// The compressed-table router drives the queueing engine at a fabric
+/// size the dense table cannot represent — and behaves exactly like
+/// the arithmetic router it was derived from.
+#[test]
+fn compressed_table_runs_the_queueing_engine_past_the_dense_cap() {
+    let b = DeBruijn::new(2, 14); // 16384 nodes, 2× the dense cap
+    let n = b.node_count();
+    let table = RoutingTable::from_debruijn(&b);
+    assert!(table.is_compressed());
+    let workload = generate_workload(TrafficPattern::Uniform, n, 2, 20_000, 5);
+    let config = QueueConfig {
+        buffers: 8,
+        wavelengths: 1,
+        vcs: 1,
+        policy: ContentionPolicy::TailDrop,
+        hop_limit: None,
+        max_cycles: 100_000,
+        drain_threads: 0,
+    };
+    let engine = QueueingEngine::from_family(&b, config);
+    let table_report = engine.run(&table, &workload, 0.05 * n as f64);
+    assert!(table_report.conserves_packets());
+    assert_eq!(table_report.injected, workload.len());
+    // The arithmetic router must agree on everything but its name:
+    // the compressed runs are its routing function, tabulated.
+    let arithmetic_report = engine.run(&DeBruijnRouter::new(b), &workload, 0.05 * n as f64);
+    let strip = |report: &otis_optics::QueueingReport| {
+        let mut report = report.clone();
+        report.router = String::new();
+        serde_json::to_string(&report).expect("serializes")
+    };
+    assert_eq!(strip(&table_report), strip(&arithmetic_report));
 }

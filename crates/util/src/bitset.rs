@@ -1,0 +1,196 @@
+//! A dense fixed-capacity bitset over `0..len`, word-addressable and
+//! atomically updatable.
+//!
+//! The queueing engine's active-channel worklist needs exactly this
+//! shape: membership flips as buffers fill and drain, the drain phase
+//! iterates the set members of a contiguous index range without paying
+//! for the (overwhelmingly empty) rest, and parallel drain workers
+//! must be able to *read* the set while holding only `&self` — hence
+//! atomic words throughout (`Relaxed`; phase barriers provide the
+//! ordering). Word-at-a-time iteration makes an idle fabric cost
+//! `len / 64` loads per sweep instead of `len` branch-y queue probes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity set of indices `0..len()`, stored one bit each.
+///
+/// All operations take `&self`: mutation goes through atomic
+/// fetch-or/fetch-and, so the set can be shared across threads (with
+/// external synchronization deciding *when* writes become relevant —
+/// the engine only writes between drain phases).
+#[derive(Debug)]
+pub struct DenseBitset {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl DenseBitset {
+    /// The empty set over `0..len`.
+    pub fn new(len: usize) -> Self {
+        DenseBitset {
+            words: (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Capacity (the universe is `0..len()`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no index is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| w.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Insert `index`. Returns true iff it was newly inserted.
+    #[inline]
+    pub fn insert(&self, index: usize) -> bool {
+        debug_assert!(index < self.len);
+        let mask = 1u64 << (index % 64);
+        self.words[index / 64].fetch_or(mask, Ordering::Relaxed) & mask == 0
+    }
+
+    /// Remove `index`. Returns true iff it was present.
+    #[inline]
+    pub fn remove(&self, index: usize) -> bool {
+        debug_assert!(index < self.len);
+        let mask = 1u64 << (index % 64);
+        self.words[index / 64].fetch_and(!mask, Ordering::Relaxed) & mask != 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        debug_assert!(index < self.len);
+        self.words[index / 64].load(Ordering::Relaxed) & (1u64 << (index % 64)) != 0
+    }
+
+    /// Number of set indices.
+    pub fn count(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Remove every index.
+    pub fn clear(&self) {
+        for word in &self.words {
+            word.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Visit every set index in `range`, ascending, word at a time —
+    /// the cost is `range.len() / 64` word loads plus one call per set
+    /// member, so sparse ranges sweep at memory speed.
+    pub fn for_each_in<F: FnMut(usize)>(&self, range: std::ops::Range<usize>, mut f: F) {
+        let start = range.start.min(self.len);
+        let end = range.end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let first_word = start / 64;
+        let last_word = (end - 1) / 64;
+        for wi in first_word..=last_word {
+            let mut word = self.words[wi].load(Ordering::Relaxed);
+            if wi == first_word {
+                word &= !0u64 << (start % 64);
+            }
+            if wi == last_word && !end.is_multiple_of(64) {
+                word &= (1u64 << (end % 64)) - 1;
+            }
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                f(wi * 64 + bit);
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let set = DenseBitset::new(130);
+        assert!(set.is_empty());
+        assert!(set.insert(0));
+        assert!(set.insert(63));
+        assert!(set.insert(64));
+        assert!(set.insert(129));
+        assert!(!set.insert(64), "double insert reports not-fresh");
+        assert_eq!(set.count(), 4);
+        assert!(set.contains(63) && set.contains(64));
+        assert!(!set.contains(1));
+        assert!(set.remove(63));
+        assert!(!set.remove(63), "double remove reports absent");
+        assert_eq!(set.count(), 3);
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.count(), 0);
+    }
+
+    #[test]
+    fn range_iteration_matches_naive() {
+        let set = DenseBitset::new(300);
+        let members = [0usize, 1, 5, 63, 64, 65, 127, 128, 200, 255, 256, 299];
+        for &m in &members {
+            set.insert(m);
+        }
+        for (start, end) in [
+            (0, 300),
+            (0, 64),
+            (63, 65),
+            (64, 256),
+            (100, 100),
+            (256, 300),
+        ] {
+            let mut seen = Vec::new();
+            set.for_each_in(start..end, |i| seen.push(i));
+            let expected: Vec<usize> = members
+                .iter()
+                .copied()
+                .filter(|&m| m >= start && m < end)
+                .collect();
+            assert_eq!(seen, expected, "range {start}..{end}");
+        }
+        // Out-of-capacity ranges clamp instead of panicking.
+        let mut seen = Vec::new();
+        set.for_each_in(250..1000, |i| seen.push(i));
+        assert_eq!(seen, vec![255, 256, 299]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        // &self mutation composes with scoped threads: disjoint halves
+        // inserted concurrently land exactly.
+        let set = DenseBitset::new(1024);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in (0..512).step_by(2) {
+                    set.insert(i);
+                }
+            });
+            scope.spawn(|| {
+                for i in (512..1024).step_by(2) {
+                    set.insert(i);
+                }
+            });
+        });
+        assert_eq!(set.count(), 512);
+        assert!(set.contains(0) && set.contains(1022));
+        assert!(!set.contains(1));
+    }
+
+    #[test]
+    fn empty_universe() {
+        let set = DenseBitset::new(0);
+        assert_eq!(set.len(), 0);
+        assert!(set.is_empty());
+        set.for_each_in(0..10, |_| panic!("nothing to visit"));
+    }
+}

@@ -16,12 +16,16 @@
 //!   word codecs and the OTIS transceiver indexing.
 //! * [`smallvec`] — an inline-first vector for the router layer's
 //!   per-query candidate lists (degree-sized, allocation-free).
+//! * [`bitset`] — a dense word-addressable bitset, the queueing
+//!   engine's active-channel worklist substrate.
 
+pub mod bitset;
 pub mod digits;
 pub mod hash;
 pub mod par;
 pub mod smallvec;
 
+pub use bitset::DenseBitset;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use par::{num_threads, par_for_each_chunk, par_map};
 pub use smallvec::SmallVec;
