@@ -24,7 +24,9 @@
 //! the 8192-node cap.
 
 use otis_core::{DeBruijn, DeBruijnRouter, DigraphFamily, Router, RoutingTable};
-use otis_optics::traffic::{generate_workload, ReferenceEngine, TrafficPattern};
+use otis_optics::traffic::{
+    generate_multicast_workload, generate_workload, ReferenceEngine, TrafficPattern,
+};
 use otis_optics::{ContentionPolicy, QueueConfig, QueueingEngine};
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
@@ -216,7 +218,66 @@ fn run_all() -> BenchFile {
         ));
     }
 
-    // 3. Top of the dense-table range: B(2,12) uniform tail-drop.
+    // 3. The multicast scenario: fanout-8 trees on B(2,8), lossless
+    // backpressure over two dateline VCs — in-fabric replication at
+    // branch nodes, throughput counted in delivered destination
+    // leaves per second.
+    {
+        let b = DeBruijn::new(2, 8);
+        let n = b.node_count();
+        let groups = generate_multicast_workload(
+            TrafficPattern::Multicast { fanout: 8 },
+            n,
+            2,
+            20_000,
+            0x0715,
+        );
+        let config = QueueConfig {
+            buffers: 16,
+            wavelengths: 1,
+            vcs: 2,
+            policy: ContentionPolicy::Backpressure,
+            hop_limit: None,
+            max_cycles: 1_000_000,
+            drain_threads: 0,
+        };
+        let offered = 0.2 * n as f64;
+        let engine = QueueingEngine::from_family(&b, config);
+        let router = DeBruijnRouter::new(b);
+        let (cycles, delivered, dropped, elapsed) = time_run(|| {
+            let report = engine.run_multicast(&router, &groups, offered);
+            assert!(report.conserves_packets(), "multicast conservation broke");
+            (report.cycles, report.delivered, report.dropped())
+        });
+        let processed = delivered + dropped;
+        let result = ScenarioResult {
+            name: "queueing_multicast_B_2_8".to_string(),
+            nodes: n,
+            links: engine.link_count(),
+            packets: processed,
+            cycles,
+            delivered,
+            dropped,
+            elapsed_s: elapsed,
+            pkt_per_s: processed as f64 / elapsed,
+            cycles_per_s: cycles as f64 / elapsed,
+            peak_rss_bytes: peak_rss_bytes(),
+            speedup_vs_reference: None,
+            reference_cycles_per_s: None,
+        };
+        eprintln!(
+            "{}: {} leaves over {} cycles in {:.3}s — {:.0} leaves/s, {:.0} cycles/s",
+            result.name,
+            result.packets,
+            result.cycles,
+            result.elapsed_s,
+            result.pkt_per_s,
+            result.cycles_per_s,
+        );
+        scenarios.push(result);
+    }
+
+    // 4. Top of the dense-table range: B(2,12) uniform tail-drop.
     {
         let b = DeBruijn::new(2, 12);
         let n = b.node_count();
@@ -243,7 +304,7 @@ fn run_all() -> BenchFile {
         ));
     }
 
-    // 4. The million-packet run the dense cap made impossible:
+    // 5. The million-packet run the dense cap made impossible:
     // B(2,14) hotspot through the interval-compressed table.
     {
         let b = DeBruijn::new(2, 14);
@@ -273,7 +334,7 @@ fn run_all() -> BenchFile {
         ));
     }
 
-    // 5. B(2,16) end to end — 65536 nodes, 131072 links.
+    // 6. B(2,16) end to end — 65536 nodes, 131072 links.
     {
         let b = DeBruijn::new(2, 16);
         let n = b.node_count();

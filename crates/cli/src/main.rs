@@ -51,8 +51,16 @@ USAGE:
   otis route <d> <D> <from> <to>       shortest de Bruijn path between words
   otis traffic <d> <D> <pattern> <n>   route n packets of a synthetic pattern
                                        (uniform|permutation|transpose|bitrev|
-                                        hotspot|alltoall) over the lens-minimal
-                                       OTIS fabric of B(d,D)
+                                        hotspot|alltoall|broadcast|multicast:<k>|
+                                        hotcast:<k>) over the lens-minimal
+                                       OTIS fabric of B(d,D). The one-to-many
+                                       patterns route n delivery trees (broadcast
+                                       to all; multicast:<k> to k random leaves;
+                                       hotcast:<k> rooted at the hot node n/2)
+                                       and report the multicast forwarding index
+                                       (max trees per link, each tree arc
+                                       charged once) against its unicast
+                                       equivalent.
     --buffers <B>      queueing: FIFO slots per virtual channel (default 16)
     --wavelengths <W>  queueing: channels drained per link per cycle (default 1)
     --vcs <V>          queueing: dateline virtual channels per link (default 1;
@@ -318,8 +326,27 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
         spec.lens_count()
     );
 
+    if pattern.is_multicast() && options.sweep {
+        return Err("--sweep is not supported for one-to-many patterns".into());
+    }
+    if pattern.is_multicast() && options.adaptive {
+        return Err(
+            "--adaptive has no effect on one-to-many patterns: delivery trees are prebuilt \
+             from shortest-path next hops"
+                .into(),
+        );
+    }
+
     let build_start = std::time::Instant::now();
-    let workload = otis_optics::traffic::generate_workload(pattern, n, d as u64, packets, 0x0715);
+    let workload = if pattern.is_multicast() {
+        Load::Groups(otis_optics::traffic::generate_multicast_workload(
+            pattern, n, d as u64, packets, 0x0715,
+        ))
+    } else {
+        Load::Pairs(otis_optics::traffic::generate_workload(
+            pattern, n, d as u64, packets, 0x0715,
+        ))
+    };
 
     // Up to the dense-table cap, precompute the quadratic table over
     // the OTIS H-numbering directly. Past it — B(2,14), B(2,16) — the
@@ -342,17 +369,34 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// A generated workload: unicast pairs or one-to-many groups.
+enum Load {
+    Pairs(Vec<(u64, u64)>),
+    Groups(Vec<otis_optics::MulticastGroup>),
+}
+
 /// Traffic over one fabric with whichever router the scale picked:
 /// queueing simulation when any queueing flag was given, the batched
-/// static engine otherwise.
+/// static engine otherwise; unicast pairs or multicast trees per the
+/// pattern.
 fn run_traffic_over<R: otis_core::Router>(
     h: otis_optics::HDigraph,
     router: R,
-    workload: &[(u64, u64)],
+    load: &Load,
     pattern: otis_optics::TrafficPattern,
     options: TrafficOptions,
     build_start: std::time::Instant,
 ) -> Result<(), String> {
+    let workload = match load {
+        Load::Groups(groups) => {
+            return if options.queueing {
+                run_queueing_multicast(&h, router, groups, pattern, options, build_start)
+            } else {
+                run_batched_multicast(&h, router, groups, pattern, options, build_start)
+            };
+        }
+        Load::Pairs(pairs) => pairs.as_slice(),
+    };
     if options.queueing {
         return run_queueing_traffic(&h, router, workload, pattern, options, build_start);
     }
@@ -499,8 +543,15 @@ fn run_queueing_traffic<R: otis_core::Router>(
         elapsed.as_secs_f64() * 1e3,
         options.load_per_node
     );
+    print_queueing_body(&report, &options, "packets");
+    Ok(())
+}
+
+/// The shared body of a queueing report printout; `unit` names what
+/// the delivery counters count ("packets" or "leaves").
+fn print_queueing_body(report: &otis_optics::QueueingReport, options: &TrafficOptions, unit: &str) {
     println!(
-        "  delivered         : {} ({:.2}%), throughput {:.2} packets/cycle",
+        "  delivered         : {} ({:.2}%), throughput {:.2} {unit}/cycle",
         report.delivered,
         report.delivery_rate() * 100.0,
         report.throughput_per_cycle()
@@ -573,6 +624,133 @@ fn run_queueing_traffic<R: otis_core::Router>(
         show("hot class", &stats.hot);
         show("background class", &stats.background);
     }
+}
+
+/// The queueing side of a one-to-many `otis traffic` run: delivery
+/// trees with in-fabric replication through the cycle-accurate
+/// engine, reported in destination-leaf units plus the multicast
+/// forwarding index.
+fn run_queueing_multicast<R: otis_core::Router>(
+    h: &otis_optics::HDigraph,
+    router: R,
+    groups: &[otis_optics::MulticastGroup],
+    pattern: otis_optics::TrafficPattern,
+    options: TrafficOptions,
+    build_start: std::time::Instant,
+) -> Result<(), String> {
+    let n = otis_core::DigraphFamily::node_count(h);
+    let engine = otis_optics::QueueingEngine::from_family(h, options.config);
+    println!(
+        "router: {} (built in {:.1} ms)",
+        otis_core::Router::name(&router),
+        build_start.elapsed().as_secs_f64() * 1e3
+    );
+    println!(
+        "queueing: {} virtual channel(s) × {} buffers, {} wavelength(s) per link, {} on full buffers",
+        options.config.vcs,
+        options.config.buffers,
+        options.config.wavelengths,
+        match options.config.policy {
+            otis_optics::ContentionPolicy::Backpressure => "backpressure",
+            otis_optics::ContentionPolicy::TailDrop => "tail-drop",
+        }
+    );
+    if options.config.vcs >= 2 {
+        println!(
+            "dateline: {} wrap arcs of {}{}",
+            engine.dateline().wrap_arc_count(),
+            engine.link_count(),
+            match options.config.policy {
+                otis_optics::ContentionPolicy::Backpressure =>
+                    " — backpressure is deadlock-free by construction",
+                otis_optics::ContentionPolicy::TailDrop => "",
+            }
+        );
+    }
+    let offered = options.load_per_node * n as f64;
+    let run_start = std::time::Instant::now();
+    let report = engine.run_multicast(&router, groups, offered);
+    let elapsed = run_start.elapsed();
+    println!(
+        "simulated {} {pattern} trees ({} destination leaves) over {} cycles in {:.1} ms \
+         (offered {:.3} trees/node/cycle)",
+        report.multicast_groups,
+        report.injected,
+        report.cycles,
+        elapsed.as_secs_f64() * 1e3,
+        options.load_per_node
+    );
+    println!(
+        "  multicast         : forwarding index {} (max trees per link, each tree arc charged \
+         once), {} replicated copies",
+        report.multicast_forwarding_index, report.replicated_copies
+    );
+    print_queueing_body(&report, &options, "leaves");
+    Ok(())
+}
+
+/// The batched side of a one-to-many `otis traffic` run: static tree
+/// routing, multicast versus unicast forwarding indices, per-leaf
+/// latency and per-arc energy.
+fn run_batched_multicast<R: otis_core::Router>(
+    h: &otis_optics::HDigraph,
+    router: R,
+    groups: &[otis_optics::MulticastGroup],
+    pattern: otis_optics::TrafficPattern,
+    _options: TrafficOptions,
+    build_start: std::time::Instant,
+) -> Result<(), String> {
+    let sim = otis_optics::simulator::OtisSimulator::with_defaults(*h);
+    let engine = otis_optics::TrafficEngine::new(&sim);
+    println!(
+        "router: {} (table + physics precomputed in {:.1} ms)",
+        otis_core::Router::name(&router),
+        build_start.elapsed().as_secs_f64() * 1e3
+    );
+    let run_start = std::time::Instant::now();
+    let report = engine.run_multicast(&router, groups);
+    let elapsed = run_start.elapsed();
+    println!(
+        "routed {} {pattern} trees ({} destination leaves) in {:.1} ms ({:.2} Mleaf/s)",
+        report.groups,
+        report.leaves,
+        elapsed.as_secs_f64() * 1e3,
+        report.leaves as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    println!(
+        "  delivered         : {} leaves ({:.2}%)",
+        report.delivered_leaves,
+        report.delivery_rate() * 100.0
+    );
+    println!(
+        "  tree arcs         : {} ({:.1} per tree, depth ≤ {}), vs {} unicast hops — {:.2}× \
+         replication saving",
+        report.tree_arcs,
+        report.mean_tree_arcs(),
+        report.max_depth,
+        report.unicast_hops,
+        report.replication_saving()
+    );
+    println!(
+        "  forwarding index  : multicast {} (max trees per link) vs unicast {}",
+        report.multicast_forwarding_index, report.unicast_forwarding_index
+    );
+    println!(
+        "  latency           : mean {:.0} ps, p50 {:.0} ps, p99 {:.0} ps, max {:.0} ps (per leaf)",
+        report.latency_mean_ps, report.latency_p50_ps, report.latency_p99_ps, report.latency_max_ps
+    );
+    println!(
+        "  energy            : {:.2} nJ total — charged per tree arc, not per leaf",
+        report.energy_total_pj / 1e3
+    );
+    println!(
+        "  link budgets      : {}",
+        if report.all_budgets_close {
+            "all close"
+        } else {
+            "SOME DO NOT CLOSE"
+        }
+    );
     Ok(())
 }
 

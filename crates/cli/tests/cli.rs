@@ -166,6 +166,47 @@ fn traffic_past_the_dense_cap_rides_the_compressed_table() {
 }
 
 #[test]
+fn traffic_multicast_past_the_dense_cap_rides_the_relabeled_table() {
+    // The multicast tentpole must work through `RelabeledRouter`:
+    // B(2,14) trees are built against the OTIS H-numbered fabric by
+    // walking the compressed de Bruijn table behind the isomorphism
+    // witness, batched and queueing engines both.
+    let out = otis(&["traffic", "2", "14", "multicast:8", "400"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("relabeled(compressed-table(B(2,14)))"),
+        "{text}"
+    );
+    assert!(text.contains("routed 400 multicast:8 trees"), "{text}");
+    assert!(text.contains("(3200 destination leaves)"), "{text}");
+    assert!(text.contains("(100.00%)"), "{text}");
+    assert!(text.contains("forwarding index  : multicast"), "{text}");
+
+    let out = otis(&[
+        "traffic",
+        "2",
+        "14",
+        "multicast:8",
+        "400",
+        "--buffers",
+        "8",
+        "--load",
+        "0.05",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("delivered         : 3200 (100.00%)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("multicast         : forwarding index"),
+        "{text}"
+    );
+}
+
+#[test]
 fn traffic_unknown_pattern_lists_the_valid_ones() {
     let out = otis(&["traffic", "2", "6", "zigzag", "100"]);
     assert!(!out.status.success(), "unknown pattern must exit nonzero");
@@ -177,9 +218,75 @@ fn traffic_unknown_pattern_lists_the_valid_ones() {
         "bitrev",
         "hotspot",
         "alltoall",
+        "broadcast",
+        "multicast:",
+        "hotcast:",
     ] {
         assert!(text.contains(pattern), "missing {pattern} in: {text}");
     }
+}
+
+#[test]
+fn traffic_multicast_batched_reports_forwarding_indices() {
+    for pattern in ["broadcast", "multicast:4", "hotcast:4"] {
+        let out = otis(&["traffic", "2", "4", pattern, "50"]);
+        assert!(out.status.success(), "{pattern}: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(text.contains("routed 50"), "{pattern}: {text}");
+        assert!(text.contains("trees"), "{pattern}: {text}");
+        assert!(
+            text.contains("forwarding index  : multicast"),
+            "{pattern}: {text}"
+        );
+        assert!(text.contains("replication saving"), "{pattern}: {text}");
+        assert!(text.contains("(100.00%)"), "{pattern}: {text}");
+    }
+}
+
+#[test]
+fn traffic_multicast_queueing_broadcast_from_the_hotspot_root() {
+    // The acceptance shape in miniature: broadcast from the hotspot
+    // root (hotcast at full fanout), lossless under backpressure with
+    // two dateline VCs, multicast forwarding index printed.
+    let out = otis(&[
+        "traffic",
+        "2",
+        "4",
+        "hotcast:15",
+        "40",
+        "--buffers",
+        "4",
+        "--policy",
+        "backpressure",
+        "--vcs",
+        "2",
+        "--load",
+        "0.05",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("simulated 40 hotcast:15 trees"), "{text}");
+    assert!(text.contains("(600 destination leaves)"), "{text}");
+    assert!(
+        text.contains("multicast         : forwarding index"),
+        "{text}"
+    );
+    assert!(text.contains("delivered         : 600 (100.00%)"), "{text}");
+    assert!(text.contains("0 full-buffer, 0 unroutable"), "{text}");
+    assert!(!text.contains("DEADLOCK"), "{text}");
+}
+
+#[test]
+fn traffic_multicast_rejects_sweep_and_adaptive() {
+    let out = otis(&["traffic", "2", "4", "broadcast", "10", "--sweep"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--sweep"), "{}", stderr(&out));
+    let out = otis(&["traffic", "2", "4", "multicast:3", "10", "--adaptive"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--adaptive"), "{}", stderr(&out));
+    let out = otis(&["traffic", "2", "4", "multicast:0", "10"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("fanout"), "{}", stderr(&out));
 }
 
 #[test]

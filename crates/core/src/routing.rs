@@ -9,9 +9,10 @@
 //! in the digits of `y` one per hop. Everything here is `O(D)` per
 //! query, compared against BFS ground truth in the tests.
 
-use crate::{DeBruijn, DigraphFamily, Kautz};
+use crate::{DeBruijn, DigraphFamily, Kautz, Router};
 use otis_util::digits;
 use otis_words::Word;
+use std::collections::HashMap;
 
 /// Shortest-path distance from `x` to `y` in `B(d, D)`: the smallest
 /// `k` such that the top `D-k` digits of `y` equal the bottom `D-k`
@@ -123,6 +124,311 @@ pub fn single_port_broadcast(b: &DeBruijn, root: u64) -> Vec<Vec<(u64, u64)>> {
         rounds.push(round);
     }
     rounds
+}
+
+// ----- multicast trees -------------------------------------------------------
+
+/// Sentinel for "no parent arc" (the arc hangs off the root).
+const NO_ARC: u32 = u32::MAX;
+
+/// A multicast delivery tree: the union of a router's shortest-path
+/// walks from one root to a set of destinations, greedily merged onto
+/// shared prefixes.
+///
+/// Construction walks [`Router::next_hop`] from the root toward each
+/// destination and adds only the arcs not already in the tree. Because
+/// every subpath of a shortest path is itself shortest, a node's
+/// position is the same in every walk that visits it — `d(root, v)` —
+/// so merges are depth-consistent, each node gets exactly one parent,
+/// and the tree's depth never exceeds the root's eccentricity (≤ the
+/// fabric diameter). The full-fabric special case (every node a
+/// destination) covers exactly the BFS levels of
+/// [`broadcast_levels`]; [`MulticastTree::broadcast`] builds that case
+/// directly from the level arithmetic, no router queries at all.
+///
+/// Arcs are indexed `0..arc_count()` with parents strictly before
+/// children, so a single forward pass can propagate any root-to-leaf
+/// quantity (depths, latencies). Per arc the tree records the child
+/// endpoint's delivery flag (is it a requested destination?) and its
+/// *leaf load* — how many requested destinations sit in the subtree
+/// under it, i.e. how many unicast packets the arc would have carried
+/// had each destination been served by its own shortest-path copy.
+/// `max(trees per link)` over a workload is the **multicast forwarding
+/// index** of the BCube analysis in PAPERS.md; `max(leaf load per
+/// link)` is its unicast counterpart, and the gap between the two is
+/// the replication the tree saved.
+#[derive(Debug, Clone)]
+pub struct MulticastTree {
+    root: u64,
+    /// `(parent, child)` fabric arcs, parents before children.
+    arcs: Vec<(u64, u64)>,
+    /// Index of the arc into the parent endpoint ([`NO_ARC`] = root).
+    parent_arc: Vec<u32>,
+    /// Depth of the child endpoint (root = depth 0).
+    depth: Vec<u32>,
+    /// True iff the child endpoint is a requested destination.
+    delivers: Vec<bool>,
+    /// Requested destinations in the subtree under the arc.
+    leaf_load: Vec<u64>,
+    /// Child arc indices per arc, same indexing.
+    children: Vec<Vec<u32>>,
+    /// Arc indices hanging directly off the root.
+    root_arcs: Vec<u32>,
+    /// How many times the root itself was requested (delivered at the
+    /// source, like a unicast self-pair).
+    self_requests: usize,
+    /// Requested destinations with no route from the root.
+    unreachable: Vec<u64>,
+}
+
+impl MulticastTree {
+    /// Build the delivery tree for `root → dsts` over `router`'s
+    /// shortest-path next hops. Duplicate destinations are delivered
+    /// once per request (`leaf_load` counts requests); destinations
+    /// the router cannot reach are recorded in
+    /// [`MulticastTree::unreachable`].
+    pub fn build(router: &dyn Router, root: u64, dsts: &[u64]) -> Self {
+        let n = router.node_count();
+        assert!(
+            root < n,
+            "root {root} is not a fabric node (fabric has {n})"
+        );
+        let hop_limit = n.max(64);
+        let mut tree = MulticastTree {
+            root,
+            arcs: Vec::new(),
+            parent_arc: Vec::new(),
+            depth: Vec::new(),
+            delivers: Vec::new(),
+            leaf_load: Vec::new(),
+            children: Vec::new(),
+            root_arcs: Vec::new(),
+            self_requests: 0,
+            unreachable: Vec::new(),
+        };
+        // node → index of its (unique) incoming tree arc.
+        let mut incoming: HashMap<u64, u32> = HashMap::new();
+        'dst: for &dst in dsts {
+            if dst == root {
+                tree.self_requests += 1;
+                continue;
+            }
+            if !incoming.contains_key(&dst) {
+                // Walk the router's shortest path, adding unseen arcs.
+                let mut current = root;
+                let mut hops = 0u64;
+                while current != dst {
+                    hops += 1;
+                    if hops > hop_limit {
+                        tree.unreachable.push(dst); // routing loop
+                        continue 'dst;
+                    }
+                    let Some(next) = router.next_hop(current, dst) else {
+                        tree.unreachable.push(dst);
+                        continue 'dst;
+                    };
+                    if !incoming.contains_key(&next) {
+                        let index = tree.arcs.len() as u32;
+                        let parent = if current == root {
+                            tree.root_arcs.push(index);
+                            NO_ARC
+                        } else {
+                            incoming[&current]
+                        };
+                        tree.arcs.push((current, next));
+                        tree.parent_arc.push(parent);
+                        tree.depth.push(if parent == NO_ARC {
+                            1
+                        } else {
+                            tree.depth[parent as usize] + 1
+                        });
+                        tree.delivers.push(false);
+                        tree.leaf_load.push(0);
+                        incoming.insert(next, index);
+                    }
+                    current = next;
+                }
+            }
+            // Charge the request up the tree chain to the root.
+            let arc = incoming[&dst];
+            tree.delivers[arc as usize] = true;
+            let mut chain = arc;
+            loop {
+                tree.leaf_load[chain as usize] += 1;
+                if tree.parent_arc[chain as usize] == NO_ARC {
+                    break;
+                }
+                chain = tree.parent_arc[chain as usize];
+            }
+        }
+        tree.link_children();
+        tree
+    }
+
+    /// The full-fabric broadcast tree from `root` on `B(d, D)`,
+    /// assembled directly from the [`broadcast_levels`] BFS — the
+    /// special case of [`MulticastTree::build`] with every other node
+    /// a destination, no router in sight.
+    pub fn broadcast(b: &DeBruijn, root: u64) -> Self {
+        let n = b.node_count();
+        assert!(root < n, "root {root} is not a vertex of {}", b.name());
+        let mut tree = MulticastTree {
+            root,
+            arcs: Vec::new(),
+            parent_arc: Vec::new(),
+            depth: Vec::new(),
+            delivers: Vec::new(),
+            leaf_load: Vec::new(),
+            children: Vec::new(),
+            root_arcs: Vec::new(),
+            self_requests: 0,
+            unreachable: Vec::new(),
+        };
+        let mut incoming: HashMap<u64, u32> = HashMap::new();
+        let mut frontier = vec![root];
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let mut next_frontier = Vec::new();
+            for &u in &frontier {
+                for k in 0..b.degree() {
+                    let v = b.out_neighbor(u, k);
+                    if v == root || incoming.contains_key(&v) {
+                        continue;
+                    }
+                    let index = tree.arcs.len() as u32;
+                    let parent = if u == root {
+                        tree.root_arcs.push(index);
+                        NO_ARC
+                    } else {
+                        incoming[&u]
+                    };
+                    tree.arcs.push((u, v));
+                    tree.parent_arc.push(parent);
+                    tree.depth.push(level);
+                    tree.delivers.push(true);
+                    tree.leaf_load.push(0);
+                    incoming.insert(v, index);
+                    next_frontier.push(v);
+                }
+            }
+            frontier = next_frontier;
+        }
+        // Every non-root node is one delivery; leaf loads are subtree
+        // sizes, accumulated children-before-parents.
+        for arc in (0..tree.arcs.len()).rev() {
+            tree.leaf_load[arc] += 1;
+            let parent = tree.parent_arc[arc];
+            if parent != NO_ARC {
+                tree.leaf_load[parent as usize] += tree.leaf_load[arc];
+            }
+        }
+        tree.link_children();
+        tree
+    }
+
+    fn link_children(&mut self) {
+        self.children = vec![Vec::new(); self.arcs.len()];
+        for (arc, &parent) in self.parent_arc.iter().enumerate() {
+            if parent != NO_ARC {
+                self.children[parent as usize].push(arc as u32);
+            }
+        }
+    }
+
+    /// The tree's root node.
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    /// Number of tree arcs (= nodes reached, root excluded).
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The `(parent, child)` endpoints of the `arc`-th tree arc.
+    pub fn endpoints(&self, arc: usize) -> (u64, u64) {
+        self.arcs[arc]
+    }
+
+    /// Depth of the `arc`-th arc's child endpoint (root = 0).
+    pub fn arc_depth(&self, arc: usize) -> u32 {
+        self.depth[arc]
+    }
+
+    /// Index of the arc into the `arc`-th arc's parent endpoint;
+    /// `None` when the arc hangs off the root. Always `< arc` —
+    /// parents precede children.
+    pub fn parent_arc(&self, arc: usize) -> Option<usize> {
+        let parent = self.parent_arc[arc];
+        (parent != NO_ARC).then_some(parent as usize)
+    }
+
+    /// True iff the `arc`-th arc's child endpoint is a requested
+    /// destination.
+    pub fn delivers(&self, arc: usize) -> bool {
+        self.delivers[arc]
+    }
+
+    /// Requested destinations in the subtree under the `arc`-th arc —
+    /// the unicast packets this arc would carry without replication.
+    pub fn leaf_load(&self, arc: usize) -> u64 {
+        self.leaf_load[arc]
+    }
+
+    /// Child arc indices of the `arc`-th arc.
+    pub fn child_arcs(&self, arc: usize) -> &[u32] {
+        &self.children[arc]
+    }
+
+    /// Requests delivered at the `arc`-th arc's child endpoint: its
+    /// leaf load minus what flows on to its children. Positive iff
+    /// [`MulticastTree::delivers`]; counts duplicates per request, so
+    /// deliveries summed over arcs equal [`MulticastTree::reached_leaves`].
+    pub fn deliveries_at(&self, arc: usize) -> u64 {
+        let downstream: u64 = self.children[arc]
+            .iter()
+            .map(|&child| self.leaf_load[child as usize])
+            .sum();
+        self.leaf_load[arc] - downstream
+    }
+
+    /// Arc indices hanging directly off the root.
+    pub fn root_arcs(&self) -> &[u32] {
+        &self.root_arcs
+    }
+
+    /// Requests for the root itself (delivered at the source).
+    pub fn self_requests(&self) -> usize {
+        self.self_requests
+    }
+
+    /// Requested destinations the router could not reach.
+    pub fn unreachable(&self) -> &[u64] {
+        &self.unreachable
+    }
+
+    /// Requested destinations reachable through the tree, duplicates
+    /// counted per request (root self-requests excluded).
+    pub fn reached_leaves(&self) -> u64 {
+        self.root_arcs
+            .iter()
+            .map(|&arc| self.leaf_load[arc as usize])
+            .sum()
+    }
+
+    /// Every requested leaf: reached + root self-requests +
+    /// unreachable. The conservation total a multicast engine must
+    /// account for.
+    pub fn total_leaves(&self) -> u64 {
+        self.reached_leaves() + self.self_requests as u64 + self.unreachable.len() as u64
+    }
+
+    /// Deepest arc of the tree, in hops from the root (`0` for an
+    /// empty tree).
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
 }
 
 // ----- Kautz routing ---------------------------------------------------------
@@ -248,6 +554,92 @@ mod tests {
             senders.dedup();
             assert_eq!(senders.len(), round.len());
         }
+    }
+
+    #[test]
+    fn multicast_tree_merges_shared_prefixes() {
+        let b = DeBruijn::new(2, 4);
+        let g = b.digraph();
+        let router = crate::DeBruijnRouter::new(b);
+        let dsts = [3u64, 7, 11, 15, 15, 0];
+        let tree = MulticastTree::build(&router, 0, &dsts);
+        // Root requests deliver at the source.
+        assert_eq!(tree.self_requests(), 1);
+        assert!(tree.unreachable().is_empty());
+        // Every requested leaf accounted: 4 distinct + 1 duplicate.
+        assert_eq!(tree.reached_leaves(), 5);
+        assert_eq!(tree.total_leaves(), dsts.len() as u64);
+        // Tree arcs are fabric arcs, each child has one parent, and
+        // arc depths match shortest distances (merge consistency).
+        let mut seen_children = std::collections::HashSet::new();
+        for arc in 0..tree.arc_count() {
+            let (from, to) = tree.endpoints(arc);
+            assert!(g.has_arc(from as u32, to as u32), "{from}->{to}");
+            assert!(seen_children.insert(to), "child {to} has two parents");
+            assert_eq!(tree.arc_depth(arc) as u64, distance(&b, 0, to) as u64);
+        }
+        assert!(tree.max_depth() <= b.diameter());
+        // The tree is strictly smaller than per-leaf unicast: paths to
+        // 3, 7, 15 share the prefix through 1.
+        let unicast_hops: u64 = [3u64, 7, 11, 15, 15]
+            .iter()
+            .map(|&dst| distance(&b, 0, dst) as u64)
+            .sum();
+        let tree_hops = tree.arc_count() as u64;
+        assert!(tree_hops < unicast_hops, "{tree_hops} vs {unicast_hops}");
+        // Deliveries per arc sum to the reached leaves.
+        let delivered: u64 = (0..tree.arc_count()).map(|a| tree.deliveries_at(a)).sum();
+        assert_eq!(delivered, tree.reached_leaves());
+    }
+
+    #[test]
+    fn broadcast_tree_equals_broadcast_levels() {
+        for (d, dd) in [(2u32, 4u32), (3, 3)] {
+            let b = DeBruijn::new(d, dd);
+            for root in [0u64, 1, b.node_count() / 2] {
+                let tree = MulticastTree::broadcast(&b, root);
+                let levels = broadcast_levels(&b, root);
+                assert_eq!(tree.arc_count() as u64 + 1, b.node_count());
+                assert_eq!(tree.max_depth() as usize, levels.len() - 1);
+                // Each node's tree depth is exactly its BFS level.
+                let mut level_of = vec![0u32; b.node_count() as usize];
+                for (level, nodes) in levels.iter().enumerate() {
+                    for &v in nodes {
+                        level_of[v as usize] = level as u32;
+                    }
+                }
+                for arc in 0..tree.arc_count() {
+                    let (_, to) = tree.endpoints(arc);
+                    assert_eq!(tree.arc_depth(arc), level_of[to as usize]);
+                    assert!(tree.delivers(arc));
+                    assert_eq!(tree.deliveries_at(arc), 1);
+                }
+                // The router-built full-fanout tree covers the same
+                // levels — broadcast is the special case it claims.
+                let router = crate::DeBruijnRouter::new(b);
+                let all: Vec<u64> = (0..b.node_count()).filter(|&v| v != root).collect();
+                let routed = MulticastTree::build(&router, root, &all);
+                assert_eq!(routed.arc_count(), tree.arc_count());
+                assert_eq!(routed.reached_leaves(), tree.reached_leaves());
+                for arc in 0..routed.arc_count() {
+                    let (_, to) = routed.endpoints(arc);
+                    assert_eq!(routed.arc_depth(arc), level_of[to as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_tree_records_unreachable_destinations() {
+        // A fabric where node 2 is a sink: 0→1→0, 2 isolated.
+        use otis_digraph::Digraph;
+        let g = Digraph::from_fn(3, |u| if u < 2 { vec![(u + 1) % 2] } else { vec![] });
+        let table = crate::RoutingTable::new(&g);
+        let tree = MulticastTree::build(&table, 0, &[1, 2]);
+        assert_eq!(tree.reached_leaves(), 1);
+        assert_eq!(tree.unreachable(), &[2]);
+        assert_eq!(tree.total_leaves(), 2);
+        assert_eq!(tree.arc_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Property tests of [`MulticastTree`]: on any fabric and any
+//! destination set, the greedy shortest-path merge must produce a real
+//! arborescence — every destination reached exactly once, every tree
+//! arc a fabric arc, depth bounded by the diameter — and the
+//! full-fanout tree must coincide with the `broadcast_levels` BFS.
+
+use otis_core::{
+    routing, DeBruijn, DeBruijnRouter, DigraphFamily, Kautz, MulticastTree, Router, RoutingTable,
+};
+use otis_digraph::Digraph;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// The arborescence contract, checked for one tree against its fabric
+/// and the distances of its router.
+fn check_tree(
+    tree: &MulticastTree,
+    g: &Digraph,
+    router: &dyn Router,
+    root: u64,
+    dsts: &[u64],
+    diameter: u32,
+) -> Result<(), String> {
+    // Every arc is a fabric arc; every child has exactly one parent;
+    // parents precede children; depths chain by one.
+    let mut depth_of: HashMap<u64, u32> = HashMap::new();
+    depth_of.insert(root, 0);
+    for arc in 0..tree.arc_count() {
+        let (from, to) = tree.endpoints(arc);
+        prop_assert!(
+            g.has_arc(from as u32, to as u32),
+            "tree arc {from}->{to} is not a fabric arc"
+        );
+        let parent_depth = *depth_of
+            .get(&from)
+            .ok_or_else(|| format!("arc {arc}: parent {from} seen after child"))?;
+        prop_assert_eq!(tree.arc_depth(arc), parent_depth + 1);
+        prop_assert!(
+            depth_of.insert(to, parent_depth + 1).is_none(),
+            "node {to} has two incoming tree arcs"
+        );
+        // Depth never exceeds the diameter: positions along shortest
+        // paths are distances (subpaths of shortest paths are
+        // shortest), so merges are depth-consistent.
+        prop_assert!(
+            tree.arc_depth(arc) <= diameter,
+            "arc {arc} at depth {} > diameter {diameter}",
+            tree.arc_depth(arc)
+        );
+        // And the tree depth is exactly the router distance.
+        prop_assert_eq!(
+            Some(tree.arc_depth(arc) as u64),
+            router.distance(root, to),
+            "depth of {} != d(root, {})",
+            to,
+            to
+        );
+    }
+    // Every reachable requested destination appears in the tree with a
+    // positive delivery count; each exactly once.
+    let unreachable: HashSet<u64> = tree.unreachable().iter().copied().collect();
+    let mut deliveries: HashMap<u64, u64> = HashMap::new();
+    for arc in 0..tree.arc_count() {
+        let (_, to) = tree.endpoints(arc);
+        if tree.deliveries_at(arc) > 0 {
+            deliveries.insert(to, tree.deliveries_at(arc));
+        }
+    }
+    let mut requested: HashMap<u64, u64> = HashMap::new();
+    for &dst in dsts {
+        *requested.entry(dst).or_insert(0) += 1;
+    }
+    for (&dst, &count) in &requested {
+        if dst == root {
+            prop_assert_eq!(tree.self_requests() as u64, count);
+        } else if unreachable.contains(&dst) {
+            prop_assert!(
+                !deliveries.contains_key(&dst),
+                "{dst} both unreachable and delivered"
+            );
+        } else {
+            prop_assert_eq!(
+                deliveries.get(&dst).copied(),
+                Some(count),
+                "destination {} delivered the wrong number of times",
+                dst
+            );
+        }
+    }
+    // No phantom deliveries at nodes nobody requested.
+    for (&node, &count) in &deliveries {
+        prop_assert_eq!(
+            requested.get(&node).copied(),
+            Some(count),
+            "unrequested delivery at {}",
+            node
+        );
+    }
+    // Leaf loads are consistent: an arc's load equals its own
+    // deliveries plus its children's loads, and the root arcs sum to
+    // the reached total.
+    for arc in 0..tree.arc_count() {
+        let children_sum: u64 = tree
+            .child_arcs(arc)
+            .iter()
+            .map(|&child| tree.leaf_load(child as usize))
+            .sum();
+        prop_assert_eq!(tree.leaf_load(arc), tree.deliveries_at(arc) + children_sum);
+    }
+    prop_assert_eq!(tree.total_leaves(), dsts.len() as u64);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MulticastTree correctness on de Bruijn fabrics under both the
+    /// arithmetic and the table router, with duplicate and self
+    /// requests thrown in.
+    #[test]
+    fn tree_contract_on_debruijn(
+        dim in 2u32..6,
+        root_pick in any::<u64>(),
+        dsts in proptest::collection::vec(any::<u64>(), 1..40),
+        table in any::<bool>(),
+    ) {
+        let b = DeBruijn::new(2, dim);
+        let n = b.node_count();
+        let root = root_pick % n;
+        let dsts: Vec<u64> = dsts.iter().map(|&d| d % n).collect();
+        let g = b.digraph();
+        let arithmetic = DeBruijnRouter::new(b);
+        let table_router = RoutingTable::from_family(&b);
+        let router: &dyn Router = if table { &table_router } else { &arithmetic };
+        let tree = MulticastTree::build(router, root, &dsts);
+        prop_assert!(tree.unreachable().is_empty(), "B(2,{dim}) is strongly connected");
+        check_tree(&tree, &g, router, root, &dsts, b.diameter())?;
+    }
+
+    /// The same contract on Kautz fabrics (diameter D, table-routed).
+    #[test]
+    fn tree_contract_on_kautz(
+        dim in 2u32..5,
+        root_pick in any::<u64>(),
+        dsts in proptest::collection::vec(any::<u64>(), 1..30),
+    ) {
+        let k = Kautz::new(2, dim);
+        let n = k.node_count();
+        let root = root_pick % n;
+        let dsts: Vec<u64> = dsts.iter().map(|&d| d % n).collect();
+        let g = k.digraph();
+        let router = RoutingTable::from_family(&k);
+        let tree = MulticastTree::build(&router, root, &dsts);
+        prop_assert!(tree.unreachable().is_empty());
+        check_tree(&tree, &g, &router, root, &dsts, k.diameter())?;
+    }
+
+    /// The broadcast special case: the full-fanout router tree and the
+    /// `MulticastTree::broadcast` BFS construction cover exactly the
+    /// `broadcast_levels` levels — same nodes, same depths, both ways.
+    #[test]
+    fn broadcast_tree_covers_broadcast_levels(
+        dim in 2u32..6,
+        root_pick in any::<u64>(),
+    ) {
+        let b = DeBruijn::new(2, dim);
+        let n = b.node_count();
+        let root = root_pick % n;
+        let levels = routing::broadcast_levels(&b, root);
+        let mut level_of: HashMap<u64, u32> = HashMap::new();
+        for (level, nodes) in levels.iter().enumerate() {
+            for &v in nodes {
+                level_of.insert(v, level as u32);
+            }
+        }
+        let all: Vec<u64> = (0..n).filter(|&v| v != root).collect();
+        let router = DeBruijnRouter::new(b);
+        for tree in [
+            MulticastTree::build(&router, root, &all),
+            MulticastTree::broadcast(&b, root),
+        ] {
+            prop_assert_eq!(tree.arc_count() as u64, n - 1, "spanning");
+            prop_assert_eq!(tree.reached_leaves(), n - 1);
+            prop_assert_eq!(tree.max_depth() as usize, levels.len() - 1);
+            for arc in 0..tree.arc_count() {
+                let (_, to) = tree.endpoints(arc);
+                prop_assert_eq!(
+                    Some(&tree.arc_depth(arc)),
+                    level_of.get(&to),
+                    "node {} at the wrong level",
+                    to
+                );
+            }
+        }
+    }
+}

@@ -51,6 +51,6 @@ pub mod traffic;
 pub use h_digraph::HDigraph;
 pub use otis::{Otis, Receiver, Transmitter};
 pub use traffic::{
-    ClassBreakdown, ClassStats, ContentionPolicy, LinkOccupancy, QueueConfig, QueueingEngine,
-    QueueingReport, TrafficEngine, TrafficPattern, TrafficReport,
+    ClassBreakdown, ClassStats, ContentionPolicy, LinkOccupancy, MulticastGroup, MulticastReport,
+    QueueConfig, QueueingEngine, QueueingReport, TrafficEngine, TrafficPattern, TrafficReport,
 };

@@ -3,9 +3,10 @@
 //! index, without dynamics. For queueing delay, drops and saturation
 //! see [`super::queueing`].
 
-use super::report::{percentile_f64, TrafficReport};
+use super::report::{percentile_f64, MulticastReport, TrafficReport};
+use super::workload::MulticastGroup;
 use crate::simulator::OtisSimulator;
-use otis_core::{DigraphFamily, Router};
+use otis_core::{DigraphFamily, MulticastTree, Router};
 use otis_util::par_map;
 
 /// Precomputed physics of one transceiver's beam.
@@ -211,6 +212,175 @@ impl<'a> TrafficEngine<'a> {
     }
 }
 
+/// Per-worker accumulator for [`TrafficEngine::run_multicast`].
+struct MulticastPartial {
+    /// Trees per transceiver — the multicast load vector.
+    link_load: Vec<u64>,
+    /// Leaves per transceiver — what per-leaf unicast would carry.
+    unicast_link_load: Vec<u64>,
+    latencies: Vec<f64>,
+    delivered_leaves: usize,
+    dropped_leaves: usize,
+    tree_arcs: u64,
+    unicast_hops: u64,
+    max_depth: u32,
+    energy: f64,
+    budgets_close: bool,
+}
+
+impl MulticastPartial {
+    fn new(links: usize) -> Self {
+        MulticastPartial {
+            link_load: vec![0u64; links],
+            unicast_link_load: vec![0u64; links],
+            latencies: Vec::new(),
+            delivered_leaves: 0,
+            dropped_leaves: 0,
+            tree_arcs: 0,
+            unicast_hops: 0,
+            max_depth: 0,
+            energy: 0.0,
+            budgets_close: true,
+        }
+    }
+}
+
+impl<'a> TrafficEngine<'a> {
+    /// Route a multicast workload as delivery trees
+    /// ([`MulticastTree::build`] over `router`'s shortest-path next
+    /// hops), charging each tree arc **once** — the optical one-to-many
+    /// story: a branch node replicates the signal, it does not re-send
+    /// per leaf. Reports the multicast forwarding index (max trees per
+    /// link) alongside the unicast index the same workload would have
+    /// cost with per-leaf copies.
+    pub fn run_multicast(
+        &self,
+        router: &dyn Router,
+        workload: &[MulticastGroup],
+    ) -> MulticastReport {
+        let n = self.node_count();
+        assert_eq!(
+            router.node_count(),
+            n,
+            "router covers {} nodes but the fabric has {n}",
+            router.node_count()
+        );
+        let links = self.neighbors.len();
+        const CHUNK: usize = 64;
+        let chunks = workload.len().div_ceil(CHUNK);
+        let partials = par_map(chunks, 1, |chunk_index| {
+            let start = chunk_index * CHUNK;
+            let end = ((chunk_index + 1) * CHUNK).min(workload.len());
+            let mut partial = MulticastPartial::new(links);
+            let mut arc_latency: Vec<f64> = Vec::new();
+            let mut skipped: Vec<bool> = Vec::new();
+            for group in &workload[start..end] {
+                let tree = MulticastTree::build(router, group.root, &group.dsts);
+                partial.dropped_leaves += tree.unreachable().len();
+                // Self-requests deliver at the source, zero latency.
+                partial.delivered_leaves += tree.self_requests();
+                for _ in 0..tree.self_requests() {
+                    partial.latencies.push(0.0);
+                }
+                arc_latency.clear();
+                arc_latency.resize(tree.arc_count(), 0.0);
+                skipped.clear();
+                skipped.resize(tree.arc_count(), false);
+                // Arcs are parent-before-child, so one forward pass
+                // accumulates root-to-node latency.
+                for arc in 0..tree.arc_count() {
+                    let (from, to) = tree.endpoints(arc);
+                    let parent_latency = match tree.parent_arc(arc) {
+                        None => 0.0,
+                        Some(parent) if skipped[parent] => {
+                            skipped[arc] = true;
+                            partial.dropped_leaves += tree.deliveries_at(arc) as usize;
+                            continue;
+                        }
+                        Some(parent) => arc_latency[parent],
+                    };
+                    let base = from as usize * self.degree;
+                    let Some(k) = (0..self.degree).find(|&k| self.neighbors[base + k] == to) else {
+                        // The router proposed a non-neighbor: the whole
+                        // subtree is unreachable through this arc.
+                        skipped[arc] = true;
+                        partial.dropped_leaves += tree.deliveries_at(arc) as usize;
+                        continue;
+                    };
+                    let link = base + k;
+                    let cost = &self.costs[link];
+                    // One optical transmission per tree arc.
+                    partial.link_load[link] += 1;
+                    partial.unicast_link_load[link] += tree.leaf_load(arc);
+                    partial.tree_arcs += 1;
+                    partial.unicast_hops += tree.leaf_load(arc);
+                    partial.energy += cost.energy_pj;
+                    partial.budgets_close &= cost.closes;
+                    arc_latency[arc] = parent_latency + cost.latency_ps;
+                    let deliveries = tree.deliveries_at(arc) as usize;
+                    if deliveries > 0 {
+                        partial.delivered_leaves += deliveries;
+                        partial.max_depth = partial.max_depth.max(tree.arc_depth(arc));
+                        for _ in 0..deliveries {
+                            partial.latencies.push(arc_latency[arc]);
+                        }
+                    }
+                }
+            }
+            partial
+        });
+
+        let mut merged = MulticastPartial::new(links);
+        for partial in partials {
+            for (slot, value) in merged.link_load.iter_mut().zip(partial.link_load) {
+                *slot += value;
+            }
+            for (slot, value) in merged
+                .unicast_link_load
+                .iter_mut()
+                .zip(partial.unicast_link_load)
+            {
+                *slot += value;
+            }
+            merged.latencies.extend(partial.latencies);
+            merged.delivered_leaves += partial.delivered_leaves;
+            merged.dropped_leaves += partial.dropped_leaves;
+            merged.tree_arcs += partial.tree_arcs;
+            merged.unicast_hops += partial.unicast_hops;
+            merged.max_depth = merged.max_depth.max(partial.max_depth);
+            merged.energy += partial.energy;
+            merged.budgets_close &= partial.budgets_close;
+        }
+        merged
+            .latencies
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let latency_mean_ps = if merged.latencies.is_empty() {
+            0.0
+        } else {
+            merged.latencies.iter().sum::<f64>() / merged.latencies.len() as f64
+        };
+        MulticastReport {
+            router: router.name(),
+            groups: workload.len(),
+            leaves: merged.delivered_leaves + merged.dropped_leaves,
+            delivered_leaves: merged.delivered_leaves,
+            dropped_leaves: merged.dropped_leaves,
+            tree_arcs: merged.tree_arcs,
+            unicast_hops: merged.unicast_hops,
+            max_depth: merged.max_depth,
+            multicast_forwarding_index: merged.link_load.iter().copied().max().unwrap_or(0),
+            unicast_forwarding_index: merged.unicast_link_load.iter().copied().max().unwrap_or(0),
+            link_load: merged.link_load,
+            latency_mean_ps,
+            latency_p50_ps: percentile_f64(&merged.latencies, 0.50),
+            latency_p99_ps: percentile_f64(&merged.latencies, 0.99),
+            latency_max_ps: merged.latencies.last().copied().unwrap_or(0.0),
+            energy_total_pj: merged.energy,
+            all_budgets_close: merged.budgets_close,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::{generate_workload, TrafficPattern};
@@ -343,6 +513,90 @@ mod tests {
         // Delivered-only statistics stay bounded by the walk the
         // delivered packets actually took.
         assert!(report.mean_hops() <= report.max_hops as f64);
+    }
+
+    #[test]
+    fn broadcast_trees_charge_each_arc_once() {
+        // H(4,8,2) ≅ B(2,4): a full broadcast tree spans all 15
+        // non-root nodes over exactly 15 arcs, however many leaves
+        // each arc serves.
+        let (sim, _) = engine_fixture();
+        let engine = TrafficEngine::new(&sim);
+        let router = RoutingTable::from_family(sim.h());
+        let groups =
+            super::super::generate_multicast_workload(TrafficPattern::Broadcast, 16, 2, 32, 7);
+        let report = engine.run_multicast(&router, &groups);
+        assert_eq!(report.groups, 32);
+        assert_eq!(report.leaves, 32 * 15);
+        assert_eq!(report.delivered_leaves, report.leaves);
+        assert_eq!(report.dropped_leaves, 0);
+        assert_eq!(report.delivery_rate(), 1.0);
+        assert_eq!(report.tree_arcs, 32 * 15, "one arc per reached node");
+        assert!(report.max_depth <= 4, "diameter of B(2,4)");
+        // Replication is the whole point: unicast would pay the mean
+        // path length per leaf, the tree pays one arc per node.
+        assert!(report.unicast_hops > report.tree_arcs);
+        assert!(report.replication_saving() > 1.5);
+        assert!(report.multicast_forwarding_index < report.unicast_forwarding_index);
+        assert!(report.multicast_forwarding_index >= 1);
+        // Load conservation: the link loads sum to the arcs charged.
+        assert_eq!(report.link_load.iter().sum::<u64>(), report.tree_arcs);
+        assert!(report.latency_p50_ps <= report.latency_p99_ps);
+        assert!(report.latency_p99_ps <= report.latency_max_ps);
+        assert!(report.all_budgets_close);
+    }
+
+    #[test]
+    fn singleton_groups_match_the_unicast_engine() {
+        // A multicast workload of fanout-1 groups is just unicast: the
+        // tree arcs must equal the unicast run's hops and the two
+        // forwarding indices must collapse onto the unicast one.
+        let (sim, workload) = engine_fixture();
+        let engine = TrafficEngine::new(&sim);
+        let router = RoutingTable::from_family(sim.h());
+        let groups: Vec<super::super::MulticastGroup> = workload
+            .iter()
+            .map(|&(src, dst)| super::super::MulticastGroup {
+                root: src,
+                dsts: vec![dst],
+            })
+            .collect();
+        let unicast = engine.run(&router, &workload);
+        let multicast = engine.run_multicast(&router, &groups);
+        assert_eq!(multicast.delivered_leaves, unicast.delivered);
+        assert_eq!(multicast.tree_arcs, unicast.total_hops);
+        assert_eq!(multicast.unicast_hops, unicast.total_hops);
+        assert_eq!(multicast.link_load, unicast.link_load);
+        assert_eq!(multicast.multicast_forwarding_index, unicast.max_link_load);
+        assert_eq!(multicast.unicast_forwarding_index, unicast.max_link_load);
+        assert_eq!(multicast.replication_saving(), 1.0);
+        assert!((multicast.energy_total_pj - unicast.energy_total_pj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multicast_unreachable_leaves_are_dropped() {
+        let (sim, _) = engine_fixture();
+        let engine = TrafficEngine::new(&sim);
+        struct NoRouter(u64);
+        impl otis_core::Router for NoRouter {
+            fn node_count(&self) -> u64 {
+                self.0
+            }
+            fn name(&self) -> String {
+                "none".into()
+            }
+            fn next_hop(&self, _: u64, _: u64) -> Option<u64> {
+                None
+            }
+        }
+        let groups = vec![super::super::MulticastGroup {
+            root: 0,
+            dsts: vec![0, 3, 5],
+        }];
+        let report = engine.run_multicast(&NoRouter(16), &groups);
+        assert_eq!(report.delivered_leaves, 1, "the self-request");
+        assert_eq!(report.dropped_leaves, 2);
+        assert_eq!(report.tree_arcs, 0);
     }
 
     #[test]

@@ -45,5 +45,7 @@ pub use queueing::reference::ReferenceEngine;
 pub use queueing::{
     ContentionPolicy, LinkOccupancy, QueueConfig, QueueingEngine, SaturationPoint, SaturationSweep,
 };
-pub use report::{ClassBreakdown, ClassStats, QueueingReport, TrafficReport};
-pub use workload::{generate_workload, TrafficPattern};
+pub use report::{ClassBreakdown, ClassStats, MulticastReport, QueueingReport, TrafficReport};
+pub use workload::{
+    generate_multicast_workload, generate_workload, MulticastGroup, TrafficPattern,
+};

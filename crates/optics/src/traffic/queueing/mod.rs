@@ -70,7 +70,8 @@ pub mod reference;
 mod run;
 
 use super::report::QueueingReport;
-use otis_core::{CongestionMap, Dateline, DigraphFamily, Router};
+use super::workload::MulticastGroup;
+use otis_core::{CongestionMap, Dateline, DigraphFamily, MulticastTree, Router};
 use otis_digraph::Digraph;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -215,6 +216,237 @@ impl CongestionMap for LinkOccupancy {
     fn queued_vc(&self, from: u64, to: u64, vc: u8) -> usize {
         self.arc_of(from, to)
             .map_or(0, |arc| self.channel_occupancy(arc, vc as usize))
+    }
+}
+
+/// A multicast workload's delivery trees, flattened for the cycle
+/// loop: every tree arc of every group gets one global `u32` id (the
+/// id an in-flight packet copy carries in its arena `dst` slot), with
+/// per-arc fabric arc, CSR child lists, delivery counts and subtree
+/// *weights* — the number of requested destination leaves below the
+/// arc, which is the leaf-unit bookkeeping the conservation law
+/// `injected_leaves = delivered + dropped + in_flight` runs on.
+///
+/// Arcs whose endpoints the fabric does not connect (a router proposed
+/// a non-neighbor) or that serve no leaf at all (partial walks toward
+/// destinations that turned out unreachable) are pruned here, their
+/// leaves folded into the group's unroutable count, so the cycle loop
+/// only ever sees spawnable copies.
+pub(super) struct TreeSet {
+    /// Per tree arc: the fabric arc it rides.
+    fabric_arc: Vec<u32>,
+    /// Per tree arc: requests delivered at its child endpoint.
+    deliveries: Vec<u32>,
+    /// Per tree arc: requested leaves in its subtree (≥ deliveries).
+    weight: Vec<u32>,
+    /// CSR child lists: `child_arcs[child_off[t]..child_off[t+1]]`.
+    child_off: Vec<u32>,
+    child_arcs: Vec<u32>,
+    /// CSR root lists per group, same layout.
+    root_off: Vec<u32>,
+    root_arcs: Vec<u32>,
+    /// Per group: the root node.
+    root: Vec<u64>,
+    /// Per group: requests for the root itself (delivered at source).
+    self_requests: Vec<u32>,
+    /// Per group: leaves with no usable route (unreachable + pruned).
+    unroutable: Vec<u32>,
+    /// Per group: every requested leaf (= self + unroutable + the
+    /// root arcs' weights).
+    leaves: Vec<u32>,
+    /// Max per-fabric-arc tree count — the static multicast
+    /// forwarding index of this workload under this routing.
+    forwarding_index: u64,
+}
+
+impl TreeSet {
+    /// Flatten `groups`' delivery trees over `router` against fabric
+    /// `g`.
+    pub(super) fn build(g: &Digraph, router: &dyn Router, groups: &[MulticastGroup]) -> Self {
+        let mut set = TreeSet {
+            fabric_arc: Vec::new(),
+            deliveries: Vec::new(),
+            weight: Vec::new(),
+            child_off: Vec::new(),
+            child_arcs: Vec::new(),
+            root_off: vec![0],
+            root_arcs: Vec::new(),
+            root: Vec::with_capacity(groups.len()),
+            self_requests: Vec::with_capacity(groups.len()),
+            unroutable: Vec::with_capacity(groups.len()),
+            leaves: Vec::with_capacity(groups.len()),
+            forwarding_index: 0,
+        };
+        let mut tree_load = vec![0u64; g.arc_count()];
+        // Scratch, reused per group: invalid flags, kept-subtree
+        // weights, local→global ids.
+        let mut invalid: Vec<bool> = Vec::new();
+        let mut kept_weight: Vec<u64> = Vec::new();
+        let mut fabric_of: Vec<u32> = Vec::new();
+        let mut global_id: Vec<u32> = Vec::new();
+        let mut children: Vec<Vec<u32>> = Vec::new();
+        for group in groups {
+            let tree = MulticastTree::build(router, group.root, &group.dsts);
+            let arcs = tree.arc_count();
+            invalid.clear();
+            invalid.resize(arcs, false);
+            fabric_of.clear();
+            fabric_of.resize(arcs, u32::MAX);
+            global_id.clear();
+            global_id.resize(arcs, 0);
+            children.clear();
+            children.resize(arcs, Vec::new());
+            // Pass 1 (forward): an invalid arc — the router proposed a
+            // non-fabric hop — prunes its whole subtree at its topmost
+            // occurrence, where the subtree's leaves all become
+            // unroutable; descendants are marked silently.
+            let mut unroutable = tree.unreachable().len() as u64;
+            for arc in 0..arcs {
+                if let Some(parent) = tree.parent_arc(arc) {
+                    if invalid[parent] {
+                        invalid[arc] = true;
+                        continue;
+                    }
+                }
+                match arc_of(g, tree.endpoints(arc).0, tree.endpoints(arc).1) {
+                    Some(fabric) => fabric_of[arc] = fabric as u32,
+                    None => {
+                        invalid[arc] = true;
+                        unroutable += tree.leaf_load(arc);
+                    }
+                }
+            }
+            // Pass 2 (reverse): the weight each surviving arc actually
+            // carries — its own deliveries plus surviving children
+            // only. Leaves lost to pruned subtrees must NOT stay in
+            // ancestor weights (they are already in `unroutable`, and
+            // double-counting breaks leaf conservation).
+            kept_weight.clear();
+            kept_weight.resize(arcs, 0);
+            for arc in (0..arcs).rev() {
+                if invalid[arc] {
+                    continue;
+                }
+                kept_weight[arc] += tree.deliveries_at(arc);
+                if let Some(parent) = tree.parent_arc(arc) {
+                    kept_weight[parent] += kept_weight[arc];
+                }
+            }
+            // Pass 3 (forward): emit the kept arcs — valid and with a
+            // positive surviving weight (a zero-weight arc serves no
+            // leaf: partial walks toward unreachable destinations, or
+            // chains whose every leaf was pruned away).
+            for arc in 0..arcs {
+                if invalid[arc] || kept_weight[arc] == 0 {
+                    continue;
+                }
+                let id = set.fabric_arc.len() as u32;
+                global_id[arc] = id;
+                set.fabric_arc.push(fabric_of[arc]);
+                tree_load[fabric_of[arc] as usize] += 1;
+                set.deliveries.push(tree.deliveries_at(arc) as u32);
+                set.weight.push(kept_weight[arc] as u32);
+                match tree.parent_arc(arc) {
+                    Some(parent) => children[parent].push(id),
+                    None => set.root_arcs.push(id),
+                }
+            }
+            // Child CSR rows, in global-id (= tree) order.
+            for arc in 0..arcs {
+                if !invalid[arc] && kept_weight[arc] > 0 {
+                    set.child_off.push(set.child_arcs.len() as u32);
+                    set.child_arcs.extend_from_slice(&children[arc]);
+                }
+            }
+            set.root_off.push(set.root_arcs.len() as u32);
+            set.root.push(group.root);
+            set.self_requests.push(tree.self_requests() as u32);
+            set.unroutable.push(unroutable as u32);
+            set.leaves.push(tree.total_leaves() as u32);
+            // The leaf partition the conservation law runs on: every
+            // requested leaf is a self-request, unroutable, or carried
+            // by exactly one surviving root arc.
+            debug_assert_eq!(
+                tree.total_leaves(),
+                tree.self_requests() as u64 + unroutable + {
+                    let lo = set.root_off[set.root_off.len() - 2] as usize;
+                    set.root_arcs[lo..]
+                        .iter()
+                        .map(|&t| set.weight[t as usize] as u64)
+                        .sum::<u64>()
+                },
+                "pruning lost or double-counted leaves"
+            );
+        }
+        set.child_off.push(set.child_arcs.len() as u32);
+        set.forwarding_index = tree_load.iter().copied().max().unwrap_or(0);
+        set
+    }
+
+    /// Number of groups flattened.
+    pub(super) fn group_count(&self) -> usize {
+        self.root.len()
+    }
+
+    /// Total spawnable tree arcs — the arena capacity bound: each arc
+    /// hosts at most one live copy over the whole run.
+    pub(super) fn arc_count(&self) -> usize {
+        self.fabric_arc.len()
+    }
+
+    /// The fabric arc the `t`-th tree arc rides.
+    pub(super) fn fabric_arc(&self, t: u32) -> usize {
+        self.fabric_arc[t as usize] as usize
+    }
+
+    /// Requests delivered at the `t`-th tree arc's head.
+    pub(super) fn deliveries(&self, t: u32) -> u32 {
+        self.deliveries[t as usize]
+    }
+
+    /// Requested leaves below (and at) the `t`-th tree arc.
+    pub(super) fn weight(&self, t: u32) -> u32 {
+        self.weight[t as usize]
+    }
+
+    /// Child tree arcs of the `t`-th tree arc.
+    pub(super) fn children(&self, t: u32) -> &[u32] {
+        let lo = self.child_off[t as usize] as usize;
+        let hi = self.child_off[t as usize + 1] as usize;
+        &self.child_arcs[lo..hi]
+    }
+
+    /// Tree arcs hanging off group `g`'s root.
+    pub(super) fn group_root_arcs(&self, g: usize) -> &[u32] {
+        let lo = self.root_off[g] as usize;
+        let hi = self.root_off[g + 1] as usize;
+        &self.root_arcs[lo..hi]
+    }
+
+    /// Group `g`'s root node.
+    pub(super) fn group_root(&self, g: usize) -> u64 {
+        self.root[g]
+    }
+
+    /// Group `g`'s root self-requests.
+    pub(super) fn group_self_requests(&self, g: usize) -> u32 {
+        self.self_requests[g]
+    }
+
+    /// Group `g`'s unroutable leaves.
+    pub(super) fn group_unroutable(&self, g: usize) -> u32 {
+        self.unroutable[g]
+    }
+
+    /// Group `g`'s total requested leaves.
+    pub(super) fn group_leaves(&self, g: usize) -> u32 {
+        self.leaves[g]
+    }
+
+    /// The static multicast forwarding index of the flattened
+    /// workload.
+    pub(super) fn forwarding_index(&self) -> u64 {
+        self.forwarding_index
     }
 }
 
@@ -387,7 +619,41 @@ impl QueueingEngine {
         offered_per_cycle: f64,
         hot_dst: Option<u64>,
     ) -> QueueingReport {
-        run::execute(self, router, workload, offered_per_cycle, hot_dst)
+        run::execute(
+            self,
+            router,
+            run::Work::Unicast(workload),
+            offered_per_cycle,
+            hot_dst,
+        )
+    }
+
+    /// Inject one-to-many `groups` at `offered_per_cycle` **groups**
+    /// per cycle and simulate their delivery trees with in-fabric
+    /// replication: a copy reaching a tree branch spawns one child
+    /// copy per child arc inside the packet arena, every arc is
+    /// crossed once however many leaves it serves, and delivery is
+    /// counted per destination leaf. All leaf-unit counters of the
+    /// report (`injected`, `delivered`, drops, `in_flight`) obey
+    /// `injected_leaves = delivered + dropped + in_flight`.
+    /// Backpressure, dateline VC classes and the deterministic
+    /// sharded drain work unchanged: a branch blocks until every
+    /// non-relief child FIFO has room, promotes each child per its own
+    /// arc, and reports byte-identically at any `drain_threads`.
+    pub fn run_multicast(
+        &self,
+        router: &dyn Router,
+        groups: &[MulticastGroup],
+        offered_per_cycle: f64,
+    ) -> QueueingReport {
+        let trees = TreeSet::build(&self.g, router, groups);
+        run::execute(
+            self,
+            router,
+            run::Work::Multicast(&trees),
+            offered_per_cycle,
+            None,
+        )
     }
 
     /// Sweep offered load (packets per **node** per cycle) and measure
@@ -804,6 +1070,167 @@ mod tests {
         let single = run_with(1);
         assert_eq!(single, run_with(2), "2 threads changed the report");
         assert_eq!(single, run_with(8), "8 threads changed the report");
+    }
+
+    #[test]
+    fn multicast_broadcast_tree_replicates_and_conserves() {
+        use otis_core::{DeBruijn, DeBruijnRouter};
+        let b = DeBruijn::new(2, 3);
+        let n = b.node_count(); // 8
+        let router = DeBruijnRouter::new(b);
+        let engine = QueueingEngine::from_family(&b, QueueConfig::default());
+        let groups = [MulticastGroup {
+            root: 0,
+            dsts: (1..n).collect(),
+        }];
+        let report = engine.run_multicast(&router, &groups, 1.0);
+        // Leaf-unit conservation: injected_leaves = delivered +
+        // dropped + in_flight.
+        assert!(report.conserves_packets(), "{report:?}");
+        assert_eq!(report.injected, 7, "leaves, not packets");
+        assert_eq!(report.delivered, 7);
+        assert_eq!(report.dropped(), 0);
+        assert_eq!(report.in_flight, 0);
+        assert_eq!(report.multicast_groups, 1);
+        // A broadcast tree on 8 nodes has 7 arcs; the root injects
+        // its root-child copies, every other copy is a replication.
+        let tree = otis_core::MulticastTree::broadcast(&b, 0);
+        let root_copies = tree.root_arcs().len() as u64;
+        assert_eq!(report.replicated_copies, 7 - root_copies);
+        // One tree: its forwarding index is 1 (each link carries at
+        // most one arc of one tree).
+        assert_eq!(report.multicast_forwarding_index, 1);
+        // Depth of a copy equals its BFS level; uncontended, every
+        // leaf waits zero cycles.
+        assert_eq!(report.max_hops, tree.max_depth());
+        assert_eq!(report.wait_max_cycles, 0);
+        assert!(!report.deadlocked);
+    }
+
+    #[test]
+    fn multicast_self_and_unroutable_leaves_retire_at_injection() {
+        let g = Digraph::from_fn(3, |u| if u == 0 { vec![1] } else { vec![] });
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, QueueConfig::default());
+        let groups = [MulticastGroup {
+            root: 0,
+            dsts: vec![0, 1, 2],
+        }];
+        let report = engine.run_multicast(&router, &groups, 1.0);
+        assert!(report.conserves_packets(), "{report:?}");
+        assert_eq!(report.injected, 3);
+        assert_eq!(report.delivered, 2, "self-request + the real route");
+        assert_eq!(report.dropped_unroutable, 1);
+        assert_eq!(report.replicated_copies, 0);
+    }
+
+    #[test]
+    fn multicast_prunes_off_fabric_subtrees_without_double_counting() {
+        // A router that routes the chain 0→1→2 correctly but claims a
+        // hop 2→3 the fabric does not have: the pruned subtree's leaf
+        // must land in `dropped_unroutable` exactly once — NOT also
+        // linger in ancestor arc weights, which would strand phantom
+        // in-flight leaves and break conservation (and report a
+        // spurious deadlock).
+        struct LiarRouter;
+        impl Router for LiarRouter {
+            fn node_count(&self) -> u64 {
+                4
+            }
+            fn name(&self) -> String {
+                "liar".into()
+            }
+            fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+                // Shortest chain hops toward 1, 2, 3 — but the fabric
+                // below only materializes 0→1→2.
+                (current < dst).then_some(current + 1)
+            }
+        }
+        let g = Digraph::from_fn(4, |u| if u < 2 { vec![u + 1] } else { vec![] });
+        let engine = QueueingEngine::new(g, QueueConfig::default());
+        let groups = [MulticastGroup {
+            root: 0,
+            dsts: vec![1, 2, 3],
+        }];
+        let report = engine.run_multicast(&LiarRouter, &groups, 1.0);
+        assert!(report.conserves_packets(), "{report:?}");
+        assert_eq!(report.injected, 3);
+        assert_eq!(report.delivered, 2, "the on-fabric prefix delivers");
+        assert_eq!(report.dropped_unroutable, 1, "the pruned leaf, once");
+        assert_eq!(report.in_flight, 0, "no phantom leaves left in flight");
+        assert!(!report.deadlocked, "{report:?}");
+        // A tree whose EVERY leaf hangs below the bad hop vanishes
+        // entirely: all leaves unroutable, nothing injected in-fabric.
+        let g = Digraph::from_fn(4, |u| if u < 2 { vec![u + 1] } else { vec![] });
+        let engine = QueueingEngine::new(g, QueueConfig::default());
+        let groups = [MulticastGroup {
+            root: 0,
+            dsts: vec![3],
+        }];
+        let report = engine.run_multicast(&LiarRouter, &groups, 1.0);
+        assert!(report.conserves_packets(), "{report:?}");
+        assert_eq!(report.dropped_unroutable, 1);
+        assert_eq!(report.delivered, 0);
+        assert_eq!(report.in_flight, 0);
+        assert_eq!(
+            report.replicated_copies, 0,
+            "zero-weight chain never spawns"
+        );
+    }
+
+    #[test]
+    fn multicast_taildrop_drops_whole_subtrees() {
+        // A 4-cycle with single-slot buffers: two simultaneous
+        // broadcast groups from the same root contend for the one
+        // injection channel; the loser's whole tree weight drops.
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(1, 1, ContentionPolicy::TailDrop));
+        let groups = [
+            MulticastGroup {
+                root: 0,
+                dsts: vec![1, 2, 3],
+            },
+            MulticastGroup {
+                root: 0,
+                dsts: vec![1, 2, 3],
+            },
+        ];
+        let report = engine.run_multicast(&router, &groups, 2.0);
+        assert!(report.conserves_packets(), "{report:?}");
+        assert_eq!(report.injected, 6);
+        assert_eq!(report.delivered, 3, "one tree survives");
+        assert_eq!(report.dropped_full, 3, "the other drops root-first");
+        assert_eq!(
+            report.multicast_forwarding_index, 2,
+            "two trees share each link"
+        );
+    }
+
+    #[test]
+    fn multicast_backpressure_stalls_groups_losslessly() {
+        // Same contention under backpressure: nothing drops, the
+        // second group just waits for the first to clear.
+        let g = cycle(4);
+        let router = RoutingTable::new(&g);
+        let engine = QueueingEngine::new(g, config(1, 1, ContentionPolicy::Backpressure));
+        let groups = [
+            MulticastGroup {
+                root: 0,
+                dsts: vec![1, 2, 3],
+            },
+            MulticastGroup {
+                root: 0,
+                dsts: vec![1, 2, 3],
+            },
+        ];
+        let report = engine.run_multicast(&router, &groups, 2.0);
+        assert!(report.conserves_packets(), "{report:?}");
+        assert!(!report.deadlocked, "{report:?}");
+        assert_eq!(report.delivered, 6);
+        assert_eq!(report.dropped(), 0);
+        assert!(report.source_stall_cycles > 0, "{report:?}");
+        assert!(report.wait_max_cycles > 0, "the second tree queued");
     }
 
     #[test]

@@ -498,7 +498,335 @@ impl ReferenceEngine {
             peak_occupancy,
             vc_peak_occupancy,
             delivered_per_link,
+            multicast_groups: 0,
+            replicated_copies: 0,
+            multicast_forwarding_index: 0,
             class_stats,
+        }
+    }
+
+    /// As [`super::QueueingEngine::run_multicast`], on the legacy hot
+    /// path: the same replication rule — one copy per tree arc,
+    /// spawned at branch nodes, delivery counted per destination leaf,
+    /// `injected_leaves = delivered + dropped + in_flight` — over the
+    /// full `O(arcs × vcs)` scan and live room credits. The
+    /// differential battery pins the rewritten engine against this on
+    /// uncontended runs, where credit timing cannot matter.
+    pub fn run_multicast(
+        &self,
+        router: &dyn Router,
+        groups: &[crate::traffic::MulticastGroup],
+        offered_per_cycle: f64,
+    ) -> QueueingReport {
+        assert!(
+            offered_per_cycle > 0.0,
+            "offered load must be positive, got {offered_per_cycle}"
+        );
+        let n = self.node_count();
+        assert_eq!(
+            router.node_count(),
+            n,
+            "router covers {} nodes but the fabric has {n}",
+            router.node_count()
+        );
+        let trees = super::TreeSet::build(&self.g, router, groups);
+        let arcs = self.g.arc_count();
+        let vcs = self.config.vcs;
+        let channels = arcs * vcs;
+        let dateline = &self.dateline;
+        let hop_limit = self
+            .config
+            .hop_limit
+            .unwrap_or_else(|| (2 * n).max(64) as u32);
+        let buffers = self.config.buffers;
+        let wavelengths = self.config.wavelengths;
+
+        /// One tree copy in flight.
+        #[derive(Clone, Copy)]
+        struct Copy {
+            tree_arc: u32,
+            offered_cycle: u64,
+            hops: u32,
+            vc: u8,
+        }
+
+        let mut queues: Vec<VecDeque<Copy>> = (0..channels).map(|_| VecDeque::new()).collect();
+        for count in self.counts.iter() {
+            count.store(0, Ordering::Relaxed);
+        }
+        let mut peak = vec![0u32; channels];
+        let mut staged: Vec<(usize, Copy)> = Vec::new();
+        let mut staged_len = vec![0u32; channels];
+        let mut vc_blocked = vec![false; vcs];
+
+        let mut sources: Vec<VecDeque<usize>> = vec![VecDeque::new(); n as usize];
+        for group in 0..trees.group_count() {
+            let root = trees.group_root(group);
+            assert!(
+                root < n,
+                "group root {root} is not a fabric node (fabric has {n})"
+            );
+            sources[root as usize].push_back(group);
+        }
+        let source_ids: Vec<usize> = (0..n as usize)
+            .filter(|&src| !sources[src].is_empty())
+            .collect();
+
+        let mut injected = 0usize;
+        let mut groups_injected = 0usize;
+        let mut replicated = 0u64;
+        let mut pending = trees.group_count();
+        let mut delivered = 0usize;
+        let mut dropped_full = 0usize;
+        let mut dropped_unroutable = 0usize;
+        let mut dropped_ttl = 0usize;
+        let mut delivered_hops = 0u64;
+        let mut max_hops = 0u32;
+        let mut waits: Vec<u64> = Vec::new();
+        let mut deadlocked = false;
+        let mut dateline_promotions = 0u64;
+        let mut dateline_relief = 0u64;
+        let mut source_stall_cycles = 0u64;
+        let mut delivered_per_link = vec![0u64; arcs];
+        let mut in_network = 0usize; // leaf units
+        let mut cycle = 0u64;
+        let offer_cycle =
+            |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
+
+        let bump = |counts: &Arc<[AtomicU32]>, chan: usize, delta: i32| {
+            if delta >= 0 {
+                counts[chan].fetch_add(delta as u32, Ordering::Relaxed);
+            } else {
+                counts[chan].fetch_sub((-delta) as u32, Ordering::Relaxed);
+            }
+        };
+
+        while (pending > 0 || in_network > 0) && cycle < self.config.max_cycles {
+            let mut activity = 0usize;
+
+            // --- injection phase ---------------------------------
+            let scan_count = if pending == 0 { 0 } else { source_ids.len() };
+            let source_start = if source_ids.is_empty() {
+                0
+            } else {
+                cycle as usize % source_ids.len()
+            };
+            for scan in 0..scan_count {
+                let src = source_ids[(source_start + scan) % source_ids.len()];
+                'groups: while let Some(&group) = sources[src].front() {
+                    if offer_cycle(group) > cycle {
+                        break;
+                    }
+                    let roots = trees.group_root_arcs(group);
+                    if self.config.policy == ContentionPolicy::Backpressure {
+                        for &t in roots {
+                            let arc = trees.fabric_arc(t);
+                            let vc0 = dateline.next_class_arc(0, arc);
+                            let chan = arc * vcs + vc0 as usize;
+                            if queues[chan].len() >= buffers {
+                                source_stall_cycles += 1;
+                                break 'groups;
+                            }
+                        }
+                    }
+                    sources[src].pop_front();
+                    pending -= 1;
+                    groups_injected += 1;
+                    injected += trees.group_leaves(group) as usize;
+                    let self_requests = trees.group_self_requests(group) as usize;
+                    if self_requests > 0 {
+                        delivered += self_requests;
+                        let wait = cycle - offer_cycle(group);
+                        for _ in 0..self_requests {
+                            waits.push(wait);
+                        }
+                    }
+                    dropped_unroutable += trees.group_unroutable(group) as usize;
+                    for &t in roots {
+                        let arc = trees.fabric_arc(t);
+                        let vc0 = dateline.next_class_arc(0, arc);
+                        let chan = arc * vcs + vc0 as usize;
+                        if queues[chan].len() < buffers {
+                            if vc0 > 0 {
+                                dateline_promotions += 1;
+                            }
+                            queues[chan].push_back(Copy {
+                                tree_arc: t,
+                                offered_cycle: offer_cycle(group),
+                                hops: 0,
+                                vc: vc0,
+                            });
+                            bump(&self.counts, chan, 1);
+                            peak[chan] = peak[chan].max(queues[chan].len() as u32);
+                            in_network += trees.weight(t) as usize;
+                        } else {
+                            debug_assert_eq!(self.config.policy, ContentionPolicy::TailDrop);
+                            dropped_full += trees.weight(t) as usize;
+                        }
+                    }
+                    activity += 1;
+                }
+            }
+
+            // --- drain phase -------------------------------------
+            let link_start = if arcs == 0 { 0 } else { cycle as usize % arcs };
+            let vc_start = cycle as usize % vcs;
+            for step in 0..arcs {
+                let arc = (link_start + step) % arcs;
+                let mut budget = wavelengths;
+                vc_blocked.fill(false);
+                'link: loop {
+                    let mut progressed = false;
+                    for offset in 0..vcs {
+                        if budget == 0 {
+                            break 'link;
+                        }
+                        let vc = (vc_start + offset) % vcs;
+                        if vc_blocked[vc] {
+                            continue;
+                        }
+                        let chan = arc * vcs + vc;
+                        let Some(&head) = queues[chan].front() else {
+                            vc_blocked[vc] = true;
+                            continue;
+                        };
+                        let t = head.tree_arc;
+                        let hops_after = head.hops + 1;
+                        if hops_after >= hop_limit {
+                            queues[chan].pop_front();
+                            bump(&self.counts, chan, -1);
+                            dropped_ttl += trees.weight(t) as usize;
+                            in_network -= trees.weight(t) as usize;
+                            activity += 1;
+                            budget -= 1;
+                            progressed = true;
+                            continue;
+                        }
+                        let children = trees.children(t);
+                        if self.config.policy == ContentionPolicy::Backpressure {
+                            let blocked = children.iter().any(|&child| {
+                                let child_arc = trees.fabric_arc(child);
+                                let child_vc = dateline.next_class_arc(head.vc, child_arc);
+                                let child_chan = child_arc * vcs + child_vc as usize;
+                                queues[child_chan].len() + staged_len[child_chan] as usize
+                                    >= buffers
+                                    && !dateline.needs_relief(head.vc, child_arc)
+                            });
+                            if blocked {
+                                vc_blocked[vc] = true;
+                                continue;
+                            }
+                        }
+                        queues[chan].pop_front();
+                        bump(&self.counts, chan, -1);
+                        let deliveries = trees.deliveries(t) as usize;
+                        if deliveries > 0 {
+                            delivered += deliveries;
+                            in_network -= deliveries;
+                            delivered_per_link[arc] += deliveries as u64;
+                            delivered_hops += deliveries as u64 * hops_after as u64;
+                            max_hops = max_hops.max(hops_after);
+                            let wait = cycle + 1 - head.offered_cycle - hops_after as u64;
+                            for _ in 0..deliveries {
+                                waits.push(wait);
+                            }
+                        }
+                        for &child in children {
+                            let child_arc = trees.fabric_arc(child);
+                            let child_vc = dateline.next_class_arc(head.vc, child_arc);
+                            let child_chan = child_arc * vcs + child_vc as usize;
+                            let occupied =
+                                queues[child_chan].len() + staged_len[child_chan] as usize;
+                            if occupied >= buffers {
+                                match self.config.policy {
+                                    ContentionPolicy::TailDrop => {
+                                        dropped_full += trees.weight(child) as usize;
+                                        in_network -= trees.weight(child) as usize;
+                                        continue;
+                                    }
+                                    ContentionPolicy::Backpressure => dateline_relief += 1,
+                                }
+                            }
+                            if child_vc > head.vc {
+                                dateline_promotions += 1;
+                            }
+                            staged_len[child_chan] += 1;
+                            bump(&self.counts, child_chan, 1);
+                            replicated += 1;
+                            staged.push((
+                                child_chan,
+                                Copy {
+                                    tree_arc: child,
+                                    offered_cycle: head.offered_cycle,
+                                    hops: hops_after,
+                                    vc: child_vc,
+                                },
+                            ));
+                        }
+                        activity += 1;
+                        budget -= 1;
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+            }
+            for (chan, copy) in staged.drain(..) {
+                queues[chan].push_back(copy);
+                peak[chan] = peak[chan].max(queues[chan].len() as u32);
+            }
+            staged_len.fill(0);
+
+            cycle += 1;
+            if activity == 0 && in_network > 0 {
+                deadlocked = true;
+                break;
+            }
+        }
+
+        waits.sort_unstable();
+        let wait_mean_cycles = if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<u64>() as f64 / waits.len() as f64
+        };
+        let peak_occupancy: Vec<u32> = (0..arcs)
+            .map(|arc| (0..vcs).map(|vc| peak[arc * vcs + vc]).max().unwrap_or(0))
+            .collect();
+        let vc_peak_occupancy: Vec<u32> = (0..vcs)
+            .map(|vc| (0..arcs).map(|arc| peak[arc * vcs + vc]).max().unwrap_or(0))
+            .collect();
+
+        QueueingReport {
+            router: router.name(),
+            offered_per_cycle,
+            cycles: cycle,
+            injected,
+            delivered,
+            dropped_full,
+            dropped_unroutable,
+            dropped_ttl,
+            in_flight: in_network,
+            deadlocked,
+            vcs,
+            dateline_promotions,
+            dateline_relief,
+            source_stall_cycles,
+            delivered_hops,
+            max_hops,
+            wait_mean_cycles,
+            wait_p50_cycles: percentile_u64(&waits, 0.50),
+            wait_p99_cycles: percentile_u64(&waits, 0.99),
+            wait_max_cycles: waits.last().copied().unwrap_or(0),
+            max_peak_occupancy: peak_occupancy.iter().copied().max().unwrap_or(0),
+            peak_occupancy,
+            vc_peak_occupancy,
+            delivered_per_link,
+            multicast_groups: groups_injected,
+            replicated_copies: replicated,
+            multicast_forwarding_index: trees.forwarding_index(),
+            class_stats: None,
         }
     }
 }

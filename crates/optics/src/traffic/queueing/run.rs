@@ -58,7 +58,7 @@
 //! phase boundary — stable within a cycle, hence still deterministic.
 
 use super::arena::{ArenaAllocator, ChannelQueues, PacketArena, NONE};
-use super::{arc_of, ContentionPolicy, QueueingEngine};
+use super::{arc_of, ContentionPolicy, QueueingEngine, TreeSet};
 use crate::traffic::report::{percentile_u64, ClassBreakdown, ClassStats, QueueingReport};
 use otis_core::{Dateline, Router};
 use otis_digraph::Digraph;
@@ -66,6 +66,29 @@ use otis_util::DenseBitset;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::sync::{Barrier, Mutex};
+
+/// What a run simulates: unicast `(src, dst)` pairs, or multicast
+/// delivery trees with in-fabric replication. The multicast variant
+/// flips the meaning of the report's packet counters to **destination
+/// leaves** (`injected_leaves = delivered + dropped + in_flight`),
+/// while everything structural — buffers, VC classes, backpressure,
+/// the deterministic sharded drain — is shared.
+pub(super) enum Work<'a> {
+    Unicast(&'a [(u64, u64)]),
+    Multicast(&'a TreeSet),
+}
+
+/// A staged replication: one child copy to materialize at the apply
+/// step (the arena allocator is owned by the sequential phases, so
+/// drain workers stage spawns instead of claiming ids). Room was
+/// already checked and `staged_len` bumped by the staging worker.
+struct Spawn {
+    chan: u32,
+    tree_arc: u32,
+    offered: u64,
+    hops: u32,
+    vc: u8,
+}
 
 /// Everything a drain worker may touch: immutable context plus shared
 /// slabs whose writes are disjoint by node ownership (each channel's
@@ -86,7 +109,11 @@ struct SharedRun<'a> {
     policy: ContentionPolicy,
     hop_limit: u32,
     /// Router promised pure hops — enable the per-packet cache.
+    /// Multicast runs are always stateless: copies follow prebuilt
+    /// trees, never the live router.
     stateless: bool,
+    /// The flattened delivery trees of a multicast run.
+    trees: Option<&'a TreeSet>,
     hot_dst: Option<u64>,
     classified: bool,
     arena: &'a PacketArena,
@@ -124,6 +151,11 @@ struct SharedRun<'a> {
 struct WorkerScratch {
     /// Staged arrivals `(channel, packet)`, in drain order.
     staged: Vec<(u32, u32)>,
+    /// Staged replications, in drain order. Per channel the apply
+    /// lands moves before spawns; both sequences are the channel's
+    /// source-node drain order, so arrival order stays independent of
+    /// the worker layout.
+    spawned: Vec<Spawn>,
     /// Batched pop counts `(channel, count)`.
     pops: Vec<(u32, u32)>,
     /// Departed packet ids (delivered or dropped), for recycling.
@@ -141,6 +173,7 @@ impl WorkerScratch {
     fn new(vcs: usize) -> Self {
         WorkerScratch {
             staged: Vec::new(),
+            spawned: Vec::new(),
             pops: Vec::new(),
             freed: Vec::new(),
             emptied: Vec::new(),
@@ -158,8 +191,14 @@ impl WorkerScratch {
 struct DrainStats {
     activity: usize,
     delivered: usize,
-    /// Packets that left the network (delivered + dropped).
+    /// Leaf units that left the network (delivered + dropped). For
+    /// unicast one packet is one leaf; for multicast a dropped copy
+    /// departs with its whole subtree weight.
     departed: usize,
+    /// Arena copies that left the network (`freed` entries).
+    departed_copies: usize,
+    /// Child copies staged at tree branches this phase.
+    spawned_copies: usize,
     dropped_full: usize,
     dropped_unroutable: usize,
     dropped_ttl: usize,
@@ -195,7 +234,15 @@ struct MainState {
     source_waiter_head: Vec<u32>,
     source_waiter_link: Vec<u32>,
     pending: usize,
+    /// Leaf units buffered in the fabric (unicast: packets).
     in_network: usize,
+    /// Live arena copies (multicast replication makes this differ
+    /// from `in_network`; unicast keeps them equal).
+    in_copies: usize,
+    /// Multicast groups that completed injection.
+    groups_injected: usize,
+    /// Child copies spawned at tree branches.
+    replicated: u64,
     injected: usize,
     delivered: usize,
     dropped_full: usize,
@@ -235,7 +282,7 @@ pub(super) fn resolve_threads(drain_threads: usize, n: usize) -> usize {
 pub(super) fn execute(
     engine: &QueueingEngine,
     router: &dyn Router,
-    workload: &[(u64, u64)],
+    work: Work<'_>,
     offered_per_cycle: f64,
     hot_dst: Option<u64>,
 ) -> QueueingReport {
@@ -263,8 +310,23 @@ pub(super) fn execute(
         count.store(0, Relaxed);
     }
 
-    let arena = PacketArena::with_capacity(workload.len());
-    let mut allocator = ArenaAllocator::new(workload.len());
+    // Injection items (pairs or groups) and the arena bound: a unicast
+    // run never holds more copies than packets; a multicast run never
+    // holds more copies than tree arcs (each arc is crossed once).
+    let (workload, trees) = match work {
+        Work::Unicast(pairs) => (pairs, None),
+        Work::Multicast(set) => {
+            assert!(hot_dst.is_none(), "multicast runs are unclassified");
+            (&[][..], Some(set))
+        }
+    };
+    let (items, capacity) = match trees {
+        Some(set) => (set.group_count(), set.arc_count()),
+        None => (workload.len(), workload.len()),
+    };
+
+    let arena = PacketArena::with_capacity(capacity);
+    let mut allocator = ArenaAllocator::new(capacity);
     let queues = ChannelQueues::new(channels);
     let node_ready: Vec<AtomicU32> = (0..n as usize).map(|_| AtomicU32::new(0)).collect();
     let active = DenseBitset::new(n as usize);
@@ -285,7 +347,8 @@ pub(super) fn execute(
         wavelengths: config.wavelengths,
         policy: config.policy,
         hop_limit,
-        stateless: router.hops_are_stateless(),
+        stateless: trees.is_some() || router.hops_are_stateless(),
+        trees,
         hot_dst,
         classified: hot_dst.is_some(),
         arena: &arena,
@@ -303,12 +366,26 @@ pub(super) fn execute(
 
     // Per-source injection queues, workload order within each source.
     let mut sources: Vec<VecDeque<usize>> = vec![VecDeque::new(); n as usize];
-    for (index, &(src, _)) in workload.iter().enumerate() {
-        assert!(
-            src < n,
-            "workload source {src} is not a fabric node (fabric has {n})"
-        );
-        sources[src as usize].push_back(index);
+    match trees {
+        Some(set) => {
+            for group in 0..set.group_count() {
+                let root = set.group_root(group);
+                assert!(
+                    root < n,
+                    "group root {root} is not a fabric node (fabric has {n})"
+                );
+                sources[root as usize].push_back(group);
+            }
+        }
+        None => {
+            for (index, &(src, _)) in workload.iter().enumerate() {
+                assert!(
+                    src < n,
+                    "workload source {src} is not a fabric node (fabric has {n})"
+                );
+                sources[src as usize].push_back(index);
+            }
+        }
     }
     let source_ids: Vec<usize> = (0..n as usize)
         .filter(|&src| !sources[src].is_empty())
@@ -323,8 +400,11 @@ pub(super) fn execute(
         source_parked_at: vec![u64::MAX; n as usize],
         source_waiter_head: vec![NONE; channels],
         source_waiter_link: vec![NONE; n as usize],
-        pending: workload.len(),
+        pending: items,
         in_network: 0,
+        in_copies: 0,
+        groups_injected: 0,
+        replicated: 0,
         injected: 0,
         delivered: 0,
         dropped_full: 0,
@@ -332,7 +412,7 @@ pub(super) fn execute(
         dropped_ttl: 0,
         delivered_hops: 0,
         max_hops: 0,
-        waits: Vec::with_capacity(workload.len()),
+        waits: Vec::with_capacity(items),
         class_injected: [0; 2],
         class_delivered: [0; 2],
         class_dropped: [0; 2],
@@ -379,13 +459,18 @@ pub(super) fn execute(
                 barrier.wait();
                 break;
             }
-            let mut activity = inject(
-                &shared,
-                &mut main,
-                &mut allocator,
-                workload,
-                offered_per_cycle,
-            );
+            let mut activity = match shared.trees {
+                Some(set) => {
+                    inject_multicast(&shared, &mut main, &mut allocator, set, offered_per_cycle)
+                }
+                None => inject(
+                    &shared,
+                    &mut main,
+                    &mut allocator,
+                    workload,
+                    offered_per_cycle,
+                ),
+            };
             shared.cycle.store(main.cycle, Relaxed);
             barrier.wait();
             {
@@ -408,13 +493,19 @@ pub(super) fn execute(
     });
 
     // Arena conservation: every slot handed out is either recycled
-    // (delivered/dropped) or still queued (in flight).
+    // (delivered/dropped) or still queued (in flight). Multicast
+    // copies are audited in copy units — their leaf-unit total is the
+    // report's `in_flight`.
+    let live_copies = if shared.trees.is_some() {
+        main.in_copies
+    } else {
+        main.in_network
+    };
     assert_eq!(
         allocator.live(),
-        main.in_network,
-        "arena leak: {} live slots vs {} in-flight packets",
+        live_copies,
+        "arena leak: {} live slots vs {live_copies} in-flight copies",
         allocator.live(),
-        main.in_network
     );
 
     // Sources still parked at the end: the scan would have re-stalled
@@ -436,7 +527,103 @@ pub(super) fn execute(
         router,
         offered_per_cycle,
         hot_dst,
+        trees,
     )
+}
+
+/// The injection phase of a multicast run: rotate over roots with
+/// pending groups, injecting one copy per root-child tree arc. A
+/// group injects all-or-nothing under backpressure (any full
+/// root-child FIFO stalls the root, which parks on it); under
+/// tail-drop the full children drop with their whole subtree weight
+/// and the rest inject. Root self-requests deliver at the source and
+/// unroutable leaves drop here, so a processed group always accounts
+/// for every one of its leaves.
+fn inject_multicast(
+    shared: &SharedRun,
+    main: &mut MainState,
+    allocator: &mut ArenaAllocator,
+    trees: &TreeSet,
+    offered_per_cycle: f64,
+) -> usize {
+    let offer_cycle =
+        |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
+    let cycle = main.cycle;
+    let mut activity = 0usize;
+    let scan_count = if main.pending == 0 {
+        0
+    } else {
+        main.source_ids.len()
+    };
+    let source_start = if main.source_ids.is_empty() {
+        0
+    } else {
+        cycle as usize % main.source_ids.len()
+    };
+    for scan in 0..scan_count {
+        let src = main.source_ids[(source_start + scan) % main.source_ids.len()];
+        if main.source_parked_at[src] != u64::MAX {
+            continue; // woken by the blocking channel's next pop
+        }
+        'groups: while let Some(&group) = main.sources[src].front() {
+            if offer_cycle(group) > cycle {
+                break;
+            }
+            let roots = trees.group_root_arcs(group);
+            if shared.policy == ContentionPolicy::Backpressure {
+                // All-or-nothing: probe every root child before
+                // committing anything.
+                for &t in roots {
+                    let arc = trees.fabric_arc(t);
+                    let vc0 = shared.dateline.next_class_arc(0, arc);
+                    let chan = arc * shared.vcs + vc0 as usize;
+                    if shared.queues.len[chan].load(Relaxed) >= shared.buffers {
+                        main.source_stall_cycles += 1;
+                        main.source_parked_at[src] = cycle;
+                        main.source_waiter_link[src] = main.source_waiter_head[chan];
+                        main.source_waiter_head[chan] = src as u32;
+                        break 'groups;
+                    }
+                }
+            }
+            main.sources[src].pop_front();
+            main.pending -= 1;
+            main.groups_injected += 1;
+            main.injected += trees.group_leaves(group) as usize;
+            let self_requests = trees.group_self_requests(group) as usize;
+            if self_requests > 0 {
+                // Delivered without entering the network.
+                main.delivered += self_requests;
+                let wait = cycle - offer_cycle(group);
+                for _ in 0..self_requests {
+                    main.waits.push(wait);
+                }
+            }
+            main.dropped_unroutable += trees.group_unroutable(group) as usize;
+            for &t in roots {
+                let arc = trees.fabric_arc(t);
+                let vc0 = shared.dateline.next_class_arc(0, arc);
+                let chan = arc * shared.vcs + vc0 as usize;
+                if shared.queues.len[chan].load(Relaxed) < shared.buffers {
+                    if vc0 > 0 {
+                        main.dateline_promotions += 1;
+                    }
+                    let id = allocator.claim();
+                    shared.arena.init(id, t, offer_cycle(group), vc0);
+                    push_packet(shared, &mut main.peak, chan, id);
+                    main.in_network += trees.weight(t) as usize;
+                    main.in_copies += 1;
+                } else {
+                    // Only reachable under tail-drop — backpressure
+                    // probed every child above.
+                    debug_assert_eq!(shared.policy, ContentionPolicy::TailDrop);
+                    main.dropped_full += trees.weight(t) as usize;
+                }
+            }
+            activity += 1;
+        }
+    }
+    activity
 }
 
 /// The injection phase: rotate over sources with pending traffic,
@@ -633,11 +820,26 @@ fn drain_node(shared: &SharedRun, node: usize, cycle: u64, ws: &mut WorkerScratc
     let degree = hi - lo;
     debug_assert!(degree > 0, "ready channels imply inbound arcs");
     let rotation = cycle as usize % degree;
-    for step in 0..degree {
-        let arc = shared.in_arcs[lo + (rotation + step) % degree] as usize;
-        drain_arc(shared, arc, node as u64, cycle, ws);
-        if shared.node_ready[node].load(Relaxed) == 0 {
-            break;
+    // Branch once per node, not once per arc — the unicast hot path
+    // must not pay for the multicast dispatch.
+    match shared.trees {
+        Some(trees) => {
+            for step in 0..degree {
+                let arc = shared.in_arcs[lo + (rotation + step) % degree] as usize;
+                drain_arc_mc(shared, trees, arc, node as u64, cycle, ws);
+                if shared.node_ready[node].load(Relaxed) == 0 {
+                    break;
+                }
+            }
+        }
+        None => {
+            for step in 0..degree {
+                let arc = shared.in_arcs[lo + (rotation + step) % degree] as usize;
+                drain_arc(shared, arc, node as u64, cycle, ws);
+                if shared.node_ready[node].load(Relaxed) == 0 {
+                    break;
+                }
+            }
         }
     }
     if shared.node_ready[node].load(Relaxed) == 0 {
@@ -850,6 +1052,179 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
     }
 }
 
+/// Drain one arc of a multicast run: up to `wavelengths` copies off
+/// its VC FIFO heads. A drained copy delivers to the requests at its
+/// tree arc's head and **replicates** — one staged child copy per
+/// child tree arc, each promoted per its own arc's dateline crossing.
+/// Under backpressure the branch is all-or-nothing: it blocks (and
+/// parks — trees are static, so the blocker is fixed) until every
+/// non-relief child FIFO has room; under tail-drop a full child
+/// drops with its entire subtree weight while its siblings proceed.
+fn drain_arc_mc(
+    shared: &SharedRun,
+    trees: &TreeSet,
+    arc: usize,
+    node: u64,
+    cycle: u64,
+    ws: &mut WorkerScratch,
+) {
+    let vcs = shared.vcs;
+    let vc_start = cycle as usize % vcs;
+    let mut budget = shared.wavelengths;
+    let mut parked_here = 0u32;
+    ws.vc_blocked[..vcs].fill(false);
+    ws.vc_pops[..vcs].fill(0);
+    'link: loop {
+        let mut progressed = false;
+        for offset in 0..vcs {
+            if budget == 0 {
+                break 'link;
+            }
+            let vc = (vc_start + offset) % vcs;
+            if ws.vc_blocked[vc] {
+                continue;
+            }
+            let chan = arc * vcs + vc;
+            if shared.parked[chan].load(Relaxed) != 0 {
+                ws.vc_blocked[vc] = true;
+                continue;
+            }
+            let head = shared.queues.head[chan].load(Relaxed);
+            if head == NONE {
+                ws.vc_blocked[vc] = true;
+                continue;
+            }
+            let slot = head as usize;
+            let t = shared.arena.dst[slot].load(Relaxed);
+            let hops_after = shared.arena.hops[slot].load(Relaxed) + 1;
+            debug_assert_eq!(trees.fabric_arc(t), arc, "copy rode the wrong link");
+            if hops_after >= shared.hop_limit {
+                // Unreachable for honest trees (depth ≤ diameter), but
+                // the budget stays authoritative: the whole subtree
+                // retires.
+                shared.queues.pop_head(chan, head, &shared.arena.link);
+                ws.vc_pops[vc] += 1;
+                ws.freed.push(head);
+                ws.stats.dropped_ttl += trees.weight(t) as usize;
+                ws.stats.departed += trees.weight(t) as usize;
+                ws.stats.departed_copies += 1;
+                ws.stats.activity += 1;
+                budget -= 1;
+                progressed = true;
+                continue;
+            }
+            let packet_vc = shared.arena.vc[slot].load(Relaxed) as u8;
+            let children = trees.children(t);
+            if shared.policy == ContentionPolicy::Backpressure {
+                // All-or-nothing branch: find the first child whose
+                // FIFO is full and not relief-exempt.
+                let blocker = children.iter().find_map(|&child| {
+                    let child_arc = trees.fabric_arc(child);
+                    let child_vc = shared.dateline.next_class_arc(packet_vc, child_arc);
+                    let child_chan = child_arc * vcs + child_vc as usize;
+                    let occupied = shared.queues.len[child_chan].load(Relaxed)
+                        + shared.queues.staged_len[child_chan].load(Relaxed);
+                    (occupied >= shared.buffers
+                        && !shared.dateline.needs_relief(packet_vc, child_arc))
+                    .then_some(child_chan)
+                });
+                if let Some(blocking_chan) = blocker {
+                    // Head-of-line block, this class only; the tree is
+                    // static, so park on the blocker until it pops.
+                    ws.vc_blocked[vc] = true;
+                    shared.parked[chan].store(1, Relaxed);
+                    let first = shared.waiter_head[blocking_chan].load(Relaxed);
+                    shared.waiter_link[chan].store(first, Relaxed);
+                    shared.waiter_head[blocking_chan].store(chan as u32, Relaxed);
+                    parked_here += 1;
+                    continue;
+                }
+            }
+            // Commit: the copy leaves this FIFO, delivers its
+            // requests, and replicates into its children.
+            shared.queues.pop_head(chan, head, &shared.arena.link);
+            ws.vc_pops[vc] += 1;
+            let offered = shared.arena.offered[slot].load(Relaxed);
+            let deliveries = trees.deliveries(t) as usize;
+            if deliveries > 0 {
+                ws.stats.delivered += deliveries;
+                ws.stats.departed += deliveries;
+                ws.stats.delivered_hops += deliveries as u64 * hops_after as u64;
+                if hops_after > ws.stats.max_hops {
+                    ws.stats.max_hops = hops_after;
+                }
+                let delivered_here = shared.delivered_per_link[arc].load(Relaxed);
+                shared.delivered_per_link[arc].store(delivered_here + deliveries as u64, Relaxed);
+                let wait = cycle + 1 - offered - hops_after as u64;
+                for _ in 0..deliveries {
+                    ws.waits.push(wait);
+                }
+            }
+            for &child in children {
+                let child_arc = trees.fabric_arc(child);
+                let child_vc = shared.dateline.next_class_arc(packet_vc, child_arc);
+                let child_chan = child_arc * vcs + child_vc as usize;
+                let staged = shared.queues.staged_len[child_chan].load(Relaxed);
+                let occupied = shared.queues.len[child_chan].load(Relaxed) + staged;
+                if occupied >= shared.buffers {
+                    match shared.policy {
+                        ContentionPolicy::TailDrop => {
+                            // The full child's whole subtree drops;
+                            // its siblings still replicate.
+                            ws.stats.dropped_full += trees.weight(child) as usize;
+                            ws.stats.departed += trees.weight(child) as usize;
+                            continue;
+                        }
+                        // Backpressure screened above: a full child
+                        // here is the relief move, admitted past the
+                        // cap (deep dateline buffers).
+                        ContentionPolicy::Backpressure => ws.stats.relief += 1,
+                    }
+                }
+                if child_vc > packet_vc {
+                    ws.stats.promotions += 1;
+                }
+                shared.queues.staged_len[child_chan].store(staged + 1, Relaxed);
+                ws.spawned.push(Spawn {
+                    chan: child_chan as u32,
+                    tree_arc: child,
+                    offered,
+                    hops: hops_after,
+                    vc: child_vc,
+                });
+                ws.stats.spawned_copies += 1;
+            }
+            ws.freed.push(head);
+            ws.stats.departed_copies += 1;
+            ws.stats.activity += 1;
+            budget -= 1;
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Batch pops and settle the node's ready count — same contract as
+    // the unicast drain.
+    let mut ready_loss = parked_here;
+    for vc in 0..vcs {
+        let popped = ws.vc_pops[vc];
+        if popped > 0 {
+            let chan = arc * vcs + vc;
+            ws.pops.push((chan as u32, popped));
+            if shared.parked[chan].load(Relaxed) == 0
+                && shared.queues.head[chan].load(Relaxed) == NONE
+            {
+                ready_loss += 1;
+            }
+        }
+    }
+    if ready_loss > 0 {
+        let ready = shared.node_ready[node as usize].load(Relaxed);
+        shared.node_ready[node as usize].store(ready - ready_loss, Relaxed);
+    }
+}
+
 /// The apply step: commit pops, retire emptied nodes from the
 /// worklist, merge stats, recycle departures, then land staged
 /// arrivals. Per-channel arrival order is the staging worker's drain
@@ -907,6 +1282,9 @@ fn apply(
         activity += stats.activity;
         main.delivered += stats.delivered;
         main.in_network -= stats.departed;
+        main.in_copies += stats.spawned_copies;
+        main.in_copies -= stats.departed_copies;
+        main.replicated += stats.spawned_copies as u64;
         main.dropped_full += stats.dropped_full;
         main.dropped_unroutable += stats.dropped_unroutable;
         main.dropped_ttl += stats.dropped_ttl;
@@ -931,11 +1309,24 @@ fn apply(
             push_packet(shared, &mut main.peak, chan as usize, id);
         }
         ws.staged.clear();
+        // Replications land after moves: per channel both sequences
+        // are the source node's drain order, so the arrival order is a
+        // pure function of the cycle state, not the worker layout.
+        for spawn in ws.spawned.drain(..) {
+            shared.queues.staged_len[spawn.chan as usize].store(0, Relaxed);
+            let id = allocator.claim();
+            shared
+                .arena
+                .init(id, spawn.tree_arc, spawn.offered, spawn.vc);
+            shared.arena.hops[id as usize].store(spawn.hops, Relaxed);
+            push_packet(shared, &mut main.peak, spawn.chan as usize, id);
+        }
     }
     activity
 }
 
 /// Fold the accumulators into the report.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     main: &mut MainState,
     delivered_per_link: &[AtomicU64],
@@ -944,6 +1335,7 @@ fn finish(
     router: &dyn Router,
     offered_per_cycle: f64,
     hot_dst: Option<u64>,
+    trees: Option<&TreeSet>,
 ) -> QueueingReport {
     main.waits.sort_unstable();
     let wait_mean = |waits: &[u64]| {
@@ -1013,6 +1405,9 @@ fn finish(
             .iter()
             .map(|count| count.load(Relaxed))
             .collect(),
+        multicast_groups: main.groups_injected,
+        replicated_copies: main.replicated,
+        multicast_forwarding_index: trees.map_or(0, TreeSet::forwarding_index),
         class_stats,
     }
 }

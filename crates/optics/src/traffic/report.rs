@@ -109,6 +109,86 @@ impl TrafficReport {
     }
 }
 
+/// Aggregate results of one batched multicast run
+/// ([`super::TrafficEngine::run_multicast`]): each group routed as one
+/// delivery tree, every tree arc charged **once** — the optical
+/// replication story — with the **multicast forwarding index** (max
+/// per-link tree count) reported against its unicast counterpart (max
+/// per-link leaf load, what per-leaf replication would have cost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticastReport {
+    /// Router description (see [`otis_core::Router::name`]).
+    pub router: String,
+    /// One-to-many groups routed.
+    pub groups: usize,
+    /// Requested destination leaves over all groups (root
+    /// self-requests included).
+    pub leaves: usize,
+    /// Leaves reached through their tree (self-requests delivered at
+    /// the source included).
+    pub delivered_leaves: usize,
+    /// Leaves with no route from their root.
+    pub dropped_leaves: usize,
+    /// Tree arcs traversed — optical transmissions actually paid, each
+    /// arc charged once however many leaves it serves.
+    pub tree_arcs: u64,
+    /// Link traversals a per-leaf unicast replication of the same
+    /// workload would have paid (sum of root→leaf path lengths).
+    /// `unicast_hops / tree_arcs` is the replication saving.
+    pub unicast_hops: u64,
+    /// Deepest delivery over all trees, in hops.
+    pub max_depth: u32,
+    /// Trees carried per transceiver (index `u·d + k`): the multicast
+    /// link-load vector.
+    pub link_load: Vec<u64>,
+    /// `max(link_load)` — the **multicast forwarding index** of the
+    /// workload under this routing (Wang et al., PAPERS.md).
+    pub multicast_forwarding_index: u64,
+    /// Max per-link *leaf* load — the forwarding index the same
+    /// workload would show as unicast replication.
+    pub unicast_forwarding_index: u64,
+    /// Mean root→leaf latency over delivered leaves, ps.
+    pub latency_mean_ps: f64,
+    /// Median root→leaf latency, ps.
+    pub latency_p50_ps: f64,
+    /// 99th-percentile root→leaf latency, ps.
+    pub latency_p99_ps: f64,
+    /// Worst root→leaf latency, ps.
+    pub latency_max_ps: f64,
+    /// Total optical energy spent, pJ — per tree arc, not per leaf.
+    pub energy_total_pj: f64,
+    /// True iff every traversed link's power budget closed.
+    pub all_budgets_close: bool,
+}
+
+impl MulticastReport {
+    /// Fraction of requested leaves delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.leaves == 0 {
+            return 1.0;
+        }
+        self.delivered_leaves as f64 / self.leaves as f64
+    }
+
+    /// Link traversals saved by tree replication: how many times more
+    /// transmissions per-leaf unicast would have paid (`1.0` = no
+    /// sharing; broadcast trees approach the fabric's mean distance).
+    pub fn replication_saving(&self) -> f64 {
+        if self.tree_arcs == 0 {
+            return 1.0;
+        }
+        self.unicast_hops as f64 / self.tree_arcs as f64
+    }
+
+    /// Mean tree arcs per group.
+    pub fn mean_tree_arcs(&self) -> f64 {
+        if self.groups == 0 {
+            return 0.0;
+        }
+        self.tree_arcs as f64 / self.groups as f64
+    }
+}
+
 /// Aggregate results of one cycle-accurate queueing run
 /// ([`super::QueueingEngine::run`]): where [`TrafficReport`] tallies
 /// static link load, this report captures congestion *dynamics* —
@@ -195,6 +275,19 @@ pub struct QueueingReport {
     /// arbitration must keep these balanced on symmetric fabrics —
     /// the fairness the rotating drain offset exists to provide.
     pub delivered_per_link: Vec<u64>,
+    /// One-to-many groups the run injected; `0` for unicast runs. In
+    /// a multicast run every leaf-unit counter (`injected`,
+    /// `delivered`, drops, `in_flight`) is in *destination leaves*:
+    /// conservation reads `injected_leaves = delivered + dropped +
+    /// in_flight`.
+    pub multicast_groups: usize,
+    /// Packet copies spawned at tree branch nodes (beyond the copies
+    /// injected at roots). `0` for unicast runs.
+    pub replicated_copies: u64,
+    /// Static multicast forwarding index of the workload's delivery
+    /// trees — max per-link tree count, the congestion scalar of the
+    /// BCube analysis. `0` for unicast runs.
+    pub multicast_forwarding_index: u64,
     /// Hot-versus-background breakdown, present when the run was
     /// classified (see `QueueingEngine::run_classified`): the
     /// tree-saturation story made visible per traffic class.
@@ -424,6 +517,9 @@ mod tests {
             vc_peak_occupancy: vec![],
             max_peak_occupancy: 0,
             delivered_per_link: vec![],
+            multicast_groups: 0,
+            replicated_copies: 0,
+            multicast_forwarding_index: 0,
             class_stats: None,
         };
         assert_eq!(report.delivery_rate(), 1.0);
@@ -431,6 +527,44 @@ mod tests {
         assert_eq!(report.throughput_per_cycle(), 0.0);
         assert_eq!(report.mean_hops(), 0.0);
         assert!(report.conserves_packets());
+    }
+
+    #[test]
+    fn multicast_report_rates() {
+        let empty = MulticastReport {
+            router: "test".into(),
+            groups: 0,
+            leaves: 0,
+            delivered_leaves: 0,
+            dropped_leaves: 0,
+            tree_arcs: 0,
+            unicast_hops: 0,
+            max_depth: 0,
+            link_load: vec![],
+            multicast_forwarding_index: 0,
+            unicast_forwarding_index: 0,
+            latency_mean_ps: 0.0,
+            latency_p50_ps: 0.0,
+            latency_p99_ps: 0.0,
+            latency_max_ps: 0.0,
+            energy_total_pj: 0.0,
+            all_budgets_close: true,
+        };
+        assert_eq!(empty.delivery_rate(), 1.0, "vacuously delivered");
+        assert_eq!(empty.replication_saving(), 1.0);
+        assert_eq!(empty.mean_tree_arcs(), 0.0);
+        let busy = MulticastReport {
+            groups: 2,
+            leaves: 10,
+            delivered_leaves: 9,
+            dropped_leaves: 1,
+            tree_arcs: 12,
+            unicast_hops: 30,
+            ..empty
+        };
+        assert_eq!(busy.delivery_rate(), 0.9);
+        assert_eq!(busy.replication_saving(), 2.5);
+        assert_eq!(busy.mean_tree_arcs(), 6.0);
     }
 
     #[test]

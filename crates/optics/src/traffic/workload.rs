@@ -3,13 +3,16 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{de::Error as _, Deserialize, Deserializer, Serialize, Value};
 
 /// Synthetic traffic patterns. The digit-structured patterns
 /// (transpose, bit reversal) interpret node ids as length-`D` words
 /// over `Z_d` — the same identification the de Bruijn fabric itself
-/// uses — and therefore require `n = d^D` nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// uses — and therefore require `n = d^D` nodes. The one-to-many
+/// patterns (broadcast, multicast, hotspot-rooted multicast) generate
+/// [`MulticastGroup`]s through [`generate_multicast_workload`] instead
+/// of `(src, dst)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrafficPattern {
     /// Independent uniform `(src, dst)` pairs, `dst ≠ src`.
     Uniform,
@@ -26,16 +29,31 @@ pub enum TrafficPattern {
     Hotspot,
     /// Every ordered pair `(src, dst)`, `src ≠ dst`, visited round-robin.
     AllToAll,
+    /// One-to-all: group `i` is rooted at node `i mod n` and delivers
+    /// to every other node (the full-fabric broadcast tree).
+    Broadcast,
+    /// One-to-many: each group has a uniform random root and `fanout`
+    /// distinct uniform destinations (clamped to `n - 1`).
+    Multicast { fanout: u32 },
+    /// Hotspot-rooted multicast: every group is rooted at the hot node
+    /// `n/2` with `fanout` distinct uniform destinations — the
+    /// one-to-many mirror of [`TrafficPattern::Hotspot`]'s in-tree
+    /// saturation. At `fanout ≥ n - 1` this is broadcast from the
+    /// hotspot root.
+    HotspotMulticast { fanout: u32 },
 }
 
 impl TrafficPattern {
-    pub const ALL: [TrafficPattern; 6] = [
+    pub const ALL: [TrafficPattern; 9] = [
         TrafficPattern::Uniform,
         TrafficPattern::Permutation,
         TrafficPattern::Transpose,
         TrafficPattern::BitReversal,
         TrafficPattern::Hotspot,
         TrafficPattern::AllToAll,
+        TrafficPattern::Broadcast,
+        TrafficPattern::Multicast { fanout: 8 },
+        TrafficPattern::HotspotMulticast { fanout: 8 },
     ];
 
     /// True iff the pattern needs the `n = d^D` digit structure.
@@ -43,6 +61,18 @@ impl TrafficPattern {
         matches!(
             self,
             TrafficPattern::Transpose | TrafficPattern::BitReversal
+        )
+    }
+
+    /// True iff the pattern generates one-to-many groups
+    /// ([`generate_multicast_workload`]) rather than `(src, dst)`
+    /// pairs.
+    pub fn is_multicast(&self) -> bool {
+        matches!(
+            self,
+            TrafficPattern::Broadcast
+                | TrafficPattern::Multicast { .. }
+                | TrafficPattern::HotspotMulticast { .. }
         )
     }
 
@@ -59,7 +89,9 @@ impl TrafficPattern {
     }
 
     /// The valid pattern names, `|`-separated — the single source the
-    /// CLI and the parse error both quote.
+    /// CLI and the parse error both quote. The multicast entries show
+    /// a concrete fanout (`multicast:8`); any `multicast:<k>` /
+    /// `hotcast:<k>` with `k ≥ 1` parses.
     pub fn valid_names() -> String {
         let names: Vec<String> = Self::ALL.iter().map(|p| p.to_string()).collect();
         names.join("|")
@@ -68,15 +100,17 @@ impl TrafficPattern {
 
 impl std::fmt::Display for TrafficPattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
-            TrafficPattern::Uniform => "uniform",
-            TrafficPattern::Permutation => "permutation",
-            TrafficPattern::Transpose => "transpose",
-            TrafficPattern::BitReversal => "bitrev",
-            TrafficPattern::Hotspot => "hotspot",
-            TrafficPattern::AllToAll => "alltoall",
-        };
-        write!(f, "{name}")
+        match self {
+            TrafficPattern::Uniform => write!(f, "uniform"),
+            TrafficPattern::Permutation => write!(f, "permutation"),
+            TrafficPattern::Transpose => write!(f, "transpose"),
+            TrafficPattern::BitReversal => write!(f, "bitrev"),
+            TrafficPattern::Hotspot => write!(f, "hotspot"),
+            TrafficPattern::AllToAll => write!(f, "alltoall"),
+            TrafficPattern::Broadcast => write!(f, "broadcast"),
+            TrafficPattern::Multicast { fanout } => write!(f, "multicast:{fanout}"),
+            TrafficPattern::HotspotMulticast { fanout } => write!(f, "hotcast:{fanout}"),
+        }
     }
 }
 
@@ -84,6 +118,25 @@ impl std::str::FromStr for TrafficPattern {
     type Err = String;
 
     fn from_str(raw: &str) -> Result<Self, String> {
+        let fanout_of = |spec: &str, name: &str| -> Result<u32, String> {
+            let fanout: u32 = spec
+                .parse()
+                .map_err(|e| format!("bad {name} fanout {spec:?}: {e}"))?;
+            if fanout == 0 {
+                return Err(format!("{name} fanout must be at least 1"));
+            }
+            Ok(fanout)
+        };
+        if let Some(spec) = raw.strip_prefix("multicast:") {
+            return Ok(TrafficPattern::Multicast {
+                fanout: fanout_of(spec, "multicast")?,
+            });
+        }
+        if let Some(spec) = raw.strip_prefix("hotcast:") {
+            return Ok(TrafficPattern::HotspotMulticast {
+                fanout: fanout_of(spec, "hotcast")?,
+            });
+        }
         match raw {
             "uniform" => Ok(TrafficPattern::Uniform),
             "permutation" | "perm" => Ok(TrafficPattern::Permutation),
@@ -91,12 +144,48 @@ impl std::str::FromStr for TrafficPattern {
             "bitrev" | "bit-reversal" | "bitreversal" => Ok(TrafficPattern::BitReversal),
             "hotspot" => Ok(TrafficPattern::Hotspot),
             "alltoall" | "all-to-all" => Ok(TrafficPattern::AllToAll),
+            "broadcast" => Ok(TrafficPattern::Broadcast),
             other => Err(format!(
-                "unknown pattern {other:?} (valid patterns: {})",
+                "unknown pattern {other:?} (valid patterns: {}; multicast:<k> and \
+                 hotcast:<k> take any fanout ≥ 1)",
                 TrafficPattern::valid_names()
             )),
         }
     }
+}
+
+// The vendored serde_derive shim cannot derive data-carrying enum
+// variants, so the pattern serializes as its *display* name
+// ("uniform", "multicast:8") and parses back through `FromStr`. This
+// changes the wire format: the old unit-enum derive emitted variant
+// identifiers ("Uniform", "BitReversal"), which no longer parse —
+// nothing in this workspace ever persisted a pattern, so no stored
+// data exists to migrate.
+impl Serialize for TrafficPattern {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for TrafficPattern {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(raw) => raw.parse().map_err(D::Error::custom),
+            other => Err(D::Error::custom(format!(
+                "expected a pattern name string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One one-to-many request: a root and its destination set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MulticastGroup {
+    /// The sending node (tree root).
+    pub root: u64,
+    /// Requested destinations, distinct and ≠ `root` for generated
+    /// workloads (engines tolerate duplicates and self-requests).
+    pub dsts: Vec<u64>,
 }
 
 /// Reverse the base-`d` digits of `value` (`digits` of them).
@@ -132,6 +221,10 @@ pub fn generate_workload(
     seed: u64,
 ) -> Vec<(u64, u64)> {
     assert!(n >= 2, "need at least two nodes for traffic");
+    assert!(
+        !pattern.is_multicast(),
+        "{pattern} is one-to-many; use generate_multicast_workload"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let digits = if pattern.needs_digit_structure() {
         assert!(
@@ -224,6 +317,77 @@ pub fn generate_workload(
                 })
                 .collect()
         }
+        TrafficPattern::Broadcast
+        | TrafficPattern::Multicast { .. }
+        | TrafficPattern::HotspotMulticast { .. } => {
+            unreachable!("multicast patterns rejected above")
+        }
+    }
+}
+
+/// Generate `groups` one-to-many requests over `0..n` for a multicast
+/// pattern (destinations distinct, ≠ root); unicast patterns yield
+/// their usual pairs as singleton groups, so every pattern flows
+/// through the multicast engines. `seed` makes workloads
+/// reproducible, same convention as [`generate_workload`].
+pub fn generate_multicast_workload(
+    pattern: TrafficPattern,
+    n: u64,
+    d: u64,
+    groups: usize,
+    seed: u64,
+) -> Vec<MulticastGroup> {
+    assert!(n >= 2, "need at least two nodes for traffic");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `fanout` distinct destinations ≠ root, by rejection — fine for
+    // the sparse case and exact for the dense one (fanout near n).
+    let draw_dsts = |rng: &mut StdRng, root: u64, fanout: u64| -> Vec<u64> {
+        let fanout = fanout.min(n - 1);
+        if fanout == n - 1 {
+            return (0..n).filter(|&v| v != root).collect();
+        }
+        let mut dsts = Vec::with_capacity(fanout as usize);
+        while (dsts.len() as u64) < fanout {
+            let dst = rng.gen_range(0..n);
+            if dst != root && !dsts.contains(&dst) {
+                dsts.push(dst);
+            }
+        }
+        dsts
+    };
+    match pattern {
+        TrafficPattern::Broadcast => (0..groups)
+            .map(|i| {
+                let root = i as u64 % n;
+                MulticastGroup {
+                    root,
+                    dsts: (0..n).filter(|&v| v != root).collect(),
+                }
+            })
+            .collect(),
+        TrafficPattern::Multicast { fanout } => (0..groups)
+            .map(|_| {
+                let root = rng.gen_range(0..n);
+                let dsts = draw_dsts(&mut rng, root, fanout as u64);
+                MulticastGroup { root, dsts }
+            })
+            .collect(),
+        TrafficPattern::HotspotMulticast { fanout } => {
+            let root = n / 2;
+            (0..groups)
+                .map(|_| MulticastGroup {
+                    root,
+                    dsts: draw_dsts(&mut rng, root, fanout as u64),
+                })
+                .collect()
+        }
+        unicast => generate_workload(unicast, n, d, groups, seed)
+            .into_iter()
+            .map(|(src, dst)| MulticastGroup {
+                root: src,
+                dsts: vec![dst],
+            })
+            .collect(),
     }
 }
 
@@ -234,6 +398,9 @@ mod tests {
     #[test]
     fn patterns_generate_valid_pairs() {
         for pattern in TrafficPattern::ALL {
+            if pattern.is_multicast() {
+                continue; // covered by multicast_patterns_generate_valid_groups
+            }
             let workload = generate_workload(pattern, 16, 2, 500, 11);
             assert_eq!(workload.len(), 500, "{pattern}");
             for &(src, dst) in &workload {
@@ -303,6 +470,92 @@ mod tests {
     #[should_panic(expected = "alphabet of size")]
     fn digit_pattern_rejects_degenerate_alphabet() {
         generate_workload(TrafficPattern::Transpose, 8, 1, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-to-many")]
+    fn pair_generator_rejects_multicast_patterns() {
+        generate_workload(TrafficPattern::Broadcast, 8, 2, 10, 0);
+    }
+
+    #[test]
+    fn multicast_patterns_generate_valid_groups() {
+        let n = 16u64;
+        for pattern in [
+            TrafficPattern::Broadcast,
+            TrafficPattern::Multicast { fanout: 4 },
+            TrafficPattern::HotspotMulticast { fanout: 4 },
+            // Oversized fanout clamps to broadcast-sized groups.
+            TrafficPattern::Multicast { fanout: 99 },
+        ] {
+            let groups = generate_multicast_workload(pattern, n, 2, 40, 11);
+            assert_eq!(groups.len(), 40, "{pattern}");
+            for group in &groups {
+                assert!(group.root < n, "{pattern}");
+                let expected = match pattern {
+                    TrafficPattern::Broadcast => n - 1,
+                    TrafficPattern::Multicast { fanout }
+                    | TrafficPattern::HotspotMulticast { fanout } => (fanout as u64).min(n - 1),
+                    _ => unreachable!(),
+                };
+                assert_eq!(group.dsts.len() as u64, expected, "{pattern}");
+                let mut seen = std::collections::HashSet::new();
+                for &dst in &group.dsts {
+                    assert!(dst < n && dst != group.root, "{pattern}: {dst}");
+                    assert!(seen.insert(dst), "{pattern}: duplicate dst {dst}");
+                }
+            }
+        }
+        // Hotspot-rooted groups all share the hot root.
+        let hotcast = generate_multicast_workload(
+            TrafficPattern::HotspotMulticast { fanout: 3 },
+            n,
+            2,
+            10,
+            5,
+        );
+        assert!(hotcast.iter().all(|g| g.root == n / 2));
+        // Broadcast roots cycle round-robin.
+        let broadcast = generate_multicast_workload(TrafficPattern::Broadcast, n, 2, 20, 5);
+        assert!(broadcast
+            .iter()
+            .enumerate()
+            .all(|(i, g)| g.root == i as u64 % n));
+        // Unicast patterns flow through as singleton groups, matching
+        // the pair generator exactly.
+        let singles = generate_multicast_workload(TrafficPattern::Uniform, n, 2, 50, 9);
+        let pairs = generate_workload(TrafficPattern::Uniform, n, 2, 50, 9);
+        assert_eq!(singles.len(), pairs.len());
+        for (group, &(src, dst)) in singles.iter().zip(&pairs) {
+            assert_eq!((group.root, group.dsts.as_slice()), (src, &[dst][..]));
+        }
+    }
+
+    #[test]
+    fn multicast_patterns_parse_and_roundtrip() {
+        assert_eq!(
+            "broadcast".parse::<TrafficPattern>().unwrap(),
+            TrafficPattern::Broadcast
+        );
+        assert_eq!(
+            "multicast:8".parse::<TrafficPattern>().unwrap(),
+            TrafficPattern::Multicast { fanout: 8 }
+        );
+        assert_eq!(
+            "hotcast:255".parse::<TrafficPattern>().unwrap(),
+            TrafficPattern::HotspotMulticast { fanout: 255 }
+        );
+        assert!("multicast:0".parse::<TrafficPattern>().is_err());
+        assert!("multicast:".parse::<TrafficPattern>().is_err());
+        assert!("hotcast:x".parse::<TrafficPattern>().is_err());
+        // Display round-trips through FromStr for every pattern —
+        // which is also the serde wire format.
+        for pattern in TrafficPattern::ALL {
+            assert_eq!(pattern.to_string().parse::<TrafficPattern>(), Ok(pattern));
+            let json = serde_json::to_string(&pattern).unwrap();
+            let back: TrafficPattern = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, pattern);
+        }
     }
 
     #[test]
