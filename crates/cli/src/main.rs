@@ -67,6 +67,10 @@ USAGE:
                        2+ makes backpressure deadlock-free by construction)
     --adaptive         route contention-aware (least-queued candidate hop,
                        scored per VC class when --vcs > 1)
+    --arithmetic       route with the tableless de Bruijn shift router (no
+                       per-node storage; chosen automatically past the
+                       2^20-node compressed-table cap, and at B(2,20)
+                       itself skips the minute-scale table build)
     --sweep            sweep offered load and report saturation throughput
     --load <L>         offered load, packets/node/cycle (default 0.2)
     --policy <P>       full-buffer behavior: taildrop (default) | backpressure
@@ -77,8 +81,9 @@ USAGE:
                        hotspot queueing runs also report hot-vs-background
                        per-class statistics. Fabrics past the 8192-node dense
                        table ride the interval-compressed de Bruijn table
-                       through the paper's isomorphism witness, so B(2,16)
-                       (65536 nodes) runs end to end.
+                       through the paper's isomorphism witness, and unicast
+                       workloads stream chunk by chunk, so B(2,20)
+                       (1,048,576 nodes) runs end to end at 10M+ packets.
   otis sequence <d> <k>                print a de Bruijn sequence dB(d,k)
   otis dot <family> <d> <D>            DOT drawing (debruijn|kautz|ii|rrk)
 ";
@@ -205,6 +210,11 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
 struct TrafficOptions {
     queueing: bool,
     adaptive: bool,
+    /// Route arithmetically (the tableless de Bruijn shift router)
+    /// instead of through a precomputed table. Chosen automatically
+    /// past the compressed-table cap; at the cap itself (B(2,20))
+    /// the flag skips a minute-scale million-row table build.
+    arithmetic: bool,
     sweep: bool,
     load_per_node: f64,
     /// True iff `--load` was given explicitly (a sweep then includes
@@ -219,6 +229,7 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
     let mut options = TrafficOptions {
         queueing: false,
         adaptive: false,
+        arithmetic: false,
         sweep: false,
         load_per_node: 0.2,
         load_set: false,
@@ -286,13 +297,16 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
                 options.adaptive = true;
                 options.queueing = true;
             }
+            "--arithmetic" => {
+                options.arithmetic = true;
+            }
             "--sweep" => {
                 options.sweep = true;
                 options.queueing = true;
             }
             other if other.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag {other:?} (want --buffers|--wavelengths|--vcs|--adaptive|--sweep|--load|--policy|--threads)"
+                    "unknown flag {other:?} (want --buffers|--wavelengths|--vcs|--adaptive|--arithmetic|--sweep|--load|--policy|--threads)"
                 ));
             }
             _ => positionals.push(arg.clone()),
@@ -343,19 +357,33 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
             pattern, n, d as u64, packets, 0x0715,
         ))
     } else {
-        Load::Pairs(otis_optics::traffic::generate_workload(
+        // Unicast workloads stream: pairs are regenerated chunk by
+        // chunk inside the engines, so a ten-million-packet run never
+        // materializes its pair vector.
+        Load::Unicast(otis_optics::WorkloadSource::new(
             pattern, n, d as u64, packets, 0x0715,
         ))
     };
 
     // Up to the dense-table cap, precompute the quadratic table over
-    // the OTIS H-numbering directly. Past it — B(2,14), B(2,16) — the
-    // fabric rides the *interval-compressed* de Bruijn table (runs
-    // derived arithmetically, no BFS) through the paper's isomorphism
-    // witness: the H fabric is routed in de Bruijn rank space, two
-    // array loads per query. That is what lifts the old 8192-node
-    // ceiling end to end.
-    if n <= otis_digraph::bfs::NextHopTable::MAX_NODES as u64 {
+    // the OTIS H-numbering directly. Past it — B(2,14) through
+    // B(2,20) — the fabric rides the *interval-compressed* de Bruijn
+    // table (runs derived arithmetically, no BFS) through the paper's
+    // isomorphism witness: the H fabric is routed in de Bruijn rank
+    // space, two array loads per query. Past the compressed cap (or
+    // under --arithmetic anywhere), the tableless de Bruijn shift
+    // router takes over — no per-node storage at all, any d^D.
+    if options.arithmetic || n > otis_digraph::compressed::CompressedNextHopTable::MAX_NODES as u64
+    {
+        let witness = spec
+            .debruijn_witness()
+            .map_err(|e| format!("layout is not de Bruijn: {e}"))?;
+        let router = otis_core::RelabeledRouter::new(
+            otis_core::DeBruijnRouter::new(DeBruijn::new(d, dd)),
+            witness,
+        );
+        run_traffic_over(h, router, &workload, pattern, options, build_start)
+    } else if n <= otis_digraph::bfs::NextHopTable::MAX_NODES as u64 {
         let router = otis_core::RoutingTable::try_from_family(&h).map_err(|e| e.to_string())?;
         run_traffic_over(h, router, &workload, pattern, options, build_start)
     } else {
@@ -369,9 +397,10 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// A generated workload: unicast pairs or one-to-many groups.
+/// A generated workload: a streamed unicast source or one-to-many
+/// groups.
 enum Load {
-    Pairs(Vec<(u64, u64)>),
+    Unicast(otis_optics::WorkloadSource),
     Groups(Vec<otis_optics::MulticastGroup>),
 }
 
@@ -387,7 +416,7 @@ fn run_traffic_over<R: otis_core::Router>(
     options: TrafficOptions,
     build_start: std::time::Instant,
 ) -> Result<(), String> {
-    let workload = match load {
+    let source = match load {
         Load::Groups(groups) => {
             return if options.queueing {
                 run_queueing_multicast(&h, router, groups, pattern, options, build_start)
@@ -395,10 +424,10 @@ fn run_traffic_over<R: otis_core::Router>(
                 run_batched_multicast(&h, router, groups, pattern, options, build_start)
             };
         }
-        Load::Pairs(pairs) => pairs.as_slice(),
+        Load::Unicast(source) => source,
     };
     if options.queueing {
-        return run_queueing_traffic(&h, router, workload, pattern, options, build_start);
+        return run_queueing_traffic(&h, router, source, pattern, options, build_start);
     }
 
     let sim = otis_optics::simulator::OtisSimulator::with_defaults(h);
@@ -410,7 +439,7 @@ fn run_traffic_over<R: otis_core::Router>(
     );
 
     let run_start = std::time::Instant::now();
-    let report = engine.run(&router, workload);
+    let report = engine.run_streamed(&router, source);
     let elapsed = run_start.elapsed();
 
     println!(
@@ -460,7 +489,7 @@ fn run_traffic_over<R: otis_core::Router>(
 fn run_queueing_traffic<R: otis_core::Router>(
     h: &otis_optics::HDigraph,
     router: R,
-    workload: &[(u64, u64)],
+    source: &otis_optics::WorkloadSource,
     pattern: otis_optics::TrafficPattern,
     options: TrafficOptions,
     build_start: std::time::Instant,
@@ -512,7 +541,9 @@ fn run_queueing_traffic<R: otis_core::Router>(
             loads.push(options.load_per_node);
             loads.sort_by(|a, b| a.total_cmp(b));
         }
-        let sweep = engine.saturation_sweep(routed, workload, &loads);
+        // Sweeps reuse one workload across every load point, so
+        // materializing it once is the cheaper trade here.
+        let sweep = engine.saturation_sweep(routed, &source.materialize(), &loads);
         println!("offered-load sweep ({pattern}, packets/node/cycle):");
         println!("  offered  delivered  drop%   p99 wait");
         for point in &sweep.points {
@@ -534,7 +565,7 @@ fn run_queueing_traffic<R: otis_core::Router>(
 
     let offered = options.load_per_node * n as f64;
     let run_start = std::time::Instant::now();
-    let report = engine.run_classified(routed, workload, offered, pattern.hot_node(n));
+    let report = engine.run_streamed_classified(routed, source, offered, pattern.hot_node(n));
     let elapsed = run_start.elapsed();
     println!(
         "simulated {} {pattern} packets over {} cycles in {:.1} ms (offered {:.3}/node/cycle)",

@@ -53,4 +53,5 @@ pub use otis::{Otis, Receiver, Transmitter};
 pub use traffic::{
     ClassBreakdown, ClassStats, ContentionPolicy, LinkOccupancy, MulticastGroup, MulticastReport,
     QueueConfig, QueueingEngine, QueueingReport, TrafficEngine, TrafficPattern, TrafficReport,
+    WorkloadSource,
 };

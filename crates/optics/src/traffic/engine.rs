@@ -4,7 +4,7 @@
 //! see [`super::queueing`].
 
 use super::report::{percentile_f64, MulticastReport, TrafficReport};
-use super::workload::MulticastGroup;
+use super::workload::{MulticastGroup, WorkloadSource};
 use crate::simulator::OtisSimulator;
 use otis_core::{DigraphFamily, MulticastTree, Router};
 use otis_util::par_map;
@@ -106,8 +106,6 @@ impl<'a> TrafficEngine<'a> {
             "router covers {} nodes but the fabric has {n}",
             router.node_count()
         );
-        let links = self.neighbors.len();
-        let hop_limit = (n as usize).max(64);
         // Shard the workload; each worker owns a full link-load vector
         // (links is small — n·d — so per-worker copies are cheap) and
         // merges at the end.
@@ -116,50 +114,88 @@ impl<'a> TrafficEngine<'a> {
         let partials = par_map(chunks, 1, |chunk_index| {
             let start = chunk_index * CHUNK;
             let end = ((chunk_index + 1) * CHUNK).min(workload.len());
-            let mut partial = Partial::new(links, end - start);
-            for &(src, dst) in &workload[start..end] {
-                let mut current = src;
-                let mut hops = 0u32;
-                let mut latency = 0.0f64;
-                let mut reached = true;
-                while current != dst {
-                    if hops as usize >= hop_limit {
-                        reached = false; // routing loop
-                        break;
-                    }
-                    let Some(next) = router.next_hop(current, dst) else {
-                        reached = false; // dead end
-                        break;
-                    };
-                    let base = current as usize * self.degree;
-                    let Some(k) = (0..self.degree).find(|&k| self.neighbors[base + k] == next)
-                    else {
-                        reached = false; // router proposed a non-neighbor
-                        break;
-                    };
-                    let link = base + k;
-                    partial.link_load[link] += 1;
-                    let cost = &self.costs[link];
-                    latency += cost.latency_ps;
-                    partial.energy += cost.energy_pj;
-                    partial.budgets_close &= cost.closes;
-                    hops += 1;
-                    current = next;
-                }
-                partial.total_hops += hops as u64;
-                if reached {
-                    partial.delivered += 1;
-                    partial.delivered_hops += hops as u64;
-                    partial.max_hops = partial.max_hops.max(hops);
-                    partial.latencies.push(latency);
-                } else {
-                    partial.dropped += 1;
-                }
-            }
-            partial
+            self.route_chunk(router, &workload[start..end])
         });
+        self.collect(router, partials, workload.len())
+    }
 
-        let mut merged = Partial::new(links, workload.len());
+    /// As [`TrafficEngine::run`], fed by a streamed [`WorkloadSource`]:
+    /// workers regenerate the source's deterministic chunks
+    /// independently (the per-chunk RNG split makes that safe), so
+    /// only the in-flight chunks are ever resident — a million-packet
+    /// workload costs each worker one chunk buffer, not the 16 MB
+    /// pair vector. The report matches materializing the source and
+    /// calling [`TrafficEngine::run`] on every count, load and
+    /// latency figure exactly; only `energy_total_pj` may differ in
+    /// its last bits, because the two paths sum the same per-hop
+    /// energies in different chunk groupings.
+    pub fn run_streamed(&self, router: &dyn Router, source: &WorkloadSource) -> TrafficReport {
+        let n = self.node_count();
+        assert_eq!(
+            router.node_count(),
+            n,
+            "router covers {} nodes but the fabric has {n}",
+            router.node_count()
+        );
+        let partials = par_map(source.chunk_count(), 1, |chunk_index| {
+            let mut pairs = Vec::new();
+            source.fill_chunk(chunk_index, &mut pairs);
+            self.route_chunk(router, &pairs)
+        });
+        self.collect(router, partials, source.len())
+    }
+
+    /// Route one shard of pairs into a fresh accumulator — the shared
+    /// core of the materialized and streamed paths.
+    fn route_chunk(&self, router: &dyn Router, pairs: &[(u64, u64)]) -> Partial {
+        let links = self.neighbors.len();
+        let hop_limit = (self.node_count() as usize).max(64);
+        let mut partial = Partial::new(links, pairs.len());
+        for &(src, dst) in pairs {
+            let mut current = src;
+            let mut hops = 0u32;
+            let mut latency = 0.0f64;
+            let mut reached = true;
+            while current != dst {
+                if hops as usize >= hop_limit {
+                    reached = false; // routing loop
+                    break;
+                }
+                let Some(next) = router.next_hop(current, dst) else {
+                    reached = false; // dead end
+                    break;
+                };
+                let base = current as usize * self.degree;
+                let Some(k) = (0..self.degree).find(|&k| self.neighbors[base + k] == next) else {
+                    reached = false; // router proposed a non-neighbor
+                    break;
+                };
+                let link = base + k;
+                partial.link_load[link] += 1;
+                let cost = &self.costs[link];
+                latency += cost.latency_ps;
+                partial.energy += cost.energy_pj;
+                partial.budgets_close &= cost.closes;
+                hops += 1;
+                current = next;
+            }
+            partial.total_hops += hops as u64;
+            if reached {
+                partial.delivered += 1;
+                partial.delivered_hops += hops as u64;
+                partial.max_hops = partial.max_hops.max(hops);
+                partial.latencies.push(latency);
+            } else {
+                partial.dropped += 1;
+            }
+        }
+        partial
+    }
+
+    /// Merge worker partials and fold them into the report.
+    fn collect(&self, router: &dyn Router, partials: Vec<Partial>, total: usize) -> TrafficReport {
+        let links = self.neighbors.len();
+        let mut merged = Partial::new(links, total);
         for partial in partials {
             for (slot, value) in merged.link_load.iter_mut().zip(partial.link_load) {
                 *slot += value;
@@ -194,7 +230,7 @@ impl<'a> TrafficEngine<'a> {
 
         TrafficReport {
             router: router.name(),
-            packets: workload.len(),
+            packets: total,
             delivered,
             dropped,
             total_hops,

@@ -47,5 +47,5 @@ pub use queueing::{
 };
 pub use report::{ClassBreakdown, ClassStats, MulticastReport, QueueingReport, TrafficReport};
 pub use workload::{
-    generate_multicast_workload, generate_workload, MulticastGroup, TrafficPattern,
+    generate_multicast_workload, generate_workload, MulticastGroup, TrafficPattern, WorkloadSource,
 };

@@ -5,80 +5,251 @@
 //! channel: hundreds of thousands of independently allocated ring
 //! buffers whose blocks scatter packets across the heap, so every
 //! drain touched allocator metadata and cold cache lines. Here all
-//! packet state lives in one structure-of-arrays slab, indexed by a
+//! packet state lives in structure-of-arrays slabs, indexed by a
 //! `u32` packet id:
 //!
 //! * ids are recycled through a free list, so a steady-state run's
 //!   working set is its *in-flight* packets, not its packet count —
 //!   a million-packet run with 10k in flight touches 10k slots;
+//! * the slabs are **chunked** and lazily grown: a fixed-size chunk of
+//!   every field materializes the first time an id in its range is
+//!   touched, so resident memory tracks the run's live-packet
+//!   watermark, not the offered load. A ten-million-packet stream
+//!   whose watermark is 2M packets allocates 2M slots' worth of
+//!   chunks (~28 bytes each), never the 280 MB a full-length slab
+//!   would cost — and the free list's LIFO recycling keeps the
+//!   watermark (and the chunk count) at the congestion peak;
 //! * each channel's FIFO is an intrusive singly linked list threaded
 //!   through the `link` slab (`head`/`tail` per channel), so push/pop
 //!   are two or three word writes and the queue nodes are the packets
 //!   themselves — no per-channel allocation, ever;
-//! * slab fields are atomics (`Relaxed`) because the drain phase
-//!   shards channels across workers: every slot has exactly one
-//!   writer per phase (the worker owning the packet's current
-//!   downstream node), and the phase barriers order everything else.
+//! * slab fields are atomics (`Relaxed`) because the inject and drain
+//!   phases shard packets across workers: every slot has exactly one
+//!   writer per phase, and the phase barriers order everything else.
 //!   On x86 a relaxed atomic is an ordinary `mov`. The *free list*
-//!   lives apart in [`ArenaAllocator`], touched only by the
-//!   single-threaded phases, so the shared slabs stay `&self` all the
-//!   way down.
+//!   lives apart in [`ArenaAllocator`] behind a mutex the parallel
+//!   injection phase only touches to refill per-worker id batches, so
+//!   the shared slabs stay `&self` all the way down.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::OnceLock;
 
 /// The null packet id / null cache / null queue link.
 pub(super) const NONE: u32 = u32::MAX;
 
-/// Structure-of-arrays packet slabs, `u32`-indexed. Capacity is fixed
-/// at construction (a run can never hold more live packets than its
-/// workload has entries); all access is `&self`.
+/// log2 of the chunk size: 64Ki slots ≈ 1.8 MiB per resident chunk.
+const CHUNK_BITS: u32 = 16;
+/// Packet slots per chunk.
+const CHUNK_SLOTS: usize = 1 << CHUNK_BITS;
+const OFFSET_MASK: u32 = (CHUNK_SLOTS - 1) as u32;
+
+/// One resident chunk: every per-packet field for a contiguous
+/// `CHUNK_SLOTS`-id range.
+struct Slab {
+    dst: Box<[AtomicU32]>,
+    offered: Box<[AtomicU64]>,
+    hops: Box<[AtomicU32]>,
+    vc: Box<[AtomicU32]>,
+    cached_next: Box<[AtomicU32]>,
+    link: Box<[AtomicU32]>,
+}
+
+impl Slab {
+    fn new() -> Self {
+        let zeroed = || (0..CHUNK_SLOTS).map(|_| AtomicU32::new(0)).collect();
+        Slab {
+            dst: zeroed(),
+            offered: (0..CHUNK_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            hops: zeroed(),
+            vc: zeroed(),
+            cached_next: zeroed(),
+            link: zeroed(),
+        }
+    }
+}
+
+/// Chunked structure-of-arrays packet slabs, `u32`-indexed. The chunk
+/// *table* is sized at construction (a run can never hold more live
+/// packets than its workload has entries), but chunks materialize
+/// on first touch — all access is `&self`, from any phase's worker.
 pub(super) struct PacketArena {
-    /// Destination node.
-    pub dst: Vec<AtomicU32>,
-    /// Cycle the packet's injection credit accrued (offer clock).
-    pub offered: Vec<AtomicU64>,
-    /// Hops taken so far.
-    pub hops: Vec<AtomicU32>,
-    /// Current dateline VC class (low 8 bits used).
-    pub vc: Vec<AtomicU32>,
-    /// Cached next-hop arc at the packet's current node, for stateless
-    /// routers: [`NONE`] = not computed; invalidated on every move.
-    /// This is what makes a blocked head cost a word load per cycle
-    /// instead of a router query.
-    pub cached_next: Vec<AtomicU32>,
-    /// Intrusive FIFO link: the next packet in this packet's channel.
-    pub link: Vec<AtomicU32>,
+    chunks: Vec<OnceLock<Slab>>,
 }
 
 impl PacketArena {
     /// Slabs for at most `capacity` simultaneously live packets.
+    /// Allocates only the chunk pointer table (one word per 64Ki
+    /// ids); chunks themselves appear as the id watermark grows.
     pub fn with_capacity(capacity: usize) -> Self {
-        let slab = |cap: usize| (0..cap).map(|_| AtomicU32::new(0)).collect();
+        assert!(
+            capacity < NONE as usize,
+            "arena capacity {capacity} would overflow u32 packet ids"
+        );
         PacketArena {
-            dst: slab(capacity),
-            offered: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
-            hops: slab(capacity),
-            vc: slab(capacity),
-            cached_next: slab(capacity),
-            link: slab(capacity),
+            chunks: (0..capacity.div_ceil(CHUNK_SLOTS))
+                .map(|_| OnceLock::new())
+                .collect(),
         }
+    }
+
+    /// The slot's chunk (materializing it on first touch — a benign
+    /// race: `get_or_init` lets one initializer win and drops the
+    /// loser) and the offset within it.
+    #[inline]
+    fn slot(&self, id: u32) -> (&Slab, usize) {
+        let chunk = self.chunks[(id >> CHUNK_BITS) as usize].get_or_init(Slab::new);
+        (chunk, (id & OFFSET_MASK) as usize)
+    }
+
+    /// Chunks resident right now — the memory the run actually
+    /// touched, `CHUNK_SLOTS` packet slots each.
+    #[cfg(test)]
+    pub fn resident_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Destination node (unicast) or tree arc (multicast).
+    #[inline]
+    pub fn dst(&self, id: u32) -> &AtomicU32 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.dst[offset]
+    }
+
+    /// Cycle the packet's injection credit accrued (offer clock).
+    #[inline]
+    pub fn offered(&self, id: u32) -> &AtomicU64 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.offered[offset]
+    }
+
+    /// Hops taken so far.
+    #[inline]
+    pub fn hops(&self, id: u32) -> &AtomicU32 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.hops[offset]
+    }
+
+    /// Current dateline VC class (low 8 bits used).
+    #[inline]
+    pub fn vc(&self, id: u32) -> &AtomicU32 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.vc[offset]
+    }
+
+    /// Cached next-hop arc at the packet's current node, for stateless
+    /// routers: [`NONE`] = not computed; invalidated on every move.
+    /// This is what makes a blocked head cost a word load per cycle
+    /// instead of a router query.
+    #[inline]
+    pub fn cached_next(&self, id: u32) -> &AtomicU32 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.cached_next[offset]
+    }
+
+    /// Intrusive FIFO link: the next packet in this packet's channel.
+    #[inline]
+    pub fn link(&self, id: u32) -> &AtomicU32 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.link[offset]
     }
 
     /// Initialize a freshly claimed slot.
     pub fn init(&self, id: u32, dst: u32, offered: u64, vc: u8) {
-        let slot = id as usize;
-        self.dst[slot].store(dst, Relaxed);
-        self.offered[slot].store(offered, Relaxed);
-        self.hops[slot].store(0, Relaxed);
-        self.vc[slot].store(vc as u32, Relaxed);
-        self.cached_next[slot].store(NONE, Relaxed);
-        self.link[slot].store(NONE, Relaxed);
+        let (chunk, offset) = self.slot(id);
+        chunk.dst[offset].store(dst, Relaxed);
+        chunk.offered[offset].store(offered, Relaxed);
+        chunk.hops[offset].store(0, Relaxed);
+        chunk.vc[offset].store(vc as u32, Relaxed);
+        chunk.cached_next[offset].store(NONE, Relaxed);
+        chunk.link[offset].store(NONE, Relaxed);
+    }
+}
+
+/// One resident chunk of pending-injection entries.
+struct EntryChunk {
+    dst: Box<[AtomicU64]>,
+    offered: Box<[AtomicU64]>,
+    link: Box<[AtomicU32]>,
+}
+
+impl EntryChunk {
+    fn new() -> Self {
+        let u64s = || (0..CHUNK_SLOTS).map(|_| AtomicU64::new(0)).collect();
+        EntryChunk {
+            dst: u64s(),
+            offered: u64s(),
+            link: (0..CHUNK_SLOTS).map(|_| AtomicU32::new(0)).collect(),
+        }
+    }
+}
+
+/// Chunked slab of *pending* workload entries: pairs the decode step
+/// has pulled from the stream but whose sources have not yet injected.
+/// Destinations stay `u64` (an off-fabric destination is legal — it
+/// drops as unroutable at injection), `offered` is the entry's
+/// offer-clock cycle, and `link` threads each source's pending FIFO.
+/// Chunked like [`PacketArena`], so a backlog of `k` entries costs
+/// `O(k)` resident memory whatever the stream length: the live-
+/// watermark memory model, applied to the injection queue as well as
+/// the in-flight packets.
+pub(super) struct EntryArena {
+    chunks: Vec<OnceLock<EntryChunk>>,
+}
+
+impl EntryArena {
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity < NONE as usize,
+            "entry capacity {capacity} would overflow u32 entry ids"
+        );
+        EntryArena {
+            chunks: (0..capacity.div_ceil(CHUNK_SLOTS))
+                .map(|_| OnceLock::new())
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, id: u32) -> (&EntryChunk, usize) {
+        let chunk = self.chunks[(id >> CHUNK_BITS) as usize].get_or_init(EntryChunk::new);
+        (chunk, (id & OFFSET_MASK) as usize)
+    }
+
+    /// Destination node — possibly off-fabric.
+    #[inline]
+    pub fn dst(&self, id: u32) -> &AtomicU64 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.dst[offset]
+    }
+
+    /// Cycle the entry's injection credit accrued (offer clock).
+    #[inline]
+    pub fn offered(&self, id: u32) -> &AtomicU64 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.offered[offset]
+    }
+
+    /// Intrusive FIFO link: the source's next pending entry.
+    #[inline]
+    pub fn link(&self, id: u32) -> &AtomicU32 {
+        let (chunk, offset) = self.slot(id);
+        &chunk.link[offset]
+    }
+
+    /// Initialize a freshly claimed entry (link starts [`NONE`]).
+    pub fn init(&self, id: u32, dst: u64, offered: u64) {
+        let (chunk, offset) = self.slot(id);
+        chunk.dst[offset].store(dst, Relaxed);
+        chunk.offered[offset].store(offered, Relaxed);
+        chunk.link[offset].store(NONE, Relaxed);
     }
 }
 
 /// The arena's id supply: fresh slots up to capacity, recycled slots
-/// LIFO (hot slots stay cache-hot). Owned by the engine's sequential
-/// phases; drain workers hand departures back in per-worker batches.
+/// LIFO (hot slots stay cache-hot). Sequential phases claim directly;
+/// the parallel injection phase refills per-worker id batches through
+/// a mutex around this allocator, one lock per
+/// [`Self::claim_batch`] — not per packet.
 pub(super) struct ArenaAllocator {
     free: Vec<u32>,
     allocated: u32,
@@ -87,6 +258,10 @@ pub(super) struct ArenaAllocator {
 
 impl ArenaAllocator {
     pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity < NONE as usize,
+            "arena capacity {capacity} would overflow u32 packet ids"
+        );
         ArenaAllocator {
             free: Vec::new(),
             allocated: 0,
@@ -112,14 +287,31 @@ impl ArenaAllocator {
         }
     }
 
-    /// Return a batch of slots (a drain phase's departures).
+    /// Claim up to `want` ids into `out` (recycled first, then fresh);
+    /// stops early only at capacity. Injection workers refill their
+    /// local pools with this — one lock acquisition per batch.
+    pub fn claim_batch(&mut self, out: &mut Vec<u32>, want: usize) {
+        for _ in 0..want {
+            if let Some(id) = self.free.pop() {
+                out.push(id);
+            } else if self.allocated < self.capacity {
+                out.push(self.allocated);
+                self.allocated += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Return a batch of slots (a drain phase's departures, or a
+    /// worker pool's leftovers at run end).
     pub fn release_all(&mut self, ids: impl IntoIterator<Item = u32>) {
         self.free.extend(ids);
     }
 
     /// Live packets = handed out minus recycled. The conservation
-    /// invariant: after a run this must equal the report's
-    /// `in_flight`.
+    /// invariant: after a run (with every worker pool returned) this
+    /// must equal the report's `in_flight`.
     pub fn live(&self) -> usize {
         self.allocated as usize - self.free.len()
     }
@@ -156,15 +348,16 @@ impl ChannelQueues {
     }
 
     /// Append `id` to `chan`'s FIFO, threading the intrusive link.
-    /// Returns the new committed length. Sequential phases only
-    /// (injection and staged-apply).
-    pub fn push(&self, chan: usize, id: u32, links: &[AtomicU32]) -> u32 {
-        links[id as usize].store(NONE, Relaxed);
+    /// Returns the new committed length. Callers hold per-channel
+    /// ownership (injection: the channel's source node; apply: the
+    /// main thread).
+    pub fn push(&self, chan: usize, id: u32, arena: &PacketArena) -> u32 {
+        arena.link(id).store(NONE, Relaxed);
         let tail = self.tail[chan].load(Relaxed);
         if tail == NONE {
             self.head[chan].store(id, Relaxed);
         } else {
-            links[tail as usize].store(id, Relaxed);
+            arena.link(tail).store(id, Relaxed);
         }
         self.tail[chan].store(id, Relaxed);
         let len = self.len[chan].load(Relaxed) + 1;
@@ -176,9 +369,9 @@ impl ChannelQueues {
     /// the drain phase batches its pop counts to the apply step so
     /// occupancy stays phase-stable. Caller owns the channel's
     /// downstream node.
-    pub fn pop_head(&self, chan: usize, id: u32, links: &[AtomicU32]) {
+    pub fn pop_head(&self, chan: usize, id: u32, arena: &PacketArena) {
         debug_assert_eq!(self.head[chan].load(Relaxed), id);
-        let next = links[id as usize].load(Relaxed);
+        let next = arena.link(id).load(Relaxed);
         self.head[chan].store(next, Relaxed);
         if next == NONE {
             self.tail[chan].store(NONE, Relaxed);
@@ -207,12 +400,28 @@ mod tests {
         let c = ids.claim();
         assert_eq!(c, a);
         arena.init(c, 9, 3, 2);
-        assert_eq!(arena.dst[c as usize].load(Relaxed), 9);
-        assert_eq!(arena.hops[c as usize].load(Relaxed), 0);
-        assert_eq!(arena.cached_next[c as usize].load(Relaxed), NONE);
+        assert_eq!(arena.dst(c).load(Relaxed), 9);
+        assert_eq!(arena.hops(c).load(Relaxed), 0);
+        assert_eq!(arena.cached_next(c).load(Relaxed), NONE);
         assert_eq!(ids.live(), 2);
         ids.release_all([b, c]);
         assert_eq!(ids.live(), 0);
+    }
+
+    #[test]
+    fn batch_claims_stop_at_capacity() {
+        let mut ids = ArenaAllocator::new(5);
+        let a = ids.claim();
+        let b = ids.claim();
+        ids.release_all([a, b]);
+        let mut pool = Vec::new();
+        ids.claim_batch(&mut pool, 4);
+        assert_eq!(pool, vec![1, 0, 2, 3], "recycled LIFO, then fresh");
+        // Fresh ids stop at capacity instead of panicking — partial
+        // batches are the worker pools' back-off signal.
+        ids.claim_batch(&mut pool, 100);
+        assert_eq!(pool, vec![1, 0, 2, 3, 4]);
+        assert_eq!(ids.live(), 5);
     }
 
     #[test]
@@ -221,6 +430,44 @@ mod tests {
         let mut ids = ArenaAllocator::new(1);
         ids.claim();
         ids.claim();
+    }
+
+    #[test]
+    fn chunks_materialize_lazily_with_the_id_watermark() {
+        // Capacity spans many chunks, but only touched chunks are
+        // resident — the live-watermark memory model.
+        let arena = PacketArena::with_capacity(5 * CHUNK_SLOTS + 7);
+        assert_eq!(arena.resident_chunks(), 0);
+        arena.init(0, 1, 2, 0);
+        assert_eq!(arena.resident_chunks(), 1);
+        arena.init((CHUNK_SLOTS - 1) as u32, 1, 2, 0);
+        assert_eq!(arena.resident_chunks(), 1, "same chunk");
+        let far = (3 * CHUNK_SLOTS + 5) as u32;
+        arena.init(far, 42, 9, 1);
+        assert_eq!(arena.resident_chunks(), 2, "only touched chunks");
+        assert_eq!(arena.dst(far).load(Relaxed), 42);
+        assert_eq!(arena.offered(far).load(Relaxed), 9);
+        assert_eq!(arena.vc(far).load(Relaxed), 1);
+        // The last, partial chunk's ids resolve too.
+        let last = (5 * CHUNK_SLOTS + 6) as u32;
+        arena.init(last, 7, 1, 0);
+        assert_eq!(arena.dst(last).load(Relaxed), 7);
+        assert_eq!(arena.resident_chunks(), 3);
+    }
+
+    #[test]
+    fn entry_slab_round_trips_and_grows_lazily() {
+        let entries = EntryArena::with_capacity(2 * CHUNK_SLOTS);
+        entries.init(0, u64::MAX - 1, 17);
+        assert_eq!(entries.dst(0).load(Relaxed), u64::MAX - 1, "u64 dsts");
+        assert_eq!(entries.offered(0).load(Relaxed), 17);
+        assert_eq!(entries.link(0).load(Relaxed), NONE);
+        // Only the touched chunk is resident.
+        assert!(entries.chunks[1].get().is_none());
+        let far = CHUNK_SLOTS as u32 + 3;
+        entries.init(far, 5, 1);
+        assert_eq!(entries.dst(far).load(Relaxed), 5);
+        assert!(entries.chunks[1].get().is_some());
     }
 
     #[test]
@@ -236,16 +483,16 @@ mod tests {
             })
             .collect();
         for &id in &handles[..3] {
-            queues.push(0, id, &arena.link);
+            queues.push(0, id, &arena);
         }
-        queues.push(1, handles[3], &arena.link);
+        queues.push(1, handles[3], &arena);
         assert_eq!(queues.len[0].load(Relaxed), 3);
         assert_eq!(queues.len[1].load(Relaxed), 1);
         // FIFO: pop order equals push order, per channel.
         let mut order = Vec::new();
         while queues.head[0].load(Relaxed) != NONE {
             let id = queues.head[0].load(Relaxed);
-            queues.pop_head(0, id, &arena.link);
+            queues.pop_head(0, id, &arena);
             order.push(id);
         }
         assert_eq!(order, &handles[..3]);

@@ -70,7 +70,7 @@ pub mod reference;
 mod run;
 
 use super::report::QueueingReport;
-use super::workload::MulticastGroup;
+use super::workload::{MulticastGroup, WorkloadSource};
 use otis_core::{CongestionMap, Dateline, DigraphFamily, MulticastTree, Router};
 use otis_digraph::Digraph;
 use serde::{Deserialize, Serialize};
@@ -623,6 +623,41 @@ impl QueueingEngine {
             self,
             router,
             run::Work::Unicast(workload),
+            offered_per_cycle,
+            hot_dst,
+        )
+    }
+
+    /// As [`QueueingEngine::run`], but fed by a streamed
+    /// [`WorkloadSource`] instead of a materialized pair slice: the
+    /// decode step regenerates one deterministic chunk at a time, so
+    /// a ten-million-packet run holds one chunk (not 160 MB of pairs)
+    /// resident. The report is byte-identical to materializing the
+    /// same source and calling [`QueueingEngine::run`] — the decode
+    /// step is the only consumer of either feed.
+    pub fn run_streamed(
+        &self,
+        router: &dyn Router,
+        source: &WorkloadSource,
+        offered_per_cycle: f64,
+    ) -> QueueingReport {
+        self.run_streamed_classified(router, source, offered_per_cycle, None)
+    }
+
+    /// As [`QueueingEngine::run_streamed`], additionally splitting
+    /// delay, delivery and drops by traffic class (see
+    /// [`QueueingEngine::run_classified`]).
+    pub fn run_streamed_classified(
+        &self,
+        router: &dyn Router,
+        source: &WorkloadSource,
+        offered_per_cycle: f64,
+        hot_dst: Option<u64>,
+    ) -> QueueingReport {
+        run::execute(
+            self,
+            router,
+            run::Work::Streamed(source),
             offered_per_cycle,
             hot_dst,
         )

@@ -1,22 +1,49 @@
-//! The cycle loop: injection, sharded drain, apply — the engine's hot
-//! path, rebuilt for scale.
+//! The cycle loop: streamed decode, sharded injection, sharded drain,
+//! apply — the engine's hot path, rebuilt for million-node fabrics.
 //!
 //! # Cycle anatomy
 //!
-//! 1. **Injection** (sequential): each source with accrued credit
-//!    offers its queue head into its first-hop channel, rotating the
-//!    starting source. Pushes commit immediately.
-//! 2. **Drain** (sharded): every *node* with any occupied inbound
-//!    channel drains its in-arcs — up to `wavelengths` packets per
-//!    arc, round-robin over VC classes, both starting offsets rotating
-//!    per cycle. Moves are staged; pops are batched. Workers own
-//!    disjoint node ranges, and because every buffer a node's drain
-//!    writes belongs to that node's *own* out-arcs, ownership is
-//!    disjoint by construction — no locks, no CAS loops in the loop.
-//! 3. **Apply** (sequential): batched pop counts commit, emptied nodes
-//!    leave the worklist, staged arrivals join their FIFOs (per-channel
-//!    arrival order is the source node's drain order, so it cannot
-//!    depend on the worker layout), stats merge in worker order.
+//! 1. **Decode** (sequential): the offer clock admits this cycle's
+//!    slice of the workload. Pairs are pulled from the stream in index
+//!    order — regenerated chunk-by-chunk for a [`WorkloadSource`],
+//!    read in place for a slice — and appended to per-source pending
+//!    FIFOs in the entry slab. A source going nonempty is listed with
+//!    its owning inject worker.
+//! 2. **Inject** (sharded by *source* ownership): each worker walks
+//!    its listed sources, admitting every pending head it can. A
+//!    source's injection touches only its own out-arc channels (the
+//!    first hop originates at the source, and the room check reads
+//!    only that channel's committed `len`, which only this source's
+//!    pushes change within the phase), so the decisions are
+//!    per-source independent and the shard layout is unobservable.
+//!    Packet ids come from per-worker pools refilled in batches from
+//!    the shared allocator — ids are never observable in a report, so
+//!    their interleaving doesn't matter. The one cross-shard touch is
+//!    the downstream node's ready count, which is why [`activate`]
+//!    uses `fetch_add`. Adaptive (non-stateless) routers read the
+//!    congestion scoreboard at injection, so *their* scan order is
+//!    observable: those runs list every source with worker 0 and the
+//!    main thread injects them alone, in listing order — sequential,
+//!    hence still independent of the thread count. Multicast roots
+//!    also inject sequentially (during the decode slot), preserving
+//!    the rotating-scan semantics the frozen reference engine pins.
+//! 3. **Drain** (sharded by *downstream-node* ownership): every node
+//!    with any ready inbound channel drains its in-arcs — up to
+//!    `wavelengths` packets per arc, round-robin over VC classes,
+//!    both starting offsets rotating per cycle. Moves are staged;
+//!    pops are batched. Every buffer a node's drain writes belongs to
+//!    that node's *own* out-arcs, so ownership is disjoint by
+//!    construction — no locks, no CAS loops in the loop. Shard
+//!    boundaries are rounded to 64-node multiples so workers never
+//!    share a worklist bitset word, and contiguous node ranges keep
+//!    the de Bruijn arc structure (node `v` feeds `dv + c mod n`)
+//!    cache-local per worker.
+//! 4. **Apply** (sequential): batched pop counts commit, parked
+//!    channels and sources wake, emptied nodes leave the worklist,
+//!    staged arrivals join their FIFOs (per-channel arrival order is
+//!    the source node's drain order, so it cannot depend on the
+//!    worker layout), stats merge in worker order, and waits fold
+//!    into dense histograms (order-free by construction).
 //!
 //! # Boundary credits — the determinism contract
 //!
@@ -27,25 +54,29 @@
 //! earlier pops, which made outcomes depend on scan order — harmless
 //! sequentially, fatal for deterministic parallelism. With boundary
 //! credits, a cycle's outcome is a pure function of its start state,
-//! so the drain may be sharded any way at all: the report is
+//! so both sharded phases may be split any way at all: the report is
 //! byte-identical at 1, 2, or 8 threads (pinned by proptest).
 //! Deliveries, drops and relief moves never need room, so progress
-//! (and deadlock detection) is unaffected. Two arbitration tie-breaks
-//! are thereby *re-specified* relative to the reference engine: a
-//! slot freed this cycle is claimable next cycle (not later in the
-//! same scan), and same-cycle arrivals into one FIFO land in the
-//! staging node's drain order (not the global scan order) — both
-//! deterministic, neither observable except as ±1-cycle shifts in
-//! individual waits under contention.
+//! (and deadlock detection) is unaffected.
+//!
+//! # Memory model
+//!
+//! Nothing here is sized by the offered load. The workload streams
+//! (one regenerated chunk resident at a time), pending entries and
+//! packet state live in lazily-chunked slabs sized by their live
+//! watermark, waits fold into histograms, and packet ids recycle
+//! LIFO. A ten-million-packet run on `B(2,20)` is resident-bounded by
+//! its congestion peak — the fixed per-channel and per-node arrays —
+//! not by the 160 MB the old materialize-then-slab path would take.
 //!
 //! # The worklist
 //!
-//! `active` is a dense bitset over nodes with `node_pending[v] > 0`
-//! (packets sitting in v's inbound channels). Injection and apply set
-//! bits as they push; a drain that empties a node queues it for a
-//! clear at the next apply. An idle region of the fabric costs one
-//! word load per 64 nodes per cycle — nothing — which is what makes
-//! sparse and hotspot workloads cheap on `B(2,16)`'s 131072 links.
+//! `active` is a dense bitset over nodes with `node_ready[v] > 0`
+//! (ready channels into `v`). Injection and apply set bits as they
+//! push; a drain that empties a node queues it for a clear at the
+//! next apply. An idle region of the fabric costs one word load per
+//! 64 nodes per cycle — which is what makes sparse and hotspot
+//! workloads cheap on `B(2,20)`'s two million links.
 //!
 //! # Stateless-router hop caching
 //!
@@ -53,13 +84,16 @@
 //! question it answered last cycle (the head hasn't moved). When
 //! [`Router::hops_are_stateless`] holds, the computed next arc is
 //! cached in the packet and invalidated on movement, so a blocked head
-//! costs a word load, not a routing query. Adaptive routers opt out
-//! and are re-queried every attempt, reading congestion as of the last
-//! phase boundary — stable within a cycle, hence still deterministic.
+//! costs a word load, not a routing query. Injection keeps the same
+//! cache keyed by the pending *entry* id (invalidated when the head is
+//! consumed — entry ids recycle). Adaptive routers opt out and are
+//! re-queried every attempt, reading congestion as of the last phase
+//! boundary — stable within a cycle, hence still deterministic.
 
-use super::arena::{ArenaAllocator, ChannelQueues, PacketArena, NONE};
+use super::arena::{ArenaAllocator, ChannelQueues, EntryArena, PacketArena, NONE};
 use super::{arc_of, ContentionPolicy, QueueingEngine, TreeSet};
-use crate::traffic::report::{percentile_u64, ClassBreakdown, ClassStats, QueueingReport};
+use crate::traffic::report::{ClassBreakdown, ClassStats, QueueingReport, WaitHistogram};
+use crate::traffic::workload::WorkloadSource;
 use otis_core::{Dateline, Router};
 use otis_digraph::Digraph;
 use otis_util::DenseBitset;
@@ -67,21 +101,74 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering::Relaxed};
 use std::sync::{Barrier, Mutex};
 
-/// What a run simulates: unicast `(src, dst)` pairs, or multicast
-/// delivery trees with in-fabric replication. The multicast variant
-/// flips the meaning of the report's packet counters to **destination
-/// leaves** (`injected_leaves = delivered + dropped + in_flight`),
-/// while everything structural — buffers, VC classes, backpressure,
-/// the deterministic sharded drain — is shared.
+/// Ids a worker pulls from the shared allocator per refill: one lock
+/// acquisition per `ID_BATCH` injections, not per packet.
+const ID_BATCH: usize = 128;
+
+/// What a run simulates: unicast `(src, dst)` pairs — materialized or
+/// streamed — or multicast delivery trees with in-fabric replication.
+/// The multicast variant flips the meaning of the report's packet
+/// counters to **destination leaves** (`injected_leaves = delivered +
+/// dropped + in_flight`), while everything structural — buffers, VC
+/// classes, backpressure, the deterministic sharded phases — is
+/// shared. `Streamed` and `Unicast` are *the same run* fed two ways:
+/// the decode step is the only consumer of either, so the reports are
+/// byte-identical (pinned by the differential battery).
 pub(super) enum Work<'a> {
     Unicast(&'a [(u64, u64)]),
+    Streamed(&'a WorkloadSource),
     Multicast(&'a TreeSet),
 }
 
+/// Where decode reads pairs: a materialized slice, or a chunked
+/// stream regenerating one `WorkloadSource::CHUNK` at a time. Decode
+/// consumes indices in ascending order, so the streamed feed holds
+/// exactly one resident chunk and never regenerates one twice.
+enum PairFeed<'a> {
+    Slice(&'a [(u64, u64)]),
+    Chunks {
+        source: &'a WorkloadSource,
+        buf: Vec<(u64, u64)>,
+        resident: usize,
+    },
+}
+
+impl PairFeed<'_> {
+    fn pair(&mut self, index: usize) -> (u64, u64) {
+        match self {
+            PairFeed::Slice(pairs) => pairs[index],
+            PairFeed::Chunks {
+                source,
+                buf,
+                resident,
+            } => {
+                let chunk = index / WorkloadSource::CHUNK;
+                if *resident != chunk {
+                    source.fill_chunk(chunk, buf);
+                    *resident = chunk;
+                }
+                buf[index - chunk * WorkloadSource::CHUNK]
+            }
+        }
+    }
+}
+
+/// The decode step's state: the pair feed, the offer-clock cursor,
+/// the pending-entry id supply, and the per-worker staging lists for
+/// sources that just went nonempty.
+struct Decoder<'a> {
+    feed: PairFeed<'a>,
+    total: usize,
+    next: usize,
+    entry_ids: ArenaAllocator,
+    newly_listed: Vec<Vec<u32>>,
+}
+
 /// A staged replication: one child copy to materialize at the apply
-/// step (the arena allocator is owned by the sequential phases, so
-/// drain workers stage spawns instead of claiming ids). Room was
-/// already checked and `staged_len` bumped by the staging worker.
+/// step (multicast spawns claim ids from the sequential phases'
+/// allocator access, so drain workers stage spawns instead of
+/// claiming). Room was already checked and `staged_len` bumped by the
+/// staging worker.
 struct Spawn {
     chan: u32,
     tree_arc: u32,
@@ -90,11 +177,10 @@ struct Spawn {
     vc: u8,
 }
 
-/// Everything a drain worker may touch: immutable context plus shared
-/// slabs whose writes are disjoint by node ownership (each channel's
-/// pops belong to the worker owning the channel's *target* node; each
-/// channel's `staged_len` to the worker owning its *source* node —
-/// which is the same worker that stages into it).
+/// Everything a worker may touch: immutable context plus shared slabs
+/// whose writes are disjoint by ownership (injection state by the
+/// *source* node's inject owner, drain state by the *downstream*
+/// node's drain owner, both resolved per phase).
 struct SharedRun<'a> {
     g: &'a Digraph,
     router: &'a dyn Router,
@@ -117,7 +203,51 @@ struct SharedRun<'a> {
     hot_dst: Option<u64>,
     classified: bool,
     arena: &'a PacketArena,
+    /// The packet id supply. Workers touch it once per [`ID_BATCH`]
+    /// refill; the sequential phases lock it for the phase.
+    allocator: &'a Mutex<ArenaAllocator>,
+    /// Pending (decoded, not yet injected) workload entries.
+    entries: &'a EntryArena,
     queues: &'a ChannelQueues,
+    /// Head/tail of each source's pending-entry FIFO. Written by the
+    /// decode step (main) and the source's inject owner — phases that
+    /// never overlap.
+    src_head: &'a [AtomicU32],
+    src_tail: &'a [AtomicU32],
+    /// 1 iff the source sits on some worker's inject list — the
+    /// listing invariant that keeps a source from being scanned twice.
+    src_listed: &'a [AtomicU32],
+    /// Stateless-router injection cache: the pending entry each
+    /// source's cached first-hop arc was computed for, and that arc.
+    /// A backpressured source re-offers the same head every cycle it
+    /// stalls; this makes the re-offer a compare, not a router query.
+    /// Keyed by entry id and invalidated on every head consume
+    /// (entry ids recycle, so a stale key could alias).
+    inject_cached_entry: &'a [AtomicU32],
+    inject_cached_arc: &'a [AtomicU32],
+    /// Stateless-router source parking: the cycle each source stalled
+    /// and parked (`u64::MAX` = not parked). A parked source is
+    /// delisted until its first-hop channel commits a pop; the
+    /// skipped stall cycles are settled in bulk at wake (and at run
+    /// end), so the counter reads exactly as if the source had been
+    /// re-scanned every cycle.
+    source_parked_at: &'a [AtomicU64],
+    /// Intrusive per-channel lists of parked sources. Only a
+    /// channel's own source can park on it, so each list has one
+    /// writer per phase; the apply step drains them on committed
+    /// pops.
+    source_waiter_head: &'a [AtomicU32],
+    source_waiter_link: &'a [AtomicU32],
+    /// Per-channel occupancy peaks. Each channel has one writer per
+    /// phase (its source's inject owner, or the main thread).
+    peak: &'a [AtomicU32],
+    /// Inject-shard boundaries over sources, `threads + 1` entries;
+    /// worker `w` owns sources `[shard_bounds[w], shard_bounds[w+1])`.
+    shard_bounds: &'a [usize],
+    /// Sharded injection is on: unicast work under a stateless
+    /// router. Adaptive routers and multicast roots inject
+    /// sequentially (see the module docs), listing with worker 0.
+    parallel_inject: bool,
     /// Inbound channels of `v` that are *ready*: nonempty and not
     /// parked. The worklist counts these, not raw packets — a parked
     /// channel costs nothing until its blocker commits a pop.
@@ -140,15 +270,34 @@ struct SharedRun<'a> {
     waiter_link: &'a [AtomicU32],
     delivered_per_link: &'a [AtomicU64],
     /// The engine's occupancy scoreboard (what adaptive routers read);
-    /// updated only at phase boundaries, hence cycle-stable.
+    /// updated only at phase boundaries — and, during sharded
+    /// injection, by each channel's single owner while no one reads
+    /// it — hence cycle-stable.
     counts: &'a [AtomicU32],
     cycle: AtomicU64,
     done: AtomicBool,
 }
 
+impl SharedRun<'_> {
+    /// The inject worker that owns `src`'s listing.
+    fn list_owner(&self, src: usize) -> usize {
+        if !self.parallel_inject {
+            return 0;
+        }
+        self.shard_bounds.partition_point(|&bound| bound <= src) - 1
+    }
+}
+
 /// Per-worker buffers, reused across cycles. Handed to the apply step
 /// through a mutex that is only ever contended at phase boundaries.
 struct WorkerScratch {
+    /// Listed sources this worker injects for, in listing order.
+    sources: Vec<u32>,
+    /// This worker's packet id pool, refilled from the shared
+    /// allocator in [`ID_BATCH`]es.
+    ids: Vec<u32>,
+    /// Pending entries consumed this cycle, for recycling at apply.
+    freed_entries: Vec<u32>,
     /// Staged arrivals `(channel, packet)`, in drain order.
     staged: Vec<(u32, u32)>,
     /// Staged replications, in drain order. Per channel the apply
@@ -172,6 +321,9 @@ struct WorkerScratch {
 impl WorkerScratch {
     fn new(vcs: usize) -> Self {
         WorkerScratch {
+            sources: Vec::new(),
+            ids: Vec::new(),
+            freed_entries: Vec::new(),
             staged: Vec::new(),
             spawned: Vec::new(),
             pops: Vec::new(),
@@ -186,10 +338,16 @@ impl WorkerScratch {
     }
 }
 
-/// One drain phase's counter deltas, merged (and reset) at apply.
+/// One cycle's counter deltas from a worker's inject and drain
+/// phases, merged (and reset) at apply.
 #[derive(Default)]
 struct DrainStats {
     activity: usize,
+    /// Workload entries consumed at injection (admitted, delivered at
+    /// the source, or dropped there) — the unicast pending decrement.
+    injected: usize,
+    /// Packets that physically entered the network this cycle.
+    entered: usize,
     delivered: usize,
     /// Leaf units that left the network (delivered + dropped). For
     /// unicast one packet is one leaf; for multicast a dropped copy
@@ -206,33 +364,18 @@ struct DrainStats {
     max_hops: u32,
     promotions: u64,
     relief: u64,
+    source_stalls: u64,
+    class_injected: [usize; 2],
     class_delivered: [usize; 2],
     class_dropped: [usize; 2],
 }
 
 /// Main-thread run accumulators.
 struct MainState {
-    peak: Vec<u32>,
+    /// Multicast only: per-root group queues and the rotating-scan
+    /// id list. Unicast sources live in the shared entry slab.
     sources: Vec<VecDeque<usize>>,
     source_ids: Vec<usize>,
-    /// Stateless-router injection cache: the workload index each
-    /// source's cached first-hop arc was computed for, and that arc.
-    /// A backpressured source re-offers the same head every cycle it
-    /// stalls; this makes the re-offer a compare, not a router query.
-    inject_cached_for: Vec<usize>,
-    inject_cached_arc: Vec<u32>,
-    /// Stateless-router source parking: the cycle each source stalled
-    /// and parked (`u64::MAX` = not parked). A parked source is
-    /// skipped by the injection scan until its first-hop channel
-    /// commits a pop; the skipped stall cycles are settled in bulk at
-    /// wake (and at run end), so the counter reads exactly as if the
-    /// source had been re-scanned every cycle.
-    source_parked_at: Vec<u64>,
-    /// Intrusive per-channel lists of parked sources, main-owned
-    /// (sources park during injection and wake during apply — both
-    /// sequential phases).
-    source_waiter_head: Vec<u32>,
-    source_waiter_link: Vec<u32>,
     pending: usize,
     /// Leaf units buffered in the fabric (unicast: packets).
     in_network: usize,
@@ -250,33 +393,56 @@ struct MainState {
     dropped_ttl: usize,
     delivered_hops: u64,
     max_hops: u32,
-    waits: Vec<u64>,
+    waits: WaitHistogram,
     class_injected: [usize; 2],
     class_delivered: [usize; 2],
     class_dropped: [usize; 2],
-    class_waits: [Vec<u64>; 2],
+    class_waits: [WaitHistogram; 2],
     dateline_promotions: u64,
     dateline_relief: u64,
     source_stall_cycles: u64,
+    /// Sources woken by this apply's pops, to relist with their
+    /// inject owners.
+    woken: Vec<u32>,
     deadlocked: bool,
     cycle: u64,
 }
 
-/// How many drain workers a run uses: an explicit
+/// How many workers a run uses: an explicit
 /// `QueueConfig::drain_threads`, else 1 below 4096 nodes (sharding
 /// overhead beats the win on small fabrics) and the hardware
-/// parallelism, capped at 8, above.
+/// parallelism above — capped at 8 through `B(2,17)`, 16 from 2^18
+/// nodes up, where the shards are wide enough to feed more cores.
 pub(super) fn resolve_threads(drain_threads: usize, n: usize) -> usize {
     let threads = if drain_threads > 0 {
         drain_threads
     } else if n < 4096 {
         1
     } else {
+        let cap = if n >= (1 << 18) { 16 } else { 8 };
         std::thread::available_parallelism()
             .map_or(1, |p| p.get())
-            .min(8)
+            .min(cap)
     };
     threads.clamp(1, n.max(1))
+}
+
+/// Contiguous node shards, `threads + 1` boundaries. Interior
+/// boundaries round up to 64-node multiples so no two workers share a
+/// worklist bitset word (or the cache line under it), and each shard
+/// is a contiguous run of the de Bruijn node space — node `v`'s
+/// out-arcs target the contiguous window `d·v .. d·v + d (mod n)`, so
+/// a contiguous shard's working set is a few contiguous windows.
+fn shard_bounds(n: usize, threads: usize) -> Vec<usize> {
+    (0..=threads)
+        .map(|w| {
+            if w == threads {
+                n
+            } else {
+                ((n * w / threads + 63) & !63).min(n)
+            }
+        })
+        .collect()
 }
 
 pub(super) fn execute(
@@ -313,28 +479,55 @@ pub(super) fn execute(
     // Injection items (pairs or groups) and the arena bound: a unicast
     // run never holds more copies than packets; a multicast run never
     // holds more copies than tree arcs (each arc is crossed once).
-    let (workload, trees) = match work {
-        Work::Unicast(pairs) => (pairs, None),
+    let (feed, trees) = match work {
+        Work::Unicast(pairs) => (PairFeed::Slice(pairs), None),
+        Work::Streamed(source) => (
+            PairFeed::Chunks {
+                source,
+                buf: Vec::new(),
+                resident: usize::MAX,
+            },
+            None,
+        ),
         Work::Multicast(set) => {
             assert!(hot_dst.is_none(), "multicast runs are unclassified");
-            (&[][..], Some(set))
+            (PairFeed::Slice(&[]), Some(set))
         }
     };
-    let (items, capacity) = match trees {
-        Some(set) => (set.group_count(), set.arc_count()),
-        None => (workload.len(), workload.len()),
+    let (items, copy_bound) = match (&feed, trees) {
+        (_, Some(set)) => (set.group_count(), set.arc_count()),
+        (PairFeed::Slice(pairs), None) => (pairs.len(), pairs.len()),
+        (PairFeed::Chunks { source, .. }, None) => (source.len(), source.len()),
     };
+    // Headroom for ids parked in worker pools: live packets never
+    // exceed `copy_bound`, but up to `threads · ID_BATCH` claimed ids
+    // may sit idle in pools — those must not trip the overflow assert.
+    let capacity = copy_bound + threads * ID_BATCH;
 
     let arena = PacketArena::with_capacity(capacity);
-    let mut allocator = ArenaAllocator::new(capacity);
+    let allocator = Mutex::new(ArenaAllocator::new(capacity));
+    let entries = EntryArena::with_capacity(if trees.is_some() { 0 } else { items });
     let queues = ChannelQueues::new(channels);
     let node_ready: Vec<AtomicU32> = (0..n as usize).map(|_| AtomicU32::new(0)).collect();
     let active = DenseBitset::new(n as usize);
     let zeros = |len: usize| -> Vec<AtomicU32> { (0..len).map(|_| AtomicU32::new(0)).collect() };
+    let nones = |len: usize| -> Vec<AtomicU32> { (0..len).map(|_| AtomicU32::new(NONE)).collect() };
     let parked = zeros(channels);
-    let waiter_head: Vec<AtomicU32> = (0..channels).map(|_| AtomicU32::new(NONE)).collect();
-    let waiter_link: Vec<AtomicU32> = (0..channels).map(|_| AtomicU32::new(NONE)).collect();
+    let waiter_head = nones(channels);
+    let waiter_link = nones(channels);
+    let src_head = nones(n as usize);
+    let src_tail = nones(n as usize);
+    let src_listed = zeros(n as usize);
+    let inject_cached_entry = nones(n as usize);
+    let inject_cached_arc = zeros(n as usize);
+    let source_parked_at: Vec<AtomicU64> =
+        (0..n as usize).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let source_waiter_head = nones(channels);
+    let source_waiter_link = nones(n as usize);
+    let peak = zeros(channels);
     let delivered_per_link: Vec<AtomicU64> = (0..arcs).map(|_| AtomicU64::new(0)).collect();
+    let bounds = shard_bounds(n as usize, threads);
+    let stateless = trees.is_some() || router.hops_are_stateless();
 
     let shared = SharedRun {
         g,
@@ -347,12 +540,25 @@ pub(super) fn execute(
         wavelengths: config.wavelengths,
         policy: config.policy,
         hop_limit,
-        stateless: trees.is_some() || router.hops_are_stateless(),
+        stateless,
         trees,
         hot_dst,
         classified: hot_dst.is_some(),
         arena: &arena,
+        allocator: &allocator,
+        entries: &entries,
         queues: &queues,
+        src_head: &src_head,
+        src_tail: &src_tail,
+        src_listed: &src_listed,
+        inject_cached_entry: &inject_cached_entry,
+        inject_cached_arc: &inject_cached_arc,
+        source_parked_at: &source_parked_at,
+        source_waiter_head: &source_waiter_head,
+        source_waiter_link: &source_waiter_link,
+        peak: &peak,
+        shard_bounds: &bounds,
+        parallel_inject: trees.is_none() && stateless,
         node_ready: &node_ready,
         active: &active,
         parked: &parked,
@@ -364,42 +570,28 @@ pub(super) fn execute(
         done: AtomicBool::new(false),
     };
 
-    // Per-source injection queues, workload order within each source.
-    let mut sources: Vec<VecDeque<usize>> = vec![VecDeque::new(); n as usize];
-    match trees {
-        Some(set) => {
-            for group in 0..set.group_count() {
-                let root = set.group_root(group);
-                assert!(
-                    root < n,
-                    "group root {root} is not a fabric node (fabric has {n})"
-                );
-                sources[root as usize].push_back(group);
-            }
-        }
-        None => {
-            for (index, &(src, _)) in workload.iter().enumerate() {
-                assert!(
-                    src < n,
-                    "workload source {src} is not a fabric node (fabric has {n})"
-                );
-                sources[src as usize].push_back(index);
-            }
+    // Multicast group queues, root order within each root. Unicast
+    // work needs no up-front distribution: the decode step streams
+    // pairs into the entry slab as their offer cycles arrive.
+    let mut sources: Vec<VecDeque<usize>> = Vec::new();
+    if let Some(set) = trees {
+        sources = vec![VecDeque::new(); n as usize];
+        for group in 0..set.group_count() {
+            let root = set.group_root(group);
+            assert!(
+                root < n,
+                "group root {root} is not a fabric node (fabric has {n})"
+            );
+            sources[root as usize].push_back(group);
         }
     }
-    let source_ids: Vec<usize> = (0..n as usize)
+    let source_ids: Vec<usize> = (0..sources.len())
         .filter(|&src| !sources[src].is_empty())
         .collect();
 
     let mut main = MainState {
-        peak: vec![0u32; channels],
         sources,
         source_ids,
-        inject_cached_for: vec![usize::MAX; n as usize],
-        inject_cached_arc: vec![0u32; n as usize],
-        source_parked_at: vec![u64::MAX; n as usize],
-        source_waiter_head: vec![NONE; channels],
-        source_waiter_link: vec![NONE; n as usize],
         pending: items,
         in_network: 0,
         in_copies: 0,
@@ -412,43 +604,52 @@ pub(super) fn execute(
         dropped_ttl: 0,
         delivered_hops: 0,
         max_hops: 0,
-        waits: Vec::with_capacity(items),
+        waits: WaitHistogram::default(),
         class_injected: [0; 2],
         class_delivered: [0; 2],
         class_dropped: [0; 2],
-        class_waits: [Vec::new(), Vec::new()],
+        class_waits: [WaitHistogram::default(), WaitHistogram::default()],
         dateline_promotions: 0,
         dateline_relief: 0,
         source_stall_cycles: 0,
+        woken: Vec::new(),
         deadlocked: false,
         cycle: 0,
+    };
+
+    let mut dec = Decoder {
+        feed,
+        total: if trees.is_some() { 0 } else { items },
+        next: 0,
+        entry_ids: ArenaAllocator::new(if trees.is_some() { 0 } else { items }),
+        newly_listed: vec![Vec::new(); threads],
     };
 
     let scratches: Vec<Mutex<WorkerScratch>> = (0..threads)
         .map(|_| Mutex::new(WorkerScratch::new(vcs)))
         .collect();
-    // Contiguous node shards: worker w owns [w·n/T, (w+1)·n/T).
-    let shard = |w: usize| -> std::ops::Range<usize> {
-        let lo = (n as usize * w) / threads;
-        let hi = (n as usize * (w + 1)) / threads;
-        lo..hi
-    };
     let barrier = Barrier::new(threads);
 
     std::thread::scope(|scope| {
         for (w, scratch) in scratches.iter().enumerate().skip(1) {
             let shared = &shared;
             let barrier = &barrier;
-            let range = shard(w);
+            let range = bounds[w]..bounds[w + 1];
             scope.spawn(move || loop {
                 barrier.wait();
                 if shared.done.load(Relaxed) {
                     break;
                 }
                 let cycle = shared.cycle.load(Relaxed);
-                let mut ws = scratch.lock().expect("drain scratch");
-                drain_range(shared, range.clone(), cycle, &mut ws);
-                drop(ws);
+                {
+                    let mut ws = scratch.lock().expect("inject scratch");
+                    inject_list(shared, &mut ws, cycle);
+                }
+                barrier.wait();
+                {
+                    let mut ws = scratch.lock().expect("drain scratch");
+                    drain_range(shared, range.clone(), cycle, &mut ws);
+                }
                 barrier.wait();
             });
         }
@@ -461,24 +662,27 @@ pub(super) fn execute(
             }
             let mut activity = match shared.trees {
                 Some(set) => {
+                    let mut allocator = shared.allocator.lock().expect("arena allocator");
                     inject_multicast(&shared, &mut main, &mut allocator, set, offered_per_cycle)
                 }
-                None => inject(
-                    &shared,
-                    &mut main,
-                    &mut allocator,
-                    workload,
-                    offered_per_cycle,
-                ),
+                None => {
+                    decode(&shared, &main, &mut dec, &scratches, offered_per_cycle);
+                    0
+                }
             };
             shared.cycle.store(main.cycle, Relaxed);
             barrier.wait();
             {
-                let mut ws = scratches[0].lock().expect("drain scratch");
-                drain_range(&shared, shard(0), main.cycle, &mut ws);
+                let mut ws = scratches[0].lock().expect("inject scratch");
+                inject_list(&shared, &mut ws, main.cycle);
             }
             barrier.wait();
-            activity += apply(&shared, &mut main, &mut allocator, &scratches);
+            {
+                let mut ws = scratches[0].lock().expect("drain scratch");
+                drain_range(&shared, bounds[0]..bounds[1], main.cycle, &mut ws);
+            }
+            barrier.wait();
+            activity += apply(&shared, &mut main, &mut dec, &scratches);
             main.cycle += 1;
             if activity == 0 && main.in_network > 0 {
                 // Packets are buffered but nothing moved, injected or
@@ -493,34 +697,56 @@ pub(super) fn execute(
     });
 
     // Arena conservation: every slot handed out is either recycled
-    // (delivered/dropped) or still queued (in flight). Multicast
-    // copies are audited in copy units — their leaf-unit total is the
-    // report's `in_flight`.
+    // (delivered/dropped), pooled by a worker, or still queued (in
+    // flight). Return the pools, then audit. Multicast copies are
+    // audited in copy units — their leaf-unit total is the report's
+    // `in_flight`.
     let live_copies = if shared.trees.is_some() {
         main.in_copies
     } else {
         main.in_network
     };
-    assert_eq!(
-        allocator.live(),
-        live_copies,
-        "arena leak: {} live slots vs {live_copies} in-flight copies",
-        allocator.live(),
-    );
+    {
+        let mut allocator = shared.allocator.lock().expect("arena allocator");
+        for cell in &scratches {
+            let mut ws = cell.lock().expect("pool return");
+            allocator.release_all(ws.ids.drain(..));
+        }
+        assert_eq!(
+            allocator.live(),
+            live_copies,
+            "arena leak: {} live slots vs {live_copies} in-flight copies",
+            allocator.live(),
+        );
+    }
+    // Entry conservation: decoded minus consumed must equal the live
+    // pending backlog (consumes and `injected` move in lockstep).
+    if shared.trees.is_none() {
+        assert_eq!(
+            dec.entry_ids.live(),
+            dec.next - main.injected,
+            "entry leak: {} live entries vs {} decoded − {} consumed",
+            dec.entry_ids.live(),
+            dec.next,
+            main.injected,
+        );
+    }
 
     // Sources still parked at the end: the scan would have re-stalled
     // them in every executed cycle after they parked — settle the
     // counter so it reads identically to the unparked path.
     if main.cycle > 0 {
-        for &parked_at in &main.source_parked_at {
-            if parked_at != u64::MAX {
-                main.source_stall_cycles += (main.cycle - 1) - parked_at;
+        for parked_at in source_parked_at.iter() {
+            let at = parked_at.load(Relaxed);
+            if at != u64::MAX {
+                main.source_stall_cycles += (main.cycle - 1) - at;
             }
         }
     }
 
     finish(
         &mut main,
+        &peak,
         &delivered_per_link,
         arcs,
         vcs,
@@ -531,14 +757,67 @@ pub(super) fn execute(
     )
 }
 
-/// The injection phase of a multicast run: rotate over roots with
-/// pending groups, injecting one copy per root-child tree arc. A
-/// group injects all-or-nothing under backpressure (any full
-/// root-child FIFO stalls the root, which parks on it); under
-/// tail-drop the full children drop with their whole subtree weight
-/// and the rest inject. Root self-requests deliver at the source and
-/// unroutable leaves drop here, so a processed group always accounts
-/// for every one of its leaves.
+/// The decode step of a unicast run: pull every pair whose offer
+/// cycle has arrived, append it to its source's pending FIFO, and
+/// stage newly nonempty sources for listing with their inject owner
+/// (one scratch lock per worker per cycle, while the workers idle at
+/// the cycle barrier).
+fn decode(
+    shared: &SharedRun,
+    main: &MainState,
+    dec: &mut Decoder,
+    scratches: &[Mutex<WorkerScratch>],
+    offered_per_cycle: f64,
+) {
+    // Cycle the `i`-th packet's injection credit accrues: credits
+    // issued through cycle `c` total `(c+1)·offered`, so packet `i` is
+    // covered once that reaches `i+1`. Without stalls this is exactly
+    // the injection cycle.
+    let offer_cycle =
+        |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
+    let cycle = main.cycle;
+    let n = shared.g.node_count() as u64;
+    while dec.next < dec.total && offer_cycle(dec.next) <= cycle {
+        let (src, dst) = dec.feed.pair(dec.next);
+        assert!(
+            src < n,
+            "workload source {src} is not a fabric node (fabric has {n})"
+        );
+        let entry = dec.entry_ids.claim();
+        shared.entries.init(entry, dst, offer_cycle(dec.next));
+        let s = src as usize;
+        let tail = shared.src_tail[s].load(Relaxed);
+        if tail == NONE {
+            shared.src_head[s].store(entry, Relaxed);
+        } else {
+            shared.entries.link(tail).store(entry, Relaxed);
+        }
+        shared.src_tail[s].store(entry, Relaxed);
+        if shared.src_listed[s].load(Relaxed) == 0 {
+            shared.src_listed[s].store(1, Relaxed);
+            dec.newly_listed[shared.list_owner(s)].push(src as u32);
+        }
+        dec.next += 1;
+    }
+    for (w, list) in dec.newly_listed.iter_mut().enumerate() {
+        if !list.is_empty() {
+            scratches[w]
+                .lock()
+                .expect("decode scratch")
+                .sources
+                .append(list);
+        }
+    }
+}
+
+/// The injection phase of a multicast run (sequential, in the decode
+/// slot): rotate over roots with pending groups, injecting one copy
+/// per root-child tree arc. A group injects all-or-nothing under
+/// backpressure (any full root-child FIFO stalls the root, which
+/// parks on it); under tail-drop the full children drop with their
+/// whole subtree weight and the rest inject. Root self-requests
+/// deliver at the source and unroutable leaves drop here, so a
+/// processed group always accounts for every one of its leaves.
 fn inject_multicast(
     shared: &SharedRun,
     main: &mut MainState,
@@ -562,7 +841,7 @@ fn inject_multicast(
     };
     for scan in 0..scan_count {
         let src = main.source_ids[(source_start + scan) % main.source_ids.len()];
-        if main.source_parked_at[src] != u64::MAX {
+        if shared.source_parked_at[src].load(Relaxed) != u64::MAX {
             continue; // woken by the blocking channel's next pop
         }
         'groups: while let Some(&group) = main.sources[src].front() {
@@ -579,9 +858,10 @@ fn inject_multicast(
                     let chan = arc * shared.vcs + vc0 as usize;
                     if shared.queues.len[chan].load(Relaxed) >= shared.buffers {
                         main.source_stall_cycles += 1;
-                        main.source_parked_at[src] = cycle;
-                        main.source_waiter_link[src] = main.source_waiter_head[chan];
-                        main.source_waiter_head[chan] = src as u32;
+                        shared.source_parked_at[src].store(cycle, Relaxed);
+                        let first = shared.source_waiter_head[chan].load(Relaxed);
+                        shared.source_waiter_link[src].store(first, Relaxed);
+                        shared.source_waiter_head[chan].store(src as u32, Relaxed);
                         break 'groups;
                     }
                 }
@@ -595,9 +875,7 @@ fn inject_multicast(
                 // Delivered without entering the network.
                 main.delivered += self_requests;
                 let wait = cycle - offer_cycle(group);
-                for _ in 0..self_requests {
-                    main.waits.push(wait);
-                }
+                main.waits.record_n(wait, self_requests as u64);
             }
             main.dropped_unroutable += trees.group_unroutable(group) as usize;
             for &t in roots {
@@ -610,7 +888,7 @@ fn inject_multicast(
                     }
                     let id = allocator.claim();
                     shared.arena.init(id, t, offer_cycle(group), vc0);
-                    push_packet(shared, &mut main.peak, chan, id);
+                    push_packet(shared, chan, id);
                     main.in_network += trees.weight(t) as usize;
                     main.in_copies += 1;
                 } else {
@@ -626,157 +904,195 @@ fn inject_multicast(
     activity
 }
 
-/// The injection phase: rotate over sources with pending traffic,
-/// admitting each source's eligible queue head(s). Returns the phase's
-/// activity count.
-fn inject(
-    shared: &SharedRun,
-    main: &mut MainState,
-    allocator: &mut ArenaAllocator,
-    workload: &[(u64, u64)],
-    offered_per_cycle: f64,
-) -> usize {
-    // Cycle the `i`-th packet's injection credit accrues: credits
-    // issued through cycle `c` total `(c+1)·offered`, so packet `i` is
-    // covered once that reaches `i+1`. Without stalls this is exactly
-    // the injection cycle.
-    let offer_cycle =
-        |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
-    let cycle = main.cycle;
-    let mut activity = 0usize;
-    let scan_count = if main.pending == 0 {
-        0
-    } else {
-        main.source_ids.len()
-    };
-    let source_start = if main.source_ids.is_empty() {
-        0
-    } else {
-        cycle as usize % main.source_ids.len()
-    };
-    for scan in 0..scan_count {
-        let src = main.source_ids[(source_start + scan) % main.source_ids.len()];
-        if main.source_parked_at[src] != u64::MAX {
-            // Still blocked on a full first-hop FIFO; its wake-up is
-            // event-driven (the blocker's next committed pop).
+/// The injection phase over one worker's listed sources: admit every
+/// pending head each source can place, compacting the list as sources
+/// drain empty or park. Listing invariant: a source is on exactly one
+/// list iff its `src_listed` flag is set; delisting clears the flag,
+/// and decode / the apply-step wake relist under it.
+fn inject_list(shared: &SharedRun, ws: &mut WorkerScratch, cycle: u64) {
+    if ws.sources.is_empty() {
+        return;
+    }
+    let mut list = std::mem::take(&mut ws.sources);
+    if !shared.parallel_inject {
+        // Sequential (adaptive-router) injection: stalled sources
+        // stay listed and retry every cycle, so rotate the scan start
+        // or the first-listed would persistently win the buffer room
+        // the later ones starve for. (Sharded injection doesn't need
+        // this: its stalled sources park, and admission there is
+        // order-free.)
+        let rotation = cycle as usize % list.len();
+        list.rotate_left(rotation);
+    }
+    let mut kept = 0;
+    for i in 0..list.len() {
+        let src = list[i];
+        if inject_source(shared, ws, src as usize, cycle) {
+            list[kept] = src;
+            kept += 1;
+        } else {
+            shared.src_listed[src as usize].store(0, Relaxed);
+        }
+    }
+    list.truncate(kept);
+    ws.sources = list;
+}
+
+/// Inject one source's eligible pending heads (every decoded entry is
+/// already offered). Returns whether the source stays listed: `false`
+/// when its queue drained or it parked (both wakes are event-driven),
+/// `true` when an adaptive-router stall leaves it retrying next
+/// cycle.
+fn inject_source(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, cycle: u64) -> bool {
+    if shared.source_parked_at[src].load(Relaxed) != u64::MAX {
+        // Still blocked on a full first-hop FIFO; its wake-up is
+        // event-driven (the blocker's next committed pop).
+        return false;
+    }
+    loop {
+        let entry = shared.src_head[src].load(Relaxed);
+        if entry == NONE {
+            return false;
+        }
+        let dst = shared.entries.dst(entry).load(Relaxed);
+        let offered = shared.entries.offered(entry).load(Relaxed);
+        let class = usize::from(shared.hot_dst == Some(dst));
+        if src as u64 == dst {
+            // Delivered without entering the network (any
+            // source-stall time still counts as waiting).
+            consume_entry(shared, ws, src, entry);
+            ws.stats.injected += 1;
+            ws.stats.delivered += 1;
+            ws.stats.class_injected[class] += 1;
+            ws.stats.class_delivered[class] += 1;
+            let wait = cycle - offered;
+            ws.waits.push(wait);
+            if shared.classified {
+                ws.class_waits[class].push(wait);
+            }
+            ws.stats.activity += 1;
             continue;
         }
-        while let Some(&index) = main.sources[src].front() {
-            if offer_cycle(index) > cycle {
-                // Not offered yet — and queues hold workload order, so
-                // nothing behind it is either.
-                break;
+        // An off-fabric destination is unroutable by definition
+        // — dropped here, before any router can be asked about a
+        // node that does not exist (dense tables index out of
+        // bounds, compressed ones would have to invent answers).
+        let arc = if dst >= shared.g.node_count() as u64 {
+            None
+        } else if shared.stateless && shared.inject_cached_entry[src].load(Relaxed) == entry {
+            Some(shared.inject_cached_arc[src].load(Relaxed) as usize)
+        } else {
+            let computed = shared
+                .router
+                .next_hop_on_vc(src as u64, dst, 0)
+                .and_then(|next| arc_of(shared.g, src as u64, next));
+            if let (true, Some(found)) = (shared.stateless, computed) {
+                shared.inject_cached_entry[src].store(entry, Relaxed);
+                shared.inject_cached_arc[src].store(found as u32, Relaxed);
             }
-            let (_, dst) = workload[index];
-            let class = usize::from(shared.hot_dst == Some(dst));
-            if src as u64 == dst {
-                // Delivered without entering the network (any
-                // source-stall time still counts as waiting).
-                main.sources[src].pop_front();
-                main.pending -= 1;
-                main.injected += 1;
-                main.delivered += 1;
-                main.class_injected[class] += 1;
-                main.class_delivered[class] += 1;
-                let wait = cycle - offer_cycle(index);
-                main.waits.push(wait);
-                if shared.classified {
-                    main.class_waits[class].push(wait);
-                }
-                activity += 1;
-                continue;
+            computed
+        };
+        let Some(arc) = arc else {
+            // No route (or the router proposed a non-neighbor).
+            consume_entry(shared, ws, src, entry);
+            ws.stats.injected += 1;
+            ws.stats.dropped_unroutable += 1;
+            ws.stats.class_injected[class] += 1;
+            ws.stats.class_dropped[class] += 1;
+            ws.stats.activity += 1;
+            continue;
+        };
+        // A packet starts at class 0 and, like any other hop, is
+        // promoted if its very first arc crosses the dateline — so
+        // the class it joins is exactly the one a dateline-aware
+        // adaptive scorer charged for this hop.
+        let vc0 = shared.dateline.next_class_arc(0, arc);
+        let chan = arc * shared.vcs + vc0 as usize;
+        if shared.queues.len[chan].load(Relaxed) < shared.buffers {
+            consume_entry(shared, ws, src, entry);
+            if vc0 > 0 {
+                ws.stats.promotions += 1;
             }
-            // An off-fabric destination is unroutable by definition
-            // — dropped here, before any router can be asked about a
-            // node that does not exist (dense tables index out of
-            // bounds, compressed ones would have to invent answers).
-            let arc = if dst >= shared.g.node_count() as u64 {
-                None
-            } else if shared.stateless && main.inject_cached_for[src] == index {
-                Some(main.inject_cached_arc[src] as usize)
-            } else {
-                let computed = shared
-                    .router
-                    .next_hop_on_vc(src as u64, dst, 0)
-                    .and_then(|next| arc_of(shared.g, src as u64, next));
-                if let (true, Some(found)) = (shared.stateless, computed) {
-                    main.inject_cached_for[src] = index;
-                    main.inject_cached_arc[src] = found as u32;
+            let id = claim_id(shared, ws);
+            shared.arena.init(id, dst as u32, offered, vc0);
+            push_packet(shared, chan, id);
+            ws.stats.injected += 1;
+            ws.stats.entered += 1;
+            ws.stats.class_injected[class] += 1;
+            ws.stats.activity += 1;
+        } else {
+            match shared.policy {
+                ContentionPolicy::TailDrop => {
+                    consume_entry(shared, ws, src, entry);
+                    ws.stats.injected += 1;
+                    ws.stats.dropped_full += 1;
+                    ws.stats.class_injected[class] += 1;
+                    ws.stats.class_dropped[class] += 1;
+                    ws.stats.activity += 1;
                 }
-                computed
-            };
-            let Some(arc) = arc else {
-                // No route (or the router proposed a non-neighbor).
-                main.sources[src].pop_front();
-                main.pending -= 1;
-                main.injected += 1;
-                main.dropped_unroutable += 1;
-                main.class_injected[class] += 1;
-                main.class_dropped[class] += 1;
-                activity += 1;
-                continue;
-            };
-            // A packet starts at class 0 and, like any other hop, is
-            // promoted if its very first arc crosses the dateline — so
-            // the class it joins is exactly the one a dateline-aware
-            // adaptive scorer charged for this hop.
-            let vc0 = shared.dateline.next_class_arc(0, arc);
-            let chan = arc * shared.vcs + vc0 as usize;
-            if shared.queues.len[chan].load(Relaxed) < shared.buffers {
-                main.sources[src].pop_front();
-                main.pending -= 1;
-                if vc0 > 0 {
-                    main.dateline_promotions += 1;
-                }
-                let id = allocator.claim();
-                shared.arena.init(id, dst as u32, offer_cycle(index), vc0);
-                push_packet(shared, &mut main.peak, chan, id);
-                main.in_network += 1;
-                main.injected += 1;
-                main.class_injected[class] += 1;
-                activity += 1;
-            } else {
-                match shared.policy {
-                    ContentionPolicy::TailDrop => {
-                        main.sources[src].pop_front();
-                        main.pending -= 1;
-                        main.injected += 1;
-                        main.dropped_full += 1;
-                        main.class_injected[class] += 1;
-                        main.class_dropped[class] += 1;
-                        activity += 1;
+                ContentionPolicy::Backpressure => {
+                    // This source stalls; the others go on. With a
+                    // stateless router the blocking channel is
+                    // fixed, so park the source until that channel
+                    // commits a pop instead of re-scanning it
+                    // every cycle (the skipped stalls are settled
+                    // at wake time). Only this source can park on
+                    // its own out-arc channel, so the waiter list
+                    // has one writer.
+                    ws.stats.source_stalls += 1;
+                    if shared.stateless {
+                        shared.source_parked_at[src].store(cycle, Relaxed);
+                        let first = shared.source_waiter_head[chan].load(Relaxed);
+                        shared.source_waiter_link[src].store(first, Relaxed);
+                        shared.source_waiter_head[chan].store(src as u32, Relaxed);
+                        return false;
                     }
-                    ContentionPolicy::Backpressure => {
-                        // This source stalls; the others go on. With a
-                        // stateless router the blocking channel is
-                        // fixed, so park the source until that channel
-                        // commits a pop instead of re-scanning it
-                        // every cycle (the skipped stalls are settled
-                        // at wake time).
-                        main.source_stall_cycles += 1;
-                        if shared.stateless {
-                            main.source_parked_at[src] = cycle;
-                            main.source_waiter_link[src] = main.source_waiter_head[chan];
-                            main.source_waiter_head[chan] = src as u32;
-                        }
-                        break;
-                    }
+                    return true;
                 }
             }
         }
     }
-    activity
+}
+
+/// Unlink a source's pending head, recycle it at the next apply, and
+/// invalidate the injection cache (entry ids recycle — a stale key
+/// could alias a future entry).
+fn consume_entry(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, entry: u32) {
+    let next = shared.entries.link(entry).load(Relaxed);
+    shared.src_head[src].store(next, Relaxed);
+    if next == NONE {
+        shared.src_tail[src].store(NONE, Relaxed);
+    }
+    shared.inject_cached_entry[src].store(NONE, Relaxed);
+    ws.freed_entries.push(entry);
+}
+
+/// A packet id from the worker's pool, refilled in batches — one
+/// allocator lock per [`ID_BATCH`] claims. The pool headroom in the
+/// allocator's capacity guarantees a refill never comes back empty
+/// while the workload bound holds.
+fn claim_id(shared: &SharedRun, ws: &mut WorkerScratch) -> u32 {
+    if let Some(id) = ws.ids.pop() {
+        return id;
+    }
+    shared
+        .allocator
+        .lock()
+        .expect("arena allocator")
+        .claim_batch(&mut ws.ids, ID_BATCH);
+    ws.ids.pop().expect("arena overflow: id supply exhausted")
 }
 
 /// Commit a push: thread the FIFO, bump committed occupancy, publish
 /// to the congestion scoreboard, track the peak, and — when the
 /// channel just became nonempty — activate the downstream node's
 /// worklist bit. (A parked channel is never empty, so `len == 0`
-/// implies unparked.) Sequential phases only.
-fn push_packet(shared: &SharedRun, peak: &mut [u32], chan: usize, id: u32) {
-    let len = shared.queues.push(chan, id, &shared.arena.link);
-    if len > peak[chan] {
-        peak[chan] = len;
+/// implies unparked.) Every channel has exactly one pushing owner per
+/// phase: its source's inject worker, or the main thread.
+fn push_packet(shared: &SharedRun, chan: usize, id: u32) {
+    let len = shared.queues.push(chan, id, shared.arena);
+    if len > shared.peak[chan].load(Relaxed) {
+        shared.peak[chan].store(len, Relaxed);
     }
     shared.counts[chan].store(len, Relaxed);
     if len == 1 {
@@ -788,12 +1104,11 @@ fn push_packet(shared: &SharedRun, peak: &mut [u32], chan: usize, id: u32) {
 /// count it toward its node and set the node's worklist bit.
 fn activate(shared: &SharedRun, chan: usize) {
     let node = shared.g.arc_target(chan / shared.vcs) as usize;
-    // Plain load+store: every node_ready word has exactly one writer
-    // per phase (the node's drain owner during drain, the main thread
-    // otherwise), so no lock-prefixed RMW is needed on the hot path.
-    let ready = shared.node_ready[node].load(Relaxed);
-    shared.node_ready[node].store(ready + 1, Relaxed);
-    if ready == 0 {
+    // `fetch_add`, not load+store: the sharded injection phase can
+    // ready channels into the same downstream node from several
+    // workers at once; exactly one of them sees the 0→1 edge and
+    // sets the worklist bit (the bitset insert itself is atomic).
+    if shared.node_ready[node].fetch_add(1, Relaxed) == 0 {
         shared.active.insert(node);
     }
 }
@@ -879,16 +1194,16 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
                 ws.vc_blocked[vc] = true;
                 continue;
             }
-            let slot = head as usize;
-            let dst = shared.arena.dst[slot].load(Relaxed);
-            let hops_after = shared.arena.hops[slot].load(Relaxed) + 1;
+            let dst = shared.arena.dst(head).load(Relaxed);
+            let hops_after = shared.arena.hops(head).load(Relaxed) + 1;
             if dst as u64 == node {
-                shared.queues.pop_head(chan, head, &shared.arena.link);
+                shared.queues.pop_head(chan, head, shared.arena);
                 ws.vc_pops[vc] += 1;
                 ws.freed.push(head);
                 let class = usize::from(shared.hot_dst == Some(dst as u64));
                 ws.stats.delivered += 1;
                 ws.stats.departed += 1;
+                ws.stats.departed_copies += 1;
                 ws.stats.class_delivered[class] += 1;
                 ws.stats.delivered_hops += hops_after as u64;
                 if hops_after > ws.stats.max_hops {
@@ -898,7 +1213,7 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
                 shared.delivered_per_link[arc].store(delivered_here + 1, Relaxed);
                 // Total time since offer minus one cycle per hop =
                 // cycles spent waiting (source stall plus queueing).
-                let offered = shared.arena.offered[slot].load(Relaxed);
+                let offered = shared.arena.offered(head).load(Relaxed);
                 let wait = cycle + 1 - offered - hops_after as u64;
                 ws.waits.push(wait);
                 if shared.classified {
@@ -910,22 +1225,23 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
                 continue;
             }
             if hops_after >= shared.hop_limit {
-                shared.queues.pop_head(chan, head, &shared.arena.link);
+                shared.queues.pop_head(chan, head, shared.arena);
                 ws.vc_pops[vc] += 1;
                 ws.freed.push(head);
                 ws.stats.dropped_ttl += 1;
                 ws.stats.departed += 1;
+                ws.stats.departed_copies += 1;
                 ws.stats.class_dropped[usize::from(shared.hot_dst == Some(dst as u64))] += 1;
                 ws.stats.activity += 1;
                 budget -= 1;
                 progressed = true;
                 continue;
             }
-            let packet_vc = shared.arena.vc[slot].load(Relaxed) as u8;
+            let packet_vc = shared.arena.vc(head).load(Relaxed) as u8;
             // Stateless routers answer this identically every cycle
             // the head stays blocked — cache the arc in the packet.
             let next_arc = if shared.stateless {
-                let cached = shared.arena.cached_next[slot].load(Relaxed);
+                let cached = shared.arena.cached_next(head).load(Relaxed);
                 if cached != NONE {
                     Some(cached as usize)
                 } else {
@@ -934,7 +1250,7 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
                         .next_hop_on_vc(node, dst as u64, packet_vc)
                         .and_then(|next| arc_of(shared.g, node, next));
                     if let Some(found) = computed {
-                        shared.arena.cached_next[slot].store(found as u32, Relaxed);
+                        shared.arena.cached_next(head).store(found as u32, Relaxed);
                     }
                     computed
                 }
@@ -945,11 +1261,12 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
                     .and_then(|next| arc_of(shared.g, node, next))
             };
             let Some(next_arc) = next_arc else {
-                shared.queues.pop_head(chan, head, &shared.arena.link);
+                shared.queues.pop_head(chan, head, shared.arena);
                 ws.vc_pops[vc] += 1;
                 ws.freed.push(head);
                 ws.stats.dropped_unroutable += 1;
                 ws.stats.departed += 1;
+                ws.stats.departed_copies += 1;
                 ws.stats.class_dropped[usize::from(shared.hot_dst == Some(dst as u64))] += 1;
                 ws.stats.activity += 1;
                 budget -= 1;
@@ -977,14 +1294,14 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
                 ws.stats.relief += 1;
             }
             if has_room || relief {
-                shared.queues.pop_head(chan, head, &shared.arena.link);
+                shared.queues.pop_head(chan, head, shared.arena);
                 ws.vc_pops[vc] += 1;
-                shared.arena.hops[slot].store(hops_after, Relaxed);
+                shared.arena.hops(head).store(hops_after, Relaxed);
                 if next_vc > packet_vc {
                     ws.stats.promotions += 1;
                 }
-                shared.arena.vc[slot].store(next_vc as u32, Relaxed);
-                shared.arena.cached_next[slot].store(NONE, Relaxed);
+                shared.arena.vc(head).store(next_vc as u32, Relaxed);
+                shared.arena.cached_next(head).store(NONE, Relaxed);
                 let staged = shared.queues.staged_len[next_chan].load(Relaxed);
                 shared.queues.staged_len[next_chan].store(staged + 1, Relaxed);
                 ws.staged.push((next_chan as u32, head));
@@ -994,11 +1311,12 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
             } else {
                 match shared.policy {
                     ContentionPolicy::TailDrop => {
-                        shared.queues.pop_head(chan, head, &shared.arena.link);
+                        shared.queues.pop_head(chan, head, shared.arena);
                         ws.vc_pops[vc] += 1;
                         ws.freed.push(head);
                         ws.stats.dropped_full += 1;
                         ws.stats.departed += 1;
+                        ws.stats.departed_copies += 1;
                         ws.stats.class_dropped[usize::from(shared.hot_dst == Some(dst as u64))] +=
                             1;
                         ws.stats.activity += 1;
@@ -1094,15 +1412,14 @@ fn drain_arc_mc(
                 ws.vc_blocked[vc] = true;
                 continue;
             }
-            let slot = head as usize;
-            let t = shared.arena.dst[slot].load(Relaxed);
-            let hops_after = shared.arena.hops[slot].load(Relaxed) + 1;
+            let t = shared.arena.dst(head).load(Relaxed);
+            let hops_after = shared.arena.hops(head).load(Relaxed) + 1;
             debug_assert_eq!(trees.fabric_arc(t), arc, "copy rode the wrong link");
             if hops_after >= shared.hop_limit {
                 // Unreachable for honest trees (depth ≤ diameter), but
                 // the budget stays authoritative: the whole subtree
                 // retires.
-                shared.queues.pop_head(chan, head, &shared.arena.link);
+                shared.queues.pop_head(chan, head, shared.arena);
                 ws.vc_pops[vc] += 1;
                 ws.freed.push(head);
                 ws.stats.dropped_ttl += trees.weight(t) as usize;
@@ -1113,7 +1430,7 @@ fn drain_arc_mc(
                 progressed = true;
                 continue;
             }
-            let packet_vc = shared.arena.vc[slot].load(Relaxed) as u8;
+            let packet_vc = shared.arena.vc(head).load(Relaxed) as u8;
             let children = trees.children(t);
             if shared.policy == ContentionPolicy::Backpressure {
                 // All-or-nothing branch: find the first child whose
@@ -1142,9 +1459,9 @@ fn drain_arc_mc(
             }
             // Commit: the copy leaves this FIFO, delivers its
             // requests, and replicates into its children.
-            shared.queues.pop_head(chan, head, &shared.arena.link);
+            shared.queues.pop_head(chan, head, shared.arena);
             ws.vc_pops[vc] += 1;
-            let offered = shared.arena.offered[slot].load(Relaxed);
+            let offered = shared.arena.offered(head).load(Relaxed);
             let deliveries = trees.deliveries(t) as usize;
             if deliveries > 0 {
                 ws.stats.delivered += deliveries;
@@ -1225,17 +1542,20 @@ fn drain_arc_mc(
     }
 }
 
-/// The apply step: commit pops, retire emptied nodes from the
-/// worklist, merge stats, recycle departures, then land staged
-/// arrivals. Per-channel arrival order is the staging worker's drain
-/// order (every channel has exactly one staging node), so the outcome
-/// is independent of the worker layout.
+/// The apply step: commit pops, wake parked channels and sources,
+/// retire emptied nodes from the worklist, merge stats, recycle
+/// departures and consumed entries, land staged arrivals, then relist
+/// woken sources with their inject owners. Per-channel arrival order
+/// is the staging worker's drain order (every channel has exactly one
+/// staging node), so the outcome is independent of the worker layout;
+/// waits fold into histograms, so merge order is unobservable too.
 fn apply(
     shared: &SharedRun,
     main: &mut MainState,
-    allocator: &mut ArenaAllocator,
+    dec: &mut Decoder,
     scratches: &[Mutex<WorkerScratch>],
 ) -> usize {
+    let mut allocator = shared.allocator.lock().expect("arena allocator");
     let mut activity = 0usize;
     for cell in scratches {
         let mut ws = cell.lock().expect("apply scratch");
@@ -1258,15 +1578,19 @@ fn apply(
                 activate(shared, waiter as usize);
                 waiter = next;
             }
-            let mut source = main.source_waiter_head[chan];
-            main.source_waiter_head[chan] = NONE;
+            let mut source = shared.source_waiter_head[chan].load(Relaxed);
+            shared.source_waiter_head[chan].store(NONE, Relaxed);
             while source != NONE {
                 let slot = source as usize;
                 // The cycles the scan skipped would each have counted
                 // one stall: settle them now.
-                main.source_stall_cycles += main.cycle - main.source_parked_at[slot];
-                main.source_parked_at[slot] = u64::MAX;
-                source = std::mem::replace(&mut main.source_waiter_link[slot], NONE);
+                let parked_at = shared.source_parked_at[slot].load(Relaxed);
+                main.source_stall_cycles += main.cycle - parked_at;
+                shared.source_parked_at[slot].store(u64::MAX, Relaxed);
+                main.woken.push(source);
+                let next = shared.source_waiter_link[slot].load(Relaxed);
+                shared.source_waiter_link[slot].store(NONE, Relaxed);
+                source = next;
             }
         }
         ws.pops.clear();
@@ -1280,8 +1604,12 @@ fn apply(
         ws.emptied.clear();
         let stats = std::mem::take(&mut ws.stats);
         activity += stats.activity;
+        main.injected += stats.injected;
+        main.pending -= stats.injected;
         main.delivered += stats.delivered;
+        main.in_network += stats.entered;
         main.in_network -= stats.departed;
+        main.in_copies += stats.entered;
         main.in_copies += stats.spawned_copies;
         main.in_copies -= stats.departed_copies;
         main.replicated += stats.spawned_copies as u64;
@@ -1292,21 +1620,30 @@ fn apply(
         main.max_hops = main.max_hops.max(stats.max_hops);
         main.dateline_promotions += stats.promotions;
         main.dateline_relief += stats.relief;
+        main.source_stall_cycles += stats.source_stalls;
         for class in 0..2 {
+            main.class_injected[class] += stats.class_injected[class];
             main.class_delivered[class] += stats.class_delivered[class];
             main.class_dropped[class] += stats.class_dropped[class];
         }
-        main.waits.append(&mut ws.waits);
+        for &wait in &ws.waits {
+            main.waits.record(wait);
+        }
+        ws.waits.clear();
         for class in 0..2 {
-            main.class_waits[class].append(&mut ws.class_waits[class]);
+            for &wait in &ws.class_waits[class] {
+                main.class_waits[class].record(wait);
+            }
+            ws.class_waits[class].clear();
         }
         allocator.release_all(ws.freed.drain(..));
+        dec.entry_ids.release_all(ws.freed_entries.drain(..));
     }
     for cell in scratches {
         let mut ws = cell.lock().expect("apply scratch");
         for &(chan, id) in &ws.staged {
             shared.queues.staged_len[chan as usize].store(0, Relaxed);
-            push_packet(shared, &mut main.peak, chan as usize, id);
+            push_packet(shared, chan as usize, id);
         }
         ws.staged.clear();
         // Replications land after moves: per channel both sequences
@@ -1318,8 +1655,22 @@ fn apply(
             shared
                 .arena
                 .init(id, spawn.tree_arc, spawn.offered, spawn.vc);
-            shared.arena.hops[id as usize].store(spawn.hops, Relaxed);
-            push_packet(shared, &mut main.peak, spawn.chan as usize, id);
+            shared.arena.hops(id).store(spawn.hops, Relaxed);
+            push_packet(shared, spawn.chan as usize, id);
+        }
+    }
+    // Woken unicast sources rejoin their owner's inject list (the
+    // multicast scan needs no list; its sources have no entry queue,
+    // so the head check skips them).
+    for woken in main.woken.drain(..) {
+        let src = woken as usize;
+        if shared.src_listed[src].load(Relaxed) == 0 && shared.src_head[src].load(Relaxed) != NONE {
+            shared.src_listed[src].store(1, Relaxed);
+            scratches[shared.list_owner(src)]
+                .lock()
+                .expect("relist scratch")
+                .sources
+                .push(woken);
         }
     }
     activity
@@ -1329,6 +1680,7 @@ fn apply(
 #[allow(clippy::too_many_arguments)]
 fn finish(
     main: &mut MainState,
+    peak: &[AtomicU32],
     delivered_per_link: &[AtomicU64],
     arcs: usize,
     vcs: usize,
@@ -1337,28 +1689,17 @@ fn finish(
     hot_dst: Option<u64>,
     trees: Option<&TreeSet>,
 ) -> QueueingReport {
-    main.waits.sort_unstable();
-    let wait_mean = |waits: &[u64]| {
-        if waits.is_empty() {
-            0.0
-        } else {
-            waits.iter().sum::<u64>() as f64 / waits.len() as f64
-        }
-    };
-    let wait_mean_cycles = wait_mean(&main.waits);
-
     let class_stats = hot_dst.map(|_| {
-        let mut build = |class: usize| {
-            main.class_waits[class].sort_unstable();
+        let build = |class: usize| {
             let waits = &main.class_waits[class];
             ClassStats {
                 injected: main.class_injected[class],
                 delivered: main.class_delivered[class],
                 dropped: main.class_dropped[class],
-                wait_mean_cycles: wait_mean(waits),
-                wait_p50_cycles: percentile_u64(waits, 0.50),
-                wait_p99_cycles: percentile_u64(waits, 0.99),
-                wait_max_cycles: waits.last().copied().unwrap_or(0),
+                wait_mean_cycles: waits.mean(),
+                wait_p50_cycles: waits.percentile(0.50),
+                wait_p99_cycles: waits.percentile(0.99),
+                wait_max_cycles: waits.max(),
             }
         };
         ClassBreakdown {
@@ -1369,12 +1710,22 @@ fn finish(
 
     // Collapse per-channel peaks into the two views the report
     // carries: deepest FIFO per link, deepest FIFO per class.
-    let peak = &main.peak;
+    let peak_of = |chan: usize| peak[chan].load(Relaxed);
     let peak_occupancy: Vec<u32> = (0..arcs)
-        .map(|arc| (0..vcs).map(|vc| peak[arc * vcs + vc]).max().unwrap_or(0))
+        .map(|arc| {
+            (0..vcs)
+                .map(|vc| peak_of(arc * vcs + vc))
+                .max()
+                .unwrap_or(0)
+        })
         .collect();
     let vc_peak_occupancy: Vec<u32> = (0..vcs)
-        .map(|vc| (0..arcs).map(|arc| peak[arc * vcs + vc]).max().unwrap_or(0))
+        .map(|vc| {
+            (0..arcs)
+                .map(|arc| peak_of(arc * vcs + vc))
+                .max()
+                .unwrap_or(0)
+        })
         .collect();
 
     QueueingReport {
@@ -1394,10 +1745,10 @@ fn finish(
         source_stall_cycles: main.source_stall_cycles,
         delivered_hops: main.delivered_hops,
         max_hops: main.max_hops,
-        wait_mean_cycles,
-        wait_p50_cycles: percentile_u64(&main.waits, 0.50),
-        wait_p99_cycles: percentile_u64(&main.waits, 0.99),
-        wait_max_cycles: main.waits.last().copied().unwrap_or(0),
+        wait_mean_cycles: main.waits.mean(),
+        wait_p50_cycles: main.waits.percentile(0.50),
+        wait_p99_cycles: main.waits.percentile(0.99),
+        wait_max_cycles: main.waits.max(),
         max_peak_occupancy: peak_occupancy.iter().copied().max().unwrap_or(0),
         peak_occupancy,
         vc_peak_occupancy,

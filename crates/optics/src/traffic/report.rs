@@ -32,6 +32,75 @@ pub(crate) fn percentile_u64(sorted: &[u64], fraction: f64) -> u64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// A dense histogram of queueing waits, replacing the queueing
+/// engine's per-packet wait vectors: a ten-million-packet run records
+/// into `O(max wait)` counters instead of holding (and sorting) an
+/// 80 MB sample vector. Nearest-rank percentiles over the histogram
+/// are *exactly* the percentiles of the sorted sample — the rank
+/// `⌈fraction · N⌉` (clamped to `1..=N`) lands on the smallest wait
+/// whose cumulative count reaches it, which is the same element
+/// [`percentile_u64`] indexes.
+#[derive(Default)]
+pub(crate) struct WaitHistogram {
+    /// `counts[w]` = packets that waited exactly `w` cycles. Waits are
+    /// bounded by the run's cycle count, so the dense index is tiny
+    /// next to the sample it summarizes.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl WaitHistogram {
+    pub fn record(&mut self, wait: u64) {
+        self.record_n(wait, 1);
+    }
+
+    pub fn record_n(&mut self, wait: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let slot = wait as usize;
+        if slot >= self.counts.len() {
+            self.counts.resize(slot + 1, 0);
+        }
+        self.counts[slot] += n;
+        self.total += n;
+        self.sum += wait * n;
+        self.max = self.max.max(wait);
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded wait; `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank percentile, identical to [`percentile_u64`] over
+    /// the sorted sample; `0` when empty.
+    pub fn percentile(&self, fraction: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((fraction * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (wait, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return wait as u64;
+            }
+        }
+        self.max
+    }
+}
+
 /// Aggregate results of one batched (static, uncontended) run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrafficReport {
@@ -438,6 +507,43 @@ mod tests {
             assert!(value >= last, "percentile must be monotone");
             last = value;
         }
+    }
+
+    /// The histogram is a drop-in replacement for the sorted sample
+    /// vector: identical mean, max, and nearest-rank percentiles.
+    #[test]
+    fn wait_histogram_matches_sorted_sample_percentiles() {
+        let empty = WaitHistogram::default();
+        assert_eq!(empty.percentile(0.5), 0);
+        assert_eq!(empty.max(), 0);
+        assert_eq!(empty.mean(), 0.0);
+
+        let samples: Vec<u64> = vec![9, 3, 3, 0, 7, 9, 9, 1, 0, 13];
+        let mut hist = WaitHistogram::default();
+        for &wait in &samples {
+            hist.record(wait);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for step in 0..=20 {
+            let fraction = step as f64 / 20.0;
+            assert_eq!(
+                hist.percentile(fraction),
+                percentile_u64(&sorted, fraction),
+                "fraction {fraction}"
+            );
+        }
+        assert_eq!(hist.max(), 13);
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((hist.mean() - mean).abs() < 1e-12);
+
+        // The pinned small-sample cases, via the histogram.
+        let mut two = WaitHistogram::default();
+        two.record_n(3, 1);
+        two.record(9);
+        assert_eq!(two.percentile(0.50), 3);
+        assert_eq!(two.percentile(0.51), 9);
+        assert_eq!(two.percentile(0.0), 3);
     }
 
     fn empty_traffic_report() -> TrafficReport {

@@ -1,9 +1,19 @@
 //! Synthetic workload generation: the traffic patterns of the
 //! interconnection-network literature, reproducibly seeded.
+//!
+//! Pairs are *defined* chunk-wise: [`WorkloadSource`] derives an
+//! independent RNG for every [`WorkloadSource::CHUNK`]-sized block of
+//! workload indices, so any chunk can be (re)generated in isolation —
+//! the streamed queueing engine decodes blocks as their injection
+//! credit accrues instead of materializing ten-million-pair vectors up
+//! front, and a sharded consumer gets byte-identical traffic at any
+//! thread count. [`generate_workload`] is the thin adapter that
+//! materializes the whole stream for small runs and tests.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{de::Error as _, Deserialize, Deserializer, Serialize, Value};
+use std::sync::OnceLock;
 
 /// Synthetic traffic patterns. The digit-structured patterns
 /// (transpose, bit reversal) interpret node ids as length-`D` words
@@ -209,85 +219,177 @@ pub(crate) fn digit_transpose(value: u64, d: u64, digits: u32) -> u64 {
     low * high_modulus + high
 }
 
-/// Generate `packets` source/destination pairs over `0..n` for a
-/// pattern. `d` is the fabric's alphabet (used by the digit-structured
-/// patterns, which require `n = d^D`); `seed` makes workloads
-/// reproducible.
-pub fn generate_workload(
+/// A chunked, seed-splittable unicast workload: the `i`-th pair of
+/// pattern × seed, generatable one [`WorkloadSource::CHUNK`]-sized
+/// block at a time.
+///
+/// Every chunk derives its own RNG from `(seed, chunk index)`, so the
+/// pair sequence is a pure function of the workload index — chunk 7
+/// can be decoded without touching chunks 0–6, decoded twice, or
+/// decoded on another thread, always yielding the same pairs. This is
+/// what lets the queueing engine stream ten-million-packet workloads
+/// (one live chunk buffer instead of a 160 MB pair vector) while its
+/// reports stay byte-identical to the materialized path at any thread
+/// count. The only whole-workload state is the [`Permutation`]
+/// pattern's image table, built lazily once from the base seed.
+///
+/// [`Permutation`]: TrafficPattern::Permutation
+pub struct WorkloadSource {
     pattern: TrafficPattern,
     n: u64,
     d: u64,
     packets: usize,
     seed: u64,
-) -> Vec<(u64, u64)> {
-    assert!(n >= 2, "need at least two nodes for traffic");
-    assert!(
-        !pattern.is_multicast(),
-        "{pattern} is one-to-many; use generate_multicast_workload"
-    );
-    let mut rng = StdRng::seed_from_u64(seed);
-    let digits = if pattern.needs_digit_structure() {
+    /// Digit count for the digit-structured patterns (0 otherwise).
+    digits: u32,
+    /// The permutation pattern's image table, built on first use.
+    images: OnceLock<Vec<u64>>,
+}
+
+impl WorkloadSource {
+    /// Workload indices per chunk — the granularity of independent
+    /// regeneration (64Ki pairs ≈ 1 MiB materialized).
+    pub const CHUNK: usize = 1 << 16;
+
+    /// A `packets`-pair workload over `0..n` for a unicast pattern.
+    /// `d` is the fabric's alphabet (used by the digit-structured
+    /// patterns, which require `n = d^D`); `seed` makes the stream
+    /// reproducible.
+    pub fn new(pattern: TrafficPattern, n: u64, d: u64, packets: usize, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two nodes for traffic");
         assert!(
-            d >= 2,
-            "{pattern} traffic needs an alphabet of size ≥ 2, got d = {d}"
+            !pattern.is_multicast(),
+            "{pattern} is one-to-many; use generate_multicast_workload"
         );
-        let mut digits = 0u32;
-        let mut size = 1u64;
-        while size < n {
-            size *= d;
-            digits += 1;
+        let digits = if pattern.needs_digit_structure() {
+            assert!(
+                d >= 2,
+                "{pattern} traffic needs an alphabet of size ≥ 2, got d = {d}"
+            );
+            let mut digits = 0u32;
+            let mut size = 1u64;
+            while size < n {
+                size *= d;
+                digits += 1;
+            }
+            assert!(
+                size == n,
+                "{pattern} traffic needs n = d^D nodes, got n = {n}, d = {d}"
+            );
+            digits
+        } else {
+            0
+        };
+        WorkloadSource {
+            pattern,
+            n,
+            d,
+            packets,
+            seed,
+            digits,
+            images: OnceLock::new(),
         }
-        assert!(
-            size == n,
-            "{pattern} traffic needs n = d^D nodes, got n = {n}, d = {d}"
-        );
-        digits
-    } else {
-        0
-    };
-    let draw_other = |rng: &mut StdRng, src: u64| loop {
-        let dst = rng.gen_range(0..n);
-        if dst != src {
-            return dst;
-        }
-    };
-    match pattern {
-        TrafficPattern::Uniform => (0..packets)
-            .map(|_| {
-                let src = rng.gen_range(0..n);
-                let dst = draw_other(&mut rng, src);
-                (src, dst)
-            })
-            .collect(),
-        TrafficPattern::Permutation => {
-            let mut images: Vec<u64> = (0..n).collect();
-            for i in (1..n as usize).rev() {
+    }
+
+    /// Total pairs in the stream.
+    pub fn len(&self) -> usize {
+        self.packets
+    }
+
+    /// True iff the stream has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.packets == 0
+    }
+
+    /// The pattern this stream samples.
+    pub fn pattern(&self) -> TrafficPattern {
+        self.pattern
+    }
+
+    /// The node-id universe (`src` and generated `dst` are `< n`).
+    pub fn node_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of chunks ([`Self::CHUNK`] indices each, last partial).
+    pub fn chunk_count(&self) -> usize {
+        self.packets.div_ceil(Self::CHUNK)
+    }
+
+    /// The workload-index range of `chunk`.
+    pub fn chunk_bounds(&self, chunk: usize) -> std::ops::Range<usize> {
+        let start = chunk * Self::CHUNK;
+        let end = ((chunk + 1) * Self::CHUNK).min(self.packets);
+        start..end.max(start)
+    }
+
+    /// The chunk's independent RNG: any injective map of
+    /// `(seed, chunk)` works — SplitMix64 seeding scrambles it.
+    fn chunk_rng(&self, chunk: usize) -> StdRng {
+        let stride = (chunk as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        StdRng::seed_from_u64(self.seed.wrapping_add(stride))
+    }
+
+    fn permutation_images(&self) -> &[u64] {
+        self.images.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(self.seed);
+            let mut images: Vec<u64> = (0..self.n).collect();
+            for i in (1..self.n as usize).rev() {
                 let j = rng.gen_range(0..=i);
                 images.swap(i, j);
             }
-            (0..packets)
-                .map(|i| {
+            images
+        })
+    }
+
+    /// Decode `chunk` into `out` (cleared first): the pairs at
+    /// workload indices [`Self::chunk_bounds`], in index order.
+    pub fn fill_chunk(&self, chunk: usize, out: &mut Vec<(u64, u64)>) {
+        out.clear();
+        let range = self.chunk_bounds(chunk);
+        if range.is_empty() {
+            return;
+        }
+        out.reserve(range.len());
+        let n = self.n;
+        let draw_other = |rng: &mut StdRng, src: u64| loop {
+            let dst = rng.gen_range(0..n);
+            if dst != src {
+                return dst;
+            }
+        };
+        match self.pattern {
+            TrafficPattern::Uniform => {
+                let mut rng = self.chunk_rng(chunk);
+                out.extend(range.map(|_| {
+                    let src = rng.gen_range(0..n);
+                    let dst = draw_other(&mut rng, src);
+                    (src, dst)
+                }));
+            }
+            TrafficPattern::Permutation => {
+                let images = self.permutation_images();
+                out.extend(range.map(|i| {
                     let src = i as u64 % n;
                     (src, images[src as usize])
-                })
-                .collect()
-        }
-        TrafficPattern::Transpose => (0..packets)
-            .map(|i| {
-                let src = i as u64 % n;
-                (src, digit_transpose(src, d, digits))
-            })
-            .collect(),
-        TrafficPattern::BitReversal => (0..packets)
-            .map(|i| {
-                let src = i as u64 % n;
-                (src, digit_reverse(src, d, digits))
-            })
-            .collect(),
-        TrafficPattern::Hotspot => {
-            let hot = n / 2;
-            (0..packets)
-                .map(|i| {
+                }));
+            }
+            TrafficPattern::Transpose => {
+                out.extend(range.map(|i| {
+                    let src = i as u64 % n;
+                    (src, digit_transpose(src, self.d, self.digits))
+                }));
+            }
+            TrafficPattern::BitReversal => {
+                out.extend(range.map(|i| {
+                    let src = i as u64 % n;
+                    (src, digit_reverse(src, self.d, self.digits))
+                }));
+            }
+            TrafficPattern::Hotspot => {
+                let hot = n / 2;
+                let mut rng = self.chunk_rng(chunk);
+                out.extend(range.map(|i| {
                     if i % 4 == 0 {
                         let src = loop {
                             let candidate = rng.gen_range(0..n);
@@ -300,13 +402,11 @@ pub fn generate_workload(
                         let src = rng.gen_range(0..n);
                         (src, draw_other(&mut rng, src))
                     }
-                })
-                .collect()
-        }
-        TrafficPattern::AllToAll => {
-            let pairs = n * (n - 1);
-            (0..packets)
-                .map(|i| {
+                }));
+            }
+            TrafficPattern::AllToAll => {
+                let pairs = n * (n - 1);
+                out.extend(range.map(|i| {
                     let index = i as u64 % pairs;
                     let src = index / (n - 1);
                     let mut dst = index % (n - 1);
@@ -314,15 +414,43 @@ pub fn generate_workload(
                         dst += 1; // skip the diagonal
                     }
                     (src, dst)
-                })
-                .collect()
-        }
-        TrafficPattern::Broadcast
-        | TrafficPattern::Multicast { .. }
-        | TrafficPattern::HotspotMulticast { .. } => {
-            unreachable!("multicast patterns rejected above")
+                }));
+            }
+            TrafficPattern::Broadcast
+            | TrafficPattern::Multicast { .. }
+            | TrafficPattern::HotspotMulticast { .. } => {
+                unreachable!("multicast patterns rejected at construction")
+            }
         }
     }
+
+    /// Materialize the whole stream — the small-run/test adapter
+    /// behind [`generate_workload`].
+    pub fn materialize(&self) -> Vec<(u64, u64)> {
+        let mut pairs = Vec::with_capacity(self.packets);
+        let mut chunk_buf = Vec::new();
+        for chunk in 0..self.chunk_count() {
+            self.fill_chunk(chunk, &mut chunk_buf);
+            pairs.extend_from_slice(&chunk_buf);
+        }
+        pairs
+    }
+}
+
+/// Generate `packets` source/destination pairs over `0..n` for a
+/// pattern. `d` is the fabric's alphabet (used by the digit-structured
+/// patterns, which require `n = d^D`); `seed` makes workloads
+/// reproducible. This materializes the chunk-defined stream of
+/// [`WorkloadSource`] — large runs should hold the source and decode
+/// chunks on demand instead.
+pub fn generate_workload(
+    pattern: TrafficPattern,
+    n: u64,
+    d: u64,
+    packets: usize,
+    seed: u64,
+) -> Vec<(u64, u64)> {
+    WorkloadSource::new(pattern, n, d, packets, seed).materialize()
 }
 
 /// Generate `groups` one-to-many requests over `0..n` for a multicast
@@ -419,6 +547,56 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn chunks_are_independently_regenerable() {
+        // The chunked stream is the definition: each chunk decoded in
+        // isolation (any order, repeatedly) equals its slice of the
+        // materialized workload.
+        let n = 64u64;
+        let packets = 2 * WorkloadSource::CHUNK + 1234;
+        for pattern in [
+            TrafficPattern::Uniform,
+            TrafficPattern::Permutation,
+            TrafficPattern::Hotspot,
+            TrafficPattern::AllToAll,
+        ] {
+            let source = WorkloadSource::new(pattern, n, 2, packets, 0xBEEF);
+            assert_eq!(source.len(), packets);
+            assert_eq!(source.chunk_count(), 3, "{pattern}");
+            let whole = source.materialize();
+            assert_eq!(whole.len(), packets, "{pattern}");
+            let mut buf = Vec::new();
+            for chunk in [2usize, 0, 1, 2, 0] {
+                source.fill_chunk(chunk, &mut buf);
+                let bounds = source.chunk_bounds(chunk);
+                assert_eq!(buf.len(), bounds.len(), "{pattern} chunk {chunk}");
+                assert_eq!(buf[..], whole[bounds], "{pattern} chunk {chunk}");
+            }
+            // A fresh source with the same seed decodes identically;
+            // a different seed moves the random patterns.
+            let again = WorkloadSource::new(pattern, n, 2, packets, 0xBEEF);
+            assert_eq!(again.materialize(), whole, "{pattern}");
+            if matches!(pattern, TrafficPattern::Uniform | TrafficPattern::Hotspot) {
+                let other = WorkloadSource::new(pattern, n, 2, packets, 0xBEF0);
+                assert_ne!(other.materialize(), whole, "{pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn generate_workload_is_the_materialize_adapter() {
+        let source = WorkloadSource::new(TrafficPattern::Uniform, 32, 2, 5000, 7);
+        assert_eq!(
+            source.materialize(),
+            generate_workload(TrafficPattern::Uniform, 32, 2, 5000, 7)
+        );
+        // Degenerate stream: no pairs, no chunks.
+        let empty = WorkloadSource::new(TrafficPattern::Uniform, 32, 2, 0, 7);
+        assert!(empty.is_empty());
+        assert_eq!(empty.chunk_count(), 0);
+        assert_eq!(empty.materialize(), Vec::new());
     }
 
     #[test]
