@@ -1,0 +1,23 @@
+use otis_graphs::DeBruijn;
+use otis_optics::routers::DeBruijnRouter;
+use otis_optics::{ContentionPolicy, QueueConfig, QueueingEngine};
+
+#[test]
+fn cross_worker_same_cycle_delivery() {
+    let b = DeBruijn::new(2, 7); // 128 nodes, two 64-node shards
+    let config = QueueConfig {
+        buffers: 4,
+        wavelengths: 1,
+        vcs: 1,
+        policy: ContentionPolicy::Backpressure,
+        hop_limit: None,
+        max_cycles: 1000,
+        drain_threads: 2,
+    };
+    let engine = QueueingEngine::from_family(&b, config);
+    let router = DeBruijnRouter::new(b);
+    // src 64 (inject worker 1), dst 0 (drain worker 0), one hop.
+    let workload = vec![(64u64, 0u64)];
+    let report = engine.run(&router, &workload, 8.0);
+    assert_eq!(report.delivered, 1);
+}
