@@ -45,7 +45,7 @@ fn bench_materialize(c: &mut Criterion) {
                 b.iter(|| {
                     let g = a.digraph();
                     black_box(otis_digraph::connectivity::weak_components(&g).count())
-                })
+                });
             },
         );
     }
@@ -65,7 +65,7 @@ fn bench_agreement_check(c: &mut Criterion) {
         census.debruijn_dim
     );
     c.bench_function("components/census_total_vertices", |b| {
-        b.iter(|| black_box(census.vertex_count(2)))
+        b.iter(|| black_box(census.vertex_count(2)));
     });
 }
 

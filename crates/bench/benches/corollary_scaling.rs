@@ -22,7 +22,7 @@ fn bench_verify(c: &mut Criterion) {
             |bench, _| {
                 // Include permutation construction: the claim covers the
                 // whole check starting from (p', q').
-                bench.iter(|| black_box(layout_permutation(p_prime, q_prime).is_cyclic()))
+                bench.iter(|| black_box(layout_permutation(p_prime, q_prime).is_cyclic()));
             },
         );
     }
@@ -57,7 +57,7 @@ fn bench_minimize(c: &mut Criterion) {
                         }
                     }
                     black_box(best)
-                })
+                });
             },
         );
     }

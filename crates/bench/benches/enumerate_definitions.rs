@@ -31,7 +31,7 @@ fn bench_full_census(c: &mut Criterion) {
                         verified += 1;
                     }
                     black_box(verified)
-                })
+                });
             },
         );
     }
@@ -40,7 +40,7 @@ fn bench_full_census(c: &mut Criterion) {
 
 fn bench_iteration_only(c: &mut Criterion) {
     c.bench_function("enumerate/iterate_defs_B_2_5", |b| {
-        b.iter(|| black_box(enumerate::alternative_definitions(2, 5, 0).count()))
+        b.iter(|| black_box(enumerate::alternative_definitions(2, 5, 0).count()));
     });
 }
 

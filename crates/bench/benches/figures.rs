@@ -10,13 +10,13 @@ use std::hint::black_box;
 fn bench_figure_1_3_families(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures/construct_8_nodes");
     group.bench_function("B(2,3)", |b| {
-        b.iter(|| black_box(DeBruijn::new(2, 3).digraph()))
+        b.iter(|| black_box(DeBruijn::new(2, 3).digraph()));
     });
     group.bench_function("RRK(2,8)", |b| {
-        b.iter(|| black_box(Rrk::new(2, 8).digraph()))
+        b.iter(|| black_box(Rrk::new(2, 8).digraph()));
     });
     group.bench_function("II(2,8)", |b| {
-        b.iter(|| black_box(ImaseItoh::new(2, 8).digraph()))
+        b.iter(|| black_box(ImaseItoh::new(2, 8).digraph()));
     });
     group.finish();
 }
@@ -29,7 +29,7 @@ fn bench_figure_1_3_isomorphism(c: &mut Criterion) {
             let w = iso::prop_3_3_witness(2, 3);
             otis_digraph::iso::check_witness(&ii, &b23, &w).unwrap();
             black_box(w)
-        })
+        });
     });
 }
 
@@ -37,7 +37,7 @@ fn bench_example_331(c: &mut Criterion) {
     // Figure 4's permutation machinery + the full witness at d = 2.
     let f = Perm::from_images(vec![3, 4, 5, 2, 0, 1]).unwrap();
     c.bench_function("figures/example331_orbit_labeling", |b| {
-        b.iter(|| black_box(f.orbit_labeling(2).unwrap()))
+        b.iter(|| black_box(f.orbit_labeling(2).unwrap()));
     });
     let a = AlphabetDigraph::new(2, 6, f, Perm::identity(2), 2);
     let b66 = DeBruijn::new(2, 6).digraph();
@@ -47,7 +47,7 @@ fn bench_example_331(c: &mut Criterion) {
             let w = iso::prop_3_9_witness(&a).unwrap();
             otis_digraph::iso::check_witness(&ga, &b66, &w).unwrap();
             black_box(w)
-        })
+        });
     });
 }
 
@@ -56,13 +56,13 @@ fn bench_example_332_components(c: &mut Criterion) {
     // materialization + weak components.
     let a = AlphabetDigraph::new(2, 3, Perm::complement(3), Perm::identity(2), 1);
     c.bench_function("figures/example332_predict_census", |b| {
-        b.iter(|| black_box(otis_core::components::predict(&a)))
+        b.iter(|| black_box(otis_core::components::predict(&a)));
     });
     c.bench_function("figures/example332_materialize_wcc", |b| {
         b.iter(|| {
             let g = a.digraph();
             black_box(otis_digraph::connectivity::weak_components(&g))
-        })
+        });
     });
 }
 
@@ -76,11 +76,11 @@ fn bench_figure_6_wiring(c: &mut Criterion) {
                 acc ^= otis.connect_index(t);
             }
             black_box(acc)
-        })
+        });
     });
     let bench_rig = otis_optics::geometry::Bench::with_defaults(otis);
     c.bench_function("figures/otis36_beam_traces", |b| {
-        b.iter(|| black_box(bench_rig.trace_all()))
+        b.iter(|| black_box(bench_rig.trace_all()));
     });
 }
 
@@ -89,7 +89,7 @@ fn bench_figure_7_8_layout(c: &mut Criterion) {
     let spec = otis_layout::LayoutSpec::new(2, 2, 3);
     let b24 = DeBruijn::new(2, 4).digraph();
     c.bench_function("figures/h482_build", |b| {
-        b.iter(|| black_box(spec.h_digraph().digraph()))
+        b.iter(|| black_box(spec.h_digraph().digraph()));
     });
     let h = spec.h_digraph().digraph();
     c.bench_function("figures/h482_witness_verify", |b| {
@@ -97,7 +97,7 @@ fn bench_figure_7_8_layout(c: &mut Criterion) {
             let w = spec.debruijn_witness().unwrap();
             otis_digraph::iso::check_witness(&h, &b24, &w).unwrap();
             black_box(w)
-        })
+        });
     });
 }
 

@@ -63,7 +63,7 @@ fn bench_balanced_construction(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("D{diameter}")),
             &diameter,
             |bench, &diameter| {
-                bench.iter(|| black_box(otis_layout::balanced_even_layout(2, diameter)))
+                bench.iter(|| black_box(otis_layout::balanced_even_layout(2, diameter)));
             },
         );
     }
@@ -73,7 +73,7 @@ fn bench_balanced_construction(c: &mut Criterion) {
 fn bench_spec_criterion(c: &mut Criterion) {
     let spec = LayoutSpec::new(2, 28, 29);
     c.bench_function("lens_scaling/is_debruijn_D56", |b| {
-        b.iter(|| black_box(spec.is_debruijn()))
+        b.iter(|| black_box(spec.is_debruijn()));
     });
 }
 

@@ -16,10 +16,10 @@ fn bench_assess(c: &mut Criterion) {
         dead_lens2: vec![9],
     };
     c.bench_function("resilience/assess_B28_fabric", |b| {
-        b.iter(|| black_box(assess(&h, &faults)))
+        b.iter(|| black_box(assess(&h, &faults)));
     });
     c.bench_function("resilience/surviving_digraph_B28", |b| {
-        b.iter(|| black_box(surviving_digraph(&h, &faults)))
+        b.iter(|| black_box(surviving_digraph(&h, &faults)));
     });
 }
 
@@ -36,7 +36,7 @@ fn bench_arc_connectivity(c: &mut Criterion) {
     }
     let k = Kautz::new(2, 6).digraph();
     group.bench_with_input(BenchmarkId::new("kautz", "D6"), &k, |b, k| {
-        b.iter(|| black_box(otis_digraph::flow::arc_connectivity(k)))
+        b.iter(|| black_box(otis_digraph::flow::arc_connectivity(k)));
     });
     group.finish();
 }

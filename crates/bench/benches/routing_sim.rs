@@ -76,10 +76,10 @@ fn bench_batched_routers(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing/batched_B_2_10");
     group.throughput(Throughput::Elements(workload.len() as u64));
     group.bench_function("table_precomputed", |bench| {
-        bench.iter(|| black_box(route_batch(&table, &workload)))
+        bench.iter(|| black_box(route_batch(&table, &workload)));
     });
     group.bench_function("arithmetic_tableless", |bench| {
-        bench.iter(|| black_box(route_batch(&arithmetic, &workload)))
+        bench.iter(|| black_box(route_batch(&arithmetic, &workload)));
     });
     group.sample_size(10);
     group.bench_function("per_packet_bfs", |bench| {
@@ -90,7 +90,7 @@ fn bench_batched_routers(c: &mut Criterion) {
                 total_hops += baseline.route(src, dst).expect("connected").len() - 1;
             }
             black_box(total_hops)
-        })
+        });
     });
     group.finish();
 
@@ -98,7 +98,7 @@ fn bench_batched_routers(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing/table_build");
     group.sample_size(10);
     group.bench_function("B_2_10", |bench| {
-        bench.iter(|| black_box(RoutingTable::new(&g)))
+        bench.iter(|| black_box(RoutingTable::new(&g)));
     });
     group.finish();
 }
@@ -230,10 +230,10 @@ fn bench_queueing_adaptive_vs_oblivious(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing/queueing_hotspot_B_2_8");
     group.sample_size(10);
     group.bench_function("oblivious_backpressure", |bench| {
-        bench.iter(|| black_box(engine.run(&oblivious, &workload, offered)))
+        bench.iter(|| black_box(engine.run(&oblivious, &workload, offered)));
     });
     group.bench_function("adaptive_backpressure", |bench| {
-        bench.iter(|| black_box(adaptive_engine.run(&adaptive, &workload, offered)))
+        bench.iter(|| black_box(adaptive_engine.run(&adaptive, &workload, offered)));
     });
     group.finish();
 }
@@ -284,10 +284,10 @@ fn bench_queueing_vcs_deadlock_freedom(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing/queueing_vcs_B_2_8");
     group.sample_size(10);
     group.bench_function("vcs1_until_wedge", |bench| {
-        bench.iter(|| black_box(wedged_engine.run(&router, &workload, offered)))
+        bench.iter(|| black_box(wedged_engine.run(&router, &workload, offered)));
     });
     group.bench_function("vcs2_lossless_run", |bench| {
-        bench.iter(|| black_box(vc_engine.run(&router, &workload, offered)))
+        bench.iter(|| black_box(vc_engine.run(&router, &workload, offered)));
     });
     group.finish();
 }
@@ -325,7 +325,7 @@ fn bench_queueing_1m_b_2_14(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(workload.len() as u64));
     group.bench_function("hotspot_compressed_taildrop", |bench| {
-        bench.iter(|| black_box(engine.run(&table, &workload, offered)))
+        bench.iter(|| black_box(engine.run(&table, &workload, offered)));
     });
     group.finish();
 }
@@ -347,7 +347,7 @@ fn bench_simulator_transport(c: &mut Criterion) {
                 total_hops += sim.send_via(&router, src, dst).unwrap().hop_count();
             }
             black_box(total_hops)
-        })
+        });
     });
     group.finish();
 }
@@ -365,7 +365,7 @@ fn bench_broadcast(c: &mut Criterion) {
     }
     let b8 = DeBruijn::new(2, 8);
     group.bench_function("single_port_greedy_D8", |bench| {
-        bench.iter(|| black_box(routing::single_port_broadcast(&b8, 0)))
+        bench.iter(|| black_box(routing::single_port_broadcast(&b8, 0)));
     });
     group.finish();
 }

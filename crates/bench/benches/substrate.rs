@@ -18,7 +18,7 @@ fn bench_diameter_par_vs_seq(c: &mut Criterion) {
         let n = g.node_count() as u64;
         group.throughput(Throughput::Elements(n));
         group.bench_with_input(BenchmarkId::new("parallel", format!("n{n}")), &g, |b, g| {
-            b.iter(|| black_box(bfs::eccentricities(g)))
+            b.iter(|| black_box(bfs::eccentricities(g)));
         });
         group.bench_with_input(
             BenchmarkId::new("sequential", format!("n{n}")),
@@ -43,7 +43,7 @@ fn bench_family_generation(c: &mut Criterion) {
     let k = Kautz::new(2, 10);
     group.throughput(Throughput::Elements(k.node_count()));
     group.bench_with_input(BenchmarkId::new("kautz", "D10"), &k, |bench, fam| {
-        bench.iter(|| black_box(fam.digraph()))
+        bench.iter(|| black_box(fam.digraph()));
     });
     group.finish();
 }
@@ -76,8 +76,8 @@ fn bench_witness_check_scaling(c: &mut Criterion) {
             |bench, (h, b, w)| {
                 bench.iter(|| {
                     otis_digraph::iso::check_witness(h, b, w).unwrap();
-                    black_box(())
-                })
+                    black_box(());
+                });
             },
         );
     }

@@ -39,7 +39,7 @@ fn bench_search_windows(c: &mut Criterion) {
             |bench, &diameter| {
                 bench.iter(|| {
                     black_box(degree_diameter_search(2, diameter, b - 4, b + 4));
-                })
+                });
             },
         );
     }

@@ -35,7 +35,7 @@ fn bench_witness_path(c: &mut Criterion) {
                     let w = iso::prop_3_9_witness(&a).unwrap();
                     otis_digraph::iso::check_witness(&g, &b, &w).unwrap();
                     black_box(w)
-                })
+                });
             },
         );
     }
@@ -54,7 +54,7 @@ fn bench_vf2_path(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("n{}", a.node_count())),
             &dim,
             |bench, _| {
-                bench.iter(|| black_box(otis_digraph::iso::find_isomorphism(&g, &b).unwrap()))
+                bench.iter(|| black_box(otis_digraph::iso::find_isomorphism(&g, &b).unwrap()));
             },
         );
     }

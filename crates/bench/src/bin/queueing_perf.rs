@@ -40,6 +40,8 @@
 //! so their RSS tracks the live-packet watermark, not the offered
 //! packet count.
 
+#![forbid(unsafe_code)]
+
 use otis_core::{DeBruijn, DeBruijnRouter, DigraphFamily, Router, RoutingTable};
 use otis_optics::traffic::{
     generate_multicast_workload, generate_workload, ReferenceEngine, TrafficPattern,

@@ -1,1 +1,3 @@
 //! Criterion benches live under benches/; see crates/bench/benches.
+
+#![forbid(unsafe_code)]

@@ -13,6 +13,8 @@
 //! Argument parsing is deliberately bare std (no CLI dependency); each
 //! subcommand is a thin shell over the library crates.
 
+#![forbid(unsafe_code)]
+
 use otis_core::{routing, DeBruijn, DigraphFamily, ImaseItoh, Kautz, Rrk};
 use std::process::ExitCode;
 
@@ -27,7 +29,7 @@ fn main() -> ExitCode {
         Some("sequence") => cmd_sequence(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("help") | None => {
-            print!("{}", USAGE);
+            print!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),

@@ -43,6 +43,8 @@
 //! * [`routing`] — shortest-path routing and broadcasting on
 //!   `B(d,D)`, the applications the paper's introduction motivates.
 
+#![forbid(unsafe_code)]
+
 pub mod components;
 pub mod conjunction;
 pub mod enumerate;

@@ -12,7 +12,6 @@
 use crate::{DeBruijn, DigraphFamily, Kautz, Router};
 use otis_util::digits;
 use otis_words::Word;
-use std::collections::HashMap;
 
 /// Shortest-path distance from `x` to `y` in `B(d, D)`: the smallest
 /// `k` such that the top `D-k` digits of `y` equal the bottom `D-k`
@@ -206,14 +205,23 @@ impl MulticastTree {
             self_requests: 0,
             unreachable: Vec::new(),
         };
-        // node → index of its (unique) incoming tree arc.
-        let mut incoming: HashMap<u64, u32> = HashMap::new();
+        // node → index of its (unique) incoming tree arc, dense over
+        // the fabric ([`NO_ARC`] = not in the tree): pure lookups, so
+        // a map would buy nothing but hashing — and the dense table
+        // keeps tree construction order-deterministic by construction.
+        let mut incoming: Vec<u32> = vec![NO_ARC; n as usize];
         'dst: for &dst in dsts {
             if dst == root {
                 tree.self_requests += 1;
                 continue;
             }
-            if !incoming.contains_key(&dst) {
+            if dst >= n {
+                // Off-fabric destination: unreachable by definition,
+                // before any router is asked about it.
+                tree.unreachable.push(dst);
+                continue;
+            }
+            if incoming[dst as usize] == NO_ARC {
                 // Walk the router's shortest path, adding unseen arcs.
                 let mut current = root;
                 let mut hops = 0u64;
@@ -227,13 +235,18 @@ impl MulticastTree {
                         tree.unreachable.push(dst);
                         continue 'dst;
                     };
-                    if !incoming.contains_key(&next) {
+                    if next >= n {
+                        // Router proposed an off-fabric hop.
+                        tree.unreachable.push(dst);
+                        continue 'dst;
+                    }
+                    if incoming[next as usize] == NO_ARC {
                         let index = tree.arcs.len() as u32;
                         let parent = if current == root {
                             tree.root_arcs.push(index);
                             NO_ARC
                         } else {
-                            incoming[&current]
+                            incoming[current as usize]
                         };
                         tree.arcs.push((current, next));
                         tree.parent_arc.push(parent);
@@ -244,13 +257,13 @@ impl MulticastTree {
                         });
                         tree.delivers.push(false);
                         tree.leaf_load.push(0);
-                        incoming.insert(next, index);
+                        incoming[next as usize] = index;
                     }
                     current = next;
                 }
             }
             // Charge the request up the tree chain to the root.
-            let arc = incoming[&dst];
+            let arc = incoming[dst as usize];
             tree.delivers[arc as usize] = true;
             let mut chain = arc;
             loop {
@@ -284,7 +297,8 @@ impl MulticastTree {
             self_requests: 0,
             unreachable: Vec::new(),
         };
-        let mut incoming: HashMap<u64, u32> = HashMap::new();
+        // Dense node → incoming-arc table, as in [`MulticastTree::build`].
+        let mut incoming: Vec<u32> = vec![NO_ARC; n as usize];
         let mut frontier = vec![root];
         let mut level = 0u32;
         while !frontier.is_empty() {
@@ -293,7 +307,7 @@ impl MulticastTree {
             for &u in &frontier {
                 for k in 0..b.degree() {
                     let v = b.out_neighbor(u, k);
-                    if v == root || incoming.contains_key(&v) {
+                    if v == root || incoming[v as usize] != NO_ARC {
                         continue;
                     }
                     let index = tree.arcs.len() as u32;
@@ -301,14 +315,14 @@ impl MulticastTree {
                         tree.root_arcs.push(index);
                         NO_ARC
                     } else {
-                        incoming[&u]
+                        incoming[u as usize]
                     };
                     tree.arcs.push((u, v));
                     tree.parent_arc.push(parent);
                     tree.depth.push(level);
                     tree.delivers.push(true);
                     tree.leaf_load.push(0);
-                    incoming.insert(v, index);
+                    incoming[v as usize] = index;
                     next_frontier.push(v);
                 }
             }

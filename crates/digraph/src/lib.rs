@@ -28,6 +28,8 @@
 //!   multisets, loop/digon counts, distance profiles);
 //! * [`dot`] — Graphviz export used to regenerate the paper's figures.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod compressed;
 pub mod connectivity;

@@ -21,6 +21,8 @@
 //! 4. [`search`] reproduces Table 1: exhaustive enumeration of
 //!    `H(p, q, d)` digraphs by diameter, scoped-thread parallel.
 
+#![forbid(unsafe_code)]
+
 pub mod conjecture;
 mod search;
 mod spec;

@@ -1,0 +1,528 @@
+//! A hand-rolled Rust surface lexer for token-level static analysis.
+//!
+//! `otis-lint` runs in an offline environment with no registry access,
+//! so it cannot parse with `syn`. It does not need to: every rule in
+//! this crate is a *token-presence* invariant ("an `unsafe` keyword
+//! must sit next to a `SAFETY:` comment", "`HashMap` must not appear
+//! in report-path code"), and token presence only requires stripping
+//! the three contexts where source text is not code — comments,
+//! string literals, and character literals — while *keeping* the
+//! comments on the side, because two of the rules inspect them.
+//!
+//! The scan produces, per line of input:
+//!
+//! * the **sanitized code** — the original line with comment bodies,
+//!   string/char contents, and the delimiters themselves replaced by
+//!   spaces, so naive substring/word searches cannot be fooled by
+//!   `"Ordering::SeqCst"` inside a string or `// unsafe` in prose;
+//! * the **brace depth** at the start of the line (counted only in
+//!   code state), which gives the rules a cheap lexical notion of
+//!   scope for comment-coverage decisions;
+//! * the **comment text** that appeared on the line, if any;
+//! * whether the line lies inside a `#[cfg(test)]` item, so rules
+//!   that only govern shipping code can skip test modules.
+//!
+//! Handled literal forms: `//` and nested `/* */` comments, plain and
+//! raw strings with any `#` count (`r"…"`, `r##"…"##`), byte and C
+//! variants (`b"…"`, `br#"…"#`, `c"…"`), char and byte-char literals
+//! with escapes (`'\''`, `b'\\'`), and the lifetime-vs-char-literal
+//! ambiguity (`'a` vs `'a'`).
+
+/// One comment's worth of text attributed to a single source line.
+/// Multi-line block comments produce one entry per line they span.
+#[derive(Debug, Clone)]
+pub struct CommentLine {
+    /// 1-based source line.
+    pub line: usize,
+    /// The comment text on that line (delimiters stripped for `//`,
+    /// kept verbatim for block-comment interiors).
+    pub text: String,
+    /// Brace depth at the start of the line the comment sits on.
+    pub depth: usize,
+}
+
+/// The lexed view of one source file that every rule pass consumes.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Sanitized code, one entry per source line: comments and
+    /// literal interiors blanked to spaces.
+    pub code: Vec<String>,
+    /// Brace depth at the start of each line (index 0 = line 1).
+    pub depth: Vec<usize>,
+    /// All comments, in line order.
+    pub comments: Vec<CommentLine>,
+    /// `true` for each line inside a `#[cfg(test)]` item (the
+    /// attribute line through the item's closing brace).
+    pub test_mask: Vec<bool>,
+    /// `true` for each line that holds *only* comment and/or blank
+    /// text — used for "adjacent comment block" adjacency walks.
+    pub comment_only: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block comment depth (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"` / `b"…"` / `c"…"`.
+    Str,
+    /// Inside `r#"…"#` with the given hash count.
+    RawStr(u32),
+    /// Inside `'…'` / `b'…'`.
+    CharLit,
+}
+
+/// Lex `text` into per-line sanitized code, depths, comments and a
+/// `#[cfg(test)]` mask.
+pub fn lex(text: &str) -> LexedFile {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut code: Vec<String> = Vec::new();
+    let mut depth: Vec<usize> = Vec::new();
+    let mut comments: Vec<CommentLine> = Vec::new();
+
+    let mut state = State::Code;
+    let mut cur_code = String::new();
+    let mut cur_comment = String::new();
+    let mut cur_depth = 0usize;
+    let mut line_start_depth = 0usize;
+    let mut line_no = 1usize;
+
+    let flush_comment =
+        |comments: &mut Vec<CommentLine>, buf: &mut String, line: usize, depth_at: usize| {
+            if !buf.is_empty() {
+                comments.push(CommentLine {
+                    line,
+                    text: std::mem::take(buf),
+                    depth: depth_at,
+                });
+            }
+        };
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            // A newline ends the current line in every state; line
+            // comments also end here, block comments and raw strings
+            // continue (their per-line comment text flushes now).
+            flush_comment(&mut comments, &mut cur_comment, line_no, line_start_depth);
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push(std::mem::take(&mut cur_code));
+            depth.push(line_start_depth);
+            line_start_depth = cur_depth;
+            line_no += 1;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                // Two-char starters first.
+                if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    cur_code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    cur_code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte / C string prefixes: (b|c)? r? #* " — only
+                // when the prefix letter starts an identifier (so the
+                // trailing `r` of `var` never arms raw-string mode).
+                if let Some((advance, hashes, is_raw)) = string_prefix(&bytes, i) {
+                    for _ in 0..advance {
+                        cur_code.push(' ');
+                    }
+                    i += advance;
+                    state = if is_raw {
+                        State::RawStr(hashes)
+                    } else {
+                        State::Str
+                    };
+                    continue;
+                }
+                if let Some(advance) = byte_char_prefix(&bytes, i) {
+                    for _ in 0..advance {
+                        cur_code.push(' ');
+                    }
+                    i += advance;
+                    state = State::CharLit;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal or lifetime. `'\…` and `'x'` are
+                    // literals; `'ident` (no closing quote) is a
+                    // lifetime and stays in code state.
+                    let next = bytes.get(i + 1).copied();
+                    let after = bytes.get(i + 2).copied();
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(n) if n != '\'' => after == Some('\''),
+                        _ => false,
+                    };
+                    if is_char {
+                        cur_code.push(' ');
+                        state = State::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    cur_code.push(' '); // lifetime quote: blank, harmless
+                    i += 1;
+                    continue;
+                }
+                if c == '{' {
+                    cur_depth += 1;
+                } else if c == '}' {
+                    cur_depth = cur_depth.saturating_sub(1);
+                }
+                cur_code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                cur_comment.push(c);
+                cur_code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(n) => {
+                if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                    if n == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(n - 1);
+                    }
+                    cur_code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(n + 1);
+                    cur_comment.push_str("/*");
+                    cur_code.push_str("  ");
+                    i += 2;
+                } else {
+                    cur_comment.push(c);
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    if bytes.get(i + 1) == Some(&'\n') {
+                        // Line-continuation escape: leave the newline
+                        // for the line handler so counts stay true.
+                        cur_code.push(' ');
+                        i += 1;
+                    } else {
+                        cur_code.push_str("  ");
+                        i += 2; // skip the escaped char, whatever it is
+                    }
+                } else if c == '"' {
+                    cur_code.push(' ');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes, i, hashes) {
+                    for _ in 0..=hashes {
+                        cur_code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    cur_code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    cur_code.push(' ');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur_code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Final (unterminated) line.
+    flush_comment(&mut comments, &mut cur_comment, line_no, line_start_depth);
+    if !cur_code.is_empty() || code.is_empty() {
+        code.push(cur_code);
+        depth.push(line_start_depth);
+    }
+
+    let comment_only = compute_comment_only(&code, &comments);
+    let test_mask = compute_test_mask(&code);
+    LexedFile {
+        code,
+        depth,
+        comments,
+        test_mask,
+        comment_only,
+    }
+}
+
+/// Match `(b|c)? r? #* "` — a string opener (plain, byte, C or raw)
+/// at `i`. Returns `(chars_consumed_through_quote, hash_count,
+/// is_raw)`. Prefix letters only arm when they begin a token, so the
+/// trailing `r` of an identifier never starts a raw string.
+fn string_prefix(bytes: &[char], i: usize) -> Option<(usize, u32, bool)> {
+    let c = *bytes.get(i)?;
+    if c == '"' {
+        // A bare quote always opens a string, whatever precedes it.
+        return Some((1, 0, false));
+    }
+    let prev_ident = i > 0 && is_ident_char(bytes[i - 1]);
+    if prev_ident {
+        return None;
+    }
+    let mut j = i;
+    if c == 'b' || c == 'c' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&'r') {
+        let mut k = j + 1;
+        let mut hashes = 0u32;
+        while bytes.get(k) == Some(&'#') {
+            hashes += 1;
+            k += 1;
+        }
+        if bytes.get(k) == Some(&'"') {
+            return Some((k + 1 - i, hashes, true));
+        }
+        return None;
+    }
+    if j > i && bytes.get(j) == Some(&'"') {
+        return Some((j + 1 - i, 0, false));
+    }
+    None
+}
+
+/// Match a `b'…'` byte-char opener at `i`; returns chars consumed
+/// through the opening quote.
+fn byte_char_prefix(bytes: &[char], i: usize) -> Option<usize> {
+    let prev_ident = i > 0 && is_ident_char(bytes[i - 1]);
+    if !prev_ident && bytes.get(i) == Some(&'b') && bytes.get(i + 1) == Some(&'\'') {
+        return Some(2);
+    }
+    None
+}
+
+/// Does the `"` at `i` close a raw string that needs `hashes` hashes?
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Is `c` part of an identifier?
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn compute_comment_only(code: &[String], comments: &[CommentLine]) -> Vec<bool> {
+    let mut has_comment = vec![false; code.len()];
+    for c in comments {
+        if c.line >= 1 && c.line <= code.len() {
+            has_comment[c.line - 1] = true;
+        }
+    }
+    code.iter()
+        .enumerate()
+        .map(|(i, line)| has_comment[i] && line.trim().is_empty())
+        .collect()
+}
+
+/// Mark lines covered by `#[cfg(test)]` items: from the attribute
+/// line through the matching close brace of the item it gates (or
+/// just through the terminating `;` for non-brace items).
+fn compute_test_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    for start in 0..code.len() {
+        let compact: String = code[start].chars().filter(|c| !c.is_whitespace()).collect();
+        if !compact.contains("#[cfg(test)]") {
+            continue;
+        }
+        // Scan forward (from just past the attribute) for the item's
+        // opening brace or terminating semicolon.
+        let attr_col = code[start].find('#').map_or(0, |p| p + 1);
+        let mut depth_balance = 0i64;
+        let mut opened = false;
+        'outer: for (li, line) in code.iter().enumerate().skip(start) {
+            let begin = if li == start { attr_col } else { 0 };
+            for ch in line[begin.min(line.len())..].chars() {
+                match ch {
+                    '{' => {
+                        depth_balance += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth_balance -= 1;
+                        if opened && depth_balance <= 0 {
+                            for m in &mut mask[start..=li] {
+                                *m = true;
+                            }
+                            break 'outer;
+                        }
+                    }
+                    ';' if !opened => {
+                        for m in &mut mask[start..=li] {
+                            *m = true;
+                        }
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !opened {
+            // Unterminated item (shouldn't happen in valid Rust):
+            // conservatively mark to end of file.
+            if !mask[start] {
+                for m in &mut mask[start..] {
+                    *m = true;
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Find every occurrence of `word` in `line` at identifier
+/// boundaries; yields start columns.
+pub fn find_word(line: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let wchars: Vec<char> = word.chars().collect();
+    if wchars.is_empty() || chars.len() < wchars.len() {
+        return out;
+    }
+    for start in 0..=chars.len() - wchars.len() {
+        if chars[start..start + wchars.len()] != wchars[..] {
+            continue;
+        }
+        let before_ok = start == 0 || !is_ident_char(chars[start - 1]);
+        let after = start + wchars.len();
+        let after_ok = after >= chars.len() || !is_ident_char(chars[after]);
+        if before_ok && after_ok {
+            out.push(start);
+        }
+    }
+    out
+}
+
+/// Is the word occurrence at `col` in `line` qualified by a `::`
+/// path segment immediately before it (e.g. the `Relaxed` inside
+/// `Ordering::Relaxed`)?
+pub fn preceded_by_path_sep(line: &str, col: usize) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    let mut j = col;
+    while j > 0 && chars[j - 1].is_whitespace() {
+        j -= 1;
+    }
+    j >= 2 && chars[j - 1] == ':' && chars[j - 2] == ':'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let lx = lex("let a = 1; // unsafe HashMap\nlet b = /* SeqCst */ 2;\n");
+        assert!(!lx.code[0].contains("unsafe"));
+        assert!(!lx.code[1].contains("SeqCst"));
+        assert!(lx.code[0].contains("let a = 1;"));
+        assert!(lx.code[1].starts_with("let b ="));
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("unsafe HashMap"));
+        assert!(lx.comments[1].text.contains("SeqCst"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("a /* outer /* inner */ still */ b\n");
+        let code = &lx.code[0];
+        assert!(code.contains('a') && code.contains('b'));
+        assert!(!code.contains("inner") && !code.contains("still"));
+    }
+
+    #[test]
+    fn strings_and_chars_are_blanked() {
+        let lx = lex("let s = \"unsafe { }\"; let c = 'u'; let l: &'static str = s;\n");
+        assert!(!lx.code[0].contains("unsafe"));
+        assert!(
+            lx.code[0].contains("static"),
+            "lifetime survives: {}",
+            lx.code[0]
+        );
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        let lx =
+            lex("let s = r#\"HashMap \"# ; let t = r\"SeqCst\"; let u = br##\"unsafe\"##;\nnext\n");
+        assert!(!lx.code[0].contains("HashMap"));
+        assert!(!lx.code[0].contains("SeqCst"));
+        assert!(!lx.code[0].contains("unsafe"));
+        assert_eq!(lx.code[1].trim(), "next");
+    }
+
+    #[test]
+    fn escaped_quotes_and_chars() {
+        let lx = lex("let a = \"x\\\"unsafe\\\"y\"; let q = '\\''; let b = 1;\n");
+        assert!(!lx.code[0].contains("unsafe"));
+        assert!(lx.code[0].contains("let b = 1;"));
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let lx = lex("fn f() {\n    if x {\n        y();\n    }\n}\n");
+        assert_eq!(lx.depth, vec![0, 1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn cfg_test_mask_covers_module() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lx = lex(src);
+        assert_eq!(lx.test_mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_non_brace_item() {
+        let lx = lex("#[cfg(test)]\nuse foo::bar;\nfn real() {}\n");
+        assert_eq!(lx.test_mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert_eq!(find_word("HashMap HashMapx xHashMap", "HashMap"), vec![0]);
+        assert!(preceded_by_path_sep("Ordering::Relaxed", 10));
+        assert!(!preceded_by_path_sep("load(Relaxed)", 5));
+    }
+
+    #[test]
+    fn comment_only_lines() {
+        let lx = lex("// SAFETY: fine\nlet x = 1; // trailing\n\nunsafe {}\n");
+        assert_eq!(lx.comment_only, vec![true, false, false, false]);
+    }
+
+    #[test]
+    fn multiline_block_comment_flushes_per_line() {
+        let lx = lex("/* ORDERING:\n   still the comment\n*/\ncode();\n");
+        assert!(lx.comments.len() >= 2);
+        assert_eq!(lx.comments[0].line, 1);
+        assert_eq!(lx.comments[1].line, 2);
+        assert!(lx.code[3].contains("code();"));
+    }
+}

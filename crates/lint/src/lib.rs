@@ -1,0 +1,31 @@
+//! `otis-lint` — repo-invariant static analysis for the otis
+//! workspace.
+//!
+//! The engine's two load-bearing guarantees — queueing reports
+//! byte-identical at any `--threads`, and deadlock freedom by
+//! construction — are *structural* properties: they hold because the
+//! code avoids whole classes of constructs (nondeterministic
+//! iteration in report paths, unjustified atomic orderings,
+//! unaudited `unsafe`). Runtime proptests check instances; this crate
+//! checks the structure itself, the way the crosstalk-free switching
+//! literature gets its guarantees from statically checkable network
+//! shape rather than per-permutation simulation.
+//!
+//! The pass is fully offline: a hand-rolled lexer ([`lexer`]) strips
+//! comments, strings and char literals so the four token-level rules
+//! ([`rules`]) cannot be fooled by prose, then each violation is
+//! matched against a committed allowlist under `crates/lint/allow/`
+//! — so every new violation, and every *removed* one, forces an
+//! explicit diff a reviewer sees.
+//!
+//! Run it as `cargo run -p otis-lint -- --check` (CI does, as the
+//! `lint-invariants` job).
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use rules::{lint_files, Allowlists, Diagnostic, SourceFile};
+pub use scan::{discover_sources, find_workspace_root, load_allowlists, run_check};

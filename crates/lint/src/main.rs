@@ -1,0 +1,106 @@
+//! CLI front-end: `otis-lint --check [--root PATH]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use otis_lint::scan::{count_by_rule, find_workspace_root, run_check};
+
+const USAGE: &str = "\
+otis-lint: repo-invariant static analysis for the otis workspace
+
+USAGE:
+    otis-lint --check [--root PATH]
+
+    --check        run all four rule passes (unsafe-audit,
+                   atomic-ordering, determinism, panic-hygiene) and
+                   exit non-zero if any invariant is violated
+    --root PATH    lint the workspace at PATH instead of discovering
+                   it upward from the current directory
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = true,
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--root needs a path\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if !check {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("otis-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("otis-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match run_check(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!(
+                "otis-lint: clean — all four invariant passes hold at {}",
+                root.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            let by_rule = count_by_rule(&diags);
+            let summary: Vec<String> = by_rule
+                .iter()
+                .map(|(rule, n)| format!("{rule}: {n}"))
+                .collect();
+            eprintln!(
+                "otis-lint: {} violation(s) ({})",
+                diags.len(),
+                summary.join(", ")
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("otis-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Workspace discovery and allowlist loading for `otis-lint`.
+//!
+//! Discovery is deliberately dumb and deterministic: walk the
+//! workspace root, keep every `.rs` file under `src/`, `crates/`,
+//! `tests/` and `examples/`, skip `target/`, `vendor/` (offline
+//! registry stand-ins with their own provenance), `.git`, and any
+//! `fixtures/` directory (the linter's own seeded-violation corpus),
+//! and sort the result so diagnostics come out in a stable order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{lint_files, Allowlists, Diagnostic, SourceFile};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Top-level entries the walk starts from. Everything else at the
+/// root (README, Cargo.toml, BENCH json, …) is not Rust source.
+const ROOTS: &[&str] = &["src", "crates", "tests", "examples"];
+
+/// Walk `root` and collect the workspace's lintable sources.
+pub fn discover_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut rels: Vec<PathBuf> = Vec::new();
+    for top in ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut rels)?;
+        }
+    }
+    let mut out = Vec::with_capacity(rels.len());
+    for path in rels {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| format!("path {} escapes root: {e}", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        out.push(SourceFile { rel, text });
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                walk(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Parse one allowlist file: `#`-comments and blank lines skipped,
+/// every other line split on whitespace into `fields` columns.
+fn parse_allow_file(root: &Path, name: &str, fields: usize) -> Result<Vec<Vec<String>>, String> {
+    let path = root.join("crates/lint/allow").join(name);
+    let text = fs::read_to_string(&path)
+        .map_err(|e| format!("allowlist {} is required: {e}", path.display()))?;
+    let mut rows = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        if cols.len() != fields {
+            return Err(format!(
+                "{}:{}: expected {fields} whitespace-separated fields, got {}",
+                path.display(),
+                i + 1,
+                cols.len()
+            ));
+        }
+        rows.push(cols);
+    }
+    Ok(rows)
+}
+
+fn parse_count(path_hint: &str, s: &str) -> Result<usize, String> {
+    s.parse()
+        .map_err(|e| format!("{path_hint}: bad count `{s}`: {e}"))
+}
+
+/// Load the four committed allowlists from `crates/lint/allow/`.
+pub fn load_allowlists(root: &Path) -> Result<Allowlists, String> {
+    let mut allow = Allowlists::default();
+    for row in parse_allow_file(root, "unsafe_inventory.txt", 2)? {
+        allow.unsafe_inventory.insert(
+            row[0].clone(),
+            parse_count("unsafe_inventory.txt", &row[1])?,
+        );
+    }
+    for row in parse_allow_file(root, "atomics.txt", 3)? {
+        let kind = row[1].clone();
+        if kind != "seqcst" && kind != "relaxed-handoff" {
+            return Err(format!(
+                "atomics.txt: unknown kind `{kind}` (expected seqcst | relaxed-handoff)"
+            ));
+        }
+        allow
+            .atomics
+            .insert((row[0].clone(), kind), parse_count("atomics.txt", &row[2])?);
+    }
+    for row in parse_allow_file(root, "determinism.txt", 2)? {
+        allow.determinism.insert((row[0].clone(), row[1].clone()));
+    }
+    for row in parse_allow_file(root, "unwrap_budget.txt", 2)? {
+        allow
+            .unwrap_budget
+            .insert(row[0].clone(), parse_count("unwrap_budget.txt", &row[1])?);
+    }
+    Ok(allow)
+}
+
+/// Find the workspace root: walk up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = fs::read_to_string(&manifest)
+                .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace Cargo.toml found above {}",
+                start.display()
+            ));
+        }
+    }
+}
+
+/// The whole check: discover, load allowlists, lint. Returns the
+/// sorted diagnostics (empty = clean).
+pub fn run_check(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let files = discover_sources(root)?;
+    if files.is_empty() {
+        return Err(format!("no Rust sources found under {}", root.display()));
+    }
+    let allow = load_allowlists(root)?;
+    Ok(lint_files(&files, &allow))
+}
+
+/// Summary counters for the human-facing report.
+pub fn count_by_rule(diags: &[Diagnostic]) -> BTreeMap<&'static str, usize> {
+    let mut map = BTreeMap::new();
+    for d in diags {
+        *map.entry(d.rule).or_insert(0) += 1;
+    }
+    map
+}
+
+/// The set of files a run touched — exposed for the self-test that
+/// asserts the linter saw its own sources.
+pub fn discovered_rels(root: &Path) -> Result<BTreeSet<String>, String> {
+    Ok(discover_sources(root)?.into_iter().map(|f| f.rel).collect())
+}

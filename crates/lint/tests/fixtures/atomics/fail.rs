@@ -1,0 +1,26 @@
+//! atomic-ordering fail fixture, three findings:
+//! 1. an uncovered `Ordering::Relaxed` (the depth-0 banner below is
+//!    prose, not a justification);
+//! 2. an `Ordering::SeqCst` with no atomics.txt entry (strict);
+//! 3. a `Relaxed` boolean-flag publish — a handoff shape — with no
+//!    atomics.txt entry (strict), even though a comment covers it.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+// ORDERING: depth-0 banners do not blanket-approve a file.
+
+pub fn uncovered(counter: &AtomicU32) -> u32 {
+    counter.load(Ordering::Relaxed)
+}
+
+pub fn sequential(counter: &AtomicU32) -> u32 {
+    // ORDERING: covered, but SeqCst is flagged as needing a reviewed
+    // allowlist entry regardless.
+    counter.load(Ordering::SeqCst)
+}
+
+pub fn publish(flag: &AtomicBool) {
+    // ORDERING: covered, but a Relaxed flag publish is a handoff
+    // shape and needs a reviewed allowlist entry.
+    flag.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,11 @@
+//! atomic-ordering pass fixture: the one `Ordering::Relaxed` site is
+//! covered by a scoped `// ORDERING:` justification inside the fn
+//! body.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn read_counter(counter: &AtomicU32) -> u32 {
+    // ORDERING: Relaxed — the counter is a statistic folded after the
+    // worker scope joins; the join provides the visibility.
+    counter.load(Ordering::Relaxed)
+}

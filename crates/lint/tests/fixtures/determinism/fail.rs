@@ -1,0 +1,16 @@
+//! determinism fail fixture, four findings: the `HashMap` import and
+//! its two use sites, plus an ambient `Instant::now` clock read in
+//! library code.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn histogram(values: &[u32]) -> HashMap<u32, usize> {
+    let start = Instant::now();
+    let mut out = HashMap::new();
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    let _ = start.elapsed();
+    out
+}

@@ -1,0 +1,24 @@
+//! determinism pass fixture: ordered containers in shipping code;
+//! a HashMap appears only under `#[cfg(test)]`, which the rule skips.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(values: &[u32]) -> BTreeMap<u32, usize> {
+    let mut out = BTreeMap::new();
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_maps_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

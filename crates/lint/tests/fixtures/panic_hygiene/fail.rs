@@ -1,0 +1,11 @@
+//! panic-hygiene fail fixture: two bare `.unwrap()` calls in shipping
+//! code, over the (zero) budget.
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().unwrap()
+}
+
+pub fn parse_host_port(s: &str) -> (u16, u16) {
+    let (a, b) = s.split_once(':').unwrap();
+    (parse_port(a), parse_port(b))
+}

@@ -1,0 +1,20 @@
+//! panic-hygiene pass fixture: shipping code explains its panics with
+//! `.expect`, combinator unwraps don't count, and bare `.unwrap()` is
+//! free inside `#[cfg(test)]`.
+
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().expect("port must be a valid u16")
+}
+
+pub fn port_or_default(s: &str) -> u16 {
+    s.parse().unwrap_or(8080)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let port: u16 = "80".parse().unwrap();
+        assert_eq!(port, 80);
+    }
+}

@@ -1,0 +1,14 @@
+//! unsafe-audit fail fixture: the second `unsafe` site has no
+//! adjacent `// SAFETY:` comment, and the file holds two sites while
+//! the test's inventory lists one.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *bytes.get_unchecked(0) }
+}
+
+pub fn last_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    unsafe { *bytes.get_unchecked(bytes.len() - 1) }
+}

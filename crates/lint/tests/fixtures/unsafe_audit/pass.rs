@@ -1,0 +1,9 @@
+//! unsafe-audit pass fixture: every `unsafe` site carries an adjacent
+//! `// SAFETY:` comment, and the file's count matches its inventory
+//! entry (1).
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees index 0 is in bounds.
+    unsafe { *bytes.get_unchecked(0) }
+}

@@ -38,6 +38,8 @@
 //!   saturation sweeps) whose live occupancy drives
 //!   [`otis_core::AdaptiveRouter`].
 
+#![forbid(unsafe_code)]
+
 pub mod faults;
 pub mod geometry;
 pub mod grid;

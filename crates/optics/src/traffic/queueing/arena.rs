@@ -155,6 +155,11 @@ impl PacketArena {
 
     /// Initialize a freshly claimed slot.
     pub fn init(&self, id: u32, dst: u32, offered: u64, vc: u8) {
+        // ORDERING: Relaxed stores — the slot id was claimed from the
+        // allocator (mutex or sequential phase), so this worker is the
+        // slot's sole owner until it publishes the id into a channel
+        // FIFO, and that publication happens in a later phase beyond a
+        // Barrier::wait()/lock release that orders these writes first.
         let (chunk, offset) = self.slot(id);
         chunk.dst[offset].store(dst, Relaxed);
         chunk.offered[offset].store(offered, Relaxed);
@@ -238,6 +243,9 @@ impl EntryArena {
 
     /// Initialize a freshly claimed entry (link starts [`NONE`]).
     pub fn init(&self, id: u32, dst: u64, offered: u64) {
+        // ORDERING: Relaxed stores — entries are claimed and written
+        // by the sequential decode step only; injection workers read
+        // them after the phase barrier that starts the inject phase.
         let (chunk, offset) = self.slot(id);
         chunk.dst[offset].store(dst, Relaxed);
         chunk.offered[offset].store(offered, Relaxed);
@@ -352,6 +360,14 @@ impl ChannelQueues {
     /// ownership (injection: the channel's source node; apply: the
     /// main thread).
     pub fn push(&self, chan: usize, id: u32, arena: &PacketArena) -> u32 {
+        // ORDERING: Relaxed throughout — every word touched here
+        // (head/tail/len of `chan`, the pushed packet's link) is owned
+        // by the calling worker for the duration of the phase: a
+        // channel is pushed only by its source node's inject worker or
+        // by the sequential apply step, never both in one phase. The
+        // load+store on `len` is a plain RMW on a single-writer word.
+        // Cross-phase readers (drain workers, room checks) are ordered
+        // behind these writes by the engine's phase barrier.
         arena.link(id).store(NONE, Relaxed);
         let tail = self.tail[chan].load(Relaxed);
         if tail == NONE {
@@ -370,6 +386,10 @@ impl ChannelQueues {
     /// occupancy stays phase-stable. Caller owns the channel's
     /// downstream node.
     pub fn pop_head(&self, chan: usize, id: u32, arena: &PacketArena) {
+        // ORDERING: Relaxed — a channel is drained only by the worker
+        // owning its downstream node, so head/tail/link are
+        // single-writer during the drain phase; the inject-side writes
+        // they chain onto were ordered ahead by the phase barrier.
         debug_assert_eq!(self.head[chan].load(Relaxed), id);
         let next = arena.link(id).load(Relaxed);
         self.head[chan].store(next, Relaxed);

@@ -165,6 +165,13 @@ pub struct LinkOccupancy {
 }
 
 impl LinkOccupancy {
+    // ORDERING: Relaxed loads. The counters are written only at phase
+    // boundaries (injection commit, the apply step) while routing
+    // decisions read them in the next cycle's decode/inject phase; the
+    // engine's Barrier::wait() between those phases is the
+    // synchronizes-with edge that makes the writes visible, so the
+    // loads themselves need no ordering. A router probing from outside
+    // a run sees a quiescent scoreboard.
     /// Virtual channels per link this view resolves.
     pub fn vcs(&self) -> usize {
         self.vcs

@@ -166,6 +166,12 @@ impl ReferenceEngine {
         let wavelengths = self.config.wavelengths;
 
         let mut queues: Vec<VecDeque<Packet>> = (0..channels).map(|_| VecDeque::new()).collect();
+        // ORDERING: Relaxed everywhere this run touches the occupancy
+        // scoreboard — the reference engine is single-threaded, so the
+        // counters are atomic only because the `LinkOccupancy` type is
+        // shared with the parallel engine; there is no concurrent
+        // writer to order against, and adaptive routers probe from
+        // this same thread.
         for count in self.counts.iter() {
             count.store(0, Ordering::Relaxed);
         }
@@ -564,6 +570,9 @@ impl ReferenceEngine {
         }
 
         let mut queues: Vec<VecDeque<Copy>> = (0..channels).map(|_| VecDeque::new()).collect();
+        // ORDERING: Relaxed — single-threaded run; see the unicast
+        // runner's note. Atomic type shared with `LinkOccupancy`, no
+        // concurrent writer exists.
         for count in self.counts.iter() {
             count.store(0, Ordering::Relaxed);
         }

@@ -471,6 +471,16 @@ pub(super) fn execute(
     let hop_limit = config.hop_limit.unwrap_or_else(|| (2 * n).max(64) as u32);
     let threads = resolve_threads(config.drain_threads, n as usize);
 
+    // ORDERING: the whole run loop is Relaxed by design. Ordering
+    // between phases (decode → inject → drain → apply) comes from
+    // `Barrier::wait()`, whose synchronizes-with edge sequences every
+    // write of one phase before every read of the next; within a
+    // phase, each atomic word has a single writer (sharded by source
+    // node for inject, by downstream node for drain, the main thread
+    // for decode/apply), so no intra-phase read races a write it could
+    // order against. The individual sites below carry notes only where
+    // the argument is not this standard one. The scoreboard reset here
+    // happens before any thread is spawned.
     let counts = engine.counts();
     for count in counts.iter() {
         count.store(0, Relaxed);
@@ -656,6 +666,13 @@ pub(super) fn execute(
         loop {
             let horizon = main.cycle >= config.max_cycles;
             if (main.pending == 0 && main.in_network == 0) || horizon || main.deadlocked {
+                // ORDERING: the audited relaxed-handoff (see
+                // crates/lint/allow/atomics.txt). The store is
+                // sequenced before this thread's `barrier.wait()`, and
+                // each worker's matching wait is sequenced before its
+                // `done.load`; the barrier's synchronizes-with edge
+                // therefore publishes the flag — Relaxed suffices, the
+                // flag itself guards no other data.
                 shared.done.store(true, Relaxed);
                 barrier.wait();
                 break;
@@ -775,6 +792,12 @@ fn decode(
     // the injection cycle.
     let offer_cycle =
         |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
+    // ORDERING: Relaxed — decode runs on the main thread while every
+    // worker idles at the cycle barrier, so the pending-FIFO threading
+    // (src_head/src_tail/entry links) and the listed flags have no
+    // concurrent reader; the barrier the workers pass next is the
+    // synchronizes-with edge that hands the writes to the inject
+    // phase, and the scratch mutex hands over `newly_listed`.
     let cycle = main.cycle;
     let n = shared.g.node_count() as u64;
     while dec.next < dec.total && offer_cycle(dec.next) <= cycle {
@@ -827,6 +850,11 @@ fn inject_multicast(
 ) -> usize {
     let offer_cycle =
         |i: usize| (((i + 1) as f64 / offered_per_cycle).ceil() as u64).saturating_sub(1);
+    // ORDERING: Relaxed — multicast injection is sequential (main
+    // thread, workers parked at the barrier), so the queue-length
+    // probes, parking flags, and waiter-list threading here are
+    // data-race-free by construction; the phase barrier publishes
+    // them to the drain workers.
     let cycle = main.cycle;
     let mut activity = 0usize;
     let scan_count = if main.pending == 0 {
@@ -910,6 +938,10 @@ fn inject_multicast(
 /// list iff its `src_listed` flag is set; delisting clears the flag,
 /// and decode / the apply-step wake relist under it.
 fn inject_list(shared: &SharedRun, ws: &mut WorkerScratch, cycle: u64) {
+    // ORDERING: Relaxed — each source is listed with exactly one
+    // worker (list_owner shards by source node), so its `src_listed`
+    // flag and everything `inject_source` touches on its behalf are
+    // single-writer during the inject phase.
     if ws.sources.is_empty() {
         return;
     }
@@ -944,6 +976,14 @@ fn inject_list(shared: &SharedRun, ws: &mut WorkerScratch, cycle: u64) {
 /// `true` when an adaptive-router stall leaves it retrying next
 /// cycle.
 fn inject_source(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, cycle: u64) -> bool {
+    // ORDERING: Relaxed — everything here is owned by this worker for
+    // the phase: the source's pending FIFO and injection cache are
+    // sharded by source node; the queue-length probe reads occupancy
+    // that only moves at phase boundaries (drain pops commit in
+    // apply); the channels pushed are this source's own out-arcs; and
+    // a source parks only on its own out-arc channel, so the waiter
+    // list has one writer. The inject/drain barrier publishes all of
+    // it.
     if shared.source_parked_at[src].load(Relaxed) != u64::MAX {
         // Still blocked on a full first-hop FIFO; its wake-up is
         // event-driven (the blocker's next committed pop).
@@ -1058,6 +1098,9 @@ fn inject_source(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, cycle: 
 /// invalidate the injection cache (entry ids recycle — a stale key
 /// could alias a future entry).
 fn consume_entry(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, entry: u32) {
+    // ORDERING: Relaxed — the source's pending FIFO words are owned
+    // by the calling inject worker (sources shard by node); decode's
+    // writes to them were published by the preceding phase barrier.
     let next = shared.entries.link(entry).load(Relaxed);
     shared.src_head[src].store(next, Relaxed);
     if next == NONE {
@@ -1090,6 +1133,11 @@ fn claim_id(shared: &SharedRun, ws: &mut WorkerScratch) -> u32 {
 /// implies unparked.) Every channel has exactly one pushing owner per
 /// phase: its source's inject worker, or the main thread.
 fn push_packet(shared: &SharedRun, chan: usize, id: u32) {
+    // ORDERING: Relaxed — the caller owns `chan` for the phase (its
+    // source's inject worker, or the main thread in apply), so the
+    // peak load+store and the scoreboard publish are single-writer
+    // plain updates; adaptive routers read `counts` only in phases
+    // where injection is sequential, behind a barrier.
     let len = shared.queues.push(chan, id, shared.arena);
     if len > shared.peak[chan].load(Relaxed) {
         shared.peak[chan].store(len, Relaxed);
@@ -1104,10 +1152,12 @@ fn push_packet(shared: &SharedRun, chan: usize, id: u32) {
 /// count it toward its node and set the node's worklist bit.
 fn activate(shared: &SharedRun, chan: usize) {
     let node = shared.g.arc_target(chan / shared.vcs) as usize;
-    // `fetch_add`, not load+store: the sharded injection phase can
-    // ready channels into the same downstream node from several
-    // workers at once; exactly one of them sees the 0→1 edge and
-    // sets the worklist bit (the bitset insert itself is atomic).
+    // ORDERING: `fetch_add`, not load+store — the sharded injection
+    // phase can ready channels into the same downstream node from
+    // several workers at once; the RMW's atomicity (Relaxed is all it
+    // needs) guarantees exactly one caller sees the 0→1 edge and sets
+    // the worklist bit (the bitset insert is itself an atomic
+    // fetch_or, so a lost wakeup is impossible).
     if shared.node_ready[node].fetch_add(1, Relaxed) == 0 {
         shared.active.insert(node);
     }
@@ -1120,6 +1170,10 @@ fn drain_range(
     cycle: u64,
     ws: &mut WorkerScratch,
 ) {
+    // ORDERING: Relaxed — `node_ready` counters in this worker's
+    // shard are written during drain only by this worker (nodes shard
+    // by range); the inject phase's increments were published by the
+    // barrier this worker just passed.
     shared.active.for_each_in(range, |node| {
         if shared.node_ready[node].load(Relaxed) > 0 {
             drain_node(shared, node, cycle, ws);
@@ -1130,6 +1184,9 @@ fn drain_range(
 /// Drain one node's inbound arcs, rotating the starting arc per cycle
 /// so no in-arc persistently wins the node's downstream buffer space.
 fn drain_node(shared: &SharedRun, node: usize, cycle: u64, ws: &mut WorkerScratch) {
+    // ORDERING: Relaxed — this worker owns `node` (and so every word
+    // its inbound arcs' drains touch) for the whole drain phase; see
+    // the note in `drain_range`.
     let lo = shared.in_offsets[node] as usize;
     let hi = shared.in_offsets[node + 1] as usize;
     let degree = hi - lo;
@@ -1166,6 +1223,14 @@ fn drain_node(shared: &SharedRun, node: usize, cycle: u64, ws: &mut WorkerScratc
 /// one per class per round (rotating the starting class) so no class
 /// hogs the channels; a blocked head blocks only its own class.
 fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut WorkerScratch) {
+    // ORDERING: Relaxed — every atomic this drain touches is owned by
+    // this worker during the phase: the arc's FIFO heads and parking
+    // words belong to its target node's shard; staged arrivals bump
+    // `staged_len` of downstream channels whose *source* node is this
+    // node, so this worker is their sole stager;
+    // delivered_per_link[arc] is bumped only by the arc target's
+    // owner; and room checks read phase-stable committed occupancy
+    // (pops batch to apply). Cross-phase visibility is the barrier's.
     let vcs = shared.vcs;
     let vc_start = cycle as usize % vcs;
     let mut budget = shared.wavelengths;
@@ -1386,6 +1451,11 @@ fn drain_arc_mc(
     cycle: u64,
     ws: &mut WorkerScratch,
 ) {
+    // ORDERING: Relaxed — same ownership discipline as `drain_arc`:
+    // this worker owns the arc's target node, so the FIFO heads,
+    // parking words, and per-arc delivery counter are single-writer
+    // here, staged child copies bump channels whose source node is
+    // this node, and all cross-phase visibility rides the barrier.
     let vcs = shared.vcs;
     let vc_start = cycle as usize % vcs;
     let mut budget = shared.wavelengths;
@@ -1555,8 +1625,24 @@ fn apply(
     dec: &mut Decoder,
     scratches: &[Mutex<WorkerScratch>],
 ) -> usize {
+    // ORDERING: Relaxed — apply runs on the main thread alone (the
+    // workers idle at the cycle barrier), so pop commits, waiter-list
+    // wakes, staged-arrival pushes, and relists are sequential; the
+    // drain phase's writes they consume arrived through the barrier
+    // the main thread just passed, and the next cycle's barrier
+    // publishes everything done here.
     let mut allocator = shared.allocator.lock().expect("arena allocator");
     let mut activity = 0usize;
+    // Entered/departed are netted across ALL worker cells before they
+    // touch the in-flight gauges: a packet injected by one worker and
+    // delivered by another in the same cycle puts its `entered` and
+    // `departed` in different cells, and folding cell-by-cell would
+    // underflow `in_network`/`in_copies` when the departing cell
+    // merges first.
+    let mut entered = 0usize;
+    let mut departed = 0usize;
+    let mut spawned_copies = 0usize;
+    let mut departed_copies = 0usize;
     for cell in scratches {
         let mut ws = cell.lock().expect("apply scratch");
         for &(chan, count) in &ws.pops {
@@ -1607,11 +1693,10 @@ fn apply(
         main.injected += stats.injected;
         main.pending -= stats.injected;
         main.delivered += stats.delivered;
-        main.in_network += stats.entered;
-        main.in_network -= stats.departed;
-        main.in_copies += stats.entered;
-        main.in_copies += stats.spawned_copies;
-        main.in_copies -= stats.departed_copies;
+        entered += stats.entered;
+        departed += stats.departed;
+        spawned_copies += stats.spawned_copies;
+        departed_copies += stats.departed_copies;
         main.replicated += stats.spawned_copies as u64;
         main.dropped_full += stats.dropped_full;
         main.dropped_unroutable += stats.dropped_unroutable;
@@ -1639,6 +1724,10 @@ fn apply(
         allocator.release_all(ws.freed.drain(..));
         dec.entry_ids.release_all(ws.freed_entries.drain(..));
     }
+    main.in_network += entered;
+    main.in_network -= departed;
+    main.in_copies += entered + spawned_copies;
+    main.in_copies -= departed_copies;
     for cell in scratches {
         let mut ws = cell.lock().expect("apply scratch");
         for &(chan, id) in &ws.staged {
@@ -1689,6 +1778,8 @@ fn finish(
     hot_dst: Option<u64>,
     trees: Option<&TreeSet>,
 ) -> QueueingReport {
+    // ORDERING: Relaxed — the worker scope has joined; these are
+    // post-run folds on this thread, with visibility from the join.
     let class_stats = hot_dst.map(|_| {
         let build = |class: usize| {
             let waits = &main.class_waits[class];

@@ -1,5 +1,4 @@
-use otis_graphs::DeBruijn;
-use otis_optics::routers::DeBruijnRouter;
+use otis_core::{DeBruijn, DeBruijnRouter};
 use otis_optics::{ContentionPolicy, QueueConfig, QueueingEngine};
 
 #[test]

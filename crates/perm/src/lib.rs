@@ -26,6 +26,8 @@
 //! * cycle-notation formatting and parsing, and `serde` support with
 //!   validated deserialization.
 
+#![forbid(unsafe_code)]
+
 mod enumerate;
 mod parse;
 mod perm;

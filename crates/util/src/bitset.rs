@@ -25,6 +25,16 @@ pub struct DenseBitset {
 }
 
 impl DenseBitset {
+    // ORDERING: every operation is Relaxed. The fetch_or/fetch_and
+    // RMWs need only atomicity — concurrent inserts from different
+    // drain/inject workers must not lose bits, but the set carries no
+    // payload whose visibility the bit would publish. Readers observe
+    // a consistent snapshot because the engine separates write phases
+    // from read phases with Barrier::wait() (or scope joins), whose
+    // acquire/release pairing sequences every prior Relaxed write
+    // before every subsequent Relaxed read. Within a phase, writes
+    // target indices owned by the writing worker, so no read races a
+    // write it could order against.
     /// The empty set over `0..len`.
     pub fn new(len: usize) -> Self {
         DenseBitset {

@@ -48,6 +48,13 @@ where
     let slots_ptr = SendPtr(slots.as_mut_ptr());
 
     std::thread::scope(|scope| {
+        // ORDERING: the cursor's only job is to hand out disjoint
+        // chunk ranges — that needs the fetch_add's atomicity (each
+        // worker sees a unique start), not any cross-thread ordering
+        // of the slot writes it guards. The writes become visible to
+        // the caller through the scope join, which synchronizes-with
+        // every worker's exit; no load on this thread observes a slot
+        // before that.
         for _ in 0..workers {
             let f = &f;
             let cursor = &cursor;
@@ -98,6 +105,9 @@ where
     }
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
+        // ORDERING: same contract as par_map — Relaxed fetch_add for
+        // disjoint chunk claims, visibility of the chunks' side
+        // effects via the scope join.
         for _ in 0..workers {
             let f = &f;
             let cursor = &cursor;
@@ -118,6 +128,10 @@ struct SendPtr<T>(*mut T);
 // SAFETY: only used to write disjoint indices from multiple threads;
 // the owning Vec outlives the scope and is not read concurrently.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
+// SAFETY: the wrapper is moved into scoped workers only to write
+// `T: Send` values through it; the pointee storage is owned by the
+// spawning thread and outlives every worker (scoped join), so sending
+// the pointer itself transfers no ownership and aliases nothing.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 
 #[cfg(test)]

@@ -24,6 +24,8 @@
 //! * digit-pairing codecs ([`pair_rank`], [`unpair_rank`]) used by the
 //!   conjunction identity `B(d,k) ⊗ B(d',k) = B(dd',k)` (Remark 2.4).
 
+#![forbid(unsafe_code)]
+
 mod kautz;
 mod space;
 mod word;

@@ -36,6 +36,8 @@
 //! assert_eq!((best.p(), best.q()), (16, 32)); // 48 = Θ(√256) lenses
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use otis_core as core;
 pub use otis_digraph as digraph;
 pub use otis_layout as layout;
