@@ -42,11 +42,13 @@
 
 #![forbid(unsafe_code)]
 
-use otis_core::{DeBruijn, DeBruijnRouter, DigraphFamily, Router, RoutingTable};
+use otis_core::{
+    DeBruijn, DeBruijnRouter, DigraphFamily, DynamicRoutingTable, Router, RoutingTable,
+};
 use otis_optics::traffic::{
     generate_multicast_workload, generate_workload, ReferenceEngine, TrafficPattern,
 };
-use otis_optics::{ContentionPolicy, QueueConfig, QueueingEngine, WorkloadSource};
+use otis_optics::{ContentionPolicy, QueueConfig, QueueingEngine, StrandedPolicy, WorkloadSource};
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
 
@@ -91,6 +93,7 @@ const SCENARIOS: &[&str] = &[
     "hotspot_B_2_8_adaptive_backpressure",
     "queueing_multicast_B_2_8",
     "hotspot_B_2_14_1M_compressed_taildrop",
+    "dynamics_fade_B_2_14",
     "uniform_B_2_16_compressed_taildrop",
     "decade_uniform_B_2_12_streamed",
     "decade_uniform_B_2_14_streamed",
@@ -414,6 +417,61 @@ fn run_scenario(name: &str) -> Option<ScenarioResult> {
                 config,
                 0.2 * n as f64,
                 false,
+            ))
+        }
+        // Live-link dynamics at the same B(2,14) hotspot shape: a
+        // scripted mid-run battery — a fade on the hot in-tree beam,
+        // a 16-node failure storm and twelve seed-split random fades
+        // — through the repairable next-hop table with online repair
+        // and stranded reinjection. Every event revives before the
+        // run drains, so each timed iteration replays against the
+        // same pristine table; the figure prices what dynamics cost
+        // versus the static `hotspot_B_2_14_1M_compressed_taildrop`
+        // row above.
+        "dynamics_fade_B_2_14" => {
+            let b = DeBruijn::new(2, 14);
+            let n = b.node_count();
+            let g = b.digraph();
+            let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 1_000_000, 14);
+            let config = QueueConfig {
+                buffers: 16,
+                wavelengths: 1,
+                vcs: 1,
+                policy: ContentionPolicy::TailDrop,
+                hop_limit: None,
+                max_cycles: 3000,
+                drain_threads: 0,
+            };
+            let mut engine = QueueingEngine::new(g.clone(), config);
+            engine.set_dynamics(
+                "fade@60:4096>8192:0:120,storm@120:0-15:150,randfades@14:12:250:100"
+                    .parse()
+                    .expect("valid dynamics spec"),
+                StrandedPolicy::Reinject,
+            );
+            let router = DynamicRoutingTable::new(&g);
+            // Best-of-2: one pass is near a minute (every next-hop
+            // query rides the repairable table's read lock).
+            let (cycles, delivered, dropped, elapsed) = time_run(2, || {
+                let report = engine.run(&router, &workload, 0.2 * n as f64);
+                assert!(report.dynamics_consistent(), "dynamics conservation broke");
+                assert_eq!(
+                    report.link_down_events, report.link_up_events,
+                    "a link death outlived the run"
+                );
+                (report.cycles, report.delivered, report.dropped())
+            });
+            Some(finish(
+                name,
+                n,
+                engine.link_count(),
+                workload.len(),
+                cycles,
+                delivered,
+                dropped,
+                elapsed,
+                None,
+                None,
             ))
         }
         // B(2,16) through the compressed table — the PR-4/PR-5 shape,

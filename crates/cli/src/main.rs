@@ -76,6 +76,18 @@ USAGE:
     --sweep            sweep offered load and report saturation throughput
     --load <L>         offered load, packets/node/cycle (default 0.2)
     --policy <P>       full-buffer behavior: taildrop (default) | backpressure
+    --dynamics <spec>  queueing: replay a link-dynamics timeline — fades
+                       (fade@C:S>D[:CAP[:DUR]]), flapping beams
+                       (flap@C:S>D:UP:DOWN[:N]), correlated failure storms
+                       (storm@C:LO-HI:DUR) and seed-split random fades
+                       (randfades@SEED:N:WINDOW:DUR), comma-separated.
+                       Routing repairs online: each link death/revival
+                       patches only the next-hop table runs whose
+                       min-first-hop changed, and the report carries
+                       time-to-reroute and per-event repair cost.
+    --stranded <S>     queueing: what a link death does to packets queued
+                       on the dead beam: reinject (default; re-place via
+                       the repaired routing) | drop
     --threads <T>      queueing: drain-phase worker threads (default auto;
                        results are byte-identical at every thread count)
                        any of these flags switches from the batched static
@@ -222,6 +234,13 @@ struct TrafficOptions {
     /// True iff `--load` was given explicitly (a sweep then includes
     /// that point alongside its default grid).
     load_set: bool,
+    /// Link-dynamics timeline to replay during the run, if any.
+    dynamics: Option<otis_optics::DynamicsSpec>,
+    /// What a link death does to packets queued on the dead beam.
+    stranded: otis_optics::StrandedPolicy,
+    /// True iff `--stranded` was given explicitly (meaningless, and
+    /// rejected, without `--dynamics`).
+    stranded_set: bool,
     config: otis_optics::QueueConfig,
 }
 
@@ -235,6 +254,9 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
         sweep: false,
         load_per_node: 0.2,
         load_set: false,
+        dynamics: None,
+        stranded: otis_optics::StrandedPolicy::default(),
+        stranded_set: false,
         config: otis_optics::QueueConfig::default(),
     };
     let mut iter = args.iter();
@@ -289,6 +311,15 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
                 options.config.policy = value("--policy", &mut iter)?.parse()?;
                 options.queueing = true;
             }
+            "--dynamics" => {
+                options.dynamics = Some(value("--dynamics", &mut iter)?.parse()?);
+                options.queueing = true;
+            }
+            "--stranded" => {
+                options.stranded = value("--stranded", &mut iter)?.parse()?;
+                options.stranded_set = true;
+                options.queueing = true;
+            }
             "--threads" => {
                 options.config.drain_threads = value("--threads", &mut iter)?
                     .parse()
@@ -308,7 +339,7 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
             }
             other if other.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag {other:?} (want --buffers|--wavelengths|--vcs|--adaptive|--arithmetic|--sweep|--load|--policy|--threads)"
+                    "unknown flag {other:?} (want --buffers|--wavelengths|--vcs|--adaptive|--arithmetic|--sweep|--load|--policy|--dynamics|--stranded|--threads)"
                 ));
             }
             _ => positionals.push(arg.clone()),
@@ -352,6 +383,40 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
                 .into(),
         );
     }
+    if options.stranded_set && options.dynamics.is_none() {
+        return Err(
+            "--stranded only matters under --dynamics (no link ever dies without one)".into(),
+        );
+    }
+    if options.dynamics.is_some() {
+        if pattern.is_multicast() {
+            return Err(
+                "--dynamics applies to unicast queueing runs only: multicast delivery trees \
+                 are prebuilt and cannot reroute mid-flight"
+                    .into(),
+            );
+        }
+        if options.sweep {
+            return Err(
+                "--dynamics and --sweep are mutually exclusive: pick one load point so the \
+                 timeline replays against a single run"
+                    .into(),
+            );
+        }
+        if options.arithmetic {
+            return Err(
+                "--dynamics needs the repairable next-hop table for online reroute; drop \
+                 --arithmetic"
+                    .into(),
+            );
+        }
+        if n > otis_digraph::compressed::CompressedNextHopTable::MAX_NODES as u64 {
+            return Err(format!(
+                "--dynamics needs the repairable next-hop table, capped at {} nodes (n = {n})",
+                otis_digraph::compressed::CompressedNextHopTable::MAX_NODES
+            ));
+        }
+    }
 
     let build_start = std::time::Instant::now();
     let workload = if pattern.is_multicast() {
@@ -375,6 +440,14 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
     // space, two array loads per query. Past the compressed cap (or
     // under --arithmetic anywhere), the tableless de Bruijn shift
     // router takes over — no per-node storage at all, any d^D.
+    if options.dynamics.is_some() {
+        // Link dynamics route through the repairable next-hop table:
+        // the engine feeds each death/revival to its online repair,
+        // which patches only the per-source CSR runs whose
+        // min-first-hop changed.
+        let router = otis_core::DynamicRoutingTable::new(&h.digraph());
+        return run_traffic_over(h, router, &workload, pattern, options, build_start);
+    }
     if options.arithmetic || n > otis_digraph::compressed::CompressedNextHopTable::MAX_NODES as u64
     {
         let witness = spec
@@ -499,7 +572,10 @@ fn run_queueing_traffic<R: otis_core::Router>(
     use otis_core::Router;
 
     let n = otis_core::DigraphFamily::node_count(h);
-    let engine = otis_optics::QueueingEngine::from_family(h, options.config);
+    let mut engine = otis_optics::QueueingEngine::from_family(h, options.config);
+    if let Some(spec) = options.dynamics.clone() {
+        engine.set_dynamics(spec, options.stranded);
+    }
     let (oblivious, adaptive);
     let routed: &dyn Router = if options.adaptive {
         adaptive = otis_core::AdaptiveRouter::new(router, engine.occupancy())
@@ -537,6 +613,17 @@ fn run_queueing_traffic<R: otis_core::Router>(
         );
     }
 
+    if options.dynamics.is_some() {
+        println!(
+            "dynamics: timeline armed — stranded packets {}",
+            match options.stranded {
+                otis_optics::StrandedPolicy::Reinject => "reinject through the repaired routing",
+                otis_optics::StrandedPolicy::Drop =>
+                    "drop (no electronic buffer holds a beamless packet)",
+            }
+        );
+    }
+
     if options.sweep {
         let mut loads = vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.8];
         if options.load_set && !loads.contains(&options.load_per_node) {
@@ -569,6 +656,16 @@ fn run_queueing_traffic<R: otis_core::Router>(
     let run_start = std::time::Instant::now();
     let report = engine.run_streamed_classified(routed, source, offered, pattern.hot_node(n));
     let elapsed = run_start.elapsed();
+    if !report.dynamics_consistent() {
+        return Err(format!(
+            "conservation violated: {} injected ≠ {} delivered + {} dropped + {} in flight \
+             (or a dynamics counter broke its law) — this is an engine bug",
+            report.injected,
+            report.delivered,
+            report.dropped(),
+            report.in_flight
+        ));
+    }
     println!(
         "simulated {} {pattern} packets over {} cycles in {:.1} ms (offered {:.3}/node/cycle)",
         report.injected,
@@ -643,6 +740,56 @@ fn print_queueing_body(report: &otis_optics::QueueingReport, options: &TrafficOp
             "  source stalls     : {} source-cycles (per-source queues: only congested sources stall)",
             report.source_stall_cycles
         );
+    }
+    if report.capacity_events > 0 {
+        println!(
+            "  link dynamics     : {} deaths, {} revivals, {} capacity transitions applied",
+            report.link_down_events, report.link_up_events, report.capacity_events
+        );
+        if !report.time_to_reroute_cycles.is_empty() {
+            let mut ttr = report.time_to_reroute_cycles.clone();
+            ttr.sort_unstable();
+            println!(
+                "  time to reroute   : p50 {} cy, max {} cy ({} of {} deaths rerouted{})",
+                ttr[ttr.len() / 2],
+                ttr[ttr.len() - 1],
+                ttr.len(),
+                report.link_down_events,
+                if report.reroute_unresolved > 0 {
+                    "; the rest saw no alternative-arc demand"
+                } else {
+                    ""
+                }
+            );
+        } else if report.link_down_events > 0 {
+            println!(
+                "  time to reroute   : unresolved for all {} deaths (no packet ever took an \
+                 alternative out-link of an affected node)",
+                report.link_down_events
+            );
+        }
+        if report.stranded_reinjected > 0 || report.dropped_stranded > 0 {
+            println!(
+                "  stranded packets  : {} reinjected, {} dropped",
+                report.stranded_reinjected, report.dropped_stranded
+            );
+        }
+        if report.table_runs_total > 0 {
+            let worst = report
+                .repair_runs_patched
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(0);
+            println!(
+                "  online repair     : {} events, {} next-hop rows rewritten, worst event \
+                 touched {} of {} table runs (a full rebuild rewrites all of them)",
+                report.repair_runs_patched.len(),
+                report.repair_rows_patched,
+                worst,
+                report.table_runs_total
+            );
+        }
     }
     if let Some(stats) = &report.class_stats {
         let show = |label: &str, class: &otis_optics::ClassStats| {

@@ -1,0 +1,238 @@
+//! Online-repairable routing: the [`Router`] that tracks a fabric
+//! whose links die and revive *mid-run*.
+//!
+//! Static tables ([`crate::RoutingTable`]) answer for the fabric they
+//! were built over; when a free-space link fades to nothing the table
+//! keeps steering packets into it until someone rebuilds — an `O(n·m)`
+//! stall per event. [`DynamicRoutingTable`] instead wraps the
+//! incrementally repairable table
+//! ([`otis_digraph::repair::RepairableNextHopTable`]): a link event
+//! patches only the per-source run rows whose min-first-hop actually
+//! changed, and every routing query between events reads the patched
+//! rows lock-cheaply.
+//!
+//! The engine-facing half is [`RouteRepair`]: a queueing engine with a
+//! link-dynamics timeline asks its router for this capability
+//! ([`Router::as_repair`]) and, when present, feeds each death/revival
+//! through [`RouteRepair::apply_link_event`] on the sequential slot of
+//! its cycle loop — workers are parked at a phase barrier, so the
+//! write lock is uncontended in practice.
+
+use crate::router::{rank_candidates, RankedCandidates, Router};
+use otis_digraph::repair::{RepairStats, RepairableNextHopTable};
+use otis_digraph::{Digraph, INFINITY};
+use std::sync::RwLock;
+
+/// The online-repair capability a dynamics-driving engine consumes.
+///
+/// Implementations patch their routing state so that, after the call
+/// returns, every query answers for the new survivor fabric. Calls
+/// happen on the engine's sequential slot (no routing queries in
+/// flight), once per link transition across zero capacity.
+pub trait RouteRepair: Sync {
+    /// The link `from → to` died (`alive = false`) or revived
+    /// (`alive = true`); repair and return what the repair cost.
+    /// A no-op transition (unknown link, already in that state) costs
+    /// [`RepairStats::default`].
+    fn apply_link_event(&self, from: u64, to: u64, alive: bool) -> RepairStats;
+
+    /// Total runs currently stored — the denominator a report quotes
+    /// repair costs against (a full rebuild rewrites all of them).
+    fn repair_table_runs(&self) -> usize;
+}
+
+/// A [`Router`] over an incrementally repairable next-hop table.
+///
+/// Behaves exactly like the compressed [`crate::RoutingTable`] while
+/// every arc is alive (same canonical minimum-first-hop answers); as
+/// links die and revive it repairs in place and keeps answering for
+/// the survivor fabric. [`Router::ranked_candidates`] enumerates only
+/// *live* out-arcs, so an [`crate::AdaptiveRouter`] wrapped around
+/// this never deroutes onto a dead beam.
+///
+/// Reports `hops_are_stateless() = true` even though answers change
+/// at repair events: the contract engines rely on is stability
+/// *between* events, and a dynamics-driving engine re-validates any
+/// cached hop whose target arc has since died (that is the engine's
+/// side of the bargain — see the dead-target requery in the queueing
+/// engine's drain phase).
+pub struct DynamicRoutingTable {
+    inner: RwLock<RepairableNextHopTable>,
+    label: String,
+}
+
+impl DynamicRoutingTable {
+    /// Build over `g` with every arc alive.
+    pub fn new(g: &Digraph) -> Self {
+        Self::with_label(g, format!("{} nodes", g.node_count()))
+    }
+
+    /// As [`DynamicRoutingTable::new`] with a fabric label for
+    /// [`Router::name`].
+    pub fn with_label(g: &Digraph, label: impl Into<String>) -> Self {
+        DynamicRoutingTable {
+            inner: RwLock::new(RepairableNextHopTable::new(g)),
+            label: label.into(),
+        }
+    }
+
+    /// Build with a set of arcs (arc indices of `g`) already down.
+    pub fn with_dead_arcs(g: &Digraph, dead: &[usize], label: impl Into<String>) -> Self {
+        DynamicRoutingTable {
+            inner: RwLock::new(RepairableNextHopTable::with_dead_arcs(g, dead)),
+            label: label.into(),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, RepairableNextHopTable> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The current rows as a static compressed table — the
+    /// differential hook (byte-identical to a from-scratch build of
+    /// the survivor digraph).
+    pub fn snapshot(&self) -> otis_digraph::compressed::CompressedNextHopTable {
+        self.read().snapshot()
+    }
+
+    /// Arcs currently down.
+    pub fn dead_arc_count(&self) -> usize {
+        self.read().dead_arc_count()
+    }
+}
+
+impl Router for DynamicRoutingTable {
+    fn node_count(&self) -> u64 {
+        self.read().node_count() as u64
+    }
+
+    fn name(&self) -> String {
+        format!("dynamic-table({})", self.label)
+    }
+
+    fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        let table = self.read();
+        let n = table.node_count() as u64;
+        if current >= n || dst >= n {
+            return None;
+        }
+        table.next_hop(current as u32, dst as u32).map(u64::from)
+    }
+
+    fn ranked_candidates(&self, current: u64, dst: u64) -> RankedCandidates {
+        let table = self.read();
+        let n = table.node_count() as u64;
+        if current >= n || dst >= n || current == dst {
+            return RankedCandidates::new();
+        }
+        rank_candidates(
+            current,
+            table.live_out_arcs(current as u32).map(|(_, v)| v as u64),
+            |v| {
+                let dist = table.distance(v as u32, dst as u32);
+                (dist != INFINITY).then_some(dist as u64)
+            },
+        )
+    }
+
+    fn distance(&self, src: u64, dst: u64) -> Option<u64> {
+        let table = self.read();
+        let n = table.node_count() as u64;
+        if src >= n || dst >= n {
+            return None;
+        }
+        let dist = table.distance(src as u32, dst as u32);
+        (dist != INFINITY).then_some(dist as u64)
+    }
+
+    fn as_repair(&self) -> Option<&dyn RouteRepair> {
+        Some(self)
+    }
+}
+
+impl RouteRepair for DynamicRoutingTable {
+    fn apply_link_event(&self, from: u64, to: u64, alive: bool) -> RepairStats {
+        let mut table = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let n = table.node_count() as u64;
+        if from >= n || to >= n {
+            return RepairStats::default();
+        }
+        table
+            .set_link_alive(from as u32, to as u32, alive)
+            .unwrap_or_default()
+    }
+
+    fn repair_table_runs(&self) -> usize {
+        self.read().run_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeBruijn, DigraphFamily, RoutingTable};
+
+    #[test]
+    fn matches_static_table_while_all_links_live() {
+        let b = DeBruijn::new(2, 5);
+        let g = b.digraph();
+        let dynamic = DynamicRoutingTable::new(&g);
+        let static_table = RoutingTable::new(&g);
+        let n = g.node_count() as u64;
+        for src in 0..n {
+            for dst in 0..n {
+                assert_eq!(dynamic.next_hop(src, dst), static_table.next_hop(src, dst));
+                assert_eq!(dynamic.distance(src, dst), static_table.distance(src, dst));
+                assert_eq!(
+                    dynamic.ranked_candidates(src, dst).as_slice(),
+                    static_table.ranked_candidates(src, dst).as_slice(),
+                    "{src}->{dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repair_reroutes_and_candidates_skip_dead_arcs() {
+        let b = DeBruijn::new(2, 4);
+        let g = b.digraph();
+        let dynamic = DynamicRoutingTable::new(&g);
+        // Node 1's out-neighbors in B(2,4) are 2 and 3. Kill 1 → 2.
+        let before = dynamic.ranked_candidates(1, 2);
+        assert!(before.iter().any(|&(_, v)| v == 2));
+        let cost = dynamic.apply_link_event(1, 2, false);
+        assert!(cost.rows_patched > 0);
+        assert!(cost.runs_patched < dynamic.repair_table_runs());
+        assert!(dynamic.ranked_candidates(1, 2).iter().all(|&(_, v)| v != 2));
+        assert_ne!(
+            dynamic.next_hop(1, 2),
+            Some(2),
+            "hop repaired off the dead beam"
+        );
+        // The engine's discovery hook finds the capability.
+        assert!(dynamic.as_repair().is_some());
+        assert!(RoutingTable::new(&g).as_repair().is_none());
+        // Revive restores the original answers.
+        dynamic.apply_link_event(1, 2, true);
+        assert_eq!(dynamic.next_hop(1, 2), Some(2));
+        assert_eq!(dynamic.dead_arc_count(), 0);
+        // Unknown links are a costless no-op.
+        assert_eq!(
+            dynamic.apply_link_event(1, 9, false),
+            RepairStats::default()
+        );
+    }
+
+    #[test]
+    fn adaptive_wrapper_delegates_repair() {
+        let g = DeBruijn::new(2, 4).digraph();
+        let adaptive =
+            crate::AdaptiveRouter::new(DynamicRoutingTable::new(&g), crate::NoCongestion);
+        let repair = adaptive.as_repair().expect("delegated through the wrap");
+        assert!(repair.apply_link_event(1, 2, false).rows_patched > 0);
+        assert!(adaptive
+            .ranked_candidates(1, 2)
+            .iter()
+            .all(|&(_, v)| v != 2));
+    }
+}

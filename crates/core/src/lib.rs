@@ -47,6 +47,7 @@
 
 pub mod components;
 pub mod conjunction;
+pub mod dynamic;
 pub mod enumerate;
 pub mod families;
 mod family;
@@ -57,6 +58,7 @@ pub mod router;
 pub mod routing;
 pub mod sequences;
 
+pub use dynamic::{DynamicRoutingTable, RouteRepair};
 pub use families::{AlphabetDigraph, BSigma, DeBruijn, ImaseItoh, Kautz, PositionalSigma, Rrk};
 pub use family::DigraphFamily;
 pub use router::{

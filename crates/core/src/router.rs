@@ -148,13 +148,25 @@ pub trait Router: Sync {
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {
         self.route(src, dst).map(|path| path.len() as u64 - 1)
     }
+
+    /// The router's online-repair capability, if it has one: a
+    /// dynamics-driving engine calls this once per link death/revival
+    /// and, when `Some`, routes the event into
+    /// [`crate::dynamic::RouteRepair::apply_link_event`] so the
+    /// router's tables track the survivor fabric mid-run. Oblivious
+    /// and arithmetic routers keep the default `None` (their answers
+    /// never depend on liveness); wrappers delegate to their inner
+    /// router so `adaptive(dynamic-table)` repairs through the wrap.
+    fn as_repair(&self) -> Option<&dyn crate::dynamic::RouteRepair> {
+        None
+    }
 }
 
 /// Rank a node's out-neighbors into a [`RankedCandidates`] list: drop
 /// self-loops, duplicates and dead ends (`distance` = `None`), then
 /// stable-sort ascending by remaining distance so the shortest-path
 /// hop comes first and ties keep the fabric's neighbor order.
-fn rank_candidates(
+pub(crate) fn rank_candidates(
     current: u64,
     neighbors: impl Iterator<Item = u64>,
     distance_to_dst: impl Fn(u64) -> Option<u64>,
@@ -1023,6 +1035,13 @@ impl<R: Router, C: CongestionMap> Router for AdaptiveRouter<R, C> {
         // answer differently as queues shift, so engines must not
         // cache.
         false
+    }
+
+    fn as_repair(&self) -> Option<&dyn crate::dynamic::RouteRepair> {
+        // Adaptivity composes with online repair: the wrapped router
+        // (a DynamicRoutingTable, say) keeps its tables current while
+        // this layer steers by congestion.
+        self.inner.as_repair()
     }
 }
 

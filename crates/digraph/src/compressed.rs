@@ -51,7 +51,11 @@ pub struct NextHopRun {
 /// Answers the same queries as the dense [`crate::bfs::NextHopTable`]
 /// — and, by construction, with the same canonical hops — in
 /// `O(log runs(u))` per lookup and `O(total runs)` memory.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the stored slabs byte-for-byte, which is how
+/// the incremental-repair battery ([`crate::repair`]) pins a patched
+/// table against a from-scratch rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompressedNextHopTable {
     n: usize,
     /// `offsets[u]..offsets[u + 1]` indexes the run arrays for source `u`.
@@ -206,15 +210,17 @@ impl CompressedNextHopTable {
     }
 }
 
-/// Reused per-worker buffers for the per-source BFS.
-struct BfsScratch {
+/// Reused per-worker buffers for the per-source BFS. Shared with the
+/// incremental-repair module, which re-runs the same BFS under an
+/// arc-liveness mask.
+pub(crate) struct BfsScratch {
     dist: Vec<u32>,
     first: Vec<u32>,
     queue: std::collections::VecDeque<u32>,
 }
 
 impl BfsScratch {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         BfsScratch {
             dist: vec![INFINITY; n],
             first: vec![INFINITY; n],
@@ -232,6 +238,22 @@ impl BfsScratch {
 /// final before the node is popped: all its shortest-path parents sit
 /// one BFS layer earlier.
 fn source_runs(g: &Digraph, u: u32, scratch: &mut BfsScratch) -> Vec<NextHopRun> {
+    source_runs_masked(g, u, None, scratch)
+}
+
+/// As [`source_runs`], but arcs whose index maps to `false` in `alive`
+/// are skipped — the BFS of the survivor subgraph, computed without
+/// materializing it. With `alive = None` (or an all-`true` mask) this
+/// is exactly [`source_runs`]: the traversal visits arcs in the same
+/// CSR order, so the produced runs are identical, which is what lets
+/// [`crate::repair`] pin its patched rows against a from-scratch build
+/// of the masked digraph byte-for-byte.
+pub(crate) fn source_runs_masked(
+    g: &Digraph,
+    u: u32,
+    alive: Option<&[bool]>,
+    scratch: &mut BfsScratch,
+) -> Vec<NextHopRun> {
     let n = g.node_count();
     let BfsScratch { dist, first, queue } = scratch;
     dist.fill(INFINITY);
@@ -241,7 +263,11 @@ fn source_runs(g: &Digraph, u: u32, scratch: &mut BfsScratch) -> Vec<NextHopRun>
     queue.push_back(u);
     while let Some(p) = queue.pop_front() {
         let dp = dist[p as usize];
-        for &w in g.out_neighbors(p) {
+        for arc in g.arc_range(p) {
+            if alive.is_some_and(|alive| !alive[arc]) {
+                continue;
+            }
+            let w = g.arc_target(arc);
             let via = if p == u { w } else { first[p as usize] };
             if dist[w as usize] == INFINITY {
                 dist[w as usize] = dp + 1;

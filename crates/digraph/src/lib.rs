@@ -41,6 +41,7 @@ mod graph;
 pub mod invariants;
 pub mod iso;
 pub mod ops;
+pub mod repair;
 mod unionfind;
 
 pub use graph::{Digraph, DigraphBuilder};

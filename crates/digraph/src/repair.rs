@@ -1,0 +1,433 @@
+//! Incrementally repairable all-pairs next-hop tables.
+//!
+//! The interval-compressed table ([`crate::compressed`]) is built by
+//! one min-first-hop BFS per source — cheap enough to do once, far too
+//! expensive to redo every time a live fabric loses or regains a
+//! single link. This module keeps the *same rows* (per-source run
+//! lists with the same canonical minimum-first-hop choice) but makes
+//! them **patchable**: when one arc dies or revives, only the sources
+//! whose rows can actually have changed are recomputed, found by a
+//! reverse-BFS frontier walk from the arc's tail.
+//!
+//! Why the frontier is sufficient: a source `u`'s row — the functions
+//! `dist(u, ·)` and `first(u, ·)` — depends only on `u`'s own alive
+//! out-arcs and on the *distance* rows of its out-neighbors
+//! (`first(u, dst)` is the minimum out-neighbor `w` with
+//! `dist(w, dst) = dist(u, dst) − 1`). So after an arc `a → b`
+//! flips, the affected set is exactly: `a` itself, plus — transitively
+//! — every in-neighbor of a node whose distance row changed. Each
+//! recomputed row is ground truth (a full masked BFS from that
+//! source, not an incremental fix-up), so every node needs recomputing
+//! at most once per event regardless of pop order, and the walk stops
+//! the moment distances stop changing. On a single-link event in a
+//! `d`-regular fabric that is typically a thin cone behind the dead
+//! link — a few percent of sources — while a full rebuild pays all
+//! `n` BFS runs every time.
+//!
+//! [`RepairableNextHopTable::snapshot`] re-exports the current rows as
+//! an ordinary [`CompressedNextHopTable`]; the differential battery in
+//! this module's tests (and the proptest battery in `otis-optics`)
+//! pins that snapshot byte-identical to a from-scratch build of the
+//! survivor digraph across kill/revive sequences.
+
+use std::collections::VecDeque;
+
+use crate::compressed::{source_runs_masked, BfsScratch, CompressedNextHopTable, NextHopRun};
+use crate::{Digraph, INFINITY};
+
+/// What one repair event cost, in units of work the full rebuild would
+/// have paid for **every** source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Sources whose rows were recomputed (the frontier the reverse
+    /// walk visited). A full rebuild recomputes `n`.
+    pub rows_recomputed: usize,
+    /// Recomputed rows that actually differed and were patched in.
+    pub rows_patched: usize,
+    /// Runs rewritten across all patched rows. A full rebuild rewrites
+    /// [`RepairableNextHopTable::run_count`] runs.
+    pub runs_patched: usize,
+}
+
+impl RepairStats {
+    /// Accumulate another event's cost (the queueing engine sums the
+    /// costs of a whole dynamics timeline this way).
+    pub fn absorb(&mut self, other: RepairStats) {
+        self.rows_recomputed += other.rows_recomputed;
+        self.rows_patched += other.rows_patched;
+        self.runs_patched += other.runs_patched;
+    }
+}
+
+/// An all-pairs min-first-hop table over a fabric whose arcs can die
+/// and revive one at a time, each transition repaired in place.
+pub struct RepairableNextHopTable {
+    g: Digraph,
+    /// Per-arc liveness (arc order of `g`).
+    alive: Vec<bool>,
+    /// Current run rows, one per source — always equal to what
+    /// [`CompressedNextHopTable::try_build`] of the survivor digraph
+    /// would produce.
+    rows: Vec<Vec<NextHopRun>>,
+    /// Reverse CSR of the **full** fabric (in-neighbor lists): the
+    /// repair frontier walks in-arcs of the full graph, a conservative
+    /// superset of the survivor graph's (visiting an unaffected source
+    /// recomputes an identical row — wasted work, never a wrong one).
+    rev_offsets: Vec<usize>,
+    rev_sources: Vec<u32>,
+    scratch: BfsScratch,
+}
+
+impl RepairableNextHopTable {
+    /// Build over `g` with every arc alive.
+    pub fn new(g: &Digraph) -> Self {
+        Self::with_dead_arcs(g, &[])
+    }
+
+    /// Build over `g` with the arcs in `dead` (arc indices) already
+    /// down — the "resume from a static fault set" constructor.
+    pub fn with_dead_arcs(g: &Digraph, dead: &[usize]) -> Self {
+        let n = g.node_count();
+        assert!(
+            n <= CompressedNextHopTable::MAX_NODES,
+            "{n} nodes exceed the repairable table cap {}",
+            CompressedNextHopTable::MAX_NODES
+        );
+        let mut alive = vec![true; g.arc_count()];
+        for &arc in dead {
+            alive[arc] = false;
+        }
+        // Rows of the masked graph, sharded like the compressed build.
+        const CHUNK: usize = 8;
+        let rows: Vec<Vec<NextHopRun>> = {
+            let alive = &alive;
+            otis_util::par_map(n.div_ceil(CHUNK), 1, |chunk_index| {
+                let start = chunk_index * CHUNK;
+                let end = ((chunk_index + 1) * CHUNK).min(n);
+                let mut scratch = BfsScratch::new(n);
+                (start..end)
+                    .map(|u| source_runs_masked(g, u as u32, Some(alive), &mut scratch))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        // Reverse CSR by counting sort over arc targets.
+        let mut rev_offsets = vec![0usize; n + 1];
+        for arc in 0..g.arc_count() {
+            rev_offsets[g.arc_target(arc) as usize + 1] += 1;
+        }
+        for v in 0..n {
+            rev_offsets[v + 1] += rev_offsets[v];
+        }
+        let mut rev_sources = vec![0u32; g.arc_count()];
+        let mut cursor = rev_offsets.clone();
+        for u in 0..n as u32 {
+            for arc in g.arc_range(u) {
+                let v = g.arc_target(arc) as usize;
+                rev_sources[cursor[v]] = u;
+                cursor[v] += 1;
+            }
+        }
+        RepairableNextHopTable {
+            g: g.clone(),
+            alive,
+            rows,
+            rev_offsets,
+            rev_sources,
+            scratch: BfsScratch::new(n),
+        }
+    }
+
+    /// The full fabric the table routes over (dead arcs included).
+    pub fn digraph(&self) -> &Digraph {
+        &self.g
+    }
+
+    /// Is the `arc`-th arc currently alive?
+    #[inline]
+    pub fn arc_alive(&self, arc: usize) -> bool {
+        self.alive[arc]
+    }
+
+    /// Arcs currently down.
+    pub fn dead_arc_count(&self) -> usize {
+        self.alive.iter().filter(|&&alive| !alive).count()
+    }
+
+    /// Total runs currently stored — what a full rebuild would rewrite.
+    pub fn run_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The run covering `(u, dst)` in the current rows.
+    #[inline]
+    fn run_of(&self, u: u32, dst: u32) -> &NextHopRun {
+        let row = &self.rows[u as usize];
+        assert!(
+            (dst as usize) < self.rows.len(),
+            "destination {dst} outside the table's 0..{}",
+            self.rows.len()
+        );
+        &row[row.partition_point(|run| run.start <= dst) - 1]
+    }
+
+    /// Next hop from `u` toward `dst` over the survivor graph: `None`
+    /// if `u == dst` or `dst` is unreachable. Same canonical choice as
+    /// the static tables (minimum first hop over all shortest paths).
+    #[inline]
+    pub fn next_hop(&self, u: u32, dst: u32) -> Option<u32> {
+        let hop = self.run_of(u, dst).hop;
+        (hop != INFINITY).then_some(hop)
+    }
+
+    /// Shortest survivor-graph distance `u → dst` ([`INFINITY`] if
+    /// unreachable).
+    #[inline]
+    pub fn distance(&self, u: u32, dst: u32) -> u32 {
+        self.run_of(u, dst).dist
+    }
+
+    /// The alive out-arcs of `u`, as `(arc, target)` pairs in CSR
+    /// order — the candidate set a dynamics-aware router ranks.
+    pub fn live_out_arcs(&self, u: u32) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.g
+            .arc_range(u)
+            .filter(|&arc| self.alive[arc])
+            .map(|arc| (arc, self.g.arc_target(arc)))
+    }
+
+    /// Kill (`alive = false`) or revive (`alive = true`) one arc and
+    /// repair every affected row. Returns what the repair cost; a
+    /// no-op transition (already in the requested state) costs
+    /// nothing.
+    pub fn set_arc_alive(&mut self, arc: usize, alive: bool) -> RepairStats {
+        if self.alive[arc] == alive {
+            return RepairStats::default();
+        }
+        self.alive[arc] = alive;
+        let mut stats = RepairStats::default();
+        let n = self.rows.len();
+        // Reverse-BFS frontier from the arc's tail: the only source
+        // whose row depends *directly* on the flipped arc. In-neighbors
+        // are enqueued exactly when a recomputed row changes some
+        // distance (module docs give the dependency argument); each
+        // recompute is ground truth, so one visit per source suffices.
+        let mut queued = vec![false; n];
+        let mut frontier = VecDeque::new();
+        let seed = self.g.arc_source(arc);
+        queued[seed as usize] = true;
+        frontier.push_back(seed);
+        while let Some(u) = frontier.pop_front() {
+            let fresh = source_runs_masked(&self.g, u, Some(&self.alive), &mut self.scratch);
+            stats.rows_recomputed += 1;
+            let old = &self.rows[u as usize];
+            if *old == fresh {
+                continue;
+            }
+            let dist_changed = dist_functions_differ(old, &fresh, n as u32);
+            stats.rows_patched += 1;
+            stats.runs_patched += fresh.len();
+            self.rows[u as usize] = fresh;
+            if dist_changed {
+                for i in self.rev_offsets[u as usize]..self.rev_offsets[u as usize + 1] {
+                    let p = self.rev_sources[i];
+                    if !queued[p as usize] {
+                        queued[p as usize] = true;
+                        frontier.push_back(p);
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Kill/revive by endpoints (first arc `from → to` in arc order);
+    /// `None` if the fabric has no such arc.
+    pub fn set_link_alive(&mut self, from: u32, to: u32, alive: bool) -> Option<RepairStats> {
+        let arc = self.g.arc_between(from, to)?;
+        Some(self.set_arc_alive(arc, alive))
+    }
+
+    /// The current rows as an ordinary [`CompressedNextHopTable`] —
+    /// byte-identical (`PartialEq`) to `try_build` of the survivor
+    /// digraph, which is how the differential battery pins repair
+    /// against rebuild.
+    pub fn snapshot(&self) -> CompressedNextHopTable {
+        CompressedNextHopTable::from_rows(self.rows.len(), self.rows.iter().cloned())
+    }
+
+    /// Materialize the survivor digraph (alive arcs only, same node
+    /// ids) — the rebuild side of the differential battery.
+    pub fn survivor_digraph(&self) -> Digraph {
+        Digraph::from_fn(self.rows.len(), |u| {
+            self.g
+                .arc_range(u)
+                .filter(|&arc| self.alive[arc])
+                .map(|arc| self.g.arc_target(arc))
+                .collect::<Vec<_>>()
+        })
+    }
+}
+
+/// Do two canonical run rows encode different *distance* functions?
+/// (They can differ while distances agree — a hop change alone — and
+/// only distance changes propagate to in-neighbors.) Two-pointer walk
+/// over the run boundaries.
+fn dist_functions_differ(a: &[NextHopRun], b: &[NextHopRun], n: u32) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut at = 0u32;
+    while at < n {
+        while i + 1 < a.len() && a[i + 1].start <= at {
+            i += 1;
+        }
+        while j + 1 < b.len() && b[j + 1].start <= at {
+            j += 1;
+        }
+        if a[i].dist != b[j].dist {
+            return true;
+        }
+        // Jump to the next boundary of either row.
+        let next_a = a.get(i + 1).map_or(n, |run| run.start);
+        let next_b = b.get(j + 1).map_or(n, |run| run.start);
+        at = next_a.min(next_b);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn debruijn(d: u32, dim: u32) -> Digraph {
+        let n = d.pow(dim);
+        Digraph::from_fn(n as usize, |u| (0..d).map(move |k| (d * u + k) % n))
+    }
+
+    fn kautz_like() -> Digraph {
+        // Cycle plus multiplicative chords: irregular, loops-free,
+        // strongly connected — a good adversarial shape for repair.
+        let n = 37u32;
+        Digraph::from_fn(n as usize, |u| vec![(u + 1) % n, (u * 5 + 2) % n])
+    }
+
+    fn assert_matches_rebuild(table: &RepairableNextHopTable) {
+        let rebuilt =
+            CompressedNextHopTable::try_build(&table.survivor_digraph()).expect("under the cap");
+        assert_eq!(
+            table.snapshot(),
+            rebuilt,
+            "patched table diverged from a from-scratch rebuild"
+        );
+    }
+
+    #[test]
+    fn fresh_table_matches_compressed_build() {
+        for g in [debruijn(2, 6), kautz_like()] {
+            let table = RepairableNextHopTable::new(&g);
+            assert_eq!(table.snapshot(), CompressedNextHopTable::build(&g));
+            assert_eq!(
+                table.run_count(),
+                CompressedNextHopTable::build(&g).run_count()
+            );
+        }
+    }
+
+    #[test]
+    fn single_kill_patches_fewer_runs_than_rebuild() {
+        let g = debruijn(2, 8);
+        let mut table = RepairableNextHopTable::new(&g);
+        let total_runs = table.run_count();
+        let stats = table.set_arc_alive(11, false);
+        assert!(stats.rows_patched > 0, "killing a used arc must patch");
+        assert!(
+            stats.runs_patched < total_runs,
+            "single-link repair ({} runs) must beat the full rebuild ({total_runs} runs)",
+            stats.runs_patched
+        );
+        assert!(stats.rows_recomputed < g.node_count());
+        assert_matches_rebuild(&table);
+        // Revive restores the original table exactly, and the restored
+        // repair is also cheaper than a rebuild.
+        let back = table.set_arc_alive(11, true);
+        assert!(back.runs_patched < total_runs);
+        assert_eq!(table.snapshot(), CompressedNextHopTable::build(&g));
+    }
+
+    #[test]
+    fn kill_revive_battery_stays_byte_identical() {
+        for g in [debruijn(2, 6), debruijn(3, 4), kautz_like()] {
+            let mut table = RepairableNextHopTable::new(&g);
+            // A deterministic pseudo-random kill/revive walk: flip arcs
+            // in a scrambled order, verifying against a full rebuild of
+            // the survivor graph after every transition.
+            let m = g.arc_count();
+            let mut state = 0x9E37_79B9u64;
+            for _ in 0..24usize {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let arc = (state >> 33) as usize % m;
+                table.set_arc_alive(arc, !table.arc_alive(arc));
+                assert_matches_rebuild(&table);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_arcs_unroute_and_revive_reroutes() {
+        // A 4-cycle: killing 1→2 makes everything downstream of 1
+        // unreachable from 0 and 1.
+        let g = Digraph::from_fn(4, |u| [(u + 1) % 4]);
+        let mut table = RepairableNextHopTable::new(&g);
+        assert_eq!(table.next_hop(0, 3), Some(1));
+        let arc = g.arc_between(1, 2).unwrap();
+        table.set_arc_alive(arc, false);
+        assert_eq!(table.next_hop(0, 3), None);
+        assert_eq!(table.distance(0, 3), INFINITY);
+        assert_eq!(
+            table.next_hop(0, 1),
+            Some(1),
+            "the live prefix still routes"
+        );
+        assert_eq!(table.dead_arc_count(), 1);
+        assert_eq!(
+            table.live_out_arcs(1).count(),
+            0,
+            "node 1's only out-arc is down"
+        );
+        table.set_link_alive(1, 2, true).unwrap();
+        assert_eq!(table.next_hop(0, 3), Some(1));
+        assert_eq!(table.distance(0, 3), 3);
+        assert_matches_rebuild(&table);
+    }
+
+    #[test]
+    fn with_dead_arcs_equals_kill_sequence() {
+        let g = debruijn(2, 6);
+        let dead = [3usize, 17, 40];
+        let preloaded = RepairableNextHopTable::with_dead_arcs(&g, &dead);
+        let mut incremental = RepairableNextHopTable::new(&g);
+        for &arc in &dead {
+            incremental.set_arc_alive(arc, false);
+        }
+        assert_eq!(preloaded.snapshot(), incremental.snapshot());
+    }
+
+    #[test]
+    fn noop_transitions_cost_nothing() {
+        let g = debruijn(2, 5);
+        let mut table = RepairableNextHopTable::new(&g);
+        assert_eq!(table.set_arc_alive(5, true), RepairStats::default());
+        table.set_arc_alive(5, false);
+        assert_eq!(table.set_arc_alive(5, false), RepairStats::default());
+        assert!(table.set_link_alive(0, 63, false).is_none(), "no such arc");
+    }
+}

@@ -12,7 +12,7 @@
 //! shape rather than per-permutation simulation.
 //!
 //! The pass is fully offline: a hand-rolled lexer ([`lexer`]) strips
-//! comments, strings and char literals so the four token-level rules
+//! comments, strings and char literals so the six token-level rules
 //! ([`rules`]) cannot be fooled by prose, then each violation is
 //! matched against a committed allowlist under `crates/lint/allow/`
 //! — so every new violation, and every *removed* one, forces an

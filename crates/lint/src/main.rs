@@ -13,9 +13,10 @@ otis-lint: repo-invariant static analysis for the otis workspace
 USAGE:
     otis-lint --check [--root PATH]
 
-    --check        run all four rule passes (unsafe-audit,
-                   atomic-ordering, determinism, panic-hygiene) and
-                   exit non-zero if any invariant is violated
+    --check        run all six rule passes (unsafe-audit,
+                   atomic-ordering, determinism, panic-hygiene,
+                   barrier-naming, report-audit) and exit non-zero
+                   if any invariant is violated
     --root PATH    lint the workspace at PATH instead of discovering
                    it upward from the current directory
 ";
@@ -77,7 +78,7 @@ fn main() -> ExitCode {
     match run_check(&root) {
         Ok(diags) if diags.is_empty() => {
             println!(
-                "otis-lint: clean — all four invariant passes hold at {}",
+                "otis-lint: clean — all six invariant passes hold at {}",
                 root.display()
             );
             ExitCode::SUCCESS

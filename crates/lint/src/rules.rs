@@ -1,4 +1,4 @@
-//! The four rule passes of `otis-lint`.
+//! The six rule passes of `otis-lint`.
 //!
 //! Every rule enforces a *repo invariant* that the runtime test suite
 //! cannot: the properties below are preserved by construction only if
@@ -22,6 +22,17 @@
 //!    is budgeted per file (`allow/unwrap_budget.txt`) with an exact
 //!    ratchet: the count can only go down, and lowering it requires
 //!    updating the budget in the same diff.
+//! 5. **barrier-naming** — every barrier `wait()` in shipping code
+//!    sits under an `// ORDERING:` comment that *names* the barrier
+//!    on the `ORDERING:` line itself (the phase edge it implements),
+//!    so the engine's barrier choreography stays reviewable at each
+//!    site.
+//! 6. **report-audit** — every countable field of the queueing
+//!    report (`usize` / `u64` / `Vec<u64>`) either appears in one of
+//!    the conservation assertions (`dropped`, `conserves_packets`,
+//!    `dynamics_consistent`) or is explicitly exempted here as a
+//!    measurement — a new counter cannot land outside the
+//!    conservation law without a reviewed linter diff.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -126,7 +137,7 @@ struct Prepared<'a> {
     lex: LexedFile,
 }
 
-/// Run all four rule passes over `files` against `allow`. Returns
+/// Run all six rule passes over `files` against `allow`. Returns
 /// diagnostics sorted by (path, line, rule).
 pub fn lint_files(files: &[SourceFile], allow: &Allowlists) -> Vec<Diagnostic> {
     let prepared: Vec<Prepared<'_>> = files
@@ -142,6 +153,8 @@ pub fn lint_files(files: &[SourceFile], allow: &Allowlists) -> Vec<Diagnostic> {
     atomic_ordering(&prepared, allow, &mut diags);
     determinism(&prepared, allow, &mut diags);
     panic_hygiene(&prepared, allow, &mut diags);
+    barrier_naming(&prepared, &mut diags);
+    report_audit(&prepared, &mut diags);
     diags.sort();
     diags
 }
@@ -354,19 +367,20 @@ fn collect_ordering_sites(p: &Prepared<'_>) -> Vec<OrderingSite> {
     sites
 }
 
-/// The scope-coverage check: an `// ORDERING:` comment at brace depth
+/// The scope-coverage check: a justification comment at brace depth
 /// `d ≥ 1` covers every subsequent line until the depth drops below
 /// `d` (i.e. the enclosing block closes). Depth 0 comments are
 /// module prose, not a justification — they are ignored, so a single
-/// file-top banner cannot blanket-approve a whole file.
-fn ordering_covered_lines(p: &Prepared<'_>) -> Vec<bool> {
+/// file-top banner cannot blanket-approve a whole file. `is_mark`
+/// decides which comments count as justifications.
+fn justification_covered_lines(p: &Prepared<'_>, is_mark: impl Fn(&str) -> bool) -> Vec<bool> {
     let n = p.lex.code.len();
     let mut covered = vec![false; n];
     let mut marks: Vec<(usize, usize)> = p // (line idx, depth)
         .lex
         .comments
         .iter()
-        .filter(|c| c.text.contains("ORDERING:"))
+        .filter(|c| is_mark(&c.text))
         .map(|c| (c.line - 1, c.depth))
         .collect();
     marks.sort_unstable();
@@ -427,7 +441,7 @@ fn atomic_ordering(prepared: &[Prepared<'_>], allow: &Allowlists, diags: &mut Ve
         if sites.is_empty() {
             continue;
         }
-        let covered = ordering_covered_lines(p);
+        let covered = justification_covered_lines(p, |t| t.contains("ORDERING:"));
         for site in &sites {
             if !covered[site.idx] {
                 diags.push(Diagnostic {
@@ -685,6 +699,228 @@ fn panic_hygiene(prepared: &[Prepared<'_>], allow: &Allowlists, diags: &mut Vec<
                           stale line from crates/lint/allow/unwrap_budget.txt"
                     .to_string(),
             });
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Rule 5: barrier-naming
+// ---------------------------------------------------------------- //
+
+/// Is this code line a barrier `wait()` site? The receiver (or a
+/// binding on the same line) must mention a barrier by name — the
+/// engine's phase barriers are all called `barrier`.
+fn is_barrier_wait(code: &str) -> bool {
+    code.contains(".wait(") && code.to_ascii_lowercase().contains("barrier")
+}
+
+fn barrier_naming(prepared: &[Prepared<'_>], diags: &mut Vec<Diagnostic>) {
+    for p in prepared {
+        let rel = p.file.rel.as_str();
+        if is_test_path(rel) {
+            continue;
+        }
+        let mut covered: Option<Vec<bool>> = None;
+        for (idx, code) in p.lex.code.iter().enumerate() {
+            if p.lex.test_mask[idx] || !is_barrier_wait(code) {
+                continue;
+            }
+            let covered = covered.get_or_insert_with(|| {
+                justification_covered_lines(p, |t| {
+                    t.contains("ORDERING:") && t.to_ascii_lowercase().contains("barrier")
+                })
+            });
+            if !covered[idx] {
+                diags.push(Diagnostic {
+                    rel: rel.to_string(),
+                    line: idx + 1,
+                    rule: "barrier-naming",
+                    message: "barrier `wait()` without a covering `// ORDERING:` comment \
+                              naming the barrier (say which phase edge this wait \
+                              implements and what its synchronizes-with edge publishes)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Rule 6: report-audit
+// ---------------------------------------------------------------- //
+
+/// The report struct whose countable fields must be tied into a
+/// conservation assertion.
+const REPORT_STRUCT: &str = "QueueingReport";
+
+/// The assertion methods whose bodies count as "audited": a field
+/// referenced in any of them participates in a conservation law the
+/// test suite actually checks.
+const REPORT_AUDIT_FNS: &[&str] = &["dropped", "conserves_packets", "dynamics_consistent"];
+
+/// Countable fields that are *measurements*, not conservation terms
+/// (latency percentiles, per-link tallies, run metadata). Exempting a
+/// new counter here instead of wiring it into an assertion is an
+/// explicit, reviewable linter diff.
+const REPORT_AUDIT_EXEMPT: &[&str] = &[
+    "cycles",
+    "vcs",
+    "dateline_promotions",
+    "dateline_relief",
+    "source_stall_cycles",
+    "delivered_hops",
+    "wait_p50_cycles",
+    "wait_p99_cycles",
+    "wait_max_cycles",
+    "delivered_per_link",
+    "multicast_groups",
+    "replicated_copies",
+    "multicast_forwarding_index",
+];
+
+/// Field types the audit considers countable — the integer tallies a
+/// conservation law could (and should) bind.
+fn is_countable_type(ty: &str) -> bool {
+    matches!(ty, "usize" | "u64" | "Vec<u64>")
+}
+
+/// `(line idx, name, type)` of every field in the struct block that
+/// starts at code line `start`.
+fn collect_struct_fields(p: &Prepared<'_>, start: usize) -> Vec<(usize, String, String)> {
+    let mut fields = Vec::new();
+    let mut balance = 0i32;
+    let mut opened = false;
+    for (idx, code) in p.lex.code.iter().enumerate().skip(start) {
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    balance += 1;
+                    opened = true;
+                }
+                '}' => balance -= 1,
+                _ => {}
+            }
+        }
+        if opened && idx > start {
+            let t = code.trim();
+            if let Some(rest) = t.strip_prefix("pub ") {
+                if let Some((name, ty)) = rest.split_once(':') {
+                    fields.push((
+                        idx,
+                        name.trim().to_string(),
+                        ty.trim().trim_end_matches(',').to_string(),
+                    ));
+                }
+            }
+        }
+        if opened && balance <= 0 {
+            break;
+        }
+    }
+    fields
+}
+
+/// The code lines making up the bodies of the audit methods.
+fn report_audit_bodies<'a>(p: &'a Prepared<'_>) -> Vec<&'a str> {
+    let mut body_lines = Vec::new();
+    for fn_name in REPORT_AUDIT_FNS {
+        let probe = format!("fn {fn_name}(");
+        let Some(start) = p.lex.code.iter().position(|l| l.contains(&probe)) else {
+            continue;
+        };
+        let mut balance = 0i32;
+        let mut opened = false;
+        for code in p.lex.code.iter().skip(start) {
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        balance += 1;
+                        opened = true;
+                    }
+                    '}' => balance -= 1,
+                    _ => {}
+                }
+            }
+            body_lines.push(code.as_str());
+            if opened && balance <= 0 {
+                break;
+            }
+        }
+    }
+    body_lines
+}
+
+/// Is `name` referenced as `self.<name>` anywhere in `bodies`?
+fn field_audited(bodies: &[&str], name: &str) -> bool {
+    bodies.iter().any(|code| {
+        find_word(code, name).into_iter().any(|col| {
+            let before = code[..col].trim_end();
+            before.ends_with("self.")
+        })
+    })
+}
+
+fn report_audit(prepared: &[Prepared<'_>], diags: &mut Vec<Diagnostic>) {
+    for p in prepared {
+        let rel = p.file.rel.as_str();
+        if is_test_path(rel) {
+            continue;
+        }
+        let Some(start) = p
+            .lex
+            .code
+            .iter()
+            .position(|l| l.contains("struct") && !find_word(l, REPORT_STRUCT).is_empty())
+        else {
+            continue;
+        };
+        let fields = collect_struct_fields(p, start);
+        let bodies = report_audit_bodies(p);
+        for (idx, name, ty) in &fields {
+            if !is_countable_type(ty) {
+                continue;
+            }
+            let exempt = REPORT_AUDIT_EXEMPT.contains(&name.as_str());
+            let audited = field_audited(&bodies, name);
+            if !exempt && !audited {
+                diags.push(Diagnostic {
+                    rel: rel.to_string(),
+                    line: idx + 1,
+                    rule: "report-audit",
+                    message: format!(
+                        "countable report field `{name}` appears in no conservation \
+                         assertion ({}) — wire it into one, or exempt it as a \
+                         measurement in the linter's REPORT_AUDIT_EXEMPT",
+                        REPORT_AUDIT_FNS.join("/")
+                    ),
+                });
+            }
+            if exempt && audited {
+                diags.push(Diagnostic {
+                    rel: rel.to_string(),
+                    line: idx + 1,
+                    rule: "report-audit",
+                    message: format!(
+                        "report field `{name}` is exempted as a measurement but an \
+                         assertion now reads it — remove the stale \
+                         REPORT_AUDIT_EXEMPT entry"
+                    ),
+                });
+            }
+        }
+        // Exemptions must name real fields of the struct they excuse.
+        for exempt in REPORT_AUDIT_EXEMPT {
+            if !fields.iter().any(|(_, name, _)| name == exempt) {
+                diags.push(Diagnostic {
+                    rel: rel.to_string(),
+                    line: start + 1,
+                    rule: "report-audit",
+                    message: format!(
+                        "REPORT_AUDIT_EXEMPT names `{exempt}`, which is not a field \
+                         of {REPORT_STRUCT} — remove the stale exemption"
+                    ),
+                });
+            }
         }
     }
 }

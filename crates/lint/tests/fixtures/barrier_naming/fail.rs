@@ -1,0 +1,17 @@
+//! barrier-naming fail fixture: one wait is bare, one sits under an
+//! `// ORDERING:` line that never names the barrier, and a file-top
+//! banner must not blanket-approve either.
+
+// ORDERING: the everything barrier (depth-0 banner, ignored).
+
+use std::sync::Barrier;
+
+pub fn run_phases(barrier: &Barrier) {
+    barrier.wait();
+}
+
+pub fn run_more(barrier: &Barrier) {
+    // ORDERING: Relaxed — a justification about something else
+    // entirely; the wait below names no barrier.
+    barrier.wait();
+}

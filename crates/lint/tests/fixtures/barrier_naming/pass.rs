@@ -1,0 +1,13 @@
+//! barrier-naming pass fixture: every barrier wait is covered by an
+//! `// ORDERING:` comment that names the barrier on that line.
+
+use std::sync::Barrier;
+
+pub fn run_phases(barrier: &Barrier) {
+    // ORDERING: the inject→drain phase barrier — publishes the staged
+    // pushes to the drain workers.
+    barrier.wait();
+    // ORDERING: the drain→apply phase barrier — publishes committed
+    // pops to the sequential apply slot.
+    barrier.wait();
+}

@@ -1,4 +1,4 @@
-//! Fixture-driven tests for the four rule passes, the shrink-only
+//! Fixture-driven tests for the rule passes, the shrink-only
 //! allowlist ratchets, and the integration test that the repository
 //! itself lints clean.
 //!
@@ -345,6 +345,112 @@ fn panic_hygiene_budget_only_shrinks() {
 }
 
 // ------------------------------------------------------------------ //
+// Rule 5: barrier-naming
+// ------------------------------------------------------------------ //
+
+#[test]
+fn barrier_naming_passes_named_sites() {
+    let files = [sf(
+        "crates/demo/src/phases.rs",
+        include_str!("fixtures/barrier_naming/pass.rs"),
+    )];
+    assert_eq!(lint_files(&files, &Allowlists::default()), Vec::new());
+}
+
+#[test]
+fn barrier_naming_flags_anonymous_waits() {
+    let files = [sf(
+        "crates/demo/src/phases.rs",
+        include_str!("fixtures/barrier_naming/fail.rs"),
+    )];
+    let diags = lint_files(&files, &Allowlists::default());
+    assert_eq!(rules_of(&diags), ["barrier-naming", "barrier-naming"]);
+    // The bare wait, despite the depth-0 banner naming a barrier, and
+    // the wait whose ORDERING: line never says "barrier".
+    assert_eq!(diags[0].line, 10, "{diags:?}");
+    assert_eq!(diags[1].line, 16, "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.message.contains("naming the barrier")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn barrier_naming_skips_test_code() {
+    // Test harnesses synchronize without ceremony.
+    let files = [sf(
+        "crates/demo/tests/sync.rs",
+        "use std::sync::Barrier;\n\
+         pub fn rendezvous(b: &Barrier) { b.wait(); }\n",
+    )];
+    assert_eq!(lint_files(&files, &Allowlists::default()), Vec::new());
+}
+
+// ------------------------------------------------------------------ //
+// Rule 6: report-audit
+// ------------------------------------------------------------------ //
+
+#[test]
+fn report_audit_passes_wired_and_exempt_fields() {
+    let files = [sf(
+        "crates/demo/src/report.rs",
+        include_str!("fixtures/report_audit/pass.rs"),
+    )];
+    assert_eq!(lint_files(&files, &Allowlists::default()), Vec::new());
+}
+
+#[test]
+fn report_audit_flags_unaudited_counters_and_stale_exemptions() {
+    let files = [sf(
+        "crates/demo/src/report.rs",
+        include_str!("fixtures/report_audit/fail.rs"),
+    )];
+    let diags = lint_files(&files, &Allowlists::default());
+    assert_eq!(rules_of(&diags), ["report-audit", "report-audit"]);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`cycles`") && d.message.contains("stale")),
+        "exempt-but-audited field must be flagged: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`stranded_reinjected`")
+                && d.message.contains("no conservation assertion")),
+        "unaudited counter must be flagged: {diags:?}"
+    );
+}
+
+#[test]
+fn report_audit_exemptions_must_name_real_fields() {
+    // A struct that dropped its measurement fields invalidates every
+    // exemption naming them — the exempt list only shrinks with the
+    // struct, never pads above it.
+    let files = [sf(
+        "crates/demo/src/report.rs",
+        "pub struct QueueingReport {\n\
+             pub injected: usize,\n\
+         }\n\
+         impl QueueingReport {\n\
+             pub fn conserves_packets(&self) -> bool {\n\
+                 self.injected == 0\n\
+             }\n\
+         }\n",
+    )];
+    let diags = lint_files(&files, &Allowlists::default());
+    assert_eq!(diags.len(), 13, "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .all(|d| d.rule == "report-audit" && d.message.contains("not a field")),
+        "{diags:?}"
+    );
+}
+
+// ------------------------------------------------------------------ //
 // Diagnostics & integration
 // ------------------------------------------------------------------ //
 
@@ -363,7 +469,7 @@ fn diagnostics_render_as_path_line_rule() {
 }
 
 /// The linter's reason to exist: the repository itself upholds all
-/// four invariants against the committed allowlists. A regression in
+/// six invariants against the committed allowlists. A regression in
 /// any shipping file fails this test with a `file:line` finding.
 #[test]
 fn repo_lints_clean() {

@@ -11,8 +11,9 @@
 //! arc-disjoint-ish alternatives per hop).
 
 use crate::HDigraph;
-use otis_core::{AdaptiveRouter, Candidates, CongestionMap, DigraphFamily, Router, RoutingTable};
-use otis_digraph::{Digraph, DigraphBuilder};
+use otis_core::{AdaptiveRouter, CongestionMap, DigraphFamily, Router};
+use otis_digraph::repair::{RepairStats, RepairableNextHopTable};
+use otis_digraph::{Digraph, DigraphBuilder, INFINITY};
 use serde::{Deserialize, Serialize};
 
 /// A set of hardware faults on one OTIS bench.
@@ -76,30 +77,69 @@ pub fn surviving_digraph(h: &HDigraph, faults: &FaultSet) -> Digraph {
     builder.build()
 }
 
-/// A [`Router`] that routes around hardware faults: it precomputes a
-/// next-hop table over the *surviving* digraph, so any packet with a
-/// surviving path is delivered on a shortest surviving route, and
-/// packets with no path fail cleanly (`next_hop` → `None`, which the
-/// simulator reports as `SimError::Unreachable`).
+/// A [`Router`] that routes around hardware faults: it keeps an
+/// incrementally repairable next-hop table over the full fabric with
+/// the dead beams marked down, so any packet with a surviving path is
+/// delivered on a shortest surviving route, and packets with no path
+/// fail cleanly (`next_hop` → `None`, which the simulator reports as
+/// `SimError::Unreachable`).
 ///
-/// When the fault set changes, [`FaultAwareRouter::refresh`] rebuilds
-/// the table (parallel reverse-BFS; milliseconds at OTIS scales) —
-/// the "recompute around failed links" story a degraded optical bench
-/// needs.
-#[derive(Debug, Clone)]
+/// Single-beam faults repair *in place*:
+/// [`FaultAwareRouter::kill_transmitter`] and
+/// [`FaultAwareRouter::revive_transmitter`] patch only the next-hop
+/// runs whose min-first-hop changed — no table rebuild — and land on
+/// exactly the table a fresh [`FaultAwareRouter::new`] over the same
+/// fault set would build. Bulk fault-set swaps still go through
+/// [`FaultAwareRouter::refresh`].
 pub struct FaultAwareRouter {
-    table: RoutingTable,
+    table: RepairableNextHopTable,
     faults: FaultSet,
+    /// `beam_arc[t]` = the full-digraph arc index implemented by beam
+    /// `t` — a per-node bijection (the digraph sorts each node's arc
+    /// targets, so slot order and arc order differ, and parallel
+    /// beams to one target must map to *distinct* arcs).
+    beam_arc: Vec<usize>,
     label: String,
+}
+
+impl std::fmt::Debug for FaultAwareRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultAwareRouter")
+            .field("label", &self.label)
+            .field("faults", &self.faults)
+            .field("dead_beams", &self.table.dead_arc_count())
+            .finish()
+    }
 }
 
 impl FaultAwareRouter {
     /// Router over what survives of `h` under `faults`.
     pub fn new(h: &HDigraph, faults: FaultSet) -> Self {
-        let table = RoutingTable::new(&surviving_digraph(h, &faults));
+        let full = surviving_digraph(h, &FaultSet::none());
+        let d = u64::from(h.degree());
+        // Beam t = u·d + k implements the arc u → out_neighbor(u, k).
+        // Match each node's slots against its sorted arc slice by
+        // (target, slot) so the assignment is a bijection even with
+        // parallel beams.
+        let mut beam_arc = vec![0usize; h.otis().link_count() as usize];
+        for u in 0..h.node_count() {
+            let mut slots: Vec<(u32, u32)> = (0..h.degree())
+                .map(|k| (h.out_neighbor(u, k) as u32, k))
+                .collect();
+            slots.sort_unstable();
+            for (arc, &(target, k)) in full.arc_range(u as u32).zip(slots.iter()) {
+                debug_assert_eq!(full.arc_target(arc), target);
+                beam_arc[(u * d + u64::from(k)) as usize] = arc;
+            }
+        }
+        let dead: Vec<usize> = (0..h.otis().link_count())
+            .filter(|&t| !faults.beam_alive(h, t))
+            .map(|t| beam_arc[t as usize])
+            .collect();
         FaultAwareRouter {
-            table,
+            table: RepairableNextHopTable::with_dead_arcs(&full, &dead),
             faults,
+            beam_arc,
             label: h.name(),
         }
     }
@@ -109,16 +149,46 @@ impl FaultAwareRouter {
         &self.faults
     }
 
+    /// Refresh-free single-beam fault: transmitter `t` dies, and only
+    /// the next-hop runs whose min-first-hop changed get patched.
+    /// Returns the repair bill (a no-op if the beam was already dead
+    /// under some other fault).
+    pub fn kill_transmitter(&mut self, t: u64) -> RepairStats {
+        if !self.faults.dead_transmitters.contains(&t) {
+            self.faults.dead_transmitters.push(t);
+        }
+        self.table.set_arc_alive(self.beam_arc[t as usize], false)
+    }
+
+    /// Refresh-free single-beam revival: drop transmitter `t` from the
+    /// fault set and, if no *other* fault still covers its beam (an
+    /// occluded lens, a dead receiver), patch the table back.
+    pub fn revive_transmitter(&mut self, h: &HDigraph, t: u64) -> RepairStats {
+        assert_eq!(h.name(), self.label, "revive must use the same fabric");
+        self.faults.dead_transmitters.retain(|&dead| dead != t);
+        if self.faults.beam_alive(h, t) {
+            self.table.set_arc_alive(self.beam_arc[t as usize], true)
+        } else {
+            RepairStats::default()
+        }
+    }
+
     /// Recompute the table for a new fault set on the same fabric.
     pub fn refresh(&mut self, h: &HDigraph, faults: FaultSet) {
         assert_eq!(h.name(), self.label, "refresh must use the same fabric");
-        self.table = RoutingTable::new(&surviving_digraph(h, &faults));
-        self.faults = faults;
+        *self = FaultAwareRouter::new(h, faults);
     }
 
     /// Shortest surviving distance, if any.
     pub fn surviving_distance(&self, src: u64, dst: u64) -> Option<u64> {
-        self.table.distance(src, dst)
+        self.distance(src, dst)
+    }
+
+    /// The current next-hop rows as a static compressed table — the
+    /// equivalence hook the kill/revive battery pins against a fresh
+    /// build over the same fault set.
+    pub fn snapshot(&self) -> otis_digraph::compressed::CompressedNextHopTable {
+        self.table.snapshot()
     }
 
     /// Compose with contention awareness: an [`AdaptiveRouter`] whose
@@ -131,7 +201,7 @@ impl FaultAwareRouter {
 
 impl Router for FaultAwareRouter {
     fn node_count(&self) -> u64 {
-        self.table.node_count()
+        self.table.node_count() as u64
     }
 
     fn name(&self) -> String {
@@ -146,21 +216,45 @@ impl Router for FaultAwareRouter {
     }
 
     fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
-        self.table.next_hop(current, dst)
-    }
-
-    fn candidates(&self, current: u64, dst: u64) -> Candidates {
-        // The table was built over the *surviving* digraph, so every
-        // candidate rides a live beam.
-        self.table.candidates(current, dst)
+        let n = self.table.node_count() as u64;
+        if current >= n || dst >= n {
+            return None;
+        }
+        self.table
+            .next_hop(current as u32, dst as u32)
+            .map(u64::from)
     }
 
     fn ranked_candidates(&self, current: u64, dst: u64) -> otis_core::RankedCandidates {
-        self.table.ranked_candidates(current, dst)
+        // Live out-beams only, ranked ascending by remaining distance
+        // (ties keep the fabric's transceiver order) — the same
+        // contract as every other table router, minus the dead beams.
+        let n = self.table.node_count() as u64;
+        let mut ranked = otis_core::RankedCandidates::new();
+        if current >= n || dst >= n || current == dst {
+            return ranked;
+        }
+        for (_, v) in self.table.live_out_arcs(current as u32) {
+            let v = u64::from(v);
+            if v == current || ranked.iter().any(|&(_, seen)| seen == v) {
+                continue; // a self-loop never progresses; duplicates add nothing
+            }
+            let dist = self.table.distance(v as u32, dst as u32);
+            if dist != INFINITY {
+                ranked.push((u64::from(dist), v));
+            }
+        }
+        ranked.as_mut_slice().sort_by_key(|&(dist, _)| dist);
+        ranked
     }
 
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {
-        self.table.distance(src, dst)
+        let n = self.table.node_count() as u64;
+        if src >= n || dst >= n {
+            return None;
+        }
+        let dist = self.table.distance(src as u32, dst as u32);
+        (dist != INFINITY).then_some(u64::from(dist))
     }
 }
 
@@ -337,6 +431,63 @@ mod tests {
         let degraded = router.surviving_distance(1, h.out_neighbor(1, 0));
         assert!(degraded.is_some(), "B(2,8) survives one arc loss");
         assert!(degraded.unwrap() >= 1);
+    }
+
+    #[test]
+    fn incremental_kill_and_revive_match_a_fresh_build() {
+        let h = fabric();
+        let mut router = FaultAwareRouter::new(&h, FaultSet::none());
+        // Kill scattered transmitters one at a time; after every step
+        // the patched table must be byte-identical to a fresh build
+        // over the same fault set, at strictly sub-rebuild cost.
+        let total_runs = router.snapshot().run_count();
+        let mut faults = FaultSet::none();
+        for &t in &[7u64, 42, 301] {
+            let bill = router.kill_transmitter(t);
+            assert!(bill.rows_patched > 0, "beam {t} feeds some route");
+            assert!(
+                bill.runs_patched < total_runs,
+                "beam {t} patched everything"
+            );
+            faults.dead_transmitters.push(t);
+            let fresh = FaultAwareRouter::new(&h, faults.clone());
+            assert_eq!(router.snapshot(), fresh.snapshot(), "after killing {t}");
+            assert_eq!(router.faults(), fresh.faults());
+        }
+        // Revive in a different order; the end state is the pristine
+        // fabric, byte-identical to a no-fault build.
+        for &t in &[42u64, 301, 7] {
+            router.revive_transmitter(&h, t);
+        }
+        let pristine = FaultAwareRouter::new(&h, FaultSet::none());
+        assert_eq!(router.snapshot(), pristine.snapshot());
+        assert_eq!(router.faults(), &FaultSet::none());
+    }
+
+    #[test]
+    fn revive_keeps_a_lens_covered_beam_dead() {
+        let h = fabric();
+        // Transmitter 70 is doubly dead: as a transmitter fault AND
+        // under occluded first-array lens 2 (groups are q = 32 wide,
+        // so lens 2 covers beams 64..96).
+        let faults = FaultSet {
+            dead_transmitters: vec![70],
+            dead_lens1: vec![2],
+            ..FaultSet::none()
+        };
+        let mut router = FaultAwareRouter::new(&h, faults);
+        // Clearing the transmitter fault must NOT revive the beam —
+        // the lens still occludes it, so the repair is a free no-op.
+        let bill = router.revive_transmitter(&h, 70);
+        assert_eq!(bill, RepairStats::default());
+        let fresh = FaultAwareRouter::new(
+            &h,
+            FaultSet {
+                dead_lens1: vec![2],
+                ..FaultSet::none()
+            },
+        );
+        assert_eq!(router.snapshot(), fresh.snapshot());
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod traffic;
 pub use h_digraph::HDigraph;
 pub use otis::{Otis, Receiver, Transmitter};
 pub use traffic::{
-    ClassBreakdown, ClassStats, ContentionPolicy, LinkOccupancy, MulticastGroup, MulticastReport,
-    QueueConfig, QueueingEngine, QueueingReport, TrafficEngine, TrafficPattern, TrafficReport,
-    WorkloadSource,
+    ClassBreakdown, ClassStats, ContentionPolicy, DynamicsSpec, LinkOccupancy, MulticastGroup,
+    MulticastReport, QueueConfig, QueueingEngine, QueueingReport, StrandedPolicy, TrafficEngine,
+    TrafficPattern, TrafficReport, WorkloadSource,
 };

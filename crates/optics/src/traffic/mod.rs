@@ -43,7 +43,8 @@ pub mod workload;
 pub use engine::TrafficEngine;
 pub use queueing::reference::ReferenceEngine;
 pub use queueing::{
-    ContentionPolicy, LinkOccupancy, QueueConfig, QueueingEngine, SaturationPoint, SaturationSweep,
+    ContentionPolicy, DynamicsSpec, LinkOccupancy, QueueConfig, QueueingEngine, SaturationPoint,
+    SaturationSweep, StrandedPolicy,
 };
 pub use report::{ClassBreakdown, ClassStats, MulticastReport, QueueingReport, TrafficReport};
 pub use workload::{

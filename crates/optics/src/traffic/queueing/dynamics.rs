@@ -1,0 +1,607 @@
+//! Link-dynamics timelines: the scripted fades, flapping beams and
+//! failure storms a queueing run replays against its fabric.
+//!
+//! Free-space optical links are not up-or-down bits on a service
+//! schedule: scintillation fades a beam's usable wavelength count,
+//! misalignment makes it *flap* with a duty cycle, and a shared
+//! disturbance (a tracker reset, an obscured transceiver plane) takes
+//! a correlated slice of links down at once. This module turns a
+//! textual spec of those events into a deterministic, pre-compiled
+//! [`Timeline`] of per-arc capacity transitions the engine applies at
+//! cycle boundaries — same spec, same fabric, same run, bit for bit.
+//!
+//! # Spec grammar
+//!
+//! A spec is a comma-separated event list. Link endpoints are node
+//! ids written `SRC>DST`; cycles, capacities and durations are plain
+//! integers.
+//!
+//! | event | meaning |
+//! |---|---|
+//! | `fade@C:S>D` | link `S→D` dies (capacity 0) at cycle `C`, permanently |
+//! | `fade@C:S>D:CAP` | capacity drops to `CAP` wavelengths at `C`, permanently |
+//! | `fade@C:S>D:CAP:DUR` | …and restores to full after `DUR` cycles |
+//! | `flap@C:S>D:UP:DOWN` | from `C`: dead `DOWN` cycles, alive `UP`, × 16 |
+//! | `flap@C:S>D:UP:DOWN:N` | …repeated `N` times instead |
+//! | `storm@C:LO-HI:DUR` | every out-link of nodes `LO..=HI` dies at `C` for `DUR` |
+//! | `randfades@SEED:N:WINDOW:DUR` | `N` seed-split random full fades, start < `WINDOW`, each `DUR` long |
+//!
+//! Examples: `fade@100:0>1`, `fade@50:3>6:1:200`,
+//! `flap@10:0>1:20:5`, `storm@500:0-63:250`,
+//! `randfades@42:8:1000:100`.
+//!
+//! # Compilation
+//!
+//! [`DynamicsSpec::compile`] resolves every event against the fabric
+//! (unknown links are an error — a dynamics script that names a
+//! non-link is a bug, not a no-op), clamps capacities to the
+//! configured wavelength count, orders all transitions by cycle
+//! (stable: same-cycle transitions apply in spec order), and
+//! classifies each as a zero-crossing ([`Crossing::Death`] /
+//! [`Crossing::Revival`]) or a plain capacity change by replaying the
+//! per-arc capacity sequence. The engine consumes the classification
+//! directly: deaths strand queued packets and open a time-to-reroute
+//! watch, revivals (and deaths) wake parked state, and both feed the
+//! router's online repair hook ([`otis_core::RouteRepair`]).
+
+use otis_digraph::Digraph;
+use std::str::FromStr;
+
+/// What the engine does with packets stranded on a link that faded to
+/// zero (queued in the dead link's FIFOs, or blocked because their
+/// router insists on the dead beam).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StrandedPolicy {
+    /// Stranded packets are pulled back to their current node and
+    /// re-offered to the (repaired) routing each cycle until a live
+    /// out-channel with room accepts them; packets that become
+    /// unreachable drop as `dropped_stranded`. The lossless choice
+    /// under backpressure.
+    #[default]
+    Reinject,
+    /// Stranded packets drop immediately (`dropped_stranded`) — the
+    /// optical-switch behavior when there is no electronic buffer to
+    /// hold a beamless packet.
+    Drop,
+}
+
+impl FromStr for StrandedPolicy {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, String> {
+        match raw {
+            "reinject" => Ok(StrandedPolicy::Reinject),
+            "drop" => Ok(StrandedPolicy::Drop),
+            other => Err(format!(
+                "unknown stranded policy {other:?} (valid: reinject|drop)"
+            )),
+        }
+    }
+}
+
+/// One scripted event, as parsed (fabric-independent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DynamicsEvent {
+    Fade {
+        cycle: u64,
+        from: u64,
+        to: u64,
+        /// Surviving wavelength count; `0` is a full fade (death).
+        capacity: u64,
+        /// Cycles until restoration; `None` = permanent.
+        duration: Option<u64>,
+    },
+    Flap {
+        start: u64,
+        from: u64,
+        to: u64,
+        up: u64,
+        down: u64,
+        repeats: u64,
+    },
+    Storm {
+        cycle: u64,
+        lo: u64,
+        hi: u64,
+        duration: u64,
+    },
+    RandFades {
+        seed: u64,
+        count: u64,
+        window: u64,
+        duration: u64,
+    },
+}
+
+/// A parsed link-dynamics script — see the module docs for the
+/// grammar. Fabric-independent until [`DynamicsSpec::compile`]d.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicsSpec {
+    events: Vec<DynamicsEvent>,
+}
+
+/// Flaps without an explicit repeat count run this many periods.
+const DEFAULT_FLAP_REPEATS: u64 = 16;
+
+fn parse_u64(raw: &str, what: &str, event: &str) -> Result<u64, String> {
+    raw.parse::<u64>()
+        .map_err(|_| format!("{event}: {what} must be a non-negative integer, got {raw:?}"))
+}
+
+/// `S>D` → `(S, D)`.
+fn parse_link(raw: &str, event: &str) -> Result<(u64, u64), String> {
+    let (from, to) = raw
+        .split_once('>')
+        .ok_or_else(|| format!("{event}: expected a link as SRC>DST, got {raw:?}"))?;
+    Ok((
+        parse_u64(from, "link source", event)?,
+        parse_u64(to, "link target", event)?,
+    ))
+}
+
+impl FromStr for DynamicsSpec {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for part in raw.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, rest) = part.split_once('@').ok_or_else(|| {
+                format!("{part:?}: expected KIND@ARGS (kinds: fade|flap|storm|randfades)")
+            })?;
+            let fields: Vec<&str> = rest.split(':').collect();
+            let event = match (kind, fields.as_slice()) {
+                ("fade", [cycle, link, ..]) => {
+                    if fields.len() > 4 {
+                        return Err(format!(
+                            "{part:?}: fade takes at most CYCLE:SRC>DST:CAP:DUR"
+                        ));
+                    }
+                    let (from, to) = parse_link(link, part)?;
+                    DynamicsEvent::Fade {
+                        cycle: parse_u64(cycle, "cycle", part)?,
+                        from,
+                        to,
+                        capacity: match fields.get(2) {
+                            Some(cap) => parse_u64(cap, "capacity", part)?,
+                            None => 0,
+                        },
+                        duration: match fields.get(3) {
+                            Some(dur) => Some(parse_u64(dur, "duration", part)?),
+                            None => None,
+                        },
+                    }
+                }
+                ("flap", [start, link, up, down, ..]) => {
+                    if fields.len() > 5 {
+                        return Err(format!(
+                            "{part:?}: flap takes at most CYCLE:SRC>DST:UP:DOWN:REPEATS"
+                        ));
+                    }
+                    let (from, to) = parse_link(link, part)?;
+                    let up = parse_u64(up, "up time", part)?;
+                    let down = parse_u64(down, "down time", part)?;
+                    if up == 0 || down == 0 {
+                        return Err(format!("{part:?}: flap up/down times must be positive"));
+                    }
+                    DynamicsEvent::Flap {
+                        start: parse_u64(start, "start cycle", part)?,
+                        from,
+                        to,
+                        up,
+                        down,
+                        repeats: match fields.get(4) {
+                            Some(n) => parse_u64(n, "repeat count", part)?,
+                            None => DEFAULT_FLAP_REPEATS,
+                        },
+                    }
+                }
+                ("storm", [cycle, range, duration]) => {
+                    let (lo, hi) = range
+                        .split_once('-')
+                        .ok_or_else(|| format!("{part:?}: expected a node range as LO-HI"))?;
+                    let lo = parse_u64(lo, "range start", part)?;
+                    let hi = parse_u64(hi, "range end", part)?;
+                    if lo > hi {
+                        return Err(format!("{part:?}: empty node range {lo}-{hi}"));
+                    }
+                    let duration = parse_u64(duration, "duration", part)?;
+                    if duration == 0 {
+                        return Err(format!("{part:?}: storm duration must be positive"));
+                    }
+                    DynamicsEvent::Storm {
+                        cycle: parse_u64(cycle, "cycle", part)?,
+                        lo,
+                        hi,
+                        duration,
+                    }
+                }
+                ("randfades", [seed, count, window, duration]) => {
+                    let window = parse_u64(window, "window", part)?;
+                    let duration = parse_u64(duration, "duration", part)?;
+                    if window == 0 || duration == 0 {
+                        return Err(format!(
+                            "{part:?}: randfades window/duration must be positive"
+                        ));
+                    }
+                    DynamicsEvent::RandFades {
+                        seed: parse_u64(seed, "seed", part)?,
+                        count: parse_u64(count, "count", part)?,
+                        window,
+                        duration,
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "{part:?}: unknown event (valid: fade@C:S>D[:CAP[:DUR]], \
+                         flap@C:S>D:UP:DOWN[:N], storm@C:LO-HI:DUR, randfades@SEED:N:WINDOW:DUR)"
+                    ))
+                }
+            };
+            events.push(event);
+        }
+        if events.is_empty() {
+            return Err("empty dynamics spec".into());
+        }
+        Ok(DynamicsSpec { events })
+    }
+}
+
+/// How a transition relates to zero capacity — precomputed so the
+/// engine's event application needs no state of its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Crossing {
+    /// Capacity changed without crossing zero.
+    None,
+    /// Capacity fell from positive to zero: the link died.
+    Death,
+    /// Capacity rose from zero: the link revived.
+    Revival,
+}
+
+/// One compiled capacity transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Transition {
+    pub cycle: u64,
+    pub arc: u32,
+    /// New drain capacity in wavelengths (already clamped to the
+    /// configured count).
+    pub capacity: u32,
+    pub crossing: Crossing,
+}
+
+/// A compiled dynamics timeline: every capacity transition of the
+/// run, cycle-ordered, with zero-crossings classified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Timeline {
+    pub transitions: Vec<Transition>,
+    /// Number of [`Crossing::Death`] transitions — one
+    /// time-to-reroute watch each.
+    pub deaths: usize,
+}
+
+/// splitmix64 — the seed-split generator behind `randfades`. Inline
+/// (not the workload's `StdRng`) so a dynamics script's schedule never
+/// changes under a rand-crate upgrade.
+fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DynamicsSpec {
+    /// Resolve the spec against fabric `g` with `wavelengths` full
+    /// capacity into a cycle-ordered [`Timeline`].
+    ///
+    /// # Panics
+    ///
+    /// On a link the fabric does not have, or a storm range past the
+    /// node count — a dynamics script that names non-fabric structure
+    /// is a configuration bug, surfaced loudly.
+    pub(crate) fn compile(&self, g: &Digraph, wavelengths: usize) -> Timeline {
+        let full = u32::try_from(wavelengths).unwrap_or(u32::MAX);
+        let n = g.node_count() as u64;
+        let arc_between = |from: u64, to: u64| -> u32 {
+            assert!(
+                from < n && to < n,
+                "dynamics event names node pair {from}>{to} but the fabric has {n} nodes"
+            );
+            g.arc_between(from as u32, to as u32)
+                .unwrap_or_else(|| panic!("dynamics event names {from}>{to}, not a fabric link"))
+                as u32
+        };
+        // Raw (cycle, arc, capacity) ops, in spec emission order.
+        let mut ops: Vec<(u64, u32, u32)> = Vec::new();
+        for event in &self.events {
+            match *event {
+                DynamicsEvent::Fade {
+                    cycle,
+                    from,
+                    to,
+                    capacity,
+                    duration,
+                } => {
+                    let arc = arc_between(from, to);
+                    let cap = u32::try_from(capacity).unwrap_or(u32::MAX).min(full);
+                    ops.push((cycle, arc, cap));
+                    if let Some(duration) = duration {
+                        ops.push((cycle.saturating_add(duration), arc, full));
+                    }
+                }
+                DynamicsEvent::Flap {
+                    start,
+                    from,
+                    to,
+                    up,
+                    down,
+                    repeats,
+                } => {
+                    let arc = arc_between(from, to);
+                    let period = up + down;
+                    for rep in 0..repeats {
+                        let at = start.saturating_add(rep.saturating_mul(period));
+                        ops.push((at, arc, 0));
+                        ops.push((at.saturating_add(down), arc, full));
+                    }
+                }
+                DynamicsEvent::Storm {
+                    cycle,
+                    lo,
+                    hi,
+                    duration,
+                } => {
+                    assert!(
+                        hi < n,
+                        "storm range {lo}-{hi} exceeds the fabric's {n} nodes"
+                    );
+                    for node in lo..=hi {
+                        for arc in g.arc_range(node as u32) {
+                            ops.push((cycle, arc as u32, 0));
+                            ops.push((cycle.saturating_add(duration), arc as u32, full));
+                        }
+                    }
+                }
+                DynamicsEvent::RandFades {
+                    seed,
+                    count,
+                    window,
+                    duration,
+                } => {
+                    let arcs = g.arc_count() as u64;
+                    assert!(arcs > 0, "randfades on a fabric with no links");
+                    for i in 0..count {
+                        // Seed-split: each fade draws from its own
+                        // stream, so adding a fade never reshuffles
+                        // the ones before it.
+                        let mut state =
+                            seed.wrapping_add((i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                        let arc = (splitmix64_next(&mut state) % arcs) as u32;
+                        let at = splitmix64_next(&mut state) % window;
+                        ops.push((at, arc, 0));
+                        ops.push((at.saturating_add(duration), arc, full));
+                    }
+                }
+            }
+        }
+        // Cycle order; stable, so same-cycle ops keep spec order (the
+        // later op wins when both touch the same arc — appliers run
+        // the list in sequence).
+        ops.sort_by_key(|&(cycle, _, _)| cycle);
+        // Classify crossings by replaying per-arc capacity.
+        let mut cap_of = vec![full; g.arc_count()];
+        let mut deaths = 0usize;
+        let transitions = ops
+            .into_iter()
+            .map(|(cycle, arc, capacity)| {
+                let old = cap_of[arc as usize];
+                cap_of[arc as usize] = capacity;
+                let crossing = match (old, capacity) {
+                    (0, 0) => Crossing::None,
+                    (_, 0) => Crossing::Death,
+                    (0, _) => Crossing::Revival,
+                    _ => Crossing::None,
+                };
+                if crossing == Crossing::Death {
+                    deaths += 1;
+                }
+                Transition {
+                    cycle,
+                    arc,
+                    capacity,
+                    crossing,
+                }
+            })
+            .collect();
+        Timeline {
+            transitions,
+            deaths,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otis_core::{DeBruijn, DigraphFamily};
+
+    fn b24() -> Digraph {
+        DeBruijn::new(2, 4).digraph()
+    }
+
+    #[test]
+    fn parses_every_event_kind() {
+        let spec: DynamicsSpec =
+            "fade@100:0>1, fade@50:1>2:1:200, flap@10:0>1:20:5:3, storm@500:0-3:250, \
+             randfades@42:4:1000:100"
+                .parse()
+                .expect("valid spec");
+        assert_eq!(spec.events.len(), 5);
+        assert_eq!(
+            spec.events[0],
+            DynamicsEvent::Fade {
+                cycle: 100,
+                from: 0,
+                to: 1,
+                capacity: 0,
+                duration: None
+            }
+        );
+        assert_eq!(
+            spec.events[2],
+            DynamicsEvent::Flap {
+                start: 10,
+                from: 0,
+                to: 1,
+                up: 20,
+                down: 5,
+                repeats: 3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "fade@100",
+            "fade@x:0>1",
+            "fade@1:0-1",
+            "flap@1:0>1:0:5",
+            "storm@1:5-2:10",
+            "storm@1:0-3:0",
+            "randfades@1:2:0:5",
+            "blink@1:0>1",
+            "fade@1:0>1:2:3:4",
+        ] {
+            assert!(bad.parse::<DynamicsSpec>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn stranded_policy_parses() {
+        assert_eq!("reinject".parse(), Ok(StrandedPolicy::Reinject));
+        assert_eq!("drop".parse(), Ok(StrandedPolicy::Drop));
+        assert!("park".parse::<StrandedPolicy>().is_err());
+        assert_eq!(StrandedPolicy::default(), StrandedPolicy::Reinject);
+    }
+
+    #[test]
+    fn fade_with_duration_compiles_to_death_and_revival() {
+        let g = b24();
+        let spec: DynamicsSpec = "fade@100:0>1:0:50".parse().unwrap();
+        let t = spec.compile(&g, 2);
+        assert_eq!(t.transitions.len(), 2);
+        assert_eq!(t.deaths, 1);
+        assert_eq!(t.transitions[0].cycle, 100);
+        assert_eq!(t.transitions[0].capacity, 0);
+        assert_eq!(t.transitions[0].crossing, Crossing::Death);
+        assert_eq!(t.transitions[1].cycle, 150);
+        assert_eq!(t.transitions[1].capacity, 2);
+        assert_eq!(t.transitions[1].crossing, Crossing::Revival);
+        // Both name the same arc: 0's out-arc to 1.
+        assert_eq!(t.transitions[0].arc, t.transitions[1].arc);
+    }
+
+    #[test]
+    fn partial_fade_is_not_a_crossing_and_caps_clamp() {
+        let g = b24();
+        let spec: DynamicsSpec = "fade@10:0>1:9:5".parse().unwrap();
+        let t = spec.compile(&g, 4);
+        assert_eq!(t.deaths, 0);
+        assert_eq!(t.transitions[0].capacity, 4, "clamped to wavelengths");
+        assert_eq!(t.transitions[0].crossing, Crossing::None);
+        assert_eq!(t.transitions[1].crossing, Crossing::None);
+    }
+
+    #[test]
+    fn flap_alternates_death_and_revival() {
+        let g = b24();
+        let spec: DynamicsSpec = "flap@10:0>1:20:5:3".parse().unwrap();
+        let t = spec.compile(&g, 1);
+        assert_eq!(t.transitions.len(), 6);
+        assert_eq!(t.deaths, 3);
+        let cycles: Vec<u64> = t.transitions.iter().map(|tr| tr.cycle).collect();
+        assert_eq!(cycles, vec![10, 15, 35, 40, 60, 65]);
+        for (i, tr) in t.transitions.iter().enumerate() {
+            let expect = if i % 2 == 0 {
+                Crossing::Death
+            } else {
+                Crossing::Revival
+            };
+            assert_eq!(tr.crossing, expect, "transition {i}");
+        }
+    }
+
+    #[test]
+    fn storm_kills_every_out_arc_of_the_slice() {
+        let g = b24();
+        let spec: DynamicsSpec = "storm@500:0-3:250".parse().unwrap();
+        let t = spec.compile(&g, 2);
+        // Nodes 0..=3 in B(2,4) have 2 out-arcs each.
+        assert_eq!(t.deaths, 8);
+        assert_eq!(t.transitions.len(), 16);
+        assert!(t
+            .transitions
+            .iter()
+            .all(|tr| tr.cycle == 500 || tr.cycle == 750));
+        // Transitions are cycle-ordered: all deaths before revivals.
+        assert!(t.transitions[..8]
+            .iter()
+            .all(|tr| tr.crossing == Crossing::Death));
+        assert!(t.transitions[8..]
+            .iter()
+            .all(|tr| tr.crossing == Crossing::Revival));
+    }
+
+    #[test]
+    fn randfades_are_seed_stable_and_splittable() {
+        let g = b24();
+        let four: DynamicsSpec = "randfades@42:4:1000:100".parse().unwrap();
+        let five: DynamicsSpec = "randfades@42:5:1000:100".parse().unwrap();
+        let a = four.compile(&g, 2);
+        let b = four.compile(&g, 2);
+        assert_eq!(a, b, "same seed, same schedule");
+        let wider = five.compile(&g, 2);
+        // Seed-splitting: the first four fades' (arc, cycle) pairs are
+        // unchanged by adding a fifth.
+        let key = |t: &Timeline| {
+            let mut ops: Vec<(u32, u64, u32)> = t
+                .transitions
+                .iter()
+                .map(|tr| (tr.arc, tr.cycle, tr.capacity))
+                .collect();
+            ops.sort_unstable();
+            ops
+        };
+        let a_ops = key(&a);
+        let wider_ops = key(&wider);
+        assert!(a_ops.iter().all(|op| wider_ops.contains(op)));
+        assert_eq!(a.deaths, 4);
+        assert_eq!(wider.deaths, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a fabric link")]
+    fn unknown_link_is_a_loud_error() {
+        let g = b24();
+        let spec: DynamicsSpec = "fade@1:0>9".parse().unwrap();
+        spec.compile(&g, 1);
+    }
+
+    #[test]
+    fn overlapping_events_classify_against_replayed_capacity() {
+        let g = b24();
+        // The second fade hits an already-dead link: not a new death.
+        let spec: DynamicsSpec = "fade@10:0>1:0:100, fade@50:0>1".parse().unwrap();
+        let t = spec.compile(&g, 2);
+        assert_eq!(t.deaths, 1);
+        assert_eq!(t.transitions[1].crossing, Crossing::None);
+        // The restore at 110 revives (capacity was 0 since cycle 50).
+        assert_eq!(t.transitions[2].crossing, Crossing::Revival);
+    }
+}

@@ -66,8 +66,11 @@
 //! built with [`otis_core::AdaptiveRouter::with_dateline`].
 
 mod arena;
+pub mod dynamics;
 pub mod reference;
 mod run;
+
+pub use dynamics::{DynamicsSpec, StrandedPolicy};
 
 use super::report::QueueingReport;
 use super::workload::{MulticastGroup, WorkloadSource};
@@ -161,6 +164,12 @@ pub struct LinkOccupancy {
     g: Arc<Digraph>,
     /// One counter per (arc, VC class), arc-major.
     counts: Arc<[AtomicU32]>,
+    /// Per-arc fade penalty (see [`QueueingEngine`]'s dynamics): the
+    /// congestion view adds it to the arc's occupancy so an adaptive
+    /// router steers around degraded and dead beams; the raw
+    /// occupancy probes ([`LinkOccupancy::arc_occupancy`]) stay true
+    /// buffer counts. All zeros while no dynamics event has fired.
+    penalty: Arc<[AtomicU32]>,
     vcs: usize,
 }
 
@@ -214,15 +223,27 @@ pub(crate) fn arc_of(g: &Digraph, from: u64, to: u64) -> Option<usize> {
     g.arc_between(from as u32, to as u32)
 }
 
+impl LinkOccupancy {
+    /// The fade penalty charged on top of `arc`'s occupancy in the
+    /// congestion view. `0` until a dynamics event degrades the link.
+    fn arc_penalty(&self, arc: usize) -> usize {
+        // ORDERING: Relaxed — written only on the engine's sequential
+        // event-application slot (workers at the barrier); read by
+        // adaptive routers in later phases, behind that barrier.
+        self.penalty[arc].load(Ordering::Relaxed) as usize
+    }
+}
+
 impl CongestionMap for LinkOccupancy {
     fn queued(&self, from: u64, to: u64) -> usize {
         self.arc_of(from, to)
-            .map_or(0, |arc| self.arc_occupancy(arc))
+            .map_or(0, |arc| self.arc_occupancy(arc) + self.arc_penalty(arc))
     }
 
     fn queued_vc(&self, from: u64, to: u64, vc: u8) -> usize {
-        self.arc_of(from, to)
-            .map_or(0, |arc| self.channel_occupancy(arc, vc as usize))
+        self.arc_of(from, to).map_or(0, |arc| {
+            self.channel_occupancy(arc, vc as usize) + self.arc_penalty(arc)
+        })
     }
 }
 
@@ -465,9 +486,17 @@ impl TreeSet {
 pub struct QueueingEngine {
     g: Arc<Digraph>,
     config: QueueConfig,
+    /// The link-dynamics timeline runs replay, if any (see
+    /// [`QueueingEngine::set_dynamics`]).
+    dynamics: Option<DynamicsSpec>,
+    /// What a run does with packets stranded by a link death.
+    stranded: StrandedPolicy,
     /// One counter per (arc, VC class), arc-major — the occupancy
     /// scoreboard behind [`LinkOccupancy`].
     counts: Arc<[AtomicU32]>,
+    /// Per-arc fade penalty fed into [`LinkOccupancy`]'s congestion
+    /// view; maintained by the run loop as dynamics events fire.
+    fade_penalty: Arc<[AtomicU32]>,
     /// The dateline wrap set (a feedback arc set of the fabric) and
     /// class discipline, computed once per engine and `Arc`-shared
     /// with every router and sweep point that needs it.
@@ -506,6 +535,7 @@ impl QueueingEngine {
             config.vcs
         );
         let counts: Vec<AtomicU32> = (0..arcs * config.vcs).map(|_| AtomicU32::new(0)).collect();
+        let fade_penalty: Vec<AtomicU32> = (0..arcs).map(|_| AtomicU32::new(0)).collect();
         // Reverse CSR by counting sort over arc targets.
         let n = g.node_count();
         let mut in_offsets = vec![0u32; n + 1];
@@ -527,7 +557,10 @@ impl QueueingEngine {
         QueueingEngine {
             g,
             config,
+            dynamics: None,
+            stranded: StrandedPolicy::default(),
             counts: counts.into(),
+            fade_penalty: fade_penalty.into(),
             dateline,
             in_offsets: in_offsets.into_boxed_slice(),
             in_arcs: in_arcs.into_boxed_slice(),
@@ -552,6 +585,35 @@ impl QueueingEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &QueueConfig {
         &self.config
+    }
+
+    /// Replay `spec`'s link dynamics on every subsequent run: fades,
+    /// flaps and storms applied at cycle boundaries, with stranded
+    /// packets handled per `stranded`. The spec is validated against
+    /// the fabric immediately (unknown links panic here, not mid-run).
+    /// Unicast (materialized or streamed) runs only — a multicast run
+    /// with dynamics set is rejected.
+    pub fn set_dynamics(&mut self, spec: DynamicsSpec, stranded: StrandedPolicy) {
+        spec.compile(&self.g, self.config.wavelengths);
+        self.dynamics = Some(spec);
+        self.stranded = stranded;
+    }
+
+    /// Remove a previously set dynamics timeline.
+    pub fn clear_dynamics(&mut self) {
+        self.dynamics = None;
+    }
+
+    pub(super) fn dynamics(&self) -> Option<&DynamicsSpec> {
+        self.dynamics.as_ref()
+    }
+
+    pub(super) fn stranded_policy(&self) -> StrandedPolicy {
+        self.stranded
+    }
+
+    pub(super) fn fade_penalty(&self) -> &[AtomicU32] {
+        &self.fade_penalty
     }
 
     /// The simulated fabric.
@@ -591,6 +653,7 @@ impl QueueingEngine {
         LinkOccupancy {
             g: Arc::clone(&self.g),
             counts: Arc::clone(&self.counts),
+            penalty: Arc::clone(&self.fade_penalty),
             vcs: self.config.vcs,
         }
     }
@@ -688,6 +751,11 @@ impl QueueingEngine {
         groups: &[MulticastGroup],
         offered_per_cycle: f64,
     ) -> QueueingReport {
+        assert!(
+            self.dynamics.is_none(),
+            "link dynamics are unicast-only: multicast trees are prebuilt \
+             against the static fabric and cannot reroute mid-run"
+        );
         let trees = TreeSet::build(&self.g, router, groups);
         run::execute(
             self,

@@ -102,6 +102,9 @@ impl ReferenceEngine {
         LinkOccupancy {
             g: Arc::clone(&self.g),
             counts: Arc::clone(&self.counts),
+            // The reference engine has no link dynamics: zero fade
+            // penalty on every arc, so the view reads pure occupancy.
+            penalty: (0..self.g.arc_count()).map(|_| AtomicU32::new(0)).collect(),
             vcs: self.config.vcs,
         }
     }
@@ -521,6 +524,16 @@ impl ReferenceEngine {
             replicated_copies: 0,
             multicast_forwarding_index: 0,
             class_stats,
+            link_down_events: 0,
+            link_up_events: 0,
+            capacity_events: 0,
+            dropped_stranded: 0,
+            stranded_reinjected: 0,
+            time_to_reroute_cycles: Vec::new(),
+            reroute_unresolved: 0,
+            repair_runs_patched: Vec::new(),
+            repair_rows_patched: 0,
+            table_runs_total: 0,
         }
     }
 
@@ -849,6 +862,16 @@ impl ReferenceEngine {
             replicated_copies: replicated,
             multicast_forwarding_index: trees.forwarding_index(),
             class_stats: None,
+            link_down_events: 0,
+            link_up_events: 0,
+            capacity_events: 0,
+            dropped_stranded: 0,
+            stranded_reinjected: 0,
+            time_to_reroute_cycles: Vec::new(),
+            reroute_unresolved: 0,
+            repair_runs_patched: Vec::new(),
+            repair_rows_patched: 0,
+            table_runs_total: 0,
         }
     }
 }

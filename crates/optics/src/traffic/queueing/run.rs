@@ -91,6 +91,7 @@
 //! boundary — stable within a cycle, hence still deterministic.
 
 use super::arena::{ArenaAllocator, ChannelQueues, EntryArena, PacketArena, NONE};
+use super::dynamics::{Crossing, StrandedPolicy, Timeline};
 use super::{arc_of, ContentionPolicy, QueueingEngine, TreeSet};
 use crate::traffic::report::{ClassBreakdown, ClassStats, QueueingReport, WaitHistogram};
 use crate::traffic::workload::WorkloadSource;
@@ -104,6 +105,28 @@ use std::sync::{Barrier, Mutex};
 /// Ids a worker pulls from the shared allocator per refill: one lock
 /// acquisition per `ID_BATCH` injections, not per packet.
 const ID_BATCH: usize = 128;
+
+/// Fade penalty published for a dead beam: large enough that an
+/// adaptive router's congestion-plus-stretch score never prefers it
+/// over any live candidate, small enough that saturating arithmetic
+/// keeps ordering among multiple dead options.
+const DEAD_LINK_PENALTY: u32 = 1 << 20;
+
+/// One link death's time-to-reroute watch: the cycle traffic first
+/// committed onto an *alternative* out-link of the node whose beam
+/// died. Pre-built from the compiled timeline (one per scheduled
+/// death), armed implicitly by `cycle >= at_cycle`.
+struct Watch {
+    /// The node whose out-link died.
+    node: u32,
+    /// The dead arc — pushes onto it never resolve the watch.
+    arc: u32,
+    /// The death's event cycle.
+    at_cycle: u64,
+    /// First resolving cycle; `u64::MAX` until a packet commits onto
+    /// another out-arc of `node` at or after `at_cycle`.
+    resolved: AtomicU64,
+}
 
 /// What a run simulates: unicast `(src, dst)` pairs — materialized or
 /// streamed — or multicast delivery trees with in-fabric replication.
@@ -274,6 +297,20 @@ struct SharedRun<'a> {
     /// injection, by each channel's single owner while no one reads
     /// it — hence cycle-stable.
     counts: &'a [AtomicU32],
+    /// Per-arc drain capacity under a dynamics timeline (`None` on a
+    /// static fabric: every arc drains `wavelengths`). Written only on
+    /// the sequential slot when events fire; the phase barrier
+    /// publishes the stores.
+    capacity: Option<&'a [AtomicU32]>,
+    /// Per-arc fade penalty published to the adaptive congestion view
+    /// (the engine owns the slab so [`super::LinkOccupancy`] can read
+    /// it); written on the sequential slot alongside `capacity`.
+    fade_penalty: &'a [AtomicU32],
+    /// Time-to-reroute watches, one per scheduled link death in
+    /// timeline order. Empty on static runs.
+    watches: &'a [Watch],
+    /// What happens to packets a link death catches mid-queue.
+    stranded_policy: StrandedPolicy,
     cycle: AtomicU64,
     done: AtomicBool,
 }
@@ -285,6 +322,25 @@ impl SharedRun<'_> {
             return 0;
         }
         self.shard_bounds.partition_point(|&bound| bound <= src) - 1
+    }
+
+    /// How many packets `arc` may drain this cycle.
+    fn arc_budget(&self, arc: usize) -> usize {
+        match self.capacity {
+            // ORDERING: Relaxed — capacity moves only on the
+            // sequential slot; phase reads see a cycle-stable value
+            // through the barrier.
+            Some(caps) => caps[arc].load(Relaxed) as usize,
+            None => self.wavelengths,
+        }
+    }
+
+    /// Whether `arc` has faded to zero capacity (a dead beam).
+    fn arc_dead(&self, arc: usize) -> bool {
+        // ORDERING: Relaxed — capacity moves only on the sequential
+        // slot; phase reads see a cycle-stable value through the
+        // barrier.
+        matches!(self.capacity, Some(caps) if caps[arc].load(Relaxed) == 0)
     }
 }
 
@@ -313,6 +369,10 @@ struct WorkerScratch {
     emptied: Vec<u32>,
     waits: Vec<u64>,
     class_waits: [Vec<u64>; 2],
+    /// Packets `(channel, packet)` whose router answer pinned them to
+    /// a dead beam, in drain order; the apply step resolves them per
+    /// the stranded policy.
+    stranded: Vec<(u32, u32)>,
     vc_blocked: Vec<bool>,
     vc_pops: Vec<u32>,
     stats: DrainStats,
@@ -331,6 +391,7 @@ impl WorkerScratch {
             emptied: Vec::new(),
             waits: Vec::new(),
             class_waits: [Vec::new(), Vec::new()],
+            stranded: Vec::new(),
             vc_blocked: vec![false; vcs],
             vc_pops: vec![0; vcs],
             stats: DrainStats::default(),
@@ -404,6 +465,16 @@ struct MainState {
     /// Sources woken by this apply's pops, to relist with their
     /// inject owners.
     woken: Vec<u32>,
+    /// Stranded packets `(packet, node)` awaiting re-placement under
+    /// [`StrandedPolicy::Reinject`], FIFO.
+    backlog: VecDeque<(u32, u32)>,
+    dropped_stranded: usize,
+    stranded_reinjected: u64,
+    link_down_events: u64,
+    link_up_events: u64,
+    capacity_events: u64,
+    repair_runs_patched: Vec<u64>,
+    repair_rows_patched: u64,
     deadlocked: bool,
     cycle: u64,
 }
@@ -539,6 +610,36 @@ pub(super) fn execute(
     let bounds = shard_bounds(n as usize, threads);
     let stateless = trees.is_some() || router.hops_are_stateless();
 
+    // Link dynamics: compile the timeline once, seed every arc's
+    // capacity at full, and open one time-to-reroute watch per
+    // scheduled death. A run without dynamics keeps `capacity: None`
+    // and zero watches, so none of the per-packet gates below ever
+    // fire and the static byte-for-byte behaviour is untouched.
+    let timeline = engine
+        .dynamics()
+        .map(|spec| spec.compile(g, config.wavelengths));
+    let full_cap = u32::try_from(config.wavelengths).unwrap_or(u32::MAX);
+    let capacity: Option<Vec<AtomicU32>> = timeline
+        .as_ref()
+        .map(|_| (0..arcs).map(|_| AtomicU32::new(full_cap)).collect());
+    let watches: Vec<Watch> = timeline.as_ref().map_or_else(Vec::new, |timeline| {
+        timeline
+            .transitions
+            .iter()
+            .filter(|tr| tr.crossing == Crossing::Death)
+            .map(|tr| Watch {
+                node: g.arc_source(tr.arc as usize),
+                arc: tr.arc,
+                at_cycle: tr.cycle,
+                resolved: AtomicU64::new(u64::MAX),
+            })
+            .collect()
+    });
+    let fade_penalty = engine.fade_penalty();
+    for penalty in fade_penalty.iter() {
+        penalty.store(0, Relaxed);
+    }
+
     let shared = SharedRun {
         g,
         router,
@@ -576,6 +677,10 @@ pub(super) fn execute(
         waiter_link: &waiter_link,
         delivered_per_link: &delivered_per_link,
         counts,
+        capacity: capacity.as_deref(),
+        fade_penalty,
+        watches: &watches,
+        stranded_policy: engine.stranded_policy(),
         cycle: AtomicU64::new(0),
         done: AtomicBool::new(false),
     };
@@ -623,6 +728,14 @@ pub(super) fn execute(
         dateline_relief: 0,
         source_stall_cycles: 0,
         woken: Vec::new(),
+        backlog: VecDeque::new(),
+        dropped_stranded: 0,
+        stranded_reinjected: 0,
+        link_down_events: 0,
+        link_up_events: 0,
+        capacity_events: 0,
+        repair_runs_patched: Vec::new(),
+        repair_rows_patched: 0,
         deadlocked: false,
         cycle: 0,
     };
@@ -646,6 +759,11 @@ pub(super) fn execute(
             let barrier = &barrier;
             let range = bounds[w]..bounds[w + 1];
             scope.spawn(move || loop {
+                // ORDERING: the sequential→inject phase barrier —
+                // pairs with the main thread's wait after its cycle
+                // store; the synchronizes-with edge publishes `cycle`,
+                // `done`, and every sequential-slot write (dynamics
+                // capacity stores, stranding, backlog placement).
                 barrier.wait();
                 if shared.done.load(Relaxed) {
                     break;
@@ -655,19 +773,27 @@ pub(super) fn execute(
                     let mut ws = scratch.lock().expect("inject scratch");
                     inject_list(shared, &mut ws, cycle);
                 }
+                // ORDERING: the inject→drain phase barrier — publishes
+                // every staged push so drain's room reads
+                // (`len + staged_len`) are exact boundary credits.
                 barrier.wait();
                 {
                     let mut ws = scratch.lock().expect("drain scratch");
                     drain_range(shared, range.clone(), cycle, &mut ws);
                 }
+                // ORDERING: the drain→apply phase barrier — publishes
+                // committed pops and stores to the main thread's
+                // sequential apply slot.
                 barrier.wait();
             });
         }
+        let mut event_cursor = 0usize;
         loop {
             let horizon = main.cycle >= config.max_cycles;
             if (main.pending == 0 && main.in_network == 0) || horizon || main.deadlocked {
-                // ORDERING: the audited relaxed-handoff (see
-                // crates/lint/allow/atomics.txt). The store is
+                // ORDERING: the shutdown barrier, an audited
+                // relaxed-handoff (see crates/lint/allow/atomics.txt).
+                // The store is
                 // sequenced before this thread's `barrier.wait()`, and
                 // each worker's matching wait is sequenced before its
                 // `done.load`; the barrier's synchronizes-with edge
@@ -687,27 +813,51 @@ pub(super) fn execute(
                     0
                 }
             };
+            // Link dynamics fire on the sequential slot: capacity
+            // stores, stranding, repair, and wakes all happen while
+            // the workers idle at the barrier, so every gate the
+            // phases read is cycle-stable.
+            if let Some(timeline) = &timeline {
+                activity +=
+                    apply_dynamics(&shared, &mut main, timeline, &mut event_cursor, &scratches);
+            }
+            if !main.backlog.is_empty() {
+                activity += place_stranded(&shared, &mut main);
+            }
             shared.cycle.store(main.cycle, Relaxed);
+            // ORDERING: the sequential→inject phase barrier (main
+            // side) — releases the workers with the cycle number and
+            // the sequential slot's writes published.
             barrier.wait();
             {
                 let mut ws = scratches[0].lock().expect("inject scratch");
                 inject_list(&shared, &mut ws, main.cycle);
             }
+            // ORDERING: the inject→drain phase barrier (main side) —
+            // staged pushes visible before any drain room read.
             barrier.wait();
             {
                 let mut ws = scratches[0].lock().expect("drain scratch");
                 drain_range(&shared, bounds[0]..bounds[1], main.cycle, &mut ws);
             }
+            // ORDERING: the drain→apply phase barrier (main side) —
+            // every worker's cycle work visible to the apply slot.
             barrier.wait();
             activity += apply(&shared, &mut main, &mut dec, &scratches);
             main.cycle += 1;
-            if activity == 0 && main.in_network > 0 {
+            let events_pending = timeline
+                .as_ref()
+                .is_some_and(|t| event_cursor < t.transitions.len());
+            if activity == 0 && main.in_network > 0 && !events_pending {
                 // Packets are buffered but nothing moved, injected or
                 // dropped: every head waits on a full FIFO in a cycle
                 // of full FIFOs. With boundary credits the queue state
                 // is a pure function of itself, so no future cycle can
                 // differ — a backpressure deadlock. (An idle network
-                // with activity 0 is just injection pacing.)
+                // with activity 0 is just injection pacing — and with
+                // timeline events still ahead the state is *not* a
+                // pure function of itself: a revival or failure may
+                // yet unblock or retire the heads, so keep cycling.)
                 main.deadlocked = true;
             }
         }
@@ -765,6 +915,7 @@ pub(super) fn execute(
         &mut main,
         &peak,
         &delivered_per_link,
+        &watches,
         arcs,
         vcs,
         router,
@@ -916,7 +1067,7 @@ fn inject_multicast(
                     }
                     let id = allocator.claim();
                     shared.arena.init(id, t, offer_cycle(group), vc0);
-                    push_packet(shared, chan, id);
+                    push_packet(shared, chan, id, cycle);
                     main.in_network += trees.weight(t) as usize;
                     main.in_copies += 1;
                 } else {
@@ -1032,6 +1183,27 @@ fn inject_source(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, cycle: 
             }
             computed
         };
+        // Dead-target requery at the injection port: a cached (or
+        // fresh) first hop onto a beam that has since faded to zero
+        // is re-asked against the repaired routing; a router still
+        // answering the dead beam makes the packet unroutable here —
+        // it never entered the fabric, so there is nothing to strand.
+        let arc = match arc {
+            Some(found) if shared.arc_dead(found) => {
+                shared.inject_cached_entry[src].store(NONE, Relaxed);
+                let fresh = shared
+                    .router
+                    .next_hop_on_vc(src as u64, dst, 0)
+                    .and_then(|next| arc_of(shared.g, src as u64, next))
+                    .filter(|&fresh| !shared.arc_dead(fresh));
+                if let (true, Some(found)) = (shared.stateless, fresh) {
+                    shared.inject_cached_entry[src].store(entry, Relaxed);
+                    shared.inject_cached_arc[src].store(found as u32, Relaxed);
+                }
+                fresh
+            }
+            other => other,
+        };
         let Some(arc) = arc else {
             // No route (or the router proposed a non-neighbor).
             consume_entry(shared, ws, src, entry);
@@ -1055,7 +1227,7 @@ fn inject_source(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, cycle: 
             }
             let id = claim_id(shared, ws);
             shared.arena.init(id, dst as u32, offered, vc0);
-            push_packet(shared, chan, id);
+            push_packet(shared, chan, id, cycle);
             ws.stats.injected += 1;
             ws.stats.entered += 1;
             ws.stats.class_injected[class] += 1;
@@ -1132,7 +1304,7 @@ fn claim_id(shared: &SharedRun, ws: &mut WorkerScratch) -> u32 {
 /// worklist bit. (A parked channel is never empty, so `len == 0`
 /// implies unparked.) Every channel has exactly one pushing owner per
 /// phase: its source's inject worker, or the main thread.
-fn push_packet(shared: &SharedRun, chan: usize, id: u32) {
+fn push_packet(shared: &SharedRun, chan: usize, id: u32, cycle: u64) {
     // ORDERING: Relaxed — the caller owns `chan` for the phase (its
     // source's inject worker, or the main thread in apply), so the
     // peak load+store and the scoreboard publish are single-writer
@@ -1145,6 +1317,35 @@ fn push_packet(shared: &SharedRun, chan: usize, id: u32) {
     shared.counts[chan].store(len, Relaxed);
     if len == 1 {
         activate(shared, chan);
+    }
+    if !shared.watches.is_empty() {
+        note_reroute(shared, chan, cycle);
+    }
+}
+
+/// Resolve time-to-reroute watches: a packet just committed onto
+/// `chan`, so any open watch at the channel's source node whose dead
+/// beam is a *different* out-link has found its reroute. Reported as
+/// `resolved − at_cycle + 1`, counting the event cycle itself — a
+/// same-cycle re-placement took one cycle, not zero.
+#[cold]
+fn note_reroute(shared: &SharedRun, chan: usize, cycle: u64) {
+    let arc = (chan / shared.vcs) as u32;
+    let node = shared.g.arc_source(arc as usize);
+    for watch in shared.watches {
+        // ORDERING: Relaxed load+store, not an RMW — several pushers
+        // can race this within one phase, but every competing store
+        // writes the same `cycle` (phases are barrier-separated, so
+        // all same-phase pushes carry one cycle value), and once the
+        // slot leaves `u64::MAX` the guard skips it: the first
+        // resolving cycle wins deterministically at any thread count.
+        if watch.node == node
+            && watch.arc != arc
+            && cycle >= watch.at_cycle
+            && watch.resolved.load(Relaxed) == u64::MAX
+        {
+            watch.resolved.store(cycle, Relaxed);
+        }
     }
 }
 
@@ -1233,7 +1434,10 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
     // (pops batch to apply). Cross-phase visibility is the barrier's.
     let vcs = shared.vcs;
     let vc_start = cycle as usize % vcs;
-    let mut budget = shared.wavelengths;
+    // A faded link drains at its surviving wavelength count; a dead
+    // one never has queued packets (its FIFOs were stranded at the
+    // event), so a zero budget here only caps, never wedges.
+    let mut budget = shared.arc_budget(arc);
     let mut parked_here = 0u32;
     ws.vc_blocked[..vcs].fill(false);
     ws.vc_pops[..vcs].fill(0);
@@ -1324,6 +1528,42 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
                     .router
                     .next_hop_on_vc(node, dst as u64, packet_vc)
                     .and_then(|next| arc_of(shared.g, node, next))
+            };
+            // Dead-target requery: a cached (or freshly proposed) hop
+            // onto a beam that has since faded to zero is re-asked
+            // once against the now-repaired routing. A router that
+            // still insists on the dead beam strands the head — it is
+            // pulled out of the fabric and resolved per the stranded
+            // policy at apply, instead of wedging the class forever
+            // behind a link that may never come back.
+            let next_arc = match next_arc {
+                Some(found) if shared.arc_dead(found) => {
+                    shared.arena.cached_next(head).store(NONE, Relaxed);
+                    let fresh = shared
+                        .router
+                        .next_hop_on_vc(node, dst as u64, packet_vc)
+                        .and_then(|next| arc_of(shared.g, node, next))
+                        .filter(|&fresh| !shared.arc_dead(fresh));
+                    match fresh {
+                        Some(fresh) => {
+                            if shared.stateless {
+                                shared.arena.cached_next(head).store(fresh as u32, Relaxed);
+                            }
+                            Some(fresh)
+                        }
+                        None => {
+                            shared.queues.pop_head(chan, head, shared.arena);
+                            ws.vc_pops[vc] += 1;
+                            shared.arena.hops(head).store(hops_after, Relaxed);
+                            ws.stranded.push((chan as u32, head));
+                            ws.stats.activity += 1;
+                            budget -= 1;
+                            progressed = true;
+                            continue;
+                        }
+                    }
+                }
+                other => other,
             };
             let Some(next_arc) = next_arc else {
                 shared.queues.pop_head(chan, head, shared.arena);
@@ -1612,6 +1852,260 @@ fn drain_arc_mc(
     }
 }
 
+/// Fire every timeline transition due at this cycle: store the new
+/// per-arc capacity, publish the fade penalty to the adaptive
+/// congestion view, strand the FIFOs of beams that died, feed each
+/// zero-crossing to the router's online repair — and, once per batch
+/// with any crossing, wake the world. Runs on the sequential slot
+/// (workers idle at the cycle barrier), so every gate the phases read
+/// is cycle-stable.
+fn apply_dynamics(
+    shared: &SharedRun,
+    main: &mut MainState,
+    timeline: &Timeline,
+    cursor: &mut usize,
+    scratches: &[Mutex<WorkerScratch>],
+) -> usize {
+    // ORDERING: Relaxed — main thread only, workers parked at the
+    // barrier; the barrier publishes the capacity/penalty stores and
+    // all the stranding surgery to the next phase.
+    let mut activity = 0usize;
+    let mut crossed = false;
+    while *cursor < timeline.transitions.len() && timeline.transitions[*cursor].cycle <= main.cycle
+    {
+        let tr = timeline.transitions[*cursor];
+        *cursor += 1;
+        let arc = tr.arc as usize;
+        let caps = shared.capacity.expect("a timeline implies capacities");
+        caps[arc].store(tr.capacity, Relaxed);
+        main.capacity_events += 1;
+        activity += 1;
+        // A dead beam reads as unusably congested to adaptive
+        // routers; a partial fade as proportionally loaded — the
+        // missing wavelengths' share of the arc's total buffer space.
+        let penalty = if tr.capacity == 0 {
+            DEAD_LINK_PENALTY
+        } else {
+            let missing = shared.wavelengths.saturating_sub(tr.capacity as usize);
+            ((missing * shared.buffers as usize * shared.vcs) / shared.wavelengths) as u32
+        };
+        shared.fade_penalty[arc].store(penalty, Relaxed);
+        match tr.crossing {
+            Crossing::Death => {
+                main.link_down_events += 1;
+                crossed = true;
+                strand_channels(shared, main, arc);
+                repair_link(shared, main, arc, false);
+            }
+            Crossing::Revival => {
+                main.link_up_events += 1;
+                crossed = true;
+                repair_link(shared, main, arc, true);
+            }
+            Crossing::None => {}
+        }
+    }
+    if crossed {
+        activity += wake_all(shared, main, scratches);
+    }
+    activity
+}
+
+/// Feed a zero-crossing to the router's online repair, if it carries
+/// one, and record the per-event patch cost.
+fn repair_link(shared: &SharedRun, main: &mut MainState, arc: usize, alive: bool) {
+    let Some(repair) = shared.router.as_repair() else {
+        return;
+    };
+    let from = u64::from(shared.g.arc_source(arc));
+    let to = u64::from(shared.g.arc_target(arc));
+    let stats = repair.apply_link_event(from, to, alive);
+    main.repair_runs_patched.push(stats.runs_patched as u64);
+    main.repair_rows_patched += stats.rows_patched as u64;
+}
+
+/// A beam died: pull every packet out of its VC FIFOs — into the
+/// re-placement backlog or the drop counters, per policy — and settle
+/// the ready/parked bookkeeping so the worklist stays exact. (The
+/// channels' upstream waiters are handled by the batch's `wake_all`.)
+fn strand_channels(shared: &SharedRun, main: &mut MainState, arc: usize) {
+    // ORDERING: Relaxed — sequential slot; see `apply_dynamics`.
+    let target = shared.g.arc_target(arc) as usize;
+    let mut allocator = None;
+    for vc in 0..shared.vcs {
+        let chan = arc * shared.vcs + vc;
+        let mut head = shared.queues.head[chan].load(Relaxed);
+        if head == NONE {
+            debug_assert_eq!(shared.queues.len[chan].load(Relaxed), 0);
+            continue;
+        }
+        // The nonempty channel leaves the ready set: it was counted
+        // there unless parked (a parked channel is nonempty but
+        // already uncounted — just clear the flag; its stale waiter
+        // list entry dies in `wake_all`).
+        if shared.parked[chan].load(Relaxed) == 0 {
+            let ready = shared.node_ready[target].load(Relaxed);
+            shared.node_ready[target].store(ready - 1, Relaxed);
+            if ready == 1 {
+                shared.active.remove(target);
+            }
+        } else {
+            shared.parked[chan].store(0, Relaxed);
+        }
+        while head != NONE {
+            let next = shared.arena.link(head).load(Relaxed);
+            match shared.stranded_policy {
+                StrandedPolicy::Reinject => {
+                    shared.arena.cached_next(head).store(NONE, Relaxed);
+                    main.backlog.push_back((head, shared.g.arc_source(arc)));
+                }
+                StrandedPolicy::Drop => {
+                    let allocator = allocator
+                        .get_or_insert_with(|| shared.allocator.lock().expect("arena allocator"));
+                    drop_stranded(shared, main, allocator, head);
+                }
+            }
+            head = next;
+        }
+        shared.queues.head[chan].store(NONE, Relaxed);
+        shared.queues.tail[chan].store(NONE, Relaxed);
+        shared.queues.len[chan].store(0, Relaxed);
+        shared.counts[chan].store(0, Relaxed);
+    }
+}
+
+/// Account one stranded packet out of the network under
+/// [`StrandedPolicy::Drop`].
+fn drop_stranded(
+    shared: &SharedRun,
+    main: &mut MainState,
+    allocator: &mut ArenaAllocator,
+    id: u32,
+) {
+    // ORDERING: Relaxed — dst is written once at injection and the
+    // sequential slot reads it with every worker parked at the
+    // barrier.
+    let dst = u64::from(shared.arena.dst(id).load(Relaxed));
+    main.dropped_stranded += 1;
+    main.in_network -= 1;
+    main.in_copies -= 1;
+    main.class_dropped[usize::from(shared.hot_dst == Some(dst))] += 1;
+    allocator.release_all(std::iter::once(id));
+}
+
+/// A beam crossed zero capacity (died or revived): wake the world.
+/// The event-driven waits (parked channels and sources) are keyed to
+/// one specific blocker's pop, but a capacity crossing can unblock —
+/// or invalidate — *any* parked decision once routing repairs around
+/// it. Rare (once per event batch with a crossing), O(channels +
+/// nodes), and deterministic: it runs on the sequential slot, and
+/// whatever should stay blocked simply re-parks from scratch next
+/// phase.
+fn wake_all(shared: &SharedRun, main: &mut MainState, scratches: &[Mutex<WorkerScratch>]) -> usize {
+    // ORDERING: Relaxed — sequential slot; see `apply_dynamics`.
+    let mut woken = 0usize;
+    // Clear every waiter list first: once a parked flag is cleared
+    // and the channel re-activated, a stale list entry surviving to a
+    // future pop would activate it a second time and corrupt the
+    // ready counts.
+    let channels = shared.queues.head.len();
+    for chan in 0..channels {
+        shared.waiter_head[chan].store(NONE, Relaxed);
+        shared.source_waiter_head[chan].store(NONE, Relaxed);
+    }
+    for chan in 0..channels {
+        if shared.parked[chan].load(Relaxed) != 0 {
+            shared.parked[chan].store(0, Relaxed);
+            shared.waiter_link[chan].store(NONE, Relaxed);
+            activate(shared, chan);
+            woken += 1;
+        }
+    }
+    for src in 0..shared.g.node_count() {
+        let parked_at = shared.source_parked_at[src].load(Relaxed);
+        if parked_at == u64::MAX {
+            continue;
+        }
+        // The cycles the scan skipped would each have counted one
+        // stall — same settlement as the pop-driven wake.
+        main.source_stall_cycles += main.cycle - parked_at;
+        shared.source_parked_at[src].store(u64::MAX, Relaxed);
+        shared.source_waiter_link[src].store(NONE, Relaxed);
+        if shared.src_listed[src].load(Relaxed) == 0 && shared.src_head[src].load(Relaxed) != NONE {
+            shared.src_listed[src].store(1, Relaxed);
+            scratches[shared.list_owner(src)]
+                .lock()
+                .expect("wake scratch")
+                .sources
+                .push(src as u32);
+        }
+        woken += 1;
+    }
+    woken
+}
+
+/// Re-place the stranded backlog (the `Reinject` policy): each packet
+/// is offered to the now-repaired routing at the node the death
+/// caught it; the best-ranked live out-beam with room takes it, class
+/// promoted per that arc's dateline crossing. A packet whose every
+/// route died drops; one that found routes but no room stays
+/// backlogged for next cycle. Sequential slot, FIFO over the backlog,
+/// same committed-occupancy room rule as injection.
+fn place_stranded(shared: &SharedRun, main: &mut MainState) -> usize {
+    // ORDERING: Relaxed — sequential slot; see `apply_dynamics`.
+    let mut activity = 0usize;
+    let mut allocator = None;
+    let mut retry = VecDeque::new();
+    while let Some((id, node)) = main.backlog.pop_front() {
+        let dst = u64::from(shared.arena.dst(id).load(Relaxed));
+        debug_assert_ne!(
+            dst,
+            u64::from(node),
+            "a packet at home was delivered, not stranded"
+        );
+        let candidates = shared.router.ranked_candidates(u64::from(node), dst);
+        let vc = shared.arena.vc(id).load(Relaxed) as u8;
+        let mut placed = false;
+        let mut routable = false;
+        for &(_, next) in candidates.as_slice() {
+            let Some(arc) = arc_of(shared.g, u64::from(node), next) else {
+                continue;
+            };
+            if shared.arc_dead(arc) {
+                continue;
+            }
+            routable = true;
+            let next_vc = shared.dateline.next_class_arc(vc, arc);
+            let chan = arc * shared.vcs + next_vc as usize;
+            if shared.queues.len[chan].load(Relaxed) < shared.buffers {
+                if next_vc > vc {
+                    main.dateline_promotions += 1;
+                }
+                shared.arena.vc(id).store(u32::from(next_vc), Relaxed);
+                push_packet(shared, chan, id, main.cycle);
+                main.stranded_reinjected += 1;
+                placed = true;
+                break;
+            }
+        }
+        if placed {
+            activity += 1;
+        } else if routable {
+            retry.push_back((id, node));
+        } else {
+            // Every route from here is dead: drop now rather than
+            // hold the packet hostage to a revival that may never
+            // come. (A `fade:DUR` revival simply re-routes the rest.)
+            let allocator =
+                allocator.get_or_insert_with(|| shared.allocator.lock().expect("arena allocator"));
+            drop_stranded(shared, main, allocator, id);
+            activity += 1;
+        }
+    }
+    main.backlog = retry;
+    activity
+}
+
 /// The apply step: commit pops, wake parked channels and sources,
 /// retire emptied nodes from the worklist, merge stats, recycle
 /// departures and consumed entries, land staged arrivals, then relist
@@ -1728,11 +2222,36 @@ fn apply(
     main.in_network -= departed;
     main.in_copies += entered + spawned_copies;
     main.in_copies -= departed_copies;
+    // Dead-target strands from the drain resolve here. Cross-worker
+    // order is normalized by channel id: each channel has exactly one
+    // draining worker, so per-channel order is drain order and the
+    // stable sort makes the merged sequence a pure function of the
+    // cycle state, not the worker layout.
+    let mut stranded: Vec<(u32, u32)> = Vec::new();
+    for cell in scratches {
+        let mut ws = cell.lock().expect("apply scratch");
+        stranded.append(&mut ws.stranded);
+    }
+    if !stranded.is_empty() {
+        stranded.sort_by_key(|&(chan, _)| chan);
+        for (chan, id) in stranded {
+            let node = shared.g.arc_target(chan as usize / shared.vcs);
+            match shared.stranded_policy {
+                StrandedPolicy::Reinject => {
+                    shared.arena.cached_next(id).store(NONE, Relaxed);
+                    main.backlog.push_back((id, node));
+                }
+                StrandedPolicy::Drop => {
+                    drop_stranded(shared, main, &mut allocator, id);
+                }
+            }
+        }
+    }
     for cell in scratches {
         let mut ws = cell.lock().expect("apply scratch");
         for &(chan, id) in &ws.staged {
             shared.queues.staged_len[chan as usize].store(0, Relaxed);
-            push_packet(shared, chan as usize, id);
+            push_packet(shared, chan as usize, id, main.cycle);
         }
         ws.staged.clear();
         // Replications land after moves: per channel both sequences
@@ -1745,7 +2264,7 @@ fn apply(
                 .arena
                 .init(id, spawn.tree_arc, spawn.offered, spawn.vc);
             shared.arena.hops(id).store(spawn.hops, Relaxed);
-            push_packet(shared, spawn.chan as usize, id);
+            push_packet(shared, spawn.chan as usize, id, main.cycle);
         }
     }
     // Woken unicast sources rejoin their owner's inject list (the
@@ -1771,6 +2290,7 @@ fn finish(
     main: &mut MainState,
     peak: &[AtomicU32],
     delivered_per_link: &[AtomicU64],
+    watches: &[Watch],
     arcs: usize,
     vcs: usize,
     router: &dyn Router,
@@ -1819,6 +2339,25 @@ fn finish(
         })
         .collect();
 
+    // Time-to-reroute: settle only the watches whose death actually
+    // fired before the run ended. Deaths apply in timeline order, so
+    // the applied ones are exactly the first `link_down_events`
+    // watches; a scheduled death past the horizon is neither a
+    // reroute nor a failure to reroute.
+    let mut time_to_reroute_cycles = Vec::new();
+    let mut reroute_unresolved = 0u64;
+    for watch in &watches[..main.link_down_events as usize] {
+        let resolved = watch.resolved.load(Relaxed);
+        if resolved == u64::MAX {
+            reroute_unresolved += 1;
+        } else {
+            time_to_reroute_cycles.push(resolved - watch.at_cycle + 1);
+        }
+    }
+    let table_runs_total = router
+        .as_repair()
+        .map_or(0, |repair| repair.repair_table_runs() as u64);
+
     QueueingReport {
         router: router.name(),
         offered_per_cycle,
@@ -1851,5 +2390,15 @@ fn finish(
         replicated_copies: main.replicated,
         multicast_forwarding_index: trees.map_or(0, TreeSet::forwarding_index),
         class_stats,
+        link_down_events: main.link_down_events,
+        link_up_events: main.link_up_events,
+        capacity_events: main.capacity_events,
+        dropped_stranded: main.dropped_stranded,
+        stranded_reinjected: main.stranded_reinjected,
+        time_to_reroute_cycles,
+        reroute_unresolved,
+        repair_runs_patched: std::mem::take(&mut main.repair_runs_patched),
+        repair_rows_patched: main.repair_rows_patched,
+        table_runs_total,
     }
 }

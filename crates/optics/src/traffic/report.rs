@@ -361,6 +361,43 @@ pub struct QueueingReport {
     /// classified (see `QueueingEngine::run_classified`): the
     /// tree-saturation story made visible per traffic class.
     pub class_stats: Option<ClassBreakdown>,
+    /// Link deaths applied (capacity transitions to zero). `0` for
+    /// runs without a dynamics timeline.
+    pub link_down_events: u64,
+    /// Link revivals applied (capacity transitions from zero).
+    pub link_up_events: u64,
+    /// Every capacity transition applied, crossings or not (partial
+    /// fades included) — always ≥ `link_down_events + link_up_events`.
+    pub capacity_events: u64,
+    /// Packets stranded by a link death and dropped — either by
+    /// `StrandedPolicy::Drop`, or under `Reinject` when repair left
+    /// their destination unreachable. Counted in [`QueueingReport::dropped`].
+    pub dropped_stranded: usize,
+    /// Stranded packets successfully re-placed onto a live out-channel
+    /// of the node the death caught them at.
+    pub stranded_reinjected: u64,
+    /// Per link death, in event order: cycles from the death until the
+    /// first packet committed onto an alternative out-link of the
+    /// affected node (the event cycle counts as 1 — a same-cycle
+    /// re-placement reroutes in one cycle). Deaths whose reroute never
+    /// happened are in `reroute_unresolved` instead, so
+    /// `len() + reroute_unresolved == link_down_events`.
+    pub time_to_reroute_cycles: Vec<u64>,
+    /// Link deaths after which no packet ever took an alternative
+    /// out-link of the affected node (no demand there, or the run
+    /// ended first).
+    pub reroute_unresolved: u64,
+    /// Per zero-crossing event fed to the router's online repair, in
+    /// event order: CSR runs rewritten by the incremental patch. Empty
+    /// when the router has no repair capability.
+    pub repair_runs_patched: Vec<u64>,
+    /// Next-hop rows rewritten across all repairs (the row count a
+    /// full rebuild would rewrite per event is the node count).
+    pub repair_rows_patched: u64,
+    /// CSR runs the repairable table held after the run — the
+    /// denominator `repair_runs_patched` entries compare against (a
+    /// full rebuild rewrites all of them). `0` without repair.
+    pub table_runs_total: u64,
 }
 
 /// Queueing statistics of one traffic class within a classified run.
@@ -409,7 +446,7 @@ pub struct ClassBreakdown {
 impl QueueingReport {
     /// All drops, regardless of cause.
     pub fn dropped(&self) -> usize {
-        self.dropped_full + self.dropped_unroutable + self.dropped_ttl
+        self.dropped_full + self.dropped_unroutable + self.dropped_ttl + self.dropped_stranded
     }
 
     /// Fraction of injected packets delivered.
@@ -449,6 +486,30 @@ impl QueueingReport {
     /// or still buffered. The queueing engine's core invariant.
     pub fn conserves_packets(&self) -> bool {
         self.injected == self.delivered + self.dropped() + self.in_flight
+    }
+
+    /// The dynamics counters' own conservation laws, on top of
+    /// [`QueueingReport::conserves_packets`]: every link death is
+    /// accounted a resolved or unresolved reroute
+    /// (`time_to_reroute_cycles` + `reroute_unresolved` ==
+    /// `link_down_events`), zero-crossings never outnumber capacity
+    /// transitions (`link_down_events` + `link_up_events` ≤
+    /// `capacity_events`), stranded packets resolve to a reinjection
+    /// or a stranded drop (`stranded_reinjected` and
+    /// `dropped_stranded` are their partition, checked through the
+    /// packet conservation above), and repair cost vectors quote
+    /// against a live denominator (`repair_runs_patched` entries need
+    /// `table_runs_total` > 0). The lint report-field audit pins every
+    /// dynamics counter to an appearance here.
+    pub fn dynamics_consistent(&self) -> bool {
+        self.conserves_packets()
+            && self.time_to_reroute_cycles.len() as u64 + self.reroute_unresolved
+                == self.link_down_events
+            && self.link_down_events + self.link_up_events <= self.capacity_events
+            && (self.repair_runs_patched.is_empty() || self.table_runs_total > 0)
+            && (self.repair_rows_patched == 0 || !self.repair_runs_patched.is_empty())
+            && (self.stranded_reinjected == 0 && self.dropped_stranded == 0
+                || self.link_down_events > 0)
     }
 }
 
@@ -627,12 +688,36 @@ mod tests {
             replicated_copies: 0,
             multicast_forwarding_index: 0,
             class_stats: None,
+            link_down_events: 0,
+            link_up_events: 0,
+            capacity_events: 0,
+            dropped_stranded: 0,
+            stranded_reinjected: 0,
+            time_to_reroute_cycles: vec![],
+            reroute_unresolved: 0,
+            repair_runs_patched: vec![],
+            repair_rows_patched: 0,
+            table_runs_total: 0,
         };
         assert_eq!(report.delivery_rate(), 1.0);
         assert_eq!(report.drop_rate(), 0.0);
         assert_eq!(report.throughput_per_cycle(), 0.0);
         assert_eq!(report.mean_hops(), 0.0);
         assert!(report.conserves_packets());
+        assert!(report.dynamics_consistent());
+        // A death with no reroute accounting breaks dynamics
+        // consistency; accounting it unresolved restores it.
+        let mut dynamic = report.clone();
+        dynamic.link_down_events = 1;
+        dynamic.capacity_events = 1;
+        assert!(!dynamic.dynamics_consistent());
+        dynamic.reroute_unresolved = 1;
+        assert!(dynamic.dynamics_consistent());
+        // Stranded drops count as drops: conservation keeps holding.
+        dynamic.injected = 1;
+        dynamic.dropped_stranded = 1;
+        assert_eq!(dynamic.dropped(), 1);
+        assert!(dynamic.conserves_packets());
     }
 
     #[test]

@@ -1218,3 +1218,316 @@ fn streamed_chunk_seam_is_invisible_to_the_report() {
         "static engine: chunk seam leaked into the report"
     );
 }
+
+// ---------------------------------------------------------------
+// Link dynamics: fades, flapping beams, failure storms, and online
+// reroute with incremental next-hop repair.
+// ---------------------------------------------------------------
+
+use otis_core::DynamicRoutingTable;
+use otis_optics::{DynamicsSpec, StrandedPolicy};
+
+/// The tentpole acceptance run: a B(2,10) hotspot workload survives a
+/// mid-run failure storm across a transceiver-plane slice plus a
+/// single-beam fade on the hot in-tree. Routing repairs online
+/// (strictly fewer runs patched than a full rebuild), the report
+/// carries a nonzero time-to-reroute, the stranded packets re-place
+/// through the surviving sibling beam, and delivery stays ≥ 90% with
+/// conservation holding throughout.
+#[test]
+fn mid_run_storm_on_b210_hotspot_reroutes_and_delivers() {
+    let b = DeBruijn::new(2, 10);
+    let n = b.node_count();
+    let g = b.digraph();
+    let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 6_000, 11);
+    let config = QueueConfig {
+        buffers: 4,
+        wavelengths: 1,
+        vcs: 2,
+        policy: ContentionPolicy::Backpressure,
+        hop_limit: None,
+        drain_threads: 0,
+        max_cycles: 100_000,
+    };
+    let mut engine = QueueingEngine::new(g.clone(), config);
+    // At cycle 40 every out-beam of the four-node slice 300..=303
+    // dies for 120 cycles; at cycle 50 the hot in-tree beam 256 → 512
+    // fades to zero for 100 cycles (its sibling 256 → 513 survives,
+    // so the stranded hot traffic has somewhere to go); plus one
+    // flapping beam elsewhere.
+    let spec: DynamicsSpec = "storm@40:300-303:120,fade@50:256>512:0:100,flap@60:7>14:10:10:3"
+        .parse()
+        .expect("valid dynamics spec");
+    engine.set_dynamics(spec, StrandedPolicy::Reinject);
+    let router = DynamicRoutingTable::new(&g);
+    let report = engine.run_classified(&router, &workload, 0.4 * n as f64, Some(n / 2));
+
+    assert!(!report.deadlocked, "{report:?}");
+    assert!(report.dynamics_consistent(), "{report:?}");
+    assert_eq!(report.in_flight, 0);
+    // 8 storm deaths + 1 fade death + 3 flap deaths, each revived.
+    assert_eq!(report.link_down_events, 12);
+    assert_eq!(report.link_up_events, 12);
+    // Deaths at nodes with a surviving sibling beam (the fade and the
+    // flaps) resolve their reroute watch; a storm node loses *every*
+    // out-beam, so its watch can only settle if traffic transits it
+    // after revival — those may honestly stay unresolved.
+    assert!(!report.time_to_reroute_cycles.is_empty(), "{report:?}");
+    assert!(report.time_to_reroute_cycles.iter().all(|&t| t >= 1));
+    assert!(report.reroute_unresolved <= 8, "{report:?}");
+    // Online repair patched, and each event touched strictly fewer
+    // runs than the full table holds.
+    assert_eq!(report.repair_runs_patched.len(), 24);
+    assert!(report.table_runs_total > 0);
+    assert!(report
+        .repair_runs_patched
+        .iter()
+        .all(|&runs| runs < report.table_runs_total));
+    // The storm caught traffic mid-flight and the engine re-placed it.
+    assert!(report.stranded_reinjected > 0, "{report:?}");
+    // ≥ 90% delivered despite the storm window (the only losses are
+    // packets stuck at — or sourced from — the dead slice).
+    assert!(
+        report.delivered * 10 >= report.injected * 9,
+        "delivered {} of {}",
+        report.delivered,
+        report.injected
+    );
+    // After the run (all events revived), the repaired table answers
+    // byte-identically to a from-scratch build of the full fabric.
+    assert_eq!(router.dead_arc_count(), 0);
+    assert_eq!(
+        router.snapshot(),
+        otis_digraph::repair::RepairableNextHopTable::new(&g).snapshot(),
+        "post-revival repair drifted from the from-scratch table"
+    );
+}
+
+/// Satellite 6 regression: a head parked behind a beam that then
+/// fades to zero must deroute (or drop) instead of wedging. The hot
+/// in-tree link 64 → 128 on B(2,8) dies permanently mid-run; the
+/// wake-the-world crossing re-evaluates every parked channel and the
+/// stranded queue re-places through the surviving in-beam.
+#[test]
+fn heads_blocked_behind_a_dying_beam_deroute_instead_of_wedging() {
+    let b = DeBruijn::new(2, 8);
+    let n = b.node_count();
+    let g = b.digraph();
+    let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 4_000, 3);
+    let config = QueueConfig {
+        buffers: 2,
+        wavelengths: 1,
+        vcs: 2,
+        policy: ContentionPolicy::Backpressure,
+        hop_limit: None,
+        drain_threads: 0,
+        max_cycles: 100_000,
+    };
+    for policy in [StrandedPolicy::Reinject, StrandedPolicy::Drop] {
+        let mut engine = QueueingEngine::new(g.clone(), config);
+        engine.set_dynamics("fade@30:64>128".parse().expect("valid spec"), policy);
+        let router = DynamicRoutingTable::new(&g);
+        let report = engine.run_classified(&router, &workload, 0.5 * n as f64, Some(n / 2));
+        assert!(!report.deadlocked, "{policy:?}: wedged — {report:?}");
+        assert!(report.cycles < config.max_cycles, "{policy:?}: spun out");
+        assert!(report.dynamics_consistent(), "{policy:?}: {report:?}");
+        assert_eq!(report.in_flight, 0);
+        assert_eq!(report.link_down_events, 1);
+        let resolved = match policy {
+            StrandedPolicy::Reinject => report.stranded_reinjected,
+            StrandedPolicy::Drop => report.dropped_stranded as u64,
+        };
+        assert!(
+            resolved > 0,
+            "{policy:?}: nothing was queued on the dead beam"
+        );
+    }
+}
+
+/// A timeline whose only event sits far past the horizon must leave
+/// the run byte-identical to the static engine — at every thread
+/// count. The dynamics scaffolding (capacity gates, watches, penalty
+/// slab) may cost cycles, never behavior.
+#[test]
+fn unfired_timeline_reproduces_the_static_report_at_1_2_8_threads() {
+    let b = DeBruijn::new(2, 8);
+    let n = b.node_count();
+    let g = b.digraph();
+    let workload = generate_workload(TrafficPattern::Uniform, n, 2, 3_000, 19);
+    for threads in [1usize, 2, 8] {
+        let config = QueueConfig {
+            buffers: 4,
+            wavelengths: 2,
+            vcs: 2,
+            policy: ContentionPolicy::Backpressure,
+            hop_limit: None,
+            drain_threads: threads,
+            max_cycles: 100_000,
+        };
+        let router = DynamicRoutingTable::new(&g);
+        let baseline =
+            QueueingEngine::new(g.clone(), config).run(&router, &workload, 0.4 * n as f64);
+        let mut engine = QueueingEngine::new(g.clone(), config);
+        engine.set_dynamics(
+            "fade@900000:0>1:0:5".parse().expect("valid spec"),
+            StrandedPolicy::Reinject,
+        );
+        let report = engine.run(&router, &workload, 0.4 * n as f64);
+        assert_eq!(baseline, report, "threads={threads}");
+    }
+}
+
+/// Reports under *firing* dynamics are a pure function of the cycle
+/// state, not the worker layout: the same storm at 1, 2 and 8 drain
+/// threads yields identical reports (stranded resolution is
+/// channel-sorted, watches resolve on cycle values, and events fire
+/// on the sequential slot).
+#[test]
+fn dynamics_reports_are_thread_invariant() {
+    let b = DeBruijn::new(2, 8);
+    let n = b.node_count();
+    let g = b.digraph();
+    let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 4_000, 23);
+    let run = |threads: usize| {
+        let config = QueueConfig {
+            buffers: 4,
+            wavelengths: 1,
+            vcs: 2,
+            policy: ContentionPolicy::Backpressure,
+            hop_limit: None,
+            drain_threads: threads,
+            max_cycles: 100_000,
+        };
+        let mut engine = QueueingEngine::new(g.clone(), config);
+        engine.set_dynamics(
+            "storm@25:100-101:60,fade@45:64>128:0:90"
+                .parse()
+                .expect("valid spec"),
+            StrandedPolicy::Reinject,
+        );
+        // Fresh router per run: repair mutates it.
+        let router = DynamicRoutingTable::new(&g);
+        engine.run_classified(&router, &workload, 0.5 * n as f64, Some(n / 2))
+    };
+    let single = run(1);
+    assert!(single.link_down_events > 0 && single.dynamics_consistent());
+    assert_eq!(single, run(2), "2 threads diverged");
+    assert_eq!(single, run(8), "8 threads diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary seed-split fade timelines on B(2, dim) with vcs ≥ 2
+    /// backpressure: the run never wedges, conserves packets through
+    /// every death and revival, and drains to empty under both
+    /// stranded policies.
+    #[test]
+    fn random_fade_timelines_conserve_and_never_wedge(
+        dim in 4u32..7,
+        seed in any::<u64>(),
+        fades in 1usize..5,
+        window in 1u64..120,
+        duration in 1u64..60,
+        reinject in any::<bool>(),
+    ) {
+        let b = DeBruijn::new(2, dim);
+        let n = b.node_count();
+        let g = b.digraph();
+        let workload = generate_workload(TrafficPattern::Uniform, n, 2, 400, seed);
+        let config = config_from(4, 1, 2, false);
+        let mut engine = QueueingEngine::new(g.clone(), config);
+        let spec: DynamicsSpec = format!("randfades@{seed}:{fades}:{window}:{duration}")
+            .parse()
+            .expect("valid spec");
+        engine.set_dynamics(
+            spec,
+            if reinject { StrandedPolicy::Reinject } else { StrandedPolicy::Drop },
+        );
+        let router = DynamicRoutingTable::new(&g);
+        let report = engine.run(&router, &workload, 0.3 * n as f64);
+        prop_assert!(!report.deadlocked, "{report:?}");
+        prop_assert!(report.dynamics_consistent(), "{report:?}");
+        prop_assert_eq!(report.in_flight, 0);
+    }
+
+    /// The kill/revive battery at engine level: after a run whose
+    /// timeline leaves some arcs permanently dead, the router's
+    /// incrementally repaired table is byte-identical to a
+    /// from-scratch build over the same dead set.
+    #[test]
+    fn engine_driven_repair_matches_from_scratch_build(
+        dim in 4u32..6,
+        seed in any::<u64>(),
+        fades in proptest::collection::vec((any::<u64>(), any::<u64>(), 0u64..5), 1..4),
+    ) {
+        let b = DeBruijn::new(2, dim);
+        let n = b.node_count();
+        let g = b.digraph();
+        let workload = generate_workload(TrafficPattern::Uniform, n, 2, 200, seed);
+        // Permanent fades (no duration) on known de Bruijn links
+        // (u → 2u + bit mod n): the dead set survives the run. Fade
+        // cycles are pinned early (< 5) so every event fires before
+        // the small workload drains and the run ends.
+        let mut events = Vec::new();
+        let mut dead = Vec::new();
+        for &(u, bit, cycle) in &fades {
+            let from = u % n;
+            let to = (2 * from + bit % 2) % n;
+            events.push(format!("fade@{cycle}:{from}>{to}"));
+            dead.push(g.arc_between(from as u32, to as u32).expect("a de Bruijn link"));
+        }
+        dead.sort_unstable();
+        dead.dedup();
+        let spec: DynamicsSpec = events.join(",").parse().expect("valid spec");
+        let config = config_from(4, 1, 2, false);
+        let mut engine = QueueingEngine::new(g.clone(), config);
+        engine.set_dynamics(spec, StrandedPolicy::Reinject);
+        let router = DynamicRoutingTable::new(&g);
+        let report = engine.run(&router, &workload, 0.3 * n as f64);
+        prop_assert!(report.dynamics_consistent(), "{report:?}");
+        prop_assert_eq!(router.dead_arc_count(), dead.len());
+        let scratch = otis_digraph::repair::RepairableNextHopTable::with_dead_arcs(&g, &dead);
+        prop_assert_eq!(
+            router.snapshot(),
+            scratch.snapshot(),
+            "incremental repair drifted from the from-scratch survivor build"
+        );
+    }
+}
+
+/// The adaptive router consumes the fade penalty: a half-dead beam
+/// reads as congested through [`LinkOccupancy`], and the wrapped
+/// dynamic table keeps the whole stack conserving under a timeline.
+#[test]
+fn adaptive_over_dynamics_conserves_and_sees_fade_penalty() {
+    let b = DeBruijn::new(2, 8);
+    let n = b.node_count();
+    let g = b.digraph();
+    let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 3_000, 5);
+    let config = QueueConfig {
+        buffers: 4,
+        wavelengths: 2,
+        vcs: 2,
+        policy: ContentionPolicy::Backpressure,
+        hop_limit: None,
+        drain_threads: 0,
+        max_cycles: 100_000,
+    };
+    let mut engine = QueueingEngine::new(g.clone(), config);
+    engine.set_dynamics(
+        "fade@20:64>128:1:200,storm@60:40-41:50"
+            .parse()
+            .expect("valid spec"),
+        StrandedPolicy::Reinject,
+    );
+    let adaptive = AdaptiveRouter::new(DynamicRoutingTable::new(&g), engine.occupancy())
+        .with_dateline(engine.dateline());
+    let report = engine.run_classified(&adaptive, &workload, 0.4 * n as f64, Some(n / 2));
+    assert!(!report.deadlocked, "{report:?}");
+    assert!(report.dynamics_consistent(), "{report:?}");
+    assert_eq!(report.in_flight, 0);
+    // The partial fade is a capacity event but not a death.
+    assert_eq!(report.link_down_events, 4);
+    assert!(report.capacity_events >= 6);
+}
