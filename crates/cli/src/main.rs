@@ -81,10 +81,17 @@ USAGE:
                        (flap@C:S>D:UP:DOWN[:N]), correlated failure storms
                        (storm@C:LO-HI:DUR) and seed-split random fades
                        (randfades@SEED:N:WINDOW:DUR), comma-separated.
-                       Routing repairs online: each link death/revival
-                       patches only the next-hop table runs whose
-                       min-first-hop changed, and the report carries
-                       time-to-reroute and per-event repair cost.
+                       Links are named in the fabric's own numbering; a
+                       rank: marker after the cycle (fade@C:rank:S>D,
+                       storm@C:rank:LO-HI:DUR) names de Bruijn ranks
+                       instead, translated through the layout's
+                       isomorphism witness. Routing repairs online:
+                       each link death/revival patches only the
+                       next-hop table runs whose min-first-hop changed,
+                       republishes an immutable route snapshot workers
+                       read lock-free, and the report carries
+                       time-to-reroute, per-event repair cost, and
+                       snapshot publication cost.
     --stranded <S>     queueing: what a link death does to packets queued
                        on the dead beam: reinject (default; re-place via
                        the repaired routing) | drop
@@ -236,6 +243,11 @@ struct TrafficOptions {
     load_set: bool,
     /// Link-dynamics timeline to replay during the run, if any.
     dynamics: Option<otis_optics::DynamicsSpec>,
+    /// The layout's isomorphism witness (`witness[h_node]` = de
+    /// Bruijn rank), resolved by `cmd_traffic` when a dynamics
+    /// timeline is armed so `rank:`-addressed events translate to
+    /// fabric links.
+    rank_witness: Option<Vec<u32>>,
     /// What a link death does to packets queued on the dead beam.
     stranded: otis_optics::StrandedPolicy,
     /// True iff `--stranded` was given explicitly (meaningless, and
@@ -255,6 +267,7 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
         load_per_node: 0.2,
         load_set: false,
         dynamics: None,
+        rank_witness: None,
         stranded: otis_optics::StrandedPolicy::default(),
         stranded_set: false,
         config: otis_optics::QueueConfig::default(),
@@ -349,7 +362,7 @@ fn parse_traffic_args(args: &[String]) -> Result<(Vec<String>, TrafficOptions), 
 }
 
 fn cmd_traffic(args: &[String]) -> Result<(), String> {
-    let (positionals, options) = parse_traffic_args(args)?;
+    let (positionals, mut options) = parse_traffic_args(args)?;
     let d: u32 = parse(&positionals, 0, "d")?;
     let dd: u32 = parse(&positionals, 1, "D")?;
     let pattern: otis_optics::TrafficPattern = parse(&positionals, 2, "pattern")?;
@@ -441,11 +454,24 @@ fn cmd_traffic(args: &[String]) -> Result<(), String> {
     // under --arithmetic anywhere), the tableless de Bruijn shift
     // router takes over — no per-node storage at all, any d^D.
     if options.dynamics.is_some() {
-        // Link dynamics route through the repairable next-hop table:
-        // the engine feeds each death/revival to its online repair,
-        // which patches only the per-source CSR runs whose
-        // min-first-hop changed.
-        let router = otis_core::DynamicRoutingTable::new(&h.digraph());
+        // Link dynamics route through the repairable next-hop table,
+        // built in de Bruijn rank space — where shift-routing rows
+        // compress into a handful of CSR runs — and carried to the H
+        // numbering through the paper's isomorphism witness. The
+        // engine feeds each death/revival to the online repair (the
+        // relabeling translates endpoints to rank space), which
+        // patches only the per-source runs whose min-first-hop
+        // changed, then republishes the immutable snapshot workers
+        // route by. The witness also resolves `rank:`-addressed
+        // timeline events.
+        let witness = spec
+            .debruijn_witness()
+            .map_err(|e| format!("layout is not de Bruijn: {e}"))?;
+        options.rank_witness = Some(witness.clone());
+        let router = otis_core::RelabeledRouter::new(
+            otis_core::DynamicRoutingTable::new(&DeBruijn::new(d, dd).digraph()),
+            witness,
+        );
         return run_traffic_over(h, router, &workload, pattern, options, build_start);
     }
     if options.arithmetic || n > otis_digraph::compressed::CompressedNextHopTable::MAX_NODES as u64
@@ -574,7 +600,11 @@ fn run_queueing_traffic<R: otis_core::Router>(
     let n = otis_core::DigraphFamily::node_count(h);
     let mut engine = otis_optics::QueueingEngine::from_family(h, options.config);
     if let Some(spec) = options.dynamics.clone() {
-        engine.set_dynamics(spec, options.stranded);
+        engine.try_set_dynamics_relabeled(
+            spec,
+            options.stranded,
+            options.rank_witness.as_deref(),
+        )?;
     }
     let (oblivious, adaptive);
     let routed: &dyn Router = if options.adaptive {
@@ -749,23 +779,25 @@ fn print_queueing_body(report: &otis_optics::QueueingReport, options: &TrafficOp
         if !report.time_to_reroute_cycles.is_empty() {
             let mut ttr = report.time_to_reroute_cycles.clone();
             ttr.sort_unstable();
-            println!(
-                "  time to reroute   : p50 {} cy, max {} cy ({} of {} deaths rerouted{})",
+            print!(
+                "  time to reroute   : p50 {} cy, max {} cy ({} of {} deaths rerouted",
                 ttr[ttr.len() / 2],
                 ttr[ttr.len() - 1],
                 ttr.len(),
                 report.link_down_events,
-                if report.reroute_unresolved > 0 {
-                    "; the rest saw no alternative-arc demand"
-                } else {
-                    ""
-                }
             );
+            if report.reroute_unresolved > 0 {
+                print!("; {} unresolved despite demand", report.reroute_unresolved);
+            }
+            if report.reroute_no_demand > 0 {
+                print!("; {} beams no packet wanted", report.reroute_no_demand);
+            }
+            println!(")");
         } else if report.link_down_events > 0 {
             println!(
-                "  time to reroute   : unresolved for all {} deaths (no packet ever took an \
-                 alternative out-link of an affected node)",
-                report.link_down_events
+                "  time to reroute   : none resolved — {} deaths with unmet demand, {} beams \
+                 no packet wanted",
+                report.reroute_unresolved, report.reroute_no_demand
             );
         }
         if report.stranded_reinjected > 0 || report.dropped_stranded > 0 {
@@ -783,12 +815,19 @@ fn print_queueing_body(report: &otis_optics::QueueingReport, options: &TrafficOp
                 .unwrap_or(0);
             println!(
                 "  online repair     : {} events, {} next-hop rows rewritten, worst event \
-                 touched {} of {} table runs (a full rebuild rewrites all of them)",
+                 rewrote {} runs (healthy table holds {}; a full rebuild rewrites every row)",
                 report.repair_runs_patched.len(),
                 report.repair_rows_patched,
                 worst,
                 report.table_runs_total
             );
+            if report.snapshot_publications > 0 {
+                println!(
+                    "  route snapshots   : {} published, {} compressed runs rebuilt across \
+                     them — workers route lock-free between publications",
+                    report.snapshot_publications, report.snapshot_runs_published
+                );
+            }
         }
     }
     if let Some(stats) = &report.class_stats {

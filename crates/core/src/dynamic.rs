@@ -17,11 +17,21 @@
 //! through [`RouteRepair::apply_link_event`] on the sequential slot of
 //! its cycle loop — workers are parked at a phase barrier, so the
 //! write lock is uncontended in practice.
+//!
+//! Reads, by contrast, never touch that lock: every row-changing
+//! repair **publishes** an immutable [`RouteSnapshot`] (a compact CSR
+//! view behind an `Arc`) and bumps an epoch counter. The engine's
+//! drain/inject workers cache the snapshot per thread, poll the epoch
+//! once per cycle, and re-fetch only when it moved — so between link
+//! events every next-hop lookup is lock-free and wait-free, at the
+//! same canonical answers the locked path gives.
 
 use crate::router::{rank_candidates, RankedCandidates, Router};
+use otis_digraph::compressed::CompressedNextHopTable;
 use otis_digraph::repair::{RepairStats, RepairableNextHopTable};
 use otis_digraph::{Digraph, INFINITY};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// The online-repair capability a dynamics-driving engine consumes.
 ///
@@ -36,9 +46,113 @@ pub trait RouteRepair: Sync {
     /// [`RepairStats::default`].
     fn apply_link_event(&self, from: u64, to: u64, alive: bool) -> RepairStats;
 
+    /// As [`Self::apply_link_event`] but *without* refreshing the
+    /// published read snapshot. An engine applying a batch of
+    /// same-cycle events (a 16-beam storm crossing zero at once) calls
+    /// this per event and [`Self::publish_deferred`] once at the end
+    /// of the batch, paying one snapshot instead of sixteen. Routing
+    /// queries must not run between a deferred event and its
+    /// publication — the engine's sequential slot guarantees that.
+    /// The default forwards to the eager path (publish per event),
+    /// which is always correct, just slower.
+    fn apply_link_event_deferred(&self, from: u64, to: u64, alive: bool) -> RepairStats {
+        self.apply_link_event(from, to, alive)
+    }
+
+    /// Publish whatever [`Self::apply_link_event_deferred`] left
+    /// pending; a no-op when nothing patched since the last
+    /// publication. The default (eager publication) never defers.
+    fn publish_deferred(&self) {}
+
     /// Total runs currently stored — the denominator a report quotes
     /// repair costs against (a full rebuild rewrites all of them).
     fn repair_table_runs(&self) -> usize;
+
+    /// Monotone counter that moves exactly when the published snapshot
+    /// changes. Engines poll this once per cycle (one atomic load) and
+    /// call [`Self::published_snapshot`] only when it moved. The
+    /// default (a constant `0`) pairs with the default `None` snapshot:
+    /// no lock-free read path on offer.
+    fn snapshot_epoch(&self) -> u64 {
+        0
+    }
+
+    /// The current epoch-published snapshot, if this implementation
+    /// offers lock-free reads. Fetching is cheap (`Arc` bumps plus one
+    /// uncontended mutex), but callers should still gate fetches on
+    /// [`Self::snapshot_epoch`] movement and cache the result.
+    fn published_snapshot(&self) -> Option<RouteSnapshot> {
+        None
+    }
+}
+
+/// An immutable, epoch-stamped view of a repairable router's current
+/// next-hop function — what a queueing engine's drain/inject workers
+/// route through instead of taking the repairable table's lock on
+/// every query.
+///
+/// Cloning is cheap (`Arc` bumps): workers cache one per thread and
+/// refresh only when [`RouteRepair::snapshot_epoch`] moves, which
+/// happens on the engine's sequential slot when a link event actually
+/// changed a next-hop row. Between epochs every lookup is lock-free
+/// and wait-free, and byte-identical to the owning router's locked
+/// answers at the same epoch.
+#[derive(Clone)]
+pub struct RouteSnapshot {
+    epoch: u64,
+    table: Arc<CompressedNextHopTable>,
+    /// Present when the snapshot serves a relabeled (isomorphic outer)
+    /// fabric: `(to_inner, from_inner)` translate endpoints through
+    /// the isomorphism witness — kill/revive and queries arrive in
+    /// outer (H) numbering while the table speaks de Bruijn ranks.
+    relabel: Option<WitnessPair>,
+}
+
+/// An isomorphism witness as a `(to_inner, from_inner)` pair of shared
+/// permutation arrays.
+type WitnessPair = (Arc<[u32]>, Arc<[u32]>);
+
+impl RouteSnapshot {
+    /// The publication epoch this snapshot was taken at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Next hop `current → dst` under this snapshot: `None` if
+    /// `current == dst`, the destination is unreachable, or either
+    /// endpoint is off-fabric — the same canonical answer the owning
+    /// router's locked path gives at the same epoch.
+    #[inline]
+    pub fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
+        match &self.relabel {
+            None => self.table.next_hop64(current, dst),
+            Some((to_inner, from_inner)) => {
+                let c = *to_inner.get(current as usize)?;
+                let d = *to_inner.get(dst as usize)?;
+                self.table
+                    .next_hop64(c as u64, d as u64)
+                    .map(|v| from_inner[v as usize] as u64)
+            }
+        }
+    }
+
+    /// Re-address this snapshot for an isomorphic outer fabric via a
+    /// witness pair, or `None` if it is already relabeled (witness
+    /// composition is not supported — nest routers, not snapshots).
+    pub(crate) fn relabeled(
+        &self,
+        to_inner: Arc<[u32]>,
+        from_inner: Arc<[u32]>,
+    ) -> Option<RouteSnapshot> {
+        if self.relabel.is_some() {
+            return None;
+        }
+        Some(RouteSnapshot {
+            epoch: self.epoch,
+            table: Arc::clone(&self.table),
+            relabel: Some((to_inner, from_inner)),
+        })
+    }
 }
 
 /// A [`Router`] over an incrementally repairable next-hop table.
@@ -58,6 +172,17 @@ pub trait RouteRepair: Sync {
 /// engine's drain phase).
 pub struct DynamicRoutingTable {
     inner: RwLock<RepairableNextHopTable>,
+    /// The epoch-published immutable read view; replaced (never
+    /// mutated) by [`RouteRepair::apply_link_event`] whenever a repair
+    /// patched at least one row. The mutex only guards the `Arc` swap
+    /// — readers clone out and drop the guard immediately.
+    published: Mutex<Arc<CompressedNextHopTable>>,
+    /// Bumps with every publication; readers poll this to learn their
+    /// cached snapshot went stale.
+    epoch: AtomicU64,
+    /// A deferred-mode repair patched rows since the last publication
+    /// ([`RouteRepair::publish_deferred`] drains it).
+    pending: AtomicBool,
     label: String,
 }
 
@@ -70,16 +195,18 @@ impl DynamicRoutingTable {
     /// As [`DynamicRoutingTable::new`] with a fabric label for
     /// [`Router::name`].
     pub fn with_label(g: &Digraph, label: impl Into<String>) -> Self {
-        DynamicRoutingTable {
-            inner: RwLock::new(RepairableNextHopTable::new(g)),
-            label: label.into(),
-        }
+        Self::with_dead_arcs(g, &[], label)
     }
 
     /// Build with a set of arcs (arc indices of `g`) already down.
     pub fn with_dead_arcs(g: &Digraph, dead: &[usize], label: impl Into<String>) -> Self {
+        let table = RepairableNextHopTable::with_dead_arcs(g, dead);
+        let published = Mutex::new(Arc::new(table.snapshot()));
         DynamicRoutingTable {
-            inner: RwLock::new(RepairableNextHopTable::with_dead_arcs(g, dead)),
+            inner: RwLock::new(table),
+            published,
+            epoch: AtomicU64::new(1),
+            pending: AtomicBool::new(false),
             label: label.into(),
         }
     }
@@ -98,6 +225,43 @@ impl DynamicRoutingTable {
     /// Arcs currently down.
     pub fn dead_arc_count(&self) -> usize {
         self.read().dead_arc_count()
+    }
+
+    /// Kill/revive one arc by *arc index* of the underlying digraph —
+    /// the hook hardware-fault wrappers use where endpoint pairs are
+    /// ambiguous (parallel beams implement distinct arcs between the
+    /// same node pair). Publishes a fresh snapshot exactly like
+    /// [`RouteRepair::apply_link_event`]. Panics on an out-of-range
+    /// arc index.
+    pub fn apply_arc_event(&self, arc: usize, alive: bool) -> RepairStats {
+        let mut table = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let stats = table.set_arc_alive(arc, alive);
+        self.publish_if_patched(&table, &stats);
+        stats
+    }
+
+    /// Re-publish the read view after a repair that changed at least
+    /// one row. Callers hold the write lock, so a reader that observes
+    /// the bumped epoch can only fetch the fresh snapshot.
+    fn publish_if_patched(&self, table: &RepairableNextHopTable, stats: &RepairStats) {
+        if stats.rows_patched == 0 {
+            return;
+        }
+        self.publish(table);
+    }
+
+    /// Unconditionally snapshot `table` as the new read view and bump
+    /// the epoch.
+    fn publish(&self, table: &RepairableNextHopTable) {
+        let fresh = Arc::new(table.snapshot());
+        *self.published.lock().unwrap_or_else(|e| e.into_inner()) = fresh;
+        // ORDERING: Release pairs with the Acquire load in
+        // `snapshot_epoch` — a reader that sees the new epoch also
+        // sees the snapshot swap above. (Engine callers repair on
+        // their sequential slot with workers parked at a phase
+        // barrier, which already orders this; Release keeps
+        // standalone users correct too.)
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -157,13 +321,63 @@ impl RouteRepair for DynamicRoutingTable {
         if from >= n || to >= n {
             return RepairStats::default();
         }
-        table
+        let stats = table
             .set_link_alive(from as u32, to as u32, alive)
-            .unwrap_or_default()
+            .unwrap_or_default();
+        self.publish_if_patched(&table, &stats);
+        stats
+    }
+
+    fn apply_link_event_deferred(&self, from: u64, to: u64, alive: bool) -> RepairStats {
+        let mut table = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        let n = table.node_count() as u64;
+        if from >= n || to >= n {
+            return RepairStats::default();
+        }
+        let stats = table
+            .set_link_alive(from as u32, to as u32, alive)
+            .unwrap_or_default();
+        if stats.rows_patched > 0 {
+            // ORDERING: Relaxed — set and drained on the engine's
+            // sequential slot (no concurrent readers of the flag); the
+            // eventual publication does the Release hand-off.
+            self.pending.store(true, Ordering::Relaxed);
+        }
+        stats
+    }
+
+    fn publish_deferred(&self) {
+        // ORDERING: Relaxed — same sequential-slot discipline as the
+        // store above.
+        if self.pending.swap(false, Ordering::Relaxed) {
+            self.publish(&self.read());
+        }
     }
 
     fn repair_table_runs(&self) -> usize {
         self.read().run_count()
+    }
+
+    fn snapshot_epoch(&self) -> u64 {
+        // ORDERING: Acquire pairs with the Release bump in
+        // `apply_link_event`: observing a new epoch implies the
+        // matching published snapshot is visible.
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn published_snapshot(&self) -> Option<RouteSnapshot> {
+        // Epoch first: should a publication race in between, the
+        // snapshot carries an *older* epoch than its table and the
+        // caller simply refreshes again on its next poll — benign.
+        // The reverse order could stamp a stale table with a fresh
+        // epoch and wedge the caller on pre-repair routes.
+        let epoch = self.snapshot_epoch();
+        let table = Arc::clone(&self.published.lock().unwrap_or_else(|e| e.into_inner()));
+        Some(RouteSnapshot {
+            epoch,
+            table,
+            relabel: None,
+        })
     }
 }
 
@@ -221,6 +435,51 @@ mod tests {
             dynamic.apply_link_event(1, 9, false),
             RepairStats::default()
         );
+    }
+
+    #[test]
+    fn published_snapshot_tracks_repairs_by_epoch() {
+        let g = DeBruijn::new(2, 5).digraph();
+        let dynamic = DynamicRoutingTable::new(&g);
+        let n = g.node_count() as u64;
+        let fresh = dynamic.published_snapshot().expect("always published");
+        assert_eq!(fresh.epoch(), dynamic.snapshot_epoch());
+        for src in 0..n {
+            for dst in 0..n {
+                assert_eq!(fresh.next_hop(src, dst), dynamic.next_hop(src, dst));
+            }
+        }
+        assert_eq!(fresh.next_hop(n, 0), None, "off-fabric endpoints bound");
+
+        // A row-changing repair bumps the epoch; the old snapshot is
+        // immutable (still answers pre-repair), the re-fetched one
+        // answers for the survivor fabric.
+        let before_epoch = dynamic.snapshot_epoch();
+        let stats = dynamic.apply_link_event(1, 2, false);
+        assert!(stats.rows_patched > 0);
+        assert_eq!(dynamic.snapshot_epoch(), before_epoch + 1);
+        assert_eq!(fresh.next_hop(1, 2), Some(2), "old epoch view unchanged");
+        let repaired = dynamic.published_snapshot().expect("published");
+        assert_eq!(repaired.epoch(), before_epoch + 1);
+        assert_ne!(repaired.next_hop(1, 2), Some(2));
+        for src in 0..n {
+            for dst in 0..n {
+                assert_eq!(repaired.next_hop(src, dst), dynamic.next_hop(src, dst));
+            }
+        }
+
+        // No-op transitions (unknown link, already-dead arc) publish
+        // nothing — the epoch only moves when a row changed.
+        let after = dynamic.snapshot_epoch();
+        assert_eq!(
+            dynamic.apply_link_event(1, 2, false),
+            RepairStats::default()
+        );
+        assert_eq!(
+            dynamic.apply_link_event(1, 9, false),
+            RepairStats::default()
+        );
+        assert_eq!(dynamic.snapshot_epoch(), after);
     }
 
     #[test]

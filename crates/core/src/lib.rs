@@ -58,7 +58,7 @@ pub mod router;
 pub mod routing;
 pub mod sequences;
 
-pub use dynamic::{DynamicRoutingTable, RouteRepair};
+pub use dynamic::{DynamicRoutingTable, RouteRepair, RouteSnapshot};
 pub use families::{AlphabetDigraph, BSigma, DeBruijn, ImaseItoh, Kautz, PositionalSigma, Rrk};
 pub use family::DigraphFamily;
 pub use router::{

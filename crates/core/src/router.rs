@@ -634,10 +634,11 @@ impl Router for RoutingTable {
 #[derive(Debug, Clone)]
 pub struct RelabeledRouter<R: Router> {
     inner: R,
-    /// `to_inner[outer]` = inner node id.
-    to_inner: Box<[u32]>,
+    /// `to_inner[outer]` = inner node id. `Arc` so published route
+    /// snapshots can share the witness without copying it per epoch.
+    to_inner: std::sync::Arc<[u32]>,
     /// `from_inner[inner]` = outer node id.
-    from_inner: Box<[u32]>,
+    from_inner: std::sync::Arc<[u32]>,
 }
 
 impl<R: Router> RelabeledRouter<R> {
@@ -666,8 +667,8 @@ impl<R: Router> RelabeledRouter<R> {
         }
         RelabeledRouter {
             inner,
-            to_inner: to_inner.into_boxed_slice(),
-            from_inner: from_inner.into_boxed_slice(),
+            to_inner: to_inner.into(),
+            from_inner: from_inner.into(),
         }
     }
 
@@ -720,6 +721,76 @@ impl<R: Router> Router for RelabeledRouter<R> {
 
     fn hops_are_stateless(&self) -> bool {
         self.inner.hops_are_stateless()
+    }
+
+    fn as_repair(&self) -> Option<&dyn crate::dynamic::RouteRepair> {
+        // Only a repairable inner makes the relabeled wrap repairable.
+        self.inner
+            .as_repair()
+            .map(|_| self as &dyn crate::dynamic::RouteRepair)
+    }
+}
+
+/// Repair forwarded through the isomorphism witness: kill/revive
+/// events arrive in *outer* (H) numbering and are translated so the
+/// repair executes in *inner* (de Bruijn rank) space — where the
+/// next-hop table keeps its arithmetic-grade CSR compression. The
+/// published snapshot comes back wrapped in the same witness, so
+/// engine workers still query in outer numbering.
+impl<R: Router> crate::dynamic::RouteRepair for RelabeledRouter<R> {
+    fn apply_link_event(
+        &self,
+        from: u64,
+        to: u64,
+        alive: bool,
+    ) -> otis_digraph::repair::RepairStats {
+        let Some(repair) = self.inner.as_repair() else {
+            return otis_digraph::repair::RepairStats::default();
+        };
+        let (Some(f), Some(t)) = (self.map_in(from), self.map_in(to)) else {
+            return otis_digraph::repair::RepairStats::default();
+        };
+        repair.apply_link_event(f, t, alive)
+    }
+
+    fn apply_link_event_deferred(
+        &self,
+        from: u64,
+        to: u64,
+        alive: bool,
+    ) -> otis_digraph::repair::RepairStats {
+        let Some(repair) = self.inner.as_repair() else {
+            return otis_digraph::repair::RepairStats::default();
+        };
+        let (Some(f), Some(t)) = (self.map_in(from), self.map_in(to)) else {
+            return otis_digraph::repair::RepairStats::default();
+        };
+        repair.apply_link_event_deferred(f, t, alive)
+    }
+
+    fn publish_deferred(&self) {
+        if let Some(repair) = self.inner.as_repair() {
+            repair.publish_deferred();
+        }
+    }
+
+    fn repair_table_runs(&self) -> usize {
+        self.inner
+            .as_repair()
+            .map_or(0, |repair| repair.repair_table_runs())
+    }
+
+    fn snapshot_epoch(&self) -> u64 {
+        self.inner
+            .as_repair()
+            .map_or(0, |repair| repair.snapshot_epoch())
+    }
+
+    fn published_snapshot(&self) -> Option<crate::dynamic::RouteSnapshot> {
+        self.inner.as_repair()?.published_snapshot()?.relabeled(
+            std::sync::Arc::clone(&self.to_inner),
+            std::sync::Arc::clone(&self.from_inner),
+        )
     }
 }
 
@@ -1387,6 +1458,79 @@ mod tests {
         // Off-fabric queries answer None instead of panicking.
         assert_eq!(relabeled.next_hop(0, 99), None);
         assert_eq!(relabeled.next_hop(99, 0), None);
+    }
+
+    #[test]
+    fn relabeled_router_forwards_repair_through_the_witness() {
+        // Same bit-reversal fixture, but the inner router is the
+        // repairable table — events arrive in outer numbering, repair
+        // executes in rank space, and the published snapshot answers
+        // back in outer numbering.
+        let b = DeBruijn::new(2, 4);
+        let n = b.node_count() as u32;
+        let reverse = |u: u32| (0..4).fold(0u32, |acc, i| acc | (((u >> i) & 1) << (3 - i)));
+        let witness: Vec<u32> = (0..n).map(reverse).collect();
+        let inner_g = b.digraph();
+        let outer_g = Digraph::from_fn(n as usize, |outer| {
+            inner_g
+                .out_neighbors(witness[outer as usize])
+                .iter()
+                .map(|&v| reverse(v))
+                .collect::<Vec<_>>()
+        });
+        let relabeled =
+            RelabeledRouter::new(crate::DynamicRoutingTable::new(&inner_g), witness.clone());
+        // A static inner offers no repair; the repairable one does.
+        assert!(
+            RelabeledRouter::new(RoutingTable::new(&inner_g), witness.clone())
+                .as_repair()
+                .is_none()
+        );
+        let repair = relabeled.as_repair().expect("repairable inner");
+        assert_eq!(repair.repair_table_runs(), {
+            let plain = crate::DynamicRoutingTable::new(&inner_g);
+            plain.as_repair().unwrap().repair_table_runs()
+        });
+
+        // Kill an outer link; the inner table must lose the translated
+        // rank-space arc, and outer queries must route around it.
+        let (outer_from, outer_to) = (0..n as u64)
+            .flat_map(|u| {
+                outer_g
+                    .out_neighbors(u as u32)
+                    .iter()
+                    .map(|&v| (u, v as u64))
+                    .collect::<Vec<_>>()
+            })
+            .find(|&(u, v)| u != v && relabeled.next_hop(u, v) == Some(v))
+            .expect("some directly-routed outer link");
+        let before_epoch = repair.snapshot_epoch();
+        let stats = repair.apply_link_event(outer_from, outer_to, false);
+        assert!(stats.rows_patched > 0, "a used link must patch rows");
+        assert!(repair.snapshot_epoch() > before_epoch);
+        assert_ne!(relabeled.next_hop(outer_from, outer_to), Some(outer_to));
+        // The relabeled snapshot agrees with the locked path on every
+        // outer pair, and bounds off-fabric endpoints.
+        let snap = repair.published_snapshot().expect("published");
+        assert_eq!(snap.epoch(), repair.snapshot_epoch());
+        for src in 0..n as u64 {
+            for dst in 0..n as u64 {
+                assert_eq!(
+                    snap.next_hop(src, dst),
+                    relabeled.next_hop(src, dst),
+                    "{src}->{dst}"
+                );
+            }
+        }
+        assert_eq!(snap.next_hop(n as u64, 0), None);
+        // Off-fabric events are a costless no-op, not a panic.
+        assert_eq!(
+            repair.apply_link_event(999, 0, false),
+            otis_digraph::repair::RepairStats::default()
+        );
+        // Revive restores the original answers.
+        repair.apply_link_event(outer_from, outer_to, true);
+        assert_eq!(relabeled.next_hop(outer_from, outer_to), Some(outer_to));
     }
 
     /// The candidates contract, checked for one router against its

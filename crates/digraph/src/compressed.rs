@@ -164,6 +164,55 @@ impl CompressedNextHopTable {
         }
     }
 
+    /// Assemble a table from rows that are already canonical —
+    /// strictly ascending starts beginning at destination 0, adjacent
+    /// identical runs merged — skipping [`Self::from_rows`]'s per-run
+    /// validation and merge scan. This is the epoch-publication fast
+    /// path of the repairable table ([`crate::repair`]), which
+    /// re-exports a snapshot after every row-changing link event; its
+    /// BFS rows are canonical by construction. Debug builds still
+    /// verify canonicity.
+    pub fn from_canonical_rows<'a>(n: usize, rows: impl Iterator<Item = &'a [NextHopRun]>) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut starts = Vec::new();
+        let mut hops = Vec::new();
+        let mut dists = Vec::new();
+        offsets.push(0usize);
+        let mut sources = 0usize;
+        for row in rows {
+            sources += 1;
+            debug_assert!(
+                n == 0 || row.first().map(|run| run.start) == Some(0),
+                "source {} runs must start at destination 0",
+                sources - 1
+            );
+            debug_assert!(
+                row.last().is_none_or(|run| (run.start as usize) < n),
+                "source {} has a run start outside 0..{n}",
+                sources - 1
+            );
+            debug_assert!(
+                row.windows(2)
+                    .all(|w| w[0].start < w[1].start
+                        && (w[0].hop != w[1].hop || w[0].dist != w[1].dist)),
+                "source {} rows are not canonical (unsorted or unmerged)",
+                sources - 1
+            );
+            starts.extend(row.iter().map(|run| run.start));
+            hops.extend(row.iter().map(|run| run.hop));
+            dists.extend(row.iter().map(|run| run.dist));
+            offsets.push(starts.len());
+        }
+        assert_eq!(sources, n, "need exactly one run row per source");
+        CompressedNextHopTable {
+            n,
+            offsets: offsets.into_boxed_slice(),
+            starts: starts.into_boxed_slice(),
+            hops: hops.into_boxed_slice(),
+            dists: dists.into_boxed_slice(),
+        }
+    }
+
     /// Number of vertices the table covers.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -207,6 +256,19 @@ impl CompressedNextHopTable {
     #[inline]
     pub fn distance(&self, u: u32, dst: u32) -> u32 {
         self.dists[self.run_of(u, dst)]
+    }
+
+    /// As [`Self::next_hop`] over `u64` endpoints with bounds checks:
+    /// `None` instead of a panic when either endpoint lies outside
+    /// the table. The shape router-facing callers want (the lock-free
+    /// snapshot readers in `otis-core` route through this) — a
+    /// routing query, not a slab access.
+    #[inline]
+    pub fn next_hop64(&self, u: u64, dst: u64) -> Option<u64> {
+        if u >= self.n as u64 || dst >= self.n as u64 {
+            return None;
+        }
+        self.next_hop(u as u32, dst as u32).map(u64::from)
     }
 }
 
@@ -421,6 +483,31 @@ mod tests {
         assert_eq!(table.next_hop(1, 1), Some(0), "merged run still answers");
         assert_eq!(table.run_count(), 3, "the split run merged");
         assert_eq!(table.distance(1, 1), 1, "source 1 reaches itself via 0");
+    }
+
+    #[test]
+    fn from_canonical_rows_matches_from_rows() {
+        // Canonical BFS rows assembled through the fast path must
+        // produce the byte-identical slabs the validating path does —
+        // this is what keeps the repairable table's epoch publications
+        // equal to its differential snapshot.
+        let n = 97u32;
+        let g = Digraph::from_fn(n as usize, |u| vec![(u + 1) % n, (u * 5 + 2) % n]);
+        let mut scratch = BfsScratch::new(n as usize);
+        let rows: Vec<Vec<NextHopRun>> = (0..n).map(|u| source_runs(&g, u, &mut scratch)).collect();
+        let validated = CompressedNextHopTable::from_rows(n as usize, rows.iter().cloned());
+        let fast =
+            CompressedNextHopTable::from_canonical_rows(n as usize, rows.iter().map(Vec::as_slice));
+        assert_eq!(validated, fast);
+    }
+
+    #[test]
+    fn next_hop64_bounds_check_instead_of_panicking() {
+        let table = CompressedNextHopTable::build(&cycle(5));
+        assert_eq!(table.next_hop64(0, 3), Some(1));
+        assert_eq!(table.next_hop64(2, 2), None, "self-route needs no hop");
+        assert_eq!(table.next_hop64(5, 0), None, "source off the table");
+        assert_eq!(table.next_hop64(0, u64::MAX), None, "dest off the table");
     }
 
     #[test]

@@ -5,24 +5,37 @@
 //! expensive to redo every time a live fabric loses or regains a
 //! single link. This module keeps the *same rows* (per-source run
 //! lists with the same canonical minimum-first-hop choice) but makes
-//! them **patchable**: when one arc dies or revives, only the sources
-//! whose rows can actually have changed are recomputed, found by a
-//! reverse-BFS frontier walk from the arc's tail.
+//! them **patchable** with work proportional to the `(source, dst)`
+//! pairs whose answers actually change, not to the number of sources
+//! whose rows contain a change.
 //!
-//! Why the frontier is sufficient: a source `u`'s row — the functions
-//! `dist(u, ·)` and `first(u, ·)` — depends only on `u`'s own alive
-//! out-arcs and on the *distance* rows of its out-neighbors
-//! (`first(u, dst)` is the minimum out-neighbor `w` with
-//! `dist(w, dst) = dist(u, dst) − 1`). So after an arc `a → b`
-//! flips, the affected set is exactly: `a` itself, plus — transitively
-//! — every in-neighbor of a node whose distance row changed. Each
-//! recomputed row is ground truth (a full masked BFS from that
-//! source, not an incremental fix-up), so every node needs recomputing
-//! at most once per event regardless of pop order, and the walk stops
-//! the moment distances stop changing. On a single-link event in a
-//! `d`-regular fabric that is typically a thin cone behind the dead
-//! link — a few percent of sources — while a full rebuild pays all
-//! `n` BFS runs every time.
+//! The repair is per destination (Ramalingam–Reps specialized to unit
+//! weights). When arc `a → b` flips, a destination `dst` can only be
+//! affected if `b` is (death) or becomes (revival) a *descending*
+//! neighbor of `a` — `dist(a, dst) = dist(b, dst) + 1` for a death,
+//! `dist(a, dst) > dist(b, dst)` for a revival. That candidate set is
+//! read off rows `a` and `b` by one two-pointer sweep. For each
+//! candidate destination:
+//!
+//! 1. **Affected set.** On a death, the vertices whose distance grows
+//!    are exactly those that (transitively) lose every descending
+//!    neighbor — a reverse fixpoint walk seeded at `a`, triggered
+//!    along in-arcs one BFS level up. On a revival, the improved set
+//!    is grown forward from `a` by relaxation.
+//! 2. **Re-settle.** Distances over the affected set are recomputed by
+//!    a small Dijkstra seeded from the unaffected boundary (unit
+//!    weights; vertices never settled are unreachable).
+//! 3. **Hops.** `first(u, dst)` is the minimum alive out-neighbor `w`
+//!    with `dist(w, dst) = dist(u, dst) − 1`, so it can only change on
+//!    the affected set, its alive in-neighbors, and `a` itself —
+//!    recomputed locally from the settled distances.
+//!
+//! Changed entries are buffered per source and spliced into the run
+//! rows in one canonical merge pass per touched row. On a single-link
+//! event the affected cone per destination is typically a handful of
+//! vertices, so an event costs milliseconds where recomputing every
+//! containing row costs full BFS runs — the difference between link
+//! dynamics riding along with a simulation and dominating it.
 //!
 //! [`RepairableNextHopTable::snapshot`] re-exports the current rows as
 //! an ordinary [`CompressedNextHopTable`]; the differential battery in
@@ -30,7 +43,8 @@
 //! pins that snapshot byte-identical to a from-scratch build of the
 //! survivor digraph across kill/revive sequences.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::compressed::{source_runs_masked, BfsScratch, CompressedNextHopTable, NextHopRun};
 use crate::{Digraph, INFINITY};
@@ -39,10 +53,11 @@ use crate::{Digraph, INFINITY};
 /// have paid for **every** source.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RepairStats {
-    /// Sources whose rows were recomputed (the frontier the reverse
-    /// walk visited). A full rebuild recomputes `n`.
+    /// Distinct sources the repair examined for hop or distance
+    /// changes (the union of per-destination affected cones and their
+    /// one-hop boundaries). A full rebuild examines all `n`.
     pub rows_recomputed: usize,
-    /// Recomputed rows that actually differed and were patched in.
+    /// Examined rows that actually differed and were patched in.
     pub rows_patched: usize,
     /// Runs rewritten across all patched rows. A full rebuild rewrites
     /// [`RepairableNextHopTable::run_count`] runs.
@@ -69,13 +84,101 @@ pub struct RepairableNextHopTable {
     /// [`CompressedNextHopTable::try_build`] of the survivor digraph
     /// would produce.
     rows: Vec<Vec<NextHopRun>>,
-    /// Reverse CSR of the **full** fabric (in-neighbor lists): the
-    /// repair frontier walks in-arcs of the full graph, a conservative
-    /// superset of the survivor graph's (visiting an unaffected source
-    /// recomputes an identical row — wasted work, never a wrong one).
+    /// Reverse CSR of the **full** fabric: in-arcs as parallel
+    /// `(source, arc)` arrays sliced by `rev_offsets`. The repair
+    /// filters by current arc liveness at every use site, so dead
+    /// in-arcs never trigger or support anything.
     rev_offsets: Vec<usize>,
     rev_sources: Vec<u32>,
-    scratch: BfsScratch,
+    rev_arcs: Vec<usize>,
+    repair: RepairScratch,
+}
+
+/// One buffered row change: `(dst, dist, hop)`.
+type RowEdit = (u32, u32, u32);
+
+/// Reusable scratch for the per-destination repair. The `n`-sized maps
+/// are epoch-marked (`mark[u] == stamp` means "set this round"), so
+/// starting a fresh destination costs nothing instead of an `O(n)`
+/// clear.
+struct RepairScratch {
+    /// Bumped once per `(event, destination)` processed.
+    stamp: u64,
+    /// Bumped once per event; scopes `row_mark`.
+    event_stamp: u64,
+    /// `new_dist[u]` holds `u`'s settled post-event distance iff
+    /// `dist_mark[u] == stamp`; otherwise the stored row is current.
+    dist_mark: Vec<u64>,
+    new_dist: Vec<u32>,
+    /// Membership in the death fixpoint's affected set.
+    set_mark: Vec<u64>,
+    /// Dedup for the hop-recompute boundary.
+    hop_mark: Vec<u64>,
+    /// Distinct sources examined across the whole event (stats).
+    row_mark: Vec<u64>,
+    /// Affected (death) / improved (revival) vertices, this round.
+    members: Vec<u32>,
+    /// Hop-recompute boundary, this round.
+    hop_set: Vec<u32>,
+    /// Death fixpoint worklist.
+    work: VecDeque<u32>,
+    /// Unit-weight Dijkstra over the affected set.
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Destinations the flipped arc can affect (two-pointer output).
+    dsts: Vec<u32>,
+    /// Buffered changes per source, destinations ascending.
+    changes: Vec<Vec<RowEdit>>,
+    /// Sources with buffered changes.
+    touched: Vec<u32>,
+}
+
+impl RepairScratch {
+    fn new(n: usize) -> Self {
+        RepairScratch {
+            stamp: 0,
+            event_stamp: 0,
+            dist_mark: vec![0; n],
+            new_dist: vec![0; n],
+            set_mark: vec![0; n],
+            hop_mark: vec![0; n],
+            row_mark: vec![0; n],
+            members: Vec::new(),
+            hop_set: Vec::new(),
+            work: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            dsts: Vec::new(),
+            changes: vec![Vec::new(); n],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Borrowed view of the table internals the per-destination repair
+/// reads; rows stay immutable until the final splice.
+struct RepairCtx<'a> {
+    g: &'a Digraph,
+    alive: &'a [bool],
+    rows: &'a [Vec<NextHopRun>],
+    rev_offsets: &'a [usize],
+    rev_sources: &'a [u32],
+    rev_arcs: &'a [usize],
+}
+
+impl RepairCtx<'_> {
+    /// The stored `(hop, dist)` entry for `(u, dst)`.
+    #[inline]
+    fn entry(&self, u: u32, dst: u32) -> (u32, u32) {
+        let row = &self.rows[u as usize];
+        let run = &row[row.partition_point(|run| run.start <= dst) - 1];
+        (run.hop, run.dist)
+    }
+
+    /// In-arcs of `u` over the full fabric, as `(source, arc)` pairs.
+    #[inline]
+    fn in_arcs(&self, u: u32) -> impl Iterator<Item = (u32, usize)> + '_ {
+        (self.rev_offsets[u as usize]..self.rev_offsets[u as usize + 1])
+            .map(|i| (self.rev_sources[i], self.rev_arcs[i]))
+    }
 }
 
 impl RepairableNextHopTable {
@@ -122,11 +225,13 @@ impl RepairableNextHopTable {
             rev_offsets[v + 1] += rev_offsets[v];
         }
         let mut rev_sources = vec![0u32; g.arc_count()];
+        let mut rev_arcs = vec![0usize; g.arc_count()];
         let mut cursor = rev_offsets.clone();
         for u in 0..n as u32 {
             for arc in g.arc_range(u) {
                 let v = g.arc_target(arc) as usize;
                 rev_sources[cursor[v]] = u;
+                rev_arcs[cursor[v]] = arc;
                 cursor[v] += 1;
             }
         }
@@ -136,7 +241,8 @@ impl RepairableNextHopTable {
             rows,
             rev_offsets,
             rev_sources,
-            scratch: BfsScratch::new(n),
+            rev_arcs,
+            repair: RepairScratch::new(n),
         }
     }
 
@@ -214,38 +320,59 @@ impl RepairableNextHopTable {
         }
         self.alive[arc] = alive;
         let mut stats = RepairStats::default();
-        let n = self.rows.len();
-        // Reverse-BFS frontier from the arc's tail: the only source
-        // whose row depends *directly* on the flipped arc. In-neighbors
-        // are enqueued exactly when a recomputed row changes some
-        // distance (module docs give the dependency argument); each
-        // recompute is ground truth, so one visit per source suffices.
-        let mut queued = vec![false; n];
-        let mut frontier = VecDeque::new();
-        let seed = self.g.arc_source(arc);
-        queued[seed as usize] = true;
-        frontier.push_back(seed);
-        while let Some(u) = frontier.pop_front() {
-            let fresh = source_runs_masked(&self.g, u, Some(&self.alive), &mut self.scratch);
-            stats.rows_recomputed += 1;
-            let old = &self.rows[u as usize];
-            if *old == fresh {
-                continue;
+        let a = self.g.arc_source(arc);
+        let b = self.g.arc_target(arc);
+        if a == b {
+            // A self-loop never descends toward any destination (it
+            // would need dist(a) == dist(a) + 1), so no row changes.
+            return stats;
+        }
+        let n = self.rows.len() as u32;
+        self.repair.event_stamp += 1;
+        {
+            let ctx = RepairCtx {
+                g: &self.g,
+                alive: &self.alive,
+                rows: &self.rows,
+                rev_offsets: &self.rev_offsets,
+                rev_sources: &self.rev_sources,
+                rev_arcs: &self.rev_arcs,
+            };
+            let scratch = &mut self.repair;
+            let mut dsts = std::mem::take(&mut scratch.dsts);
+            candidate_destinations(
+                &ctx.rows[a as usize],
+                &ctx.rows[b as usize],
+                n,
+                alive,
+                &mut dsts,
+            );
+            for &dst in &dsts {
+                scratch.stamp += 1;
+                if alive {
+                    repair_revival(&ctx, scratch, &mut stats, a, b, dst);
+                } else {
+                    repair_death(&ctx, scratch, &mut stats, a, dst);
+                }
             }
-            let dist_changed = dist_functions_differ(old, &fresh, n as u32);
+            scratch.dsts = dsts;
+        }
+        // Splice the buffered changes into their rows, one canonical
+        // merge pass per touched source. Sorting keeps the patch order
+        // (and therefore any future instrumentation) deterministic; the
+        // rows themselves are order-independent.
+        let mut touched = std::mem::take(&mut self.repair.touched);
+        touched.sort_unstable();
+        for &u in &touched {
+            let changes = &mut self.repair.changes[u as usize];
+            let fresh = splice_row(&self.rows[u as usize], changes, n);
+            changes.clear();
             stats.rows_patched += 1;
             stats.runs_patched += fresh.len();
             self.rows[u as usize] = fresh;
-            if dist_changed {
-                for i in self.rev_offsets[u as usize]..self.rev_offsets[u as usize + 1] {
-                    let p = self.rev_sources[i];
-                    if !queued[p as usize] {
-                        queued[p as usize] = true;
-                        frontier.push_back(p);
-                    }
-                }
-            }
         }
+        touched.clear();
+        self.repair.touched = touched;
         stats
     }
 
@@ -261,7 +388,13 @@ impl RepairableNextHopTable {
     /// digraph, which is how the differential battery pins repair
     /// against rebuild.
     pub fn snapshot(&self) -> CompressedNextHopTable {
-        CompressedNextHopTable::from_rows(self.rows.len(), self.rows.iter().cloned())
+        // Rows are canonical by construction (the BFS emits merged,
+        // ascending runs), so the publication-rate fast path applies;
+        // the battery below pins it equal to the validating build.
+        CompressedNextHopTable::from_canonical_rows(
+            self.rows.len(),
+            self.rows.iter().map(Vec::as_slice),
+        )
     }
 
     /// Materialize the survivor digraph (alive arcs only, same node
@@ -277,29 +410,272 @@ impl RepairableNextHopTable {
     }
 }
 
-/// Do two canonical run rows encode different *distance* functions?
-/// (They can differ while distances agree — a hop change alone — and
-/// only distance changes propagate to in-neighbors.) Two-pointer walk
-/// over the run boundaries.
-fn dist_functions_differ(a: &[NextHopRun], b: &[NextHopRun], n: u32) -> bool {
+/// Destinations the flipped arc `a → b` can possibly affect: `dst`
+/// with `dist(a) == dist(b) + 1` for a death (the arc was descending)
+/// or `dist(a) > dist(b)` for a revival (the arc becomes descending,
+/// or better). Distances are the stored pre-event rows; one
+/// two-pointer sweep over the run boundaries of rows `a` and `b`.
+fn candidate_destinations(
+    row_a: &[NextHopRun],
+    row_b: &[NextHopRun],
+    n: u32,
+    revive: bool,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
     let (mut i, mut j) = (0usize, 0usize);
     let mut at = 0u32;
     while at < n {
-        while i + 1 < a.len() && a[i + 1].start <= at {
+        while i + 1 < row_a.len() && row_a[i + 1].start <= at {
             i += 1;
         }
-        while j + 1 < b.len() && b[j + 1].start <= at {
+        while j + 1 < row_b.len() && row_b[j + 1].start <= at {
             j += 1;
         }
-        if a[i].dist != b[j].dist {
-            return true;
+        let next_a = row_a.get(i + 1).map_or(n, |run| run.start);
+        let next_b = row_b.get(j + 1).map_or(n, |run| run.start);
+        let next = next_a.min(next_b);
+        let (da, db) = (row_a[i].dist, row_b[j].dist);
+        let hit = db != INFINITY && if revive { da > db } else { da == db + 1 };
+        if hit {
+            out.extend(at..next);
         }
-        // Jump to the next boundary of either row.
-        let next_a = a.get(i + 1).map_or(n, |run| run.start);
-        let next_b = b.get(j + 1).map_or(n, |run| run.start);
-        at = next_a.min(next_b);
+        at = next;
     }
-    false
+}
+
+/// Per-destination repair after killing descending arc `a → b`.
+fn repair_death(
+    ctx: &RepairCtx<'_>,
+    s: &mut RepairScratch,
+    stats: &mut RepairStats,
+    a: u32,
+    dst: u32,
+) {
+    let stamp = s.stamp;
+    let mut members = std::mem::take(&mut s.members);
+    members.clear();
+    s.work.clear();
+    debug_assert!(s.heap.is_empty());
+    // Phase 1 — the affected fixpoint: a vertex joins when every alive
+    // descending out-neighbor has already joined, and joining
+    // re-triggers the in-neighbors one BFS level up. Every candidate
+    // has finite pre-event distance (it sat on a shortest path through
+    // `a → b`), so `dst` itself (distance 0) never qualifies and the
+    // `du - 1` below cannot underflow.
+    s.work.push_back(a);
+    while let Some(u) = s.work.pop_front() {
+        if s.set_mark[u as usize] == stamp {
+            continue;
+        }
+        let du = ctx.entry(u, dst).1;
+        let supported = ctx.g.arc_range(u).any(|arc| {
+            ctx.alive[arc] && {
+                let w = ctx.g.arc_target(arc);
+                s.set_mark[w as usize] != stamp && ctx.entry(w, dst).1 == du - 1
+            }
+        });
+        if supported {
+            continue;
+        }
+        s.set_mark[u as usize] = stamp;
+        members.push(u);
+        for (p, parc) in ctx.in_arcs(u) {
+            if ctx.alive[parc] && s.set_mark[p as usize] != stamp && ctx.entry(p, dst).1 == du + 1 {
+                s.work.push_back(p);
+            }
+        }
+    }
+    // Phase 2 — re-settle the affected set by unit-weight Dijkstra
+    // seeded from the unaffected boundary (whose distances are final);
+    // members never settled are now unreachable.
+    for &u in &members {
+        let mut best = INFINITY;
+        for arc in ctx.g.arc_range(u) {
+            if ctx.alive[arc] {
+                let w = ctx.g.arc_target(arc);
+                if s.set_mark[w as usize] != stamp {
+                    best = best.min(ctx.entry(w, dst).1);
+                }
+            }
+        }
+        if best != INFINITY {
+            s.heap.push(Reverse((best + 1, u)));
+        }
+    }
+    while let Some(Reverse((d, u))) = s.heap.pop() {
+        if s.dist_mark[u as usize] == stamp {
+            continue;
+        }
+        s.dist_mark[u as usize] = stamp;
+        s.new_dist[u as usize] = d;
+        for (p, parc) in ctx.in_arcs(u) {
+            if ctx.alive[parc]
+                && s.set_mark[p as usize] == stamp
+                && s.dist_mark[p as usize] != stamp
+            {
+                s.heap.push(Reverse((d + 1, p)));
+            }
+        }
+    }
+    for &u in &members {
+        if s.dist_mark[u as usize] != stamp {
+            s.dist_mark[u as usize] = stamp;
+            s.new_dist[u as usize] = INFINITY;
+        }
+    }
+    collect_hop_boundary(ctx, s, &members, a);
+    s.members = members;
+    recompute_hops(ctx, s, stats, dst);
+}
+
+/// Per-destination repair after reviving arc `a → b` (pre-event
+/// `dist(a) > dist(b)`, `dist(b)` finite).
+fn repair_revival(
+    ctx: &RepairCtx<'_>,
+    s: &mut RepairScratch,
+    stats: &mut RepairStats,
+    a: u32,
+    b: u32,
+    dst: u32,
+) {
+    let stamp = s.stamp;
+    let mut members = std::mem::take(&mut s.members);
+    members.clear();
+    debug_assert!(s.heap.is_empty());
+    let da = ctx.entry(a, dst).1;
+    let through = ctx.entry(b, dst).1 + 1;
+    if through < da {
+        // Distances improve. Every new shortest path enters through
+        // `a → b` (`dist(b)` itself cannot drop — that would need a
+        // cycle), so the improved set grows backward from `a` by
+        // relaxation along alive in-arcs.
+        s.heap.push(Reverse((through, a)));
+        while let Some(Reverse((d, u))) = s.heap.pop() {
+            if s.dist_mark[u as usize] == stamp {
+                continue;
+            }
+            s.dist_mark[u as usize] = stamp;
+            s.new_dist[u as usize] = d;
+            members.push(u);
+            for (p, parc) in ctx.in_arcs(u) {
+                if ctx.alive[parc]
+                    && s.dist_mark[p as usize] != stamp
+                    && d + 1 < ctx.entry(p, dst).1
+                {
+                    s.heap.push(Reverse((d + 1, p)));
+                }
+            }
+        }
+    }
+    // `through == da`: no distance moves, but `b` is a new descending
+    // neighbor, so `a`'s canonical (minimum) hop can still drop — the
+    // boundary below always contains `a`.
+    collect_hop_boundary(ctx, s, &members, a);
+    s.members = members;
+    recompute_hops(ctx, s, stats, dst);
+}
+
+/// Collect the vertices whose canonical hop toward the current
+/// destination may have changed: the changed set, its alive
+/// in-neighbors, and the flipped arc's tail `a` (whose alive out-arc
+/// set changed).
+fn collect_hop_boundary(ctx: &RepairCtx<'_>, s: &mut RepairScratch, members: &[u32], a: u32) {
+    let stamp = s.stamp;
+    s.hop_set.clear();
+    s.hop_mark[a as usize] = stamp;
+    s.hop_set.push(a);
+    for &u in members {
+        if s.hop_mark[u as usize] != stamp {
+            s.hop_mark[u as usize] = stamp;
+            s.hop_set.push(u);
+        }
+        for (p, parc) in ctx.in_arcs(u) {
+            if ctx.alive[parc] && s.hop_mark[p as usize] != stamp {
+                s.hop_mark[p as usize] = stamp;
+                s.hop_set.push(p);
+            }
+        }
+    }
+}
+
+/// Recompute `(dist, hop)` over the boundary set against the settled
+/// distances and buffer every entry that differs from the stored row.
+/// The canonical hop is the minimum alive out-neighbor one step closer
+/// to the destination — exactly the static builder's choice.
+fn recompute_hops(ctx: &RepairCtx<'_>, s: &mut RepairScratch, stats: &mut RepairStats, dst: u32) {
+    let stamp = s.stamp;
+    let hop_set = std::mem::take(&mut s.hop_set);
+    for &u in &hop_set {
+        if u == dst {
+            continue; // (dist 0, no hop) never changes
+        }
+        if s.row_mark[u as usize] != s.event_stamp {
+            s.row_mark[u as usize] = s.event_stamp;
+            stats.rows_recomputed += 1;
+        }
+        let (old_hop, old_dist) = ctx.entry(u, dst);
+        let du = if s.dist_mark[u as usize] == stamp {
+            s.new_dist[u as usize]
+        } else {
+            old_dist
+        };
+        let mut hop = INFINITY;
+        if du != INFINITY {
+            for arc in ctx.g.arc_range(u) {
+                if ctx.alive[arc] {
+                    let w = ctx.g.arc_target(arc);
+                    let dw = if s.dist_mark[w as usize] == stamp {
+                        s.new_dist[w as usize]
+                    } else {
+                        ctx.entry(w, dst).1
+                    };
+                    if dw != INFINITY && dw + 1 == du && w < hop {
+                        hop = w;
+                    }
+                }
+            }
+        }
+        if (du, hop) != (old_dist, old_hop) {
+            let changes = &mut s.changes[u as usize];
+            if changes.is_empty() {
+                s.touched.push(u);
+            }
+            changes.push((dst, du, hop));
+        }
+    }
+    s.hop_set = hop_set;
+}
+
+/// Merge a sorted batch of `(dst, dist, hop)` edits into a canonical
+/// run row, producing the row the static builder would emit for the
+/// edited entry function: maximal runs, adjacent runs differing.
+fn splice_row(old: &[NextHopRun], changes: &[RowEdit], n: u32) -> Vec<NextHopRun> {
+    let mut out: Vec<NextHopRun> = Vec::with_capacity(old.len() + 2 * changes.len());
+    let push = |out: &mut Vec<NextHopRun>, start: u32, hop: u32, dist: u32| match out.last() {
+        Some(last) if last.hop == hop && last.dist == dist => {}
+        _ => out.push(NextHopRun { start, hop, dist }),
+    };
+    let (mut r, mut c) = (0usize, 0usize);
+    let mut at = 0u32;
+    while at < n {
+        while r + 1 < old.len() && old[r + 1].start <= at {
+            r += 1;
+        }
+        if c < changes.len() && changes[c].0 == at {
+            push(&mut out, at, changes[c].2, changes[c].1);
+            c += 1;
+            at += 1;
+            continue;
+        }
+        // A maximal stretch of unchanged entries: up to the next old
+        // run boundary or the next edited destination.
+        let next_old = old.get(r + 1).map_or(n, |run| run.start);
+        let next_change = changes.get(c).map_or(n, |change| change.0);
+        push(&mut out, at, old[r].hop, old[r].dist);
+        at = next_old.min(next_change);
+    }
+    out
 }
 
 #[cfg(test)]

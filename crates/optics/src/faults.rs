@@ -11,9 +11,9 @@
 //! arc-disjoint-ish alternatives per hop).
 
 use crate::HDigraph;
-use otis_core::{AdaptiveRouter, CongestionMap, DigraphFamily, Router};
-use otis_digraph::repair::{RepairStats, RepairableNextHopTable};
-use otis_digraph::{Digraph, DigraphBuilder, INFINITY};
+use otis_core::{AdaptiveRouter, CongestionMap, DigraphFamily, DynamicRoutingTable, Router};
+use otis_digraph::repair::RepairStats;
+use otis_digraph::{Digraph, DigraphBuilder};
 use serde::{Deserialize, Serialize};
 
 /// A set of hardware faults on one OTIS bench.
@@ -91,8 +91,14 @@ pub fn surviving_digraph(h: &HDigraph, faults: &FaultSet) -> Digraph {
 /// exactly the table a fresh [`FaultAwareRouter::new`] over the same
 /// fault set would build. Bulk fault-set swaps still go through
 /// [`FaultAwareRouter::refresh`].
+///
+/// The table rides [`DynamicRoutingTable`], so every repair also
+/// publishes an epoch-stamped [`otis_core::RouteSnapshot`] and
+/// [`Router::as_repair`] exposes the engine-facing repair hook —
+/// a fault-aware router dropped into a `--dynamics` queueing run gets
+/// the same lock-free snapshot reads as a bare dynamic table.
 pub struct FaultAwareRouter {
-    table: RepairableNextHopTable,
+    table: DynamicRoutingTable,
     faults: FaultSet,
     /// `beam_arc[t]` = the full-digraph arc index implemented by beam
     /// `t` — a per-node bijection (the digraph sorts each node's arc
@@ -136,11 +142,12 @@ impl FaultAwareRouter {
             .filter(|&t| !faults.beam_alive(h, t))
             .map(|t| beam_arc[t as usize])
             .collect();
+        let label = h.name();
         FaultAwareRouter {
-            table: RepairableNextHopTable::with_dead_arcs(&full, &dead),
+            table: DynamicRoutingTable::with_dead_arcs(&full, &dead, label.clone()),
             faults,
             beam_arc,
-            label: h.name(),
+            label,
         }
     }
 
@@ -157,7 +164,7 @@ impl FaultAwareRouter {
         if !self.faults.dead_transmitters.contains(&t) {
             self.faults.dead_transmitters.push(t);
         }
-        self.table.set_arc_alive(self.beam_arc[t as usize], false)
+        self.table.apply_arc_event(self.beam_arc[t as usize], false)
     }
 
     /// Refresh-free single-beam revival: drop transmitter `t` from the
@@ -167,7 +174,7 @@ impl FaultAwareRouter {
         assert_eq!(h.name(), self.label, "revive must use the same fabric");
         self.faults.dead_transmitters.retain(|&dead| dead != t);
         if self.faults.beam_alive(h, t) {
-            self.table.set_arc_alive(self.beam_arc[t as usize], true)
+            self.table.apply_arc_event(self.beam_arc[t as usize], true)
         } else {
             RepairStats::default()
         }
@@ -201,7 +208,7 @@ impl FaultAwareRouter {
 
 impl Router for FaultAwareRouter {
     fn node_count(&self) -> u64 {
-        self.table.node_count() as u64
+        self.table.node_count()
     }
 
     fn name(&self) -> String {
@@ -216,45 +223,26 @@ impl Router for FaultAwareRouter {
     }
 
     fn next_hop(&self, current: u64, dst: u64) -> Option<u64> {
-        let n = self.table.node_count() as u64;
-        if current >= n || dst >= n {
-            return None;
-        }
-        self.table
-            .next_hop(current as u32, dst as u32)
-            .map(u64::from)
+        self.table.next_hop(current, dst)
     }
 
     fn ranked_candidates(&self, current: u64, dst: u64) -> otis_core::RankedCandidates {
         // Live out-beams only, ranked ascending by remaining distance
         // (ties keep the fabric's transceiver order) — the same
         // contract as every other table router, minus the dead beams.
-        let n = self.table.node_count() as u64;
-        let mut ranked = otis_core::RankedCandidates::new();
-        if current >= n || dst >= n || current == dst {
-            return ranked;
-        }
-        for (_, v) in self.table.live_out_arcs(current as u32) {
-            let v = u64::from(v);
-            if v == current || ranked.iter().any(|&(_, seen)| seen == v) {
-                continue; // a self-loop never progresses; duplicates add nothing
-            }
-            let dist = self.table.distance(v as u32, dst as u32);
-            if dist != INFINITY {
-                ranked.push((u64::from(dist), v));
-            }
-        }
-        ranked.as_mut_slice().sort_by_key(|&(dist, _)| dist);
-        ranked
+        self.table.ranked_candidates(current, dst)
     }
 
     fn distance(&self, src: u64, dst: u64) -> Option<u64> {
-        let n = self.table.node_count() as u64;
-        if src >= n || dst >= n {
-            return None;
-        }
-        let dist = self.table.distance(src as u32, dst as u32);
-        (dist != INFINITY).then_some(u64::from(dist))
+        self.table.distance(src, dst)
+    }
+
+    fn as_repair(&self) -> Option<&dyn otis_core::RouteRepair> {
+        // The raw endpoint-addressed repair hook of the underlying
+        // table: a dynamics-driving engine feeds deaths/revivals here.
+        // Note this bypasses the [`FaultSet`] bookkeeping — hardware
+        // faults and timeline events are separate ledgers by design.
+        self.table.as_repair()
     }
 }
 
@@ -462,6 +450,63 @@ mod tests {
         let pristine = FaultAwareRouter::new(&h, FaultSet::none());
         assert_eq!(router.snapshot(), pristine.snapshot());
         assert_eq!(router.faults(), &FaultSet::none());
+    }
+
+    #[test]
+    fn kill_revive_kill_same_beam_is_epoch_clean() {
+        // The double-transition regression: the same beam dying,
+        // reviving, and dying again must land on the fresh-build table
+        // at every step, with the published snapshot tracking each
+        // transition under a strictly advancing epoch (a stale epoch
+        // here is exactly the stale-route wedge the snapshot-path
+        // engine would inherit).
+        let h = fabric();
+        let mut router = FaultAwareRouter::new(&h, FaultSet::none());
+        let t = 42u64;
+        let dead = FaultSet {
+            dead_transmitters: vec![t],
+            ..FaultSet::none()
+        };
+        let epoch = |r: &FaultAwareRouter| r.as_repair().expect("repairable").snapshot_epoch();
+        let mut epochs = vec![epoch(&router)];
+        router.kill_transmitter(t);
+        epochs.push(epoch(&router));
+        assert_eq!(
+            router.snapshot(),
+            FaultAwareRouter::new(&h, dead.clone()).snapshot()
+        );
+        router.revive_transmitter(&h, t);
+        epochs.push(epoch(&router));
+        assert_eq!(
+            router.snapshot(),
+            FaultAwareRouter::new(&h, FaultSet::none()).snapshot()
+        );
+        router.kill_transmitter(t);
+        epochs.push(epoch(&router));
+        assert_eq!(
+            router.snapshot(),
+            FaultAwareRouter::new(&h, dead).snapshot()
+        );
+        assert!(
+            epochs.windows(2).all(|w| w[0] < w[1]),
+            "every row-changing transition must publish: {epochs:?}"
+        );
+        // The published read view answers exactly like the locked path
+        // after the full kill→revive→kill sequence.
+        let snap = router
+            .as_repair()
+            .expect("repairable")
+            .published_snapshot()
+            .expect("published");
+        for src in (0..h.node_count()).step_by(13) {
+            for dst in (0..h.node_count()).step_by(11) {
+                assert_eq!(
+                    snap.next_hop(src, dst),
+                    router.next_hop(src, dst),
+                    "{src}->{dst}"
+                );
+            }
+        }
     }
 
     #[test]

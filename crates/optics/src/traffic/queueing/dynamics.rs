@@ -30,19 +30,34 @@
 //! `flap@10:0>1:20:5`, `storm@500:0-63:250`,
 //! `randfades@42:8:1000:100`.
 //!
+//! ## Rank addressing
+//!
+//! On a relabeled fabric (an OTIS layout routed through its de Bruijn
+//! isomorphism witness), node ids in the spec default to the *outer*
+//! (H-numbering) ids the fabric itself uses. Inserting `rank:` right
+//! after the cycle addresses the event in **de Bruijn rank space**
+//! instead: `fade@C:rank:S>D`, `flap@C:rank:S>D:UP:DOWN`,
+//! `storm@C:rank:LO-HI:DUR`. Ranks are translated to outer nodes
+//! through the witness at compile time, so an operator can script the
+//! logical de Bruijn link `u → du+α` without knowing which physical
+//! OTIS transceiver carries it. `rank:` on a fabric compiled without a
+//! witness is an error.
+//!
 //! # Compilation
 //!
-//! [`DynamicsSpec::compile`] resolves every event against the fabric
-//! (unknown links are an error — a dynamics script that names a
-//! non-link is a bug, not a no-op), clamps capacities to the
-//! configured wavelength count, orders all transitions by cycle
-//! (stable: same-cycle transitions apply in spec order), and
-//! classifies each as a zero-crossing ([`Crossing::Death`] /
-//! [`Crossing::Revival`]) or a plain capacity change by replaying the
-//! per-arc capacity sequence. The engine consumes the classification
-//! directly: deaths strand queued packets and open a time-to-reroute
-//! watch, revivals (and deaths) wake parked state, and both feed the
-//! router's online repair hook ([`otis_core::RouteRepair`]).
+//! [`DynamicsSpec::try_compile`] resolves every event against the
+//! fabric (unknown links are an error — a dynamics script that names a
+//! non-link is a bug, not a no-op; the error names the offending pair
+//! in both numberings and lists the source node's actual out-links),
+//! clamps capacities to the configured wavelength count, orders all
+//! transitions by cycle (stable: same-cycle transitions apply in spec
+//! order), and classifies each as a zero-crossing ([`Crossing::Death`]
+//! / [`Crossing::Revival`]) or a plain capacity change by replaying
+//! the per-arc capacity sequence. The engine consumes the
+//! classification directly: deaths strand queued packets and open a
+//! time-to-reroute watch, revivals (and deaths) wake parked state, and
+//! both feed the router's online repair hook
+//! ([`otis_core::RouteRepair`]).
 
 use otis_digraph::Digraph;
 use std::str::FromStr;
@@ -86,6 +101,9 @@ enum DynamicsEvent {
         cycle: u64,
         from: u64,
         to: u64,
+        /// Node ids are de Bruijn ranks (translate through the
+        /// witness), not outer fabric ids.
+        rank: bool,
         /// Surviving wavelength count; `0` is a full fade (death).
         capacity: u64,
         /// Cycles until restoration; `None` = permanent.
@@ -95,6 +113,7 @@ enum DynamicsEvent {
         start: u64,
         from: u64,
         to: u64,
+        rank: bool,
         up: u64,
         down: u64,
         repeats: u64,
@@ -103,6 +122,7 @@ enum DynamicsEvent {
         cycle: u64,
         lo: u64,
         hi: u64,
+        rank: bool,
         duration: u64,
     },
     RandFades {
@@ -152,7 +172,19 @@ impl FromStr for DynamicsSpec {
             let (kind, rest) = part.split_once('@').ok_or_else(|| {
                 format!("{part:?}: expected KIND@ARGS (kinds: fade|flap|storm|randfades)")
             })?;
-            let fields: Vec<&str> = rest.split(':').collect();
+            let mut fields: Vec<&str> = rest.split(':').collect();
+            // `KIND@CYCLE:rank:…` switches the event's node ids to de
+            // Bruijn rank space; the marker sits between the cycle and
+            // the link/range and is stripped before field matching.
+            let rank = fields.get(1) == Some(&"rank");
+            if rank {
+                if kind == "randfades" {
+                    return Err(format!(
+                        "{part:?}: randfades draws arcs, not node ids — rank: does not apply"
+                    ));
+                }
+                fields.remove(1);
+            }
             let event = match (kind, fields.as_slice()) {
                 ("fade", [cycle, link, ..]) => {
                     if fields.len() > 4 {
@@ -165,6 +197,7 @@ impl FromStr for DynamicsSpec {
                         cycle: parse_u64(cycle, "cycle", part)?,
                         from,
                         to,
+                        rank,
                         capacity: match fields.get(2) {
                             Some(cap) => parse_u64(cap, "capacity", part)?,
                             None => 0,
@@ -191,6 +224,7 @@ impl FromStr for DynamicsSpec {
                         start: parse_u64(start, "start cycle", part)?,
                         from,
                         to,
+                        rank,
                         up,
                         down,
                         repeats: match fields.get(4) {
@@ -216,6 +250,7 @@ impl FromStr for DynamicsSpec {
                         cycle: parse_u64(cycle, "cycle", part)?,
                         lo,
                         hi,
+                        rank,
                         duration,
                     }
                 }
@@ -295,25 +330,112 @@ fn splitmix64_next(state: &mut u64) -> u64 {
 }
 
 impl DynamicsSpec {
+    /// Does any event address its nodes in de Bruijn rank space?
+    fn uses_rank(&self) -> bool {
+        self.events.iter().any(|e| match *e {
+            DynamicsEvent::Fade { rank, .. }
+            | DynamicsEvent::Flap { rank, .. }
+            | DynamicsEvent::Storm { rank, .. } => rank,
+            DynamicsEvent::RandFades { .. } => false,
+        })
+    }
+
     /// Resolve the spec against fabric `g` with `wavelengths` full
     /// capacity into a cycle-ordered [`Timeline`].
     ///
-    /// # Panics
+    /// `node_rank` is the de Bruijn isomorphism witness of a relabeled
+    /// fabric (`node_rank[outer_node] = rank`); `rank:`-addressed
+    /// events translate through its inverse, and errors on such
+    /// fabrics report offending links in both numberings. `None` on a
+    /// fabric that routes its own numbering — any `rank:` event is
+    /// then an error.
     ///
-    /// On a link the fabric does not have, or a storm range past the
-    /// node count — a dynamics script that names non-fabric structure
-    /// is a configuration bug, surfaced loudly.
-    pub(crate) fn compile(&self, g: &Digraph, wavelengths: usize) -> Timeline {
+    /// # Errors
+    ///
+    /// On a link the fabric does not have, a node or storm range past
+    /// the node count, or a `rank:` event without a witness — a
+    /// dynamics script that names non-fabric structure is a
+    /// configuration bug, surfaced with the offending pair in every
+    /// numbering we know plus the source node's actual out-links.
+    pub(crate) fn try_compile(
+        &self,
+        g: &Digraph,
+        wavelengths: usize,
+        node_rank: Option<&[u32]>,
+    ) -> Result<Timeline, String> {
         let full = u32::try_from(wavelengths).unwrap_or(u32::MAX);
         let n = g.node_count() as u64;
-        let arc_between = |from: u64, to: u64| -> u32 {
-            assert!(
-                from < n && to < n,
-                "dynamics event names node pair {from}>{to} but the fabric has {n} nodes"
+        if let Some(w) = node_rank {
+            assert_eq!(
+                w.len(),
+                g.node_count(),
+                "witness length must match the fabric's node count"
             );
-            g.arc_between(from as u32, to as u32)
-                .unwrap_or_else(|| panic!("dynamics event names {from}>{to}, not a fabric link"))
-                as u32
+        }
+        // rank → outer node, built once if any event needs it. The
+        // witness is a verified permutation (prop_3_9_witness), so the
+        // inverse is total.
+        let rank_to_node: Option<Vec<u32>> = if self.uses_rank() {
+            let w = node_rank.ok_or_else(|| {
+                "dynamics spec uses rank: addressing, but the fabric routes its own numbering \
+                 (no de Bruijn witness); rank: needs an OTIS layout"
+                    .to_string()
+            })?;
+            let mut inv = vec![0u32; w.len()];
+            for (node, &r) in w.iter().enumerate() {
+                inv[r as usize] = node as u32;
+            }
+            Some(inv)
+        } else {
+            None
+        };
+        // Resolve one event-addressed node id to the outer numbering.
+        let resolve = |node: u64, rank: bool, what: &str| -> Result<u64, String> {
+            if node >= n {
+                let space = if rank { "de Bruijn rank" } else { "node id" };
+                return Err(format!(
+                    "dynamics event {what} {space} {node} exceeds the fabric's {n} nodes"
+                ));
+            }
+            if !rank {
+                return Ok(node);
+            }
+            // uses_rank() guarantees the inverse exists here.
+            Ok(u64::from(
+                rank_to_node.as_ref().expect("rank map")[node as usize],
+            ))
+        };
+        // Render a node id in every numbering we know, for errors.
+        let describe = |outer: u64| -> String {
+            match node_rank {
+                Some(w) => format!("node {outer} (= de Bruijn rank {})", w[outer as usize]),
+                None => format!("node {outer}"),
+            }
+        };
+        let arc_between = |from: u64, to: u64, rank: bool| -> Result<u32, String> {
+            let outer_from = resolve(from, rank, "link source")?;
+            let outer_to = resolve(to, rank, "link target")?;
+            match g.arc_between(outer_from as u32, outer_to as u32) {
+                Some(arc) => Ok(arc as u32),
+                None => {
+                    let outs: Vec<String> = g
+                        .out_neighbors(outer_from as u32)
+                        .iter()
+                        .map(|&v| describe(u64::from(v)))
+                        .collect();
+                    let addressed = if rank {
+                        format!("rank link {from}>{to} = fabric link {outer_from}>{outer_to}")
+                    } else {
+                        format!("link {}>{}", describe(outer_from), describe(outer_to))
+                    };
+                    Err(format!(
+                        "dynamics event names {addressed}, not a fabric link; \
+                         {} has out-links to [{}]",
+                        describe(outer_from),
+                        outs.join(", ")
+                    ))
+                }
+            }
         };
         // Raw (cycle, arc, capacity) ops, in spec emission order.
         let mut ops: Vec<(u64, u32, u32)> = Vec::new();
@@ -323,10 +445,11 @@ impl DynamicsSpec {
                     cycle,
                     from,
                     to,
+                    rank,
                     capacity,
                     duration,
                 } => {
-                    let arc = arc_between(from, to);
+                    let arc = arc_between(from, to, rank)?;
                     let cap = u32::try_from(capacity).unwrap_or(u32::MAX).min(full);
                     ops.push((cycle, arc, cap));
                     if let Some(duration) = duration {
@@ -337,11 +460,12 @@ impl DynamicsSpec {
                     start,
                     from,
                     to,
+                    rank,
                     up,
                     down,
                     repeats,
                 } => {
-                    let arc = arc_between(from, to);
+                    let arc = arc_between(from, to, rank)?;
                     let period = up + down;
                     for rep in 0..repeats {
                         let at = start.saturating_add(rep.saturating_mul(period));
@@ -353,13 +477,17 @@ impl DynamicsSpec {
                     cycle,
                     lo,
                     hi,
+                    rank,
                     duration,
                 } => {
-                    assert!(
-                        hi < n,
-                        "storm range {lo}-{hi} exceeds the fabric's {n} nodes"
-                    );
-                    for node in lo..=hi {
+                    if hi >= n {
+                        let space = if rank { "rank range" } else { "node range" };
+                        return Err(format!(
+                            "storm {space} {lo}-{hi} exceeds the fabric's {n} nodes"
+                        ));
+                    }
+                    for addressed in lo..=hi {
+                        let node = resolve(addressed, rank, "storm node")?;
                         for arc in g.arc_range(node as u32) {
                             ops.push((cycle, arc as u32, 0));
                             ops.push((cycle.saturating_add(duration), arc as u32, full));
@@ -373,7 +501,9 @@ impl DynamicsSpec {
                     duration,
                 } => {
                     let arcs = g.arc_count() as u64;
-                    assert!(arcs > 0, "randfades on a fabric with no links");
+                    if arcs == 0 {
+                        return Err("randfades on a fabric with no links".to_string());
+                    }
                     for i in 0..count {
                         // Seed-split: each fade draws from its own
                         // stream, so adding a fade never reshuffles
@@ -417,10 +547,18 @@ impl DynamicsSpec {
                 }
             })
             .collect();
-        Timeline {
+        Ok(Timeline {
             transitions,
             deaths,
-        }
+        })
+    }
+
+    /// Infallible [`Self::try_compile`] for witness-free test
+    /// fixtures.
+    #[cfg(test)]
+    pub(crate) fn compile(&self, g: &Digraph, wavelengths: usize) -> Timeline {
+        self.try_compile(g, wavelengths, None)
+            .expect("test spec compiles")
     }
 }
 
@@ -447,6 +585,7 @@ mod tests {
                 cycle: 100,
                 from: 0,
                 to: 1,
+                rank: false,
                 capacity: 0,
                 duration: None
             }
@@ -457,10 +596,46 @@ mod tests {
                 start: 10,
                 from: 0,
                 to: 1,
+                rank: false,
                 up: 20,
                 down: 5,
                 repeats: 3
             }
+        );
+    }
+
+    #[test]
+    fn rank_prefix_parses_on_fade_flap_and_storm() {
+        let spec: DynamicsSpec =
+            "fade@100:rank:0>1:1:50, flap@10:rank:0>1:20:5, storm@500:rank:0-3:250"
+                .parse()
+                .expect("valid rank spec");
+        assert_eq!(
+            spec.events[0],
+            DynamicsEvent::Fade {
+                cycle: 100,
+                from: 0,
+                to: 1,
+                rank: true,
+                capacity: 1,
+                duration: Some(50)
+            }
+        );
+        assert!(matches!(
+            spec.events[1],
+            DynamicsEvent::Flap {
+                rank: true,
+                repeats: DEFAULT_FLAP_REPEATS,
+                ..
+            }
+        ));
+        assert!(matches!(
+            spec.events[2],
+            DynamicsEvent::Storm { rank: true, .. }
+        ));
+        assert!(
+            "randfades@1:rank:2:10:5".parse::<DynamicsSpec>().is_err(),
+            "randfades draws arcs, rank: is meaningless"
         );
     }
 
@@ -586,11 +761,50 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not a fabric link")]
     fn unknown_link_is_a_loud_error() {
         let g = b24();
         let spec: DynamicsSpec = "fade@1:0>9".parse().unwrap();
-        spec.compile(&g, 1);
+        let err = spec.try_compile(&g, 1, None).unwrap_err();
+        assert!(err.contains("not a fabric link"), "{err}");
+        // The error teaches: it lists where node 0's links actually go
+        // (B(2,4): 0 → 0 and 0 → 1).
+        assert!(err.contains("out-links to [node 0, node 1]"), "{err}");
+    }
+
+    #[test]
+    fn rank_addressing_translates_through_the_witness() {
+        // A genuinely relabeled B(2,4): outer node u carries de Bruijn
+        // rank rev(u) (4-bit reversal, an involution), so the outer
+        // arc set is the de Bruijn arc set pushed through rev.
+        let rev = |v: u32| v.reverse_bits() >> (32 - 4);
+        let g = Digraph::from_fn(16, |u| {
+            let r = rev(u);
+            let mut out = [rev((2 * r) % 16), rev((2 * r + 1) % 16)];
+            out.sort_unstable();
+            out
+        });
+        let witness: Vec<u32> = (0u32..16).map(rev).collect();
+        // De Bruijn arc rank 0 → rank 1 lives at outer rev(0) →
+        // rev(1), i.e. 0 → 8.
+        let spec: DynamicsSpec = "fade@100:rank:0>1:0:50".parse().unwrap();
+        let t = spec.try_compile(&g, 2, Some(&witness)).expect("compiles");
+        assert_eq!(t.deaths, 1);
+        let arc_0_8 = g.arc_between(0, 8).expect("0→8 is a fabric link");
+        assert_eq!(t.transitions[0].arc as usize, arc_0_8);
+        // The outer address of the same beam names the same arc.
+        let outer: DynamicsSpec = "fade@100:0>8:0:50".parse().unwrap();
+        let t_outer = outer.try_compile(&g, 2, Some(&witness)).expect("compiles");
+        assert_eq!(t_outer.transitions[0].arc as usize, arc_0_8);
+        // rank: without a witness is a configuration error, not a
+        // silent misroute.
+        let err = spec.try_compile(&g, 2, None).unwrap_err();
+        assert!(err.contains("rank:"), "{err}");
+        // A rank pair that is no de Bruijn arc reports both
+        // numberings plus the real out-links (rev(9) = 9).
+        let bad: DynamicsSpec = "fade@1:rank:0>9".parse().unwrap();
+        let err = bad.try_compile(&g, 2, Some(&witness)).unwrap_err();
+        assert!(err.contains("rank link 0>9 = fabric link 0>9"), "{err}");
+        assert!(err.contains("de Bruijn rank"), "{err}");
     }
 
     #[test]

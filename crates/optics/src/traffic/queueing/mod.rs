@@ -486,11 +486,17 @@ impl TreeSet {
 pub struct QueueingEngine {
     g: Arc<Digraph>,
     config: QueueConfig,
-    /// The link-dynamics timeline runs replay, if any (see
+    /// The link-dynamics script runs replay, if any, with its
+    /// timeline compiled once against this fabric (see
     /// [`QueueingEngine::set_dynamics`]).
-    dynamics: Option<DynamicsSpec>,
+    dynamics: Option<(DynamicsSpec, dynamics::Timeline)>,
     /// What a run does with packets stranded by a link death.
     stranded: StrandedPolicy,
+    /// Route lock-free through the repairing router's published
+    /// epoch snapshot where legal (default). `false` forces every
+    /// next-hop query through the router's own locked path — kept as
+    /// the differential-testing oracle for the snapshot fast path.
+    snapshot_reads: bool,
     /// One counter per (arc, VC class), arc-major — the occupancy
     /// scoreboard behind [`LinkOccupancy`].
     counts: Arc<[AtomicU32]>,
@@ -559,6 +565,7 @@ impl QueueingEngine {
             config,
             dynamics: None,
             stranded: StrandedPolicy::default(),
+            snapshot_reads: true,
             counts: counts.into(),
             fade_penalty: fade_penalty.into(),
             dateline,
@@ -589,14 +596,48 @@ impl QueueingEngine {
 
     /// Replay `spec`'s link dynamics on every subsequent run: fades,
     /// flaps and storms applied at cycle boundaries, with stranded
-    /// packets handled per `stranded`. The spec is validated against
-    /// the fabric immediately (unknown links panic here, not mid-run).
-    /// Unicast (materialized or streamed) runs only — a multicast run
-    /// with dynamics set is rejected.
+    /// packets handled per `stranded`. The spec is compiled against
+    /// the fabric immediately — once, not per run — so unknown links
+    /// panic here, not mid-run. Unicast (materialized or streamed)
+    /// runs only — a multicast run with dynamics set is rejected.
+    ///
+    /// # Panics
+    ///
+    /// On a spec the fabric cannot satisfy; use
+    /// [`QueueingEngine::try_set_dynamics`] to keep the error.
     pub fn set_dynamics(&mut self, spec: DynamicsSpec, stranded: StrandedPolicy) {
-        spec.compile(&self.g, self.config.wavelengths);
-        self.dynamics = Some(spec);
+        self.try_set_dynamics(spec, stranded)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// As [`QueueingEngine::set_dynamics`], returning the compile
+    /// error (unknown link, out-of-range node, `rank:` addressing
+    /// without a witness) instead of panicking.
+    pub fn try_set_dynamics(
+        &mut self,
+        spec: DynamicsSpec,
+        stranded: StrandedPolicy,
+    ) -> Result<(), String> {
+        self.try_set_dynamics_relabeled(spec, stranded, None)
+    }
+
+    /// As [`QueueingEngine::try_set_dynamics`] for a *relabeled*
+    /// fabric: `node_rank` is the de Bruijn isomorphism witness
+    /// (`node_rank[fabric_node] = rank`) of the
+    /// [`otis_core::RelabeledRouter`] driving the run, and lets the
+    /// spec address links in rank space via the `rank:` prefix (see
+    /// [`DynamicsSpec`]'s grammar). Compile errors on such fabrics
+    /// name offending links in both numberings.
+    pub fn try_set_dynamics_relabeled(
+        &mut self,
+        spec: DynamicsSpec,
+        stranded: StrandedPolicy,
+        node_rank: Option<&[u32]>,
+    ) -> Result<(), String> {
+        let timeline = spec.try_compile(&self.g, self.config.wavelengths, node_rank)?;
+        self.dynamics = Some((spec, timeline));
         self.stranded = stranded;
+        Ok(())
     }
 
     /// Remove a previously set dynamics timeline.
@@ -604,7 +645,20 @@ impl QueueingEngine {
         self.dynamics = None;
     }
 
-    pub(super) fn dynamics(&self) -> Option<&DynamicsSpec> {
+    /// Route drain/inject next-hop queries through the repairing
+    /// router's published epoch snapshot (lock-free) where legal.
+    /// Defaults to `true`; `false` forces the router's own locked
+    /// path on every query — the byte-identical oracle the snapshot
+    /// fast path is differentially tested against.
+    pub fn set_snapshot_reads(&mut self, enabled: bool) {
+        self.snapshot_reads = enabled;
+    }
+
+    pub(super) fn snapshot_reads(&self) -> bool {
+        self.snapshot_reads
+    }
+
+    pub(super) fn dynamics(&self) -> Option<&(DynamicsSpec, dynamics::Timeline)> {
         self.dynamics.as_ref()
     }
 

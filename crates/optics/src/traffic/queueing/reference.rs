@@ -531,9 +531,12 @@ impl ReferenceEngine {
             stranded_reinjected: 0,
             time_to_reroute_cycles: Vec::new(),
             reroute_unresolved: 0,
+            reroute_no_demand: 0,
             repair_runs_patched: Vec::new(),
             repair_rows_patched: 0,
             table_runs_total: 0,
+            snapshot_publications: 0,
+            snapshot_runs_published: 0,
         }
     }
 
@@ -869,9 +872,12 @@ impl ReferenceEngine {
             stranded_reinjected: 0,
             time_to_reroute_cycles: Vec::new(),
             reroute_unresolved: 0,
+            reroute_no_demand: 0,
             repair_runs_patched: Vec::new(),
             repair_rows_patched: 0,
             table_runs_total: 0,
+            snapshot_publications: 0,
+            snapshot_runs_published: 0,
         }
     }
 }

@@ -95,7 +95,7 @@ use super::dynamics::{Crossing, StrandedPolicy, Timeline};
 use super::{arc_of, ContentionPolicy, QueueingEngine, TreeSet};
 use crate::traffic::report::{ClassBreakdown, ClassStats, QueueingReport, WaitHistogram};
 use crate::traffic::workload::WorkloadSource;
-use otis_core::{Dateline, Router};
+use otis_core::{Dateline, RouteRepair, RouteSnapshot, Router};
 use otis_digraph::Digraph;
 use otis_util::DenseBitset;
 use std::collections::VecDeque;
@@ -126,6 +126,12 @@ struct Watch {
     /// First resolving cycle; `u64::MAX` until a packet commits onto
     /// another out-arc of `node` at or after `at_cycle`.
     resolved: AtomicU64,
+    /// 1 iff some packet demonstrably wanted the dead beam: queued
+    /// FIFO content stranded at the death, or a dead-target requery
+    /// that hit this arc afterwards. Splits an unresolved watch into
+    /// `reroute_unresolved` (demand existed, no alternative committed)
+    /// vs `reroute_no_demand` (nothing ever asked for the link).
+    demand: AtomicU32,
 }
 
 /// What a run simulates: unicast `(src, dst)` pairs — materialized or
@@ -311,6 +317,12 @@ struct SharedRun<'a> {
     watches: &'a [Watch],
     /// What happens to packets a link death catches mid-queue.
     stranded_policy: StrandedPolicy,
+    /// The repairing router behind the epoch-snapshot fast path, when
+    /// legal: snapshot reads enabled on the engine, stateless hops
+    /// (adaptive scoring reads congestion, not the table), unicast
+    /// work, and a published snapshot to read. `None` sends every
+    /// next-hop query through the router's own (locked) path.
+    repair: Option<&'a dyn RouteRepair>,
     cycle: AtomicU64,
     done: AtomicBool,
 }
@@ -341,6 +353,24 @@ impl SharedRun<'_> {
         // slot; phase reads see a cycle-stable value through the
         // barrier.
         matches!(self.capacity, Some(caps) if caps[arc].load(Relaxed) == 0)
+    }
+
+    /// One next-hop query on the phase hot path: through the worker's
+    /// cached epoch snapshot when the run routes snapshot reads
+    /// (lock-free, byte-identical to the router's table — repairs
+    /// republish only on the sequential slot), else the router itself.
+    #[inline]
+    fn route_query(
+        &self,
+        snap: &Option<RouteSnapshot>,
+        current: u64,
+        dst: u64,
+        vc: u8,
+    ) -> Option<u64> {
+        match snap {
+            Some(snapshot) => snapshot.next_hop(current, dst),
+            None => self.router.next_hop_on_vc(current, dst, vc),
+        }
     }
 }
 
@@ -375,6 +405,13 @@ struct WorkerScratch {
     stranded: Vec<(u32, u32)>,
     vc_blocked: Vec<bool>,
     vc_pops: Vec<u32>,
+    /// The route snapshot this worker's inject and drain queries ride
+    /// (see [`SharedRun::route_query`]), re-fetched at the top of each
+    /// inject phase when the published epoch moved. `None` when the
+    /// run does not route snapshot reads.
+    snapshot: Option<RouteSnapshot>,
+    /// Epoch of the cached snapshot (0 = nothing fetched yet).
+    snapshot_epoch_seen: u64,
     stats: DrainStats,
 }
 
@@ -394,6 +431,8 @@ impl WorkerScratch {
             stranded: Vec::new(),
             vc_blocked: vec![false; vcs],
             vc_pops: vec![0; vcs],
+            snapshot: None,
+            snapshot_epoch_seen: 0,
             stats: DrainStats::default(),
         }
     }
@@ -475,6 +514,17 @@ struct MainState {
     capacity_events: u64,
     repair_runs_patched: Vec<u64>,
     repair_rows_patched: u64,
+    /// The last snapshot epoch the run observed from the repairing
+    /// router, seeded before cycle 0. Movement after a repair hook
+    /// call means the router republished its snapshot.
+    last_snapshot_epoch: u64,
+    /// Snapshots the router published during this run (counted by
+    /// epoch movement — a no-op event patches nothing and republishes
+    /// nothing).
+    snapshot_publications: u64,
+    /// Total compressed-table runs across those publications: the
+    /// itemized cost of rebuilding the immutable CSR view.
+    snapshot_runs_published: u64,
     deadlocked: bool,
     cycle: u64,
 }
@@ -610,19 +660,30 @@ pub(super) fn execute(
     let bounds = shard_bounds(n as usize, threads);
     let stateless = trees.is_some() || router.hops_are_stateless();
 
-    // Link dynamics: compile the timeline once, seed every arc's
-    // capacity at full, and open one time-to-reroute watch per
-    // scheduled death. A run without dynamics keeps `capacity: None`
-    // and zero watches, so none of the per-packet gates below ever
-    // fire and the static byte-for-byte behaviour is untouched.
-    let timeline = engine
-        .dynamics()
-        .map(|spec| spec.compile(g, config.wavelengths));
+    // The epoch-snapshot fast path: drain/inject next-hop queries ride
+    // an immutable snapshot the repairing router publishes (refreshed
+    // per worker per cycle, only when the epoch moved) instead of
+    // taking the router's read lock on every query. Legal only for
+    // stateless hops over unicast work — adaptive routers score
+    // congestion, not the raw table, and multicast never queries the
+    // router mid-run — and only when the router actually publishes.
+    let repair: Option<&dyn RouteRepair> =
+        (engine.snapshot_reads() && stateless && trees.is_none())
+            .then(|| router.as_repair())
+            .flatten()
+            .filter(|repair| repair.published_snapshot().is_some());
+
+    // Link dynamics: the timeline was compiled once at `set_dynamics`;
+    // seed every arc's capacity at full and open one time-to-reroute
+    // watch per scheduled death. A run without dynamics keeps
+    // `capacity: None` and zero watches, so none of the per-packet
+    // gates below ever fire and the static byte-for-byte behaviour is
+    // untouched.
+    let timeline: Option<&Timeline> = engine.dynamics().map(|(_, timeline)| timeline);
     let full_cap = u32::try_from(config.wavelengths).unwrap_or(u32::MAX);
-    let capacity: Option<Vec<AtomicU32>> = timeline
-        .as_ref()
-        .map(|_| (0..arcs).map(|_| AtomicU32::new(full_cap)).collect());
-    let watches: Vec<Watch> = timeline.as_ref().map_or_else(Vec::new, |timeline| {
+    let capacity: Option<Vec<AtomicU32>> =
+        timeline.map(|_| (0..arcs).map(|_| AtomicU32::new(full_cap)).collect());
+    let watches: Vec<Watch> = timeline.map_or_else(Vec::new, |timeline| {
         timeline
             .transitions
             .iter()
@@ -632,6 +693,7 @@ pub(super) fn execute(
                 arc: tr.arc,
                 at_cycle: tr.cycle,
                 resolved: AtomicU64::new(u64::MAX),
+                demand: AtomicU32::new(0),
             })
             .collect()
     });
@@ -681,6 +743,7 @@ pub(super) fn execute(
         fade_penalty,
         watches: &watches,
         stranded_policy: engine.stranded_policy(),
+        repair,
         cycle: AtomicU64::new(0),
         done: AtomicBool::new(false),
     };
@@ -736,6 +799,12 @@ pub(super) fn execute(
         capacity_events: 0,
         repair_runs_patched: Vec::new(),
         repair_rows_patched: 0,
+        // Publication accounting reads the router directly (not the
+        // gated `repair`), so the oracle mode — snapshot reads off —
+        // reports byte-identically to the fast path.
+        last_snapshot_epoch: router.as_repair().map_or(0, |r| r.snapshot_epoch()),
+        snapshot_publications: 0,
+        snapshot_runs_published: 0,
         deadlocked: false,
         cycle: 0,
     };
@@ -817,7 +886,7 @@ pub(super) fn execute(
             // stores, stranding, repair, and wakes all happen while
             // the workers idle at the barrier, so every gate the
             // phases read is cycle-stable.
-            if let Some(timeline) = &timeline {
+            if let Some(timeline) = timeline {
                 activity +=
                     apply_dynamics(&shared, &mut main, timeline, &mut event_cursor, &scratches);
             }
@@ -845,9 +914,7 @@ pub(super) fn execute(
             barrier.wait();
             activity += apply(&shared, &mut main, &mut dec, &scratches);
             main.cycle += 1;
-            let events_pending = timeline
-                .as_ref()
-                .is_some_and(|t| event_cursor < t.transitions.len());
+            let events_pending = timeline.is_some_and(|t| event_cursor < t.transitions.len());
             if activity == 0 && main.in_network > 0 && !events_pending {
                 // Packets are buffered but nothing moved, injected or
                 // dropped: every head waits on a full FIFO in a cycle
@@ -1093,6 +1160,11 @@ fn inject_list(shared: &SharedRun, ws: &mut WorkerScratch, cycle: u64) {
     // worker (list_owner shards by source node), so its `src_listed`
     // flag and everything `inject_source` touches on its behalf are
     // single-writer during the inject phase.
+    //
+    // Refresh before the empty-list return: the drain phase that
+    // follows routes by the same cached snapshot, whether or not this
+    // worker has sources to inject.
+    refresh_snapshot(shared, ws);
     if ws.sources.is_empty() {
         return;
     }
@@ -1119,6 +1191,27 @@ fn inject_list(shared: &SharedRun, ws: &mut WorkerScratch, cycle: u64) {
     }
     list.truncate(kept);
     ws.sources = list;
+}
+
+/// Re-fetch the worker's cached route snapshot when the published
+/// epoch moved. Repairs republish only on the sequential slot, so one
+/// check per worker per cycle — here, at the top of its inject phase,
+/// the first phase after that slot — keeps every phase query on the
+/// current table. An event that patched nothing leaves the epoch (and
+/// this cache) untouched.
+fn refresh_snapshot(shared: &SharedRun, ws: &mut WorkerScratch) {
+    let Some(repair) = shared.repair else {
+        return;
+    };
+    let epoch = repair.snapshot_epoch();
+    if epoch != ws.snapshot_epoch_seen {
+        ws.snapshot = repair.published_snapshot();
+        debug_assert!(
+            ws.snapshot.is_some(),
+            "gating requires a published snapshot"
+        );
+        ws.snapshot_epoch_seen = epoch;
+    }
 }
 
 /// Inject one source's eligible pending heads (every decoded entry is
@@ -1174,8 +1267,7 @@ fn inject_source(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, cycle: 
             Some(shared.inject_cached_arc[src].load(Relaxed) as usize)
         } else {
             let computed = shared
-                .router
-                .next_hop_on_vc(src as u64, dst, 0)
+                .route_query(&ws.snapshot, src as u64, dst, 0)
                 .and_then(|next| arc_of(shared.g, src as u64, next));
             if let (true, Some(found)) = (shared.stateless, computed) {
                 shared.inject_cached_entry[src].store(entry, Relaxed);
@@ -1190,10 +1282,10 @@ fn inject_source(shared: &SharedRun, ws: &mut WorkerScratch, src: usize, cycle: 
         // it never entered the fabric, so there is nothing to strand.
         let arc = match arc {
             Some(found) if shared.arc_dead(found) => {
+                note_dead_demand(shared, found as u32, cycle);
                 shared.inject_cached_entry[src].store(NONE, Relaxed);
                 let fresh = shared
-                    .router
-                    .next_hop_on_vc(src as u64, dst, 0)
+                    .route_query(&ws.snapshot, src as u64, dst, 0)
                     .and_then(|next| arc_of(shared.g, src as u64, next))
                     .filter(|&fresh| !shared.arc_dead(fresh));
                 if let (true, Some(found)) = (shared.stateless, fresh) {
@@ -1346,6 +1438,26 @@ fn note_reroute(shared: &SharedRun, chan: usize, cycle: u64) {
         {
             watch.resolved.store(cycle, Relaxed);
         }
+    }
+}
+
+/// A packet's chosen hop rode a beam that is dead this cycle: record
+/// demand against the most recent open watch on that arc, so an
+/// unresolved watch reports as `reroute_unresolved` (demand existed)
+/// rather than `reroute_no_demand`. Cold: only dead-target requeries
+/// reach it.
+#[cold]
+fn note_dead_demand(shared: &SharedRun, arc: u32, cycle: u64) {
+    let mut hit = None;
+    for watch in shared.watches {
+        if watch.arc == arc && cycle >= watch.at_cycle {
+            hit = Some(watch);
+        }
+    }
+    if let Some(watch) = hit {
+        // ORDERING: Relaxed — several workers can race this within a
+        // phase, but every store writes 1; idempotent.
+        watch.demand.store(1, Relaxed);
     }
 }
 
@@ -1515,8 +1627,7 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
                     Some(cached as usize)
                 } else {
                     let computed = shared
-                        .router
-                        .next_hop_on_vc(node, dst as u64, packet_vc)
+                        .route_query(&ws.snapshot, node, dst as u64, packet_vc)
                         .and_then(|next| arc_of(shared.g, node, next));
                     if let Some(found) = computed {
                         shared.arena.cached_next(head).store(found as u32, Relaxed);
@@ -1538,10 +1649,10 @@ fn drain_arc(shared: &SharedRun, arc: usize, node: u64, cycle: u64, ws: &mut Wor
             // behind a link that may never come back.
             let next_arc = match next_arc {
                 Some(found) if shared.arc_dead(found) => {
+                    note_dead_demand(shared, found as u32, cycle);
                     shared.arena.cached_next(head).store(NONE, Relaxed);
                     let fresh = shared
-                        .router
-                        .next_hop_on_vc(node, dst as u64, packet_vc)
+                        .route_query(&ws.snapshot, node, dst as u64, packet_vc)
                         .and_then(|next| arc_of(shared.g, node, next))
                         .filter(|&fresh| !shared.arc_dead(fresh));
                     match fresh {
@@ -1894,7 +2005,15 @@ fn apply_dynamics(
             Crossing::Death => {
                 main.link_down_events += 1;
                 crossed = true;
-                strand_channels(shared, main, arc);
+                // Deaths apply in timeline order, so this death's
+                // watch is the latest one opened.
+                let watch = &shared.watches[main.link_down_events as usize - 1];
+                debug_assert_eq!(watch.arc, tr.arc, "watch order tracks death order");
+                if strand_channels(shared, main, arc) {
+                    // Queued FIFO content at the event is demand for
+                    // the beam by definition.
+                    watch.demand.store(1, Relaxed);
+                }
                 repair_link(shared, main, arc, false);
             }
             Crossing::Revival => {
@@ -1906,20 +2025,38 @@ fn apply_dynamics(
         }
     }
     if crossed {
+        // One snapshot publication covers the whole batch: a 16-beam
+        // storm crossing zero on the same cycle pays one table copy,
+        // not sixteen. Workers are still parked, so no query can run
+        // between the per-event repairs above and this publication.
+        if let Some(repair) = shared.router.as_repair() {
+            repair.publish_deferred();
+            // A patching batch republishes the epoch snapshot; an
+            // all-no-op batch leaves the epoch alone. Counted off the
+            // router itself (not the gated fast path), so oracle-mode
+            // reports stay byte-identical.
+            let epoch = repair.snapshot_epoch();
+            if epoch != main.last_snapshot_epoch {
+                main.last_snapshot_epoch = epoch;
+                main.snapshot_publications += 1;
+                main.snapshot_runs_published += repair.repair_table_runs() as u64;
+            }
+        }
         activity += wake_all(shared, main, scratches);
     }
     activity
 }
 
 /// Feed a zero-crossing to the router's online repair, if it carries
-/// one, and record the per-event patch cost.
+/// one, and record the per-event patch cost. Publication is deferred
+/// to the end of the event batch (`apply_dynamics` above).
 fn repair_link(shared: &SharedRun, main: &mut MainState, arc: usize, alive: bool) {
     let Some(repair) = shared.router.as_repair() else {
         return;
     };
     let from = u64::from(shared.g.arc_source(arc));
     let to = u64::from(shared.g.arc_target(arc));
-    let stats = repair.apply_link_event(from, to, alive);
+    let stats = repair.apply_link_event_deferred(from, to, alive);
     main.repair_runs_patched.push(stats.runs_patched as u64);
     main.repair_rows_patched += stats.rows_patched as u64;
 }
@@ -1928,10 +2065,13 @@ fn repair_link(shared: &SharedRun, main: &mut MainState, arc: usize, alive: bool
 /// re-placement backlog or the drop counters, per policy — and settle
 /// the ready/parked bookkeeping so the worklist stays exact. (The
 /// channels' upstream waiters are handled by the batch's `wake_all`.)
-fn strand_channels(shared: &SharedRun, main: &mut MainState, arc: usize) {
+/// Returns whether any packet was actually queued on the beam —
+/// demand for the dead link.
+fn strand_channels(shared: &SharedRun, main: &mut MainState, arc: usize) -> bool {
     // ORDERING: Relaxed — sequential slot; see `apply_dynamics`.
     let target = shared.g.arc_target(arc) as usize;
     let mut allocator = None;
+    let mut stranded_any = false;
     for vc in 0..shared.vcs {
         let chan = arc * shared.vcs + vc;
         let mut head = shared.queues.head[chan].load(Relaxed);
@@ -1939,6 +2079,7 @@ fn strand_channels(shared: &SharedRun, main: &mut MainState, arc: usize) {
             debug_assert_eq!(shared.queues.len[chan].load(Relaxed), 0);
             continue;
         }
+        stranded_any = true;
         // The nonempty channel leaves the ready set: it was counted
         // there unless parked (a parked channel is nonempty but
         // already uncounted — just clear the flag; its stale waiter
@@ -1972,6 +2113,7 @@ fn strand_channels(shared: &SharedRun, main: &mut MainState, arc: usize) {
         shared.queues.len[chan].store(0, Relaxed);
         shared.counts[chan].store(0, Relaxed);
     }
+    stranded_any
 }
 
 /// Account one stranded packet out of the network under
@@ -2343,15 +2485,21 @@ fn finish(
     // fired before the run ended. Deaths apply in timeline order, so
     // the applied ones are exactly the first `link_down_events`
     // watches; a scheduled death past the horizon is neither a
-    // reroute nor a failure to reroute.
+    // reroute nor a failure to reroute. An unresolved watch splits on
+    // demand: packets wanted the beam and never rerouted
+    // (`reroute_unresolved`) vs nothing ever asked for it
+    // (`reroute_no_demand`).
     let mut time_to_reroute_cycles = Vec::new();
     let mut reroute_unresolved = 0u64;
+    let mut reroute_no_demand = 0u64;
     for watch in &watches[..main.link_down_events as usize] {
         let resolved = watch.resolved.load(Relaxed);
-        if resolved == u64::MAX {
+        if resolved != u64::MAX {
+            time_to_reroute_cycles.push(resolved - watch.at_cycle + 1);
+        } else if watch.demand.load(Relaxed) != 0 {
             reroute_unresolved += 1;
         } else {
-            time_to_reroute_cycles.push(resolved - watch.at_cycle + 1);
+            reroute_no_demand += 1;
         }
     }
     let table_runs_total = router
@@ -2397,8 +2545,11 @@ fn finish(
         stranded_reinjected: main.stranded_reinjected,
         time_to_reroute_cycles,
         reroute_unresolved,
+        reroute_no_demand,
         repair_runs_patched: std::mem::take(&mut main.repair_runs_patched),
         repair_rows_patched: main.repair_rows_patched,
         table_runs_total,
+        snapshot_publications: main.snapshot_publications,
+        snapshot_runs_published: main.snapshot_runs_published,
     }
 }

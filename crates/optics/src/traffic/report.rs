@@ -380,13 +380,20 @@ pub struct QueueingReport {
     /// first packet committed onto an alternative out-link of the
     /// affected node (the event cycle counts as 1 — a same-cycle
     /// re-placement reroutes in one cycle). Deaths whose reroute never
-    /// happened are in `reroute_unresolved` instead, so
-    /// `len() + reroute_unresolved == link_down_events`.
+    /// happened split into `reroute_unresolved` and
+    /// `reroute_no_demand`, so `len() + reroute_unresolved +
+    /// reroute_no_demand == link_down_events`.
     pub time_to_reroute_cycles: Vec<u64>,
-    /// Link deaths after which no packet ever took an alternative
-    /// out-link of the affected node (no demand there, or the run
-    /// ended first).
+    /// Link deaths where packets demonstrably wanted the dead beam
+    /// (queued FIFO content stranded at the event, or a dead-target
+    /// requery afterwards) but no alternative out-link of the node
+    /// ever took a packet — real reroute failures, or the run ending
+    /// first.
     pub reroute_unresolved: u64,
+    /// Link deaths no packet ever asked about: nothing was queued on
+    /// the beam and nothing requeried it, so the missing reroute is
+    /// vacuous, not a failure.
+    pub reroute_no_demand: u64,
     /// Per zero-crossing event fed to the router's online repair, in
     /// event order: CSR runs rewritten by the incremental patch. Empty
     /// when the router has no repair capability.
@@ -398,6 +405,15 @@ pub struct QueueingReport {
     /// denominator `repair_runs_patched` entries compare against (a
     /// full rebuild rewrites all of them). `0` without repair.
     pub table_runs_total: u64,
+    /// Immutable route snapshots the repairing router published during
+    /// the run — one per same-cycle *batch* of zero-crossing events
+    /// that actually patched the table (a 16-beam storm costs one
+    /// publication; all-no-op batches republish nothing). The
+    /// epoch-snapshot read path's entire write-side cost.
+    pub snapshot_publications: u64,
+    /// Total compressed-table runs across those publications: the
+    /// itemized cost of rebuilding the immutable CSR view each time.
+    pub snapshot_runs_published: u64,
 }
 
 /// Queueing statistics of one traffic class within a classified run.
@@ -490,24 +506,32 @@ impl QueueingReport {
 
     /// The dynamics counters' own conservation laws, on top of
     /// [`QueueingReport::conserves_packets`]: every link death is
-    /// accounted a resolved or unresolved reroute
-    /// (`time_to_reroute_cycles` + `reroute_unresolved` ==
+    /// accounted a resolved reroute, a demanded-but-unresolved one, or
+    /// a vacuous no-demand one (`time_to_reroute_cycles` +
+    /// `reroute_unresolved` + `reroute_no_demand` ==
     /// `link_down_events`), zero-crossings never outnumber capacity
     /// transitions (`link_down_events` + `link_up_events` ≤
     /// `capacity_events`), stranded packets resolve to a reinjection
     /// or a stranded drop (`stranded_reinjected` and
     /// `dropped_stranded` are their partition, checked through the
-    /// packet conservation above), and repair cost vectors quote
-    /// against a live denominator (`repair_runs_patched` entries need
-    /// `table_runs_total` > 0). The lint report-field audit pins every
-    /// dynamics counter to an appearance here.
+    /// packet conservation above), repair cost vectors quote against a
+    /// live denominator (`repair_runs_patched` entries need
+    /// `table_runs_total` > 0), and snapshot publications trace to
+    /// zero-crossings (`snapshot_publications` ≤ the crossing count,
+    /// and `snapshot_runs_published` needs at least one publication).
+    /// The lint report-field audit pins every dynamics counter to an
+    /// appearance here.
     pub fn dynamics_consistent(&self) -> bool {
         self.conserves_packets()
-            && self.time_to_reroute_cycles.len() as u64 + self.reroute_unresolved
+            && self.time_to_reroute_cycles.len() as u64
+                + self.reroute_unresolved
+                + self.reroute_no_demand
                 == self.link_down_events
             && self.link_down_events + self.link_up_events <= self.capacity_events
             && (self.repair_runs_patched.is_empty() || self.table_runs_total > 0)
             && (self.repair_rows_patched == 0 || !self.repair_runs_patched.is_empty())
+            && self.snapshot_publications <= self.link_down_events + self.link_up_events
+            && (self.snapshot_runs_published == 0 || self.snapshot_publications > 0)
             && (self.stranded_reinjected == 0 && self.dropped_stranded == 0
                 || self.link_down_events > 0)
     }
@@ -695,9 +719,12 @@ mod tests {
             stranded_reinjected: 0,
             time_to_reroute_cycles: vec![],
             reroute_unresolved: 0,
+            reroute_no_demand: 0,
             repair_runs_patched: vec![],
             repair_rows_patched: 0,
             table_runs_total: 0,
+            snapshot_publications: 0,
+            snapshot_runs_published: 0,
         };
         assert_eq!(report.delivery_rate(), 1.0);
         assert_eq!(report.drop_rate(), 0.0);
@@ -706,13 +733,29 @@ mod tests {
         assert!(report.conserves_packets());
         assert!(report.dynamics_consistent());
         // A death with no reroute accounting breaks dynamics
-        // consistency; accounting it unresolved restores it.
+        // consistency; accounting it — demanded or vacuous — restores
+        // it, and the two buckets trade off one-for-one.
         let mut dynamic = report.clone();
         dynamic.link_down_events = 1;
         dynamic.capacity_events = 1;
         assert!(!dynamic.dynamics_consistent());
         dynamic.reroute_unresolved = 1;
         assert!(dynamic.dynamics_consistent());
+        dynamic.reroute_unresolved = 0;
+        dynamic.reroute_no_demand = 1;
+        assert!(dynamic.dynamics_consistent());
+        // Snapshot publications must trace to zero-crossings, and run
+        // totals to publications.
+        dynamic.snapshot_runs_published = 4;
+        assert!(!dynamic.dynamics_consistent());
+        dynamic.snapshot_publications = 1;
+        assert!(dynamic.dynamics_consistent());
+        dynamic.snapshot_publications = 2;
+        assert!(
+            !dynamic.dynamics_consistent(),
+            "one crossing, two publications"
+        );
+        dynamic.snapshot_publications = 1;
         // Stranded drops count as drops: conservation keeps holding.
         dynamic.injected = 1;
         dynamic.dropped_stranded = 1;

@@ -1494,6 +1494,179 @@ proptest! {
             "incremental repair drifted from the from-scratch survivor build"
         );
     }
+
+    /// The epoch-snapshot read path against its oracle: the same
+    /// random kill/revive timeline run with lock-free snapshot reads
+    /// (the default) and with `set_snapshot_reads(false)` — every
+    /// query through the router's own locked path — must produce
+    /// byte-identical reports at 1, 2 and 8 drain threads. This is
+    /// the differential that lets the engine erase the per-query
+    /// RwLock without ever being able to change an answer.
+    #[test]
+    fn snapshot_reads_match_the_locked_oracle_at_1_2_8_threads(
+        seed in any::<u64>(),
+        fades in 1usize..5,
+        window in 1u64..100,
+        duration in 1u64..50,
+    ) {
+        let b = DeBruijn::new(2, 6);
+        let n = b.node_count();
+        let g = b.digraph();
+        let workload = generate_workload(TrafficPattern::Uniform, n, 2, 500, seed);
+        let spec = format!("randfades@{seed}:{fades}:{window}:{duration}");
+        let mut baseline = None;
+        for threads in [1usize, 2, 8] {
+            for snapshot_reads in [true, false] {
+                let config = QueueConfig {
+                    buffers: 4,
+                    wavelengths: 1,
+                    vcs: 2,
+                    policy: ContentionPolicy::Backpressure,
+                    hop_limit: None,
+                    drain_threads: threads,
+                    max_cycles: 100_000,
+                };
+                let mut engine = QueueingEngine::new(g.clone(), config);
+                engine.set_dynamics(spec.parse().expect("valid spec"), StrandedPolicy::Reinject);
+                engine.set_snapshot_reads(snapshot_reads);
+                // Fresh router per run: repair mutates it.
+                let router = DynamicRoutingTable::new(&g);
+                let report = engine.run(&router, &workload, 0.3 * n as f64);
+                prop_assert!(report.dynamics_consistent(), "{report:?}");
+                match &baseline {
+                    None => baseline = Some(report),
+                    Some(first) => prop_assert_eq!(
+                        first,
+                        &report,
+                        "threads={} snapshot_reads={} diverged from the oracle",
+                        threads,
+                        snapshot_reads
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Rank-space dynamics on a relabeled (OTIS H-style) fabric, end to
+/// end: the engine's timeline addresses one beam by its de Bruijn
+/// rank (`rank:` prefix) and one by its outer fabric id, both repairs
+/// execute in rank space through the witness-translated hook, and the
+/// router's inner table lands byte-identical to a from-scratch build
+/// of the rank-space survivor graph.
+#[test]
+fn relabeled_fabric_repairs_in_rank_space_and_matches_rebuild() {
+    // A genuinely relabeled B(2,8): push every arc through bit
+    // reversal, the witness of the relabeling.
+    let dim = 8u32;
+    let n = 1u64 << dim;
+    let rev = |v: u32| v.reverse_bits() >> (32 - dim);
+    let outer = Digraph::from_fn(n as usize, |u| {
+        let r = rev(u);
+        let mut out = [rev((2 * r) % n as u32), rev((2 * r + 1) % n as u32)];
+        out.sort_unstable();
+        out
+    });
+    let witness: Vec<u32> = (0..n as u32).map(rev).collect();
+    let inner_g = DeBruijn::new(2, dim).digraph();
+    let workload = generate_workload(TrafficPattern::Uniform, n, 2, 2_000, 11);
+    let config = QueueConfig {
+        buffers: 4,
+        wavelengths: 1,
+        vcs: 2,
+        policy: ContentionPolicy::Backpressure,
+        hop_limit: None,
+        drain_threads: 0,
+        max_cycles: 100_000,
+    };
+    let mut engine = QueueingEngine::new(outer.clone(), config);
+    // Rank link 2>4 and outer link 192>96 (= rank link 3>6 through
+    // bit reversal), both permanent deaths.
+    engine
+        .try_set_dynamics_relabeled(
+            "fade@1:rank:2>4,fade@2:192>96".parse().expect("valid spec"),
+            StrandedPolicy::Reinject,
+            Some(&witness),
+        )
+        .expect("both addressings compile against the witness");
+    let router =
+        otis_core::RelabeledRouter::new(DynamicRoutingTable::new(&inner_g), witness.clone());
+    let report = engine.run(&router, &workload, 0.3 * n as f64);
+    assert!(report.dynamics_consistent(), "{report:?}");
+    assert_eq!(report.link_down_events, 2, "both deaths fired");
+    assert!(
+        report.snapshot_publications > 0,
+        "rank-space repairs must republish the read snapshot"
+    );
+    // The differential, in rank space: the inner table repaired
+    // through the translated hook equals a from-scratch build over
+    // the de Bruijn survivor graph with the same two arcs dead.
+    let dead = [
+        inner_g.arc_between(2, 4).expect("rank link 2>4"),
+        inner_g.arc_between(3, 6).expect("rank link 3>6"),
+    ];
+    let scratch = otis_digraph::repair::RepairableNextHopTable::with_dead_arcs(&inner_g, &dead);
+    assert_eq!(
+        router.inner().snapshot(),
+        scratch.snapshot(),
+        "witness-translated repair drifted from the rank-space rebuild"
+    );
+}
+
+/// A beam that dies, revives, and dies again — the double transition
+/// that would expose any stale parked waiter left behind by the first
+/// death's wake. The run must complete without wedging at every
+/// thread count, with both deaths accounted and the final table
+/// matching a rebuild with the beam dead.
+#[test]
+fn same_beam_kill_revive_kill_leaves_no_stale_waiters() {
+    let b = DeBruijn::new(2, 8);
+    let n = b.node_count();
+    let g = b.digraph();
+    let workload = generate_workload(TrafficPattern::Hotspot, n, 2, 4_000, 31);
+    let arc = g.arc_between(64, 128).expect("a de Bruijn link");
+    let run = |threads: usize| {
+        let config = QueueConfig {
+            buffers: 4,
+            wavelengths: 1,
+            vcs: 2,
+            policy: ContentionPolicy::Backpressure,
+            hop_limit: None,
+            drain_threads: threads,
+            max_cycles: 100_000,
+        };
+        let mut engine = QueueingEngine::new(g.clone(), config);
+        // Dead at 10, back at 40, dead again at 70 — permanently.
+        engine.set_dynamics(
+            "fade@10:64>128:0:40,fade@70:64>128"
+                .parse()
+                .expect("valid spec"),
+            StrandedPolicy::Reinject,
+        );
+        let router = DynamicRoutingTable::new(&g);
+        let report = engine.run(&router, &workload, 0.5 * n as f64);
+        assert!(!report.deadlocked, "threads={threads}: {report:?}");
+        assert!(
+            report.dynamics_consistent(),
+            "threads={threads}: {report:?}"
+        );
+        assert_eq!(
+            report.in_flight, 0,
+            "threads={threads}: stale waiters wedged the drain"
+        );
+        assert_eq!(report.link_down_events, 2);
+        assert_eq!(report.link_up_events, 1);
+        let scratch = otis_digraph::repair::RepairableNextHopTable::with_dead_arcs(&g, &[arc]);
+        assert_eq!(
+            router.snapshot(),
+            scratch.snapshot(),
+            "threads={threads}: kill-revive-kill drifted from the rebuild"
+        );
+        report
+    };
+    let single = run(1);
+    assert_eq!(single, run(2), "2 threads diverged");
+    assert_eq!(single, run(8), "8 threads diverged");
 }
 
 /// The adaptive router consumes the fade penalty: a half-dead beam
